@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Ablation: 1GB pages vs anchors at extreme contiguity.
+ *
+ * Paper Section 2.1 notes that x86 supports 1GB pages through a
+ * separate, smaller L2 TLB, and that fixed page sizes trade allocation
+ * flexibility for coverage. This ablation makes that concrete: when the
+ * OS can hand out gigabyte-aligned gigabyte chunks, 1GB pages rival the
+ * anchor scheme; shave the alignment or shrink the chunks slightly and
+ * their benefit collapses while anchors keep working.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/bitops.hh"
+#include "common/rng.hh"
+#include "mmu/anchor_mmu.hh"
+#include "mmu/baseline_mmu.hh"
+#include "os/distance_selector.hh"
+#include "os/table_builder.hh"
+
+namespace
+{
+
+using namespace atlb;
+
+constexpr Vpn base = 0x7f0000000ULL;
+
+/** 4GB footprint in chunks of @p chunk_pages, PA congruent mod @p mod. */
+MemoryMap
+mapWith(std::uint64_t chunk_pages, std::uint64_t congruence)
+{
+    MemoryMap m;
+    Vpn vpn = base;
+    Ppn ppn = giantPages;
+    const std::uint64_t total = 4 * giantPages;
+    for (std::uint64_t done = 0; done < total; done += chunk_pages) {
+        ppn = alignUp(ppn + 1, congruence) + (vpn & (congruence - 1));
+        m.add(vpn, ppn, chunk_pages);
+        vpn += chunk_pages;
+        ppn += chunk_pages;
+    }
+    m.finalize();
+    return m;
+}
+
+std::uint64_t
+missesOf(Mmu &mmu, std::uint64_t accesses)
+{
+    Rng rng(5);
+    for (std::uint64_t i = 0; i < accesses; ++i)
+        mmu.translate(vaOf(base + rng.nextBounded(4 * giantPages)));
+    return mmu.stats().page_walks;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace atlb;
+    bench::printHeader(
+        "Ablation — 1GB pages vs anchors (4GB random footprint)");
+
+    const SimOptions opts = bench::figureOptions();
+    const std::uint64_t accesses = opts.accesses / 2;
+
+    Table table("Misses per 1K accesses by allocation regime",
+                {"chunks", "PA congruence", "THP", "THP+1GB",
+                 "Dynamic anchor"});
+
+    struct Case
+    {
+        const char *label;
+        std::uint64_t chunk_pages;
+        std::uint64_t congruence;
+    };
+    const Case cases[] = {
+        {"1GB aligned", giantPages, giantPages},
+        {"1GB, 2MB-aligned only", giantPages, hugePages},
+        {"256MB aligned", giantPages / 4, giantPages / 4},
+    };
+
+    for (const Case &c : cases) {
+        const MemoryMap m = mapWith(c.chunk_pages, c.congruence);
+        const MmuConfig cfg = opts.mmu;
+        const double per_k = 1000.0 / static_cast<double>(accesses);
+
+        PageTable thp_table = buildPageTable(m, true, false);
+        BaselineMmu thp(cfg, thp_table, "thp");
+        const double thp_misses =
+            static_cast<double>(missesOf(thp, accesses)) * per_k;
+
+        PageTable giant_table = buildPageTable(m, true, true);
+        BaselineMmu giant(cfg, giant_table, "thp-1g");
+        const double giant_misses =
+            static_cast<double>(missesOf(giant, accesses)) * per_k;
+
+        const std::uint64_t d =
+            selectAnchorDistance(m.contiguityHistogram()).distance;
+        PageTable anchor_table = buildAnchorPageTable(m, d);
+        AnchorMmu anchor(cfg, anchor_table, d);
+        const double anchor_misses =
+            static_cast<double>(missesOf(anchor, accesses)) * per_k;
+
+        table.beginRow();
+        table.cell(std::string(c.label));
+        table.cell(c.congruence * pageBytes >> 20);
+        table.cell(thp_misses, 2);
+        table.cell(giant_misses, 2);
+        table.cell(anchor_misses, 2);
+    }
+    table.printAscii(std::cout);
+    std::cout << "\nExpected shape: with perfect gigabyte alignment, "
+                 "four 1GB entries cover the\nfootprint and rival "
+                 "anchors; with merely 2MB-aligned or 256MB chunks the "
+                 "1GB\nTLB goes unused while anchors keep their "
+                 "coverage — fixed page sizes demand\nexactly the "
+                 "allocation rigidity the paper argues against.\n";
+    return 0;
+}

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Ablation: HW-coalescing depth — cluster-8 vs CoLT-FA vs anchors.
+ *
+ * Paper Section 2.1: CoLT's fully-associative mode coalesces far more
+ * pages per entry than cluster-8, but the FA lookup restricts it to a
+ * handful of entries. This ablation shows where each HW-only design
+ * saturates and how OS-guided anchors scale past both.
+ */
+
+#include <functional>
+#include <iostream>
+#include <memory>
+
+#include "bench_util.hh"
+#include "common/rng.hh"
+#include "mmu/anchor_mmu.hh"
+#include "mmu/baseline_mmu.hh"
+#include "mmu/cluster_mmu.hh"
+#include "mmu/colt_mmu.hh"
+#include "os/distance_selector.hh"
+#include "os/table_builder.hh"
+#include "trace/workload.hh"
+
+namespace
+{
+
+using namespace atlb;
+
+std::uint64_t
+runScheme(const WorkloadSpec &spec,
+          std::uint64_t accesses, const std::function<
+              std::unique_ptr<Mmu>(const PageTable &)> &make,
+          const PageTable &table)
+{
+    std::unique_ptr<Mmu> mmu = make(table);
+    PatternTrace trace(spec, vaOf(0x7f0000000ULL), accesses, 7);
+    MemAccess a;
+    while (trace.next(a))
+        mmu->translate(a.vaddr);
+    return mmu->stats().page_walks;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace atlb;
+    bench::printHeader(
+        "Ablation — coalescing depth: cluster-8, CoLT-FA, anchors");
+
+    const SimOptions opts = bench::figureOptions();
+    Table table("Relative TLB misses (%) per scenario (canneal)",
+                {"mapping", "Cluster", "CoLT-FA", "Dynamic anchor"});
+
+    for (const ScenarioKind scenario :
+         {ScenarioKind::LowContig, ScenarioKind::MedContig,
+          ScenarioKind::HighContig}) {
+        WorkloadSpec spec = findWorkload("canneal");
+        spec.footprint_bytes = static_cast<std::uint64_t>(
+            static_cast<double>(spec.footprint_bytes) *
+            opts.footprint_scale);
+        ScenarioParams params;
+        params.footprint_pages = spec.footprintPages();
+        params.seed = opts.seed;
+        const MemoryMap map = buildScenario(scenario, params);
+        const MmuConfig cfg = opts.mmu;
+
+        const PageTable plain = buildPageTable(map, false);
+        const std::uint64_t base = runScheme(
+            spec, opts.accesses,
+            [&](const PageTable &t) {
+                return std::make_unique<BaselineMmu>(cfg, t);
+            },
+            plain);
+        const std::uint64_t cluster = runScheme(
+            spec, opts.accesses,
+            [&](const PageTable &t) {
+                return std::make_unique<ClusterMmu>(cfg, t, false);
+            },
+            plain);
+        const std::uint64_t colt = runScheme(
+            spec, opts.accesses,
+            [&](const PageTable &t) {
+                return std::make_unique<ColtMmu>(cfg, t);
+            },
+            plain);
+        const std::uint64_t d =
+            selectAnchorDistance(map.contiguityHistogram()).distance;
+        const PageTable anchor_table = buildAnchorPageTable(map, d);
+        const std::uint64_t anchor = runScheme(
+            spec, opts.accesses,
+            [&](const PageTable &t) {
+                return std::make_unique<AnchorMmu>(cfg, t, d);
+            },
+            anchor_table);
+
+        table.beginRow();
+        table.cell(std::string(scenarioName(scenario)));
+        table.cellPercent(relativeMisses(cluster, base));
+        table.cellPercent(relativeMisses(colt, base));
+        table.cellPercent(relativeMisses(anchor, base));
+    }
+    table.printAscii(std::cout);
+    std::cout << "\nExpected shape: CoLT-FA beats cluster-8 at medium "
+                 "contiguity (runs up to 64\npages fit one FA entry) but "
+                 "its 16 FA entries thrash as coverage demands\ngrow; "
+                 "anchors, fed contiguity by the OS, keep scaling.\n";
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Ablation: walk-latency model — the paper's flat 50-cycle walk vs a
+ * page-walk-cache model with per-level memory references.
+ *
+ * The paper's conclusions are about *miss counts*; the walk model only
+ * scales the CPI figures. This ablation verifies that claim: relative
+ * misses are identical under both models, and the CPI ordering of the
+ * schemes is preserved even though absolute walk costs change.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace atlb;
+    bench::printHeader(
+        "Ablation — flat 50-cycle walk vs page-walk-cache model");
+
+    Table table("canneal translation CPI under both walk models",
+                {"mapping", "scheme", "flat CPI", "PWC CPI",
+                 "flat misses", "PWC misses"});
+
+    for (const ScenarioKind scenario :
+         {ScenarioKind::Demand, ScenarioKind::MedContig}) {
+        SimOptions flat_opts = bench::figureOptions();
+        SimOptions pwc_opts = flat_opts;
+        pwc_opts.mmu.pwc_enabled = true;
+        ExperimentContext flat(flat_opts);
+        ExperimentContext pwc(pwc_opts);
+
+        for (const Scheme scheme :
+             {Scheme::Base, Scheme::Thp, Scheme::Anchor}) {
+            const SimResult a = flat.run("canneal", scenario, scheme);
+            const SimResult b = pwc.run("canneal", scenario, scheme);
+            table.beginRow();
+            table.cell(std::string(scenarioName(scenario)));
+            table.cell(std::string(schemeName(scheme)));
+            table.cell(a.translationCpi(), 4);
+            table.cell(b.translationCpi(), 4);
+            table.cell(a.misses());
+            table.cell(b.misses());
+        }
+    }
+    table.printAscii(std::cout);
+    std::cout << "\nExpected shape: miss counts are identical under "
+                 "both models (the walk model\nonly prices walks); PWC "
+                 "CPIs are lower (warm upper levels) but the scheme\n"
+                 "ordering — Base > THP > Dynamic — is unchanged.\n";
+    return 0;
+}

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Shared implementation of the translation-CPI breakdown figures
+ * (paper Figures 10 and 11).
+ */
+
+#ifndef ANCHORTLB_BENCH_BENCH_CPI_COMMON_HH
+#define ANCHORTLB_BENCH_BENCH_CPI_COMMON_HH
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "trace/workload.hh"
+
+namespace atlb::bench
+{
+
+/** Print the Fig. 10/11-style CPI breakdown for one scenario. */
+inline void
+printCpiBreakdown(ScenarioKind scenario, const std::string &figure)
+{
+    ExperimentContext ctx(figureOptions());
+
+    Table table(figure + ": translation cycles per instruction "
+                         "(L2-hit + coalesced-hit + page-walk)",
+                {"workload", "scheme", "L2 hit", "coalesced", "walk",
+                 "total CPI"});
+
+    for (const auto &workload : paperWorkloadNames()) {
+        for (const Scheme scheme : comparedSchemes()) {
+            const SimResult r = ctx.run(workload, scenario, scheme);
+            table.beginRow();
+            table.cell(workload);
+            table.cell(std::string(schemeName(scheme)));
+            table.cell(r.cpiL2(), 4);
+            table.cell(r.cpiCoalesced(), 4);
+            table.cell(r.cpiWalk(), 4);
+            table.cell(r.translationCpi(), 4);
+        }
+    }
+    table.printAscii(std::cout);
+}
+
+} // namespace atlb::bench
+
+#endif // ANCHORTLB_BENCH_BENCH_CPI_COMMON_HH

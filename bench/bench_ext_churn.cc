@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Extension experiment: mapping churn over a process's lifetime.
+ *
+ * The OS compacts memory, pressure fragments it again, and every change
+ * ends in a shootdown (paper Sections 3.3/4). This bench runs one
+ * workload through a fragmentation -> compaction -> pressure story and
+ * reports per-epoch misses, the dynamic distance trajectory, and the
+ * page-table sweep costs the distance changes incurred.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "sim/churn.hh"
+
+int
+main()
+{
+    using namespace atlb;
+    bench::printHeader(
+        "Extension — mapping churn: fragmentation, compaction, pressure");
+
+    const SimOptions base_opts = bench::figureOptions();
+    ChurnOptions opts;
+    opts.workload = "canneal";
+    opts.footprint_scale = base_opts.footprint_scale;
+    opts.seed = base_opts.seed;
+    opts.mmu = base_opts.mmu;
+
+    const std::uint64_t per_epoch = base_opts.accesses / 8;
+    const std::vector<ChurnEpoch> story = {
+        {ScenarioKind::MedContig, per_epoch, 1},  // steady state
+        {ScenarioKind::MedContig, per_epoch, 2},
+        {ScenarioKind::LowContig, per_epoch, 3},  // co-runner pressure
+        {ScenarioKind::LowContig, per_epoch, 4},
+        {ScenarioKind::MaxContig, per_epoch, 5},  // OS compaction
+        {ScenarioKind::MaxContig, per_epoch, 6},
+        {ScenarioKind::MedContig, per_epoch, 7},  // pressure returns
+        {ScenarioKind::MedContig, per_epoch, 8},
+    };
+
+    for (const Scheme scheme : {Scheme::Base, Scheme::Anchor}) {
+        const ChurnResult r = runMappingChurn(scheme, story, opts);
+        Table table(std::string(schemeName(scheme)) +
+                        ": per-epoch behaviour over the churn story",
+                    {"epoch", "mapping", "misses/1K", "anchor dist",
+                     "changed", "sweep entries"});
+        for (std::size_t i = 0; i < r.epochs.size(); ++i) {
+            const auto &e = r.epochs[i];
+            table.beginRow();
+            table.cell(static_cast<std::uint64_t>(i));
+            table.cell(e.scenario);
+            table.cell(1000.0 * static_cast<double>(e.misses) /
+                           static_cast<double>(e.accesses),
+                       2);
+            table.cell(e.anchor_distance
+                           ? std::to_string(e.anchor_distance)
+                           : std::string("-"));
+            table.cell(std::string(e.distance_changed ? "yes" : ""));
+            table.cell(e.sweep_touched);
+        }
+        table.printAscii(std::cout);
+        std::cout << '\n';
+    }
+    std::cout << "Expected shape: the anchor distance tracks the "
+                 "mapping regime (small under\npressure, huge after "
+                 "compaction) with rare changes; its misses drop to "
+                 "near zero\nin compacted epochs where the baseline "
+                 "stays flat; sweep costs shrink as the\ndistance "
+                 "grows (fewer anchor entries to touch).\n";
+    return 0;
+}

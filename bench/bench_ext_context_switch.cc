@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Extension experiment: TLB warmup under context switching.
+ *
+ * The x86 Linux kernel the paper assumes flushes the TLB on context
+ * switches (Section 3.3). After each flush, a scheme's miss cost is the
+ * number of walks needed to regain coverage of the hot set — one walk
+ * per 4KB entry for the baseline, one per 2MB page for THP, one per
+ * anchor region for hybrid coalescing. This bench sweeps the switch
+ * quantum and shows the coalescing schemes' advantage *growing* as
+ * quanta shrink.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "sim/multiprocess.hh"
+
+int
+main()
+{
+    using namespace atlb;
+    bench::printHeader(
+        "Extension — context-switch quantum sweep (shared TLBs, "
+        "flush on switch)");
+
+    const SimOptions base_opts = bench::figureOptions();
+    const std::vector<ProcessSpec> procs = {
+        {"canneal", ScenarioKind::Demand},
+        {"mcf", ScenarioKind::Demand},
+        {"milc", ScenarioKind::MedContig},
+    };
+
+    Table table("Misses per 1K accesses vs scheduling quantum "
+                "(canneal + mcf + milc)",
+                {"quantum (accesses)", "switches", "Base", "THP",
+                 "Cluster-2MB", "RMM", "Anchor",
+                 "Anchor/Base"});
+
+    for (const std::uint64_t quantum :
+         {200'000ULL, 50'000ULL, 10'000ULL, 2'000ULL}) {
+        MultiProcessOptions opts;
+        opts.total_accesses = base_opts.accesses;
+        opts.quantum_accesses = quantum;
+        opts.seed = base_opts.seed;
+        opts.footprint_scale = base_opts.footprint_scale;
+        opts.mmu = base_opts.mmu;
+
+        double per_k[5] = {0, 0, 0, 0, 0};
+        std::uint64_t switches = 0;
+        const Scheme schemes[5] = {Scheme::Base, Scheme::Thp,
+                                   Scheme::Cluster2MB, Scheme::Rmm,
+                                   Scheme::Anchor};
+        for (int i = 0; i < 5; ++i) {
+            const MultiProcessResult r =
+                runMultiProcess(schemes[i], procs, opts);
+            per_k[i] = r.missesPerKiloAccess();
+            switches = r.context_switches;
+        }
+        table.beginRow();
+        table.cell(quantum);
+        table.cell(switches);
+        for (const double v : per_k)
+            table.cell(v, 2);
+        table.cellPercent(per_k[0] > 0 ? per_k[4] / per_k[0] : 1.0);
+    }
+    table.printAscii(std::cout);
+    std::cout
+        << "\nExpected shape: the baseline hardly notices flushes (its "
+           "capacity misses\ndominate with or without them), while the "
+           "coalescing schemes pay a visible\nwarmup per switch. The "
+           "anchor scheme re-covers a whole anchor block per walk,\nso "
+           "its post-flush warmup is the cheapest (smallest rise vs "
+           "THP/Cluster-2MB)\nand it stays several times better than "
+           "the baseline even at tiny quanta.\n";
+    return 0;
+}

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Extension experiment: hybrid coalescing under virtualization.
+ *
+ * The paper's related work (Section 6) notes that virtualized systems
+ * "exhibit more severe performance drops by TLB misses" because every
+ * miss pays a two-dimensional walk (up to 24 memory references for
+ * 4-level x 4-level paging). Coverage schemes therefore matter *more*
+ * under a hypervisor. This bench runs baseline/THP/anchor natively and
+ * nested (guest mapping x host mapping, anchors clipped to
+ * host-contiguous runs) and reports the CPI amplification.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "mmu/anchor_mmu.hh"
+#include "mmu/baseline_mmu.hh"
+#include "os/distance_selector.hh"
+#include "os/table_builder.hh"
+#include "trace/workload.hh"
+
+namespace
+{
+
+using namespace atlb;
+
+struct Row
+{
+    double native_cpi = 0.0;
+    double nested_cpi = 0.0;
+    std::uint64_t misses = 0;
+};
+
+Row
+runOne(Mmu &mmu, const WorkloadSpec &spec, std::uint64_t accesses,
+       const PageTable *host_table, const MemoryMap *host_map)
+{
+    Row row;
+    {
+        PatternTrace trace(spec, vaOf(0x7f0000000ULL), accesses, 3);
+        const SimResult r =
+            runSimulation(mmu, trace, spec.mem_per_instr);
+        row.native_cpi = r.translationCpi();
+        row.misses = r.misses();
+    }
+    mmu.setNested(host_table, host_map);
+    {
+        PatternTrace trace(spec, vaOf(0x7f0000000ULL), accesses, 3);
+        // Stats accumulate; measure the nested pass alone.
+        const MmuStats before = mmu.stats();
+        MemAccess a;
+        while (trace.next(a))
+            mmu.translate(a.vaddr);
+        const MmuStats &after = mmu.stats();
+        const double instructions =
+            static_cast<double>(after.accesses - before.accesses) /
+            spec.mem_per_instr;
+        row.nested_cpi =
+            static_cast<double>(after.translation_cycles -
+                                before.translation_cycles) /
+            instructions;
+    }
+    return row;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace atlb;
+    bench::printHeader(
+        "Extension — translation CPI native vs nested (virtualized)");
+
+    const SimOptions opts = bench::figureOptions();
+    Table table("canneal & graph500, medium-contiguity guest on a "
+                "demand-paged host",
+                {"workload", "scheme", "native CPI", "nested CPI",
+                 "amplification"});
+
+    for (const char *wl : {"canneal", "graph500"}) {
+        WorkloadSpec spec = findWorkload(wl);
+        spec.footprint_bytes = static_cast<std::uint64_t>(
+            static_cast<double>(spec.footprint_bytes) *
+            opts.footprint_scale);
+
+        ScenarioParams gp;
+        gp.footprint_pages = spec.footprintPages();
+        gp.seed = opts.seed;
+        const MemoryMap guest =
+            buildScenario(ScenarioKind::MedContig, gp);
+
+        // Host: demand-style mapping over the guest-physical space.
+        Ppn max_gpa = 0;
+        for (const Chunk &c : guest.chunks())
+            max_gpa = std::max(max_gpa, c.ppn + c.pages);
+        ScenarioParams hp;
+        hp.footprint_pages = max_gpa + 8;
+        hp.va_base = 0;
+        hp.seed = opts.seed + 99;
+        hp.demand_run_pages = 4096;
+        const MemoryMap host_map =
+            buildScenario(ScenarioKind::Demand, hp);
+        const PageTable host_table = buildPageTable(host_map, true);
+
+        const MmuConfig cfg = opts.mmu;
+        const std::uint64_t accesses = opts.accesses / 2;
+
+        {
+            const PageTable t = buildPageTable(guest, false);
+            BaselineMmu mmu(cfg, t, "base");
+            const Row r =
+                runOne(mmu, spec, accesses, &host_table, &host_map);
+            table.beginRow();
+            table.cell(std::string(wl));
+            table.cell(std::string("Base"));
+            table.cell(r.native_cpi, 4);
+            table.cell(r.nested_cpi, 4);
+            table.cell(r.native_cpi > 0 ? r.nested_cpi / r.native_cpi
+                                        : 0.0,
+                       2);
+        }
+        {
+            const PageTable t = buildPageTable(guest, true);
+            BaselineMmu mmu(cfg, t, "thp");
+            const Row r =
+                runOne(mmu, spec, accesses, &host_table, &host_map);
+            table.beginRow();
+            table.cell(std::string(wl));
+            table.cell(std::string("THP"));
+            table.cell(r.native_cpi, 4);
+            table.cell(r.nested_cpi, 4);
+            table.cell(r.native_cpi > 0 ? r.nested_cpi / r.native_cpi
+                                        : 0.0,
+                       2);
+        }
+        {
+            const std::uint64_t d =
+                selectAnchorDistance(guest.contiguityHistogram())
+                    .distance;
+            PageTable t = buildAnchorPageTable(guest, d);
+            AnchorMmu mmu(cfg, t, d);
+            const Row r =
+                runOne(mmu, spec, accesses, &host_table, &host_map);
+            table.beginRow();
+            table.cell(std::string(wl));
+            table.cell(std::string("Dynamic"));
+            table.cell(r.native_cpi, 4);
+            table.cell(r.nested_cpi, 4);
+            table.cell(r.native_cpi > 0 ? r.nested_cpi / r.native_cpi
+                                        : 0.0,
+                       2);
+        }
+    }
+    table.printAscii(std::cout);
+    std::cout
+        << "\nExpected shape: nesting multiplies every walk's cost "
+           "(~24 refs vs 4), so the\nbaseline's CPI amplifies hardest; "
+           "the anchor scheme, having removed most\nwalks, keeps nested "
+           "translation CPI a small fraction of the nested baseline —\n"
+           "coverage matters even more under a hypervisor (paper "
+           "Section 6).\n";
+    return 0;
+}

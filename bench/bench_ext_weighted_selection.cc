@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Extension experiment: access-weighted, capacity-aware distance
+ * selection.
+ *
+ * The paper notes (Section 5.2.1, the cactusADM case) that Algorithm 1
+ * selects "based on the allocation snapshot, without knowing access
+ * frequency", which can miss the access-weighted optimum. This bench
+ * lets the OS sample the access stream for one profiling epoch, feeds
+ * the per-chunk sample counts into a capacity-aware miss model, and
+ * compares the result with the snapshot selection and the exhaustive
+ * oracle on the medium-contiguity mapping — the regime where the gap
+ * is largest.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "os/access_sampler.hh"
+#include "trace/workload.hh"
+
+int
+main()
+{
+    using namespace atlb;
+    bench::printHeader("Extension — access-weighted capacity-aware "
+                       "distance selection (medium contiguity)");
+
+    ExperimentContext ctx(bench::figureOptions());
+    const SimOptions &opts = ctx.options();
+
+    Table table("Relative TLB misses (%) by selection policy",
+                {"workload", "snapshot d", "snapshot", "sampled d",
+                 "sampled", "oracle d", "oracle"});
+
+    for (const char *workload :
+         {"canneal", "mcf", "cactusADM", "soplex_pds", "omnetpp"}) {
+        const ScenarioKind k = ScenarioKind::MedContig;
+        const std::uint64_t base =
+            ctx.run(workload, k, Scheme::Base).misses();
+
+        // Snapshot selection (the paper's Algorithm 1).
+        const SimResult snap = ctx.run(workload, k, Scheme::Anchor);
+
+        // Profiling epoch: the OS samples the access stream (here:
+        // every 8th access of a short prefix) and selects with the
+        // capacity-aware model.
+        const MemoryMap &map = ctx.mapping(workload, k);
+        AccessSampler sampler(map);
+        WorkloadSpec spec = findWorkload(workload);
+        spec.footprint_bytes = static_cast<std::uint64_t>(
+            static_cast<double>(spec.footprint_bytes) *
+            opts.footprint_scale);
+        PatternTrace profile_trace(
+            spec, vaOf(0x7f0000000ULL),
+            std::min<std::uint64_t>(opts.accesses / 4, 250'000),
+            opts.seed ^ 0x5eed);
+        MemAccess a;
+        std::uint64_t n = 0;
+        while (profile_trace.next(a)) {
+            if ((n++ & 7) == 0)
+                sampler.sample(vpnOf(a.vaddr));
+        }
+        const CapacitySelection sampled = selectAnchorDistanceCapacityAware(
+            sampler.chunkAccesses(), opts.mmu.l2_entries);
+        const SimResult weighted =
+            ctx.run(workload, k, Scheme::Anchor, sampled.distance);
+
+        const SimResult oracle = ctx.run(workload, k, Scheme::AnchorIdeal);
+
+        table.beginRow();
+        table.cell(std::string(workload));
+        table.cell(snap.anchor_distance);
+        table.cellPercent(relativeMisses(snap.misses(), base));
+        table.cell(sampled.distance);
+        table.cellPercent(relativeMisses(weighted.misses(), base));
+        table.cell(oracle.anchor_distance);
+        table.cellPercent(relativeMisses(oracle.misses(), base));
+    }
+    table.printAscii(std::cout);
+    std::cout
+        << "\nExpected shape: for reuse-driven workloads the sampled, "
+           "capacity-aware pick\ntracks the oracle distance and closes "
+           "most of the snapshot-vs-oracle gap\n(mcf typically lands on "
+           "the oracle's distance exactly). Streaming-dominated\n"
+           "workloads (cactusADM) remain hard: their sampled stream has "
+           "no residency\nstructure for the model to exploit — the same "
+           "limitation the paper reports.\n";
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Paper Figure 1: cumulative distributions of mapping chunk sizes for
+ * canneal and raytrace under varying co-runner memory pressure.
+ *
+ * The paper captured pagemaps on 2- and 4-socket machines while random
+ * PARSEC background jobs churned memory. We reproduce the experiment's
+ * structure by sweeping the fragmentation injector's pressure level
+ * ("solo" = pristine pool, then increasingly shattered pools) and
+ * printing the weighted CDF of the resulting chunk-size distribution at
+ * the paper's x-axis points (2^0 .. 2^10 contiguous 4KB pages).
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hh"
+#include "os/scenario.hh"
+#include "stats/table.hh"
+#include "trace/workload.hh"
+
+namespace
+{
+
+using namespace atlb;
+
+/** Pressure sweep: mean free-run length of the pressured pool. */
+const std::uint64_t pressure_runs[] = {0, 2048, 512, 128, 32, 8};
+
+void
+printCdf(const std::string &workload, double scale)
+{
+    const WorkloadSpec &spec = findWorkload(workload);
+    ScenarioParams params;
+    params.footprint_pages = static_cast<std::uint64_t>(
+        static_cast<double>(spec.footprintPages()) * scale);
+    params.seed = 7;
+
+    std::vector<std::string> headers = {"pressure (run pages)"};
+    for (unsigned shift = 0; shift <= 10; ++shift)
+        headers.push_back("<=2^" + std::to_string(shift));
+
+    Table table("Fig.1 " + workload +
+                    ": cumulative fraction of pages in chunks of <= N "
+                    "contiguous 4KB pages",
+                headers);
+    for (const std::uint64_t run : pressure_runs) {
+        const MemoryMap map = buildDemandWithPressure(params, run);
+        const Histogram hist = map.contiguityHistogram();
+        table.beginRow();
+        table.cell(run == 0 ? std::string("solo (pristine)")
+                            : std::to_string(run));
+        for (unsigned shift = 0; shift <= 10; ++shift) {
+            const std::uint64_t limit = 1ULL << shift;
+            std::uint64_t pages_below = 0;
+            for (const auto &[size, count] : hist.entries())
+                if (size <= limit)
+                    pages_below += size * count;
+            table.cellPercent(static_cast<double>(pages_below) /
+                              static_cast<double>(map.mappedPages()));
+        }
+        ++params.seed; // separate run, like a separate capture
+    }
+    table.printAscii(std::cout);
+    std::cout << '\n';
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace atlb;
+    bench::printHeader(
+        "Figure 1 — chunk-size CDFs under diverse memory pressure");
+    const SimOptions opts = bench::figureOptions();
+    printCdf("canneal", opts.footprint_scale);
+    printCdf("raytrace", opts.footprint_scale);
+    std::cout << "Expected shape (paper Fig. 1): the solo run is "
+                 "dominated by large chunks;\nincreasing pressure shifts "
+                 "weight toward small chunks with wide variation\n"
+                 "between runs and no single representative "
+                 "distribution.\n";
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Paper Table 5: L2 TLB hit/miss breakdown for the anchor scheme —
+ * regular-entry hit rate (R.hit), anchor-entry hit rate (A.hit) and L2
+ * miss rate, as fractions of L2-level accesses, for the demand-paging
+ * and medium-contiguity mappings.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "trace/workload.hh"
+
+int
+main()
+{
+    using namespace atlb;
+    bench::printHeader("Table 5 — L2 hit/miss breakdown, anchor scheme");
+    ExperimentContext ctx(bench::figureOptions());
+
+    Table table("Table 5: L2 TLB statistics under hybrid coalescing "
+                "(Dynamic)",
+                {"workload", "demand R.hit", "demand A.hit",
+                 "demand L2 miss", "medium R.hit", "medium A.hit",
+                 "medium L2 miss"});
+
+    for (const auto &workload : paperWorkloadNames()) {
+        const SimResult demand =
+            ctx.run(workload, ScenarioKind::Demand, Scheme::Anchor);
+        const SimResult medium =
+            ctx.run(workload, ScenarioKind::MedContig, Scheme::Anchor);
+        table.beginRow();
+        table.cell(workload);
+        table.cellPercent(demand.regularHitFraction(), 0);
+        table.cellPercent(demand.coalescedHitFraction(), 0);
+        table.cellPercent(demand.l2MissFraction(), 0);
+        table.cellPercent(medium.regularHitFraction(), 0);
+        table.cellPercent(medium.coalescedHitFraction(), 0);
+        table.cellPercent(medium.l2MissFraction(), 0);
+    }
+    table.printAscii(std::cout);
+    std::cout
+        << "\nExpected shape (paper Table 5): under demand paging, 2MB "
+           "pages give large\nR.hit fractions and anchors absorb "
+           "16-55% more; under medium contiguity the\nregular hit rates "
+           "collapse and anchors dominate; gups/graph500 keep large\n"
+           "L2 miss rates in both (53-88% in the paper).\n";
+    return 0;
+}

@@ -1,0 +1,88 @@
+#include "bench_util.hh"
+
+#include <cstdlib>
+#include <iostream>
+
+#include "trace/workload.hh"
+
+namespace atlb::bench
+{
+
+SimOptions
+figureOptions()
+{
+    SimOptions opts = SimOptions::fromEnv();
+    if (!std::getenv("ANCHORTLB_ACCESSES"))
+        opts.accesses = 1'000'000;
+    return opts;
+}
+
+const std::vector<Scheme> &
+comparedSchemes()
+{
+    static const std::vector<Scheme> schemes(std::begin(allSchemes),
+                                             std::end(allSchemes));
+    return schemes;
+}
+
+Table
+relativeMissTable(ExperimentContext &ctx, ScenarioKind scenario,
+                  const std::string &title)
+{
+    std::vector<std::string> headers = {"workload"};
+    for (const Scheme s : comparedSchemes())
+        headers.emplace_back(schemeName(s));
+
+    Table table(title, headers);
+    std::vector<double> sums(comparedSchemes().size(), 0.0);
+    const auto workloads = paperWorkloadNames();
+
+    for (const auto &workload : workloads) {
+        const std::uint64_t base =
+            ctx.run(workload, scenario, Scheme::Base).misses();
+        table.beginRow();
+        table.cell(workload);
+        for (std::size_t i = 0; i < comparedSchemes().size(); ++i) {
+            const SimResult r =
+                ctx.run(workload, scenario, comparedSchemes()[i]);
+            const double rel = relativeMisses(r.misses(), base);
+            sums[i] += rel;
+            table.cellPercent(rel);
+        }
+    }
+    table.beginRow();
+    table.cell(std::string("mean"));
+    for (const double sum : sums)
+        table.cellPercent(sum / static_cast<double>(workloads.size()));
+    return table;
+}
+
+std::vector<double>
+meanRelativeMisses(ExperimentContext &ctx, ScenarioKind scenario)
+{
+    std::vector<double> sums(comparedSchemes().size(), 0.0);
+    const auto workloads = paperWorkloadNames();
+    for (const auto &workload : workloads) {
+        const std::uint64_t base =
+            ctx.run(workload, scenario, Scheme::Base).misses();
+        for (std::size_t i = 0; i < comparedSchemes().size(); ++i) {
+            const SimResult r =
+                ctx.run(workload, scenario, comparedSchemes()[i]);
+            sums[i] += relativeMisses(r.misses(), base);
+        }
+    }
+    for (double &sum : sums)
+        sum /= static_cast<double>(workloads.size());
+    return sums;
+}
+
+void
+printHeader(const std::string &what)
+{
+    std::cout << "\n### " << what << "\n"
+              << "### (shapes comparable to the paper; absolute numbers "
+                 "come from the synthetic substrate — see EXPERIMENTS.md)"
+              << "\n\n";
+}
+
+} // namespace atlb::bench

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Using the library with your own workload and hardware configuration.
+ *
+ * Demonstrates the pieces a downstream user composes:
+ *   1. a WorkloadSpec describing an access-pattern mixture,
+ *   2. a ScenarioParams describing the memory-allocation state,
+ *   3. an MmuConfig describing the TLB hardware,
+ *   4. page-table construction + an MMU + the simulation driver.
+ *
+ * The example models a 2GB in-memory key-value store: a hot index
+ * (pointer chasing), a Zipf-popular value region, and background scans,
+ * on a moderately fragmented machine, and asks: how much translation
+ * time would anchor coalescing save over THP, and what anchor distance
+ * should the OS pick?
+ */
+
+#include <iostream>
+
+#include "mmu/anchor_mmu.hh"
+#include "mmu/baseline_mmu.hh"
+#include "os/distance_selector.hh"
+#include "os/scenario.hh"
+#include "os/table_builder.hh"
+#include "sim/simulator.hh"
+#include "stats/table.hh"
+#include "trace/workload.hh"
+
+int
+main()
+{
+    using namespace atlb;
+
+    // 1. The workload: a synthetic key-value store.
+    WorkloadSpec kv;
+    kv.name = "kvstore";
+    kv.footprint_bytes = 2ULL << 30;
+    kv.mem_per_instr = 0.4;
+    kv.page_reuse = 0.85;
+    kv.phases = {
+        // hash index: dependent chain walks in a ~80MB region
+        {.kind = PatternKind::PointerChase, .weight = 0.5, .burst = 256,
+         .jump_prob = 0.05, .hot_fraction = 0.04},
+        // value lookups: Zipf-popular keys
+        {.kind = PatternKind::Zipf, .weight = 0.35, .burst = 128,
+         .zipf_theta = 0.85},
+        // compaction scans
+        {.kind = PatternKind::Sequential, .weight = 0.15, .burst = 4096,
+         .stride_bytes = 64},
+    };
+
+    // 2. The machine: demand paging on a fragmented box.
+    ScenarioParams machine;
+    machine.footprint_pages = kv.footprintPages();
+    machine.seed = 2026;
+    machine.demand_run_pages = 192; // free runs below THP size
+    machine.map_tail_run_pages = 16;
+    machine.map_tail_fraction = 0.35;
+    const MemoryMap map = buildScenario(ScenarioKind::Demand, machine);
+
+    // 3. What distance would the OS pick for this mapping?
+    const DistanceSelection sel =
+        selectAnchorDistance(map.contiguityHistogram());
+    std::cout << "mapping: " << map.chunks().size()
+              << " chunks over " << (map.mappedPages() >> 18)
+              << "GB; Algorithm 1 picks anchor distance "
+              << sel.distance << " pages\n\n";
+
+    // 4. Simulate THP hardware vs anchor hardware on identical traces.
+    MmuConfig hw; // paper Table 3 defaults
+    const std::uint64_t accesses = 1'000'000;
+
+    PageTable thp_table = buildPageTable(map, true);
+    BaselineMmu thp(hw, thp_table, "thp");
+    PatternTrace trace_a(kv, vaOf(machine.va_base), accesses, 1);
+    const SimResult thp_result =
+        runSimulation(thp, trace_a, kv.mem_per_instr);
+
+    PageTable anchor_table = buildAnchorPageTable(map, sel.distance);
+    AnchorMmu anchor(hw, anchor_table, sel.distance);
+    PatternTrace trace_b(kv, vaOf(machine.va_base), accesses, 1);
+    const SimResult anchor_result =
+        runSimulation(anchor, trace_b, kv.mem_per_instr);
+
+    Table table("kvstore on a fragmented demand-paged host",
+                {"metric", "THP", "anchor (hybrid)"});
+    table.beginRow();
+    table.cell(std::string("TLB misses (page walks)"));
+    table.cell(thp_result.misses());
+    table.cell(anchor_result.misses());
+    table.beginRow();
+    table.cell(std::string("translation CPI"));
+    table.cell(thp_result.translationCpi(), 4);
+    table.cell(anchor_result.translationCpi(), 4);
+    table.beginRow();
+    table.cell(std::string("L2 coalesced-hit share"));
+    table.cellPercent(thp_result.coalescedHitFraction());
+    table.cellPercent(anchor_result.coalescedHitFraction());
+    table.printAscii(std::cout);
+
+    const double saved =
+        thp_result.misses() == 0
+            ? 0.0
+            : 1.0 - static_cast<double>(anchor_result.misses()) /
+                        static_cast<double>(thp_result.misses());
+    std::cout << "\nanchor coalescing removes "
+              << static_cast<int>(saved * 100)
+              << "% of the TLB misses THP leaves behind on this host.\n";
+    return 0;
+}

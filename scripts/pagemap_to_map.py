@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Convert a live process's Linux pagemap into an anchortlb mapping file.
+
+This reproduces the paper's capture methodology (Section 5.1: "we
+periodically captured the virtual to physical memory address mapping on
+the real machine, using the pagemap interface"). Run as root:
+
+    sudo ./pagemap_to_map.py <pid> > proc.map
+    anchortlb inspect-map proc.map
+    anchortlb replay trace.bin --scheme=anchor ...
+
+Output format (see src/os/mapping_io.hh): one chunk per line,
+"<vpn> <ppn> <pages>", where a chunk is a maximal run contiguous in both
+virtual and physical page numbers.
+"""
+
+import struct
+import sys
+
+PAGE_SHIFT = 12
+PM_PRESENT = 1 << 63
+PM_PFN_MASK = (1 << 55) - 1
+
+
+def iter_vmas(pid):
+    """Yield (start_vpn, end_vpn) for each mapped region of the process."""
+    with open(f"/proc/{pid}/maps") as maps:
+        for line in maps:
+            addr_range = line.split()[0]
+            start_s, end_s = addr_range.split("-")
+            yield int(start_s, 16) >> PAGE_SHIFT, int(end_s, 16) >> PAGE_SHIFT
+
+
+def iter_present_pages(pid):
+    """Yield (vpn, pfn) for every present page of the process."""
+    with open(f"/proc/{pid}/pagemap", "rb") as pagemap:
+        for start, end in iter_vmas(pid):
+            pagemap.seek(start * 8)
+            data = pagemap.read((end - start) * 8)
+            for i in range(len(data) // 8):
+                (entry,) = struct.unpack_from("<Q", data, i * 8)
+                if entry & PM_PRESENT:
+                    pfn = entry & PM_PFN_MASK
+                    if pfn:  # zero without CAP_SYS_ADMIN
+                        yield start + i, pfn
+
+
+def main():
+    if len(sys.argv) != 2:
+        sys.exit(f"usage: {sys.argv[0]} <pid>")
+    pid = int(sys.argv[1])
+
+    print(f"# mapping of pid {pid}, captured via /proc/{pid}/pagemap")
+    chunk_vpn = chunk_ppn = pages = 0
+    for vpn, pfn in iter_present_pages(pid):
+        if pages and vpn == chunk_vpn + pages and pfn == chunk_ppn + pages:
+            pages += 1
+            continue
+        if pages:
+            print(chunk_vpn, chunk_ppn, pages)
+        chunk_vpn, chunk_ppn, pages = vpn, pfn, 1
+    if pages:
+        print(chunk_vpn, chunk_ppn, pages)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used across the TLB and allocator code.
+ */
+
+#ifndef ANCHORTLB_COMMON_BITOPS_HH
+#define ANCHORTLB_COMMON_BITOPS_HH
+
+#include <bit>
+#include <cstdint>
+
+namespace atlb
+{
+
+/** True iff @p v is a power of two (0 is not). */
+constexpr bool
+isPow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Floor of log2(v); @p v must be non-zero. */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    return 63u - static_cast<unsigned>(std::countl_zero(v));
+}
+
+/** Ceiling of log2(v); @p v must be non-zero. */
+constexpr unsigned
+ceilLog2(std::uint64_t v)
+{
+    return v == 1 ? 0 : floorLog2(v - 1) + 1;
+}
+
+/** Round @p v down to a multiple of @p align (power of two). */
+constexpr std::uint64_t
+alignDown(std::uint64_t v, std::uint64_t align)
+{
+    return v & ~(align - 1);
+}
+
+/** Round @p v up to a multiple of @p align (power of two). */
+constexpr std::uint64_t
+alignUp(std::uint64_t v, std::uint64_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+/** True iff @p v is a multiple of @p align (power of two). */
+constexpr bool
+isAligned(std::uint64_t v, std::uint64_t align)
+{
+    return (v & (align - 1)) == 0;
+}
+
+/** Smallest power of two >= @p v (v must be >= 1). */
+constexpr std::uint64_t
+nextPow2(std::uint64_t v)
+{
+    return 1ULL << ceilLog2(v);
+}
+
+/** Largest power of two <= @p v (v must be >= 1). */
+constexpr std::uint64_t
+prevPow2(std::uint64_t v)
+{
+    return 1ULL << floorLog2(v);
+}
+
+} // namespace atlb
+
+#endif // ANCHORTLB_COMMON_BITOPS_HH

@@ -1,0 +1,56 @@
+#include "logging.hh"
+
+#include <cstdlib>
+#include <iostream>
+#include <stdexcept>
+
+namespace atlb::detail
+{
+
+namespace
+{
+
+// Tests flip this to capture fatal paths without killing the process.
+bool throw_on_error = false;
+
+} // namespace
+
+void
+setThrowOnError(bool enable)
+{
+    throw_on_error = enable;
+}
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "panic: " << msg << " @ " << file << ":" << line
+              << std::endl;
+    if (throw_on_error)
+        throw std::logic_error("panic: " + msg);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "fatal: " << msg << " @ " << file << ":" << line
+              << std::endl;
+    if (throw_on_error)
+        throw std::runtime_error("fatal: " + msg);
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    std::cerr << "warn: " << msg << std::endl;
+}
+
+void
+informImpl(const std::string &msg)
+{
+    std::cerr << "info: " << msg << std::endl;
+}
+
+} // namespace atlb::detail

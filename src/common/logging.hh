@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Minimal gem5-style status and error reporting.
+ *
+ * - panic():  invariant violation inside the simulator itself (a bug);
+ *             aborts so a debugger/core dump sees the failure point.
+ * - fatal():  unrecoverable user/configuration error; exits with code 1.
+ * - warn():   something questionable but survivable.
+ * - inform(): plain status output.
+ *
+ * Messages accept printf-free '{}' style interpolation via a tiny
+ * formatter to avoid dragging in a dependency.
+ */
+
+#ifndef ANCHORTLB_COMMON_LOGGING_HH
+#define ANCHORTLB_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace atlb
+{
+
+namespace detail
+{
+
+inline void
+formatInto(std::ostringstream &os, std::string_view fmt)
+{
+    os << fmt;
+}
+
+template <typename T, typename... Rest>
+void
+formatInto(std::ostringstream &os, std::string_view fmt, const T &head,
+           const Rest &...rest)
+{
+    const auto pos = fmt.find("{}");
+    if (pos == std::string_view::npos) {
+        os << fmt;
+        return;
+    }
+    os << fmt.substr(0, pos) << head;
+    formatInto(os, fmt.substr(pos + 2), rest...);
+}
+
+/**
+ * Test hook: when enabled, panic/fatal throw std::logic_error /
+ * std::runtime_error instead of terminating the process.
+ */
+void setThrowOnError(bool enable);
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/** Format '{}' placeholders with the remaining arguments. */
+template <typename... Args>
+std::string
+format(std::string_view fmt, const Args &...args)
+{
+    std::ostringstream os;
+    detail::formatInto(os, fmt, args...);
+    return os.str();
+}
+
+template <typename... Args>
+[[noreturn]] void
+panicAt(const char *file, int line, std::string_view fmt,
+        const Args &...args)
+{
+    detail::panicImpl(file, line, format(fmt, args...));
+}
+
+template <typename... Args>
+[[noreturn]] void
+fatalAt(const char *file, int line, std::string_view fmt,
+        const Args &...args)
+{
+    detail::fatalImpl(file, line, format(fmt, args...));
+}
+
+/** Report a survivable anomaly to stderr. */
+template <typename... Args>
+void
+warn(std::string_view fmt, const Args &...args)
+{
+    detail::warnImpl(format(fmt, args...));
+}
+
+/** Report plain status to stderr. */
+template <typename... Args>
+void
+inform(std::string_view fmt, const Args &...args)
+{
+    detail::informImpl(format(fmt, args...));
+}
+
+} // namespace atlb
+
+/** Abort on a simulator bug; never returns. */
+#define ATLB_PANIC(...) ::atlb::panicAt(__FILE__, __LINE__, __VA_ARGS__)
+/** Exit(1) on an unrecoverable user/config error; never returns. */
+#define ATLB_FATAL(...) ::atlb::fatalAt(__FILE__, __LINE__, __VA_ARGS__)
+/** Panic unless @p cond holds. */
+#define ATLB_ASSERT(cond, ...)                                              \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            ATLB_PANIC("assertion failed: " #cond " -- " __VA_ARGS__);      \
+    } while (0)
+
+#endif // ANCHORTLB_COMMON_LOGGING_HH

@@ -1,0 +1,121 @@
+#include "rng.hh"
+
+#include <cmath>
+
+namespace atlb
+{
+
+namespace
+{
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+std::uint64_t
+Rng::splitMix64(std::uint64_t &x)
+{
+    std::uint64_t z = (x += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed)
+{
+    reseed(seed);
+}
+
+void
+Rng::reseed(std::uint64_t seed)
+{
+    std::uint64_t x = seed;
+    for (auto &s : state_)
+        s = splitMix64(x);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Rng::nextBounded(std::uint64_t bound)
+{
+    // Lemire-style rejection-free bounded sampling via 128-bit multiply;
+    // bias is negligible (< 2^-64 per draw) for simulation purposes.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+}
+
+std::uint64_t
+Rng::nextRange(std::uint64_t lo, std::uint64_t hi)
+{
+    return lo + nextBounded(hi - lo + 1);
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+std::uint64_t
+Rng::nextZipf(std::uint64_t n, double theta)
+{
+    // Inverse-CDF approximation for the continuous analogue of Zipf:
+    // cheap and monotone, adequate for generating skewed reuse patterns.
+    if (n <= 1)
+        return 0;
+    const double u = nextDouble();
+    if (theta == 1.0) {
+        const double r = std::pow(static_cast<double>(n), u) - 1.0;
+        const std::uint64_t v = static_cast<std::uint64_t>(r);
+        return v >= n ? n - 1 : v;
+    }
+    const double one_minus = 1.0 - theta;
+    const double np = std::pow(static_cast<double>(n), one_minus);
+    const double r = std::pow(u * (np - 1.0) + 1.0, 1.0 / one_minus) - 1.0;
+    const std::uint64_t v = static_cast<std::uint64_t>(r);
+    return v >= n ? n - 1 : v;
+}
+
+std::uint64_t
+Rng::nextGeometric(double mean, std::uint64_t cap)
+{
+    if (mean <= 1.0)
+        return 1;
+    const double u = nextDouble();
+    const double p = 1.0 / mean;
+    // Inverse CDF of the geometric distribution on {1, 2, ...}.
+    const double r = std::log1p(-u) / std::log1p(-p);
+    std::uint64_t v = static_cast<std::uint64_t>(r) + 1;
+    if (v > cap)
+        v = cap;
+    if (v < 1)
+        v = 1;
+    return v;
+}
+
+} // namespace atlb

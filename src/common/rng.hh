@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic behaviour in the simulator (workload address streams,
+ * fragmentation injection, synthetic chunk sizing) flows through Rng so
+ * that every experiment is exactly reproducible from its seed. The
+ * implementation is xoshiro256**, seeded via SplitMix64, which is fast
+ * enough to sit on the trace-generation hot path.
+ */
+
+#ifndef ANCHORTLB_COMMON_RNG_HH
+#define ANCHORTLB_COMMON_RNG_HH
+
+#include <array>
+#include <cstdint>
+
+namespace atlb
+{
+
+/**
+ * Deterministic 64-bit PRNG (xoshiro256**) with convenience samplers.
+ *
+ * Satisfies the UniformRandomBitGenerator concept so it can also be used
+ * with <random> distributions where convenient.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Construct from a seed; equal seeds yield equal streams. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ULL; }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t operator()() { return next(); }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound); @p bound must be non-zero. */
+    std::uint64_t nextBounded(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive; requires lo <= hi. */
+    std::uint64_t nextRange(std::uint64_t lo, std::uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli draw with probability @p p of true. */
+    bool nextBool(double p);
+
+    /**
+     * Sample from a truncated Zipf-like distribution over [0, n):
+     * rank r has weight 1 / (r + 1)^theta. Used for skewed page reuse.
+     */
+    std::uint64_t nextZipf(std::uint64_t n, double theta);
+
+    /**
+     * Approximately geometric sample with mean @p mean, clamped to
+     * [1, cap]. Used for chunk/burst sizing.
+     */
+    std::uint64_t nextGeometric(double mean, std::uint64_t cap);
+
+    /** Re-seed, resetting the stream. */
+    void reseed(std::uint64_t seed);
+
+  private:
+    std::array<std::uint64_t, 4> state_;
+
+    static std::uint64_t splitMix64(std::uint64_t &x);
+};
+
+} // namespace atlb
+
+#endif // ANCHORTLB_COMMON_RNG_HH

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Fundamental address and page types shared by every module.
+ *
+ * The simulator models an x86-64-like virtual memory system with 4KB base
+ * pages and 2MB huge pages. Addresses are byte addresses; page numbers are
+ * addresses shifted by the page-offset width. We use distinct (but plain)
+ * integer aliases rather than strong types to keep the hot translation path
+ * free of wrapper overhead; functions that convert between the domains live
+ * in this header so the conversions are named and auditable.
+ */
+
+#ifndef ANCHORTLB_COMMON_TYPES_HH
+#define ANCHORTLB_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace atlb
+{
+
+/** Byte-granularity virtual address. */
+using VirtAddr = std::uint64_t;
+/** Byte-granularity physical address. */
+using PhysAddr = std::uint64_t;
+/** Virtual page number (VirtAddr >> pageShift). */
+using Vpn = std::uint64_t;
+/** Physical page number (PhysAddr >> pageShift). */
+using Ppn = std::uint64_t;
+/** Simulation cycle count. */
+using Cycles = std::uint64_t;
+
+/** log2 of the base page size (4KB pages). */
+constexpr unsigned pageShift = 12;
+/** Base page size in bytes. */
+constexpr std::uint64_t pageBytes = 1ULL << pageShift;
+/** Number of base pages per 2MB huge page. */
+constexpr std::uint64_t hugePages = 512;
+/** log2 of the number of base pages per huge page. */
+constexpr unsigned hugeShift = 9;
+/** Huge (2MB) page size in bytes. */
+constexpr std::uint64_t hugeBytes = pageBytes * hugePages;
+
+/** Number of base pages per 1GB giant page. */
+constexpr std::uint64_t giantPages = 512 * 512;
+/** log2 of the number of base pages per giant page. */
+constexpr unsigned giantShift = 18;
+/** Giant (1GB) page size in bytes. */
+constexpr std::uint64_t giantBytes = pageBytes * giantPages;
+
+/** Sentinel for "no physical page". */
+constexpr Ppn invalidPpn = ~0ULL;
+/** Sentinel for "no virtual page". */
+constexpr Vpn invalidVpn = ~0ULL;
+
+/** Extract the virtual page number from a virtual address. */
+constexpr Vpn
+vpnOf(VirtAddr va)
+{
+    return va >> pageShift;
+}
+
+/** Extract the physical page number from a physical address. */
+constexpr Ppn
+ppnOf(PhysAddr pa)
+{
+    return pa >> pageShift;
+}
+
+/** Byte offset within a base page. */
+constexpr std::uint64_t
+pageOffset(VirtAddr va)
+{
+    return va & (pageBytes - 1);
+}
+
+/** First byte address of a virtual page. */
+constexpr VirtAddr
+vaOf(Vpn vpn)
+{
+    return vpn << pageShift;
+}
+
+/** First byte address of a physical page. */
+constexpr PhysAddr
+paOf(Ppn ppn)
+{
+    return ppn << pageShift;
+}
+
+/** Page sizes supported by the translation hardware. */
+enum class PageSize : std::uint8_t
+{
+    Base4K,  //!< 4KB base page
+    Huge2M,  //!< 2MB huge page
+    Giant1G, //!< 1GB giant page
+};
+
+/** Number of base pages covered by a translation of the given size. */
+constexpr std::uint64_t
+pagesCovered(PageSize size)
+{
+    switch (size) {
+      case PageSize::Base4K: return 1;
+      case PageSize::Huge2M: return hugePages;
+      case PageSize::Giant1G: return giantPages;
+    }
+    return 1;
+}
+
+} // namespace atlb
+
+#endif // ANCHORTLB_COMMON_TYPES_HH

@@ -1,0 +1,182 @@
+#include "buddy_allocator.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace atlb
+{
+
+BuddyAllocator::BuddyAllocator(std::uint64_t total_pages, unsigned max_order)
+    : total_pages_(total_pages), max_order_(max_order),
+      free_lists_(max_order + 1)
+{
+    ATLB_ASSERT(max_order < 40, "absurd max order {}", max_order);
+    // Seed the pool greedily with the largest aligned blocks that fit.
+    Ppn base = 0;
+    std::uint64_t remaining = total_pages;
+    while (remaining > 0) {
+        unsigned order = max_order_;
+        while (order > 0 &&
+               ((1ULL << order) > remaining || !isAligned(base, 1ULL << order)))
+            --order;
+        free_lists_[order].insert(base);
+        free_pages_ += 1ULL << order;
+        base += 1ULL << order;
+        remaining -= 1ULL << order;
+    }
+}
+
+Ppn
+BuddyAllocator::allocate(unsigned order)
+{
+    if (order > max_order_)
+        return invalidPpn;
+    // Address-ordered first fit: among all blocks large enough, take the
+    // lowest-address one. This makes sequential allocations walk free
+    // runs in address order, so consecutive faults land on consecutive
+    // frames whenever the pool permits — the behaviour that gives
+    // demand/eager paging their mapping contiguity.
+    unsigned avail = max_order_ + 1;
+    Ppn best = invalidPpn;
+    for (unsigned o = order; o <= max_order_; ++o) {
+        if (free_lists_[o].empty())
+            continue;
+        const Ppn base = *free_lists_[o].begin();
+        if (base < best) {
+            best = base;
+            avail = o;
+        }
+    }
+    if (avail > max_order_)
+        return invalidPpn;
+
+    const Ppn base = best;
+    free_lists_[avail].erase(free_lists_[avail].begin());
+    // Split down to the requested order, returning the low half each time
+    // and freeing the high half (buddy) at each level.
+    while (avail > order) {
+        --avail;
+        free_lists_[avail].insert(base + (1ULL << avail));
+    }
+    free_pages_ -= 1ULL << order;
+    return base;
+}
+
+Ppn
+BuddyAllocator::allocateLargest(unsigned max_order_wanted, unsigned &got_order)
+{
+    if (max_order_wanted > max_order_)
+        max_order_wanted = max_order_;
+    for (int order = static_cast<int>(max_order_wanted); order >= 0;
+         --order) {
+        if (!free_lists_[order].empty()) {
+            got_order = static_cast<unsigned>(order);
+            const Ppn base = *free_lists_[order].begin();
+            free_lists_[order].erase(free_lists_[order].begin());
+            free_pages_ -= 1ULL << got_order;
+            return base;
+        }
+    }
+    // No block <= wanted size free: fall back to splitting a larger one.
+    const Ppn base = allocate(max_order_wanted);
+    if (base != invalidPpn)
+        got_order = max_order_wanted;
+    return base;
+}
+
+void
+BuddyAllocator::free(Ppn base, unsigned order)
+{
+    ATLB_ASSERT(order <= max_order_, "free of order {} > max {}", order,
+                max_order_);
+    ATLB_ASSERT(isAligned(base, 1ULL << order),
+                "free of misaligned block {} order {}", base, order);
+    ATLB_ASSERT(base + (1ULL << order) <= total_pages_,
+                "free past end of pool");
+    free_pages_ += 1ULL << order;
+    // Coalesce with the buddy while it is free, up to max order.
+    while (order < max_order_) {
+        const Ppn buddy = base ^ (1ULL << order);
+        auto &list = free_lists_[order];
+        const auto it = list.find(buddy);
+        if (it == list.end())
+            break;
+        list.erase(it);
+        base = std::min(base, buddy);
+        ++order;
+    }
+    const bool inserted = free_lists_[order].insert(base).second;
+    ATLB_ASSERT(inserted, "double free of block {} order {}", base, order);
+}
+
+std::uint64_t
+BuddyAllocator::freeBlocksAt(unsigned order) const
+{
+    ATLB_ASSERT(order <= max_order_, "order out of range");
+    return free_lists_[order].size();
+}
+
+int
+BuddyAllocator::largestFreeOrder() const
+{
+    for (int order = static_cast<int>(max_order_); order >= 0; --order)
+        if (!free_lists_[order].empty())
+            return order;
+    return -1;
+}
+
+Histogram
+BuddyAllocator::freeBlockHistogram() const
+{
+    Histogram h;
+    for (unsigned order = 0; order <= max_order_; ++order) {
+        if (!free_lists_[order].empty())
+            h.add(1ULL << order, free_lists_[order].size());
+    }
+    return h;
+}
+
+bool
+BuddyAllocator::isFree(Ppn base, unsigned order) const
+{
+    return free_lists_[order].count(base) > 0;
+}
+
+bool
+BuddyAllocator::checkInvariants() const
+{
+    std::uint64_t counted = 0;
+    Ppn prev_end = 0;
+    bool first = true;
+    // Collect all (base, order) and verify alignment and disjointness.
+    std::vector<std::pair<Ppn, unsigned>> blocks;
+    for (unsigned order = 0; order <= max_order_; ++order) {
+        for (const Ppn base : free_lists_[order]) {
+            if (!isAligned(base, 1ULL << order))
+                return false;
+            blocks.emplace_back(base, order);
+            counted += 1ULL << order;
+        }
+    }
+    if (counted != free_pages_)
+        return false;
+    std::sort(blocks.begin(), blocks.end());
+    for (const auto &[base, order] : blocks) {
+        if (!first && base < prev_end)
+            return false; // overlap
+        prev_end = base + (1ULL << order);
+        first = false;
+        if (prev_end > total_pages_)
+            return false;
+        // A free block must not have a free buddy (should have coalesced),
+        // unless it is already at max order.
+        if (order < max_order_ && isFree(base ^ (1ULL << order), order))
+            return false;
+    }
+    return true;
+}
+
+} // namespace atlb

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Binary buddy allocator over a physical page-frame pool.
+ *
+ * This is the physical-memory substrate beneath the OS model: demand and
+ * eager paging both draw frames from here, and the fragmentation injector
+ * (see fragmenter.hh) manipulates its free lists to emulate the diverse
+ * allocation states the paper measures on real machines (Fig. 1).
+ *
+ * Blocks of order k contain 2^k contiguous frames and are 2^k-aligned,
+ * matching the Linux page allocator's invariants. Allocation is
+ * lowest-address-first, which (as on real systems) makes successive
+ * allocations likely to be physically adjacent, so virtual-address-
+ * sequential faults can merge into contiguity runs larger than any single
+ * buddy block.
+ */
+
+#ifndef ANCHORTLB_MEM_BUDDY_ALLOCATOR_HH
+#define ANCHORTLB_MEM_BUDDY_ALLOCATOR_HH
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "common/types.hh"
+#include "stats/histogram.hh"
+
+namespace atlb
+{
+
+/** Binary buddy allocator managing frames [0, totalPages). */
+class BuddyAllocator
+{
+  public:
+    /** Default maximum block order (2^16 pages = 256MB). */
+    static constexpr unsigned defaultMaxOrder = 16;
+
+    /**
+     * Create an allocator over @p total_pages frames.
+     *
+     * @param total_pages pool size in 4KB frames; need not be a power of
+     *                    two — the pool is seeded with the maximal blocks
+     *                    that tile it.
+     * @param max_order   largest supported block order.
+     */
+    explicit BuddyAllocator(std::uint64_t total_pages,
+                            unsigned max_order = defaultMaxOrder);
+
+    /**
+     * Allocate a block of 2^order frames.
+     * @return base frame number, or invalidPpn if no memory.
+     */
+    Ppn allocate(unsigned order);
+
+    /**
+     * Allocate the largest available block of order <= @p max_order_wanted.
+     * @param[out] got_order the order actually allocated.
+     * @return base frame number, or invalidPpn if the pool is empty.
+     */
+    Ppn allocateLargest(unsigned max_order_wanted, unsigned &got_order);
+
+    /**
+     * Free a block previously returned by allocate()/allocateLargest().
+     * The base must be 2^order aligned. Buddies coalesce eagerly.
+     */
+    void free(Ppn base, unsigned order);
+
+    /** Frames currently free. */
+    std::uint64_t freePages() const { return free_pages_; }
+
+    /** Frames in the pool. */
+    std::uint64_t totalPages() const { return total_pages_; }
+
+    /** Number of free blocks at @p order. */
+    std::uint64_t freeBlocksAt(unsigned order) const;
+
+    /** Largest order with at least one free block; -1 if none. */
+    int largestFreeOrder() const;
+
+    /** Histogram of free block sizes in pages (key = 2^order). */
+    Histogram freeBlockHistogram() const;
+
+    unsigned maxOrder() const { return max_order_; }
+
+    /** Internal consistency check (tests): free lists sane, no overlap. */
+    bool checkInvariants() const;
+
+  private:
+    std::uint64_t total_pages_;
+    unsigned max_order_;
+    std::uint64_t free_pages_ = 0;
+    /** Per-order ordered free lists; ordered => deterministic policy. */
+    std::vector<std::set<Ppn>> free_lists_;
+
+    bool isFree(Ppn base, unsigned order) const;
+};
+
+} // namespace atlb
+
+#endif // ANCHORTLB_MEM_BUDDY_ALLOCATOR_HH

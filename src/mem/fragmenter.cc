@@ -1,0 +1,145 @@
+#include "fragmenter.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace atlb
+{
+
+Fragmenter::Fragmenter(BuddyAllocator &buddy, Rng &rng)
+    : buddy_(buddy), rng_(rng)
+{
+}
+
+Fragmenter::~Fragmenter()
+{
+    releaseAll();
+}
+
+void
+Fragmenter::pinRun(Ppn base, std::uint64_t pages)
+{
+    // Record the pinned run as aligned buddy blocks so releaseAll() can
+    // hand them back with valid (base, order) pairs.
+    while (pages > 0) {
+        unsigned order = static_cast<unsigned>(
+            std::min<std::uint64_t>(std::countr_zero(base | (1ULL << 63)),
+                                    floorLog2(pages)));
+        order = std::min(order, buddy_.maxOrder());
+        pinned_.emplace_back(base, order);
+        pinned_pages_ += 1ULL << order;
+        base += 1ULL << order;
+        pages -= 1ULL << order;
+    }
+}
+
+namespace
+{
+
+/** Free an arbitrary run back to the buddy as maximal aligned blocks. */
+void
+freeRun(BuddyAllocator &buddy, Ppn base, std::uint64_t pages)
+{
+    while (pages > 0) {
+        unsigned order = static_cast<unsigned>(
+            std::min<std::uint64_t>(std::countr_zero(base | (1ULL << 63)),
+                                    floorLog2(pages)));
+        order = std::min(order, buddy.maxOrder());
+        buddy.free(base, order);
+        base += 1ULL << order;
+        pages -= 1ULL << order;
+    }
+}
+
+} // namespace
+
+void
+Fragmenter::apply(const FragmentProfile &profile)
+{
+    ATLB_ASSERT(!applied_, "Fragmenter::apply() called twice");
+    applied_ = true;
+    if (profile.mean_free_run_pages == 0)
+        return; // pristine pool requested
+
+    // Drain the entire pool so we control the exact layout of free space.
+    std::vector<std::pair<Ppn, std::uint64_t>> spans; // (base, pages)
+    for (;;) {
+        unsigned order = 0;
+        const Ppn base = buddy_.allocateLargest(buddy_.maxOrder(), order);
+        if (base == invalidPpn)
+            break;
+        spans.emplace_back(base, 1ULL << order);
+    }
+    std::sort(spans.begin(), spans.end());
+    // Merge adjacent spans so runs can cross buddy block boundaries.
+    std::vector<std::pair<Ppn, std::uint64_t>> merged;
+    for (const auto &[base, pages] : spans) {
+        if (!merged.empty() &&
+            merged.back().first + merged.back().second == base) {
+            merged.back().second += pages;
+        } else {
+            merged.emplace_back(base, pages);
+        }
+    }
+
+    const std::uint64_t pin_budget = static_cast<std::uint64_t>(
+        static_cast<double>(buddy_.totalPages()) *
+        profile.max_pinned_fraction);
+
+    // tail_fraction is a *page*-weighted mix: convert it to a per-run
+    // probability (small runs must be drawn far more often to hold the
+    // same number of pages as large ones).
+    double tail_run_prob = 0.0;
+    if (profile.tail_run_pages != 0 && profile.tail_fraction > 0.0) {
+        const double tf = profile.tail_fraction;
+        const double primary =
+            static_cast<double>(profile.mean_free_run_pages);
+        const double tail = static_cast<double>(profile.tail_run_pages);
+        tail_run_prob =
+            tf * primary / (tf * primary + (1.0 - tf) * tail);
+    }
+
+    // Carve each span into [free run][1-page pinned separator] repeats.
+    for (const auto &[span_base, span_pages] : merged) {
+        Ppn cur = span_base;
+        std::uint64_t remaining = span_pages;
+        while (remaining > 0) {
+            std::uint64_t mean = profile.mean_free_run_pages;
+            if (tail_run_prob > 0.0 && rng_.nextBool(tail_run_prob))
+                mean = profile.tail_run_pages;
+            std::uint64_t run =
+                profile.randomize
+                    ? rng_.nextGeometric(static_cast<double>(mean),
+                                         remaining)
+                    : std::min(mean, remaining);
+            if (run == 0)
+                run = 1;
+            if (pinned_pages_ >= pin_budget || run >= remaining) {
+                // Budget exhausted or span tail: leave the rest free.
+                freeRun(buddy_, cur, remaining);
+                break;
+            }
+            freeRun(buddy_, cur, run);
+            cur += run;
+            remaining -= run;
+            // Pin a single separator frame to cap the free run.
+            pinRun(cur, 1);
+            cur += 1;
+            remaining -= 1;
+        }
+    }
+}
+
+void
+Fragmenter::releaseAll()
+{
+    for (const auto &[base, order] : pinned_)
+        buddy_.free(base, order);
+    pinned_.clear();
+    pinned_pages_ = 0;
+}
+
+} // namespace atlb

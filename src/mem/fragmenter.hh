@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Fragmentation injector for the physical page pool.
+ *
+ * The paper's mappings come from real multi-socket machines whose memory
+ * was pressured by random background jobs (Section 2.3, Fig. 1). We stand
+ * in for that machinery by carving the buddy pool into free runs of a
+ * target length separated by pinned "background" frames, so that the OS
+ * model subsequently allocates chunk distributions with a controlled
+ * contiguity profile.
+ */
+
+#ifndef ANCHORTLB_MEM_FRAGMENTER_HH
+#define ANCHORTLB_MEM_FRAGMENTER_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "mem/buddy_allocator.hh"
+
+namespace atlb
+{
+
+/** Parameters describing a fragmentation state to inject. */
+struct FragmentProfile
+{
+    /**
+     * Mean length, in 4KB pages, of the free runs that survive injection.
+     * Large values leave the pool nearly pristine; 1 shatters it to
+     * single pages. 0 disables injection entirely.
+     */
+    std::uint64_t mean_free_run_pages = 0;
+
+    /**
+     * Optional secondary run scale: with probability @c tail_fraction a
+     * free run is drawn around @c tail_run_pages instead of the primary
+     * mean. Real machines show such multi-scale mixtures (paper Fig. 1:
+     * a few huge runs plus a long tail of small ones).
+     */
+    std::uint64_t tail_run_pages = 0;
+    double tail_fraction = 0.0;
+
+    /**
+     * Fraction of the pool the injector may pin as background memory.
+     * Pinned frames stay allocated for the lifetime of the scenario.
+     */
+    double max_pinned_fraction = 0.35;
+
+    /** Randomize run lengths geometrically around the mean. */
+    bool randomize = true;
+};
+
+/**
+ * Injects fragmentation into a BuddyAllocator and owns the pinned frames.
+ *
+ * After apply(), the allocator's free space consists of runs whose length
+ * distribution is centred on the profile's mean, emulating a machine whose
+ * memory has been churned by co-running jobs.
+ */
+class Fragmenter
+{
+  public:
+    Fragmenter(BuddyAllocator &buddy, Rng &rng);
+
+    /** Carve the pool according to @p profile. May be called once. */
+    void apply(const FragmentProfile &profile);
+
+    /** Frames pinned as background memory. */
+    std::uint64_t pinnedPages() const { return pinned_pages_; }
+
+    /** Release all pinned frames back to the pool. */
+    void releaseAll();
+
+    ~Fragmenter();
+
+    Fragmenter(const Fragmenter &) = delete;
+    Fragmenter &operator=(const Fragmenter &) = delete;
+
+  private:
+    BuddyAllocator &buddy_;
+    Rng &rng_;
+    bool applied_ = false;
+    std::uint64_t pinned_pages_ = 0;
+    /** Pinned blocks as (base, order). */
+    std::vector<std::pair<Ppn, unsigned>> pinned_;
+
+    void pinRun(Ppn base, std::uint64_t pages);
+};
+
+} // namespace atlb
+
+#endif // ANCHORTLB_MEM_FRAGMENTER_HH

@@ -1,0 +1,137 @@
+#include "anchor_mmu.hh"
+
+#include <algorithm>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "os/memory_map.hh"
+#include "os/page_table.hh"
+
+namespace atlb
+{
+
+AnchorMmu::AnchorMmu(const MmuConfig &config, const PageTable &table,
+                     std::uint64_t distance, std::string name)
+    : Mmu(config, table, std::move(name)),
+      l2_(config.l2_entries, config.l2_ways, this->name() + ".l2"),
+      distance_(distance), distance_log2_(floorLog2(distance))
+{
+    ATLB_ASSERT(isPow2(distance) && distance >= 2 &&
+                    distance <= config.max_contiguity,
+                "bad anchor distance {}", distance);
+}
+
+void
+AnchorMmu::switchProcess(const ProcessContext &ctx)
+{
+    ATLB_ASSERT(ctx.anchor_distance != 0,
+                "anchor scheme needs a per-process distance");
+    setDistance(ctx.anchor_distance);
+    Mmu::switchProcess(ctx);
+}
+
+void
+AnchorMmu::setDistance(std::uint64_t distance)
+{
+    ATLB_ASSERT(isPow2(distance) && distance >= 2 &&
+                    distance <= config_.max_contiguity,
+                "bad anchor distance {}", distance);
+    distance_ = distance;
+    distance_log2_ = floorLog2(distance);
+    flushAll();
+}
+
+TranslationResult
+AnchorMmu::translateL2(Vpn vpn)
+{
+    // Regular entries first (4KB, then 2MB), sharing the unified L2.
+    if (const TlbEntry *e = l2_.lookup(EntryKind::Page4K, vpn)) {
+        return {e->ppn, config_.l2_hit_cycles, HitLevel::L2Regular,
+                PageSize::Base4K};
+    }
+    if (const TlbEntry *e = l2_.lookup(EntryKind::Page2M, vpn >> hugeShift)) {
+        return {e->ppn + (vpn & (hugePages - 1)), config_.l2_hit_cycles,
+                HitLevel::L2Regular, PageSize::Huge2M};
+    }
+
+    const Vpn avpn = anchorOf(vpn);
+    const std::uint64_t offset = vpn - avpn;
+    bool anchor_entry_present = false;
+    if (const TlbEntry *e = l2_.lookup(EntryKind::Anchor, anchorKey(avpn))) {
+        anchor_entry_present = true;
+        if (offset < e->aux) {
+            ++anchor_stats_.anchor_hits;
+            return {e->ppn + offset, config_.coalesced_hit_cycles,
+                    HitLevel::Coalesced, PageSize::Base4K};
+        }
+        // Anchor cached but this VPN lies beyond its contiguity: the
+        // translation exists only in the regular PTE (Table 2, row 3).
+        ++anchor_stats_.anchor_partial_misses;
+    }
+
+    TranslationResult res =
+        walkPageTable(vpn, config_.coalesced_hit_cycles);
+
+    // The walker also fetched the anchor entry (same or nearby cache
+    // line); decide which single entry to fill (Table 2, rows 3-5).
+    // Huge-mapped pages can be anchor-covered too: an anchor whose run
+    // spans THP pages translates them like any other page of the run.
+    std::uint64_t contig = table_->anchorContiguity(avpn, distance_);
+    if (nested() && contig > 0) {
+        // Guest contiguity only helps if the guest-physical run is
+        // also host-contiguous: clip to the host run from the anchor's
+        // GPA (the hypervisor exposes this like the guest OS exposes
+        // its own contiguity).
+        const Ppn anchor_gpa = res.guest_ppn - offset;
+        contig = std::min(contig, host_map_->contiguityFrom(anchor_gpa));
+    }
+    const bool covered = offset < contig;
+
+    if (covered && !anchor_entry_present) {
+        TlbEntry e;
+        e.valid = true;
+        e.kind = EntryKind::Anchor;
+        e.key = anchorKey(avpn);
+        // Physical frame of the anchor page itself: the requested frame
+        // minus the in-run offset (both lie in the same contiguous run).
+        e.ppn = res.ppn - offset;
+        e.aux = static_cast<std::uint32_t>(contig);
+        l2_.insert(e);
+        ++anchor_stats_.anchor_fills;
+    } else if (!covered) {
+        TlbEntry e;
+        e.valid = true;
+        if (res.size == PageSize::Huge2M) {
+            e.kind = EntryKind::Page2M;
+            e.key = vpn >> hugeShift;
+            e.ppn = res.ppn - (vpn & (hugePages - 1));
+        } else {
+            e.kind = EntryKind::Page4K;
+            e.key = vpn;
+            e.ppn = res.ppn;
+        }
+        l2_.insert(e);
+        ++anchor_stats_.regular_fills;
+    }
+    // covered && anchor_entry_present (Table 2 row 3 after the walk):
+    // the anchor is already cached; nothing new to insert.
+    return res;
+}
+
+void
+AnchorMmu::flushAll()
+{
+    Mmu::flushAll();
+    l2_.flush();
+}
+
+void
+AnchorMmu::invalidatePage(Vpn vpn)
+{
+    Mmu::invalidatePage(vpn);
+    l2_.invalidate(EntryKind::Page4K, vpn);
+    l2_.invalidate(EntryKind::Page2M, vpn >> hugeShift);
+    l2_.invalidate(EntryKind::Anchor, anchorKey(anchorOf(vpn)));
+}
+
+} // namespace atlb

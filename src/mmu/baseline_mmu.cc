@@ -1,0 +1,76 @@
+#include "baseline_mmu.hh"
+
+namespace atlb
+{
+
+BaselineMmu::BaselineMmu(const MmuConfig &config, const PageTable &table,
+                         std::string name)
+    : Mmu(config, table, name), l2_(config.l2_entries, config.l2_ways,
+                                    name + ".l2"),
+      l2_1g_(config.l2_1g_entries, config.l2_1g_ways, name + ".l2-1g")
+{
+}
+
+TranslationResult
+BaselineMmu::translateL2(Vpn vpn)
+{
+    if (const TlbEntry *e = l2_.lookup(EntryKind::Page4K, vpn)) {
+        return {e->ppn, config_.l2_hit_cycles, HitLevel::L2Regular,
+                PageSize::Base4K};
+    }
+    if (const TlbEntry *e = l2_.lookup(EntryKind::Page2M, vpn >> hugeShift)) {
+        return {e->ppn + (vpn & (hugePages - 1)), config_.l2_hit_cycles,
+                HitLevel::L2Regular, PageSize::Huge2M};
+    }
+    if (const TlbEntry *e =
+            l2_1g_.lookup(EntryKind::Page1G, vpn >> giantShift)) {
+        return {e->ppn + (vpn & (giantPages - 1)), config_.l2_hit_cycles,
+                HitLevel::L2Regular, PageSize::Giant1G};
+    }
+    TranslationResult res = walkPageTable(vpn, config_.l2_hit_cycles);
+    fillL2(vpn, res);
+    return res;
+}
+
+void
+BaselineMmu::fillL2(Vpn vpn, const TranslationResult &res)
+{
+    TlbEntry e;
+    e.valid = true;
+    if (res.size == PageSize::Giant1G) {
+        e.kind = EntryKind::Page1G;
+        e.key = vpn >> giantShift;
+        e.ppn = res.ppn - (vpn & (giantPages - 1));
+        l2_1g_.insert(e);
+        return;
+    }
+    if (res.size == PageSize::Huge2M) {
+        e.kind = EntryKind::Page2M;
+        e.key = vpn >> hugeShift;
+        e.ppn = res.ppn - (vpn & (hugePages - 1));
+    } else {
+        e.kind = EntryKind::Page4K;
+        e.key = vpn;
+        e.ppn = res.ppn;
+    }
+    l2_.insert(e);
+}
+
+void
+BaselineMmu::flushAll()
+{
+    Mmu::flushAll();
+    l2_.flush();
+    l2_1g_.flush();
+}
+
+void
+BaselineMmu::invalidatePage(Vpn vpn)
+{
+    Mmu::invalidatePage(vpn);
+    l2_.invalidate(EntryKind::Page4K, vpn);
+    l2_.invalidate(EntryKind::Page2M, vpn >> hugeShift);
+    l2_1g_.invalidate(EntryKind::Page1G, vpn >> giantShift);
+}
+
+} // namespace atlb

@@ -1,0 +1,134 @@
+#include "cluster_mmu.hh"
+
+#include <bit>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "os/page_table.hh"
+
+namespace atlb
+{
+
+ClusterMmu::ClusterMmu(const MmuConfig &config, const PageTable &table,
+                       bool use_2mb, std::string name)
+    : Mmu(config, table,
+          name.empty() ? (use_2mb ? "cluster-2mb" : "cluster") : name),
+      regular_(config.cluster_regular_entries, config.cluster_regular_ways,
+               this->name() + ".regular"),
+      cluster_(config.cluster_entries, config.cluster_ways,
+               this->name() + ".cluster"),
+      use_2mb_(use_2mb)
+{
+    ATLB_ASSERT(isPow2(config.cluster_span) && config.cluster_span <= 32,
+                "bad cluster span {}", config.cluster_span);
+}
+
+std::uint32_t
+ClusterMmu::coalesceGroup(Vpn vpn, Ppn vpn_frame) const
+{
+    const unsigned span = config_.cluster_span;
+    const Vpn group = alignDown(vpn, span);
+    const unsigned offset = static_cast<unsigned>(vpn - group);
+    // Physical frame the cluster's slot 0 would need for perfect
+    // coalescing; slots coalesce iff their frame extends this base.
+    const Ppn base = vpn_frame - offset;
+    std::uint32_t bitmap = 0;
+    for (unsigned i = 0; i < span; ++i) {
+        // The span PTEs share one 64B cache line, so scanning them adds
+        // no memory accesses to the walk (paper Section 2.1).
+        const WalkResult w = table_->walk(group + i);
+        if (w.present && w.size == PageSize::Base4K && w.ppn == base + i)
+            bitmap |= 1u << i;
+    }
+    return bitmap;
+}
+
+TranslationResult
+ClusterMmu::translateL2(Vpn vpn)
+{
+    const unsigned span = config_.cluster_span;
+
+    if (const TlbEntry *e = regular_.lookup(EntryKind::Page4K, vpn)) {
+        return {e->ppn, config_.l2_hit_cycles, HitLevel::L2Regular,
+                PageSize::Base4K};
+    }
+    if (use_2mb_) {
+        if (const TlbEntry *e =
+                regular_.lookup(EntryKind::Page2M, vpn >> hugeShift)) {
+            return {e->ppn + (vpn & (hugePages - 1)),
+                    config_.l2_hit_cycles, HitLevel::L2Regular,
+                    PageSize::Huge2M};
+        }
+    }
+    // Cluster partition: searched in parallel with the regular one.
+    const std::uint64_t cluster_key = vpn / span;
+    const unsigned offset = static_cast<unsigned>(vpn & (span - 1));
+    if (const TlbEntry *e = cluster_.lookup(EntryKind::Cluster, cluster_key)) {
+        if (e->aux & (1u << offset)) {
+            return {e->ppn + offset, config_.coalesced_hit_cycles,
+                    HitLevel::Coalesced, PageSize::Base4K};
+        }
+    }
+
+    TranslationResult res =
+        walkPageTable(vpn, config_.coalesced_hit_cycles);
+    if (res.size == PageSize::Huge2M) {
+        if (use_2mb_) {
+            TlbEntry e;
+            e.valid = true;
+            e.kind = EntryKind::Page2M;
+            e.key = vpn >> hugeShift;
+            e.ppn = res.ppn - (vpn & (hugePages - 1));
+            regular_.insert(e);
+        } else {
+            // The original cluster design has no 2MB support: cache the
+            // requested 4KB frame of the huge mapping as a regular entry.
+            TlbEntry e;
+            e.valid = true;
+            e.kind = EntryKind::Page4K;
+            e.key = vpn;
+            e.ppn = res.ppn;
+            regular_.insert(e);
+            res.size = PageSize::Base4K;
+        }
+        return res;
+    }
+
+    const std::uint32_t bitmap = coalesceGroup(vpn, res.ppn);
+    if (std::popcount(bitmap) >= 2) {
+        TlbEntry e;
+        e.valid = true;
+        e.kind = EntryKind::Cluster;
+        e.key = cluster_key;
+        e.ppn = res.ppn - offset;
+        e.aux = bitmap;
+        cluster_.insert(e);
+    } else {
+        TlbEntry e;
+        e.valid = true;
+        e.kind = EntryKind::Page4K;
+        e.key = vpn;
+        e.ppn = res.ppn;
+        regular_.insert(e);
+    }
+    return res;
+}
+
+void
+ClusterMmu::flushAll()
+{
+    Mmu::flushAll();
+    regular_.flush();
+    cluster_.flush();
+}
+
+void
+ClusterMmu::invalidatePage(Vpn vpn)
+{
+    Mmu::invalidatePage(vpn);
+    regular_.invalidate(EntryKind::Page4K, vpn);
+    regular_.invalidate(EntryKind::Page2M, vpn >> hugeShift);
+    cluster_.invalidate(EntryKind::Cluster, vpn / config_.cluster_span);
+}
+
+} // namespace atlb

@@ -1,0 +1,158 @@
+#include "mmu.hh"
+
+#include "common/logging.hh"
+#include "os/page_table.hh"
+
+namespace atlb
+{
+
+Mmu::Mmu(const MmuConfig &config, const PageTable &table, std::string name)
+    : config_(config), table_(&table), name_(std::move(name)),
+      l1_4k_(config.l1_4k_entries, config.l1_4k_ways, name_ + ".l1-4k"),
+      l1_2m_(config.l1_2m_entries, config.l1_2m_ways, name_ + ".l1-2m")
+{
+    if (config_.pwc_enabled) {
+        pwc_ = std::make_unique<WalkCache>(config_.pwc_pml4e_entries,
+                                           config_.pwc_pdpte_entries,
+                                           config_.pwc_pde_entries);
+    }
+}
+
+Mmu::~Mmu() = default;
+
+TranslationResult
+Mmu::translate(VirtAddr va)
+{
+    ++stats_.accesses;
+    const Vpn vpn = vpnOf(va);
+
+    // L1 lookups (parallel with cache access: zero added latency).
+    if (const TlbEntry *e = l1_4k_.lookup(EntryKind::Page4K, vpn)) {
+        ++stats_.l1_hits;
+        return {e->ppn, 0, HitLevel::L1, PageSize::Base4K};
+    }
+    if (const TlbEntry *e =
+            l1_2m_.lookup(EntryKind::Page2M, vpn >> hugeShift)) {
+        ++stats_.l1_hits;
+        return {e->ppn + (vpn & (hugePages - 1)), 0, HitLevel::L1,
+                PageSize::Huge2M};
+    }
+
+    TranslationResult res = translateL2(vpn);
+    switch (res.level) {
+      case HitLevel::L2Regular:
+        ++stats_.l2_regular_hits;
+        break;
+      case HitLevel::Coalesced:
+        ++stats_.coalesced_hits;
+        break;
+      case HitLevel::PageWalk:
+        ++stats_.page_walks;
+        break;
+      case HitLevel::L1:
+        ATLB_PANIC("translateL2 reported an L1 hit");
+    }
+    stats_.translation_cycles += res.cycles;
+    fillL1(vpn, res);
+    return res;
+}
+
+void
+Mmu::fillL1(Vpn vpn, const TranslationResult &res)
+{
+    if (res.size == PageSize::Huge2M) {
+        TlbEntry e;
+        e.kind = EntryKind::Page2M;
+        e.key = vpn >> hugeShift;
+        e.ppn = res.ppn - (vpn & (hugePages - 1));
+        e.valid = true;
+        l1_2m_.insert(e);
+    } else {
+        TlbEntry e;
+        e.kind = EntryKind::Page4K;
+        e.key = vpn;
+        e.ppn = res.ppn;
+        e.valid = true;
+        l1_4k_.insert(e);
+    }
+}
+
+TranslationResult
+Mmu::walkPageTable(Vpn vpn, Cycles lookup_cycles)
+{
+    const WalkResult walk = table_->walk(vpn);
+    if (!walk.present)
+        ATLB_FATAL("{}: access to unmapped vpn {}", name_, vpn);
+    TranslationResult res;
+    res.ppn = walk.ppn;
+    res.guest_ppn = walk.ppn;
+    res.size = walk.size;
+    res.level = HitLevel::PageWalk;
+
+    if (host_table_) {
+        // Nested dimension: the guest frame is a guest-physical address
+        // that the host table maps onto machine memory.
+        const WalkResult host = host_table_->walk(walk.ppn);
+        if (!host.present) {
+            ATLB_FATAL("{}: guest frame {} not mapped by the host",
+                       name_, walk.ppn);
+        }
+        res.ppn = host.ppn;
+        // The combined TLB entry can only cover the smaller leaf (the
+        // host guarantees contiguity only within its own page).
+        if (pagesCovered(host.size) < pagesCovered(res.size))
+            res.size = host.size;
+        // 2D walk: every guest level fetch needs a host walk for its
+        // node's GPA, plus the final data GPA: (g+1)(h+1)-1 refs.
+        const unsigned refs =
+            (walk.levels + 1) * (host.levels + 1) - 1;
+        res.cycles = lookup_cycles + refs * config_.nested_ref_cycles;
+        return res;
+    }
+
+    if (pwc_) {
+        const unsigned refs = pwc_->walkRefs(vpn, walk.levels);
+        res.cycles = lookup_cycles + refs * config_.pwc_mem_ref_cycles;
+    } else {
+        res.cycles = lookup_cycles + config_.walk_cycles;
+    }
+    return res;
+}
+
+void
+Mmu::flushAll()
+{
+    l1_4k_.flush();
+    l1_2m_.flush();
+    if (pwc_)
+        pwc_->flush();
+}
+
+void
+Mmu::switchProcess(const ProcessContext &ctx)
+{
+    ATLB_ASSERT(ctx.table, "switchProcess without a page table");
+    table_ = ctx.table;
+    flushAll();
+}
+
+void
+Mmu::invalidatePage(Vpn vpn)
+{
+    l1_4k_.invalidate(EntryKind::Page4K, vpn);
+    l1_2m_.invalidate(EntryKind::Page2M, vpn >> hugeShift);
+}
+
+void
+Mmu::setNested(const PageTable *host_table, const MemoryMap *host_map)
+{
+    ATLB_ASSERT((host_table == nullptr) == (host_map == nullptr),
+                "nested mode needs both host table and host map");
+    ATLB_ASSERT(!host_table || supportsNested(),
+                "{} does not support nested translation", name_);
+    host_table_ = host_table;
+    host_map_ = host_map;
+    flushAll();
+}
+
+} // namespace atlb

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Abstract MMU: L1 TLBs plus a scheme-specific L2 pipeline.
+ *
+ * Every scheme shares the L1 organisation of paper Table 3 (64-entry
+ * 4-way for 4KB, 32-entry 4-way for 2MB; hits fully hidden). On an L1
+ * miss the scheme-specific translateL2() runs; subclasses implement the
+ * baseline, cluster, RMM and anchor pipelines. Latency accounting:
+ *
+ *   L1 hit                 : 0 cycles
+ *   L2 regular entry hit   : l2_hit_cycles (7)
+ *   coalesced-structure hit: coalesced_hit_cycles (8)
+ *   page walk              : lookup latency + walk_cycles (50)
+ *
+ * Subclasses return both the physical page and the attribution bucket so
+ * the simulator can reproduce the paper's CPI breakdowns (Figs. 10-11)
+ * and the L2 hit-type table (Table 5).
+ */
+
+#ifndef ANCHORTLB_MMU_MMU_HH
+#define ANCHORTLB_MMU_MMU_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/types.hh"
+#include "mmu/mmu_config.hh"
+#include "tlb/set_assoc_tlb.hh"
+#include "tlb/walk_cache.hh"
+
+namespace atlb
+{
+
+class MemoryMap;
+class PageTable;
+struct RegionPartition;
+
+/**
+ * Everything the hardware needs when the OS schedules a process: the
+ * page-table root (CR3), and — for the coalescing schemes — the anchor
+ * distance register, the range table, or the region table. Pointers
+ * not used by a given scheme may stay null.
+ */
+struct ProcessContext
+{
+    const PageTable *table = nullptr;
+    const MemoryMap *map = nullptr;             //!< RMM range table
+    std::uint64_t anchor_distance = 0;          //!< anchor scheme
+    const RegionPartition *partition = nullptr; //!< multi-region scheme
+};
+
+/** Where a translation was satisfied. */
+enum class HitLevel : std::uint8_t
+{
+    L1,        //!< L1 4KB or 2MB TLB
+    L2Regular, //!< regular (4KB/2MB) entry in the L2
+    Coalesced, //!< anchor / cluster / range structure
+    PageWalk,  //!< full page-table walk
+};
+
+/** Result of translating one virtual address. */
+struct TranslationResult
+{
+    Ppn ppn = invalidPpn;
+    Cycles cycles = 0;
+    HitLevel level = HitLevel::PageWalk;
+    PageSize size = PageSize::Base4K;
+    /**
+     * Nested mode only: the guest-physical frame the walk resolved
+     * before the host dimension (equals ppn when running natively).
+     */
+    Ppn guest_ppn = invalidPpn;
+};
+
+/** Aggregate per-MMU statistics. */
+struct MmuStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t l1_hits = 0;
+    std::uint64_t l2_regular_hits = 0;
+    std::uint64_t coalesced_hits = 0;
+    std::uint64_t page_walks = 0;
+    Cycles translation_cycles = 0;
+
+    /** TLB misses as the paper counts them: full page walks. */
+    std::uint64_t misses() const { return page_walks; }
+
+    /** L2-level accesses (i.e. L1 misses). */
+    std::uint64_t l2Accesses() const { return accesses - l1_hits; }
+};
+
+/**
+ * Base MMU: owns the L1s, drives the scheme pipeline, accumulates stats.
+ *
+ * The page table is owned by the caller (the simulated OS); the MMU only
+ * walks it.
+ */
+class Mmu
+{
+  public:
+    Mmu(const MmuConfig &config, const PageTable &table, std::string name);
+    virtual ~Mmu();
+
+    Mmu(const Mmu &) = delete;
+    Mmu &operator=(const Mmu &) = delete;
+
+    /**
+     * Translate one virtual address. Fatal if the address is unmapped
+     * (the simulated workloads never touch unmapped memory).
+     */
+    TranslationResult translate(VirtAddr va);
+
+    /** Invalidate all TLB state (context switch / shootdown). */
+    virtual void flushAll();
+
+    /**
+     * Context switch: load @p ctx's page table (and scheme-specific
+     * state) and flush the TLBs, as the x86 Linux kernel does
+     * (paper Section 3.3). @p ctx.table must be non-null.
+     */
+    virtual void switchProcess(const ProcessContext &ctx);
+
+    /**
+     * Targeted shootdown for one page after the OS changed its
+     * mapping: invalidates every TLB entry that could translate
+     * @p vpn — including coalesced entries that merely *cover* it
+     * (the paper's Section 3.3 notes the shootdown must invalidate
+     * anchor entries as well as page entries). Schemes extend this for
+     * their own structures.
+     */
+    virtual void invalidatePage(Vpn vpn);
+
+    /**
+     * Enter nested (virtualized) mode: the MMU's page table becomes
+     * the *guest* table (GVA -> GPA) and walks continue through
+     * @p host_table (GPA -> HPA) at 2D-walk cost; TLBs then cache
+     * combined GVA -> HPA translations. @p host_map is the host
+     * mapping's chunk view, used by coalescing schemes to clip
+     * coverage to runs contiguous in *both* dimensions. Pass nullptrs
+     * to return to native mode. Flushes all TLB state.
+     */
+    void setNested(const PageTable *host_table, const MemoryMap *host_map);
+
+    /** True when translating through two dimensions. */
+    bool nested() const { return host_table_ != nullptr; }
+
+    /**
+     * Whether this scheme's fill logic understands the host dimension
+     * (clipping coalesced coverage to host-contiguous runs). Schemes
+     * that don't must not be put in nested mode.
+     */
+    virtual bool supportsNested() const { return false; }
+
+    const MmuStats &stats() const { return stats_; }
+    const std::string &name() const { return name_; }
+    const MmuConfig &config() const { return config_; }
+
+    /** L1 structures exposed for tests and occupancy reports. */
+    const SetAssocTlb &l1Tlb4K() const { return l1_4k_; }
+    const SetAssocTlb &l1Tlb2M() const { return l1_2m_; }
+
+  protected:
+    /**
+     * Scheme pipeline, invoked after an L1 miss. Must set ppn, level and
+     * cycles (excluding nothing: the returned cycles are charged as-is)
+     * and fill whatever L2-level structures the scheme maintains. The L1
+     * fill is handled by the base class.
+     */
+    virtual TranslationResult translateL2(Vpn vpn) = 0;
+
+    /** Walk the page table; panics if @p vpn is unmapped. */
+    TranslationResult walkPageTable(Vpn vpn, Cycles lookup_cycles);
+
+    const MmuConfig config_;
+    /** Current process's page table (swapped by switchProcess). */
+    const PageTable *table_;
+    /** Nested mode: host (GPA -> HPA) dimension; null when native. */
+    const PageTable *host_table_ = nullptr;
+    const MemoryMap *host_map_ = nullptr;
+
+  private:
+    std::string name_;
+    SetAssocTlb l1_4k_;
+    SetAssocTlb l1_2m_;
+    /** Optional page-walk cache (config_.pwc_enabled). */
+    std::unique_ptr<WalkCache> pwc_;
+    MmuStats stats_;
+
+    void fillL1(Vpn vpn, const TranslationResult &res);
+};
+
+} // namespace atlb
+
+#endif // ANCHORTLB_MMU_MMU_HH

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Hardware configuration for every translation scheme (paper Table 3).
+ */
+
+#ifndef ANCHORTLB_MMU_MMU_CONFIG_HH
+#define ANCHORTLB_MMU_MMU_CONFIG_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace atlb
+{
+
+/** TLB sizing and latency parameters; defaults reproduce paper Table 3. */
+struct MmuConfig
+{
+    // L1 (common to all schemes)
+    unsigned l1_4k_entries = 64;
+    unsigned l1_4k_ways = 4;
+    unsigned l1_2m_entries = 32;
+    unsigned l1_2m_ways = 4;
+
+    // Baseline / THP / RMM / Anchor shared L2
+    unsigned l2_entries = 1024;
+    unsigned l2_ways = 8;
+
+    /**
+     * Separate, smaller L2 TLB for 1GB pages (paper Section 2.1 notes
+     * real x86 keeps 1GB entries apart). Only populated when the page
+     * table contains 1GB leaves (the 1GB-page ablation).
+     */
+    unsigned l2_1g_entries = 16;
+    unsigned l2_1g_ways = 4;
+
+    // Cluster scheme: statically partitioned L2 (Pham et al. HPCA'14)
+    unsigned cluster_regular_entries = 768;
+    unsigned cluster_regular_ways = 6;
+    unsigned cluster_entries = 320;
+    unsigned cluster_ways = 5;
+    /** Pages per cluster entry (the paper evaluates cluster-8). */
+    unsigned cluster_span = 8;
+
+    // CoLT fully-associative mode (Pham et al., MICRO 2012)
+    unsigned colt_fa_entries = 32;       //!< FA coalesced entries
+    std::uint64_t colt_fa_max_pages = 64; //!< max run per FA entry
+    std::uint64_t colt_fa_min_pages = 8;  //!< runs below this go SA
+
+    // RMM range TLB
+    unsigned range_entries = 32;
+    /**
+     * Smallest contiguous run RMM records as a range. RMM's ranges come
+     * from eager-paging reservations of large allocations; runs below a
+     * huge page are left to the regular TLBs (this is what makes RMM
+     * ineffective under the paper's low/medium-contiguity mappings,
+     * Fig. 2, while nearly eliminating misses under high/max).
+     */
+    std::uint64_t rmm_min_range_pages = 512;
+
+    // Latencies (cycles); L1 hits are fully hidden by cache access.
+    Cycles l2_hit_cycles = 7;
+    Cycles coalesced_hit_cycles = 8; //!< cluster / RMM / anchor hit
+    Cycles walk_cycles = 50;
+
+    /**
+     * Optional page-walk-cache model: when enabled, a walk costs one
+     * memory reference per uncached page-table level instead of the
+     * flat walk_cycles (see tlb/walk_cache.hh). Defaults keep the
+     * paper's Table 3 model.
+     */
+    bool pwc_enabled = false;
+    unsigned pwc_pml4e_entries = 2;
+    unsigned pwc_pdpte_entries = 4;
+    unsigned pwc_pde_entries = 32;
+    Cycles pwc_mem_ref_cycles = 14;
+
+    /** Maximum anchor contiguity (16-bit field in the paper). */
+    std::uint64_t max_contiguity = 1ULL << 16;
+
+    /**
+     * Per-memory-reference cost of a nested (2D) page walk. A native
+     * 4KB walk touches 4 entries for walk_cycles total; a virtualized
+     * walk touches (g+1)(h+1)-1 = up to 24 (paper Section 6's
+     * motivation for nested-translation work). Used only when an MMU
+     * runs in nested mode.
+     */
+    Cycles nested_ref_cycles = 12;
+};
+
+} // namespace atlb
+
+#endif // ANCHORTLB_MMU_MMU_CONFIG_HH

@@ -1,0 +1,111 @@
+#include "access_sampler.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hh"
+#include "os/memory_map.hh"
+
+namespace atlb
+{
+
+AccessSampler::AccessSampler(const MemoryMap &map) : map_(map)
+{
+    ATLB_ASSERT(map.finalized(), "sampling an unfinalized map");
+}
+
+void
+AccessSampler::sample(Vpn vpn)
+{
+    const Chunk *c = map_.chunkContaining(vpn);
+    if (!c)
+        return;
+    const std::size_t idx =
+        static_cast<std::size_t>(c - map_.chunks().data());
+    ++counts_[idx];
+    ++total_;
+}
+
+std::vector<ChunkAccess>
+AccessSampler::chunkAccesses() const
+{
+    std::vector<ChunkAccess> out;
+    out.reserve(counts_.size());
+    for (const auto &[idx, count] : counts_)
+        out.push_back({map_.chunks()[idx].pages, count});
+    return out;
+}
+
+void
+AccessSampler::reset()
+{
+    counts_.clear();
+    total_ = 0;
+}
+
+CapacitySelection
+selectAnchorDistanceCapacityAware(const std::vector<ChunkAccess> &chunks,
+                                  std::uint64_t capacity_entries)
+{
+    ATLB_ASSERT(capacity_entries > 0, "zero TLB capacity");
+    CapacitySelection sel;
+    sel.predicted_miss = std::numeric_limits<double>::infinity();
+
+    double total_samples = 0.0;
+    for (const ChunkAccess &c : chunks)
+        total_samples += static_cast<double>(c.samples);
+    if (total_samples == 0.0) {
+        sel.predicted_miss = 1.0;
+        return sel;
+    }
+
+    // Real TLBs thrash well before 100% occupancy (set conflicts, the
+    // cold tail competing for ways): derate the nominal capacity.
+    const double effective_capacity =
+        0.75 * static_cast<double>(capacity_entries);
+
+    for (const std::uint64_t d : candidateDistances()) {
+        double uncovered = 0.0; // access-weighted
+        double entries = 0.0;
+        for (const ChunkAccess &c : chunks) {
+            if (c.samples == 0)
+                continue; // cold chunks won't be resident
+            const double weight =
+                static_cast<double>(c.samples) / total_samples;
+            const std::uint64_t prefix =
+                std::min<std::uint64_t>((d - 1) / 2, c.pages);
+            const std::uint64_t cov_pages = c.pages - prefix;
+
+            // Residency cost of keeping this chunk translated.
+            if (cov_pages)
+                entries += static_cast<double>((cov_pages + d - 1) / d);
+            if (c.pages >= hugePages) {
+                // Prefix served by 2MB entries (THP-capable chunk);
+                // those accesses hit as long as the entries fit.
+                entries += static_cast<double>(
+                    (prefix + hugePages - 1) / hugePages);
+            } else {
+                // Prefix pages fall back to 4KB entries and their
+                // accesses mostly miss on a busy TLB: uncovered mass.
+                uncovered +=
+                    weight * static_cast<double>(prefix) /
+                    static_cast<double>(c.pages);
+            }
+        }
+        const double covered = 1.0 - uncovered;
+
+        double miss = uncovered;
+        if (entries > effective_capacity)
+            miss += covered * (1.0 - effective_capacity / entries);
+        sel.candidates.emplace_back(d, miss);
+        // Ties go to the larger distance: same predicted misses with
+        // fewer resident entries.
+        if (miss <= sel.predicted_miss + 1e-9) {
+            sel.predicted_miss = std::min(miss, sel.predicted_miss);
+            sel.distance = d;
+        }
+    }
+    return sel;
+}
+
+} // namespace atlb

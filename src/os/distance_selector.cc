@@ -1,0 +1,114 @@
+#include "distance_selector.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "os/page_table.hh"
+
+namespace atlb
+{
+
+std::vector<std::uint64_t>
+candidateDistances()
+{
+    std::vector<std::uint64_t> out;
+    for (std::uint64_t d = 2; d <= PageTable::maxContiguity; d <<= 1)
+        out.push_back(d);
+    return out;
+}
+
+DistanceSelection
+selectAnchorDistance(const Histogram &contiguity, DistanceCostModel model)
+{
+    DistanceSelection sel;
+    sel.cost = std::numeric_limits<double>::infinity();
+
+    for (const std::uint64_t d : candidateDistances()) {
+        double cost = 0.0;
+        for (const auto &[cont, freq] : contiguity.entries()) {
+            const double f = static_cast<double>(freq);
+            if (model == DistanceCostModel::CoverageAware) {
+                // Expected uncovered prefix for a randomly placed chunk;
+                // the tail is covered by its (partial) last anchor. In a
+                // THP-capable chunk the prefix itself is mostly served
+                // by 2MB entries, leaving only a sub-512-page sliver of
+                // 4KB entries.
+                const std::uint64_t prefix = std::min<std::uint64_t>(
+                    (d - 1) / 2, cont);
+                const std::uint64_t covered = cont - prefix;
+                const double anchors = covered
+                    ? static_cast<double>((covered + d - 1) / d)
+                    : 0.0;
+                double large = 0.0;
+                double pages = 0.0;
+                if (cont >= hugePages) {
+                    // THP-capable chunk: the prefix rounds up to 2MB
+                    // entries; the sub-512-page sliver is a constant,
+                    // rarely-touched residue and is ignored.
+                    large = static_cast<double>(
+                        (prefix + hugePages - 1) / hugePages);
+                } else {
+                    pages = static_cast<double>(prefix);
+                }
+                cost += (anchors + large + pages) * f;
+                continue;
+            }
+            const double anchors = static_cast<double>(cont / d);
+            const std::uint64_t remainder = cont % d;
+            const double large =
+                static_cast<double>(remainder / hugePages);
+            const double pages =
+                static_cast<double>(remainder % hugePages);
+            if (model == DistanceCostModel::EntryCount) {
+                cost += (anchors + large + pages) * f;
+            } else {
+                cost += anchors * f / static_cast<double>(d);
+                cost += large * f / static_cast<double>(hugePages);
+                cost += pages * f;
+            }
+        }
+        sel.candidates.emplace_back(d, cost);
+        if (cost < sel.cost) {
+            sel.cost = cost;
+            sel.distance = d;
+        }
+    }
+    return sel;
+}
+
+DistanceController::DistanceController(std::uint64_t initial_distance,
+                                       double improvement_threshold)
+    : distance_(initial_distance), threshold_(improvement_threshold)
+{
+    ATLB_ASSERT(improvement_threshold >= 0.0, "negative threshold");
+}
+
+bool
+DistanceController::epoch(const Histogram &contiguity)
+{
+    ++epochs_;
+    const DistanceSelection sel = selectAnchorDistance(contiguity);
+    if (sel.distance == distance_)
+        return false;
+
+    // Find the current distance's cost among the candidates to decide
+    // whether the improvement justifies a (costly) page-table sweep.
+    double current_cost = std::numeric_limits<double>::infinity();
+    for (const auto &[d, c] : sel.candidates) {
+        if (d == distance_)
+            current_cost = c;
+    }
+
+    const bool first = !initialized_;
+    initialized_ = true;
+    if (!first && sel.cost > current_cost * (1.0 - threshold_))
+        return false; // improvement too small; keep current distance
+
+    distance_ = sel.distance;
+    ++changes_;
+    return true;
+}
+
+} // namespace atlb

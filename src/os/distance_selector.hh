@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Dynamic anchor-distance selection (paper Section 4, Algorithm 1).
+ *
+ * The OS periodically summarises a process's mapping as a contiguity
+ * histogram (chunk size -> number of chunks) and picks the anchor
+ * distance that minimises an estimate of the TLB capacity needed to
+ * cover the whole footprint: the number of hypothetical TLB entries
+ * (anchor + 2MB + 4KB) required, where each entry type covers
+ * distance/512/1 pages respectively — i.e. pages of each type weighted
+ * by the inverse of that type's coverage, as the paper describes.
+ *
+ * EntryCount is the default cost model; it reproduces the distances of
+ * paper Table 6 (4 for the low-contiguity mapping, 16-32 for medium,
+ * very large for the skewed demand/eager mappings). CoverageWeighted
+ * additionally divides each entry-count term by its coverage — the most
+ * literal reading of the pseudocode's lines 17-19 — and is kept for the
+ * selection-policy ablation bench; it systematically favours smaller
+ * distances and underperforms (see bench_ablation_selection).
+ */
+
+#ifndef ANCHORTLB_OS_DISTANCE_SELECTOR_HH
+#define ANCHORTLB_OS_DISTANCE_SELECTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/histogram.hh"
+
+namespace atlb
+{
+
+/** Outcome of one run of the selection algorithm. */
+struct DistanceSelection
+{
+    /** Chosen anchor distance in pages (power of two in [2, 2^16]). */
+    std::uint64_t distance = 2;
+    /** Estimated capacity cost of the chosen distance. */
+    double cost = 0.0;
+    /** (distance, cost) for every candidate, ascending by distance. */
+    std::vector<std::pair<std::uint64_t, double>> candidates;
+};
+
+/** Candidate anchor distances: 2, 4, 8, ..., 2^16 (paper Algorithm 1). */
+std::vector<std::uint64_t> candidateDistances();
+
+/** How to turn per-type entry counts into a scalar cost. */
+enum class DistanceCostModel
+{
+    EntryCount,       //!< total hypothetical TLB entries (default)
+    CoverageWeighted, //!< entries additionally down-weighted by coverage
+    /**
+     * Models what the hardware actually covers: the final partial
+     * anchor covers a chunk's tail, while the misaligned *prefix*
+     * before the first anchor boundary (expected (d-1)/2 pages for a
+     * random chunk placement) goes uncovered. More accurate than the
+     * paper's heuristic under capacity pressure; used by the
+     * multi-region partitioner.
+     */
+    CoverageAware,
+};
+
+/**
+ * Run Algorithm 1 on @p contiguity (chunk size in pages -> chunk count).
+ *
+ * For each candidate distance d and each (cont, freq) histogram entry:
+ *   anchors   = floor(cont / d) * freq          (anchor TLB entries)
+ *   remainder = cont mod d                      (pages not anchor-covered)
+ *   large     = floor(remainder / 512) * freq   (2MB entries)
+ *   pages     = (remainder mod 512) * freq      (4KB entries)
+ *   EntryCount:       cost(d) += anchors + large + pages
+ *   CoverageWeighted: cost(d) += anchors/d + large/512 + pages
+ *
+ * Ties resolve to the smaller distance (cheaper distance changes).
+ * An empty histogram selects the smallest candidate.
+ */
+DistanceSelection
+selectAnchorDistance(const Histogram &contiguity,
+                     DistanceCostModel model = DistanceCostModel::EntryCount);
+
+/**
+ * Epoch-driven distance controller with hysteresis (paper Section 4.1,
+ * "Distance Stability").
+ *
+ * The controller re-runs selection once per epoch but only commits a
+ * change when the newly selected distance's estimated cost improves on
+ * the current distance's cost by at least @c improvement_threshold
+ * (relative), matching the paper's observation that the distance should
+ * change rarely once allocation stabilises.
+ */
+class DistanceController
+{
+  public:
+    /**
+     * @param initial_distance  distance a fresh process starts with
+     * @param improvement_threshold minimum relative cost improvement
+     *        required to commit a distance change (e.g. 0.1 = 10%).
+     */
+    explicit DistanceController(std::uint64_t initial_distance = 8,
+                                double improvement_threshold = 0.1);
+
+    /**
+     * Run one epoch: evaluate @p contiguity, possibly change distance.
+     * @return true iff the distance changed this epoch.
+     */
+    bool epoch(const Histogram &contiguity);
+
+    std::uint64_t distance() const { return distance_; }
+
+    /** Number of committed distance changes since construction. */
+    std::uint64_t changes() const { return changes_; }
+
+    /** Number of epochs evaluated. */
+    std::uint64_t epochs() const { return epochs_; }
+
+  private:
+    std::uint64_t distance_;
+    double threshold_;
+    std::uint64_t changes_ = 0;
+    std::uint64_t epochs_ = 0;
+    bool initialized_ = false;
+};
+
+} // namespace atlb
+
+#endif // ANCHORTLB_OS_DISTANCE_SELECTOR_HH

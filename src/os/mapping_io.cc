@@ -1,0 +1,86 @@
+#include "mapping_io.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace atlb
+{
+
+MemoryMap
+readMappingText(std::istream &in, const std::string &origin)
+{
+    MemoryMap map;
+    std::string line;
+    std::uint64_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        std::istringstream fields(line);
+        std::string vpn_s, ppn_s, pages_s;
+        if (!(fields >> vpn_s))
+            continue; // blank or comment-only line
+        if (!(fields >> ppn_s >> pages_s)) {
+            ATLB_FATAL("{}:{}: expected '<vpn> <ppn> <pages>'", origin,
+                       lineno);
+        }
+        std::string extra;
+        if (fields >> extra)
+            ATLB_FATAL("{}:{}: trailing field '{}'", origin, lineno,
+                       extra);
+        const auto parse = [&](const std::string &s) -> std::uint64_t {
+            std::size_t pos = 0;
+            std::uint64_t v = 0;
+            try {
+                v = std::stoull(s, &pos, 0); // decimal or 0x-hex
+            } catch (const std::exception &) {
+                pos = 0;
+            }
+            if (pos != s.size())
+                ATLB_FATAL("{}:{}: bad number '{}'", origin, lineno, s);
+            return v;
+        };
+        const std::uint64_t vpn = parse(vpn_s);
+        const std::uint64_t ppn = parse(ppn_s);
+        const std::uint64_t pages = parse(pages_s);
+        if (pages == 0)
+            ATLB_FATAL("{}:{}: zero-length chunk", origin, lineno);
+        map.add(vpn, ppn, pages);
+    }
+    map.finalize();
+    return map;
+}
+
+MemoryMap
+loadMapping(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        ATLB_FATAL("cannot open mapping file '{}'", path);
+    return readMappingText(in, path);
+}
+
+void
+writeMappingText(std::ostream &out, const MemoryMap &map)
+{
+    out << "# anchortlb mapping: <vpn> <ppn> <pages> per chunk\n";
+    for (const Chunk &c : map.chunks())
+        out << c.vpn << ' ' << c.ppn << ' ' << c.pages << '\n';
+}
+
+void
+saveMapping(const std::string &path, const MemoryMap &map)
+{
+    std::ofstream out(path);
+    if (!out)
+        ATLB_FATAL("cannot open mapping file '{}' for writing", path);
+    writeMappingText(out, map);
+    out.flush();
+    if (!out)
+        ATLB_FATAL("error writing mapping file '{}'", path);
+}
+
+} // namespace atlb

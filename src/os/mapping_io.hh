@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Import/export of VA->PA mappings as text.
+ *
+ * The paper captured its real mappings from Linux's pagemap interface
+ * (Section 5.1). This module defines the equivalent exchange format so
+ * users can run the simulator against mappings harvested from real
+ * machines: one chunk per line,
+ *
+ *     <vpn> <ppn> <pages>
+ *
+ * in decimal or 0x-hex, '#' comments and blank lines ignored. A small
+ * converter from `/proc/<pid>/pagemap` to this format is a few lines of
+ * Python (documented in the README); the simulator side stays
+ * dependency-free.
+ */
+
+#ifndef ANCHORTLB_OS_MAPPING_IO_HH
+#define ANCHORTLB_OS_MAPPING_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "os/memory_map.hh"
+
+namespace atlb
+{
+
+/** Parse a mapping from a stream; fatal on malformed input. */
+MemoryMap readMappingText(std::istream &in, const std::string &origin);
+
+/** Parse a mapping file; fatal on missing file or malformed input. */
+MemoryMap loadMapping(const std::string &path);
+
+/** Write @p map in the text format (chunks ascending by VPN). */
+void writeMappingText(std::ostream &out, const MemoryMap &map);
+
+/** Write @p map to @p path; fatal on I/O failure. */
+void saveMapping(const std::string &path, const MemoryMap &map);
+
+} // namespace atlb
+
+#endif // ANCHORTLB_OS_MAPPING_IO_HH

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Virtual-to-physical mapping as a set of contiguity chunks.
+ *
+ * Every translation scheme in the paper consumes the same underlying
+ * object: the process's VA->PA mapping, viewed as maximal runs ("chunks")
+ * that are contiguous in both virtual and physical address space. THP
+ * promotes 2MB-aligned pieces of chunks, RMM's ranges are chunks, HW
+ * clustering finds <=8-page pieces of chunks, and the anchor scheme's
+ * contiguity field is the distance from an anchor to the end of its chunk.
+ *
+ * MemoryMap stores the chunks sorted by VPN and answers point lookups by
+ * binary search. It is immutable after finalize(), which is when adjacent
+ * compatible chunks are merged into maximal runs.
+ */
+
+#ifndef ANCHORTLB_OS_MEMORY_MAP_HH
+#define ANCHORTLB_OS_MEMORY_MAP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "stats/histogram.hh"
+
+namespace atlb
+{
+
+/** A maximal VA/PA-contiguous run of 4KB pages. */
+struct Chunk
+{
+    Vpn vpn;              //!< first virtual page of the run
+    Ppn ppn;              //!< first physical page of the run
+    std::uint64_t pages;  //!< run length in 4KB pages
+
+    /** One past the last virtual page. */
+    Vpn vpnEnd() const { return vpn + pages; }
+
+    /** True iff @p v lies inside this chunk. */
+    bool contains(Vpn v) const { return v >= vpn && v < vpnEnd(); }
+
+    /** Translate a VPN inside this chunk. */
+    Ppn translate(Vpn v) const { return ppn + (v - vpn); }
+};
+
+/** Immutable (after finalize) set of mapping chunks for one process. */
+class MemoryMap
+{
+  public:
+    /**
+     * Record a mapping of @p pages pages starting at (vpn, ppn).
+     * Ranges must not overlap previously added ones; they may be added
+     * in any order. Must be called before finalize().
+     */
+    void add(Vpn vpn, Ppn ppn, std::uint64_t pages);
+
+    /**
+     * Sort and merge adjacent compatible chunks into maximal runs.
+     * Must be called exactly once, after which the map is queryable.
+     */
+    void finalize();
+
+    bool finalized() const { return finalized_; }
+
+    /** Chunk containing @p vpn, or nullptr if unmapped. */
+    const Chunk *chunkContaining(Vpn vpn) const;
+
+    /** Translate a VPN; invalidPpn when unmapped. */
+    Ppn translate(Vpn vpn) const;
+
+    /** True iff @p vpn is mapped. */
+    bool mapped(Vpn vpn) const { return chunkContaining(vpn) != nullptr; }
+
+    /**
+     * Number of pages mapped contiguously starting at @p vpn, i.e. the
+     * remaining length of the chunk from @p vpn (0 if unmapped). This is
+     * exactly the value the OS writes into an anchor entry (before
+     * clamping to the contiguity-field width).
+     */
+    std::uint64_t contiguityFrom(Vpn vpn) const;
+
+    /**
+     * True iff the 2MB-aligned virtual block containing @p vpn can be a
+     * transparent huge page: fully mapped by one chunk with a 512-page-
+     * aligned physical base. This models ideal THP promotion.
+     */
+    bool hugeEligible(Vpn vpn) const;
+
+    /** Same test for the 1GB-aligned block containing @p vpn. */
+    bool giantEligible(Vpn vpn) const;
+
+    /** All chunks, ascending by VPN. */
+    const std::vector<Chunk> &chunks() const { return chunks_; }
+
+    /** Total mapped pages. */
+    std::uint64_t mappedPages() const { return mapped_pages_; }
+
+    /**
+     * Histogram of chunk sizes: key = run length in pages, count = number
+     * of runs. This is the "contiguity histogram" the OS feeds to the
+     * dynamic anchor-distance selection algorithm (paper Section 4.1).
+     */
+    Histogram contiguityHistogram() const;
+
+  private:
+    std::vector<Chunk> chunks_;
+    std::uint64_t mapped_pages_ = 0;
+    bool finalized_ = false;
+};
+
+} // namespace atlb
+
+#endif // ANCHORTLB_OS_MEMORY_MAP_HH

@@ -1,0 +1,340 @@
+#include "page_table.hh"
+
+#include <algorithm>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "os/memory_map.hh"
+
+namespace atlb
+{
+
+/**
+ * One 512-ary radix node. Leaf levels use only @c ents; interior levels
+ * use @c ents for 2MB leaves (PD level) and @c kids for child nodes.
+ */
+struct PageTable::Node
+{
+    std::array<std::uint64_t, fanout> ents{};
+    std::array<std::unique_ptr<Node>, fanout> kids{};
+};
+
+namespace
+{
+
+/** Radix index of @p vpn at @p level (0 = PML4 ... 3 = PT). */
+unsigned
+levelIndex(Vpn vpn, unsigned level)
+{
+    return static_cast<unsigned>((vpn >> (9 * (3 - level))) &
+                                 (PageTable::fanout - 1));
+}
+
+} // namespace
+
+PageTable::PageTable() : root_(std::make_unique<Node>()), node_count_(1) {}
+PageTable::~PageTable() = default;
+PageTable::PageTable(PageTable &&) noexcept = default;
+PageTable &PageTable::operator=(PageTable &&) noexcept = default;
+
+PageTable::Node *
+PageTable::ensurePath(Vpn vpn, unsigned leaf_level)
+{
+    Node *node = root_.get();
+    for (unsigned level = 0; level < leaf_level; ++level) {
+        const unsigned idx = levelIndex(vpn, level);
+        ATLB_ASSERT(!pte::present(node->ents[idx]) ||
+                        !pte::huge(node->ents[idx]),
+                    "descending through a huge leaf at vpn {}", vpn);
+        if (!node->kids[idx]) {
+            node->kids[idx] = std::make_unique<Node>();
+            ++node_count_;
+        }
+        node = node->kids[idx].get();
+    }
+    return node;
+}
+
+const std::uint64_t *
+PageTable::findLeaf(Vpn vpn, unsigned leaf_level) const
+{
+    const Node *node = root_.get();
+    for (unsigned level = 0; level < leaf_level; ++level) {
+        const unsigned idx = levelIndex(vpn, level);
+        if (!node->kids[idx])
+            return nullptr;
+        node = node->kids[idx].get();
+    }
+    return &node->ents[levelIndex(vpn, leaf_level)];
+}
+
+std::uint64_t *
+PageTable::findLeaf(Vpn vpn, unsigned leaf_level)
+{
+    return const_cast<std::uint64_t *>(
+        static_cast<const PageTable *>(this)->findLeaf(vpn, leaf_level));
+}
+
+void
+PageTable::map4K(Vpn vpn, Ppn ppn)
+{
+    Node *pt = ensurePath(vpn, 3);
+    std::uint64_t &e = pt->ents[levelIndex(vpn, 3)];
+    ATLB_ASSERT(!pte::present(e), "vpn {} already mapped", vpn);
+    // Preserve ignored bits: a neighbouring anchor may have parked its
+    // high contiguity byte here before this page was mapped.
+    e = pte::make(ppn) | (e & pte::contigMask);
+    ++mapped_4k_;
+}
+
+void
+PageTable::remap4K(Vpn vpn, Ppn ppn)
+{
+    std::uint64_t *e = findLeaf(vpn, 3);
+    ATLB_ASSERT(e && pte::present(*e) && !pte::huge(*e),
+                "remap of vpn {} which is not a 4KB mapping", vpn);
+    *e = pte::make(ppn) | (*e & pte::contigMask);
+}
+
+void
+PageTable::unmap4K(Vpn vpn)
+{
+    std::uint64_t *e = findLeaf(vpn, 3);
+    ATLB_ASSERT(e && pte::present(*e) && !pte::huge(*e),
+                "unmap of vpn {} which is not a 4KB mapping", vpn);
+    *e = 0;
+    --mapped_4k_;
+}
+
+void
+PageTable::map2M(Vpn vpn, Ppn ppn)
+{
+    ATLB_ASSERT(isAligned(vpn, hugePages) && isAligned(ppn, hugePages),
+                "2MB mapping must be 512-page aligned (vpn {}, ppn {})",
+                vpn, ppn);
+    Node *pd = ensurePath(vpn, 2);
+    const unsigned idx = levelIndex(vpn, 2);
+    ATLB_ASSERT(!pd->kids[idx], "2MB leaf over existing PT at vpn {}", vpn);
+    std::uint64_t &e = pd->ents[idx];
+    ATLB_ASSERT(!pte::present(e), "vpn {} already mapped", vpn);
+    e = pte::make(ppn, true);
+    ++mapped_2m_;
+}
+
+void
+PageTable::map1G(Vpn vpn, Ppn ppn)
+{
+    ATLB_ASSERT(isAligned(vpn, giantPages) && isAligned(ppn, giantPages),
+                "1GB mapping must be 2^18-page aligned (vpn {}, ppn {})",
+                vpn, ppn);
+    Node *pdpt = ensurePath(vpn, 1);
+    const unsigned idx = levelIndex(vpn, 1);
+    ATLB_ASSERT(!pdpt->kids[idx], "1GB leaf over existing PD at vpn {}",
+                vpn);
+    std::uint64_t &e = pdpt->ents[idx];
+    ATLB_ASSERT(!pte::present(e), "vpn {} already mapped", vpn);
+    // A 1GB leaf's frame bits start at bit 30, so pte::make/pfn are
+    // exact for naturally aligned frames.
+    e = pte::make(ppn, true);
+    ++mapped_1g_;
+}
+
+WalkResult
+PageTable::walk(Vpn vpn) const
+{
+    WalkResult res;
+    const Node *node = root_.get();
+    for (unsigned level = 0; level < 3; ++level) {
+        const unsigned idx = levelIndex(vpn, level);
+        ++res.levels;
+        if (level == 1 && pte::present(node->ents[idx]) &&
+            pte::huge(node->ents[idx])) {
+            res.present = true;
+            res.ppn =
+                pte::pfn(node->ents[idx]) + (vpn & (giantPages - 1));
+            res.size = PageSize::Giant1G;
+            return res;
+        }
+        if (level == 2 && pte::present(node->ents[idx]) &&
+            pte::huge(node->ents[idx])) {
+            res.present = true;
+            res.ppn =
+                pte::hugePfn(node->ents[idx]) + (vpn & (hugePages - 1));
+            res.size = PageSize::Huge2M;
+            return res;
+        }
+        if (!node->kids[idx])
+            return res;
+        node = node->kids[idx].get();
+    }
+    ++res.levels;
+    const std::uint64_t e = node->ents[levelIndex(vpn, 3)];
+    if (pte::present(e)) {
+        res.present = true;
+        res.ppn = pte::pfn(e);
+        res.size = PageSize::Base4K;
+    }
+    return res;
+}
+
+std::uint64_t *
+PageTable::findAnchorSlot(Vpn avpn, bool &is_huge)
+{
+    Node *node = root_.get();
+    for (unsigned level = 0; level < 3; ++level) {
+        const unsigned idx = levelIndex(avpn, level);
+        if (level == 2 && pte::present(node->ents[idx]) &&
+            pte::huge(node->ents[idx])) {
+            if (!isAligned(avpn, hugePages))
+                return nullptr; // inside a huge page, no slot exists
+            is_huge = true;
+            return &node->ents[idx];
+        }
+        if (!node->kids[idx])
+            return nullptr;
+        node = node->kids[idx].get();
+    }
+    is_huge = false;
+    return &node->ents[levelIndex(avpn, 3)];
+}
+
+const std::uint64_t *
+PageTable::findAnchorSlot(Vpn avpn, bool &is_huge) const
+{
+    return const_cast<PageTable *>(this)->findAnchorSlot(avpn, is_huge);
+}
+
+void
+PageTable::setAnchorContiguity(Vpn avpn, std::uint64_t contig,
+                               std::uint64_t distance)
+{
+    ATLB_ASSERT(isPow2(distance) && distance >= 2 &&
+                    distance <= maxContiguity,
+                "bad anchor distance {}", distance);
+    ATLB_ASSERT(isAligned(avpn, distance), "unaligned anchor vpn {}", avpn);
+    ATLB_ASSERT(contig <= std::min(distance, maxContiguity),
+                "contiguity {} exceeds distance {}", contig, distance);
+
+    bool is_huge = false;
+    std::uint64_t *e = findAnchorSlot(avpn, is_huge);
+    if (contig == 0) {
+        if (!e)
+            return; // nothing to clear
+        if (is_huge) {
+            *e = pte::withHugeContigByte(*e, 0);
+            *e = pte::withContigByte(*e, 0);
+        } else {
+            *e = pte::withContigByte(*e, 0);
+            if (distance > 256)
+                e[1] = pte::withContigByte(e[1], 0);
+        }
+        return;
+    }
+    ATLB_ASSERT(e, "anchor vpn {} has no slot for an anchor", avpn);
+    ATLB_ASSERT(pte::present(*e), "anchor vpn {} is not mapped", avpn);
+    // Store contig - 1 (paper footnote: value excludes the anchor page so
+    // the field's full range is usable).
+    const std::uint64_t encoded = contig - 1;
+    if (is_huge) {
+        // The single PD leaf holds all 16 bits: low byte below the 2MB
+        // frame field, high byte in the ignored bits.
+        *e = pte::withHugeContigByte(
+            *e, static_cast<std::uint8_t>(encoded & 0xff));
+        *e = pte::withContigByte(
+            *e, static_cast<std::uint8_t>((encoded >> 8) & 0xff));
+        return;
+    }
+    *e = pte::withContigByte(*e, static_cast<std::uint8_t>(encoded & 0xff));
+    if (distance > 256) {
+        // distance > 256 implies distance >= 512, so the anchor is the
+        // first entry of its cache line; entry index avpn%512 == 0 and the
+        // neighbour below is in the same node and the same cache line.
+        e[1] = pte::withContigByte(
+            e[1], static_cast<std::uint8_t>((encoded >> 8) & 0xff));
+    }
+}
+
+std::uint64_t
+PageTable::anchorContiguity(Vpn avpn, std::uint64_t distance) const
+{
+    bool is_huge = false;
+    const std::uint64_t *e = findAnchorSlot(avpn, is_huge);
+    if (!e || !pte::present(*e))
+        return 0;
+    std::uint64_t encoded;
+    if (is_huge) {
+        encoded = pte::hugeContigByte(*e) |
+                  (static_cast<std::uint64_t>(pte::contigByte(*e)) << 8);
+        if (encoded == 0)
+            return 0; // huge leaf never swept as an anchor
+    } else {
+        encoded = pte::contigByte(*e);
+        if (distance > 256)
+            encoded |=
+                static_cast<std::uint64_t>(pte::contigByte(e[1])) << 8;
+    }
+    return encoded + 1;
+}
+
+std::uint64_t
+PageTable::sweepAnchors(const MemoryMap &map, std::uint64_t distance)
+{
+    ATLB_ASSERT(isPow2(distance) && distance >= 2 &&
+                    distance <= maxContiguity,
+                "bad anchor distance {}", distance);
+    std::uint64_t touched = 0;
+
+    // Clear the previous distance's anchors so stale contiguity bytes
+    // cannot alias into the new encoding.
+    if (swept_distance_ != 0 && swept_distance_ != distance) {
+        for (const Chunk &c : map.chunks()) {
+            for (Vpn avpn = alignUp(c.vpn, swept_distance_);
+                 avpn < c.vpnEnd(); avpn += swept_distance_) {
+                setAnchorContiguity(avpn, 0, swept_distance_);
+                ++touched;
+            }
+        }
+    }
+
+    touched += sweepAnchorsRange(map, distance, 0, invalidVpn);
+    swept_distance_ = distance;
+    return touched;
+}
+
+std::uint64_t
+PageTable::sweepAnchorsRange(const MemoryMap &map, std::uint64_t distance,
+                             Vpn begin, Vpn end)
+{
+    ATLB_ASSERT(isPow2(distance) && distance >= 2 &&
+                    distance <= maxContiguity,
+                "bad anchor distance {}", distance);
+    std::uint64_t touched = 0;
+    for (const Chunk &c : map.chunks()) {
+        const Vpn lo = std::max(c.vpn, begin);
+        const Vpn hi = std::min(c.vpnEnd(), end);
+        if (lo >= hi)
+            continue;
+        for (Vpn avpn = alignUp(lo, distance); avpn < hi;
+             avpn += distance) {
+            bool is_huge = false;
+            const std::uint64_t *e = findAnchorSlot(avpn, is_huge);
+            if (!e || !pte::present(*e))
+                continue; // inside a huge page (distance < 512): no slot
+            if (is_huge && distance < hugePages) {
+                // An anchor covering less than a huge page would only
+                // displace the strictly better 2MB translation.
+                continue;
+            }
+            // Contiguity still runs to the chunk end: coverage beyond a
+            // region boundary is physically valid, merely unused.
+            const std::uint64_t run = c.vpnEnd() - avpn;
+            const std::uint64_t contig =
+                std::min({run, distance, maxContiguity});
+            setAnchorContiguity(avpn, contig, distance);
+            ++touched;
+        }
+    }
+    return touched;
+}
+
+} // namespace atlb

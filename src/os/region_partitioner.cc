@@ -1,0 +1,120 @@
+#include "region_partitioner.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "os/memory_map.hh"
+#include "os/page_table.hh"
+
+namespace atlb
+{
+
+namespace
+{
+
+/** Working segment: a run of consecutive chunks with similar scale. */
+struct Segment
+{
+    std::size_t first_chunk = 0;
+    std::size_t last_chunk = 0; // inclusive
+    std::uint64_t pages = 0;
+    /** Pages-weighted sum of log2(chunk size), for the mean scale. */
+    double scale_sum = 0.0;
+
+    double meanScale() const
+    {
+        return pages ? scale_sum / static_cast<double>(pages) : 0.0;
+    }
+};
+
+double
+chunkScale(const Chunk &c)
+{
+    const std::uint64_t capped =
+        std::min<std::uint64_t>(c.pages, PageTable::maxContiguity);
+    return static_cast<double>(floorLog2(capped));
+}
+
+void
+addChunk(Segment &seg, std::size_t idx, const Chunk &c)
+{
+    seg.last_chunk = idx;
+    seg.pages += c.pages;
+    seg.scale_sum += chunkScale(c) * static_cast<double>(c.pages);
+}
+
+} // namespace
+
+RegionPartition
+partitionAnchorRegions(const MemoryMap &map,
+                       const RegionPartitionConfig &config)
+{
+    ATLB_ASSERT(map.finalized(), "partitioning an unfinalized map");
+    ATLB_ASSERT(config.max_regions >= 1, "need at least one region");
+
+    RegionPartition out;
+    out.default_distance =
+        selectAnchorDistance(map.contiguityHistogram()).distance;
+    const auto &chunks = map.chunks();
+    if (chunks.empty())
+        return out;
+
+    // Pass 1: segment at big shifts in chunk scale.
+    std::vector<Segment> segments;
+    Segment cur;
+    cur.first_chunk = 0;
+    addChunk(cur, 0, chunks[0]);
+    for (std::size_t i = 1; i < chunks.size(); ++i) {
+        const double shift =
+            std::abs(chunkScale(chunks[i]) - cur.meanScale());
+        if (shift >= static_cast<double>(config.scale_shift_log2) &&
+            cur.pages >= config.min_region_pages) {
+            segments.push_back(cur);
+            cur = Segment{};
+            cur.first_chunk = i;
+        }
+        addChunk(cur, i, chunks[i]);
+    }
+    segments.push_back(cur);
+
+    // Pass 2: merge the most-similar adjacent pair until within budget.
+    while (segments.size() > config.max_regions) {
+        std::size_t best = 0;
+        double best_diff = std::numeric_limits<double>::infinity();
+        for (std::size_t i = 0; i + 1 < segments.size(); ++i) {
+            const double diff = std::abs(segments[i].meanScale() -
+                                         segments[i + 1].meanScale());
+            if (diff < best_diff) {
+                best_diff = diff;
+                best = i;
+            }
+        }
+        Segment &a = segments[best];
+        const Segment &b = segments[best + 1];
+        a.last_chunk = b.last_chunk;
+        a.pages += b.pages;
+        a.scale_sum += b.scale_sum;
+        segments.erase(segments.begin() +
+                       static_cast<std::ptrdiff_t>(best) + 1);
+    }
+
+    // Pass 3: Algorithm 1 per segment.
+    out.regions.reserve(segments.size());
+    for (const Segment &seg : segments) {
+        Histogram hist;
+        for (std::size_t i = seg.first_chunk; i <= seg.last_chunk; ++i)
+            hist.add(chunks[i].pages);
+        AnchorRegion region;
+        region.begin = chunks[seg.first_chunk].vpn;
+        region.end = chunks[seg.last_chunk].vpnEnd();
+        region.distance =
+            selectAnchorDistance(hist, config.cost_model).distance;
+        out.regions.push_back(region);
+    }
+    return out;
+}
+
+} // namespace atlb

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * VA-region partitioning for the multi-region anchor TLB — the paper's
+ * Section 4.2 extension, implemented.
+ *
+ * A single process-wide anchor distance cannot fit an address space
+ * whose semantic regions have different contiguity (code vs heap vs a
+ * big mapped file). The extension partitions the VA space into a small
+ * number of regions, each with its own anchor distance, held by an
+ * additional region table in hardware (searched in parallel with the
+ * TLB lookup, like RMM's range TLB, so the region count stays small).
+ *
+ * The partitioner segments the mapping at big shifts in chunk scale,
+ * merges segments down to the hardware budget, and runs Algorithm 1 on
+ * each segment's own contiguity histogram.
+ */
+
+#ifndef ANCHORTLB_OS_REGION_PARTITIONER_HH
+#define ANCHORTLB_OS_REGION_PARTITIONER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "os/distance_selector.hh"
+
+namespace atlb
+{
+
+class MemoryMap;
+
+/** One VA region with its own anchor distance. */
+struct AnchorRegion
+{
+    Vpn begin = 0;             //!< first VPN of the region
+    Vpn end = 0;               //!< one past the last VPN
+    std::uint64_t distance = 2; //!< anchor distance within the region
+
+    bool contains(Vpn vpn) const { return vpn >= begin && vpn < end; }
+    std::uint64_t pages() const { return end - begin; }
+};
+
+/** Result of partitioning one process's mapping. */
+struct RegionPartition
+{
+    /** Regions sorted by VPN, disjoint, covering all mapped chunks. */
+    std::vector<AnchorRegion> regions;
+    /** Process-wide fallback distance (Algorithm 1 on the full map). */
+    std::uint64_t default_distance = 2;
+};
+
+/** Tuning knobs for the partitioner. */
+struct RegionPartitionConfig
+{
+    /** Hardware region-table capacity. */
+    unsigned max_regions = 8;
+    /** Don't open a new region for less than this many pages. */
+    std::uint64_t min_region_pages = 4096;
+    /**
+     * Log2 chunk-scale shift that justifies a region boundary
+     * (e.g. 3 = an 8x change in typical chunk size).
+     */
+    unsigned scale_shift_log2 = 3;
+    /**
+     * Cost model for the per-region selection. CoverageAware by
+     * default: the region extension exists to squeeze capacity out of
+     * every regime, so it models prefix/tail coverage accurately.
+     */
+    DistanceCostModel cost_model = DistanceCostModel::CoverageAware;
+};
+
+/**
+ * Partition @p map into anchor regions.
+ *
+ * Guarantees: regions are sorted, disjoint, within [first, last] mapped
+ * VPNs, at most config.max_regions of them, and each region's distance
+ * is a valid Algorithm 1 candidate.
+ */
+RegionPartition
+partitionAnchorRegions(const MemoryMap &map,
+                       const RegionPartitionConfig &config = {});
+
+} // namespace atlb
+
+#endif // ANCHORTLB_OS_REGION_PARTITIONER_HH

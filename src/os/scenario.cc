@@ -1,0 +1,267 @@
+#include "scenario.hh"
+
+#include <algorithm>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "mem/buddy_allocator.hh"
+#include "mem/fragmenter.hh"
+
+namespace atlb
+{
+
+const char *
+scenarioName(ScenarioKind kind)
+{
+    switch (kind) {
+      case ScenarioKind::Demand: return "demand";
+      case ScenarioKind::Eager: return "eager";
+      case ScenarioKind::LowContig: return "low";
+      case ScenarioKind::MedContig: return "medium";
+      case ScenarioKind::HighContig: return "high";
+      case ScenarioKind::MaxContig: return "max";
+    }
+    ATLB_PANIC("unknown scenario kind");
+}
+
+ScenarioKind
+scenarioFromName(const std::string &name)
+{
+    for (const ScenarioKind kind : allScenarios)
+        if (name == scenarioName(kind))
+            return kind;
+    ATLB_FATAL("unknown scenario '{}'", name);
+}
+
+namespace
+{
+
+/**
+ * Append chunks with sizes uniform in [lo, hi] pages to @p map,
+ * starting at @p vpn / @p ppn cursors (advanced in place). Chunks of
+ * >= 512 pages are placed with physical base congruent to the virtual
+ * base mod 512, so THP-sized pieces remain promotable; a >= 1 page
+ * guard gap between chunks prevents accidental physical adjacency
+ * (which would merge chunks and inflate contiguity beyond the
+ * requested range).
+ */
+void
+appendUniformChunks(MemoryMap &map, Rng &rng, Vpn &vpn, Ppn &ppn,
+                    std::uint64_t pages, std::uint64_t lo,
+                    std::uint64_t hi)
+{
+    ATLB_ASSERT(lo >= 1 && lo <= hi, "bad synthetic chunk range");
+    std::uint64_t remaining = pages;
+    while (remaining > 0) {
+        std::uint64_t size = std::min(rng.nextRange(lo, hi), remaining);
+        // Guard gap, then re-align for THP when the chunk can hold one.
+        ppn += 1 + rng.nextBounded(7);
+        if (size >= hugePages) {
+            // Place so that ppn == vpn (mod 512): any 2MB-aligned VA block
+            // inside the chunk then has a 2MB-aligned physical base.
+            const std::uint64_t want = vpn & (hugePages - 1);
+            ppn = alignUp(ppn, hugePages) + want;
+        }
+        map.add(vpn, ppn, size);
+        vpn += size;
+        ppn += size;
+        remaining -= size;
+    }
+}
+
+/** Synthetic mapping per paper Table 4: one uniform chunk-size range. */
+MemoryMap
+buildSynthetic(const ScenarioParams &p, std::uint64_t lo, std::uint64_t hi)
+{
+    Rng rng(p.seed);
+    MemoryMap map;
+    Vpn vpn = p.va_base;
+    Ppn ppn = hugePages; // arbitrary non-zero start
+    appendUniformChunks(map, rng, vpn, ppn, p.footprint_pages, lo, hi);
+    map.finalize();
+    return map;
+}
+
+/** Maximal contiguity: the whole footprint as one aligned chunk. */
+MemoryMap
+buildMax(const ScenarioParams &p)
+{
+    MemoryMap map;
+    // Identical 2MB alignment in VA and PA.
+    const Ppn ppn = alignUp(hugePages, hugePages) + (p.va_base & (hugePages - 1));
+    map.add(p.va_base, ppn, p.footprint_pages);
+    map.finalize();
+    return map;
+}
+
+std::uint64_t
+poolPagesFor(const ScenarioParams &p)
+{
+    if (p.pool_pages)
+        return p.pool_pages;
+    // Tile the pool in whole max-order blocks, like a fresh zone whose
+    // free lists hold only MAX_ORDER chunks; otherwise the seeding
+    // scraps at the pool tail masquerade as fragmentation.
+    return alignUp(p.footprint_pages * 5 / 2 + 1024,
+                   1ULL << BuddyAllocator::defaultMaxOrder);
+}
+
+/**
+ * Demand paging over a fragmented pool: fault pages in VA order. At each
+ * 2MB-aligned boundary with >= 512 pages left, first try an order-9
+ * allocation (the Linux THP fault path); fall back to a single frame.
+ * Optional churn lets a background job steal frames between faults.
+ */
+MemoryMap
+buildDemand(const ScenarioParams &p, std::uint64_t mean_free_run)
+{
+    Rng rng(p.seed);
+    BuddyAllocator buddy(poolPagesFor(p));
+    Fragmenter frag(buddy, rng);
+    FragmentProfile profile;
+    profile.mean_free_run_pages = mean_free_run;
+    profile.tail_run_pages = p.map_tail_run_pages;
+    profile.tail_fraction = p.map_tail_fraction;
+    profile.max_pinned_fraction = 0.45;
+    frag.apply(profile);
+
+    MemoryMap map;
+    Vpn vpn = p.va_base;
+    std::uint64_t remaining = p.footprint_pages;
+    // Churn allocations pin frames for the scenario's lifetime; they are
+    // conceptually owned by other processes.
+    std::vector<std::pair<Ppn, unsigned>> churn_blocks;
+
+    while (remaining > 0) {
+        std::uint64_t got = 0;
+        if (isAligned(vpn, hugePages) && remaining >= hugePages) {
+            const Ppn base = buddy.allocate(hugeShift);
+            if (base != invalidPpn) {
+                map.add(vpn, base, hugePages);
+                got = hugePages;
+            }
+        }
+        if (got == 0) {
+            const Ppn base = buddy.allocate(0);
+            ATLB_ASSERT(base != invalidPpn,
+                        "physical pool exhausted during demand paging");
+            map.add(vpn, base, 1);
+            got = 1;
+        }
+        vpn += got;
+        remaining -= got;
+
+        if (p.demand_churn > 0.0 && rng.nextBool(p.demand_churn)) {
+            const unsigned order = static_cast<unsigned>(rng.nextBounded(4));
+            const Ppn stolen = buddy.allocate(order);
+            if (stolen != invalidPpn)
+                churn_blocks.emplace_back(stolen, order);
+        }
+    }
+    for (const auto &[base, order] : churn_blocks)
+        buddy.free(base, order);
+    map.finalize();
+    return map;
+}
+
+/**
+ * Eager paging: the whole region is allocated at request time in maximal
+ * buddy blocks. Block order is capped by the VA cursor's own alignment,
+ * which keeps blocks naturally aligned in both spaces (so 2MB pieces stay
+ * THP-promotable) and mirrors how an eager allocator walks the region.
+ */
+MemoryMap
+buildEager(const ScenarioParams &p, std::uint64_t mean_free_run)
+{
+    Rng rng(p.seed);
+    BuddyAllocator buddy(poolPagesFor(p));
+    Fragmenter frag(buddy, rng);
+    FragmentProfile profile;
+    profile.mean_free_run_pages = mean_free_run;
+    profile.tail_run_pages = p.map_tail_run_pages;
+    profile.tail_fraction = p.map_tail_fraction;
+    profile.max_pinned_fraction = 0.45;
+    frag.apply(profile);
+
+    MemoryMap map;
+    Vpn vpn = p.va_base;
+    std::uint64_t remaining = p.footprint_pages;
+    while (remaining > 0) {
+        const unsigned va_align = static_cast<unsigned>(
+            std::min<std::uint64_t>(std::countr_zero(vpn | (1ULL << 40)),
+                                    buddy.maxOrder()));
+        const unsigned fit = static_cast<unsigned>(
+            std::min<std::uint64_t>(floorLog2(remaining), va_align));
+        unsigned got_order = 0;
+        const Ppn base = buddy.allocateLargest(fit, got_order);
+        ATLB_ASSERT(base != invalidPpn,
+                    "physical pool exhausted during eager paging");
+        map.add(vpn, base, 1ULL << got_order);
+        vpn += 1ULL << got_order;
+        remaining -= 1ULL << got_order;
+    }
+    map.finalize();
+    return map;
+}
+
+} // namespace
+
+MemoryMap
+buildScenario(ScenarioKind kind, const ScenarioParams &params)
+{
+    ATLB_ASSERT(params.footprint_pages > 0, "empty footprint");
+    ATLB_ASSERT(isAligned(params.va_base, hugePages),
+                "va_base must be 2MB aligned");
+    switch (kind) {
+      case ScenarioKind::Demand:
+        return buildDemand(params, params.demand_run_pages);
+      case ScenarioKind::Eager:
+        return buildEager(params, params.eager_run_pages);
+      case ScenarioKind::LowContig:
+        return buildSynthetic(params, 1, 16);
+      case ScenarioKind::MedContig:
+        return buildSynthetic(params, 1, 512);
+      case ScenarioKind::HighContig:
+        return buildSynthetic(params, 512, 65536);
+      case ScenarioKind::MaxContig:
+        return buildMax(params);
+    }
+    ATLB_PANIC("unknown scenario kind");
+}
+
+MemoryMap
+buildDemandWithPressure(const ScenarioParams &params,
+                        std::uint64_t mean_free_run_pages)
+{
+    return buildDemand(params, mean_free_run_pages);
+}
+
+MemoryMap
+buildSegmentedScenario(const ScenarioParams &params,
+                       const std::vector<ScenarioSegment> &segs)
+{
+    ATLB_ASSERT(!segs.empty(), "segmented scenario needs segments");
+    ATLB_ASSERT(isAligned(params.va_base, hugePages),
+                "va_base must be 2MB aligned");
+    Rng rng(params.seed);
+    MemoryMap map;
+    Vpn vpn = params.va_base;
+    Ppn ppn = hugePages;
+    for (const ScenarioSegment &seg : segs) {
+        ATLB_ASSERT(seg.pages > 0, "empty scenario segment");
+        appendUniformChunks(map, rng, vpn, ppn, seg.pages, seg.chunk_lo,
+                            seg.chunk_hi);
+        // Align the next segment to a huge-page boundary so segments
+        // remain independent for THP purposes (real VMAs start aligned).
+        const std::uint64_t slack = alignUp(vpn, hugePages) - vpn;
+        if (slack > 0) {
+            appendUniformChunks(map, rng, vpn, ppn, slack, 1,
+                                std::min<std::uint64_t>(slack, 8));
+        }
+    }
+    map.finalize();
+    return map;
+}
+
+} // namespace atlb

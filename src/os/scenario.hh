@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Memory-mapping scenario engine (paper Section 5.1, "Methodology").
+ *
+ * The paper evaluates six mappings per workload: two captured from real
+ * Linux machines (demand paging and eager paging, both with THP enabled)
+ * and four synthetic ones with uniform chunk-size distributions
+ * (Table 4). We regenerate all six:
+ *
+ *  - Synthetic scenarios construct chunks directly with sizes drawn
+ *    uniformly from the Table 4 ranges, placing each chunk at a fresh
+ *    physical location (with a guard gap so chunks never merge) and
+ *    preserving 2MB alignment for chunks of >= 512 pages so THP remains
+ *    possible exactly when the paper intends it to be.
+ *
+ *  - Demand and eager scenarios run a faithful allocation process over a
+ *    buddy allocator whose free space was pre-fragmented to a
+ *    per-workload profile (standing in for the co-runner pressure the
+ *    paper applied on real machines): demand faults pages in first-touch
+ *    order, trying a 2MB THP allocation at aligned boundaries first,
+ *    like Linux; eager allocates the whole region up-front in maximal
+ *    VA-aligned buddy blocks.
+ */
+
+#ifndef ANCHORTLB_OS_SCENARIO_HH
+#define ANCHORTLB_OS_SCENARIO_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "os/memory_map.hh"
+
+namespace atlb
+{
+
+/** The six mapping scenarios of the paper's evaluation. */
+enum class ScenarioKind
+{
+    Demand,     //!< real-system-style demand paging (THP on)
+    Eager,      //!< real-system-style eager paging (THP on)
+    LowContig,  //!< synthetic, chunks uniform in [1, 16] pages
+    MedContig,  //!< synthetic, chunks uniform in [1, 512] pages
+    HighContig, //!< synthetic, chunks uniform in [512, 65536] pages
+    MaxContig,  //!< synthetic, one maximal chunk
+};
+
+/** All scenarios in paper order (Figure 9's x-axis). */
+constexpr ScenarioKind allScenarios[] = {
+    ScenarioKind::Demand,     ScenarioKind::Eager,
+    ScenarioKind::LowContig,  ScenarioKind::MedContig,
+    ScenarioKind::HighContig, ScenarioKind::MaxContig,
+};
+
+/** Short display name ("demand", "eager", "low", ...). */
+const char *scenarioName(ScenarioKind kind);
+
+/** Parse a scenario name; fatal on unknown names. */
+ScenarioKind scenarioFromName(const std::string &name);
+
+/** Inputs to scenario construction. */
+struct ScenarioParams
+{
+    /** Footprint to map, in 4KB pages. */
+    std::uint64_t footprint_pages = 0;
+    /** First VPN of the mapped region (2MB-aligned by default). */
+    Vpn va_base = 0x7f0000000ULL; // VA 0x7f0000000000
+    /** RNG seed; equal seeds reproduce the mapping exactly. */
+    std::uint64_t seed = 1;
+    /**
+     * Demand/Eager only: mean free-run length (pages) of the
+     * pre-fragmented physical pool. 0 = pristine pool. This is the knob
+     * standing in for real-machine co-runner pressure.
+     */
+    std::uint64_t demand_run_pages = 0;
+    std::uint64_t eager_run_pages = 0;
+    /**
+     * Multi-scale tail for demand/eager pools: this page-weighted
+     * fraction of free space is carved into runs around
+     * @c map_tail_run_pages instead of the primary mean (Fig. 1's long
+     * tails).
+     */
+    std::uint64_t map_tail_run_pages = 0;
+    double map_tail_fraction = 0.0;
+    /**
+     * Demand only: probability that a background job steals frames
+     * between two faults, breaking physical adjacency.
+     */
+    double demand_churn = 0.0;
+    /** Physical pool size in pages; 0 = 2.5x footprint. */
+    std::uint64_t pool_pages = 0;
+};
+
+/**
+ * Build the VA->PA mapping for one (scenario, parameters) pair.
+ * The returned map is finalized and ready for page-table construction.
+ */
+MemoryMap buildScenario(ScenarioKind kind, const ScenarioParams &params);
+
+/**
+ * Build a demand-paging mapping over a pool fragmented with an explicit
+ * mean free-run length. Exposed separately for the Figure 1 chunk-CDF
+ * experiment, which sweeps the pressure level.
+ */
+MemoryMap buildDemandWithPressure(const ScenarioParams &params,
+                                  std::uint64_t mean_free_run_pages);
+
+/** One VA segment of a mixed-contiguity mapping. */
+struct ScenarioSegment
+{
+    /** Segment length in pages. */
+    std::uint64_t pages = 0;
+    /** Chunk sizes drawn uniformly from [chunk_lo, chunk_hi] pages. */
+    std::uint64_t chunk_lo = 1;
+    std::uint64_t chunk_hi = 1;
+};
+
+/**
+ * Build a mapping whose VA space is a sequence of segments with
+ * *different* contiguity regimes — the situation motivating the paper's
+ * Section 4.2 multi-region extension (a single process-wide anchor
+ * distance cannot fit all segments at once).
+ */
+MemoryMap buildSegmentedScenario(const ScenarioParams &params,
+                                 const std::vector<ScenarioSegment> &segs);
+
+} // namespace atlb
+
+#endif // ANCHORTLB_OS_SCENARIO_HH

@@ -1,0 +1,84 @@
+#include "table_builder.hh"
+
+#include <algorithm>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "os/memory_map.hh"
+#include "os/region_partitioner.hh"
+
+namespace atlb
+{
+
+namespace
+{
+
+/** Map [*vpn, limit) with 2MB leaves where possible, 4KB otherwise. */
+void
+mapUpTo(PageTable &table, const Chunk &c, Vpn &vpn, Vpn limit,
+        bool thp_ok)
+{
+    if (thp_ok) {
+        const Vpn huge_lo = std::min(alignUp(vpn, hugePages), limit);
+        const Vpn huge_hi =
+            std::max(alignDown(limit, hugePages), huge_lo);
+        for (; vpn < huge_lo; ++vpn)
+            table.map4K(vpn, c.translate(vpn));
+        for (; vpn < huge_hi; vpn += hugePages)
+            table.map2M(vpn, c.translate(vpn));
+    }
+    for (; vpn < limit; ++vpn)
+        table.map4K(vpn, c.translate(vpn));
+}
+
+} // namespace
+
+PageTable
+buildPageTable(const MemoryMap &map, bool use_thp, bool use_1g)
+{
+    ATLB_ASSERT(map.finalized(), "building table from unfinalized map");
+    PageTable table;
+    for (const Chunk &c : map.chunks()) {
+        Vpn vpn = c.vpn;
+        const Vpn end = c.vpnEnd();
+        // A chunk is promotable iff VA and PA agree modulo the block
+        // size: then every aligned virtual block inside it has a
+        // naturally aligned physical base.
+        const bool thp_ok =
+            use_thp && ((c.ppn - c.vpn) & (hugePages - 1)) == 0;
+        const bool giant_ok =
+            use_1g && ((c.ppn - c.vpn) & (giantPages - 1)) == 0;
+        if (giant_ok) {
+            const Vpn giant_lo = std::min(alignUp(vpn, giantPages), end);
+            const Vpn giant_hi =
+                std::max(alignDown(end, giantPages), giant_lo);
+            mapUpTo(table, c, vpn, giant_lo, thp_ok);
+            for (; vpn < giant_hi; vpn += giantPages)
+                table.map1G(vpn, c.translate(vpn));
+        }
+        mapUpTo(table, c, vpn, end, thp_ok);
+    }
+    return table;
+}
+
+PageTable
+buildAnchorPageTable(const MemoryMap &map, std::uint64_t distance)
+{
+    PageTable table = buildPageTable(map, true);
+    table.sweepAnchors(map, distance);
+    return table;
+}
+
+PageTable
+buildRegionAnchorPageTable(const MemoryMap &map,
+                           const RegionPartition &partition)
+{
+    PageTable table = buildPageTable(map, true);
+    for (const AnchorRegion &region : partition.regions) {
+        table.sweepAnchorsRange(map, region.distance, region.begin,
+                                region.end);
+    }
+    return table;
+}
+
+} // namespace atlb

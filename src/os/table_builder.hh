@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Page-table construction policies, one per translation scheme.
+ *
+ * All schemes translate the same MemoryMap; they differ in how the OS
+ * lays it into the page table:
+ *
+ *  - Base / plain cluster: every page is a 4KB PTE (no THP).
+ *  - THP / cluster-2MB / RMM: 2MB-eligible blocks become PD-level huge
+ *    leaves (ideal transparent-huge-page promotion), the rest 4KB.
+ *  - Anchor: THP layout plus an anchor sweep at the process's anchor
+ *    distance (paper Section 3.1).
+ */
+
+#ifndef ANCHORTLB_OS_TABLE_BUILDER_HH
+#define ANCHORTLB_OS_TABLE_BUILDER_HH
+
+#include <cstdint>
+
+#include "os/page_table.hh"
+
+namespace atlb
+{
+
+class MemoryMap;
+
+/**
+ * Build a page table for @p map.
+ * @param use_thp promote every huge-eligible 2MB block to a PD leaf.
+ * @param use_1g  additionally promote 1GB-eligible blocks to PDPT
+ *                leaves (off in the paper's Table 3 configuration; used
+ *                by the 1GB-page ablation).
+ */
+PageTable buildPageTable(const MemoryMap &map, bool use_thp,
+                         bool use_1g = false);
+
+/**
+ * Build the anchor scheme's page table: THP layout plus anchors swept
+ * at @p distance (power of two in [2, 2^16]).
+ */
+PageTable buildAnchorPageTable(const MemoryMap &map, std::uint64_t distance);
+
+struct RegionPartition;
+
+/**
+ * Build the multi-region anchor page table (paper Section 4.2): THP
+ * layout plus per-region anchor sweeps at each region's own distance.
+ */
+PageTable buildRegionAnchorPageTable(const MemoryMap &map,
+                                     const RegionPartition &partition);
+
+} // namespace atlb
+
+#endif // ANCHORTLB_OS_TABLE_BUILDER_HH

@@ -1,0 +1,232 @@
+#include "experiment.hh"
+
+#include <cstdlib>
+#include <functional>
+#include <limits>
+
+#include "common/logging.hh"
+#include "mmu/anchor_mmu.hh"
+#include "mmu/baseline_mmu.hh"
+#include "mmu/cluster_mmu.hh"
+#include "mmu/rmm_mmu.hh"
+#include "os/distance_selector.hh"
+#include "os/table_builder.hh"
+
+namespace atlb
+{
+
+SimOptions
+SimOptions::fromEnv()
+{
+    SimOptions opts;
+    if (const char *v = std::getenv("ANCHORTLB_ACCESSES"))
+        opts.accesses = std::strtoull(v, nullptr, 10);
+    if (const char *v = std::getenv("ANCHORTLB_SCALE"))
+        opts.footprint_scale = std::strtod(v, nullptr);
+    if (const char *v = std::getenv("ANCHORTLB_SEED"))
+        opts.seed = std::strtoull(v, nullptr, 10);
+    if (opts.accesses == 0)
+        ATLB_FATAL("ANCHORTLB_ACCESSES must be positive");
+    if (opts.footprint_scale <= 0.0 || opts.footprint_scale > 1.0)
+        ATLB_FATAL("ANCHORTLB_SCALE must be in (0, 1]");
+    return opts;
+}
+
+/** Cached expensive state for one (workload, scenario) pair. */
+struct ExperimentContext::PairState
+{
+    std::string workload;
+    ScenarioKind scenario;
+    WorkloadSpec spec;     //!< footprint already scaled
+    MemoryMap map;
+    std::uint64_t dynamic_distance = 0;
+
+    // Lazily built page-table variants.
+    std::optional<PageTable> plain_table; //!< all-4KB (Base, Cluster)
+    std::optional<PageTable> thp_table;   //!< with 2MB leaves
+    std::optional<PageTable> anchor_table;
+    std::uint64_t anchor_table_distance = 0;
+};
+
+ExperimentContext::ExperimentContext(SimOptions options)
+    : options_(options)
+{
+}
+
+ExperimentContext::~ExperimentContext() = default;
+
+void
+ExperimentContext::clearCache()
+{
+    cache_.clear();
+}
+
+ScenarioParams
+ExperimentContext::scenarioParams(const WorkloadSpec &spec) const
+{
+    ScenarioParams p;
+    p.footprint_pages = spec.footprintPages();
+    p.seed = options_.seed * 0x9e3779b9ULL + std::hash<std::string>{}(
+                                                 spec.name);
+    p.demand_run_pages = spec.demand_run_pages;
+    p.eager_run_pages = spec.eager_run_pages;
+    p.demand_churn = spec.demand_churn;
+    p.map_tail_run_pages = spec.map_tail_run_pages;
+    p.map_tail_fraction = spec.map_tail_fraction;
+    return p;
+}
+
+ExperimentContext::PairState &
+ExperimentContext::pairState(const std::string &workload,
+                             ScenarioKind scenario)
+{
+    for (auto &entry : cache_) {
+        if (entry->workload == workload && entry->scenario == scenario)
+            return *entry;
+    }
+
+    auto state = std::make_unique<PairState>();
+    state->workload = workload;
+    state->scenario = scenario;
+    state->spec = findWorkload(workload);
+    state->spec.footprint_bytes = static_cast<std::uint64_t>(
+        static_cast<double>(state->spec.footprint_bytes) *
+        options_.footprint_scale);
+    if (state->spec.footprint_bytes < pageBytes)
+        state->spec.footprint_bytes = pageBytes;
+
+    state->map = buildScenario(scenario, scenarioParams(state->spec));
+    state->dynamic_distance =
+        selectAnchorDistance(state->map.contiguityHistogram()).distance;
+
+    cache_.push_back(std::move(state));
+    // Page tables are tens of MB for big footprints: keep only a couple
+    // of pairs alive.
+    while (cache_.size() > 2)
+        cache_.pop_front();
+    return *cache_.back();
+}
+
+const MemoryMap &
+ExperimentContext::mapping(const std::string &workload,
+                           ScenarioKind scenario)
+{
+    return pairState(workload, scenario).map;
+}
+
+std::uint64_t
+ExperimentContext::dynamicDistance(const std::string &workload,
+                                   ScenarioKind scenario)
+{
+    return pairState(workload, scenario).dynamic_distance;
+}
+
+SimResult
+ExperimentContext::runScheme(PairState &state, Scheme scheme,
+                             std::uint64_t anchor_distance)
+{
+    const std::uint64_t trace_seed =
+        options_.seed ^ (std::hash<std::string>{}(state.workload) * 31 + 7);
+    PatternTrace trace(state.spec, vaOf(0x7f0000000ULL), options_.accesses,
+                       trace_seed);
+
+    std::unique_ptr<Mmu> mmu;
+    switch (scheme) {
+      case Scheme::Base:
+        if (!state.plain_table)
+            state.plain_table = buildPageTable(state.map, false);
+        mmu = std::make_unique<BaselineMmu>(options_.mmu,
+                                            *state.plain_table, "base");
+        break;
+      case Scheme::Thp:
+        if (!state.thp_table)
+            state.thp_table = buildPageTable(state.map, true);
+        mmu = std::make_unique<BaselineMmu>(options_.mmu, *state.thp_table,
+                                            "thp");
+        break;
+      case Scheme::Cluster:
+        if (!state.plain_table)
+            state.plain_table = buildPageTable(state.map, false);
+        mmu = std::make_unique<ClusterMmu>(options_.mmu,
+                                           *state.plain_table, false);
+        break;
+      case Scheme::Cluster2MB:
+        if (!state.thp_table)
+            state.thp_table = buildPageTable(state.map, true);
+        mmu = std::make_unique<ClusterMmu>(options_.mmu, *state.thp_table,
+                                           true);
+        break;
+      case Scheme::Rmm:
+        if (!state.thp_table)
+            state.thp_table = buildPageTable(state.map, true);
+        mmu = std::make_unique<RmmMmu>(options_.mmu, *state.thp_table,
+                                       state.map);
+        break;
+      case Scheme::Anchor:
+      case Scheme::AnchorIdeal: {
+        if (!state.anchor_table) {
+            state.anchor_table = buildPageTable(state.map, true);
+            state.anchor_table_distance = 0;
+        }
+        if (state.anchor_table_distance != anchor_distance) {
+            state.anchor_table->sweepAnchors(state.map, anchor_distance);
+            state.anchor_table_distance = anchor_distance;
+        }
+        mmu = std::make_unique<AnchorMmu>(options_.mmu,
+                                          *state.anchor_table,
+                                          anchor_distance);
+        break;
+      }
+    }
+    ATLB_ASSERT(mmu, "no MMU built for scheme");
+
+    SimResult res = runSimulation(*mmu, trace, state.spec.mem_per_instr);
+    res.workload = state.workload;
+    res.scenario = scenarioName(state.scenario);
+    res.scheme = schemeName(scheme);
+    if (scheme == Scheme::Anchor || scheme == Scheme::AnchorIdeal)
+        res.anchor_distance = anchor_distance;
+    return res;
+}
+
+SimResult
+ExperimentContext::run(const std::string &workload, ScenarioKind scenario,
+                       Scheme scheme,
+                       std::optional<std::uint64_t> distance_override)
+{
+    PairState &state = pairState(workload, scenario);
+
+    if (scheme == Scheme::AnchorIdeal) {
+        // Oracle: exhaustively sweep every candidate distance, keep the
+        // run with the fewest misses (paper's "static ideal").
+        SimResult best;
+        std::uint64_t best_misses =
+            std::numeric_limits<std::uint64_t>::max();
+        for (const std::uint64_t d : candidateDistances()) {
+            SimResult r = runScheme(state, scheme, d);
+            if (r.misses() < best_misses) {
+                best_misses = r.misses();
+                best = r;
+            }
+        }
+        return best;
+    }
+
+    std::uint64_t distance = 0;
+    if (scheme == Scheme::Anchor) {
+        distance = distance_override ? *distance_override
+                                     : state.dynamic_distance;
+    }
+    return runScheme(state, scheme, distance);
+}
+
+double
+relativeMisses(std::uint64_t scheme_misses, std::uint64_t base_misses)
+{
+    if (base_misses == 0)
+        return 1.0; // nothing to reduce: report parity
+    return static_cast<double>(scheme_misses) /
+           static_cast<double>(base_misses);
+}
+
+} // namespace atlb

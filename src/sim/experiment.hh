@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Experiment context: builds and caches mappings, page tables and
+ * workload traces, and runs (workload x scenario x scheme) cells.
+ *
+ * This is the top-level API the bench binaries and examples use; one
+ * cell corresponds to one bar of a paper figure. Page tables for big
+ * footprints are large, so the context keeps a small FIFO cache of
+ * per-(workload, scenario) state — iterate workloads in the outer loop
+ * for locality.
+ */
+
+#ifndef ANCHORTLB_SIM_EXPERIMENT_HH
+#define ANCHORTLB_SIM_EXPERIMENT_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "mmu/mmu_config.hh"
+#include "os/memory_map.hh"
+#include "os/page_table.hh"
+#include "os/scenario.hh"
+#include "sim/scheme.hh"
+#include "sim/simulator.hh"
+#include "trace/workload.hh"
+
+namespace atlb
+{
+
+/** Global knobs for an experiment campaign. */
+struct SimOptions
+{
+    /** Accesses simulated per cell. */
+    std::uint64_t accesses = 2'000'000;
+    /** Base RNG seed (mapping and trace seeds derive from it). */
+    std::uint64_t seed = 42;
+    /**
+     * Footprint scale factor (1.0 = paper-sized working sets). Smaller
+     * values shrink memory and runtime for quick runs; relative scheme
+     * behaviour is preserved as long as footprints stay well above the
+     * L2 TLB reach.
+     */
+    double footprint_scale = 1.0;
+    /** Hardware parameters (paper Table 3 defaults). */
+    MmuConfig mmu;
+
+    /** Read accesses/scale overrides from ANCHORTLB_* env vars. */
+    static SimOptions fromEnv();
+};
+
+/** Runs experiment cells with caching of expensive per-pair state. */
+class ExperimentContext
+{
+  public:
+    explicit ExperimentContext(SimOptions options = SimOptions::fromEnv());
+    ~ExperimentContext();
+
+    ExperimentContext(const ExperimentContext &) = delete;
+    ExperimentContext &operator=(const ExperimentContext &) = delete;
+
+    /**
+     * Run one cell. For Scheme::Anchor the distance comes from the
+     * dynamic selection algorithm unless @p distance_override is given;
+     * for Scheme::AnchorIdeal every candidate distance is swept and the
+     * best (fewest misses) run is returned.
+     */
+    SimResult run(const std::string &workload, ScenarioKind scenario,
+                  Scheme scheme,
+                  std::optional<std::uint64_t> distance_override = {});
+
+    /** Distance Algorithm 1 selects for this workload/scenario pair. */
+    std::uint64_t dynamicDistance(const std::string &workload,
+                                  ScenarioKind scenario);
+
+    /** The (cached) mapping for a pair, for inspection. */
+    const MemoryMap &mapping(const std::string &workload,
+                             ScenarioKind scenario);
+
+    const SimOptions &options() const { return options_; }
+
+    /** Drop all cached state (frees page-table memory). */
+    void clearCache();
+
+  private:
+    struct PairState;
+
+    SimOptions options_;
+    std::deque<std::unique_ptr<PairState>> cache_;
+
+    PairState &pairState(const std::string &workload,
+                         ScenarioKind scenario);
+    ScenarioParams scenarioParams(const WorkloadSpec &spec) const;
+    SimResult runScheme(PairState &state, Scheme scheme,
+                        std::uint64_t anchor_distance);
+};
+
+/**
+ * Geometric-free mean helper used by the figure benches: the paper
+ * reports arithmetic means of relative misses; relative(a, base) guards
+ * the base==0 corner (no misses anywhere -> ratio 1).
+ */
+double relativeMisses(std::uint64_t scheme_misses,
+                      std::uint64_t base_misses);
+
+} // namespace atlb
+
+#endif // ANCHORTLB_SIM_EXPERIMENT_HH

@@ -1,0 +1,172 @@
+#include "multiprocess.hh"
+
+#include <functional>
+#include <memory>
+
+#include "common/logging.hh"
+#include "mmu/anchor_mmu.hh"
+#include "mmu/baseline_mmu.hh"
+#include "mmu/cluster_mmu.hh"
+#include "mmu/region_anchor_mmu.hh"
+#include "mmu/rmm_mmu.hh"
+#include "os/distance_selector.hh"
+#include "os/region_partitioner.hh"
+#include "os/table_builder.hh"
+#include "trace/workload.hh"
+
+namespace atlb
+{
+
+namespace
+{
+
+/** Everything owned per simulated process. */
+struct ProcessState
+{
+    WorkloadSpec spec;
+    MemoryMap map;
+    PageTable table;
+    std::uint64_t anchor_distance = 0;
+    RegionPartition partition;
+    std::unique_ptr<PatternTrace> trace;
+
+    ProcessContext
+    context() const
+    {
+        ProcessContext ctx;
+        ctx.table = &table;
+        ctx.map = &map;
+        ctx.anchor_distance = anchor_distance;
+        ctx.partition = &partition;
+        return ctx;
+    }
+};
+
+ProcessState
+buildProcess(Scheme scheme, const ProcessSpec &p,
+             const MultiProcessOptions &options, std::uint64_t index)
+{
+    ProcessState state;
+    state.spec = findWorkload(p.workload);
+    state.spec.footprint_bytes = static_cast<std::uint64_t>(
+        static_cast<double>(state.spec.footprint_bytes) *
+        options.footprint_scale);
+    if (state.spec.footprint_bytes < pageBytes)
+        state.spec.footprint_bytes = pageBytes;
+
+    ScenarioParams params;
+    params.footprint_pages = state.spec.footprintPages();
+    params.seed = options.seed + 1000 * (index + 1);
+    params.demand_run_pages = state.spec.demand_run_pages;
+    params.eager_run_pages = state.spec.eager_run_pages;
+    params.demand_churn = state.spec.demand_churn;
+    params.map_tail_run_pages = state.spec.map_tail_run_pages;
+    params.map_tail_fraction = state.spec.map_tail_fraction;
+    state.map = buildScenario(p.scenario, params);
+
+    switch (scheme) {
+      case Scheme::Base:
+      case Scheme::Cluster:
+        state.table = buildPageTable(state.map, false);
+        break;
+      case Scheme::Thp:
+      case Scheme::Cluster2MB:
+      case Scheme::Rmm:
+        state.table = buildPageTable(state.map, true);
+        break;
+      case Scheme::Anchor:
+      case Scheme::AnchorIdeal:
+        state.anchor_distance =
+            selectAnchorDistance(state.map.contiguityHistogram())
+                .distance;
+        state.table =
+            buildAnchorPageTable(state.map, state.anchor_distance);
+        break;
+    }
+    // The region partition is cheap; compute it for completeness (only
+    // the region scheme consumes it).
+    state.partition = partitionAnchorRegions(state.map);
+
+    state.trace = std::make_unique<PatternTrace>(
+        state.spec, vaOf(params.va_base),
+        ~0ULL, // effectively unbounded; the scheduler decides the length
+        options.seed * 977 + index);
+    return state;
+}
+
+std::unique_ptr<Mmu>
+buildMmu(Scheme scheme, const MultiProcessOptions &options,
+         const ProcessState &first)
+{
+    const MmuConfig &cfg = options.mmu;
+    switch (scheme) {
+      case Scheme::Base:
+        return std::make_unique<BaselineMmu>(cfg, first.table, "base");
+      case Scheme::Thp:
+        return std::make_unique<BaselineMmu>(cfg, first.table, "thp");
+      case Scheme::Cluster:
+        return std::make_unique<ClusterMmu>(cfg, first.table, false);
+      case Scheme::Cluster2MB:
+        return std::make_unique<ClusterMmu>(cfg, first.table, true);
+      case Scheme::Rmm:
+        return std::make_unique<RmmMmu>(cfg, first.table, first.map);
+      case Scheme::Anchor:
+      case Scheme::AnchorIdeal:
+        return std::make_unique<AnchorMmu>(cfg, first.table,
+                                           first.anchor_distance);
+    }
+    ATLB_PANIC("unknown scheme");
+}
+
+} // namespace
+
+MultiProcessResult
+runMultiProcess(Scheme scheme, const std::vector<ProcessSpec> &processes,
+                const MultiProcessOptions &options)
+{
+    ATLB_ASSERT(!processes.empty(), "no processes to schedule");
+    ATLB_ASSERT(options.quantum_accesses > 0, "zero quantum");
+
+    std::vector<ProcessState> states;
+    states.reserve(processes.size());
+    for (std::size_t i = 0; i < processes.size(); ++i)
+        states.push_back(
+            buildProcess(scheme, processes[i], options, i));
+
+    std::unique_ptr<Mmu> mmu = buildMmu(scheme, options, states[0]);
+
+    MultiProcessResult result;
+    result.processes.resize(states.size());
+    for (std::size_t i = 0; i < states.size(); ++i) {
+        result.processes[i].workload = states[i].spec.name;
+        result.processes[i].anchor_distance = states[i].anchor_distance;
+    }
+
+    std::uint64_t executed = 0;
+    std::size_t current = 0;
+    bool first_quantum = true;
+    while (executed < options.total_accesses) {
+        if (!first_quantum) {
+            current = (current + 1) % states.size();
+            if (states.size() > 1) {
+                mmu->switchProcess(states[current].context());
+                ++result.context_switches;
+            }
+        }
+        first_quantum = false;
+        const std::uint64_t quantum = std::min(
+            options.quantum_accesses, options.total_accesses - executed);
+        MemAccess access;
+        for (std::uint64_t i = 0; i < quantum; ++i) {
+            if (!states[current].trace->next(access))
+                break;
+            mmu->translate(access.vaddr);
+            ++result.processes[current].accesses;
+        }
+        executed += quantum;
+    }
+    result.stats = mmu->stats();
+    return result;
+}
+
+} // namespace atlb

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Multi-process simulation: round-robin scheduling with TLB flushes on
+ * context switches.
+ *
+ * The paper's OS discussion (Section 3.3) leans on the fact that the
+ * native x86 Linux kernel flushes the TLB on context switches, which is
+ * what makes whole-TLB invalidation for anchor-distance changes cheap
+ * in comparison. This module makes that cost-benefit analysis runnable:
+ * several processes share one MMU, each context switch loads the next
+ * process's page table (and per-process anchor distance / range /
+ * region state) and flushes, and we measure how quickly each scheme
+ * re-warms. Coverage-oriented schemes refill entire regions with a
+ * handful of walks, so their advantage *grows* as the switch quantum
+ * shrinks.
+ */
+
+#ifndef ANCHORTLB_SIM_MULTIPROCESS_HH
+#define ANCHORTLB_SIM_MULTIPROCESS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mmu/mmu.hh"
+#include "os/scenario.hh"
+#include "sim/experiment.hh"
+#include "sim/scheme.hh"
+
+namespace atlb
+{
+
+/** One scheduled process. */
+struct ProcessSpec
+{
+    std::string workload;
+    ScenarioKind scenario = ScenarioKind::MedContig;
+};
+
+/** Knobs for a multi-process run. */
+struct MultiProcessOptions
+{
+    /** Total accesses across all processes. */
+    std::uint64_t total_accesses = 1'000'000;
+    /** Accesses executed per scheduling quantum. */
+    std::uint64_t quantum_accesses = 50'000;
+    std::uint64_t seed = 42;
+    double footprint_scale = 1.0;
+    MmuConfig mmu;
+};
+
+/** Per-process and aggregate outcome of a multi-process run. */
+struct MultiProcessResult
+{
+    struct PerProcess
+    {
+        std::string workload;
+        std::uint64_t accesses = 0;
+        std::uint64_t anchor_distance = 0;
+    };
+
+    std::vector<PerProcess> processes;
+    std::uint64_t context_switches = 0;
+    MmuStats stats; //!< aggregate over the whole run
+
+    double
+    missesPerKiloAccess() const
+    {
+        return stats.accesses
+                   ? 1000.0 * static_cast<double>(stats.page_walks) /
+                         static_cast<double>(stats.accesses)
+                   : 0.0;
+    }
+};
+
+/**
+ * Run @p processes round-robin under @p scheme.
+ *
+ * Every process gets its own mapping, page table and (for the anchor
+ * schemes) dynamically selected distance; the shared MMU is context-
+ * switched at each quantum boundary.
+ */
+MultiProcessResult runMultiProcess(Scheme scheme,
+                                   const std::vector<ProcessSpec> &processes,
+                                   const MultiProcessOptions &options);
+
+} // namespace atlb
+
+#endif // ANCHORTLB_SIM_MULTIPROCESS_HH

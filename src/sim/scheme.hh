@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The translation schemes compared in the paper's evaluation.
+ */
+
+#ifndef ANCHORTLB_SIM_SCHEME_HH
+#define ANCHORTLB_SIM_SCHEME_HH
+
+#include <string>
+
+namespace atlb
+{
+
+/** Schemes of paper Figures 7-11 (plus the static-ideal anchor oracle). */
+enum class Scheme
+{
+    Base,       //!< 4KB-only two-level TLB
+    Thp,        //!< baseline hardware + transparent huge pages
+    Cluster,    //!< HW coalescing, 4KB only (CoLT/cluster TLB)
+    Cluster2MB, //!< HW coalescing + 2MB pages in the regular partition
+    Rmm,        //!< redundant memory mappings (range TLB)
+    Anchor,     //!< hybrid coalescing, dynamic distance (paper "Dynamic")
+    AnchorIdeal //!< hybrid coalescing, oracle distance ("Static Ideal")
+};
+
+/** All schemes in paper legend order. */
+constexpr Scheme allSchemes[] = {
+    Scheme::Base,    Scheme::Thp, Scheme::Cluster, Scheme::Cluster2MB,
+    Scheme::Rmm,     Scheme::Anchor, Scheme::AnchorIdeal,
+};
+
+/** Paper legend name ("Base", "THP", "Cluster", ...). */
+inline const char *
+schemeName(Scheme scheme)
+{
+    switch (scheme) {
+      case Scheme::Base: return "Base";
+      case Scheme::Thp: return "THP";
+      case Scheme::Cluster: return "Cluster";
+      case Scheme::Cluster2MB: return "Cluster-2MB";
+      case Scheme::Rmm: return "RMM";
+      case Scheme::Anchor: return "Dynamic";
+      case Scheme::AnchorIdeal: return "Static Ideal";
+    }
+    return "?";
+}
+
+} // namespace atlb
+
+#endif // ANCHORTLB_SIM_SCHEME_HH

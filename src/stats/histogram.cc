@@ -1,0 +1,129 @@
+#include "histogram.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace atlb
+{
+
+void
+Histogram::add(std::uint64_t key, std::uint64_t count)
+{
+    if (count == 0)
+        return;
+    counts_[key] += count;
+    samples_ += count;
+    weighted_sum_ += key * count;
+}
+
+std::uint64_t
+Histogram::count(std::uint64_t key) const
+{
+    const auto it = counts_.find(key);
+    return it == counts_.end() ? 0 : it->second;
+}
+
+void
+Histogram::clear()
+{
+    counts_.clear();
+    samples_ = 0;
+    weighted_sum_ = 0;
+}
+
+std::vector<std::pair<std::uint64_t, double>>
+Histogram::weightedCdf() const
+{
+    std::vector<std::pair<std::uint64_t, double>> out;
+    if (weighted_sum_ == 0)
+        return out;
+    out.reserve(counts_.size());
+    std::uint64_t acc = 0;
+    for (const auto &[key, cnt] : counts_) {
+        acc += key * cnt;
+        out.emplace_back(key,
+                         static_cast<double>(acc) /
+                             static_cast<double>(weighted_sum_));
+    }
+    return out;
+}
+
+std::vector<std::pair<std::uint64_t, double>>
+Histogram::cdf() const
+{
+    std::vector<std::pair<std::uint64_t, double>> out;
+    if (samples_ == 0)
+        return out;
+    out.reserve(counts_.size());
+    std::uint64_t acc = 0;
+    for (const auto &[key, cnt] : counts_) {
+        acc += cnt;
+        out.emplace_back(key, static_cast<double>(acc) /
+                                  static_cast<double>(samples_));
+    }
+    return out;
+}
+
+std::uint64_t
+Histogram::minKey() const
+{
+    return counts_.empty() ? 0 : counts_.begin()->first;
+}
+
+std::uint64_t
+Histogram::maxKey() const
+{
+    return counts_.empty() ? 0 : counts_.rbegin()->first;
+}
+
+std::uint64_t
+Histogram::weightedQuantile(double q) const
+{
+    if (counts_.empty())
+        return 0;
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    const double target = q * static_cast<double>(weighted_sum_);
+    std::uint64_t acc = 0;
+    for (const auto &[key, cnt] : counts_) {
+        acc += key * cnt;
+        if (static_cast<double>(acc) >= target)
+            return key;
+    }
+    return counts_.rbegin()->first;
+}
+
+Log2Histogram::Log2Histogram(unsigned num_buckets)
+    : buckets_(num_buckets, 0)
+{
+    ATLB_ASSERT(num_buckets > 0, "need at least one bucket");
+}
+
+void
+Log2Histogram::add(std::uint64_t value)
+{
+    unsigned idx = value == 0 ? 0 : floorLog2(value);
+    if (idx >= buckets_.size())
+        idx = static_cast<unsigned>(buckets_.size()) - 1;
+    ++buckets_[idx];
+    ++samples_;
+}
+
+std::uint64_t
+Log2Histogram::bucket(unsigned i) const
+{
+    ATLB_ASSERT(i < buckets_.size(), "bucket index out of range");
+    return buckets_[i];
+}
+
+void
+Log2Histogram::clear()
+{
+    for (auto &b : buckets_)
+        b = 0;
+    samples_ = 0;
+}
+
+} // namespace atlb

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Histogram statistics used for chunk-size CDFs and latency distributions.
+ *
+ * Two flavours:
+ *  - Histogram: arbitrary integer keys -> counts (sparse, exact). Used for
+ *    the OS contiguity histogram where the key is a chunk size in pages.
+ *  - Log2Histogram: power-of-two bucketed counts for compact summaries.
+ */
+
+#ifndef ANCHORTLB_STATS_HISTOGRAM_HH
+#define ANCHORTLB_STATS_HISTOGRAM_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace atlb
+{
+
+/** Sparse exact histogram over uint64 keys. */
+class Histogram
+{
+  public:
+    /** Add @p count observations of @p key. */
+    void add(std::uint64_t key, std::uint64_t count = 1);
+
+    /** Total number of observations. */
+    std::uint64_t samples() const { return samples_; }
+
+    /** Sum of key * count over all entries (e.g. total pages). */
+    std::uint64_t weightedSum() const { return weighted_sum_; }
+
+    /** Number of distinct keys. */
+    std::size_t distinct() const { return counts_.size(); }
+
+    /** Count recorded for @p key (0 if absent). */
+    std::uint64_t count(std::uint64_t key) const;
+
+    /** True iff no observations have been added. */
+    bool empty() const { return samples_ == 0; }
+
+    /** Remove all observations. */
+    void clear();
+
+    /**
+     * Cumulative distribution by *weight* (key x count), i.e. the
+     * fraction of total pages residing in chunks of size <= key.
+     * Returns (key, cumulative fraction) points in ascending key order.
+     */
+    std::vector<std::pair<std::uint64_t, double>> weightedCdf() const;
+
+    /** Cumulative distribution by observation count. */
+    std::vector<std::pair<std::uint64_t, double>> cdf() const;
+
+    /** Smallest key with an observation; 0 when empty. */
+    std::uint64_t minKey() const;
+
+    /** Largest key with an observation; 0 when empty. */
+    std::uint64_t maxKey() const;
+
+    /** Key at or above which @p q of the weight lies (weighted quantile). */
+    std::uint64_t weightedQuantile(double q) const;
+
+    /** Iterate over (key, count) pairs in ascending key order. */
+    const std::map<std::uint64_t, std::uint64_t> &entries() const
+    {
+        return counts_;
+    }
+
+  private:
+    std::map<std::uint64_t, std::uint64_t> counts_;
+    std::uint64_t samples_ = 0;
+    std::uint64_t weighted_sum_ = 0;
+};
+
+/** Fixed power-of-two bucketed histogram (bucket i holds [2^i, 2^(i+1))). */
+class Log2Histogram
+{
+  public:
+    explicit Log2Histogram(unsigned num_buckets = 33);
+
+    /** Record one observation of @p value (value 0 lands in bucket 0). */
+    void add(std::uint64_t value);
+
+    std::uint64_t samples() const { return samples_; }
+
+    /** Count in bucket @p i. */
+    std::uint64_t bucket(unsigned i) const;
+
+    unsigned numBuckets() const
+    {
+        return static_cast<unsigned>(buckets_.size());
+    }
+
+    void clear();
+
+  private:
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t samples_ = 0;
+};
+
+} // namespace atlb
+
+#endif // ANCHORTLB_STATS_HISTOGRAM_HH

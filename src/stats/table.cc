@@ -1,0 +1,158 @@
+#include "table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace atlb
+{
+
+Table::Table(std::string title, std::vector<std::string> headers)
+    : title_(std::move(title)), headers_(std::move(headers))
+{
+    ATLB_ASSERT(!headers_.empty(), "table needs at least one column");
+}
+
+void
+Table::beginRow()
+{
+    if (!rows_.empty() && rows_.back().size() != headers_.size()) {
+        ATLB_PANIC("row {} has {} cells, expected {}", rows_.size() - 1,
+                   rows_.back().size(), headers_.size());
+    }
+    rows_.emplace_back();
+    rows_.back().reserve(headers_.size());
+}
+
+void
+Table::cell(std::string value)
+{
+    ATLB_ASSERT(!rows_.empty(), "cell() before beginRow()");
+    ATLB_ASSERT(rows_.back().size() < headers_.size(), "row overflow");
+    rows_.back().push_back(std::move(value));
+}
+
+void
+Table::cell(double value, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    cell(os.str());
+}
+
+void
+Table::cell(std::uint64_t value)
+{
+    cell(std::to_string(value));
+}
+
+void
+Table::cellPercent(double fraction, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << fraction * 100.0
+       << "%";
+    cell(os.str());
+}
+
+const std::string &
+Table::at(std::size_t row, std::size_t col) const
+{
+    ATLB_ASSERT(row < rows_.size() && col < rows_[row].size(),
+                "table index out of range");
+    return rows_[row][col];
+}
+
+void
+Table::printAscii(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    const auto hline = [&] {
+        os << '+';
+        for (const auto w : widths)
+            os << std::string(w + 2, '-') << '+';
+        os << '\n';
+    };
+
+    if (!title_.empty())
+        os << "== " << title_ << " ==\n";
+    hline();
+    os << '|';
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        os << ' ' << std::setw(static_cast<int>(widths[c])) << std::left
+           << headers_[c] << " |";
+    os << '\n';
+    hline();
+    for (const auto &row : rows_) {
+        os << '|';
+        for (std::size_t c = 0; c < headers_.size(); ++c) {
+            const std::string &v = c < row.size() ? row[c] : std::string();
+            os << ' ' << std::setw(static_cast<int>(widths[c])) << std::right
+               << v << " |";
+        }
+        os << '\n';
+    }
+    hline();
+}
+
+namespace
+{
+
+std::string
+csvEscape(const std::string &v)
+{
+    if (v.find_first_of(",\"\n") == std::string::npos)
+        return v;
+    std::string out = "\"";
+    for (const char ch : v) {
+        if (ch == '"')
+            out += '"';
+        out += ch;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        os << (c ? "," : "") << csvEscape(headers_[c]);
+    os << '\n';
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < headers_.size(); ++c) {
+            const std::string &v = c < row.size() ? row[c] : std::string();
+            os << (c ? "," : "") << csvEscape(v);
+        }
+        os << '\n';
+    }
+}
+
+std::string
+Table::toAscii() const
+{
+    std::ostringstream os;
+    printAscii(os);
+    return os.str();
+}
+
+std::string
+Table::toCsv() const
+{
+    std::ostringstream os;
+    printCsv(os);
+    return os.str();
+}
+
+} // namespace atlb

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * ASCII and CSV table emission for the benchmark harness.
+ *
+ * Every table/figure regenerator builds one of these and prints it, so the
+ * bench output looks like the rows of the paper's tables. Cells are stored
+ * as strings; numeric helpers format with fixed precision.
+ */
+
+#ifndef ANCHORTLB_STATS_TABLE_HH
+#define ANCHORTLB_STATS_TABLE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace atlb
+{
+
+/** A rectangular table with a header row, printable as ASCII or CSV. */
+class Table
+{
+  public:
+    /** Create a table titled @p title with the given column headers. */
+    Table(std::string title, std::vector<std::string> headers);
+
+    /** Start a new row; subsequent cell() calls append to it. */
+    void beginRow();
+
+    /** Append a string cell to the current row. */
+    void cell(std::string value);
+
+    /** Append a numeric cell formatted with @p precision decimals. */
+    void cell(double value, int precision = 1);
+
+    /** Append an integer cell. */
+    void cell(std::uint64_t value);
+
+    /** Append a percentage cell ("12.3%"). */
+    void cellPercent(double fraction, int precision = 1);
+
+    std::size_t numRows() const { return rows_.size(); }
+    std::size_t numCols() const { return headers_.size(); }
+    const std::string &title() const { return title_; }
+
+    /** Read back a cell (row-major; for tests). */
+    const std::string &at(std::size_t row, std::size_t col) const;
+
+    /** Render as an aligned ASCII table. */
+    void printAscii(std::ostream &os) const;
+
+    /** Render as CSV (no title line). */
+    void printCsv(std::ostream &os) const;
+
+    /** ASCII rendering as a string. */
+    std::string toAscii() const;
+
+    /** CSV rendering as a string. */
+    std::string toCsv() const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace atlb
+
+#endif // ANCHORTLB_STATS_TABLE_HH

@@ -1,0 +1,79 @@
+#include "range_tlb.hh"
+
+#include "common/logging.hh"
+
+namespace atlb
+{
+
+RangeTlb::RangeTlb(unsigned entries) : capacity_(entries), slots_(entries)
+{
+    ATLB_ASSERT(entries > 0, "empty range TLB");
+}
+
+const RangeEntry *
+RangeTlb::lookup(Vpn vpn)
+{
+    ++stats_.lookups;
+    for (auto &slot : slots_) {
+        if (slot.valid && slot.range.contains(vpn)) {
+            slot.last_use = ++tick_;
+            ++stats_.hits;
+            return &slot.range;
+        }
+    }
+    return nullptr;
+}
+
+void
+RangeTlb::insert(const RangeEntry &range)
+{
+    ATLB_ASSERT(range.vpn_end > range.vpn_start, "empty range");
+    Slot *victim = nullptr;
+    for (auto &slot : slots_) {
+        if (slot.valid && slot.range.vpn_start == range.vpn_start &&
+            slot.range.vpn_end == range.vpn_end) {
+            victim = &slot; // refresh duplicate in place
+            break;
+        }
+        if (!slot.valid) {
+            if (!victim || victim->valid)
+                victim = &slot;
+        } else if (!victim ||
+                   (victim->valid && slot.last_use < victim->last_use)) {
+            victim = &slot;
+        }
+    }
+    if (victim->valid && victim->range.vpn_start != range.vpn_start)
+        ++stats_.evictions;
+    victim->valid = true;
+    victim->range = range;
+    victim->last_use = ++tick_;
+    ++stats_.insertions;
+}
+
+void
+RangeTlb::flush()
+{
+    for (auto &slot : slots_)
+        slot.valid = false;
+}
+
+void
+RangeTlb::invalidateContaining(Vpn vpn)
+{
+    for (auto &slot : slots_)
+        if (slot.valid && slot.range.contains(vpn))
+            slot.valid = false;
+}
+
+unsigned
+RangeTlb::size() const
+{
+    unsigned n = 0;
+    for (const auto &slot : slots_)
+        if (slot.valid)
+            ++n;
+    return n;
+}
+
+} // namespace atlb

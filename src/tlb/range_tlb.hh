@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Fully-associative range TLB for the RMM scheme (Karakostas et al.,
+ * ISCA 2015; paper Section 2.1 and Table 3).
+ *
+ * Each entry maps a variable-length virtual range [vpn_start, vpn_end)
+ * to a physically contiguous region starting at ppn_start. The paper's
+ * configuration is 32 entries with full associativity (a range lookup
+ * requires comparing against every entry's bounds), replaced LRU.
+ */
+
+#ifndef ANCHORTLB_TLB_RANGE_TLB_HH
+#define ANCHORTLB_TLB_RANGE_TLB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "tlb/set_assoc_tlb.hh"
+
+namespace atlb
+{
+
+/** One variable-length range translation. */
+struct RangeEntry
+{
+    Vpn vpn_start = 0;
+    Vpn vpn_end = 0; //!< exclusive
+    Ppn ppn_start = invalidPpn;
+
+    bool contains(Vpn vpn) const
+    {
+        return vpn >= vpn_start && vpn < vpn_end;
+    }
+
+    Ppn translate(Vpn vpn) const { return ppn_start + (vpn - vpn_start); }
+};
+
+/** Fully-associative, LRU-replaced cache of range translations. */
+class RangeTlb
+{
+  public:
+    explicit RangeTlb(unsigned entries);
+
+    /** Find the range containing @p vpn; updates LRU. */
+    const RangeEntry *lookup(Vpn vpn);
+
+    /** Insert a range, evicting LRU if full; deduplicates exact ranges. */
+    void insert(const RangeEntry &range);
+
+    void flush();
+
+    /** Invalidate every range containing @p vpn (targeted shootdown). */
+    void invalidateContaining(Vpn vpn);
+
+    const TlbStats &stats() const { return stats_; }
+    unsigned capacity() const { return capacity_; }
+    unsigned size() const;
+
+  private:
+    struct Slot
+    {
+        RangeEntry range;
+        std::uint64_t last_use = 0;
+        bool valid = false;
+    };
+
+    unsigned capacity_;
+    std::vector<Slot> slots_;
+    std::uint64_t tick_ = 0;
+    TlbStats stats_;
+};
+
+} // namespace atlb
+
+#endif // ANCHORTLB_TLB_RANGE_TLB_HH

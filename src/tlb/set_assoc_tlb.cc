@@ -1,0 +1,111 @@
+#include "set_assoc_tlb.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace atlb
+{
+
+SetAssocTlb::SetAssocTlb(unsigned entries, unsigned ways, std::string name)
+    : num_sets_(entries / ways), ways_(ways), name_(std::move(name))
+{
+    ATLB_ASSERT(ways > 0 && entries > 0 && entries % ways == 0,
+                "TLB '{}': {} entries not divisible by {} ways", name_,
+                entries, ways);
+    ATLB_ASSERT(isPow2(num_sets_),
+                "TLB '{}': {} sets is not a power of two", name_,
+                num_sets_);
+    ways_storage_.resize(static_cast<std::size_t>(num_sets_) * ways_);
+}
+
+const TlbEntry *
+SetAssocTlb::lookup(EntryKind kind, std::uint64_t key)
+{
+    ++stats_.lookups;
+    Way *set = setBase(setIndex(key));
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (set[w].entry.valid && set[w].entry.kind == kind &&
+            set[w].entry.key == key) {
+            set[w].last_use = ++tick_;
+            ++stats_.hits;
+            return &set[w].entry;
+        }
+    }
+    return nullptr;
+}
+
+const TlbEntry *
+SetAssocTlb::probe(EntryKind kind, std::uint64_t key) const
+{
+    const Way *set = setBase(setIndex(key));
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (set[w].entry.valid && set[w].entry.kind == kind &&
+            set[w].entry.key == key) {
+            return &set[w].entry;
+        }
+    }
+    return nullptr;
+}
+
+void
+SetAssocTlb::insert(const TlbEntry &entry)
+{
+    ATLB_ASSERT(entry.valid, "inserting invalid entry into '{}'", name_);
+    Way *set = setBase(setIndex(entry.key));
+    Way *victim = nullptr;
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (set[w].entry.valid && set[w].entry.kind == entry.kind &&
+            set[w].entry.key == entry.key) {
+            victim = &set[w]; // overwrite in place
+            break;
+        }
+        if (!set[w].entry.valid) {
+            if (!victim || victim->entry.valid)
+                victim = &set[w];
+        } else if (!victim ||
+                   (victim->entry.valid &&
+                    set[w].last_use < victim->last_use)) {
+            victim = &set[w];
+        }
+    }
+    if (victim->entry.valid &&
+        (victim->entry.kind != entry.kind || victim->entry.key != entry.key))
+        ++stats_.evictions;
+    victim->entry = entry;
+    victim->last_use = ++tick_;
+    ++stats_.insertions;
+}
+
+void
+SetAssocTlb::flush()
+{
+    for (auto &w : ways_storage_) {
+        w.entry.valid = false;
+        w.last_use = 0;
+    }
+}
+
+void
+SetAssocTlb::invalidate(EntryKind kind, std::uint64_t key)
+{
+    Way *set = setBase(setIndex(key));
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (set[w].entry.valid && set[w].entry.kind == kind &&
+            set[w].entry.key == key) {
+            set[w].entry.valid = false;
+            return;
+        }
+    }
+}
+
+unsigned
+SetAssocTlb::validCount() const
+{
+    unsigned n = 0;
+    for (const auto &w : ways_storage_)
+        if (w.entry.valid)
+            ++n;
+    return n;
+}
+
+} // namespace atlb

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Set-associative TLB with per-set LRU replacement.
+ *
+ * One structure serves every set-associative TLB in the design space:
+ * L1 4KB, L1 2MB, the unified L2 (which, for the anchor scheme, holds
+ * 4KB, 2MB and anchor entries side by side, paper Table 3), and the
+ * cluster TLB (whose entries carry a sub-block bitmap).
+ *
+ * An entry is identified by (kind, key). The key has already been
+ * shifted to the entry's natural granularity by the caller:
+ *   - Page4K:  key = VPN
+ *   - Page2M:  key = VPN >> 9
+ *   - Anchor:  key = AVPN >> log2(anchor distance)   (paper Fig. 6's
+ *              indexing: consecutive anchors map to consecutive sets)
+ *   - Cluster: key = VPN >> 3
+ * The set index is key & (numSets - 1); the full key is stored, so
+ * distinct kinds never produce false matches.
+ */
+
+#ifndef ANCHORTLB_TLB_SET_ASSOC_TLB_HH
+#define ANCHORTLB_TLB_SET_ASSOC_TLB_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace atlb
+{
+
+/** What a TLB entry translates. */
+enum class EntryKind : std::uint8_t
+{
+    Page4K,  //!< one 4KB page
+    Page2M,  //!< one 2MB page
+    Page1G,  //!< one 1GB page
+    Anchor,  //!< anchor entry covering up to `aux` pages from its AVPN
+    Cluster, //!< 8-page cluster with validity bitmap in `aux`
+};
+
+/** One TLB entry; `aux` is contiguity (Anchor) or bitmap (Cluster). */
+struct TlbEntry
+{
+    std::uint64_t key = 0;
+    Ppn ppn = invalidPpn;
+    std::uint32_t aux = 0;
+    EntryKind kind = EntryKind::Page4K;
+    bool valid = false;
+};
+
+/** Hit/miss and occupancy statistics for one TLB. */
+struct TlbStats
+{
+    std::uint64_t lookups = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+
+    std::uint64_t misses() const { return lookups - hits; }
+};
+
+/** Set-associative TLB with true-LRU replacement within each set. */
+class SetAssocTlb
+{
+  public:
+    /**
+     * @param entries total entry count
+     * @param ways    associativity; must divide entries into a
+     *                power-of-two number of sets
+     * @param name    display name for reports
+     */
+    SetAssocTlb(unsigned entries, unsigned ways, std::string name);
+
+    /**
+     * Look up (kind, key); updates LRU on hit.
+     * @return the entry, or nullptr on miss.
+     */
+    const TlbEntry *lookup(EntryKind kind, std::uint64_t key);
+
+    /**
+     * Probe without updating LRU or statistics (for tests/inspection).
+     */
+    const TlbEntry *probe(EntryKind kind, std::uint64_t key) const;
+
+    /**
+     * Insert an entry, evicting the set's LRU victim if needed. If an
+     * entry with the same (kind, key) exists it is overwritten in place.
+     */
+    void insert(const TlbEntry &entry);
+
+    /** Invalidate everything (TLB shootdown / distance change). */
+    void flush();
+
+    /** Invalidate one entry if present. */
+    void invalidate(EntryKind kind, std::uint64_t key);
+
+    const TlbStats &stats() const { return stats_; }
+    unsigned numSets() const { return num_sets_; }
+    unsigned numWays() const { return ways_; }
+    const std::string &name() const { return name_; }
+
+    /** Number of currently valid entries (for occupancy reports). */
+    unsigned validCount() const;
+
+  private:
+    struct Way
+    {
+        TlbEntry entry;
+        std::uint64_t last_use = 0;
+    };
+
+    unsigned num_sets_;
+    unsigned ways_;
+    std::string name_;
+    std::vector<Way> ways_storage_; // num_sets_ * ways_, set-major
+    std::uint64_t tick_ = 0;
+    TlbStats stats_;
+
+    unsigned setIndex(std::uint64_t key) const
+    {
+        return static_cast<unsigned>(key & (num_sets_ - 1));
+    }
+
+    Way *setBase(unsigned set)
+    {
+        return ways_storage_.data() +
+               static_cast<std::size_t>(set) * ways_;
+    }
+    const Way *setBase(unsigned set) const
+    {
+        return ways_storage_.data() +
+               static_cast<std::size_t>(set) * ways_;
+    }
+};
+
+} // namespace atlb
+
+#endif // ANCHORTLB_TLB_SET_ASSOC_TLB_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Page-walk cache (MMU caches): small translation caches for the upper
+ * page-table levels, as in real x86 implementations (Barr et al., ISCA
+ * 2010; Bhattacharjee, MICRO 2013 — paper Section 6, "Reducing TLB Miss
+ * Penalty").
+ *
+ * The paper charges a fixed 50-cycle walk (Table 3). This optional
+ * model refines that: a walk costs one memory reference per page-table
+ * level not covered by the PWC, so warm walks touch only the PTE while
+ * cold ones traverse all four levels. Used by the walk-latency ablation
+ * to show the paper's conclusions are robust to the walk model.
+ */
+
+#ifndef ANCHORTLB_TLB_WALK_CACHE_HH
+#define ANCHORTLB_TLB_WALK_CACHE_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "tlb/set_assoc_tlb.hh"
+
+namespace atlb
+{
+
+/** Per-level caches of upper page-table entries. */
+class WalkCache
+{
+  public:
+    /**
+     * @param pml4e_entries,pdpte_entries,pde_entries capacities of the
+     *        per-level fully-associative caches.
+     */
+    WalkCache(unsigned pml4e_entries, unsigned pdpte_entries,
+              unsigned pde_entries);
+
+    /**
+     * Memory references needed to walk to the leaf for @p vpn and to
+     * refill the caches along the way.
+     *
+     * @param leaf_level levels the radix walk traverses to reach the
+     *        leaf (3 for a 2MB leaf, 4 for a 4KB PTE).
+     * @return references performed, in [1, leaf_level].
+     */
+    unsigned walkRefs(Vpn vpn, unsigned leaf_level);
+
+    void flush();
+
+    const TlbStats &pdeStats() const { return pde_.stats(); }
+
+  private:
+    SetAssocTlb pml4e_;
+    SetAssocTlb pdpte_;
+    SetAssocTlb pde_;
+};
+
+} // namespace atlb
+
+#endif // ANCHORTLB_TLB_WALK_CACHE_HH

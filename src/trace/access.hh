@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Memory-access records and the trace-source abstraction.
+ *
+ * The paper drives its TLB simulator with Pin-captured traces of 12B
+ * instructions. We drive ours with TraceSource implementations: either
+ * synthetic pattern generators (workload.hh) standing in for the Pin
+ * traces, or binary trace files (trace_io.hh) for users who bring their
+ * own captures.
+ */
+
+#ifndef ANCHORTLB_TRACE_ACCESS_HH
+#define ANCHORTLB_TRACE_ACCESS_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace atlb
+{
+
+/** One data memory access. */
+struct MemAccess
+{
+    VirtAddr vaddr = 0;
+    bool write = false;
+};
+
+/** Pull-based stream of memory accesses. */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /**
+     * Produce the next access.
+     * @return false when the trace is exhausted (@p out untouched).
+     */
+    virtual bool next(MemAccess &out) = 0;
+
+    /** Rewind to the beginning of the stream. */
+    virtual void reset() = 0;
+};
+
+} // namespace atlb
+
+#endif // ANCHORTLB_TRACE_ACCESS_HH

@@ -1,0 +1,172 @@
+#include "profiler.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace atlb
+{
+
+/**
+ * Exact LRU reuse distances via a Fenwick tree over time slots: each
+ * tracked page owns one set bit at its most recent access time, so the
+ * number of set bits between two touches of a page equals the number of
+ * distinct pages touched in between. Time slots are compacted when the
+ * tree fills, keeping memory proportional to the live page count.
+ */
+struct TraceProfiler::LruStack
+{
+    std::vector<std::uint32_t> tree; // 1-based Fenwick array
+    std::unordered_map<Vpn, std::uint64_t> last_time;
+    std::uint64_t now = 0;
+
+    explicit LruStack(std::size_t capacity = 1 << 20)
+        : tree(capacity + 1, 0)
+    {
+    }
+
+    std::size_t capacity() const { return tree.size() - 1; }
+
+    void
+    update(std::uint64_t pos, int delta)
+    {
+        for (std::uint64_t i = pos + 1; i < tree.size(); i += i & (~i + 1))
+            tree[i] = static_cast<std::uint32_t>(
+                static_cast<int>(tree[i]) + delta);
+    }
+
+    std::uint64_t
+    prefix(std::uint64_t pos) const // sum of [0, pos]
+    {
+        std::uint64_t sum = 0;
+        for (std::uint64_t i = pos + 1; i > 0; i -= i & (~i + 1))
+            sum += tree[i];
+        return sum;
+    }
+
+    /** Re-number live pages to time slots 0..n-1 (and grow if tight). */
+    void
+    compact()
+    {
+        std::vector<std::pair<std::uint64_t, Vpn>> order;
+        order.reserve(last_time.size());
+        for (const auto &[vpn, t] : last_time)
+            order.emplace_back(t, vpn);
+        std::sort(order.begin(), order.end());
+
+        std::size_t cap = capacity();
+        while (order.size() * 2 > cap)
+            cap *= 2;
+        tree.assign(cap + 1, 0);
+        now = 0;
+        for (const auto &[t, vpn] : order) {
+            last_time[vpn] = now;
+            update(now, +1);
+            ++now;
+        }
+    }
+
+    /** Touch @p vpn; returns reuse distance, or ~0ULL when cold. */
+    std::uint64_t
+    touch(Vpn vpn)
+    {
+        if (now == capacity())
+            compact();
+        std::uint64_t dist = ~0ULL;
+        const auto it = last_time.find(vpn);
+        if (it != last_time.end()) {
+            // Distinct pages touched strictly after this page's last
+            // access: set bits in (last, now).
+            dist = prefix(now == 0 ? 0 : now - 1) - prefix(it->second);
+            update(it->second, -1);
+        }
+        update(now, +1);
+        last_time[vpn] = now;
+        ++now;
+        return dist;
+    }
+};
+
+TraceProfiler::TraceProfiler() : stack_(std::make_unique<LruStack>()) {}
+TraceProfiler::~TraceProfiler() = default;
+
+void
+TraceProfiler::record(const MemAccess &access)
+{
+    ++acc_.accesses;
+    acc_.writes += access.write;
+
+    const Vpn vpn = vpnOf(access.vaddr);
+    if (vpn == last_vpn_) {
+        ++same_page_;
+        return; // same-page touches don't change the LRU stack
+    }
+    if (last_vpn_ != invalidVpn) {
+        ++transitions_;
+        sequential_transitions_ += vpn == last_vpn_ + 1;
+    }
+    last_vpn_ = vpn;
+
+    const std::uint64_t dist = stack_->touch(vpn);
+    if (dist == ~0ULL)
+        ++acc_.cold_accesses;
+    else
+        acc_.reuse_distance.add(dist);
+}
+
+void
+TraceProfiler::consume(TraceSource &source)
+{
+    MemAccess access;
+    while (source.next(access))
+        record(access);
+}
+
+TraceProfile
+TraceProfiler::profile() const
+{
+    TraceProfile p = acc_;
+    p.unique_pages = stack_->last_time.size();
+    p.same_page_fraction =
+        p.accesses ? static_cast<double>(same_page_) /
+                         static_cast<double>(p.accesses)
+                   : 0.0;
+    p.sequential_fraction =
+        transitions_ ? static_cast<double>(sequential_transitions_) /
+                           static_cast<double>(transitions_)
+                     : 0.0;
+    return p;
+}
+
+std::uint64_t
+TraceProfile::hotSetPages(double fraction) const
+{
+    const std::uint64_t total = reuse_distance.samples();
+    if (total == 0)
+        return 0;
+    const double target = fraction * static_cast<double>(total);
+    std::uint64_t cum = 0;
+    for (unsigned b = 0; b < reuse_distance.numBuckets(); ++b) {
+        cum += reuse_distance.bucket(b);
+        if (static_cast<double>(cum) >= target)
+            return 1ULL << (b + 1); // distances < 2^(b+1) suffice
+    }
+    return 1ULL << reuse_distance.numBuckets();
+}
+
+double
+TraceProfile::hitFractionAtReach(std::uint64_t pages) const
+{
+    const std::uint64_t total = reuse_distance.samples();
+    if (total == 0 || pages == 0)
+        return 0.0;
+    std::uint64_t cum = 0;
+    for (unsigned b = 0; b < reuse_distance.numBuckets(); ++b) {
+        if ((1ULL << (b + 1)) > pages)
+            break;
+        cum += reuse_distance.bucket(b);
+    }
+    return static_cast<double>(cum) / static_cast<double>(total);
+}
+
+} // namespace atlb

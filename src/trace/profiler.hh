@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Page-level trace profiling.
+ *
+ * TLB behaviour is a function of the page-level reference stream, so
+ * validating (or characterising) a workload model means measuring
+ * exactly the quantities the profiler reports: footprint touched,
+ * page-level reuse distances (how many *distinct* pages intervene
+ * between touches of the same page — the quantity TLB capacity filters
+ * on), stride mix, and working-set sizes over windows. The test suite
+ * uses it to pin each catalog workload's character; users use it to
+ * compare their own traces against the models.
+ */
+
+#ifndef ANCHORTLB_TRACE_PROFILER_HH
+#define ANCHORTLB_TRACE_PROFILER_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "stats/histogram.hh"
+#include "trace/access.hh"
+
+namespace atlb
+{
+
+/** Summary of one trace's page-level behaviour. */
+struct TraceProfile
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t writes = 0;
+    /** Distinct 4KB pages touched. */
+    std::uint64_t unique_pages = 0;
+    /** Fraction of accesses that stay on the previous page. */
+    double same_page_fraction = 0.0;
+    /** Fraction of page transitions to the VA-adjacent next page. */
+    double sequential_fraction = 0.0;
+    /**
+     * Log2-bucketed histogram of page-level LRU reuse distances;
+     * bucket i counts re-touches with 2^i..2^(i+1)-1 distinct pages in
+     * between. Cold (first-touch) accesses are counted separately.
+     */
+    Log2Histogram reuse_distance{28};
+    std::uint64_t cold_accesses = 0;
+
+    /**
+     * Smallest number of pages covering @p fraction of the re-touch
+     * stream, estimated from the reuse-distance histogram. This is the
+     * "hot set" a TLB of that reach would capture.
+     */
+    std::uint64_t hotSetPages(double fraction) const;
+
+    /** Fraction of re-touches with reuse distance < @p pages. */
+    double hitFractionAtReach(std::uint64_t pages) const;
+};
+
+/**
+ * Streaming profiler. Reuse distances use an exact LRU stack
+ * implemented over a balanced order-statistics structure; memory is
+ * O(unique pages).
+ */
+class TraceProfiler
+{
+  public:
+    TraceProfiler();
+    ~TraceProfiler();
+
+    TraceProfiler(const TraceProfiler &) = delete;
+    TraceProfiler &operator=(const TraceProfiler &) = delete;
+
+    /** Feed one access. */
+    void record(const MemAccess &access);
+
+    /** Drain @p source to exhaustion through the profiler. */
+    void consume(TraceSource &source);
+
+    /** Snapshot the profile (may be called repeatedly). */
+    TraceProfile profile() const;
+
+  private:
+    struct LruStack;
+    std::unique_ptr<LruStack> stack_;
+    TraceProfile acc_;
+    Vpn last_vpn_ = invalidVpn;
+    std::uint64_t transitions_ = 0;
+    std::uint64_t sequential_transitions_ = 0;
+    std::uint64_t same_page_ = 0;
+};
+
+} // namespace atlb
+
+#endif // ANCHORTLB_TRACE_PROFILER_HH

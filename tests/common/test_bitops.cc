@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Unit tests for bit-manipulation helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitops.hh"
+
+namespace atlb
+{
+namespace
+{
+
+TEST(Bitops, IsPow2RecognisesPowers)
+{
+    for (unsigned shift = 0; shift < 64; ++shift)
+        EXPECT_TRUE(isPow2(1ULL << shift)) << "shift " << shift;
+}
+
+TEST(Bitops, IsPow2RejectsNonPowers)
+{
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_FALSE(isPow2(3));
+    EXPECT_FALSE(isPow2(6));
+    EXPECT_FALSE(isPow2(12));
+    EXPECT_FALSE(isPow2((1ULL << 40) + 1));
+    EXPECT_FALSE(isPow2(~0ULL));
+}
+
+TEST(Bitops, FloorLog2Exact)
+{
+    for (unsigned shift = 0; shift < 64; ++shift)
+        EXPECT_EQ(floorLog2(1ULL << shift), shift);
+}
+
+TEST(Bitops, FloorLog2Rounding)
+{
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(5), 2u);
+    EXPECT_EQ(floorLog2(1023), 9u);
+    EXPECT_EQ(floorLog2(1025), 10u);
+    EXPECT_EQ(floorLog2(~0ULL), 63u);
+}
+
+TEST(Bitops, CeilLog2)
+{
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(4), 2u);
+    EXPECT_EQ(ceilLog2(5), 3u);
+    EXPECT_EQ(ceilLog2(1024), 10u);
+    EXPECT_EQ(ceilLog2(1025), 11u);
+}
+
+TEST(Bitops, AlignDown)
+{
+    EXPECT_EQ(alignDown(0, 8), 0u);
+    EXPECT_EQ(alignDown(7, 8), 0u);
+    EXPECT_EQ(alignDown(8, 8), 8u);
+    EXPECT_EQ(alignDown(1023, 512), 512u);
+    EXPECT_EQ(alignDown(0xdeadbeef, 1ULL << 12), 0xdeadb000u);
+}
+
+TEST(Bitops, AlignUp)
+{
+    EXPECT_EQ(alignUp(0, 8), 0u);
+    EXPECT_EQ(alignUp(1, 8), 8u);
+    EXPECT_EQ(alignUp(8, 8), 8u);
+    EXPECT_EQ(alignUp(9, 8), 16u);
+    EXPECT_EQ(alignUp(0xdeadbeef, 1ULL << 12), 0xdeadc000u);
+}
+
+TEST(Bitops, IsAligned)
+{
+    EXPECT_TRUE(isAligned(0, 512));
+    EXPECT_TRUE(isAligned(1024, 512));
+    EXPECT_FALSE(isAligned(1025, 512));
+    EXPECT_TRUE(isAligned(~0ULL & ~511ULL, 512));
+}
+
+TEST(Bitops, NextPrevPow2)
+{
+    EXPECT_EQ(nextPow2(1), 1u);
+    EXPECT_EQ(nextPow2(3), 4u);
+    EXPECT_EQ(nextPow2(4), 4u);
+    EXPECT_EQ(nextPow2(5), 8u);
+    EXPECT_EQ(prevPow2(1), 1u);
+    EXPECT_EQ(prevPow2(3), 2u);
+    EXPECT_EQ(prevPow2(4), 4u);
+    EXPECT_EQ(prevPow2(5), 4u);
+    EXPECT_EQ(prevPow2(1023), 512u);
+}
+
+/** alignDown/alignUp bracket the value and are idempotent. */
+class AlignProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(AlignProperty, BracketsAndIdempotence)
+{
+    const std::uint64_t v = GetParam();
+    for (const std::uint64_t a : {1ULL, 2ULL, 8ULL, 512ULL, 4096ULL}) {
+        const std::uint64_t down = alignDown(v, a);
+        const std::uint64_t up = alignUp(v, a);
+        EXPECT_LE(down, v);
+        EXPECT_GE(up, v);
+        EXPECT_LT(v - down, a);
+        EXPECT_EQ(alignDown(down, a), down);
+        EXPECT_EQ(alignUp(up, a), up);
+        EXPECT_TRUE(isAligned(down, a));
+        EXPECT_TRUE(isAligned(up, a));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, AlignProperty,
+                         ::testing::Values(0, 1, 7, 8, 511, 512, 513,
+                                           4095, 4096, 123456789,
+                                           (1ULL << 52) + 3));
+
+} // namespace
+} // namespace atlb

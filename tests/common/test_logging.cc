@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Tests for message formatting and error paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/logging.hh"
+
+namespace atlb
+{
+namespace
+{
+
+TEST(Format, PlainString)
+{
+    EXPECT_EQ(format("hello"), "hello");
+}
+
+TEST(Format, SingleSubstitution)
+{
+    EXPECT_EQ(format("x = {}", 42), "x = 42");
+}
+
+TEST(Format, MultipleSubstitutions)
+{
+    EXPECT_EQ(format("{} + {} = {}", 1, 2, 3), "1 + 2 = 3");
+}
+
+TEST(Format, MixedTypes)
+{
+    EXPECT_EQ(format("{}/{}", "a", 2.5), "a/2.5");
+}
+
+TEST(Format, ExtraArgumentsIgnored)
+{
+    EXPECT_EQ(format("just {}", 1, 2, 3), "just 1");
+}
+
+TEST(Format, MissingArgumentsLeaveText)
+{
+    EXPECT_EQ(format("a {} b {}", 1), "a 1 b {}");
+}
+
+class ErrorPaths : public ::testing::Test
+{
+  protected:
+    void SetUp() override { detail::setThrowOnError(true); }
+    void TearDown() override { detail::setThrowOnError(false); }
+};
+
+TEST_F(ErrorPaths, PanicThrowsLogicError)
+{
+    EXPECT_THROW(ATLB_PANIC("bug {}", 1), std::logic_error);
+}
+
+TEST_F(ErrorPaths, FatalThrowsRuntimeError)
+{
+    EXPECT_THROW(ATLB_FATAL("config {}", "bad"), std::runtime_error);
+}
+
+TEST_F(ErrorPaths, AssertPassesOnTrue)
+{
+    EXPECT_NO_THROW(ATLB_ASSERT(1 + 1 == 2, "fine"));
+}
+
+TEST_F(ErrorPaths, AssertThrowsOnFalse)
+{
+    EXPECT_THROW(ATLB_ASSERT(false, "broken {}", 7), std::logic_error);
+}
+
+} // namespace
+} // namespace atlb

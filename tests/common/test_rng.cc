@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Tests for the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace atlb
+{
+namespace
+{
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(123), b(124);
+    int equal = 0;
+    for (int i = 0; i < 1000; ++i)
+        if (a.next() == b.next())
+            ++equal;
+    EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ReseedRestartsStream)
+{
+    Rng a(99);
+    std::vector<std::uint64_t> first;
+    for (int i = 0; i < 100; ++i)
+        first.push_back(a.next());
+    a.reseed(99);
+    for (int i = 0; i < 100; ++i)
+        ASSERT_EQ(a.next(), first[static_cast<std::size_t>(i)]);
+}
+
+TEST(Rng, BoundedStaysInBounds)
+{
+    Rng rng(7);
+    for (const std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL,
+                                      1ULL << 40}) {
+        for (int i = 0; i < 1000; ++i)
+            ASSERT_LT(rng.nextBounded(bound), bound);
+    }
+}
+
+TEST(Rng, BoundedOneIsAlwaysZero)
+{
+    Rng rng(7);
+    for (int i = 0; i < 100; ++i)
+        ASSERT_EQ(rng.nextBounded(1), 0u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(11);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        const std::uint64_t v = rng.nextRange(5, 8);
+        ASSERT_GE(v, 5u);
+        ASSERT_LE(v, 8u);
+        saw_lo |= v == 5;
+        saw_hi |= v == 8;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(13);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const double d = rng.nextDouble();
+        ASSERT_GE(d, 0.0);
+        ASSERT_LT(d, 1.0);
+        sum += d;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BoolProbability)
+{
+    Rng rng(17);
+    const int n = 100000;
+    int trues = 0;
+    for (int i = 0; i < n; ++i)
+        trues += rng.nextBool(0.3);
+    EXPECT_NEAR(static_cast<double>(trues) / n, 0.3, 0.01);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.nextBool(0.0));
+        EXPECT_TRUE(rng.nextBool(1.0));
+    }
+}
+
+TEST(Rng, BoundedIsRoughlyUniform)
+{
+    Rng rng(19);
+    const std::uint64_t buckets = 16;
+    std::vector<int> counts(buckets, 0);
+    const int n = 160000;
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.nextBounded(buckets)];
+    for (const int c : counts)
+        EXPECT_NEAR(c, n / static_cast<int>(buckets), n / 100);
+}
+
+TEST(Rng, ZipfSkewsTowardLowRanks)
+{
+    Rng rng(23);
+    const std::uint64_t n = 10000;
+    int low = 0, total = 50000;
+    for (int i = 0; i < total; ++i) {
+        const std::uint64_t r = rng.nextZipf(n, 0.9);
+        ASSERT_LT(r, n);
+        if (r < n / 100)
+            ++low;
+    }
+    // Top 1% of ranks should receive far more than 1% of draws.
+    EXPECT_GT(low, total / 20);
+}
+
+TEST(Rng, ZipfHandlesDegenerateSizes)
+{
+    Rng rng(29);
+    EXPECT_EQ(rng.nextZipf(0, 0.9), 0u);
+    EXPECT_EQ(rng.nextZipf(1, 0.9), 0u);
+    for (int i = 0; i < 100; ++i)
+        ASSERT_LT(rng.nextZipf(2, 1.0), 2u);
+}
+
+TEST(Rng, GeometricMeanApproximation)
+{
+    Rng rng(31);
+    const int n = 200000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(rng.nextGeometric(16.0, 1 << 20));
+    EXPECT_NEAR(sum / n, 16.0, 1.0);
+}
+
+TEST(Rng, GeometricRespectsCap)
+{
+    Rng rng(37);
+    for (int i = 0; i < 10000; ++i) {
+        const std::uint64_t v = rng.nextGeometric(100.0, 64);
+        ASSERT_GE(v, 1u);
+        ASSERT_LE(v, 64u);
+    }
+}
+
+TEST(Rng, GeometricMeanOneIsConstant)
+{
+    Rng rng(41);
+    for (int i = 0; i < 100; ++i)
+        ASSERT_EQ(rng.nextGeometric(1.0, 100), 1u);
+}
+
+} // namespace
+} // namespace atlb

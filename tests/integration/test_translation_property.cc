@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Cross-scheme property test: every MMU must return the exact physical
+ * page the OS mapping defines, for every scheme, every scenario kind,
+ * and thousands of randomly ordered accesses. Translation *performance*
+ * differs per scheme; translation *results* never may.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "common/rng.hh"
+#include "mmu/anchor_mmu.hh"
+#include "mmu/baseline_mmu.hh"
+#include "mmu/cluster_mmu.hh"
+#include "mmu/rmm_mmu.hh"
+#include "os/distance_selector.hh"
+#include "os/scenario.hh"
+#include "os/table_builder.hh"
+#include "sim/scheme.hh"
+
+namespace atlb
+{
+namespace
+{
+
+struct SchemeUnderTest
+{
+    Scheme scheme;
+    ScenarioKind scenario;
+    std::uint64_t seed;
+};
+
+class TranslationProperty
+    : public ::testing::TestWithParam<SchemeUnderTest>
+{
+};
+
+TEST_P(TranslationProperty, AllTranslationsMatchTheMapping)
+{
+    const SchemeUnderTest p = GetParam();
+
+    ScenarioParams sp;
+    sp.footprint_pages = 6000;
+    sp.seed = p.seed;
+    sp.demand_run_pages = 48;
+    sp.eager_run_pages = 48;
+    sp.map_tail_run_pages = 8;
+    sp.map_tail_fraction = 0.3;
+    const MemoryMap map = buildScenario(p.scenario, sp);
+
+    MmuConfig cfg;
+    std::unique_ptr<PageTable> table;
+    std::unique_ptr<Mmu> mmu;
+    switch (p.scheme) {
+      case Scheme::Base:
+        table = std::make_unique<PageTable>(buildPageTable(map, false));
+        mmu = std::make_unique<BaselineMmu>(cfg, *table);
+        break;
+      case Scheme::Thp:
+        table = std::make_unique<PageTable>(buildPageTable(map, true));
+        mmu = std::make_unique<BaselineMmu>(cfg, *table, "thp");
+        break;
+      case Scheme::Cluster:
+        table = std::make_unique<PageTable>(buildPageTable(map, false));
+        mmu = std::make_unique<ClusterMmu>(cfg, *table, false);
+        break;
+      case Scheme::Cluster2MB:
+        table = std::make_unique<PageTable>(buildPageTable(map, true));
+        mmu = std::make_unique<ClusterMmu>(cfg, *table, true);
+        break;
+      case Scheme::Rmm:
+        table = std::make_unique<PageTable>(buildPageTable(map, true));
+        mmu = std::make_unique<RmmMmu>(cfg, *table, map);
+        break;
+      case Scheme::Anchor:
+      case Scheme::AnchorIdeal: {
+        const std::uint64_t d =
+            selectAnchorDistance(map.contiguityHistogram()).distance;
+        table = std::make_unique<PageTable>(
+            buildAnchorPageTable(map, d));
+        mmu = std::make_unique<AnchorMmu>(cfg, *table, d);
+        break;
+      }
+    }
+
+    Rng rng(p.seed * 33 + 1);
+    for (int i = 0; i < 30000; ++i) {
+        const Vpn vpn =
+            sp.va_base + rng.nextBounded(sp.footprint_pages);
+        const VirtAddr va =
+            vaOf(vpn) + rng.nextBounded(pageBytes / 8) * 8;
+        const TranslationResult r = mmu->translate(va);
+        ASSERT_EQ(r.ppn, map.translate(vpn))
+            << schemeName(p.scheme) << "/" << scenarioName(p.scenario)
+            << " vpn offset " << vpn - sp.va_base << " iter " << i;
+    }
+    // Sanity: the MMU actually exercised several hit levels.
+    EXPECT_EQ(mmu->stats().accesses, 30000u);
+}
+
+std::vector<SchemeUnderTest>
+allCombos()
+{
+    std::vector<SchemeUnderTest> out;
+    for (const Scheme s :
+         {Scheme::Base, Scheme::Thp, Scheme::Cluster, Scheme::Cluster2MB,
+          Scheme::Rmm, Scheme::Anchor}) {
+        for (const ScenarioKind k : allScenarios)
+            out.push_back({s, k, 7});
+    }
+    return out;
+}
+
+std::string
+comboName(const ::testing::TestParamInfo<SchemeUnderTest> &info)
+{
+    std::string s = schemeName(info.param.scheme);
+    for (auto &ch : s)
+        if (ch == '-' || ch == ' ')
+            ch = '_';
+    return s + "_" + scenarioName(info.param.scenario);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemesAllScenarios, TranslationProperty,
+                         ::testing::ValuesIn(allCombos()), comboName);
+
+/** Anchor correctness across every candidate distance on one mapping. */
+class AnchorDistanceProperty
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(AnchorDistanceProperty, CorrectAtEveryDistance)
+{
+    const std::uint64_t d = GetParam();
+    ScenarioParams sp;
+    sp.footprint_pages = 5000;
+    sp.seed = 11;
+    const MemoryMap map = buildScenario(ScenarioKind::MedContig, sp);
+    PageTable table = buildAnchorPageTable(map, d);
+    MmuConfig cfg;
+    AnchorMmu mmu(cfg, table, d);
+
+    Rng rng(99);
+    for (int i = 0; i < 20000; ++i) {
+        const Vpn vpn = sp.va_base + rng.nextBounded(sp.footprint_pages);
+        ASSERT_EQ(mmu.translate(vaOf(vpn)).ppn, map.translate(vpn))
+            << "distance " << d << " vpn offset " << vpn - sp.va_base;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Distances, AnchorDistanceProperty,
+                         ::testing::ValuesIn(candidateDistances()));
+
+} // namespace
+} // namespace atlb

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Unit and property tests for the buddy allocator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/rng.hh"
+#include "mem/buddy_allocator.hh"
+
+namespace atlb
+{
+namespace
+{
+
+TEST(Buddy, FreshPoolFullyFree)
+{
+    BuddyAllocator b(1 << 16);
+    EXPECT_EQ(b.freePages(), 1u << 16);
+    EXPECT_EQ(b.totalPages(), 1u << 16);
+    EXPECT_TRUE(b.checkInvariants());
+}
+
+TEST(Buddy, NonPow2PoolSeeded)
+{
+    BuddyAllocator b(1000);
+    EXPECT_EQ(b.freePages(), 1000u);
+    EXPECT_TRUE(b.checkInvariants());
+}
+
+TEST(Buddy, AllocateReturnsAlignedBlocks)
+{
+    BuddyAllocator b(1 << 16);
+    for (unsigned order = 0; order <= 10; ++order) {
+        const Ppn base = b.allocate(order);
+        ASSERT_NE(base, invalidPpn);
+        EXPECT_EQ(base & ((1ULL << order) - 1), 0u)
+            << "order " << order << " base " << base;
+    }
+    EXPECT_TRUE(b.checkInvariants());
+}
+
+TEST(Buddy, AllocateLowestAddressFirst)
+{
+    BuddyAllocator b(1 << 12);
+    EXPECT_EQ(b.allocate(0), 0u);
+    EXPECT_EQ(b.allocate(0), 1u);
+    EXPECT_EQ(b.allocate(0), 2u);
+}
+
+TEST(Buddy, SequentialPagesAreAdjacent)
+{
+    // The property that makes demand faults physically contiguous.
+    BuddyAllocator b(1 << 14);
+    Ppn prev = b.allocate(0);
+    for (int i = 0; i < 100; ++i) {
+        const Ppn cur = b.allocate(0);
+        ASSERT_EQ(cur, prev + 1);
+        prev = cur;
+    }
+}
+
+TEST(Buddy, ExhaustionReturnsInvalid)
+{
+    BuddyAllocator b(16, 4);
+    EXPECT_NE(b.allocate(4), invalidPpn);
+    EXPECT_EQ(b.allocate(0), invalidPpn);
+    EXPECT_EQ(b.freePages(), 0u);
+}
+
+TEST(Buddy, TooLargeOrderRejected)
+{
+    BuddyAllocator b(1 << 10, 8);
+    EXPECT_EQ(b.allocate(9), invalidPpn);
+}
+
+TEST(Buddy, FreeCoalescesBuddies)
+{
+    BuddyAllocator b(1 << 10, 10);
+    const Ppn a0 = b.allocate(0);
+    const Ppn a1 = b.allocate(0);
+    ASSERT_EQ(a1, a0 ^ 1); // buddies
+    b.free(a0, 0);
+    b.free(a1, 0);
+    EXPECT_EQ(b.freePages(), 1u << 10);
+    // Whole pool should have re-coalesced into a single max block.
+    EXPECT_EQ(b.freeBlocksAt(10), 1u);
+    EXPECT_TRUE(b.checkInvariants());
+}
+
+TEST(Buddy, SplitLeavesBuddyFree)
+{
+    BuddyAllocator b(1 << 10, 10);
+    b.allocate(0);
+    // Splitting a 1024 block down to order 0 leaves one free buddy at
+    // each order 0..9.
+    for (unsigned order = 0; order <= 9; ++order)
+        EXPECT_EQ(b.freeBlocksAt(order), 1u) << "order " << order;
+}
+
+TEST(Buddy, LargestFreeOrderTracksState)
+{
+    BuddyAllocator b(1 << 10, 10);
+    EXPECT_EQ(b.largestFreeOrder(), 10);
+    b.allocate(0);
+    EXPECT_EQ(b.largestFreeOrder(), 9);
+}
+
+TEST(Buddy, AllocateLargestPrefersBiggestAvailable)
+{
+    BuddyAllocator b(1 << 10, 10);
+    unsigned got = 0;
+    const Ppn base = b.allocateLargest(10, got);
+    EXPECT_NE(base, invalidPpn);
+    EXPECT_EQ(got, 10u);
+}
+
+TEST(Buddy, AllocateLargestFallsBackToSplitting)
+{
+    BuddyAllocator b(1 << 10, 10);
+    unsigned got = 0;
+    // Only a 1024-page block exists; ask for at most 4 pages.
+    const Ppn base = b.allocateLargest(2, got);
+    EXPECT_NE(base, invalidPpn);
+    EXPECT_EQ(got, 2u);
+    EXPECT_EQ(b.freePages(), (1u << 10) - 4);
+}
+
+TEST(Buddy, AllocateLargestCapsWantedOrder)
+{
+    BuddyAllocator b(1 << 6, 6);
+    unsigned got = 0;
+    const Ppn base = b.allocateLargest(30, got);
+    EXPECT_NE(base, invalidPpn);
+    EXPECT_EQ(got, 6u);
+}
+
+TEST(Buddy, FreeBlockHistogramMatchesFreeLists)
+{
+    BuddyAllocator b(1 << 8, 8);
+    b.allocate(0);
+    const Histogram h = b.freeBlockHistogram();
+    // One free block at each of orders 0..7.
+    for (unsigned order = 0; order < 8; ++order)
+        EXPECT_EQ(h.count(1ULL << order), 1u);
+    EXPECT_EQ(h.weightedSum(), b.freePages());
+}
+
+/** Random alloc/free torture: invariants hold, frames never overlap. */
+class BuddyTorture : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(BuddyTorture, RandomOpsPreserveInvariants)
+{
+    const std::uint64_t seed = GetParam();
+    Rng rng(seed);
+    BuddyAllocator b(1 << 14, 12);
+    std::vector<std::pair<Ppn, unsigned>> live;
+    std::set<Ppn> owned;
+
+    for (int step = 0; step < 4000; ++step) {
+        if (live.empty() || rng.nextBool(0.6)) {
+            const unsigned order =
+                static_cast<unsigned>(rng.nextBounded(6));
+            const Ppn base = b.allocate(order);
+            if (base == invalidPpn)
+                continue;
+            for (std::uint64_t i = 0; i < (1ULL << order); ++i) {
+                // No frame may be handed out twice.
+                ASSERT_TRUE(owned.insert(base + i).second)
+                    << "frame " << base + i << " double-allocated";
+            }
+            live.emplace_back(base, order);
+        } else {
+            const std::size_t idx = rng.nextBounded(live.size());
+            const auto [base, order] = live[idx];
+            live[idx] = live.back();
+            live.pop_back();
+            for (std::uint64_t i = 0; i < (1ULL << order); ++i)
+                owned.erase(base + i);
+            b.free(base, order);
+        }
+    }
+    EXPECT_TRUE(b.checkInvariants());
+    // Free everything; the pool must return to fully-coalesced state.
+    for (const auto &[base, order] : live)
+        b.free(base, order);
+    EXPECT_EQ(b.freePages(), 1u << 14);
+    EXPECT_TRUE(b.checkInvariants());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BuddyTorture,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+} // namespace
+} // namespace atlb

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Tests for the fragmentation injector.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hh"
+#include "mem/buddy_allocator.hh"
+#include "mem/fragmenter.hh"
+
+namespace atlb
+{
+namespace
+{
+
+/** Mean length of free runs observed by draining the pool in order. */
+double
+meanFreeRun(BuddyAllocator &b)
+{
+    std::vector<Ppn> pages;
+    for (;;) {
+        const Ppn p = b.allocate(0);
+        if (p == invalidPpn)
+            break;
+        pages.push_back(p);
+    }
+    if (pages.empty())
+        return 0.0;
+    std::sort(pages.begin(), pages.end());
+    std::uint64_t runs = 1;
+    for (std::size_t i = 1; i < pages.size(); ++i)
+        if (pages[i] != pages[i - 1] + 1)
+            ++runs;
+    return static_cast<double>(pages.size()) / static_cast<double>(runs);
+}
+
+TEST(Fragmenter, ZeroMeanIsNoop)
+{
+    BuddyAllocator b(1 << 14);
+    Rng rng(1);
+    Fragmenter f(b, rng);
+    f.apply({});
+    EXPECT_EQ(b.freePages(), 1u << 14);
+    EXPECT_EQ(f.pinnedPages(), 0u);
+}
+
+TEST(Fragmenter, CreatesRunsNearTargetMean)
+{
+    BuddyAllocator b(1 << 16);
+    Rng rng(2);
+    Fragmenter f(b, rng);
+    FragmentProfile profile;
+    profile.mean_free_run_pages = 32;
+    f.apply(profile);
+    EXPECT_GT(f.pinnedPages(), 0u);
+    const double mean = meanFreeRun(b);
+    EXPECT_GT(mean, 16.0);
+    EXPECT_LT(mean, 64.0);
+}
+
+TEST(Fragmenter, DeterministicRunsNearExactMean)
+{
+    BuddyAllocator b(1 << 16);
+    Rng rng(3);
+    Fragmenter f(b, rng);
+    FragmentProfile profile;
+    profile.mean_free_run_pages = 16;
+    profile.randomize = false;
+    f.apply(profile);
+    const double mean = meanFreeRun(b);
+    EXPECT_NEAR(mean, 16.0, 1.0);
+}
+
+TEST(Fragmenter, RespectsPinBudget)
+{
+    BuddyAllocator b(1 << 14);
+    Rng rng(4);
+    Fragmenter f(b, rng);
+    FragmentProfile profile;
+    profile.mean_free_run_pages = 1; // would pin ~50% unconstrained
+    profile.max_pinned_fraction = 0.10;
+    f.apply(profile);
+    EXPECT_LE(f.pinnedPages(), (1u << 14) / 10 + 2);
+}
+
+TEST(Fragmenter, ReleaseAllRestoresPool)
+{
+    BuddyAllocator b(1 << 14);
+    Rng rng(5);
+    {
+        Fragmenter f(b, rng);
+        FragmentProfile profile;
+        profile.mean_free_run_pages = 8;
+        f.apply(profile);
+        EXPECT_LT(b.freePages(), 1u << 14);
+        f.releaseAll();
+        EXPECT_EQ(f.pinnedPages(), 0u);
+    }
+    EXPECT_EQ(b.freePages(), 1u << 14);
+    EXPECT_TRUE(b.checkInvariants());
+}
+
+TEST(Fragmenter, DestructorReleasesPins)
+{
+    BuddyAllocator b(1 << 12);
+    Rng rng(6);
+    {
+        Fragmenter f(b, rng);
+        FragmentProfile profile;
+        profile.mean_free_run_pages = 4;
+        f.apply(profile);
+    }
+    EXPECT_EQ(b.freePages(), 1u << 12);
+}
+
+TEST(Fragmenter, AccountingMatchesPool)
+{
+    BuddyAllocator b(1 << 15);
+    Rng rng(7);
+    Fragmenter f(b, rng);
+    FragmentProfile profile;
+    profile.mean_free_run_pages = 64;
+    f.apply(profile);
+    EXPECT_EQ(b.freePages() + f.pinnedPages(), 1u << 15);
+}
+
+TEST(Fragmenter, TailMixesSmallRuns)
+{
+    BuddyAllocator big(1 << 18);
+    Rng rng_a(8);
+    Fragmenter fa(big, rng_a);
+    FragmentProfile with_tail;
+    with_tail.mean_free_run_pages = 4096;
+    with_tail.tail_run_pages = 8;
+    with_tail.tail_fraction = 0.5;
+    fa.apply(with_tail);
+    const double mixed = meanFreeRun(big);
+
+    BuddyAllocator pure(1 << 18);
+    Rng rng_b(8);
+    Fragmenter fb(pure, rng_b);
+    FragmentProfile no_tail;
+    no_tail.mean_free_run_pages = 4096;
+    fb.apply(no_tail);
+    const double unmixed = meanFreeRun(pure);
+
+    // The tail drags the mean run length down dramatically.
+    EXPECT_LT(mixed, unmixed / 4);
+}
+
+} // namespace
+} // namespace atlb

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Shared helpers for MMU tests.
+ */
+
+#ifndef ANCHORTLB_TESTS_MMU_TEST_UTIL_HH
+#define ANCHORTLB_TESTS_MMU_TEST_UTIL_HH
+
+#include "common/types.hh"
+#include "os/memory_map.hh"
+
+namespace atlb::test
+{
+
+/** 2MB-aligned VPN base used across MMU tests. */
+constexpr Vpn baseVpn = 0x7f0000000ULL;
+
+/** Byte address of a VPN offset from baseVpn. */
+inline VirtAddr
+va(std::uint64_t page_offset, std::uint64_t byte_offset = 0)
+{
+    return vaOf(baseVpn + page_offset) + byte_offset;
+}
+
+/**
+ * A mapping with varied structure:
+ *   chunk A: 8 pages at +0 (small, PA 0x1000)
+ *   chunk B: 1024 pages at +512, 2MB-congruent (huge-eligible)
+ *   chunk C: 100 pages at +4096, PA misaligned mod 512
+ *   chunk D: 3 pages at +8192
+ */
+inline MemoryMap
+makeVariedMap()
+{
+    MemoryMap m;
+    m.add(baseVpn + 0, 0x1000, 8);
+    m.add(baseVpn + 512, 0x20000 + 512, 1024); // congruent mod 512
+    m.add(baseVpn + 4096, 0x80007, 100);
+    m.add(baseVpn + 8192, 0x90001, 3);
+    m.finalize();
+    return m;
+}
+
+} // namespace atlb::test
+
+#endif // ANCHORTLB_TESTS_MMU_TEST_UTIL_HH

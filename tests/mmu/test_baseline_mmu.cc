@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests for the baseline/THP MMU pipeline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mmu/baseline_mmu.hh"
+#include "mmu_test_util.hh"
+#include "os/table_builder.hh"
+
+namespace atlb
+{
+namespace
+{
+
+using test::baseVpn;
+using test::va;
+
+class BaselineMmuTest : public ::testing::Test
+{
+  protected:
+    BaselineMmuTest()
+        : map_(test::makeVariedMap()), plain_(buildPageTable(map_, false)),
+          thp_(buildPageTable(map_, true))
+    {
+    }
+
+    MemoryMap map_;
+    PageTable plain_;
+    PageTable thp_;
+    MmuConfig cfg_;
+};
+
+TEST_F(BaselineMmuTest, FirstAccessWalks)
+{
+    BaselineMmu mmu(cfg_, plain_);
+    const TranslationResult r = mmu.translate(va(0));
+    EXPECT_EQ(r.level, HitLevel::PageWalk);
+    EXPECT_EQ(r.ppn, map_.translate(baseVpn));
+    EXPECT_EQ(r.cycles, cfg_.l2_hit_cycles + cfg_.walk_cycles);
+    EXPECT_EQ(mmu.stats().page_walks, 1u);
+}
+
+TEST_F(BaselineMmuTest, SecondAccessHitsL1)
+{
+    BaselineMmu mmu(cfg_, plain_);
+    mmu.translate(va(0));
+    const TranslationResult r = mmu.translate(va(0, 128));
+    EXPECT_EQ(r.level, HitLevel::L1);
+    EXPECT_EQ(r.cycles, 0u);
+    EXPECT_EQ(r.ppn, map_.translate(baseVpn));
+}
+
+TEST_F(BaselineMmuTest, L1EvictionFallsBackToL2)
+{
+    BaselineMmu mmu(cfg_, plain_);
+    // Touch far more pages than L1 holds (64), fewer than L2 (1024).
+    for (std::uint64_t i = 0; i < 512; ++i)
+        mmu.translate(va(512 + i));
+    // Re-touch the first page: L1 long evicted, L2 still has it.
+    const TranslationResult r = mmu.translate(va(512));
+    EXPECT_EQ(r.level, HitLevel::L2Regular);
+    EXPECT_EQ(r.cycles, cfg_.l2_hit_cycles);
+}
+
+TEST_F(BaselineMmuTest, PlainTableNeverUses2M)
+{
+    BaselineMmu mmu(cfg_, plain_);
+    for (std::uint64_t i = 0; i < 1024; ++i) {
+        const TranslationResult r = mmu.translate(va(512 + i));
+        ASSERT_EQ(r.size, PageSize::Base4K);
+        ASSERT_EQ(r.ppn, map_.translate(baseVpn + 512 + i));
+    }
+}
+
+TEST_F(BaselineMmuTest, ThpTableUses2MForEligibleChunk)
+{
+    BaselineMmu mmu(cfg_, thp_, "thp");
+    const TranslationResult r = mmu.translate(va(512));
+    EXPECT_EQ(r.size, PageSize::Huge2M);
+    EXPECT_EQ(r.ppn, map_.translate(baseVpn + 512));
+    // Whole 2MB block now hits the L1 2MB TLB.
+    const TranslationResult r2 = mmu.translate(va(1000));
+    EXPECT_EQ(r2.level, HitLevel::L1);
+    EXPECT_EQ(r2.ppn, map_.translate(baseVpn + 1000));
+}
+
+TEST_F(BaselineMmuTest, ThpTableKeeps4KForMisalignedChunk)
+{
+    BaselineMmu mmu(cfg_, thp_, "thp");
+    const TranslationResult r = mmu.translate(va(4096));
+    EXPECT_EQ(r.size, PageSize::Base4K);
+    EXPECT_EQ(r.ppn, map_.translate(baseVpn + 4096));
+}
+
+TEST_F(BaselineMmuTest, ThpReducesWalksForBigChunk)
+{
+    BaselineMmu plain_mmu(cfg_, plain_);
+    BaselineMmu thp_mmu(cfg_, thp_, "thp");
+    for (std::uint64_t i = 0; i < 1024; ++i) {
+        plain_mmu.translate(va(512 + i));
+        thp_mmu.translate(va(512 + i));
+    }
+    // 1024 pages = 2 huge pages: two walks instead of ~1024.
+    EXPECT_EQ(thp_mmu.stats().page_walks, 2u);
+    EXPECT_EQ(plain_mmu.stats().page_walks, 1024u);
+}
+
+TEST_F(BaselineMmuTest, StatsAccumulate)
+{
+    BaselineMmu mmu(cfg_, plain_);
+    mmu.translate(va(0));
+    mmu.translate(va(0));
+    mmu.translate(va(1));
+    EXPECT_EQ(mmu.stats().accesses, 3u);
+    EXPECT_EQ(mmu.stats().l1_hits, 1u);
+    EXPECT_EQ(mmu.stats().page_walks, 2u);
+    EXPECT_EQ(mmu.stats().translation_cycles,
+              2 * (cfg_.l2_hit_cycles + cfg_.walk_cycles));
+}
+
+TEST_F(BaselineMmuTest, FlushForcesRewalk)
+{
+    BaselineMmu mmu(cfg_, plain_);
+    mmu.translate(va(0));
+    mmu.flushAll();
+    const TranslationResult r = mmu.translate(va(0));
+    EXPECT_EQ(r.level, HitLevel::PageWalk);
+}
+
+TEST_F(BaselineMmuTest, CustomLatenciesHonoured)
+{
+    MmuConfig cfg;
+    cfg.l2_hit_cycles = 11;
+    cfg.walk_cycles = 99;
+    BaselineMmu mmu(cfg, plain_);
+    EXPECT_EQ(mmu.translate(va(0)).cycles, 110u);
+    // Evict from L1 but not L2.
+    for (std::uint64_t i = 0; i < 512; ++i)
+        mmu.translate(va(512 + i));
+    EXPECT_EQ(mmu.translate(va(0)).cycles, 11u);
+}
+
+} // namespace
+} // namespace atlb

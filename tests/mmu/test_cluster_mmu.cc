@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Tests for the HW-coalescing cluster TLB pipeline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mmu/cluster_mmu.hh"
+#include "mmu_test_util.hh"
+#include "os/table_builder.hh"
+
+namespace atlb
+{
+namespace
+{
+
+using test::baseVpn;
+using test::va;
+
+class ClusterMmuTest : public ::testing::Test
+{
+  protected:
+    ClusterMmuTest()
+        : map_(test::makeVariedMap()), plain_(buildPageTable(map_, false)),
+          thp_(buildPageTable(map_, true))
+    {
+    }
+
+    MemoryMap map_;
+    PageTable plain_;
+    PageTable thp_;
+    MmuConfig cfg_;
+};
+
+TEST_F(ClusterMmuTest, WalkFillsClusterForContiguousGroup)
+{
+    ClusterMmu mmu(cfg_, plain_, false);
+    // Chunk A covers pages +0..+7, one aligned group, fully contiguous.
+    EXPECT_EQ(mmu.translate(va(0)).level, HitLevel::PageWalk);
+    // Remaining 7 pages of the group: L1 misses but cluster hits.
+    for (std::uint64_t i = 1; i < 8; ++i) {
+        const TranslationResult r = mmu.translate(va(i));
+        ASSERT_EQ(r.level, HitLevel::Coalesced) << "page " << i;
+        ASSERT_EQ(r.ppn, map_.translate(baseVpn + i));
+        ASSERT_EQ(r.cycles, cfg_.coalesced_hit_cycles);
+    }
+    EXPECT_EQ(mmu.stats().page_walks, 1u);
+}
+
+TEST_F(ClusterMmuTest, SingletonRunFillsRegularEntry)
+{
+    // Chunk D is 3 pages at +8192 but the group [+8192, +8200) holds
+    // only those 3; a group with a 1-page neighbourhood still clusters
+    // if >= 2 coalesce. Build a truly-isolated page instead.
+    MemoryMap m;
+    m.add(baseVpn, 0x5000, 1);
+    m.finalize();
+    PageTable t = buildPageTable(m, false);
+    ClusterMmu mmu(cfg_, t, false);
+    mmu.translate(va(0));
+    EXPECT_EQ(mmu.clusterTlb().stats().insertions, 0u);
+    EXPECT_EQ(mmu.regularTlb().stats().insertions, 1u);
+}
+
+TEST_F(ClusterMmuTest, PartialGroupCoalesces)
+{
+    ClusterMmu mmu(cfg_, plain_, false);
+    // Chunk D: 3 pages at +8192 (group-aligned); bitmap = 0b111.
+    mmu.translate(va(8192));
+    EXPECT_EQ(mmu.translate(va(8193)).level, HitLevel::Coalesced);
+    EXPECT_EQ(mmu.translate(va(8194)).level, HitLevel::Coalesced);
+    // Page +8195 is unmapped; nothing to test there. The cluster entry
+    // must not claim it: verified via the bitmap (aux).
+    const TlbEntry *e =
+        mmu.clusterTlb().probe(EntryKind::Cluster, (baseVpn + 8192) / 8);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->aux, 0b111u);
+}
+
+TEST_F(ClusterMmuTest, MisalignedRunSplitsAcrossGroups)
+{
+    // 8-page run starting at +4096 with PA ending in ...7: VA group
+    // alignment doesn't match PA group alignment, but cluster coalescing
+    // only needs VA-group-relative contiguity, which holds.
+    ClusterMmu mmu(cfg_, plain_, false);
+    mmu.translate(va(4096));
+    const TranslationResult r = mmu.translate(va(4097));
+    EXPECT_EQ(r.level, HitLevel::Coalesced);
+    EXPECT_EQ(r.ppn, map_.translate(baseVpn + 4097));
+}
+
+TEST_F(ClusterMmuTest, ClusterAndRegularPartitionsAreIndependent)
+{
+    ClusterMmu mmu(cfg_, plain_, false);
+    EXPECT_EQ(mmu.regularTlb().numWays(), cfg_.cluster_regular_ways);
+    EXPECT_EQ(mmu.clusterTlb().numWays(), cfg_.cluster_ways);
+    EXPECT_EQ(mmu.regularTlb().numSets() * mmu.regularTlb().numWays(),
+              cfg_.cluster_regular_entries);
+    EXPECT_EQ(mmu.clusterTlb().numSets() * mmu.clusterTlb().numWays(),
+              cfg_.cluster_entries);
+}
+
+TEST_F(ClusterMmuTest, Plain4KOnlyIgnoresHugePages)
+{
+    // Plain cluster on an all-4K table: big chunk still clusters.
+    ClusterMmu mmu(cfg_, plain_, false);
+    mmu.translate(va(512));
+    EXPECT_EQ(mmu.translate(va(513)).level, HitLevel::Coalesced);
+}
+
+TEST_F(ClusterMmuTest, Cluster2MBCaches2MEntries)
+{
+    ClusterMmu mmu(cfg_, thp_, true);
+    const TranslationResult r = mmu.translate(va(512));
+    EXPECT_EQ(r.size, PageSize::Huge2M);
+    // A far-away page of the same huge page: L1 2M already covers it;
+    // evict L1 by touching other 2M regions is overkill — instead check
+    // the regular TLB got a 2M entry.
+    const TlbEntry *e = mmu.regularTlb().probe(EntryKind::Page2M,
+                                               (baseVpn + 512) >> 9);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->ppn, map_.translate(baseVpn + 512));
+}
+
+TEST_F(ClusterMmuTest, TranslationsAlwaysCorrect)
+{
+    ClusterMmu mmu(cfg_, plain_, false);
+    for (int pass = 0; pass < 2; ++pass) {
+        for (const Chunk &c : map_.chunks()) {
+            for (std::uint64_t i = 0; i < c.pages; i += 3) {
+                const Vpn vpn = c.vpn + i;
+                ASSERT_EQ(mmu.translate(vaOf(vpn)).ppn,
+                          map_.translate(vpn));
+            }
+        }
+    }
+}
+
+TEST_F(ClusterMmuTest, FlushClearsBothPartitions)
+{
+    ClusterMmu mmu(cfg_, plain_, false);
+    mmu.translate(va(0));
+    mmu.translate(va(1));
+    mmu.flushAll();
+    EXPECT_EQ(mmu.regularTlb().validCount(), 0u);
+    EXPECT_EQ(mmu.clusterTlb().validCount(), 0u);
+}
+
+TEST_F(ClusterMmuTest, NamesFollowVariant)
+{
+    ClusterMmu plain_mmu(cfg_, plain_, false);
+    ClusterMmu thp_mmu(cfg_, thp_, true);
+    EXPECT_EQ(plain_mmu.name(), "cluster");
+    EXPECT_EQ(thp_mmu.name(), "cluster-2mb");
+}
+
+} // namespace
+} // namespace atlb

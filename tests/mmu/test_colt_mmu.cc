@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tests for the CoLT MMU (SA + FA coalescing).
+ */
+
+#include <gtest/gtest.h>
+
+#include "mmu/colt_mmu.hh"
+#include "mmu_test_util.hh"
+#include "os/table_builder.hh"
+
+namespace atlb
+{
+namespace
+{
+
+using test::baseVpn;
+using test::va;
+
+class ColtMmuTest : public ::testing::Test
+{
+  protected:
+    ColtMmuTest()
+        : map_(test::makeVariedMap()), plain_(buildPageTable(map_, false))
+    {
+    }
+
+    MemoryMap map_;
+    PageTable plain_;
+    MmuConfig cfg_;
+};
+
+TEST_F(ColtMmuTest, LongRunGoesToFaPart)
+{
+    ColtMmu mmu(cfg_, plain_);
+    // Chunk B is 1024 contiguous pages: one walk coalesces a 64-page
+    // FA run around the missing page.
+    mmu.translate(va(600));
+    EXPECT_EQ(mmu.faTlb().size(), 1u);
+    // Neighbours within the window hit the FA entry.
+    const TranslationResult r = mmu.translate(va(610));
+    EXPECT_EQ(r.level, HitLevel::Coalesced);
+    EXPECT_EQ(r.ppn, map_.translate(baseVpn + 610));
+}
+
+TEST_F(ColtMmuTest, FaRunCappedAtWindow)
+{
+    ColtMmu mmu(cfg_, plain_);
+    mmu.translate(va(600));
+    // 600 lies in window [576, 640): a page outside it misses.
+    EXPECT_EQ(mmu.translate(va(640)).level, HitLevel::PageWalk);
+}
+
+TEST_F(ColtMmuTest, ShortRunGoesToSaPart)
+{
+    ColtMmu mmu(cfg_, plain_);
+    // Chunk D: 3 pages (>= 2, < colt_fa_min_pages).
+    mmu.translate(va(8192));
+    EXPECT_EQ(mmu.faTlb().size(), 0u);
+    const TranslationResult r = mmu.translate(va(8193));
+    EXPECT_EQ(r.level, HitLevel::Coalesced);
+    EXPECT_EQ(r.ppn, map_.translate(baseVpn + 8193));
+}
+
+TEST_F(ColtMmuTest, SingletonGoesToRegular)
+{
+    MemoryMap m;
+    m.add(baseVpn, 0x5000, 1);
+    m.finalize();
+    PageTable t = buildPageTable(m, false);
+    ColtMmu mmu(cfg_, t);
+    mmu.translate(va(0));
+    EXPECT_EQ(mmu.faTlb().size(), 0u);
+    EXPECT_EQ(mmu.coalescedTlb().stats().insertions, 0u);
+    EXPECT_EQ(mmu.regularTlb().stats().insertions, 1u);
+}
+
+TEST_F(ColtMmuTest, RunGrowsBackwardAndForward)
+{
+    ColtMmu mmu(cfg_, plain_);
+    // Missing in the middle of chunk C (100 pages at +4096): the run
+    // spans the whole aligned window around the page.
+    mmu.translate(va(4130)); // window [4096, 4160) inside chunk C
+    EXPECT_EQ(mmu.translate(va(4097)).level, HitLevel::Coalesced);
+    EXPECT_EQ(mmu.translate(va(4159)).level, HitLevel::Coalesced);
+}
+
+TEST_F(ColtMmuTest, FaCapacityThrashes)
+{
+    // More hot runs than FA entries: CoLT-FA's restriction the paper
+    // points out.
+    MemoryMap m;
+    for (std::uint64_t i = 0; i < 64; ++i)
+        m.add(baseVpn + i * 128, 0x100000 + i * 256, 64);
+    m.finalize();
+    PageTable t = buildPageTable(m, false);
+    ColtMmu mmu(cfg_, t);
+    for (int pass = 0; pass < 2; ++pass)
+        for (std::uint64_t i = 0; i < 64; ++i)
+            mmu.translate(vaOf(baseVpn + i * 128 + 64 * pass / 2));
+    // Second pass pages sit in the same runs but the FA entries were
+    // long evicted.
+    EXPECT_GT(mmu.stats().page_walks, 96u);
+}
+
+TEST_F(ColtMmuTest, TranslationsAlwaysCorrect)
+{
+    ColtMmu mmu(cfg_, plain_);
+    for (int pass = 0; pass < 2; ++pass) {
+        for (const Chunk &c : map_.chunks()) {
+            for (std::uint64_t i = 0; i < c.pages; i += 3) {
+                const Vpn vpn = c.vpn + i;
+                ASSERT_EQ(mmu.translate(vaOf(vpn)).ppn,
+                          map_.translate(vpn));
+            }
+        }
+    }
+}
+
+TEST_F(ColtMmuTest, FlushClearsAllParts)
+{
+    ColtMmu mmu(cfg_, plain_);
+    mmu.translate(va(600));
+    mmu.translate(va(8192));
+    mmu.flushAll();
+    EXPECT_EQ(mmu.faTlb().size(), 0u);
+    EXPECT_EQ(mmu.regularTlb().validCount(), 0u);
+    EXPECT_EQ(mmu.coalescedTlb().validCount(), 0u);
+}
+
+} // namespace
+} // namespace atlb

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Tests for 1GB page support (the separate small 1GB L2 TLB of paper
+ * Section 2.1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "mmu/baseline_mmu.hh"
+#include "mmu_test_util.hh"
+#include "os/scenario.hh"
+#include "os/table_builder.hh"
+
+namespace atlb
+{
+namespace
+{
+
+using test::baseVpn;
+using test::va;
+
+/** 4GB chunk, fully 1GB-congruent. */
+MemoryMap
+giantMap()
+{
+    MemoryMap m;
+    m.add(baseVpn, baseVpn + (1ULL << 30), 4 * giantPages);
+    m.finalize();
+    return m;
+}
+
+TEST(GiantPages, EligibilityRequiresAlignmentAndSpan)
+{
+    const MemoryMap m = giantMap();
+    EXPECT_TRUE(m.giantEligible(baseVpn));
+    EXPECT_TRUE(m.giantEligible(baseVpn + 3 * giantPages + 7));
+    EXPECT_FALSE(m.giantEligible(baseVpn + 4 * giantPages));
+
+    MemoryMap small;
+    small.add(baseVpn, 0x40000, giantPages / 2);
+    small.finalize();
+    EXPECT_FALSE(small.giantEligible(baseVpn));
+}
+
+TEST(GiantPages, TableBuilderCreates1GLeaves)
+{
+    const MemoryMap m = giantMap();
+    const PageTable t = buildPageTable(m, true, true);
+    EXPECT_EQ(t.mapped1G(), 4u);
+    EXPECT_EQ(t.mapped2M(), 0u);
+    EXPECT_EQ(t.mapped4K(), 0u);
+    const WalkResult w = t.walk(baseVpn + giantPages + 12345);
+    EXPECT_TRUE(w.present);
+    EXPECT_EQ(w.size, PageSize::Giant1G);
+    EXPECT_EQ(w.ppn, m.translate(baseVpn + giantPages + 12345));
+    // A 1GB leaf terminates the walk one level earlier than 2MB.
+    EXPECT_EQ(w.levels, 2u);
+}
+
+TEST(GiantPages, Without1GFlagUses2M)
+{
+    const MemoryMap m = giantMap();
+    const PageTable t = buildPageTable(m, true, false);
+    EXPECT_EQ(t.mapped1G(), 0u);
+    EXPECT_EQ(t.mapped2M(), 4u * 512);
+}
+
+TEST(GiantPages, MisalignedChunkFallsBackTo2M)
+{
+    MemoryMap m;
+    // Congruent mod 512 but not mod 2^18.
+    m.add(baseVpn, baseVpn + 512, 2 * giantPages);
+    m.finalize();
+    const PageTable t = buildPageTable(m, true, true);
+    EXPECT_EQ(t.mapped1G(), 0u);
+    EXPECT_GT(t.mapped2M(), 0u);
+}
+
+TEST(GiantPages, MmuServesFromSeparate1GTlb)
+{
+    const MemoryMap m = giantMap();
+    const PageTable t = buildPageTable(m, true, true);
+    MmuConfig cfg;
+    BaselineMmu mmu(cfg, t, "thp-1g");
+    const TranslationResult first = mmu.translate(va(100));
+    EXPECT_EQ(first.level, HitLevel::PageWalk);
+    EXPECT_EQ(first.size, PageSize::Giant1G);
+    EXPECT_EQ(mmu.l2Tlb1G().validCount(), 1u);
+    EXPECT_EQ(mmu.l2Tlb().validCount(), 0u);
+    // A page far away in the same 1GB block: L1 4K misses, 1G L2 hits.
+    const TranslationResult r = mmu.translate(va(200000));
+    EXPECT_EQ(r.level, HitLevel::L2Regular);
+    EXPECT_EQ(r.ppn, m.translate(baseVpn + 200000));
+}
+
+TEST(GiantPages, FourEntriesCoverFourGigabytes)
+{
+    const MemoryMap m = giantMap();
+    const PageTable t = buildPageTable(m, true, true);
+    MmuConfig cfg;
+    BaselineMmu mmu(cfg, t, "thp-1g");
+    // Touch 4K-page-strided addresses across all 4GB: only 4 walks.
+    for (std::uint64_t i = 0; i < 4000; ++i)
+        mmu.translate(va(i * 262)); // ~1MB stride
+    EXPECT_EQ(mmu.stats().page_walks, 4u);
+}
+
+TEST(GiantPages, InvalidateAndFlushCover1G)
+{
+    const MemoryMap m = giantMap();
+    const PageTable t = buildPageTable(m, true, true);
+    MmuConfig cfg;
+    BaselineMmu mmu(cfg, t, "thp-1g");
+    mmu.translate(va(0));
+    mmu.invalidatePage(baseVpn + 5);
+    EXPECT_EQ(mmu.l2Tlb1G().validCount(), 0u);
+    mmu.translate(va(0));
+    mmu.flushAll();
+    EXPECT_EQ(mmu.l2Tlb1G().validCount(), 0u);
+}
+
+TEST(GiantPages, MaxContigScenarioIsGiantEligible)
+{
+    ScenarioParams p;
+    p.footprint_pages = 2 * giantPages;
+    const MemoryMap m = buildScenario(ScenarioKind::MaxContig, p);
+    // The max-contiguity builder aligns mod 512 only; 1GB eligibility
+    // additionally needs 2^18 congruence, which the single chunk often
+    // lacks — the allocation-flexibility argument in miniature. Just
+    // confirm the query is well-defined across the footprint.
+    for (Vpn v = p.va_base; v < p.va_base + p.footprint_pages;
+         v += giantPages)
+        (void)m.giantEligible(v);
+}
+
+} // namespace
+} // namespace atlb

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Tests for nested (virtualized) translation: two-dimensional walks,
+ * combined-entry page-size clamping, and host-clipped anchor coverage.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "mmu/anchor_mmu.hh"
+#include "mmu/baseline_mmu.hh"
+#include "mmu/cluster_mmu.hh"
+#include "mmu_test_util.hh"
+#include "os/distance_selector.hh"
+#include "os/scenario.hh"
+#include "os/table_builder.hh"
+
+namespace atlb
+{
+namespace
+{
+
+using test::baseVpn;
+using test::va;
+
+/** End-to-end expected machine frame: host(guest(vpn)). */
+Ppn
+combined(const MemoryMap &guest, const MemoryMap &host, Vpn vpn)
+{
+    const Ppn gpa = guest.translate(vpn);
+    return gpa == invalidPpn ? invalidPpn : host.translate(gpa);
+}
+
+/** Host environment covering all GPAs of @p guest. */
+struct HostEnv
+{
+    MemoryMap map;
+    PageTable table;
+};
+
+HostEnv
+makeHost(const MemoryMap &guest, ScenarioKind kind, std::uint64_t seed)
+{
+    Ppn max_gpa = 0;
+    for (const Chunk &c : guest.chunks())
+        max_gpa = std::max(max_gpa, c.ppn + c.pages);
+    ScenarioParams p;
+    p.footprint_pages = max_gpa + 8;
+    p.va_base = 0; // GPA space starts at zero
+    p.seed = seed;
+    HostEnv env;
+    env.map = buildScenario(kind, p);
+    env.table = buildPageTable(env.map, true);
+    return env;
+}
+
+TEST(Nested, BaselineTwoDimensionalCorrectness)
+{
+    const MemoryMap guest = test::makeVariedMap();
+    const PageTable guest_table = buildPageTable(guest, true);
+    const HostEnv host = makeHost(guest, ScenarioKind::MedContig, 3);
+
+    MmuConfig cfg;
+    BaselineMmu mmu(cfg, guest_table, "nested-base");
+    mmu.setNested(&host.table, &host.map);
+    ASSERT_TRUE(mmu.nested());
+
+    for (const Chunk &c : guest.chunks()) {
+        for (std::uint64_t i = 0; i < c.pages; i += 5) {
+            const Vpn vpn = c.vpn + i;
+            ASSERT_EQ(mmu.translate(vaOf(vpn)).ppn,
+                      combined(guest, host.map, vpn))
+                << "vpn offset " << vpn - baseVpn;
+        }
+    }
+}
+
+TEST(Nested, WalkCostIsTwoDimensional)
+{
+    const MemoryMap guest = test::makeVariedMap();
+    const PageTable guest_table = buildPageTable(guest, false);
+    const HostEnv host = makeHost(guest, ScenarioKind::MaxContig, 5);
+
+    MmuConfig cfg;
+    cfg.nested_ref_cycles = 10;
+    BaselineMmu mmu(cfg, guest_table, "nested-base");
+    mmu.setNested(&host.table, &host.map);
+
+    // Guest 4KB leaf (4 levels); host side is one giant chunk, THP'd
+    // into 2MB leaves (3 levels): (4+1)(3+1)-1 = 19 refs.
+    const TranslationResult r = mmu.translate(va(0));
+    EXPECT_EQ(r.level, HitLevel::PageWalk);
+    EXPECT_EQ(r.cycles, cfg.l2_hit_cycles + 19 * 10u);
+}
+
+TEST(Nested, CombinedEntryClampedToHostPageSize)
+{
+    // Guest maps a huge-eligible chunk; host maps its GPAs as 4KB only.
+    const MemoryMap guest = test::makeVariedMap();
+    const PageTable guest_table = buildPageTable(guest, true);
+    HostEnv host = makeHost(guest, ScenarioKind::LowContig, 7);
+
+    MmuConfig cfg;
+    BaselineMmu mmu(cfg, guest_table, "nested-base");
+    mmu.setNested(&host.table, &host.map);
+
+    // Chunk B (+512) is guest-2MB-mapped, but the low-contiguity host
+    // cannot back it with 2MB: the combined entry must be 4KB.
+    const TranslationResult r = mmu.translate(va(512));
+    EXPECT_EQ(r.size, PageSize::Base4K);
+    EXPECT_EQ(r.ppn, combined(guest, host.map, baseVpn + 512));
+}
+
+TEST(Nested, AnchorCoverageClippedByHostRun)
+{
+    // Guest: one 16-page run. Host: breaks the corresponding GPA run
+    // after 6 pages.
+    MemoryMap guest;
+    guest.add(baseVpn, 1000, 16);
+    guest.finalize();
+    PageTable guest_table = buildAnchorPageTable(guest, 16);
+
+    MemoryMap host_map;
+    host_map.add(994, 0x5000, 12);  // GPAs 1000..1005 in run one
+    host_map.add(1006, 0x8000, 20); // GPAs 1006.. in another
+    host_map.finalize();
+    PageTable host_table = buildPageTable(host_map, false);
+
+    MmuConfig cfg;
+    AnchorMmu mmu(cfg, guest_table, 16);
+    mmu.setNested(&host_table, &host_map);
+
+    // Walk page 0: the guest anchor claims 16 pages but the host run
+    // from GPA 1000 covers only 6; the cached anchor must be clipped.
+    mmu.translate(va(0));
+    EXPECT_EQ(mmu.translate(va(5)).level, HitLevel::Coalesced);
+    EXPECT_EQ(mmu.translate(va(5)).ppn, 0x5000u + 11);
+    const TranslationResult beyond = mmu.translate(va(6));
+    EXPECT_EQ(beyond.level, HitLevel::PageWalk) << "host break crossed";
+    EXPECT_EQ(beyond.ppn, 0x8000u);
+}
+
+TEST(Nested, AnchorRandomAccessAlwaysCorrect)
+{
+    ScenarioParams gp;
+    gp.footprint_pages = 4000;
+    gp.seed = 11;
+    const MemoryMap guest = buildScenario(ScenarioKind::MedContig, gp);
+    const std::uint64_t d =
+        selectAnchorDistance(guest.contiguityHistogram()).distance;
+    PageTable guest_table = buildAnchorPageTable(guest, d);
+    const HostEnv host = makeHost(guest, ScenarioKind::MedContig, 13);
+
+    MmuConfig cfg;
+    AnchorMmu mmu(cfg, guest_table, d);
+    mmu.setNested(&host.table, &host.map);
+
+    Rng rng(17);
+    for (int i = 0; i < 30000; ++i) {
+        const Vpn vpn = gp.va_base + rng.nextBounded(gp.footprint_pages);
+        ASSERT_EQ(mmu.translate(vaOf(vpn)).ppn,
+                  combined(guest, host.map, vpn))
+            << "vpn offset " << vpn - gp.va_base;
+    }
+}
+
+TEST(Nested, UnsupportedSchemeRejectsNestedMode)
+{
+    const MemoryMap guest = test::makeVariedMap();
+    const PageTable guest_table = buildPageTable(guest, false);
+    const HostEnv host = makeHost(guest, ScenarioKind::MedContig, 19);
+    MmuConfig cfg;
+    ClusterMmu mmu(cfg, guest_table, false);
+    detail::setThrowOnError(true);
+    EXPECT_THROW(mmu.setNested(&host.table, &host.map),
+                 std::logic_error);
+    detail::setThrowOnError(false);
+}
+
+TEST(Nested, ReturningToNativeModeRestoresFlatWalks)
+{
+    const MemoryMap guest = test::makeVariedMap();
+    const PageTable guest_table = buildPageTable(guest, false);
+    const HostEnv host = makeHost(guest, ScenarioKind::MaxContig, 23);
+    MmuConfig cfg;
+    BaselineMmu mmu(cfg, guest_table);
+    mmu.setNested(&host.table, &host.map);
+    mmu.translate(va(0));
+    mmu.setNested(nullptr, nullptr);
+    EXPECT_FALSE(mmu.nested());
+    const TranslationResult r = mmu.translate(va(0));
+    EXPECT_EQ(r.ppn, guest.translate(baseVpn));
+    EXPECT_EQ(r.cycles, cfg.l2_hit_cycles + cfg.walk_cycles);
+}
+
+} // namespace
+} // namespace atlb

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Tests for the RMM (range TLB) pipeline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mmu/rmm_mmu.hh"
+#include "mmu_test_util.hh"
+#include "os/table_builder.hh"
+
+namespace atlb
+{
+namespace
+{
+
+using test::baseVpn;
+using test::va;
+
+class RmmMmuTest : public ::testing::Test
+{
+  protected:
+    RmmMmuTest()
+        : map_(test::makeVariedMap()), thp_(buildPageTable(map_, true))
+    {
+        cfg_.rmm_min_range_pages = 64; // chunk B and C qualify
+    }
+
+    MemoryMap map_;
+    PageTable thp_;
+    MmuConfig cfg_;
+};
+
+TEST_F(RmmMmuTest, WalkInstallsRangeThenRangeHits)
+{
+    RmmMmu mmu(cfg_, thp_, map_);
+    // Chunk C (100 pages, not huge-eligible) at +4096.
+    EXPECT_EQ(mmu.translate(va(4096)).level, HitLevel::PageWalk);
+    const TranslationResult r = mmu.translate(va(4150));
+    EXPECT_EQ(r.level, HitLevel::Coalesced);
+    EXPECT_EQ(r.ppn, map_.translate(baseVpn + 4150));
+    EXPECT_EQ(r.cycles, cfg_.coalesced_hit_cycles);
+    EXPECT_EQ(mmu.stats().page_walks, 1u);
+}
+
+TEST_F(RmmMmuTest, SmallChunksGetNoRange)
+{
+    RmmMmu mmu(cfg_, thp_, map_);
+    mmu.translate(va(0)); // chunk A: 8 pages < min range
+    EXPECT_EQ(mmu.rangeTlb().size(), 0u);
+    // Next page of chunk A misses the range TLB and walks.
+    EXPECT_EQ(mmu.translate(va(1)).level, HitLevel::PageWalk);
+}
+
+TEST_F(RmmMmuTest, MinRangeConfigurable)
+{
+    MmuConfig cfg = cfg_;
+    cfg.rmm_min_range_pages = 2;
+    RmmMmu mmu(cfg, thp_, map_);
+    mmu.translate(va(0));
+    EXPECT_EQ(mmu.rangeTlb().size(), 1u);
+    EXPECT_EQ(mmu.translate(va(1)).level, HitLevel::Coalesced);
+}
+
+TEST_F(RmmMmuTest, L2StillFilledOnWalks)
+{
+    RmmMmu mmu(cfg_, thp_, map_);
+    mmu.translate(va(4096));
+    // Evict from L1 only.
+    for (std::uint64_t i = 0; i < 90; ++i)
+        mmu.translate(va(4097 + i));
+    // The original page is now served by the regular L2 entry (checked
+    // first) rather than the range.
+    const TranslationResult r = mmu.translate(va(4096));
+    EXPECT_EQ(r.level, HitLevel::L2Regular);
+}
+
+TEST_F(RmmMmuTest, HugePagesServedByRegularEntries)
+{
+    RmmMmu mmu(cfg_, thp_, map_);
+    const TranslationResult r = mmu.translate(va(512));
+    EXPECT_EQ(r.size, PageSize::Huge2M);
+    EXPECT_EQ(r.ppn, map_.translate(baseVpn + 512));
+}
+
+TEST_F(RmmMmuTest, RangeTranslationsAlwaysCorrect)
+{
+    RmmMmu mmu(cfg_, thp_, map_);
+    for (int pass = 0; pass < 2; ++pass) {
+        for (const Chunk &c : map_.chunks()) {
+            for (std::uint64_t i = 0; i < c.pages; i += 7) {
+                const Vpn vpn = c.vpn + i;
+                ASSERT_EQ(mmu.translate(vaOf(vpn)).ppn,
+                          map_.translate(vpn));
+            }
+        }
+    }
+}
+
+TEST_F(RmmMmuTest, FlushClearsRangeTlb)
+{
+    RmmMmu mmu(cfg_, thp_, map_);
+    mmu.translate(va(4096));
+    EXPECT_EQ(mmu.rangeTlb().size(), 1u);
+    mmu.flushAll();
+    EXPECT_EQ(mmu.rangeTlb().size(), 0u);
+}
+
+TEST_F(RmmMmuTest, ThirtyTwoEntryCapacityThrashes)
+{
+    // Build a map with 64 qualifying chunks and touch them round-robin:
+    // the 32-entry FA range TLB cannot hold them all.
+    MemoryMap m;
+    for (std::uint64_t i = 0; i < 64; ++i)
+        m.add(baseVpn + i * 128, 0x100000 + i * 256, 64);
+    m.finalize();
+    PageTable t = buildPageTable(m, false);
+    MmuConfig cfg;
+    cfg.rmm_min_range_pages = 2;
+    RmmMmu mmu(cfg, t, m);
+    // Two round-robin passes over one page per chunk.
+    for (int pass = 0; pass < 2; ++pass)
+        for (std::uint64_t i = 0; i < 64; ++i)
+            mmu.translate(vaOf(baseVpn + i * 128 + pass));
+    // Pass 2 pages are new VPNs; their chunks' ranges were evicted
+    // before reuse, so most of pass 2 walks again.
+    EXPECT_GT(mmu.stats().page_walks, 96u);
+}
+
+} // namespace
+} // namespace atlb

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Targeted-shootdown tests: after the OS migrates a page, a
+ * page-granular invalidation must leave no stale translation behind in
+ * any scheme — including stale *coalesced* entries that merely cover
+ * the page (the subtle case the paper's Section 3.3 warns about for
+ * anchor entries).
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/logging.hh"
+#include "mmu/anchor_mmu.hh"
+#include "mmu/baseline_mmu.hh"
+#include "mmu/cluster_mmu.hh"
+#include "mmu/colt_mmu.hh"
+#include "mmu/rmm_mmu.hh"
+#include "mmu_test_util.hh"
+#include "os/table_builder.hh"
+
+namespace atlb
+{
+namespace
+{
+
+using test::baseVpn;
+using test::va;
+
+/** A 16-page contiguous chunk (one run, simple to reason about). */
+MemoryMap
+runMap()
+{
+    MemoryMap m;
+    m.add(baseVpn, 0x9000, 16);
+    m.finalize();
+    return m;
+}
+
+constexpr Ppn migrated = 0x4444;
+
+TEST(Shootdown, BaselineL1AndL2)
+{
+    const MemoryMap m = runMap();
+    PageTable t = buildPageTable(m, false);
+    MmuConfig cfg;
+    BaselineMmu mmu(cfg, t);
+    mmu.translate(va(5));
+    EXPECT_EQ(mmu.translate(va(5)).level, HitLevel::L1);
+
+    t.remap4K(baseVpn + 5, migrated);
+    mmu.invalidatePage(baseVpn + 5);
+    const TranslationResult r = mmu.translate(va(5));
+    EXPECT_EQ(r.ppn, migrated);
+    EXPECT_EQ(r.level, HitLevel::PageWalk);
+    // Untouched neighbours keep their entries.
+    mmu.translate(va(6));
+}
+
+TEST(Shootdown, AnchorEntryCoveringThePageDies)
+{
+    const MemoryMap m = runMap();
+    PageTable t = buildAnchorPageTable(m, 8);
+    MmuConfig cfg;
+    AnchorMmu mmu(cfg, t, 8);
+    // Cache the anchor for block [0,8) and hit through it.
+    mmu.translate(va(0));
+    EXPECT_EQ(mmu.translate(va(5)).level, HitLevel::Coalesced);
+
+    // OS migrates page 5: run is broken at 5. Update the PTE and the
+    // anchor's contiguity, then shoot the page down.
+    t.remap4K(baseVpn + 5, migrated);
+    t.setAnchorContiguity(baseVpn, 5, 8);
+    mmu.invalidatePage(baseVpn + 5);
+
+    // Without the anchor invalidation, the stale cached anchor (contig
+    // 8) would translate page 5 to the *old* frame. It must re-walk.
+    const TranslationResult r = mmu.translate(va(5));
+    EXPECT_EQ(r.ppn, migrated);
+    EXPECT_EQ(r.level, HitLevel::PageWalk);
+    // And the refreshed anchor covers only the first 5 pages now.
+    mmu.flushAll();
+    mmu.translate(va(0));
+    EXPECT_EQ(mmu.translate(va(3)).level, HitLevel::Coalesced);
+    EXPECT_EQ(mmu.translate(va(6)).level, HitLevel::PageWalk);
+}
+
+TEST(Shootdown, ClusterEntryCoveringThePageDies)
+{
+    const MemoryMap m = runMap();
+    PageTable t = buildPageTable(m, false);
+    MmuConfig cfg;
+    ClusterMmu mmu(cfg, t, false);
+    mmu.translate(va(0));
+    EXPECT_EQ(mmu.translate(va(5)).level, HitLevel::Coalesced);
+
+    t.remap4K(baseVpn + 5, migrated);
+    mmu.invalidatePage(baseVpn + 5);
+    const TranslationResult r = mmu.translate(va(5));
+    EXPECT_EQ(r.ppn, migrated);
+    EXPECT_EQ(r.level, HitLevel::PageWalk);
+}
+
+TEST(Shootdown, RmmRangeCoveringThePageDies)
+{
+    const MemoryMap m = runMap();
+    PageTable t = buildPageTable(m, true);
+    MmuConfig cfg;
+    cfg.rmm_min_range_pages = 2;
+    RmmMmu mmu(cfg, t, m);
+    mmu.translate(va(0));
+    EXPECT_EQ(mmu.translate(va(5)).level, HitLevel::Coalesced);
+
+    t.remap4K(baseVpn + 5, migrated);
+    mmu.invalidatePage(baseVpn + 5);
+    const TranslationResult r = mmu.translate(va(5));
+    EXPECT_EQ(r.ppn, migrated);
+}
+
+TEST(Shootdown, ColtFaRunCoveringThePageDies)
+{
+    const MemoryMap m = runMap();
+    PageTable t = buildPageTable(m, false);
+    MmuConfig cfg;
+    ColtMmu mmu(cfg, t);
+    mmu.translate(va(0));
+    EXPECT_EQ(mmu.translate(va(9)).level, HitLevel::Coalesced);
+
+    t.remap4K(baseVpn + 9, migrated);
+    mmu.invalidatePage(baseVpn + 9);
+    const TranslationResult r = mmu.translate(va(9));
+    EXPECT_EQ(r.ppn, migrated);
+}
+
+TEST(Shootdown, UnrelatedPagesKeepTheirEntries)
+{
+    const MemoryMap m = runMap();
+    PageTable t = buildAnchorPageTable(m, 8);
+    MmuConfig cfg;
+    AnchorMmu mmu(cfg, t, 8);
+    mmu.translate(va(0));  // anchor for block [0,8)
+    mmu.translate(va(8));  // anchor for block [8,16)
+    const std::uint64_t walks = mmu.stats().page_walks;
+
+    t.remap4K(baseVpn + 2, migrated);
+    t.setAnchorContiguity(baseVpn, 2, 8);
+    mmu.invalidatePage(baseVpn + 2);
+
+    // Block [8,16)'s anchor must have survived: no new walk.
+    EXPECT_EQ(mmu.translate(va(12)).level, HitLevel::Coalesced);
+    EXPECT_EQ(mmu.stats().page_walks, walks);
+}
+
+TEST(Shootdown, UnmapThenAccessIsFatal)
+{
+    const MemoryMap m = runMap();
+    PageTable t = buildPageTable(m, false);
+    MmuConfig cfg;
+    BaselineMmu mmu(cfg, t);
+    t.unmap4K(baseVpn + 7);
+    mmu.invalidatePage(baseVpn + 7);
+    detail::setThrowOnError(true);
+    EXPECT_THROW(mmu.translate(va(7)), std::runtime_error);
+    detail::setThrowOnError(false);
+}
+
+} // namespace
+} // namespace atlb

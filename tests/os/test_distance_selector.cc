@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Tests for the dynamic anchor-distance selection (paper Algorithm 1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "os/distance_selector.hh"
+
+namespace atlb
+{
+namespace
+{
+
+TEST(Distances, CandidateListMatchesPaper)
+{
+    const auto d = candidateDistances();
+    ASSERT_EQ(d.size(), 16u);
+    EXPECT_EQ(d.front(), 2u);
+    EXPECT_EQ(d.back(), 65536u);
+    for (std::size_t i = 1; i < d.size(); ++i)
+        EXPECT_EQ(d[i], d[i - 1] * 2);
+}
+
+TEST(DistanceSelector, EmptyHistogramPicksSmallest)
+{
+    Histogram h;
+    const DistanceSelection sel = selectAnchorDistance(h);
+    EXPECT_EQ(sel.distance, 2u);
+}
+
+TEST(DistanceSelector, UniformChunksPickMatchingDistance)
+{
+    // All memory in 64-page chunks: 64 is the exact cover.
+    Histogram h;
+    h.add(64, 1000);
+    const DistanceSelection sel = selectAnchorDistance(h);
+    EXPECT_EQ(sel.distance, 64u);
+    EXPECT_DOUBLE_EQ(sel.cost, 1000.0); // one anchor per chunk
+}
+
+TEST(DistanceSelector, SingleGiantChunkPicksMaximum)
+{
+    Histogram h;
+    h.add(1ULL << 21, 1); // 8GB in one run
+    const DistanceSelection sel = selectAnchorDistance(h);
+    EXPECT_EQ(sel.distance, 65536u);
+}
+
+TEST(DistanceSelector, LowContiguityRangePicksSmall)
+{
+    // Paper Table 4 low contiguity: uniform 1..16 pages. Table 6: every
+    // workload selects 4.
+    Histogram h;
+    for (std::uint64_t c = 1; c <= 16; ++c)
+        h.add(c, 100);
+    const DistanceSelection sel = selectAnchorDistance(h);
+    EXPECT_EQ(sel.distance, 4u);
+}
+
+TEST(DistanceSelector, MediumContiguityRangePicksTens)
+{
+    // Paper Table 4 medium: uniform 1..512 pages; Table 6 selects 16-32.
+    Histogram h;
+    for (std::uint64_t c = 1; c <= 512; c += 3)
+        h.add(c, 10);
+    const DistanceSelection sel = selectAnchorDistance(h);
+    EXPECT_GE(sel.distance, 16u);
+    EXPECT_LE(sel.distance, 32u);
+}
+
+TEST(DistanceSelector, HighContiguityRangePicksHundreds)
+{
+    // Paper Table 4 high: uniform 512..65536; Table 6 selects 32-1K.
+    Histogram h;
+    for (std::uint64_t c = 512; c <= 65536; c += 777)
+        h.add(c, 3);
+    const DistanceSelection sel = selectAnchorDistance(h);
+    EXPECT_GE(sel.distance, 256u);
+    EXPECT_LE(sel.distance, 16384u);
+}
+
+TEST(DistanceSelector, HugePageNeutralTailDoesNotDragSelection)
+{
+    // Big runs plus a tail of exactly-2MB chunks: the 2MB chunks cost
+    // one entry under any large distance, so the big runs decide.
+    Histogram h;
+    h.add(1ULL << 15, 64); // 2M pages in 128MB runs
+    h.add(512, 2048);      // 1M pages in 2MB runs
+    const DistanceSelection sel = selectAnchorDistance(h);
+    EXPECT_GE(sel.distance, 1ULL << 14);
+}
+
+TEST(DistanceSelector, SmallFragmentsPullSelectionDown)
+{
+    Histogram h;
+    h.add(1ULL << 15, 2);  // a little memory in big runs
+    h.add(4, 100000);      // most pages in 4-page fragments
+    const DistanceSelection sel = selectAnchorDistance(h);
+    EXPECT_LE(sel.distance, 8u);
+}
+
+TEST(DistanceSelector, CandidatesAreReportedForAllDistances)
+{
+    Histogram h;
+    h.add(32, 10);
+    const DistanceSelection sel = selectAnchorDistance(h);
+    ASSERT_EQ(sel.candidates.size(), candidateDistances().size());
+    // Chosen cost matches the candidate record.
+    for (const auto &[d, c] : sel.candidates) {
+        if (d == sel.distance) {
+            EXPECT_DOUBLE_EQ(c, sel.cost);
+        }
+    }
+}
+
+TEST(DistanceSelector, CoverageWeightedFavoursSmallerDistances)
+{
+    Histogram h;
+    for (std::uint64_t c = 1; c <= 512; c += 3)
+        h.add(c, 10);
+    const auto count = selectAnchorDistance(
+        h, DistanceCostModel::EntryCount);
+    const auto weighted = selectAnchorDistance(
+        h, DistanceCostModel::CoverageWeighted);
+    EXPECT_LE(weighted.distance, count.distance);
+}
+
+TEST(DistanceController, FirstEpochAdopts)
+{
+    Histogram h;
+    h.add(64, 1000);
+    DistanceController ctl(8);
+    EXPECT_TRUE(ctl.epoch(h));
+    EXPECT_EQ(ctl.distance(), 64u);
+    EXPECT_EQ(ctl.changes(), 1u);
+}
+
+TEST(DistanceController, StableHistogramNeverChangesAgain)
+{
+    Histogram h;
+    h.add(64, 1000);
+    DistanceController ctl(8);
+    ctl.epoch(h);
+    for (int i = 0; i < 20; ++i)
+        EXPECT_FALSE(ctl.epoch(h));
+    EXPECT_EQ(ctl.changes(), 1u);
+    EXPECT_EQ(ctl.epochs(), 21u);
+}
+
+TEST(DistanceController, SmallImprovementIsHysteresisFiltered)
+{
+    // 64- and 128-page chunks in proportions that make the two
+    // distances nearly equivalent.
+    Histogram h;
+    h.add(64, 1000);
+    DistanceController ctl(8, 0.5); // very sticky
+    ctl.epoch(h);
+    EXPECT_EQ(ctl.distance(), 64u);
+    Histogram h2;
+    h2.add(64, 900); // slightly different mix
+    h2.add(128, 50);
+    EXPECT_FALSE(ctl.epoch(h2));
+    EXPECT_EQ(ctl.distance(), 64u);
+}
+
+TEST(DistanceController, DrasticChangeCommits)
+{
+    Histogram small;
+    small.add(4, 1000);
+    Histogram big;
+    big.add(1ULL << 16, 100);
+    DistanceController ctl(8, 0.1);
+    ctl.epoch(small);
+    const std::uint64_t d1 = ctl.distance();
+    EXPECT_TRUE(ctl.epoch(big));
+    EXPECT_GT(ctl.distance(), d1);
+    EXPECT_EQ(ctl.changes(), 2u);
+}
+
+} // namespace
+} // namespace atlb

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Tests for mapping import/export.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "common/logging.hh"
+#include "os/mapping_io.hh"
+#include "os/scenario.hh"
+
+namespace atlb
+{
+namespace
+{
+
+class MappingIoTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { detail::setThrowOnError(true); }
+    void TearDown() override { detail::setThrowOnError(false); }
+};
+
+TEST_F(MappingIoTest, ParsesDecimalAndHex)
+{
+    std::istringstream in("100 1000 10\n0x200 0x4000 0x20\n");
+    const MemoryMap m = readMappingText(in, "test");
+    EXPECT_EQ(m.translate(105), 1005u);
+    EXPECT_EQ(m.translate(0x210), 0x4010u);
+    EXPECT_EQ(m.mappedPages(), 10u + 0x20);
+}
+
+TEST_F(MappingIoTest, IgnoresCommentsAndBlankLines)
+{
+    std::istringstream in(
+        "# header comment\n\n100 1000 4   # trailing comment\n\n");
+    const MemoryMap m = readMappingText(in, "test");
+    EXPECT_EQ(m.chunks().size(), 1u);
+    EXPECT_EQ(m.translate(102), 1002u);
+}
+
+TEST_F(MappingIoTest, RoundTripPreservesChunks)
+{
+    ScenarioParams p;
+    p.footprint_pages = 5000;
+    p.seed = 3;
+    const MemoryMap original =
+        buildScenario(ScenarioKind::MedContig, p);
+    std::ostringstream out;
+    writeMappingText(out, original);
+    std::istringstream in(out.str());
+    const MemoryMap loaded = readMappingText(in, "roundtrip");
+    ASSERT_EQ(loaded.chunks().size(), original.chunks().size());
+    for (std::size_t i = 0; i < loaded.chunks().size(); ++i) {
+        EXPECT_EQ(loaded.chunks()[i].vpn, original.chunks()[i].vpn);
+        EXPECT_EQ(loaded.chunks()[i].ppn, original.chunks()[i].ppn);
+        EXPECT_EQ(loaded.chunks()[i].pages, original.chunks()[i].pages);
+    }
+}
+
+TEST_F(MappingIoTest, MissingFieldIsFatal)
+{
+    std::istringstream in("100 1000\n");
+    EXPECT_THROW(readMappingText(in, "test"), std::runtime_error);
+}
+
+TEST_F(MappingIoTest, TrailingFieldIsFatal)
+{
+    std::istringstream in("100 1000 4 9\n");
+    EXPECT_THROW(readMappingText(in, "test"), std::runtime_error);
+}
+
+TEST_F(MappingIoTest, BadNumberIsFatal)
+{
+    std::istringstream in("100 banana 4\n");
+    EXPECT_THROW(readMappingText(in, "test"), std::runtime_error);
+}
+
+TEST_F(MappingIoTest, ZeroLengthChunkIsFatal)
+{
+    std::istringstream in("100 1000 0\n");
+    EXPECT_THROW(readMappingText(in, "test"), std::runtime_error);
+}
+
+TEST_F(MappingIoTest, OverlapIsFatalAtFinalize)
+{
+    std::istringstream in("100 1000 10\n105 2000 10\n");
+    EXPECT_THROW(readMappingText(in, "test"), std::logic_error);
+}
+
+TEST_F(MappingIoTest, MissingFileIsFatal)
+{
+    EXPECT_THROW(loadMapping("/nonexistent/mapping.txt"),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace atlb

@@ -1,0 +1,294 @@
+/**
+ * @file
+ * Tests for the radix page table and anchor-contiguity encoding.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/logging.hh"
+#include "os/memory_map.hh"
+#include "os/page_table.hh"
+#include "os/table_builder.hh"
+
+namespace atlb
+{
+namespace
+{
+
+constexpr Vpn base = 0x7f0000000ULL; // 2MB-aligned test VPN base
+
+TEST(Pte, FieldRoundTrip)
+{
+    const std::uint64_t e = pte::make(0x12345, false);
+    EXPECT_TRUE(pte::present(e));
+    EXPECT_FALSE(pte::huge(e));
+    EXPECT_EQ(pte::pfn(e), 0x12345u);
+}
+
+TEST(Pte, HugeFieldRoundTrip)
+{
+    const std::uint64_t e = pte::make(0x2000, true);
+    EXPECT_TRUE(pte::present(e));
+    EXPECT_TRUE(pte::huge(e));
+    EXPECT_EQ(pte::hugePfn(e), 0x2000u);
+}
+
+TEST(Pte, ContigByteDoesNotDisturbPfn)
+{
+    std::uint64_t e = pte::make(0xabcdef, false);
+    e = pte::withContigByte(e, 0x5a);
+    EXPECT_EQ(pte::pfn(e), 0xabcdefu);
+    EXPECT_EQ(pte::contigByte(e), 0x5a);
+    e = pte::withContigByte(e, 0);
+    EXPECT_EQ(pte::contigByte(e), 0);
+    EXPECT_EQ(pte::pfn(e), 0xabcdefu);
+}
+
+TEST(Pte, HugeContigByteCoexistsWithHugePfn)
+{
+    std::uint64_t e = pte::make(0x2000, true); // 2MB-aligned frame
+    e = pte::withHugeContigByte(e, 0xff);
+    e = pte::withContigByte(e, 0xee);
+    EXPECT_EQ(pte::hugePfn(e), 0x2000u);
+    EXPECT_EQ(pte::hugeContigByte(e), 0xff);
+    EXPECT_EQ(pte::contigByte(e), 0xee);
+    EXPECT_TRUE(pte::huge(e));
+}
+
+TEST(PageTable, WalkUnmappedMisses)
+{
+    PageTable t;
+    EXPECT_FALSE(t.walk(base).present);
+    EXPECT_FALSE(t.walk(0).present);
+}
+
+TEST(PageTable, Map4KWalk)
+{
+    PageTable t;
+    t.map4K(base + 5, 777);
+    const WalkResult w = t.walk(base + 5);
+    EXPECT_TRUE(w.present);
+    EXPECT_EQ(w.ppn, 777u);
+    EXPECT_EQ(w.size, PageSize::Base4K);
+    EXPECT_FALSE(t.walk(base + 4).present);
+    EXPECT_FALSE(t.walk(base + 6).present);
+    EXPECT_EQ(t.mapped4K(), 1u);
+}
+
+TEST(PageTable, Map2MWalkCoversBlock)
+{
+    PageTable t;
+    t.map2M(base, 512 * 9);
+    for (const std::uint64_t off : {0ULL, 1ULL, 255ULL, 511ULL}) {
+        const WalkResult w = t.walk(base + off);
+        ASSERT_TRUE(w.present);
+        EXPECT_EQ(w.ppn, 512 * 9 + off);
+        EXPECT_EQ(w.size, PageSize::Huge2M);
+    }
+    EXPECT_FALSE(t.walk(base + 512).present);
+    EXPECT_EQ(t.mapped2M(), 1u);
+}
+
+TEST(PageTable, MixedSizesCoexist)
+{
+    PageTable t;
+    t.map2M(base, 512 * 4);
+    t.map4K(base + 512, 99);
+    EXPECT_EQ(t.walk(base + 100).size, PageSize::Huge2M);
+    EXPECT_EQ(t.walk(base + 512).size, PageSize::Base4K);
+    EXPECT_EQ(t.walk(base + 512).ppn, 99u);
+}
+
+TEST(PageTable, MoveSemantics)
+{
+    PageTable t;
+    t.map4K(base, 1);
+    PageTable u = std::move(t);
+    EXPECT_TRUE(u.walk(base).present);
+}
+
+class AnchorEncoding
+    : public ::testing::TestWithParam<std::pair<std::uint64_t, std::uint64_t>>
+{
+};
+
+TEST_P(AnchorEncoding, RoundTripAt4KEntries)
+{
+    const auto [distance, contig] = GetParam();
+    PageTable t;
+    // Map a run long enough to hold the anchor and its neighbour.
+    for (Vpn v = base; v < base + 4; ++v)
+        t.map4K(v, 5000 + (v - base));
+    t.setAnchorContiguity(base, contig, distance);
+    EXPECT_EQ(t.anchorContiguity(base, distance), contig);
+    // PFNs must be undisturbed by the encoding.
+    EXPECT_EQ(t.walk(base).ppn, 5000u);
+    EXPECT_EQ(t.walk(base + 1).ppn, 5001u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DistancesAndContigs, AnchorEncoding,
+    ::testing::Values(std::pair<std::uint64_t, std::uint64_t>{2, 1},
+                      std::pair<std::uint64_t, std::uint64_t>{2, 2},
+                      std::pair<std::uint64_t, std::uint64_t>{8, 8},
+                      std::pair<std::uint64_t, std::uint64_t>{64, 33},
+                      std::pair<std::uint64_t, std::uint64_t>{256, 256},
+                      std::pair<std::uint64_t, std::uint64_t>{512, 257},
+                      std::pair<std::uint64_t, std::uint64_t>{512, 512},
+                      std::pair<std::uint64_t, std::uint64_t>{4096, 4096},
+                      std::pair<std::uint64_t, std::uint64_t>{65536,
+                                                              65536}));
+
+TEST(PageTableAnchor, HighByteLivesInNeighbourEntry)
+{
+    PageTable t;
+    for (Vpn v = base; v < base + 2; ++v)
+        t.map4K(v, 100 + (v - base));
+    // Contiguity 300 with distance 512 needs the neighbour's byte.
+    t.setAnchorContiguity(base, 300, 512);
+    EXPECT_EQ(t.anchorContiguity(base, 512), 300u);
+    // The neighbour entry still translates normally.
+    EXPECT_EQ(t.walk(base + 1).ppn, 101u);
+}
+
+TEST(PageTableAnchor, ClearRemovesAnchor)
+{
+    PageTable t;
+    t.map4K(base, 1);
+    t.map4K(base + 1, 2);
+    t.setAnchorContiguity(base, 400, 512);
+    t.setAnchorContiguity(base, 0, 512);
+    // Cleared anchor reads back as the self-covering minimum.
+    EXPECT_EQ(t.anchorContiguity(base, 512), 1u);
+}
+
+TEST(PageTableAnchor, HugeAnchorStoresFullContiguity)
+{
+    PageTable t;
+    t.map2M(base, 512 * 20);
+    t.setAnchorContiguity(base, 40000, 65536);
+    EXPECT_EQ(t.anchorContiguity(base, 65536), 40000u);
+    // Frame must be intact after packing 16 bits into the entry.
+    EXPECT_EQ(t.walk(base).ppn, 512u * 20);
+    EXPECT_EQ(t.walk(base + 511).ppn, 512u * 20 + 511);
+}
+
+TEST(PageTableAnchor, InsideHugePageHasNoAnchorSlot)
+{
+    PageTable t;
+    t.map2M(base, 512 * 20);
+    // distance 8 anchor at base+8 falls inside the huge page.
+    EXPECT_EQ(t.anchorContiguity(base + 8, 8), 0u);
+}
+
+TEST(PageTableAnchor, UnmappedAnchorReadsZero)
+{
+    PageTable t;
+    EXPECT_EQ(t.anchorContiguity(base, 64), 0u);
+}
+
+TEST(PageTableAnchor, SweepSetsAllAnchorsOfChunk)
+{
+    MemoryMap m;
+    m.add(base, 9000, 100); // unaligned-by-8 length
+    m.finalize();
+    PageTable t = buildPageTable(m, false);
+    // Anchors at base+0, +8, ..., +96: thirteen aligned positions.
+    const std::uint64_t touched = t.sweepAnchors(m, 8);
+    EXPECT_EQ(touched, 13u);
+    // Interior anchors carry min(run, distance).
+    EXPECT_EQ(t.anchorContiguity(base, 8), 8u);
+    EXPECT_EQ(t.anchorContiguity(base + 48, 8), 8u);
+    // Final anchor covers only the tail.
+    EXPECT_EQ(t.anchorContiguity(base + 96, 8), 4u);
+}
+
+TEST(PageTableAnchor, SweepCapsAtDistance)
+{
+    MemoryMap m;
+    m.add(base, 9000, 1000);
+    m.finalize();
+    PageTable t = buildPageTable(m, false);
+    t.sweepAnchors(m, 64);
+    EXPECT_EQ(t.anchorContiguity(base, 64), 64u);
+}
+
+TEST(PageTableAnchor, ResweepClearsStaleAnchors)
+{
+    MemoryMap m;
+    m.add(base, 9000, 64);
+    m.finalize();
+    PageTable t = buildPageTable(m, false);
+    t.sweepAnchors(m, 8);
+    EXPECT_EQ(t.anchorContiguity(base + 8, 8), 8u);
+    t.sweepAnchors(m, 32);
+    EXPECT_EQ(t.anchorContiguity(base, 32), 32u);
+    // Old distance-8 anchor at +8 must be gone (reads as self-cover).
+    EXPECT_EQ(t.anchorContiguity(base + 8, 8), 1u);
+}
+
+TEST(PageTableAnchor, SweepCountGrowsWithSmallerDistance)
+{
+    MemoryMap m;
+    m.add(base, 9000, 1 << 15);
+    m.finalize();
+    PageTable t = buildPageTable(m, false);
+    const std::uint64_t big = t.sweepAnchors(m, 512);
+    PageTable t2 = buildPageTable(m, false);
+    const std::uint64_t small = t2.sweepAnchors(m, 8);
+    EXPECT_GT(small, big * 32);
+}
+
+class PageTableErrors : public ::testing::Test
+{
+  protected:
+    void SetUp() override { detail::setThrowOnError(true); }
+    void TearDown() override { detail::setThrowOnError(false); }
+};
+
+TEST_F(PageTableErrors, DoubleMapPanics)
+{
+    PageTable t;
+    t.map4K(base, 1);
+    EXPECT_THROW(t.map4K(base, 2), std::logic_error);
+}
+
+TEST_F(PageTableErrors, MisalignedHugeMapPanics)
+{
+    PageTable t;
+    EXPECT_THROW(t.map2M(base + 1, 512), std::logic_error);
+}
+
+TEST_F(PageTableErrors, HugeOverExisting4KPanics)
+{
+    PageTable t;
+    t.map4K(base + 3, 1);
+    EXPECT_THROW(t.map2M(base, 512), std::logic_error);
+}
+
+TEST_F(PageTableErrors, AnchorOnUnalignedVpnPanics)
+{
+    PageTable t;
+    t.map4K(base + 1, 1);
+    EXPECT_THROW(t.setAnchorContiguity(base + 1, 1, 8), std::logic_error);
+}
+
+TEST_F(PageTableErrors, ContiguityBeyondDistancePanics)
+{
+    PageTable t;
+    t.map4K(base, 1);
+    EXPECT_THROW(t.setAnchorContiguity(base, 9, 8), std::logic_error);
+}
+
+TEST_F(PageTableErrors, BadDistancePanics)
+{
+    PageTable t;
+    t.map4K(base, 1);
+    EXPECT_THROW(t.setAnchorContiguity(base, 1, 3), std::logic_error);
+    EXPECT_THROW(t.setAnchorContiguity(base, 1, 1), std::logic_error);
+}
+
+} // namespace
+} // namespace atlb

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Tests for VA-region partitioning (the Section 4.2 extension's OS
+ * side).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitops.hh"
+#include "os/memory_map.hh"
+#include "os/region_partitioner.hh"
+#include "os/scenario.hh"
+
+namespace atlb
+{
+namespace
+{
+
+constexpr Vpn base = 0x7f0000000ULL;
+
+/** Map with two clearly different contiguity regimes. */
+MemoryMap
+twoRegimeMap()
+{
+    MemoryMap m;
+    Vpn vpn = base;
+    Ppn ppn = 0x100000;
+    // 8K pages of 4-page fragments.
+    for (int i = 0; i < 2048; ++i) {
+        m.add(vpn, ppn, 4);
+        vpn += 4;
+        ppn += 5;
+    }
+    // 64K pages of 8K-page runs.
+    for (int i = 0; i < 8; ++i) {
+        ppn = alignUp(ppn + 1, hugePages);
+        m.add(vpn, ppn, 8192);
+        vpn += 8192;
+        ppn += 8192;
+    }
+    m.finalize();
+    return m;
+}
+
+TEST(RegionPartitioner, SplitsAtScaleShift)
+{
+    const MemoryMap m = twoRegimeMap();
+    const RegionPartition p = partitionAnchorRegions(m);
+    ASSERT_GE(p.regions.size(), 2u);
+    ASSERT_LE(p.regions.size(), 8u);
+    // First region covers the fragment area with a small distance;
+    // last region covers the runs with a large one.
+    EXPECT_LE(p.regions.front().distance, 8u);
+    EXPECT_GE(p.regions.back().distance, 1024u);
+}
+
+TEST(RegionPartitioner, RegionsAreSortedDisjointAndCover)
+{
+    const MemoryMap m = twoRegimeMap();
+    const RegionPartition p = partitionAnchorRegions(m);
+    Vpn prev_end = 0;
+    for (const AnchorRegion &r : p.regions) {
+        EXPECT_LT(r.begin, r.end);
+        EXPECT_GE(r.begin, prev_end);
+        prev_end = r.end;
+    }
+    // Every mapped page falls in exactly one region.
+    for (const Chunk &c : m.chunks()) {
+        for (Vpn v = c.vpn; v < c.vpnEnd(); v += 97) {
+            int owners = 0;
+            for (const AnchorRegion &r : p.regions)
+                owners += r.contains(v);
+            ASSERT_EQ(owners, 1) << "vpn offset " << v - base;
+        }
+    }
+}
+
+TEST(RegionPartitioner, RespectsMaxRegions)
+{
+    const MemoryMap m = twoRegimeMap();
+    RegionPartitionConfig cfg;
+    cfg.max_regions = 2;
+    const RegionPartition p = partitionAnchorRegions(m, cfg);
+    EXPECT_LE(p.regions.size(), 2u);
+}
+
+TEST(RegionPartitioner, SingleRegimeYieldsFewRegions)
+{
+    MemoryMap m;
+    Vpn vpn = base;
+    Ppn ppn = 1000;
+    for (int i = 0; i < 1000; ++i) {
+        m.add(vpn, ppn, 16);
+        vpn += 16;
+        ppn += 17;
+    }
+    m.finalize();
+    const RegionPartition p = partitionAnchorRegions(m);
+    EXPECT_EQ(p.regions.size(), 1u);
+    // The single region's distance comes from the coverage-aware model
+    // over the same histogram.
+    EXPECT_EQ(p.regions[0].distance,
+              selectAnchorDistance(m.contiguityHistogram(),
+                                   DistanceCostModel::CoverageAware)
+                  .distance);
+}
+
+TEST(RegionPartitioner, EmptyMapHasNoRegions)
+{
+    MemoryMap m;
+    m.finalize();
+    const RegionPartition p = partitionAnchorRegions(m);
+    EXPECT_TRUE(p.regions.empty());
+}
+
+TEST(RegionPartitioner, DefaultDistanceMatchesGlobalSelection)
+{
+    const MemoryMap m = twoRegimeMap();
+    const RegionPartition p = partitionAnchorRegions(m);
+    EXPECT_EQ(p.default_distance,
+              selectAnchorDistance(m.contiguityHistogram()).distance);
+}
+
+TEST(RegionPartitioner, MinRegionPagesPreventsTinyRegions)
+{
+    // Alternating tiny regimes below min_region_pages must not shatter
+    // into many regions.
+    MemoryMap m;
+    Vpn vpn = base;
+    Ppn ppn = 0x100000;
+    for (int block = 0; block < 20; ++block) {
+        if (block % 2 == 0) {
+            for (int i = 0; i < 64; ++i) { // 256 pages of fragments
+                m.add(vpn, ppn, 4);
+                vpn += 4;
+                ppn += 5;
+            }
+        } else {
+            ppn += 1;
+            m.add(vpn, ppn, 256); // one 1MB run
+            vpn += 256;
+            ppn += 256;
+        }
+    }
+    m.finalize();
+    RegionPartitionConfig cfg;
+    cfg.min_region_pages = 4096;
+    const RegionPartition p = partitionAnchorRegions(m, cfg);
+    EXPECT_LE(p.regions.size(), 3u);
+}
+
+TEST(RegionPartitioner, SegmentedScenarioPartitionsAsDesigned)
+{
+    ScenarioParams params;
+    params.footprint_pages = 1; // unused by segmented builder
+    params.seed = 5;
+    const MemoryMap m = buildSegmentedScenario(
+        params, {{16384, 1, 16}, {131072, 4096, 16384}});
+    const RegionPartition p = partitionAnchorRegions(m);
+    ASSERT_GE(p.regions.size(), 2u);
+    EXPECT_LE(p.regions.front().distance, 8u);
+    EXPECT_GE(p.regions.back().distance, 64u);
+    EXPECT_GT(p.regions.back().distance, p.regions.front().distance);
+}
+
+} // namespace
+} // namespace atlb

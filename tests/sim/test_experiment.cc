@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tests for the experiment context (cell runner + caching).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hh"
+
+namespace atlb
+{
+namespace
+{
+
+SimOptions
+quickOptions()
+{
+    SimOptions opts;
+    opts.accesses = 30'000;
+    opts.seed = 42;
+    opts.footprint_scale = 0.02; // shrink footprints for test speed
+    return opts;
+}
+
+TEST(Experiment, RunProducesLabelledResult)
+{
+    ExperimentContext ctx(quickOptions());
+    const SimResult r =
+        ctx.run("canneal", ScenarioKind::MedContig, Scheme::Base);
+    EXPECT_EQ(r.workload, "canneal");
+    EXPECT_EQ(r.scenario, "medium");
+    EXPECT_EQ(r.scheme, "Base");
+    EXPECT_EQ(r.stats.accesses, 30'000u);
+    EXPECT_EQ(r.anchor_distance, 0u);
+}
+
+TEST(Experiment, AnchorRunRecordsDistance)
+{
+    ExperimentContext ctx(quickOptions());
+    const SimResult r =
+        ctx.run("canneal", ScenarioKind::MedContig, Scheme::Anchor);
+    EXPECT_GT(r.anchor_distance, 0u);
+    EXPECT_EQ(r.anchor_distance,
+              ctx.dynamicDistance("canneal", ScenarioKind::MedContig));
+}
+
+TEST(Experiment, DistanceOverrideHonoured)
+{
+    ExperimentContext ctx(quickOptions());
+    const SimResult r =
+        ctx.run("canneal", ScenarioKind::MedContig, Scheme::Anchor, 64);
+    EXPECT_EQ(r.anchor_distance, 64u);
+}
+
+TEST(Experiment, RunsAreReproducible)
+{
+    ExperimentContext a(quickOptions());
+    ExperimentContext b(quickOptions());
+    const SimResult ra =
+        a.run("milc", ScenarioKind::LowContig, Scheme::Cluster);
+    const SimResult rb =
+        b.run("milc", ScenarioKind::LowContig, Scheme::Cluster);
+    EXPECT_EQ(ra.misses(), rb.misses());
+    EXPECT_EQ(ra.stats.translation_cycles, rb.stats.translation_cycles);
+}
+
+TEST(Experiment, CacheSurvivesSchemeSwitches)
+{
+    ExperimentContext ctx(quickOptions());
+    const auto &m1 = ctx.mapping("milc", ScenarioKind::LowContig);
+    ctx.run("milc", ScenarioKind::LowContig, Scheme::Base);
+    ctx.run("milc", ScenarioKind::LowContig, Scheme::Thp);
+    const auto &m2 = ctx.mapping("milc", ScenarioKind::LowContig);
+    EXPECT_EQ(&m1, &m2) << "mapping must be cached across schemes";
+}
+
+TEST(Experiment, ClearCacheRebuilds)
+{
+    ExperimentContext ctx(quickOptions());
+    ctx.mapping("milc", ScenarioKind::LowContig);
+    ctx.clearCache();
+    // Must not crash and must rebuild deterministically.
+    const auto &m = ctx.mapping("milc", ScenarioKind::LowContig);
+    EXPECT_GT(m.mappedPages(), 0u);
+}
+
+TEST(Experiment, IdealAnchorAtLeastAsGoodAsDynamic)
+{
+    ExperimentContext ctx(quickOptions());
+    const SimResult dyn =
+        ctx.run("canneal", ScenarioKind::MedContig, Scheme::Anchor);
+    const SimResult ideal =
+        ctx.run("canneal", ScenarioKind::MedContig, Scheme::AnchorIdeal);
+    EXPECT_LE(ideal.misses(), dyn.misses());
+}
+
+TEST(Experiment, BaseAndThpIdenticalWithoutHugeChunks)
+{
+    // The low-contiguity mapping has no huge-eligible blocks, so THP
+    // degenerates to the baseline (paper Fig. 9, low columns).
+    ExperimentContext ctx(quickOptions());
+    const SimResult base =
+        ctx.run("astar_biglake", ScenarioKind::LowContig, Scheme::Base);
+    const SimResult thp =
+        ctx.run("astar_biglake", ScenarioKind::LowContig, Scheme::Thp);
+    EXPECT_EQ(base.misses(), thp.misses());
+}
+
+TEST(Experiment, RelativeMissesHelper)
+{
+    EXPECT_DOUBLE_EQ(relativeMisses(50, 100), 0.5);
+    EXPECT_DOUBLE_EQ(relativeMisses(100, 100), 1.0);
+    EXPECT_DOUBLE_EQ(relativeMisses(0, 100), 0.0);
+    EXPECT_DOUBLE_EQ(relativeMisses(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(relativeMisses(5, 0), 1.0);
+}
+
+TEST(Experiment, OptionsFromEnvDefaults)
+{
+    const SimOptions opts = SimOptions::fromEnv();
+    EXPECT_GT(opts.accesses, 0u);
+    EXPECT_GT(opts.footprint_scale, 0.0);
+    EXPECT_LE(opts.footprint_scale, 1.0);
+}
+
+} // namespace
+} // namespace atlb

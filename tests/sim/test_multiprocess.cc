@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Tests for context switching and the multi-process simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mmu/anchor_mmu.hh"
+#include "mmu/baseline_mmu.hh"
+#include "mmu/rmm_mmu.hh"
+#include "os/distance_selector.hh"
+#include "os/scenario.hh"
+#include "os/table_builder.hh"
+#include "sim/multiprocess.hh"
+
+namespace atlb
+{
+namespace
+{
+
+constexpr Vpn base = 0x7f0000000ULL;
+
+MemoryMap
+mapWithSeed(std::uint64_t seed, std::uint64_t pages = 4000)
+{
+    ScenarioParams p;
+    p.footprint_pages = pages;
+    p.seed = seed;
+    return buildScenario(ScenarioKind::MedContig, p);
+}
+
+TEST(SwitchProcess, BaselineLoadsNewTableAndFlushes)
+{
+    const MemoryMap map_a = mapWithSeed(1);
+    const MemoryMap map_b = mapWithSeed(2);
+    const PageTable table_a = buildPageTable(map_a, false);
+    const PageTable table_b = buildPageTable(map_b, false);
+    MmuConfig cfg;
+    BaselineMmu mmu(cfg, table_a);
+
+    EXPECT_EQ(mmu.translate(vaOf(base + 7)).ppn, map_a.translate(base + 7));
+    ProcessContext ctx;
+    ctx.table = &table_b;
+    mmu.switchProcess(ctx);
+    // Same VPN now translates through the other process's table, and
+    // the first access after the switch is a cold walk.
+    const TranslationResult r = mmu.translate(vaOf(base + 7));
+    EXPECT_EQ(r.ppn, map_b.translate(base + 7));
+    EXPECT_EQ(r.level, HitLevel::PageWalk);
+}
+
+TEST(SwitchProcess, StaleEntriesNeverSurviveSwitch)
+{
+    const MemoryMap map_a = mapWithSeed(3);
+    const MemoryMap map_b = mapWithSeed(4);
+    const PageTable table_a = buildPageTable(map_a, false);
+    const PageTable table_b = buildPageTable(map_b, false);
+    MmuConfig cfg;
+    BaselineMmu mmu(cfg, table_a);
+
+    for (Vpn v = base; v < base + 200; ++v)
+        mmu.translate(vaOf(v));
+    ProcessContext ctx;
+    ctx.table = &table_b;
+    mmu.switchProcess(ctx);
+    for (Vpn v = base; v < base + 200; ++v)
+        ASSERT_EQ(mmu.translate(vaOf(v)).ppn, map_b.translate(v));
+}
+
+TEST(SwitchProcess, AnchorSwitchesDistanceRegister)
+{
+    const MemoryMap map_a = mapWithSeed(5);
+    const MemoryMap map_b = mapWithSeed(6);
+    const std::uint64_t d_a = 8;
+    const std::uint64_t d_b = 64;
+    PageTable table_a = buildAnchorPageTable(map_a, d_a);
+    PageTable table_b = buildAnchorPageTable(map_b, d_b);
+    MmuConfig cfg;
+    AnchorMmu mmu(cfg, table_a, d_a);
+
+    mmu.translate(vaOf(base + 9));
+    ProcessContext ctx;
+    ctx.table = &table_b;
+    ctx.anchor_distance = d_b;
+    mmu.switchProcess(ctx);
+    EXPECT_EQ(mmu.distance(), d_b);
+    for (Vpn v = base; v < base + 300; ++v)
+        ASSERT_EQ(mmu.translate(vaOf(v)).ppn, map_b.translate(v));
+}
+
+TEST(SwitchProcess, RmmSwitchesRangeTable)
+{
+    const MemoryMap map_a = mapWithSeed(7);
+    const MemoryMap map_b = mapWithSeed(8);
+    const PageTable table_a = buildPageTable(map_a, true);
+    const PageTable table_b = buildPageTable(map_b, true);
+    MmuConfig cfg;
+    cfg.rmm_min_range_pages = 2;
+    RmmMmu mmu(cfg, table_a, map_a);
+
+    mmu.translate(vaOf(base + 11));
+    ProcessContext ctx;
+    ctx.table = &table_b;
+    ctx.map = &map_b;
+    mmu.switchProcess(ctx);
+    EXPECT_EQ(mmu.rangeTlb().size(), 0u);
+    for (Vpn v = base; v < base + 300; ++v)
+        ASSERT_EQ(mmu.translate(vaOf(v)).ppn, map_b.translate(v));
+}
+
+MultiProcessOptions
+quickOptions()
+{
+    MultiProcessOptions opts;
+    opts.total_accesses = 100'000;
+    opts.quantum_accesses = 10'000;
+    opts.footprint_scale = 0.02;
+    return opts;
+}
+
+TEST(MultiProcess, CountsSwitchesAndAccesses)
+{
+    const std::vector<ProcessSpec> procs = {
+        {"canneal", ScenarioKind::MedContig},
+        {"milc", ScenarioKind::MedContig},
+    };
+    const MultiProcessResult r =
+        runMultiProcess(Scheme::Base, procs, quickOptions());
+    EXPECT_EQ(r.stats.accesses, 100'000u);
+    EXPECT_EQ(r.context_switches, 9u); // 10 quanta, 9 boundaries
+    ASSERT_EQ(r.processes.size(), 2u);
+    EXPECT_EQ(r.processes[0].accesses + r.processes[1].accesses,
+              100'000u);
+}
+
+TEST(MultiProcess, SingleProcessNeverSwitches)
+{
+    const std::vector<ProcessSpec> procs = {
+        {"canneal", ScenarioKind::MedContig}};
+    const MultiProcessResult r =
+        runMultiProcess(Scheme::Base, procs, quickOptions());
+    EXPECT_EQ(r.context_switches, 0u);
+}
+
+TEST(MultiProcess, AnchorRecordsPerProcessDistances)
+{
+    const std::vector<ProcessSpec> procs = {
+        {"canneal", ScenarioKind::LowContig},
+        {"milc", ScenarioKind::MaxContig},
+    };
+    const MultiProcessResult r =
+        runMultiProcess(Scheme::Anchor, procs, quickOptions());
+    EXPECT_EQ(r.processes[0].anchor_distance, 4u);
+    EXPECT_GT(r.processes[1].anchor_distance, 256u);
+}
+
+TEST(MultiProcess, SmallerQuantumMeansMoreMisses)
+{
+    const std::vector<ProcessSpec> procs = {
+        {"canneal", ScenarioKind::MedContig},
+        {"milc", ScenarioKind::MedContig},
+    };
+    MultiProcessOptions coarse = quickOptions();
+    coarse.quantum_accesses = 50'000;
+    MultiProcessOptions fine = quickOptions();
+    fine.quantum_accesses = 2'000;
+    const auto r_coarse =
+        runMultiProcess(Scheme::Base, procs, coarse);
+    const auto r_fine = runMultiProcess(Scheme::Base, procs, fine);
+    EXPECT_GT(r_fine.stats.page_walks, r_coarse.stats.page_walks);
+}
+
+TEST(MultiProcess, SchemesRunForAllSchemes)
+{
+    const std::vector<ProcessSpec> procs = {
+        {"canneal", ScenarioKind::MedContig},
+        {"sphinx3", ScenarioKind::Demand},
+    };
+    MultiProcessOptions opts = quickOptions();
+    opts.total_accesses = 30'000;
+    for (const Scheme s :
+         {Scheme::Base, Scheme::Thp, Scheme::Cluster, Scheme::Cluster2MB,
+          Scheme::Rmm, Scheme::Anchor}) {
+        const MultiProcessResult r = runMultiProcess(s, procs, opts);
+        EXPECT_EQ(r.stats.accesses, 30'000u) << schemeName(s);
+    }
+}
+
+} // namespace
+} // namespace atlb

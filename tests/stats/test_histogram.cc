@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Tests for the histogram statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/histogram.hh"
+
+namespace atlb
+{
+namespace
+{
+
+TEST(Histogram, StartsEmpty)
+{
+    Histogram h;
+    EXPECT_TRUE(h.empty());
+    EXPECT_EQ(h.samples(), 0u);
+    EXPECT_EQ(h.weightedSum(), 0u);
+    EXPECT_EQ(h.distinct(), 0u);
+    EXPECT_EQ(h.minKey(), 0u);
+    EXPECT_EQ(h.maxKey(), 0u);
+}
+
+TEST(Histogram, AddAccumulates)
+{
+    Histogram h;
+    h.add(4, 2);
+    h.add(4, 3);
+    h.add(16);
+    EXPECT_EQ(h.count(4), 5u);
+    EXPECT_EQ(h.count(16), 1u);
+    EXPECT_EQ(h.count(99), 0u);
+    EXPECT_EQ(h.samples(), 6u);
+    EXPECT_EQ(h.weightedSum(), 4 * 5 + 16u);
+    EXPECT_EQ(h.distinct(), 2u);
+}
+
+TEST(Histogram, ZeroCountIsNoop)
+{
+    Histogram h;
+    h.add(7, 0);
+    EXPECT_TRUE(h.empty());
+    EXPECT_EQ(h.count(7), 0u);
+}
+
+TEST(Histogram, MinMaxKeys)
+{
+    Histogram h;
+    h.add(100);
+    h.add(3);
+    h.add(50);
+    EXPECT_EQ(h.minKey(), 3u);
+    EXPECT_EQ(h.maxKey(), 100u);
+}
+
+TEST(Histogram, ClearResets)
+{
+    Histogram h;
+    h.add(8, 4);
+    h.clear();
+    EXPECT_TRUE(h.empty());
+    EXPECT_EQ(h.weightedSum(), 0u);
+}
+
+TEST(Histogram, CdfMonotoneAndEndsAtOne)
+{
+    Histogram h;
+    h.add(1, 10);
+    h.add(8, 5);
+    h.add(64, 1);
+    const auto cdf = h.cdf();
+    ASSERT_EQ(cdf.size(), 3u);
+    EXPECT_LT(cdf[0].second, cdf[1].second);
+    EXPECT_LT(cdf[1].second, cdf[2].second);
+    EXPECT_DOUBLE_EQ(cdf[2].second, 1.0);
+    EXPECT_DOUBLE_EQ(cdf[0].second, 10.0 / 16.0);
+}
+
+TEST(Histogram, WeightedCdfWeightsByKeyTimesCount)
+{
+    Histogram h;
+    h.add(1, 10); // weight 10
+    h.add(10, 1); // weight 10
+    const auto cdf = h.weightedCdf();
+    ASSERT_EQ(cdf.size(), 2u);
+    EXPECT_DOUBLE_EQ(cdf[0].second, 0.5);
+    EXPECT_DOUBLE_EQ(cdf[1].second, 1.0);
+}
+
+TEST(Histogram, EmptyCdfs)
+{
+    Histogram h;
+    EXPECT_TRUE(h.cdf().empty());
+    EXPECT_TRUE(h.weightedCdf().empty());
+}
+
+TEST(Histogram, WeightedQuantile)
+{
+    Histogram h;
+    h.add(1, 512);  // 512 pages in 1-page chunks
+    h.add(512, 1);  // 512 pages in one big chunk
+    EXPECT_EQ(h.weightedQuantile(0.25), 1u);
+    EXPECT_EQ(h.weightedQuantile(0.75), 512u);
+    EXPECT_EQ(h.weightedQuantile(1.0), 512u);
+    EXPECT_EQ(h.weightedQuantile(-1.0), 1u); // clamped
+}
+
+TEST(Log2Histogram, BucketsByFloorLog2)
+{
+    Log2Histogram h(10);
+    h.add(0); // bucket 0
+    h.add(1); // bucket 0
+    h.add(2); // bucket 1
+    h.add(3); // bucket 1
+    h.add(4); // bucket 2
+    EXPECT_EQ(h.bucket(0), 2u);
+    EXPECT_EQ(h.bucket(1), 2u);
+    EXPECT_EQ(h.bucket(2), 1u);
+    EXPECT_EQ(h.samples(), 5u);
+}
+
+TEST(Log2Histogram, OverflowClampsToLastBucket)
+{
+    Log2Histogram h(4);
+    h.add(1ULL << 60);
+    EXPECT_EQ(h.bucket(3), 1u);
+}
+
+TEST(Log2Histogram, ClearResets)
+{
+    Log2Histogram h(8);
+    h.add(100);
+    h.clear();
+    EXPECT_EQ(h.samples(), 0u);
+    for (unsigned i = 0; i < h.numBuckets(); ++i)
+        EXPECT_EQ(h.bucket(i), 0u);
+}
+
+} // namespace
+} // namespace atlb

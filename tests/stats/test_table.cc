@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tests for ASCII/CSV table rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/logging.hh"
+#include "stats/table.hh"
+
+namespace atlb
+{
+namespace
+{
+
+TEST(Table, BasicShape)
+{
+    Table t("demo", {"a", "b"});
+    EXPECT_EQ(t.numCols(), 2u);
+    EXPECT_EQ(t.numRows(), 0u);
+    t.beginRow();
+    t.cell(std::string("x"));
+    t.cell(std::uint64_t{7});
+    EXPECT_EQ(t.numRows(), 1u);
+    EXPECT_EQ(t.at(0, 0), "x");
+    EXPECT_EQ(t.at(0, 1), "7");
+}
+
+TEST(Table, DoubleFormatting)
+{
+    Table t("demo", {"v"});
+    t.beginRow();
+    t.cell(3.14159, 2);
+    EXPECT_EQ(t.at(0, 0), "3.14");
+}
+
+TEST(Table, PercentFormatting)
+{
+    Table t("demo", {"v"});
+    t.beginRow();
+    t.cellPercent(0.1234, 1);
+    EXPECT_EQ(t.at(0, 0), "12.3%");
+}
+
+TEST(Table, AsciiContainsHeadersAndCells)
+{
+    Table t("title here", {"col1", "col2"});
+    t.beginRow();
+    t.cell(std::string("v1"));
+    t.cell(std::string("v2"));
+    const std::string out = t.toAscii();
+    EXPECT_NE(out.find("title here"), std::string::npos);
+    EXPECT_NE(out.find("col1"), std::string::npos);
+    EXPECT_NE(out.find("v2"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesCommasAndQuotes)
+{
+    Table t("demo", {"a", "b"});
+    t.beginRow();
+    t.cell(std::string("x,y"));
+    t.cell(std::string("say \"hi\""));
+    const std::string out = t.toCsv();
+    EXPECT_NE(out.find("\"x,y\""), std::string::npos);
+    EXPECT_NE(out.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, CsvHasHeaderLine)
+{
+    Table t("demo", {"h1", "h2"});
+    EXPECT_EQ(t.toCsv(), "h1,h2\n");
+}
+
+TEST(Table, ShortRowsRenderEmptyCells)
+{
+    Table t("demo", {"a", "b", "c"});
+    t.beginRow();
+    t.cell(std::string("only"));
+    const std::string csv = t.toCsv();
+    EXPECT_NE(csv.find("only,,"), std::string::npos);
+}
+
+class TableErrors : public ::testing::Test
+{
+  protected:
+    void SetUp() override { detail::setThrowOnError(true); }
+    void TearDown() override { detail::setThrowOnError(false); }
+};
+
+TEST_F(TableErrors, CellBeforeRowPanics)
+{
+    Table t("demo", {"a"});
+    EXPECT_THROW(t.cell(std::string("x")), std::logic_error);
+}
+
+TEST_F(TableErrors, RowOverflowPanics)
+{
+    Table t("demo", {"a"});
+    t.beginRow();
+    t.cell(std::string("x"));
+    EXPECT_THROW(t.cell(std::string("y")), std::logic_error);
+}
+
+TEST_F(TableErrors, OutOfRangeAtPanics)
+{
+    Table t("demo", {"a"});
+    EXPECT_THROW(t.at(0, 0), std::logic_error);
+}
+
+} // namespace
+} // namespace atlb

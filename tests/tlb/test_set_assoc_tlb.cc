@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Tests for the set-associative TLB.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tlb/set_assoc_tlb.hh"
+
+namespace atlb
+{
+namespace
+{
+
+TlbEntry
+entry(EntryKind kind, std::uint64_t key, Ppn ppn, std::uint32_t aux = 0)
+{
+    TlbEntry e;
+    e.kind = kind;
+    e.key = key;
+    e.ppn = ppn;
+    e.aux = aux;
+    e.valid = true;
+    return e;
+}
+
+TEST(SetAssocTlb, Geometry)
+{
+    SetAssocTlb t(1024, 8, "l2");
+    EXPECT_EQ(t.numSets(), 128u);
+    EXPECT_EQ(t.numWays(), 8u);
+    EXPECT_EQ(t.validCount(), 0u);
+}
+
+TEST(SetAssocTlb, MissOnEmpty)
+{
+    SetAssocTlb t(64, 4, "t");
+    EXPECT_EQ(t.lookup(EntryKind::Page4K, 42), nullptr);
+    EXPECT_EQ(t.stats().lookups, 1u);
+    EXPECT_EQ(t.stats().hits, 0u);
+}
+
+TEST(SetAssocTlb, InsertThenHit)
+{
+    SetAssocTlb t(64, 4, "t");
+    t.insert(entry(EntryKind::Page4K, 42, 777));
+    const TlbEntry *e = t.lookup(EntryKind::Page4K, 42);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->ppn, 777u);
+    EXPECT_EQ(t.stats().hits, 1u);
+    EXPECT_EQ(t.validCount(), 1u);
+}
+
+TEST(SetAssocTlb, KindsDoNotCollide)
+{
+    SetAssocTlb t(64, 4, "t");
+    t.insert(entry(EntryKind::Page4K, 42, 1));
+    t.insert(entry(EntryKind::Page2M, 42, 2));
+    t.insert(entry(EntryKind::Anchor, 42, 3, 16));
+    EXPECT_EQ(t.lookup(EntryKind::Page4K, 42)->ppn, 1u);
+    EXPECT_EQ(t.lookup(EntryKind::Page2M, 42)->ppn, 2u);
+    EXPECT_EQ(t.lookup(EntryKind::Anchor, 42)->ppn, 3u);
+    EXPECT_EQ(t.lookup(EntryKind::Anchor, 42)->aux, 16u);
+    EXPECT_EQ(t.lookup(EntryKind::Cluster, 42), nullptr);
+}
+
+TEST(SetAssocTlb, OverwriteInPlace)
+{
+    SetAssocTlb t(64, 4, "t");
+    t.insert(entry(EntryKind::Page4K, 7, 100));
+    t.insert(entry(EntryKind::Page4K, 7, 200));
+    EXPECT_EQ(t.validCount(), 1u);
+    EXPECT_EQ(t.lookup(EntryKind::Page4K, 7)->ppn, 200u);
+    EXPECT_EQ(t.stats().evictions, 0u);
+}
+
+TEST(SetAssocTlb, LruEvictionWithinSet)
+{
+    SetAssocTlb t(8, 4, "t"); // 2 sets
+    // Fill set 0 (even keys land in set 0).
+    t.insert(entry(EntryKind::Page4K, 0, 10));
+    t.insert(entry(EntryKind::Page4K, 2, 12));
+    t.insert(entry(EntryKind::Page4K, 4, 14));
+    t.insert(entry(EntryKind::Page4K, 6, 16));
+    // Touch 0 so key 2 becomes LRU.
+    t.lookup(EntryKind::Page4K, 0);
+    t.insert(entry(EntryKind::Page4K, 8, 18));
+    EXPECT_EQ(t.lookup(EntryKind::Page4K, 2), nullptr) << "LRU not evicted";
+    EXPECT_NE(t.lookup(EntryKind::Page4K, 0), nullptr);
+    EXPECT_NE(t.lookup(EntryKind::Page4K, 8), nullptr);
+    EXPECT_EQ(t.stats().evictions, 1u);
+}
+
+TEST(SetAssocTlb, EvictionDoesNotCrossSets)
+{
+    SetAssocTlb t(8, 4, "t"); // 2 sets
+    for (std::uint64_t k = 0; k < 8; k += 2)
+        t.insert(entry(EntryKind::Page4K, k, k));
+    // Odd keys (set 1) must all fit without evicting set 0.
+    for (std::uint64_t k = 1; k < 8; k += 2)
+        t.insert(entry(EntryKind::Page4K, k, k));
+    EXPECT_EQ(t.validCount(), 8u);
+    for (std::uint64_t k = 0; k < 8; ++k)
+        EXPECT_NE(t.probe(EntryKind::Page4K, k), nullptr) << k;
+}
+
+TEST(SetAssocTlb, ProbeDoesNotTouchLruOrStats)
+{
+    SetAssocTlb t(8, 2, "t");
+    t.insert(entry(EntryKind::Page4K, 0, 1));
+    t.insert(entry(EntryKind::Page4K, 4, 2));
+    const auto lookups_before = t.stats().lookups;
+    // Probing key 0 must not protect it from LRU eviction.
+    t.probe(EntryKind::Page4K, 0);
+    EXPECT_EQ(t.stats().lookups, lookups_before);
+    t.insert(entry(EntryKind::Page4K, 8, 3));
+    EXPECT_EQ(t.probe(EntryKind::Page4K, 0), nullptr);
+}
+
+TEST(SetAssocTlb, FlushInvalidatesEverything)
+{
+    SetAssocTlb t(64, 4, "t");
+    for (std::uint64_t k = 0; k < 32; ++k)
+        t.insert(entry(EntryKind::Page4K, k, k));
+    t.flush();
+    EXPECT_EQ(t.validCount(), 0u);
+    EXPECT_EQ(t.lookup(EntryKind::Page4K, 0), nullptr);
+}
+
+TEST(SetAssocTlb, InvalidateSingleEntry)
+{
+    SetAssocTlb t(64, 4, "t");
+    t.insert(entry(EntryKind::Page4K, 1, 1));
+    t.insert(entry(EntryKind::Page4K, 2, 2));
+    t.invalidate(EntryKind::Page4K, 1);
+    EXPECT_EQ(t.lookup(EntryKind::Page4K, 1), nullptr);
+    EXPECT_NE(t.lookup(EntryKind::Page4K, 2), nullptr);
+    // Invalidating a missing entry is a no-op.
+    t.invalidate(EntryKind::Page4K, 99);
+}
+
+TEST(SetAssocTlb, StatsCountInsertions)
+{
+    SetAssocTlb t(64, 4, "t");
+    for (std::uint64_t k = 0; k < 10; ++k)
+        t.insert(entry(EntryKind::Page4K, k, k));
+    EXPECT_EQ(t.stats().insertions, 10u);
+}
+
+TEST(SetAssocTlb, FullyAssociativeSingleSet)
+{
+    SetAssocTlb t(4, 4, "fa"); // 1 set
+    for (std::uint64_t k = 100; k < 104; ++k)
+        t.insert(entry(EntryKind::Page4K, k, k));
+    EXPECT_EQ(t.validCount(), 4u);
+    t.insert(entry(EntryKind::Page4K, 104, 104));
+    EXPECT_EQ(t.validCount(), 4u);
+    EXPECT_EQ(t.probe(EntryKind::Page4K, 100), nullptr);
+}
+
+/** Capacity sweep: working sets within capacity never miss after warmup. */
+class TlbCapacity : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(TlbCapacity, NoConflictMissesWithinCapacity)
+{
+    const unsigned ways = GetParam();
+    SetAssocTlb t(64, ways, "t");
+    const unsigned sets = t.numSets();
+    // One entry per set per way: conflict-free by construction.
+    for (unsigned w = 0; w < ways; ++w)
+        for (unsigned s = 0; s < sets; ++s)
+            t.insert(entry(EntryKind::Page4K, w * sets + s, w));
+    for (unsigned w = 0; w < ways; ++w)
+        for (unsigned s = 0; s < sets; ++s)
+            ASSERT_NE(t.probe(EntryKind::Page4K, w * sets + s), nullptr);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ways, TlbCapacity, ::testing::Values(1, 2, 4, 8));
+
+} // namespace
+} // namespace atlb

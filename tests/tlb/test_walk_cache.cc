@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Tests for the page-walk cache model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mmu/baseline_mmu.hh"
+#include "os/table_builder.hh"
+#include "tlb/walk_cache.hh"
+
+#include "../mmu/mmu_test_util.hh"
+
+namespace atlb
+{
+namespace
+{
+
+using test::baseVpn;
+using test::va;
+
+TEST(WalkCache, ColdWalkTouchesAllLevels)
+{
+    WalkCache pwc(2, 4, 32);
+    EXPECT_EQ(pwc.walkRefs(baseVpn, 4), 4u);
+}
+
+TEST(WalkCache, WarmWalkTouchesOnlyPte)
+{
+    WalkCache pwc(2, 4, 32);
+    pwc.walkRefs(baseVpn, 4);
+    // Same 2MB region: the PDE is cached, only the PTE is fetched.
+    EXPECT_EQ(pwc.walkRefs(baseVpn + 5, 4), 1u);
+}
+
+TEST(WalkCache, HugeLeafStopsAtPde)
+{
+    WalkCache pwc(2, 4, 32);
+    EXPECT_EQ(pwc.walkRefs(baseVpn, 3), 3u);
+    // The PDPTE is now cached; a 2MB walk in the same 1GB region costs
+    // one reference (the PDE leaf itself).
+    EXPECT_EQ(pwc.walkRefs(baseVpn + 512, 3), 1u);
+}
+
+TEST(WalkCache, PdpteCoversGigabyteRegion)
+{
+    WalkCache pwc(2, 4, 32);
+    pwc.walkRefs(baseVpn, 4);
+    // Different 2MB region, same 1GB region: PDE misses, PDPTE hits.
+    EXPECT_EQ(pwc.walkRefs(baseVpn + (1 << 10), 4), 2u);
+}
+
+TEST(WalkCache, Pml4CoversHalfTerabyte)
+{
+    WalkCache pwc(2, 4, 32);
+    pwc.walkRefs(baseVpn, 4);
+    // Different 1GB region, same 512GB region.
+    EXPECT_EQ(pwc.walkRefs(baseVpn + (1ULL << 20), 4), 3u);
+}
+
+TEST(WalkCache, CapacityEvicts)
+{
+    WalkCache pwc(2, 4, 4);
+    pwc.walkRefs(baseVpn, 4);
+    for (std::uint64_t i = 1; i <= 4; ++i)
+        pwc.walkRefs(baseVpn + i * 512, 4);
+    // The original PDE got evicted (4-entry cache, 5 distinct PDEs),
+    // but the PDPTE still covers the region.
+    EXPECT_EQ(pwc.walkRefs(baseVpn + 5, 4), 2u);
+}
+
+TEST(WalkCache, FlushForgetsEverything)
+{
+    WalkCache pwc(2, 4, 32);
+    pwc.walkRefs(baseVpn, 4);
+    pwc.flush();
+    EXPECT_EQ(pwc.walkRefs(baseVpn, 4), 4u);
+}
+
+TEST(WalkCachedMmu, VariableWalkLatency)
+{
+    const MemoryMap map = test::makeVariedMap();
+    const PageTable table = buildPageTable(map, false);
+    MmuConfig cfg;
+    cfg.pwc_enabled = true;
+    cfg.pwc_mem_ref_cycles = 10;
+    BaselineMmu mmu(cfg, table);
+    // Cold walk: 4 refs + 7-cycle lookup.
+    EXPECT_EQ(mmu.translate(va(0)).cycles, 7 + 40u);
+    // Warm walk in the same 2MB region: 1 ref.
+    EXPECT_EQ(mmu.translate(va(1)).cycles, 7 + 10u);
+}
+
+TEST(WalkCachedMmu, FlushAllClearsPwc)
+{
+    const MemoryMap map = test::makeVariedMap();
+    const PageTable table = buildPageTable(map, false);
+    MmuConfig cfg;
+    cfg.pwc_enabled = true;
+    cfg.pwc_mem_ref_cycles = 10;
+    BaselineMmu mmu(cfg, table);
+    mmu.translate(va(0));
+    mmu.flushAll();
+    EXPECT_EQ(mmu.translate(va(0)).cycles, 7 + 40u);
+}
+
+TEST(WalkCachedMmu, DisabledKeepsFlatModel)
+{
+    const MemoryMap map = test::makeVariedMap();
+    const PageTable table = buildPageTable(map, false);
+    MmuConfig cfg; // pwc off by default
+    BaselineMmu mmu(cfg, table);
+    EXPECT_EQ(mmu.translate(va(0)).cycles,
+              cfg.l2_hit_cycles + cfg.walk_cycles);
+}
+
+} // namespace
+} // namespace atlb

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Tests for the page-level trace profiler.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "trace/profiler.hh"
+#include "trace/workload.hh"
+
+namespace atlb
+{
+namespace
+{
+
+MemAccess
+page(std::uint64_t vpn)
+{
+    return {vaOf(vpn), false};
+}
+
+TEST(Profiler, CountsBasics)
+{
+    TraceProfiler prof;
+    prof.record({vaOf(1), true});
+    prof.record({vaOf(2), false});
+    prof.record({vaOf(1) + 64, false});
+    const TraceProfile p = prof.profile();
+    EXPECT_EQ(p.accesses, 3u);
+    EXPECT_EQ(p.writes, 1u);
+    EXPECT_EQ(p.unique_pages, 2u);
+    EXPECT_EQ(p.cold_accesses, 2u);
+}
+
+TEST(Profiler, SamePageFraction)
+{
+    TraceProfiler prof;
+    for (int i = 0; i < 10; ++i)
+        prof.record(page(7)); // 1 cold + 9 same-page
+    const TraceProfile p = prof.profile();
+    EXPECT_NEAR(p.same_page_fraction, 0.9, 1e-9);
+    EXPECT_EQ(p.unique_pages, 1u);
+}
+
+TEST(Profiler, SequentialFraction)
+{
+    TraceProfiler prof;
+    for (std::uint64_t v = 0; v < 100; ++v)
+        prof.record(page(v));
+    const TraceProfile p = prof.profile();
+    EXPECT_NEAR(p.sequential_fraction, 1.0, 1e-9);
+}
+
+TEST(Profiler, ReuseDistanceExactSmallCase)
+{
+    TraceProfiler prof;
+    // Touch A B C A: A's re-touch sees 2 distinct pages in between.
+    prof.record(page(10));
+    prof.record(page(20));
+    prof.record(page(30));
+    prof.record(page(10));
+    const TraceProfile p = prof.profile();
+    EXPECT_EQ(p.cold_accesses, 3u);
+    EXPECT_EQ(p.reuse_distance.samples(), 1u);
+    EXPECT_EQ(p.reuse_distance.bucket(1), 1u); // distance 2 -> bucket 1
+}
+
+TEST(Profiler, ImmediateRetouchAfterOtherPageIsDistanceOne)
+{
+    TraceProfiler prof;
+    prof.record(page(1));
+    prof.record(page(2));
+    prof.record(page(1)); // one distinct page (2) in between
+    const TraceProfile p = prof.profile();
+    EXPECT_EQ(p.reuse_distance.bucket(0), 1u); // distance 1 -> bucket 0
+}
+
+TEST(Profiler, CyclicSweepHasFixedDistance)
+{
+    // Sweeping N pages repeatedly: every re-touch sees N-1 others.
+    const std::uint64_t n = 64;
+    TraceProfiler prof;
+    for (int round = 0; round < 5; ++round)
+        for (std::uint64_t v = 0; v < n; ++v)
+            prof.record(page(v));
+    const TraceProfile p = prof.profile();
+    EXPECT_EQ(p.cold_accesses, n);
+    EXPECT_EQ(p.reuse_distance.samples(), 4 * n);
+    // All distances are 63 -> bucket 5.
+    EXPECT_EQ(p.reuse_distance.bucket(5), 4 * n);
+}
+
+TEST(Profiler, HitFractionAtReach)
+{
+    const std::uint64_t n = 64;
+    TraceProfiler prof;
+    for (int round = 0; round < 4; ++round)
+        for (std::uint64_t v = 0; v < n; ++v)
+            prof.record(page(v));
+    const TraceProfile p = prof.profile();
+    // Reach 64 captures the whole sweep, reach 32 nothing.
+    EXPECT_DOUBLE_EQ(p.hitFractionAtReach(64), 1.0);
+    EXPECT_DOUBLE_EQ(p.hitFractionAtReach(32), 0.0);
+}
+
+TEST(Profiler, CompactionPreservesDistances)
+{
+    // Force several Fenwick compactions with a small working set.
+    TraceProfiler prof;
+    const std::uint64_t n = 512;
+    for (int round = 0; round < 3000; ++round)
+        for (std::uint64_t v = 0; v < n; ++v)
+            prof.record(page(v));
+    const TraceProfile p = prof.profile();
+    // > 2^20 touches forces compaction; distances must stay exact:
+    // every re-touch sees 511 distinct pages (bucket 8).
+    EXPECT_EQ(p.reuse_distance.samples(), (3000u - 1) * n);
+    EXPECT_EQ(p.reuse_distance.bucket(8), (3000u - 1) * n);
+}
+
+TEST(Profiler, ConsumeDrainsSource)
+{
+    WorkloadSpec w;
+    w.name = "mini";
+    w.footprint_bytes = 256 * pageBytes;
+    w.page_reuse = 0.5;
+    PatternPhase phase;
+    phase.kind = PatternKind::Random;
+    w.phases = {phase};
+    PatternTrace trace(w, vaOf(0x1000), 20000, 3);
+    TraceProfiler prof;
+    prof.consume(trace);
+    const TraceProfile p = prof.profile();
+    EXPECT_EQ(p.accesses, 20000u);
+    EXPECT_LE(p.unique_pages, 256u);
+    EXPECT_GT(p.same_page_fraction, 0.3);
+}
+
+TEST(Profiler, HotSetReflectsWorkloadStructure)
+{
+    // 90% of traffic in 64 pages, 10% in 4096: the 90% hot set must be
+    // far smaller than the 99% hot set.
+    WorkloadSpec w;
+    w.name = "hotcold";
+    w.footprint_bytes = 4096 * pageBytes;
+    w.page_reuse = 0.0;
+    PatternPhase phase;
+    phase.kind = PatternKind::HotCold;
+    phase.hot_fraction = 64.0 / 4096.0;
+    phase.hot_prob = 0.9;
+    phase.hot_base_page = 0;
+    w.phases = {phase};
+    PatternTrace trace(w, vaOf(0x10000), 100000, 9);
+    TraceProfiler prof;
+    prof.consume(trace);
+    const TraceProfile p = prof.profile();
+    const std::uint64_t hot90 = p.hotSetPages(0.85);
+    const std::uint64_t hot99 = p.hotSetPages(0.99);
+    EXPECT_LE(hot90, 256u);
+    EXPECT_GT(hot99, 1024u);
+}
+
+} // namespace
+} // namespace atlb

@@ -1,0 +1,529 @@
+/**
+ * @file
+ * anchortlb — command-line driver for the simulator.
+ *
+ * Subcommands:
+ *   list                        catalog workloads, scenarios, schemes
+ *   run                         one (workload, scenario, scheme) cell
+ *   sweep-distance              anchor misses across every distance
+ *   gen-trace                   write a synthetic trace to a file
+ *   replay                      drive a trace file through a scheme
+ *
+ * Run `anchortlb help` for the full usage text. Output is an ASCII
+ * table by default; pass --csv for machine-readable output.
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "mmu/anchor_mmu.hh"
+#include "os/mapping_io.hh"
+#include "trace/profiler.hh"
+#include "mmu/baseline_mmu.hh"
+#include "mmu/cluster_mmu.hh"
+#include "mmu/colt_mmu.hh"
+#include "mmu/rmm_mmu.hh"
+#include "os/distance_selector.hh"
+#include "os/table_builder.hh"
+#include "sim/experiment.hh"
+#include "stats/table.hh"
+#include "trace/trace_io.hh"
+#include "trace/workload.hh"
+
+namespace
+{
+
+using namespace atlb;
+
+/** Minimal --key=value / --flag parser. */
+class Args
+{
+  public:
+    Args(int argc, char **argv)
+    {
+        for (int i = 2; i < argc; ++i) {
+            std::string arg = argv[i];
+            if (arg.rfind("--", 0) != 0) {
+                positional_.push_back(std::move(arg));
+                continue;
+            }
+            arg = arg.substr(2);
+            const auto eq = arg.find('=');
+            if (eq == std::string::npos)
+                named_[arg] = "true";
+            else
+                named_[arg.substr(0, eq)] = arg.substr(eq + 1);
+        }
+    }
+
+    std::string
+    get(const std::string &key, const std::string &fallback) const
+    {
+        const auto it = named_.find(key);
+        return it == named_.end() ? fallback : it->second;
+    }
+
+    std::uint64_t
+    getU64(const std::string &key, std::uint64_t fallback) const
+    {
+        const auto it = named_.find(key);
+        return it == named_.end()
+                   ? fallback
+                   : std::strtoull(it->second.c_str(), nullptr, 10);
+    }
+
+    double
+    getDouble(const std::string &key, double fallback) const
+    {
+        const auto it = named_.find(key);
+        return it == named_.end()
+                   ? fallback
+                   : std::strtod(it->second.c_str(), nullptr);
+    }
+
+    bool has(const std::string &key) const { return named_.count(key); }
+
+    const std::vector<std::string> &positional() const
+    {
+        return positional_;
+    }
+
+  private:
+    std::map<std::string, std::string> named_;
+    std::vector<std::string> positional_;
+};
+
+Scheme
+schemeFromName(const std::string &name)
+{
+    for (const Scheme s : allSchemes)
+        if (name == schemeName(s))
+            return s;
+    // Friendlier aliases.
+    if (name == "base") return Scheme::Base;
+    if (name == "thp") return Scheme::Thp;
+    if (name == "cluster") return Scheme::Cluster;
+    if (name == "cluster-2mb") return Scheme::Cluster2MB;
+    if (name == "rmm") return Scheme::Rmm;
+    if (name == "anchor" || name == "dynamic") return Scheme::Anchor;
+    if (name == "ideal") return Scheme::AnchorIdeal;
+    ATLB_FATAL("unknown scheme '{}' (try: base thp cluster cluster-2mb "
+               "rmm anchor ideal)", name);
+}
+
+void
+emit(const Table &table, bool csv)
+{
+    if (csv)
+        table.printCsv(std::cout);
+    else
+        table.printAscii(std::cout);
+}
+
+SimOptions
+optionsFrom(const Args &args)
+{
+    SimOptions opts = SimOptions::fromEnv();
+    opts.accesses = args.getU64("accesses", opts.accesses);
+    opts.seed = args.getU64("seed", opts.seed);
+    opts.footprint_scale = args.getDouble("scale", opts.footprint_scale);
+    return opts;
+}
+
+int
+cmdList(const Args &args)
+{
+    const bool csv = args.has("csv");
+    Table workloads("workloads",
+                    {"name", "footprint MB", "mem/instr",
+                     "demand run pages", "eager run pages"});
+    for (const WorkloadSpec &w : workloadCatalog()) {
+        workloads.beginRow();
+        workloads.cell(w.name);
+        workloads.cell(w.footprint_bytes >> 20);
+        workloads.cell(w.mem_per_instr, 2);
+        workloads.cell(w.demand_run_pages);
+        workloads.cell(w.eager_run_pages);
+    }
+    emit(workloads, csv);
+
+    Table scenarios("scenarios", {"name", "description"});
+    const char *descriptions[] = {
+        "demand paging, THP on, fragmented pool",
+        "eager paging, THP on",
+        "synthetic chunks uniform 1-16 pages",
+        "synthetic chunks uniform 1-512 pages",
+        "synthetic chunks uniform 512-65536 pages",
+        "one maximal chunk",
+    };
+    int i = 0;
+    for (const ScenarioKind k : allScenarios) {
+        scenarios.beginRow();
+        scenarios.cell(std::string(scenarioName(k)));
+        scenarios.cell(std::string(descriptions[i++]));
+    }
+    emit(scenarios, csv);
+
+    Table schemes("schemes", {"name"});
+    for (const Scheme s : allSchemes) {
+        schemes.beginRow();
+        schemes.cell(std::string(schemeName(s)));
+    }
+    emit(schemes, csv);
+    return 0;
+}
+
+int
+cmdRun(const Args &args)
+{
+    const std::string workload = args.get("workload", "canneal");
+    const ScenarioKind scenario =
+        scenarioFromName(args.get("scenario", "medium"));
+    const bool csv = args.has("csv");
+
+    ExperimentContext ctx(optionsFrom(args));
+    const SimResult base = ctx.run(workload, scenario, Scheme::Base);
+
+    std::vector<Scheme> schemes;
+    if (args.has("scheme")) {
+        schemes.push_back(schemeFromName(args.get("scheme", "")));
+    } else {
+        schemes.assign(std::begin(allSchemes), std::end(allSchemes));
+    }
+
+    Table table(workload + " / " + scenarioName(scenario),
+                {"scheme", "walks", "relative%", "L1 hit%", "L2 reg hit%",
+                 "coalesced%", "CPI", "anchor dist"});
+    for (const Scheme s : schemes) {
+        std::optional<std::uint64_t> dist;
+        if (args.has("distance") && s == Scheme::Anchor)
+            dist = args.getU64("distance", 0);
+        const SimResult r = ctx.run(workload, scenario, s, dist);
+        table.beginRow();
+        table.cell(r.scheme);
+        table.cell(r.misses());
+        table.cellPercent(relativeMisses(r.misses(), base.misses()));
+        table.cellPercent(
+            r.stats.accesses
+                ? static_cast<double>(r.stats.l1_hits) /
+                      static_cast<double>(r.stats.accesses)
+                : 0.0);
+        table.cellPercent(r.regularHitFraction());
+        table.cellPercent(r.coalescedHitFraction());
+        table.cell(r.translationCpi(), 4);
+        table.cell(r.anchor_distance
+                       ? std::to_string(r.anchor_distance)
+                       : std::string("-"));
+    }
+    emit(table, csv);
+    return 0;
+}
+
+int
+cmdSweepDistance(const Args &args)
+{
+    const std::string workload = args.get("workload", "canneal");
+    const ScenarioKind scenario =
+        scenarioFromName(args.get("scenario", "medium"));
+    const bool csv = args.has("csv");
+
+    ExperimentContext ctx(optionsFrom(args));
+    const std::uint64_t base =
+        ctx.run(workload, scenario, Scheme::Base).misses();
+    const std::uint64_t dynamic_d =
+        ctx.dynamicDistance(workload, scenario);
+
+    Table table("anchor distance sweep: " + workload + " / " +
+                    scenarioName(scenario),
+                {"distance", "walks", "relative%", "dynamic pick"});
+    for (const std::uint64_t d : candidateDistances()) {
+        const SimResult r =
+            ctx.run(workload, scenario, Scheme::Anchor, d);
+        table.beginRow();
+        table.cell(d);
+        table.cell(r.misses());
+        table.cellPercent(relativeMisses(r.misses(), base));
+        table.cell(std::string(d == dynamic_d ? "<==" : ""));
+    }
+    emit(table, csv);
+    return 0;
+}
+
+int
+cmdGenTrace(const Args &args)
+{
+    const std::string workload = args.get("workload", "canneal");
+    const std::string path = args.get("out", workload + ".trace");
+    const SimOptions opts = optionsFrom(args);
+
+    WorkloadSpec spec = findWorkload(workload);
+    spec.footprint_bytes = static_cast<std::uint64_t>(
+        static_cast<double>(spec.footprint_bytes) * opts.footprint_scale);
+    PatternTrace source(spec, vaOf(0x7f0000000ULL), opts.accesses,
+                        opts.seed);
+    TraceWriter writer(path);
+    MemAccess a;
+    while (source.next(a))
+        writer.append(a);
+    writer.close();
+    std::cout << "wrote " << writer.written() << " accesses to " << path
+              << "\n";
+    return 0;
+}
+
+int
+cmdReplay(const Args &args)
+{
+    if (args.positional().empty())
+        ATLB_FATAL("replay needs a trace file argument");
+    const std::string path = args.positional()[0];
+    const std::string workload = args.get("workload", "canneal");
+    const ScenarioKind scenario =
+        scenarioFromName(args.get("scenario", "medium"));
+    const Scheme scheme = schemeFromName(args.get("scheme", "anchor"));
+    const SimOptions opts = optionsFrom(args);
+
+    WorkloadSpec spec = findWorkload(workload);
+    spec.footprint_bytes = static_cast<std::uint64_t>(
+        static_cast<double>(spec.footprint_bytes) * opts.footprint_scale);
+    ScenarioParams params;
+    params.footprint_pages = spec.footprintPages();
+    params.seed = opts.seed;
+    params.demand_run_pages = spec.demand_run_pages;
+    params.eager_run_pages = spec.eager_run_pages;
+    params.demand_churn = spec.demand_churn;
+    params.map_tail_run_pages = spec.map_tail_run_pages;
+    params.map_tail_fraction = spec.map_tail_fraction;
+    const MemoryMap map = buildScenario(scenario, params);
+
+    PageTable table;
+    std::unique_ptr<Mmu> mmu;
+    const MmuConfig &cfg = opts.mmu;
+    switch (scheme) {
+      case Scheme::Base:
+        table = buildPageTable(map, false);
+        mmu = std::make_unique<BaselineMmu>(cfg, table, "base");
+        break;
+      case Scheme::Thp:
+        table = buildPageTable(map, true);
+        mmu = std::make_unique<BaselineMmu>(cfg, table, "thp");
+        break;
+      case Scheme::Cluster:
+        table = buildPageTable(map, false);
+        mmu = std::make_unique<ClusterMmu>(cfg, table, false);
+        break;
+      case Scheme::Cluster2MB:
+        table = buildPageTable(map, true);
+        mmu = std::make_unique<ClusterMmu>(cfg, table, true);
+        break;
+      case Scheme::Rmm:
+        table = buildPageTable(map, true);
+        mmu = std::make_unique<RmmMmu>(cfg, table, map);
+        break;
+      case Scheme::Anchor:
+      case Scheme::AnchorIdeal: {
+        const std::uint64_t d =
+            args.has("distance")
+                ? args.getU64("distance", 8)
+                : selectAnchorDistance(map.contiguityHistogram())
+                      .distance;
+        table = buildAnchorPageTable(map, d);
+        mmu = std::make_unique<AnchorMmu>(cfg, table, d);
+        break;
+      }
+    }
+
+    TraceFileSource trace(path);
+    const SimResult r = runSimulation(*mmu, trace, spec.mem_per_instr);
+    Table out("replay of " + path, {"metric", "value"});
+    out.beginRow();
+    out.cell(std::string("accesses"));
+    out.cell(r.stats.accesses);
+    out.beginRow();
+    out.cell(std::string("page walks"));
+    out.cell(r.misses());
+    out.beginRow();
+    out.cell(std::string("translation CPI"));
+    out.cell(r.translationCpi(), 4);
+    emit(out, args.has("csv"));
+    return 0;
+}
+
+int
+cmdProfile(const Args &args)
+{
+    const bool csv = args.has("csv");
+    const SimOptions opts = optionsFrom(args);
+    std::unique_ptr<TraceSource> source;
+    std::string what;
+    if (!args.positional().empty()) {
+        what = args.positional()[0];
+        source = std::make_unique<TraceFileSource>(what);
+    } else {
+        const std::string workload = args.get("workload", "canneal");
+        WorkloadSpec spec = findWorkload(workload);
+        spec.footprint_bytes = static_cast<std::uint64_t>(
+            static_cast<double>(spec.footprint_bytes) *
+            opts.footprint_scale);
+        source = std::make_unique<PatternTrace>(
+            spec, vaOf(0x7f0000000ULL), opts.accesses, opts.seed);
+        what = workload + " (synthetic)";
+    }
+    TraceProfiler profiler;
+    profiler.consume(*source);
+    const TraceProfile p = profiler.profile();
+
+    Table table("page-level profile of " + what, {"metric", "value"});
+    const auto row = [&table](const std::string &k,
+                              const std::string &v) {
+        table.beginRow();
+        table.cell(k);
+        table.cell(v);
+    };
+    row("accesses", std::to_string(p.accesses));
+    row("writes", std::to_string(p.writes));
+    row("unique 4KB pages", std::to_string(p.unique_pages));
+    row("same-page fraction",
+        std::to_string(p.same_page_fraction));
+    row("sequential fraction",
+        std::to_string(p.sequential_fraction));
+    row("cold accesses", std::to_string(p.cold_accesses));
+    row("hot set for 50% of reuses",
+        std::to_string(p.hotSetPages(0.5)) + " pages");
+    row("hot set for 90% of reuses",
+        std::to_string(p.hotSetPages(0.9)) + " pages");
+    row("reuses within L2 reach (1K pages)",
+        std::to_string(p.hitFractionAtReach(1024)));
+    emit(table, csv);
+    return 0;
+}
+
+int
+cmdExportMap(const Args &args)
+{
+    const std::string workload = args.get("workload", "canneal");
+    const ScenarioKind scenario =
+        scenarioFromName(args.get("scenario", "medium"));
+    const std::string path = args.get(
+        "out", workload + "." + scenarioName(scenario) + ".map");
+    const SimOptions opts = optionsFrom(args);
+
+    WorkloadSpec spec = findWorkload(workload);
+    spec.footprint_bytes = static_cast<std::uint64_t>(
+        static_cast<double>(spec.footprint_bytes) * opts.footprint_scale);
+    ScenarioParams params;
+    params.footprint_pages = spec.footprintPages();
+    params.seed = opts.seed;
+    params.demand_run_pages = spec.demand_run_pages;
+    params.eager_run_pages = spec.eager_run_pages;
+    params.demand_churn = spec.demand_churn;
+    params.map_tail_run_pages = spec.map_tail_run_pages;
+    params.map_tail_fraction = spec.map_tail_fraction;
+    const MemoryMap map = buildScenario(scenario, params);
+    saveMapping(path, map);
+    std::cout << "wrote " << map.chunks().size() << " chunks ("
+              << map.mappedPages() << " pages) to " << path << "\n";
+    return 0;
+}
+
+int
+cmdInspectMap(const Args &args)
+{
+    if (args.positional().empty())
+        ATLB_FATAL("inspect-map needs a mapping file argument");
+    const MemoryMap map = loadMapping(args.positional()[0]);
+    const Histogram hist = map.contiguityHistogram();
+    const DistanceSelection sel = selectAnchorDistance(hist);
+
+    Table table("mapping " + args.positional()[0],
+                {"metric", "value"});
+    const auto row = [&table](const std::string &k,
+                              const std::string &v) {
+        table.beginRow();
+        table.cell(k);
+        table.cell(v);
+    };
+    row("chunks", std::to_string(map.chunks().size()));
+    row("mapped pages", std::to_string(map.mappedPages()));
+    row("smallest chunk", std::to_string(hist.minKey()) + " pages");
+    row("largest chunk", std::to_string(hist.maxKey()) + " pages");
+    row("median chunk (by pages)",
+        std::to_string(hist.weightedQuantile(0.5)) + " pages");
+    row("Algorithm 1 anchor distance", std::to_string(sel.distance));
+    emit(table, args.has("csv"));
+    return 0;
+}
+
+int
+cmdHelp()
+{
+    std::cout <<
+        R"(anchortlb - hybrid TLB coalescing simulator (ISCA'17 reproduction)
+
+usage: anchortlb <command> [options]
+
+commands:
+  list                 show catalog workloads, scenarios and schemes
+  run                  simulate one workload/scenario across schemes
+      --workload=NAME --scenario=NAME [--scheme=NAME] [--distance=N]
+  sweep-distance       anchor misses at every candidate distance
+      --workload=NAME --scenario=NAME
+  gen-trace            write a synthetic access trace
+      --workload=NAME [--out=FILE]
+  replay FILE          drive a trace file through one scheme
+      --workload=NAME --scenario=NAME --scheme=NAME [--distance=N]
+  profile [FILE]       page-level profile of a trace file or a
+                       synthetic workload (--workload=NAME)
+  export-map           write a scenario's VA->PA mapping to a text file
+      --workload=NAME --scenario=NAME [--out=FILE]
+  inspect-map FILE     chunk statistics + Algorithm 1 pick for a mapping
+  help                 this text
+
+common options:
+  --accesses=N         trace length (default 2000000 or $ANCHORTLB_ACCESSES)
+  --seed=N             RNG seed (default 42)
+  --scale=F            footprint scale in (0,1]
+  --csv                CSV output instead of ASCII tables
+
+scheme names: base thp cluster cluster-2mb rmm anchor ideal
+scenario names: demand eager low medium high max
+)";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return cmdHelp();
+    const std::string cmd = argv[1];
+    const Args args(argc, argv);
+    if (cmd == "list")
+        return cmdList(args);
+    if (cmd == "run")
+        return cmdRun(args);
+    if (cmd == "sweep-distance")
+        return cmdSweepDistance(args);
+    if (cmd == "gen-trace")
+        return cmdGenTrace(args);
+    if (cmd == "replay")
+        return cmdReplay(args);
+    if (cmd == "profile")
+        return cmdProfile(args);
+    if (cmd == "export-map")
+        return cmdExportMap(args);
+    if (cmd == "inspect-map")
+        return cmdInspectMap(args);
+    if (cmd == "help" || cmd == "--help" || cmd == "-h")
+        return cmdHelp();
+    std::cerr << "unknown command '" << cmd << "'\n";
+    cmdHelp();
+    return 1;
+}
