@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+#
+# Full correctness gate: clang-format (check only), clang-tidy, a
+# -Werror + ANCHORTLB_CHECKED build with the whole test suite, and the
+# same suite again under AddressSanitizer and UndefinedBehaviorSanitizer.
+#
+# This is the tier-1 entry point (see ROADMAP.md). The fast inner loop
+# remains:  cmake -B build -S . && cmake --build build -j && ctest
+#
+# Usage:
+#   scripts/check.sh            # everything
+#   scripts/check.sh --fast     # skip the sanitizer builds
+#
+# Tools that are not installed (clang-format, clang-tidy) are reported
+# and skipped, so the script is still a meaningful gate on a
+# gcc-only box; CI runs the full set.
+
+set -euo pipefail
+
+repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+jobs="${JOBS:-$(nproc)}"
+fast=0
+for arg in "$@"; do
+    case "$arg" in
+    --fast) fast=1 ;;
+    -h | --help)
+        sed -n '2,16p' "${BASH_SOURCE[0]}" | sed 's/^# \{0,1\}//'
+        exit 0
+        ;;
+    *)
+        printf 'check.sh: unknown option %s (try --help)\n' "$arg" >&2
+        exit 2
+        ;;
+    esac
+done
+
+failures=()
+note() { printf '\n==> %s\n' "$*"; }
+
+# ----------------------------------------------------------- format --
+if command -v clang-format > /dev/null 2>&1; then
+    note "clang-format (check only)"
+    if ! git -C "$repo" ls-files '*.cc' '*.hh' |
+        xargs -I{} clang-format --dry-run --Werror "$repo/{}"; then
+        failures+=("clang-format")
+    fi
+else
+    note "clang-format not installed; skipping format check"
+fi
+
+# ------------------------------------------------------------- tidy --
+if command -v clang-tidy > /dev/null 2>&1; then
+    note "clang-tidy"
+    cmake -S "$repo" -B "$repo/build-tidy" \
+        -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+    mapfile -t tidy_sources < <(git -C "$repo" ls-files \
+        'src/*.cc' 'bench/*.cc')
+    run_tidy=clang-tidy
+    command -v run-clang-tidy > /dev/null 2>&1 && run_tidy=
+    if [[ -n "$run_tidy" ]]; then
+        ok=1
+        for f in "${tidy_sources[@]}"; do
+            clang-tidy -p "$repo/build-tidy" --quiet "$repo/$f" || ok=0
+        done
+        [[ $ok == 1 ]] || failures+=("clang-tidy")
+    else
+        run-clang-tidy -p "$repo/build-tidy" -quiet \
+            "${tidy_sources[@]/#/$repo/}" || failures+=("clang-tidy")
+    fi
+else
+    note "clang-tidy not installed; skipping static analysis"
+fi
+
+# ----------------------------------------- checked + -Werror + ctest --
+build_and_test() {
+    local dir="$1"
+    shift
+    note "build $dir ($*)"
+    cmake -S "$repo" -B "$repo/$dir" -DANCHORTLB_WERROR=ON \
+        -DANCHORTLB_CHECKED=ON "$@" > /dev/null
+    cmake --build "$repo/$dir" -j "$jobs"
+    (cd "$repo/$dir" && ctest --output-on-failure -j "$jobs")
+}
+
+build_and_test build-checked || failures+=("checked build")
+
+if [[ $fast == 0 ]]; then
+    build_and_test build-asan -DANCHORTLB_SANITIZE=address ||
+        failures+=("asan build")
+    build_and_test build-ubsan -DANCHORTLB_SANITIZE=undefined ||
+        failures+=("ubsan build")
+else
+    note "--fast: skipping sanitizer builds"
+fi
+
+# ------------------------------------------------------------ report --
+if ((${#failures[@]})); then
+    note "FAILED: ${failures[*]}"
+    exit 1
+fi
+note "all checks passed"

@@ -1,0 +1,104 @@
+#include "translation_oracle.hh"
+
+#include "common/check.hh"
+#include "common/logging.hh"
+#include "os/memory_map.hh"
+#include "os/page_table.hh"
+
+namespace atlb
+{
+
+TranslationOracle::TranslationOracle(Mmu &mmu, const MemoryMap *map)
+    : mmu_(&mmu), map_(map)
+{
+}
+
+TranslationResult
+TranslationOracle::translate(VirtAddr va)
+{
+    const TranslationResult res = mmu_->translate(va);
+    verify(va, res);
+    ++verified_;
+    return res;
+}
+
+void
+TranslationOracle::verify(VirtAddr va, const TranslationResult &res) const
+{
+    const Vpn vpn = vpnOf(va);
+
+    // Ground truth #1: the authoritative page table (guest dimension).
+    const WalkResult walk = mmu_->pageTable().walk(vpn);
+    ANCHOR_CHECK(walk.present,
+                 "oracle[{}]: fast path translated unmapped vpn {}",
+                 mmu_->name(), vpn);
+
+    // Host dimension when nested, else the guest walk is final.
+    Ppn expected = walk.ppn;
+    if (const PageTable *host = mmu_->hostPageTable()) {
+        const WalkResult hw = host->walk(walk.ppn);
+        ANCHOR_CHECK(hw.present,
+                     "oracle[{}]: guest frame {} unmapped in host",
+                     mmu_->name(), walk.ppn);
+        expected = hw.ppn;
+    }
+    // guest_ppn is only defined on walk results: a TLB hit caches the
+    // combined translation and no longer knows the guest frame.
+    if (res.level == HitLevel::PageWalk) {
+        ANCHOR_CHECK_EQ(res.guest_ppn, walk.ppn,
+                        "oracle[{}]: guest frame mismatch for vpn {}",
+                        mmu_->name(), vpn);
+    }
+    ANCHOR_CHECK_EQ(res.ppn, expected,
+                    "oracle[{}]: frame mismatch for vpn {}",
+                    mmu_->name(), vpn);
+
+    // Ground truth #2: the OS mapping the table was built from. This
+    // catches table-construction bugs the walk alone cannot (the walk
+    // and the fast path could agree on a wrongly built table).
+    if (map_ != nullptr) {
+        ANCHOR_CHECK_EQ(walk.ppn, map_->translate(vpn),
+                        "oracle[{}]: page table disagrees with the OS "
+                        "mapping at vpn {}",
+                        mmu_->name(), vpn);
+    }
+}
+
+DifferentialOracle::DifferentialOracle(const MemoryMap *map) : map_(map) {}
+
+void
+DifferentialOracle::attach(Mmu &mmu)
+{
+    oracles_.emplace_back(mmu, map_);
+}
+
+void
+DifferentialOracle::setMap(const MemoryMap *map)
+{
+    map_ = map;
+    for (TranslationOracle &oracle : oracles_)
+        oracle.setMap(map);
+}
+
+Ppn
+DifferentialOracle::translateAll(VirtAddr va)
+{
+    ANCHOR_CHECK(!oracles_.empty(), "no MMUs attached");
+    ++steps_;
+    Ppn agreed = invalidPpn;
+    const Mmu *first = nullptr;
+    for (TranslationOracle &oracle : oracles_) {
+        const TranslationResult res = oracle.translate(va);
+        if (first == nullptr) {
+            agreed = res.ppn;
+            first = &oracle.mmu();
+            continue;
+        }
+        ANCHOR_CHECK_EQ(res.ppn, agreed,
+                        "schemes '{}' and '{}' disagree at va {}",
+                        oracle.mmu().name(), first->name(), va);
+    }
+    return agreed;
+}
+
+} // namespace atlb

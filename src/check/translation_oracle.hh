@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Differential translation oracle.
+ *
+ * The anchor scheme (and every other coalescing scheme) answers most
+ * translations from derived state: a cached anchor entry plus offset
+ * arithmetic, a cluster bitmap, a range base. The page table is the
+ * only authoritative source, and a silent desync between the two —
+ * e.g. a stale anchor contiguity after a migration — corrupts every
+ * downstream statistic without failing a single assertion. The oracle
+ * closes that hole: it shadows an Mmu, re-derives every translation
+ * from the authoritative PageTable (both dimensions in nested mode)
+ * and optionally the OS MemoryMap, and panics on the first
+ * disagreement.
+ *
+ * DifferentialOracle extends this across schemes: all five pipelines
+ * (baseline, COLT, cluster, RMM, anchor) are driven with the same
+ * access stream and must produce byte-identical frames — translation
+ * performance may differ per scheme, translation results never may.
+ *
+ * The oracle panics regardless of build flavour; it costs a page-table
+ * walk per access, so it belongs in tests and checked builds, not on
+ * the measured fast path. (The zero-cost-in-release variant is the
+ * ANCHOR_DCHECK hook inside Mmu::translate itself, enabled by
+ * -DANCHORTLB_CHECKED=ON.)
+ */
+
+#ifndef ANCHORTLB_CHECK_TRANSLATION_ORACLE_HH
+#define ANCHORTLB_CHECK_TRANSLATION_ORACLE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "mmu/mmu.hh"
+
+namespace atlb
+{
+
+class MemoryMap;
+
+/** Shadows one Mmu and verifies every translation it returns. */
+class TranslationOracle
+{
+  public:
+    /**
+     * @param mmu the MMU under test; must outlive the oracle.
+     * @param map optional second ground truth: the OS mapping the
+     *            page table was built from (guest dimension).
+     */
+    explicit TranslationOracle(Mmu &mmu, const MemoryMap *map = nullptr);
+
+    /** Translate through the shadowed MMU, then verify. */
+    TranslationResult translate(VirtAddr va);
+
+    /** Verify an externally produced result; panics on mismatch. */
+    void verify(VirtAddr va, const TranslationResult &res) const;
+
+    /** Swap the mapping ground truth (after an epoch rebuild). */
+    void setMap(const MemoryMap *map) { map_ = map; }
+
+    /** Translations verified so far. */
+    std::uint64_t verified() const { return verified_; }
+
+    Mmu &mmu() const { return *mmu_; }
+
+  private:
+    Mmu *mmu_;
+    const MemoryMap *map_;
+    std::uint64_t verified_ = 0;
+};
+
+/**
+ * Drives several MMUs with one access stream and checks that every
+ * scheme translates every address to the same frame — each verified
+ * against its own page table first, then against the shared mapping.
+ */
+class DifferentialOracle
+{
+  public:
+    explicit DifferentialOracle(const MemoryMap *map = nullptr);
+
+    /** Register an MMU; must outlive the oracle. */
+    void attach(Mmu &mmu);
+
+    /** Swap the shared mapping ground truth for every oracle. */
+    void setMap(const MemoryMap *map);
+
+    /**
+     * Translate @p va through every attached MMU; panics unless all
+     * agree with their tables, the mapping, and each other.
+     * @return the (unanimous) physical frame.
+     */
+    Ppn translateAll(VirtAddr va);
+
+    /** Access steps driven so far. */
+    std::uint64_t steps() const { return steps_; }
+
+    const std::vector<TranslationOracle> &oracles() const
+    {
+        return oracles_;
+    }
+
+  private:
+    std::vector<TranslationOracle> oracles_;
+    const MemoryMap *map_;
+    std::uint64_t steps_ = 0;
+};
+
+} // namespace atlb
+
+#endif // ANCHORTLB_CHECK_TRANSLATION_ORACLE_HH

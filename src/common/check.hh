@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Leveled correctness-check macros.
+ *
+ * Two strengths, mirroring the usual CHECK/DCHECK split:
+ *
+ *  - ANCHOR_CHECK(cond, ...):  always compiled, in every build type.
+ *    For cheap conditions guarding against state corruption whose cost
+ *    is negligible next to the code they protect (constructor argument
+ *    validation, rare slow paths). Panics (aborts) on failure.
+ *
+ *  - ANCHOR_DCHECK(cond, ...): compiled only when the build defines
+ *    ANCHORTLB_CHECKED (CMake -DANCHORTLB_CHECKED=ON). For expensive
+ *    invariants on hot paths — e.g. re-walking the page table to verify
+ *    every TLB fast-path translation. When the option is OFF the whole
+ *    macro, including the condition expression, compiles to nothing, so
+ *    checked instrumentation adds zero overhead to release builds.
+ *
+ * _EQ variants print both operands on failure, which turns an oracle
+ * mismatch into an actionable message instead of a bare condition.
+ */
+
+#ifndef ANCHORTLB_COMMON_CHECK_HH
+#define ANCHORTLB_COMMON_CHECK_HH
+
+#include "common/logging.hh"
+
+namespace atlb
+{
+
+/** True when this build compiles ANCHOR_DCHECK conditions in. */
+constexpr bool
+checkedBuild()
+{
+#ifdef ANCHORTLB_CHECKED
+    return true;
+#else
+    return false;
+#endif
+}
+
+} // namespace atlb
+
+/** Panic unless @p cond holds; compiled in every build. */
+#define ANCHOR_CHECK(cond, ...)                                             \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            ATLB_PANIC("check failed: " #cond " -- " __VA_ARGS__);          \
+    } while (0)
+
+/** Panic unless a == b, printing both values; always compiled. */
+#define ANCHOR_CHECK_EQ(a, b, ...)                                          \
+    do {                                                                    \
+        const auto check_a_ = (a);                                          \
+        const auto check_b_ = (b);                                          \
+        if (!(check_a_ == check_b_)) {                                      \
+            ATLB_PANIC("{}",                                                \
+                       ::atlb::format("check failed: " #a " == " #b        \
+                                      " ({} vs {}) -- ",                    \
+                                      check_a_, check_b_) +                 \
+                           ::atlb::format("" __VA_ARGS__));                 \
+        }                                                                   \
+    } while (0)
+
+#ifdef ANCHORTLB_CHECKED
+
+/** Checked builds only: panic unless @p cond holds. */
+#define ANCHOR_DCHECK(cond, ...) ANCHOR_CHECK(cond, __VA_ARGS__)
+/** Checked builds only: panic unless a == b, printing both values. */
+#define ANCHOR_DCHECK_EQ(a, b, ...) ANCHOR_CHECK_EQ(a, b, __VA_ARGS__)
+
+#else
+
+/**
+ * Release builds: the condition is *not evaluated* (not merely ignored),
+ * so ANCHOR_DCHECK arguments must be side-effect free.
+ */
+#define ANCHOR_DCHECK(cond, ...)                                            \
+    do {                                                                    \
+    } while (0)
+#define ANCHOR_DCHECK_EQ(a, b, ...)                                         \
+    do {                                                                    \
+    } while (0)
+
+#endif // ANCHORTLB_CHECKED
+
+#endif // ANCHORTLB_COMMON_CHECK_HH

@@ -139,6 +139,20 @@ BuddyAllocator::freeBlockHistogram() const
     return h;
 }
 
+std::vector<BuddyAllocator::FreeBlock>
+BuddyAllocator::freeBlockList() const
+{
+    std::vector<FreeBlock> blocks;
+    for (unsigned order = 0; order <= max_order_; ++order)
+        for (const Ppn base : free_lists_[order])
+            blocks.push_back({base, order});
+    std::sort(blocks.begin(), blocks.end(),
+              [](const FreeBlock &a, const FreeBlock &b) {
+                  return a.base < b.base;
+              });
+    return blocks;
+}
+
 bool
 BuddyAllocator::isFree(Ppn base, unsigned order) const
 {

@@ -50,14 +50,15 @@ class BuddyAllocator
      * Allocate a block of 2^order frames.
      * @return base frame number, or invalidPpn if no memory.
      */
-    Ppn allocate(unsigned order);
+    [[nodiscard]] Ppn allocate(unsigned order);
 
     /**
      * Allocate the largest available block of order <= @p max_order_wanted.
      * @param[out] got_order the order actually allocated.
      * @return base frame number, or invalidPpn if the pool is empty.
      */
-    Ppn allocateLargest(unsigned max_order_wanted, unsigned &got_order);
+    [[nodiscard]] Ppn allocateLargest(unsigned max_order_wanted,
+                                      unsigned &got_order);
 
     /**
      * Free a block previously returned by allocate()/allocateLargest().
@@ -83,7 +84,17 @@ class BuddyAllocator
     unsigned maxOrder() const { return max_order_; }
 
     /** Internal consistency check (tests): free lists sane, no overlap. */
-    bool checkInvariants() const;
+    [[nodiscard]] bool checkInvariants() const;
+
+    /** One block on a free list (for inspection / invariant checking). */
+    struct FreeBlock
+    {
+        Ppn base;
+        unsigned order;
+    };
+
+    /** Snapshot of every free block, ascending by base frame. */
+    std::vector<FreeBlock> freeBlockList() const;
 
   private:
     std::uint64_t total_pages_;

@@ -1,5 +1,6 @@
 #include "mmu.hh"
 
+#include "common/check.hh"
 #include "common/logging.hh"
 #include "os/page_table.hh"
 
@@ -25,7 +26,16 @@ Mmu::translate(VirtAddr va)
 {
     ++stats_.accesses;
     const Vpn vpn = vpnOf(va);
+    const TranslationResult res = translateImpl(vpn);
+#ifdef ANCHORTLB_CHECKED
+    verifyTranslation(vpn, res);
+#endif
+    return res;
+}
 
+TranslationResult
+Mmu::translateImpl(Vpn vpn)
+{
     // L1 lookups (parallel with cache access: zero added latency).
     if (const TlbEntry *e = l1_4k_.lookup(EntryKind::Page4K, vpn)) {
         ++stats_.l1_hits;
@@ -55,6 +65,31 @@ Mmu::translate(VirtAddr va)
     stats_.translation_cycles += res.cycles;
     fillL1(vpn, res);
     return res;
+}
+
+void
+Mmu::verifyTranslation(Vpn vpn, const TranslationResult &res) const
+{
+    // The guest dimension first: what does the authoritative table say?
+    const WalkResult walk = table_->walk(vpn);
+    ANCHOR_CHECK(walk.present,
+                 "{}: fast path translated unmapped vpn {}", name_, vpn);
+    Ppn expected = walk.ppn;
+    if (host_table_ != nullptr) {
+        const WalkResult host = host_table_->walk(walk.ppn);
+        ANCHOR_CHECK(host.present, "{}: guest frame {} unmapped in host",
+                     name_, walk.ppn);
+        expected = host.ppn;
+    }
+    // guest_ppn is defined only on walk results: a TLB hit caches the
+    // combined translation, the hardware no longer knows the guest
+    // frame.
+    if (res.level == HitLevel::PageWalk) {
+        ANCHOR_CHECK_EQ(res.guest_ppn, walk.ppn,
+                        "{}: wrong guest frame for vpn {}", name_, vpn);
+    }
+    ANCHOR_CHECK_EQ(res.ppn, expected, "{}: wrong frame for vpn {}",
+                    name_, vpn);
 }
 
 void

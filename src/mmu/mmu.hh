@@ -67,8 +67,10 @@ struct TranslationResult
     HitLevel level = HitLevel::PageWalk;
     PageSize size = PageSize::Base4K;
     /**
-     * Nested mode only: the guest-physical frame the walk resolved
-     * before the host dimension (equals ppn when running natively).
+     * The guest-physical frame the walk resolved before the host
+     * dimension (equals ppn when running natively). Only meaningful
+     * when level == PageWalk: TLB hits cache the combined translation
+     * and no longer know the guest frame.
      */
     Ppn guest_ppn = invalidPpn;
 };
@@ -156,6 +158,12 @@ class Mmu
     const std::string &name() const { return name_; }
     const MmuConfig &config() const { return config_; }
 
+    /** Current process's page table (the translation ground truth). */
+    const PageTable &pageTable() const { return *table_; }
+
+    /** Host (GPA -> HPA) table in nested mode; null when native. */
+    const PageTable *hostPageTable() const { return host_table_; }
+
     /** L1 structures exposed for tests and occupancy reports. */
     const SetAssocTlb &l1Tlb4K() const { return l1_4k_; }
     const SetAssocTlb &l1Tlb2M() const { return l1_2m_; }
@@ -187,7 +195,14 @@ class Mmu
     std::unique_ptr<WalkCache> pwc_;
     MmuStats stats_;
 
+    TranslationResult translateImpl(Vpn vpn);
     void fillL1(Vpn vpn, const TranslationResult &res);
+
+    /**
+     * Checked builds: re-walk the authoritative table(s) and panic if
+     * the fast path produced a different frame (see common/check.hh).
+     */
+    void verifyTranslation(Vpn vpn, const TranslationResult &res) const;
 };
 
 } // namespace atlb

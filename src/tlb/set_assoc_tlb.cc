@@ -98,6 +98,40 @@ SetAssocTlb::invalidate(EntryKind kind, std::uint64_t key)
     }
 }
 
+const TlbEntry &
+SetAssocTlb::entryAt(unsigned set, unsigned way) const
+{
+    ATLB_ASSERT(set < num_sets_ && way < ways_,
+                "entryAt({}, {}) out of range in '{}'", set, way, name_);
+    return setBase(set)[way].entry;
+}
+
+std::uint64_t
+SetAssocTlb::lastUseAt(unsigned set, unsigned way) const
+{
+    ATLB_ASSERT(set < num_sets_ && way < ways_,
+                "lastUseAt({}, {}) out of range in '{}'", set, way, name_);
+    return setBase(set)[way].last_use;
+}
+
+TlbEntry &
+SetAssocTlb::entryAtForTest(unsigned set, unsigned way)
+{
+    ATLB_ASSERT(set < num_sets_ && way < ways_,
+                "entryAtForTest({}, {}) out of range in '{}'", set, way,
+                name_);
+    return setBase(set)[way].entry;
+}
+
+void
+SetAssocTlb::setLastUseForTest(unsigned set, unsigned way, std::uint64_t t)
+{
+    ATLB_ASSERT(set < num_sets_ && way < ways_,
+                "setLastUseForTest({}, {}) out of range in '{}'", set,
+                way, name_);
+    setBase(set)[way].last_use = t;
+}
+
 unsigned
 SetAssocTlb::validCount() const
 {

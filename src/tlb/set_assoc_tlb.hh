@@ -104,6 +104,25 @@ class SetAssocTlb
     /** Number of currently valid entries (for occupancy reports). */
     unsigned validCount() const;
 
+    /** Inspection: the entry stored at (set, way), valid or not. */
+    const TlbEntry &entryAt(unsigned set, unsigned way) const;
+
+    /** Inspection: LRU timestamp of (set, way); 0 = never touched. */
+    std::uint64_t lastUseAt(unsigned set, unsigned way) const;
+
+    /** Current LRU clock (upper bound on every lastUseAt). */
+    std::uint64_t lruTick() const { return tick_; }
+
+    /**
+     * Mutable access to a stored entry for corruption-injection tests
+     * of the invariant checkers (src/check). Never called by the
+     * simulator itself.
+     */
+    TlbEntry &entryAtForTest(unsigned set, unsigned way);
+
+    /** Same, for the LRU timestamp of (set, way). */
+    void setLastUseForTest(unsigned set, unsigned way, std::uint64_t t);
+
   private:
     struct Way
     {

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Semantics of the ANCHOR_CHECK / ANCHOR_DCHECK macro family: the
+ * always-on level fires in every build, and the checked level is
+ * compiled out entirely — condition unevaluated — when the build does
+ * not define ANCHORTLB_CHECKED.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/check.hh"
+
+namespace atlb
+{
+namespace
+{
+
+TEST(CheckMacros, CheckPassesSilently)
+{
+    int evaluations = 0;
+    ANCHOR_CHECK(++evaluations == 1, "must not fire");
+    ANCHOR_CHECK_EQ(2 + 2, 4, "must not fire");
+    EXPECT_EQ(evaluations, 1);
+}
+
+TEST(CheckMacrosDeathTest, CheckFiresInEveryBuild)
+{
+    EXPECT_DEATH(ANCHOR_CHECK(1 == 2, "forced failure"),
+                 "check failed");
+    EXPECT_DEATH(ANCHOR_CHECK_EQ(3, 4, "forced failure"),
+                 "3 vs 4");
+}
+
+TEST(CheckMacros, DcheckMatchesBuildFlavour)
+{
+    // checkedBuild() is the single source of truth tests can branch on.
+#ifdef ANCHORTLB_CHECKED
+    EXPECT_TRUE(checkedBuild());
+#else
+    EXPECT_FALSE(checkedBuild());
+#endif
+}
+
+#ifdef ANCHORTLB_CHECKED
+
+TEST(CheckMacrosDeathTest, DcheckFiresWhenChecked)
+{
+    EXPECT_DEATH(ANCHOR_DCHECK(false, "forced failure"), "check failed");
+    EXPECT_DEATH(ANCHOR_DCHECK_EQ(1, 2, "forced failure"), "1 vs 2");
+}
+
+TEST(CheckMacros, DcheckEvaluatesConditionWhenChecked)
+{
+    int evaluations = 0;
+    ANCHOR_DCHECK(++evaluations == 1, "must not fire");
+    EXPECT_EQ(evaluations, 1);
+}
+
+#else
+
+TEST(CheckMacros, DcheckIsFullyCompiledOutWhenUnchecked)
+{
+    // The condition must not even be evaluated: this is what makes
+    // ANCHORTLB_CHECKED=OFF genuinely zero-overhead.
+    int evaluations = 0;
+    ANCHOR_DCHECK(++evaluations == 1, "never reached");
+    ANCHOR_DCHECK(false, "never reached");
+    ANCHOR_DCHECK_EQ(++evaluations, 99, "never reached");
+    EXPECT_EQ(evaluations, 0);
+}
+
+#endif // ANCHORTLB_CHECKED
+
+} // namespace
+} // namespace atlb

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Corruption-injection tests for the structural invariant checkers:
+ * deliberately break each guarded invariant and assert the checker
+ * reports it (and that the verify*() wrappers die loudly). A checker
+ * that cannot detect planted corruption proves nothing about runs
+ * where it stays silent.
+ */
+
+#include <gtest/gtest.h>
+
+#include "check/invariants.hh"
+#include "common/types.hh"
+#include "mem/buddy_allocator.hh"
+#include "mmu/anchor_mmu.hh"
+#include "mmu/mmu_config.hh"
+#include "os/memory_map.hh"
+#include "os/table_builder.hh"
+#include "tlb/set_assoc_tlb.hh"
+
+namespace atlb
+{
+namespace
+{
+
+TlbEntry
+makeEntry(EntryKind kind, std::uint64_t key, Ppn ppn)
+{
+    TlbEntry e;
+    e.kind = kind;
+    e.key = key;
+    e.ppn = ppn;
+    e.valid = true;
+    return e;
+}
+
+// ---------------------------------------------------------------- TLB --
+
+TEST(TlbInvariants, CleanTlbPasses)
+{
+    SetAssocTlb tlb(16, 4, "t");
+    for (std::uint64_t k = 0; k < 12; ++k)
+        tlb.insert(makeEntry(EntryKind::Page4K, k, 100 + k));
+    EXPECT_TRUE(checkTlbInvariants(tlb).ok());
+    verifyTlbInvariants(tlb); // must not die
+}
+
+TEST(TlbInvariants, DetectsDuplicateTagInSet)
+{
+    SetAssocTlb tlb(16, 4, "t");
+    tlb.insert(makeEntry(EntryKind::Page4K, 4, 100));
+    // Plant a second valid entry with the same (kind, key) in another
+    // way of the same set — unreachable through insert(), which
+    // overwrites in place.
+    const unsigned set = static_cast<unsigned>(4 % tlb.numSets());
+    tlb.entryAtForTest(set, 3) = makeEntry(EntryKind::Page4K, 4, 200);
+    tlb.setLastUseForTest(set, 3, 1);
+
+    const InvariantReport report = checkTlbInvariants(tlb);
+    ASSERT_FALSE(report.ok());
+    EXPECT_NE(report.violations.front().find("duplicate tag"),
+              std::string::npos);
+}
+
+TEST(TlbInvariants, DetectsEntryInWrongSet)
+{
+    SetAssocTlb tlb(16, 4, "t");
+    // Key 1 indexes set 1; plant it in set 0.
+    tlb.entryAtForTest(0, 0) = makeEntry(EntryKind::Page4K, 1, 100);
+    tlb.setLastUseForTest(0, 0, 1);
+
+    const InvariantReport report = checkTlbInvariants(tlb);
+    ASSERT_FALSE(report.ok());
+    EXPECT_NE(report.violations.front().find("indexes set"),
+              std::string::npos);
+}
+
+TEST(TlbInvariants, DetectsAmbiguousLruOrder)
+{
+    SetAssocTlb tlb(16, 4, "t");
+    tlb.insert(makeEntry(EntryKind::Page4K, 0, 100));
+    tlb.insert(makeEntry(EntryKind::Page4K, 4, 101)); // same set (0)
+    const unsigned set = 0;
+    tlb.setLastUseForTest(set, 1, tlb.lastUseAt(set, 0));
+
+    const InvariantReport report = checkTlbInvariants(tlb);
+    ASSERT_FALSE(report.ok());
+    EXPECT_NE(report.violations.front().find("LRU"), std::string::npos);
+}
+
+TEST(TlbInvariants, DetectsTimestampBeyondClock)
+{
+    SetAssocTlb tlb(16, 4, "t");
+    tlb.insert(makeEntry(EntryKind::Page4K, 0, 100));
+    tlb.setLastUseForTest(0, 0, tlb.lruTick() + 1000);
+
+    const InvariantReport report = checkTlbInvariants(tlb);
+    ASSERT_FALSE(report.ok());
+    EXPECT_NE(report.violations.front().find("exceeds clock"),
+              std::string::npos);
+}
+
+TEST(TlbInvariantsDeathTest, VerifyDiesOnDuplicateTag)
+{
+    SetAssocTlb tlb(16, 4, "t");
+    tlb.insert(makeEntry(EntryKind::Page4K, 4, 100));
+    const unsigned set = static_cast<unsigned>(4 % tlb.numSets());
+    tlb.entryAtForTest(set, 3) = makeEntry(EntryKind::Page4K, 4, 200);
+    tlb.setLastUseForTest(set, 3, 1);
+    EXPECT_DEATH(verifyTlbInvariants(tlb), "duplicate tag");
+}
+
+// ------------------------------------------------------------- anchor --
+
+/** 24 mapped pages, then a hole; anchor distance 16. */
+constexpr Vpn anchorBase = 0x100000;
+constexpr std::uint64_t anchorDistance = 16;
+
+MemoryMap
+shortRunMap()
+{
+    MemoryMap m;
+    m.add(anchorBase, 0x5000, 24); // second anchor's run is 8 pages
+    m.finalize();
+    return m;
+}
+
+TEST(AnchorInvariants, CleanAnchorStatePasses)
+{
+    const MemoryMap map = shortRunMap();
+    PageTable table = buildAnchorPageTable(map, anchorDistance);
+    MmuConfig cfg;
+    AnchorMmu mmu(cfg, table, anchorDistance);
+    for (std::uint64_t i = 0; i < 24; ++i)
+        mmu.translate(vaOf(anchorBase + i));
+    EXPECT_TRUE(checkAnchorInvariants(mmu).ok());
+    verifyAnchorInvariants(mmu); // must not die
+}
+
+TEST(AnchorInvariants, DetectsContiguityCrossingUnmappedPage)
+{
+    const MemoryMap map = shortRunMap();
+    PageTable table = buildAnchorPageTable(map, anchorDistance);
+    // Corrupt the OS state: the second anchor (avpn +16) really covers
+    // 8 pages; claim the full distance, crossing into the hole at +24.
+    table.setAnchorContiguity(anchorBase + 16, anchorDistance,
+                              anchorDistance);
+
+    MmuConfig cfg;
+    AnchorMmu mmu(cfg, table, anchorDistance);
+    // Accessing a *mapped* page caches the over-long anchor entry; the
+    // translation itself is still correct, so only the invariant
+    // checker can expose the latent corruption.
+    mmu.translate(vaOf(anchorBase + 17));
+
+    const InvariantReport report = checkAnchorInvariants(mmu);
+    ASSERT_FALSE(report.ok());
+    EXPECT_NE(report.violations.front().find("crosses unmapped"),
+              std::string::npos);
+}
+
+TEST(AnchorInvariants, DetectsStaleContiguityAfterMigration)
+{
+    const MemoryMap map = shortRunMap();
+    PageTable table = buildAnchorPageTable(map, anchorDistance);
+    MmuConfig cfg;
+    AnchorMmu mmu(cfg, table, anchorDistance);
+    mmu.translate(vaOf(anchorBase + 3)); // caches anchor at +0
+
+    // The OS migrates a page inside the anchor's run but forgets the
+    // shootdown: the cached contiguity is now stale.
+    table.remap4K(anchorBase + 5, 0x9999);
+
+    const InvariantReport report = checkAnchorInvariants(mmu);
+    ASSERT_FALSE(report.ok());
+    EXPECT_NE(report.violations.front().find("disagrees"),
+              std::string::npos);
+}
+
+TEST(AnchorInvariantsDeathTest, VerifyDiesOnCorruptContiguity)
+{
+    const MemoryMap map = shortRunMap();
+    PageTable table = buildAnchorPageTable(map, anchorDistance);
+    table.setAnchorContiguity(anchorBase + 16, anchorDistance,
+                              anchorDistance);
+    MmuConfig cfg;
+    AnchorMmu mmu(cfg, table, anchorDistance);
+    mmu.translate(vaOf(anchorBase + 17));
+    EXPECT_DEATH(verifyAnchorInvariants(mmu), "crosses unmapped");
+}
+
+// -------------------------------------------------------------- buddy --
+
+TEST(BuddyInvariants, CleanAllocatorPasses)
+{
+    BuddyAllocator buddy(256, 6);
+    const Ppn a = buddy.allocate(2);
+    const Ppn b = buddy.allocate(0);
+    ASSERT_NE(a, invalidPpn);
+    ASSERT_NE(b, invalidPpn);
+    buddy.free(a, 2);
+    EXPECT_TRUE(checkBuddyInvariants(buddy).ok());
+    verifyBuddyInvariants(buddy); // must not die
+    buddy.free(b, 0);
+    EXPECT_TRUE(checkBuddyInvariants(buddy).ok());
+}
+
+TEST(BuddyInvariants, DetectsDoubleFree)
+{
+    BuddyAllocator buddy(64, 6);
+    const Ppn a = buddy.allocate(0);
+    ASSERT_NE(a, invalidPpn);
+    buddy.free(a, 0); // coalesces back into the big block
+    buddy.free(a, 0); // double free: overlaps the merged block
+
+    const InvariantReport report = checkBuddyInvariants(buddy);
+    ASSERT_FALSE(report.ok());
+    bool mentions_overlap_or_count = false;
+    for (const std::string &v : report.violations) {
+        if (v.find("overlap") != std::string::npos ||
+            v.find("counter") != std::string::npos) {
+            mentions_overlap_or_count = true;
+        }
+    }
+    EXPECT_TRUE(mentions_overlap_or_count);
+}
+
+TEST(BuddyInvariantsDeathTest, VerifyDiesOnDoubleFree)
+{
+    BuddyAllocator buddy(64, 6);
+    const Ppn a = buddy.allocate(0);
+    ASSERT_NE(a, invalidPpn);
+    buddy.free(a, 0);
+    buddy.free(a, 0);
+    EXPECT_DEATH(verifyBuddyInvariants(buddy), "buddy invariant");
+}
+
+} // namespace
+} // namespace atlb

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * TranslationOracle / DifferentialOracle: silent on correct pipelines,
+ * loud the moment a fast path and the authoritative page table diverge.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "check/translation_oracle.hh"
+#include "common/rng.hh"
+#include "mmu/anchor_mmu.hh"
+#include "mmu/baseline_mmu.hh"
+#include "mmu/cluster_mmu.hh"
+#include "mmu/colt_mmu.hh"
+#include "mmu/mmu_test_util.hh"
+#include "mmu/rmm_mmu.hh"
+#include "os/memory_map.hh"
+#include "os/page_table.hh"
+#include "os/table_builder.hh"
+
+namespace atlb
+{
+namespace
+{
+
+using test::baseVpn;
+
+TEST(TranslationOracle, SilentOnCorrectTranslations)
+{
+    const MemoryMap map = test::makeVariedMap();
+    PageTable table = buildAnchorPageTable(map, 16);
+    MmuConfig cfg;
+    AnchorMmu mmu(cfg, table, 16);
+    TranslationOracle oracle(mmu, &map);
+
+    Rng rng(5);
+    for (int i = 0; i < 2000; ++i) {
+        const Vpn vpn = baseVpn + 512 + rng.nextBounded(1024);
+        const TranslationResult r = oracle.translate(vaOf(vpn));
+        EXPECT_EQ(r.ppn, map.translate(vpn));
+    }
+    EXPECT_EQ(oracle.verified(), 2000u);
+}
+
+TEST(TranslationOracleDeathTest, CatchesFabricatedTranslation)
+{
+    // Plant a corrupt anchor whose contiguity reaches past the end of
+    // its 8-page run into unmapped VA space.
+    MemoryMap map;
+    map.add(0x100000, 0x5000, 24);
+    map.finalize();
+    PageTable table = buildAnchorPageTable(map, 16);
+    table.setAnchorContiguity(0x100000 + 16, 16, 16);
+
+    MmuConfig cfg;
+    AnchorMmu mmu(cfg, table, 16);
+    TranslationOracle oracle(mmu, &map);
+    // Caches the over-long anchor entry (translation still correct).
+    oracle.translate(vaOf(0x100000 + 17));
+    // The anchor fast path now fabricates a frame for an unmapped page
+    // without ever walking; only the oracle can notice.
+    EXPECT_DEATH(oracle.translate(vaOf(0x100000 + 25)), "unmapped vpn");
+}
+
+TEST(TranslationOracleDeathTest, CatchesStaleTlbAfterMigration)
+{
+    const MemoryMap map = test::makeVariedMap();
+    PageTable table = buildPageTable(map, false);
+    MmuConfig cfg;
+    BaselineMmu mmu(cfg, table);
+    TranslationOracle oracle(mmu, &map);
+
+    oracle.translate(test::va(2)); // now cached in the L1
+    // Migration without shootdown: the cached frame goes stale.
+    table.remap4K(baseVpn + 2, 0x4444);
+    EXPECT_DEATH(oracle.translate(test::va(2)), "frame");
+}
+
+TEST(DifferentialOracle, AllFiveSchemesAgree)
+{
+    const MemoryMap map = test::makeVariedMap();
+    PageTable plain = buildPageTable(map, false);
+    PageTable thp = buildPageTable(map, true);
+    PageTable anchored = buildAnchorPageTable(map, 32);
+
+    MmuConfig cfg;
+    BaselineMmu base(cfg, plain);
+    ColtMmu colt(cfg, plain);
+    ClusterMmu cluster(cfg, plain, false);
+    RmmMmu rmm(cfg, thp, map);
+    AnchorMmu anchor(cfg, anchored, 32);
+
+    DifferentialOracle diff(&map);
+    diff.attach(base);
+    diff.attach(colt);
+    diff.attach(cluster);
+    diff.attach(rmm);
+    diff.attach(anchor);
+
+    Rng rng(17);
+    const Vpn offsets[] = {0, 512, 4096, 8192};
+    const std::uint64_t lens[] = {8, 1024, 100, 3};
+    for (int i = 0; i < 1500; ++i) {
+        const unsigned c = static_cast<unsigned>(rng.nextBounded(4));
+        const Vpn vpn = baseVpn + offsets[c] + rng.nextBounded(lens[c]);
+        EXPECT_EQ(diff.translateAll(vaOf(vpn)), map.translate(vpn));
+    }
+    EXPECT_EQ(diff.steps(), 1500u);
+    for (const TranslationOracle &oracle : diff.oracles())
+        EXPECT_EQ(oracle.verified(), 1500u);
+}
+
+TEST(DifferentialOracleDeathTest, CatchesSchemeDivergence)
+{
+    const MemoryMap map = test::makeVariedMap();
+    PageTable plain = buildPageTable(map, false);
+    PageTable plain2 = buildPageTable(map, false);
+
+    MmuConfig cfg;
+    BaselineMmu a(cfg, plain);
+    BaselineMmu b(cfg, plain2, "base2");
+    DifferentialOracle diff(&map);
+    diff.attach(a);
+    diff.attach(b);
+
+    diff.translateAll(test::va(1)); // both agree while tables match
+    // One scheme's table silently drifts from the shared mapping.
+    plain2.remap4K(baseVpn + 1, 0x7777);
+    EXPECT_DEATH(diff.translateAll(test::va(1)), "frame|disagree");
+}
+
+} // namespace
+} // namespace atlb

@@ -94,7 +94,7 @@ TEST(Buddy, FreeCoalescesBuddies)
 TEST(Buddy, SplitLeavesBuddyFree)
 {
     BuddyAllocator b(1 << 10, 10);
-    b.allocate(0);
+    ASSERT_NE(b.allocate(0), invalidPpn);
     // Splitting a 1024 block down to order 0 leaves one free buddy at
     // each order 0..9.
     for (unsigned order = 0; order <= 9; ++order)
@@ -105,7 +105,7 @@ TEST(Buddy, LargestFreeOrderTracksState)
 {
     BuddyAllocator b(1 << 10, 10);
     EXPECT_EQ(b.largestFreeOrder(), 10);
-    b.allocate(0);
+    ASSERT_NE(b.allocate(0), invalidPpn);
     EXPECT_EQ(b.largestFreeOrder(), 9);
 }
 
@@ -141,7 +141,7 @@ TEST(Buddy, AllocateLargestCapsWantedOrder)
 TEST(Buddy, FreeBlockHistogramMatchesFreeLists)
 {
     BuddyAllocator b(1 << 8, 8);
-    b.allocate(0);
+    ASSERT_NE(b.allocate(0), invalidPpn);
     const Histogram h = b.freeBlockHistogram();
     // One free block at each of orders 0..7.
     for (unsigned order = 0; order < 8; ++order)
