@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Sweep-engine throughput bench: serial vs ANCHORTLB_THREADS workers.
+ *
+ * Runs one scenario's full workload x scheme grid twice — once with one
+ * thread (the exact serial path) and once with the configured worker
+ * count — and reports wall-clock time and simulated accesses per second
+ * for both, plus the speedup. A miss-count checksum cross-checks that
+ * both runs produced identical results (the engine's determinism
+ * guarantee). Results are written as machine-readable JSON to
+ * BENCH_throughput.json in the working directory (or argv[1]).
+ *
+ * Budget knobs: ANCHORTLB_ACCESSES (default 200k here, small enough for
+ * a CI smoke run), ANCHORTLB_SCALE, ANCHORTLB_THREADS.
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "common/logging.hh"
+#include "common/thread_pool.hh"
+#include "os/distance_selector.hh"
+#include "sim/parallel_runner.hh"
+#include "trace/workload.hh"
+
+namespace
+{
+
+using namespace atlb;
+using namespace atlb::bench;
+
+struct Measurement
+{
+    unsigned threads = 1;
+    double seconds = 0.0;
+    double accesses_per_sec = 0.0;
+    std::uint64_t miss_checksum = 0;
+};
+
+std::vector<CellJob>
+throughputJobs(ScenarioKind scenario)
+{
+    std::vector<CellJob> jobs;
+    for (const auto &workload : paperWorkloadNames())
+        for (const Scheme s : comparedSchemes())
+            jobs.push_back({workload, scenario, s, {}});
+    return jobs;
+}
+
+/** Simulations actually run: AnchorIdeal fans out over all distances. */
+std::uint64_t
+simulatedAccesses(const std::vector<CellJob> &jobs, std::uint64_t per_cell)
+{
+    const std::uint64_t fanout = candidateDistances().size();
+    std::uint64_t leaves = 0;
+    for (const CellJob &job : jobs)
+        leaves += job.scheme == Scheme::AnchorIdeal ? fanout : 1;
+    return leaves * per_cell;
+}
+
+Measurement
+measure(SimOptions opts, unsigned threads,
+        const std::vector<CellJob> &jobs)
+{
+    opts.threads = threads;
+    ParallelRunner runner(opts);
+
+    const auto start = std::chrono::steady_clock::now();
+    const std::vector<SimResult> results = runner.run(jobs);
+    const auto stop = std::chrono::steady_clock::now();
+
+    Measurement m;
+    m.threads = threads;
+    m.seconds = std::chrono::duration<double>(stop - start).count();
+    m.accesses_per_sec =
+        static_cast<double>(simulatedAccesses(jobs, opts.accesses)) /
+        m.seconds;
+    for (const SimResult &res : results)
+        m.miss_checksum += res.misses();
+    return m;
+}
+
+void
+emitJson(const std::string &path, const SimOptions &opts,
+         ScenarioKind scenario, std::size_t cells, const Measurement &serial,
+         const Measurement &parallel)
+{
+    std::ofstream out(path);
+    if (!out)
+        ATLB_FATAL("cannot write '{}'", path);
+    out << "{\n"
+        << "  \"bench\": \"bench_throughput\",\n"
+        << "  \"scenario\": \"" << scenarioName(scenario) << "\",\n"
+        << "  \"cells\": " << cells << ",\n"
+        << "  \"accesses_per_cell\": " << opts.accesses << ",\n"
+        << "  \"footprint_scale\": " << opts.footprint_scale << ",\n"
+        << "  \"hardware_concurrency\": " << hardwareThreadCount() << ",\n"
+        << "  \"serial\": {\n"
+        << "    \"threads\": 1,\n"
+        << "    \"seconds\": " << serial.seconds << ",\n"
+        << "    \"accesses_per_sec\": " << serial.accesses_per_sec << "\n"
+        << "  },\n"
+        << "  \"parallel\": {\n"
+        << "    \"threads\": " << parallel.threads << ",\n"
+        << "    \"seconds\": " << parallel.seconds << ",\n"
+        << "    \"accesses_per_sec\": " << parallel.accesses_per_sec
+        << "\n"
+        << "  },\n"
+        << "  \"speedup\": " << serial.seconds / parallel.seconds << ",\n"
+        << "  \"results_identical\": "
+        << (serial.miss_checksum == parallel.miss_checksum ? "true"
+                                                           : "false")
+        << "\n"
+        << "}\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    SimOptions opts = SimOptions::fromEnv();
+    if (!std::getenv("ANCHORTLB_ACCESSES"))
+        opts.accesses = 200'000;
+
+    const ScenarioKind scenario = ScenarioKind::MedContig;
+    const std::vector<CellJob> jobs = throughputJobs(scenario);
+    const unsigned threads = opts.threads;
+    const std::string json_path =
+        argc > 1 ? argv[1] : "BENCH_throughput.json";
+
+    printHeader("Sweep-engine throughput: serial vs " +
+                std::to_string(threads) + " thread(s)");
+    std::cout << "grid: " << paperWorkloadNames().size()
+              << " workloads x " << comparedSchemes().size()
+              << " schemes, scenario " << scenarioName(scenario) << ", "
+              << opts.accesses << " accesses/cell\n";
+
+    const Measurement serial = measure(opts, 1, jobs);
+    const Measurement parallel = measure(opts, threads, jobs);
+
+    if (serial.miss_checksum != parallel.miss_checksum) {
+        ATLB_FATAL("parallel run diverged from serial run "
+                   "(miss checksums differ)");
+    }
+
+    std::cout << "serial:   " << serial.seconds << " s, "
+              << static_cast<std::uint64_t>(serial.accesses_per_sec)
+              << " accesses/s\n"
+              << "parallel: " << parallel.seconds << " s, "
+              << static_cast<std::uint64_t>(parallel.accesses_per_sec)
+              << " accesses/s (threads=" << parallel.threads << ")\n"
+              << "speedup:  " << serial.seconds / parallel.seconds
+              << "x (hardware concurrency " << hardwareThreadCount()
+              << ")\n";
+
+    emitJson(json_path, opts, scenario, jobs.size(), serial, parallel);
+    std::cout << "wrote " << json_path << "\n";
+    return 0;
+}

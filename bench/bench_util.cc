@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "common/logging.hh"
+#include "sim/parallel_runner.hh"
 #include "trace/workload.hh"
 
 namespace atlb::bench
@@ -25,6 +27,32 @@ comparedSchemes()
     return schemes;
 }
 
+namespace
+{
+
+/** Index of Scheme::Base in comparedSchemes() (the denominator). */
+std::size_t
+baseSchemeColumn()
+{
+    const auto &schemes = comparedSchemes();
+    for (std::size_t i = 0; i < schemes.size(); ++i)
+        if (schemes[i] == Scheme::Base)
+            return i;
+    ATLB_FATAL("comparedSchemes() must include Scheme::Base");
+}
+
+} // namespace
+
+std::vector<SimResult>
+scenarioGrid(ExperimentContext &ctx, ScenarioKind scenario)
+{
+    std::vector<CellJob> jobs;
+    for (const auto &workload : paperWorkloadNames())
+        for (const Scheme s : comparedSchemes())
+            jobs.push_back({workload, scenario, s, {}});
+    return runCells(ctx, jobs);
+}
+
 Table
 relativeMissTable(ExperimentContext &ctx, ScenarioKind scenario,
                   const std::string &title)
@@ -36,16 +64,20 @@ relativeMissTable(ExperimentContext &ctx, ScenarioKind scenario,
     Table table(title, headers);
     std::vector<double> sums(comparedSchemes().size(), 0.0);
     const auto workloads = paperWorkloadNames();
+    const auto results = scenarioGrid(ctx, scenario);
 
-    for (const auto &workload : workloads) {
+    // One result row per workload, in comparedSchemes() order; the Base
+    // column is the denominator.
+    const std::size_t schemes = comparedSchemes().size();
+    const std::size_t base_col = baseSchemeColumn();
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
         const std::uint64_t base =
-            ctx.run(workload, scenario, Scheme::Base).misses();
+            results[w * schemes + base_col].misses();
         table.beginRow();
-        table.cell(workload);
-        for (std::size_t i = 0; i < comparedSchemes().size(); ++i) {
-            const SimResult r =
-                ctx.run(workload, scenario, comparedSchemes()[i]);
-            const double rel = relativeMisses(r.misses(), base);
+        table.cell(workloads[w]);
+        for (std::size_t i = 0; i < schemes; ++i) {
+            const double rel =
+                relativeMisses(results[w * schemes + i].misses(), base);
             sums[i] += rel;
             table.cellPercent(rel);
         }
@@ -62,14 +94,15 @@ meanRelativeMisses(ExperimentContext &ctx, ScenarioKind scenario)
 {
     std::vector<double> sums(comparedSchemes().size(), 0.0);
     const auto workloads = paperWorkloadNames();
-    for (const auto &workload : workloads) {
+    const auto results = scenarioGrid(ctx, scenario);
+    const std::size_t schemes = comparedSchemes().size();
+    const std::size_t base_col = baseSchemeColumn();
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
         const std::uint64_t base =
-            ctx.run(workload, scenario, Scheme::Base).misses();
-        for (std::size_t i = 0; i < comparedSchemes().size(); ++i) {
-            const SimResult r =
-                ctx.run(workload, scenario, comparedSchemes()[i]);
-            sums[i] += relativeMisses(r.misses(), base);
-        }
+            results[w * schemes + base_col].misses();
+        for (std::size_t i = 0; i < schemes; ++i)
+            sums[i] += relativeMisses(results[w * schemes + i].misses(),
+                                      base);
     }
     for (double &sum : sums)
         sum /= static_cast<double>(workloads.size());

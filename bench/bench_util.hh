@@ -27,6 +27,14 @@ SimOptions figureOptions();
 const std::vector<Scheme> &comparedSchemes();
 
 /**
+ * All (workload x scheme) cells of one scenario, run through the sweep
+ * engine (parallel when ctx.options().threads > 1). Results come back
+ * workload-major in paperWorkloadNames() x comparedSchemes() order.
+ */
+std::vector<SimResult> scenarioGrid(ExperimentContext &ctx,
+                                    ScenarioKind scenario);
+
+/**
  * Relative-miss table for one scenario over the 14 paper workloads:
  * one row per workload plus a final "mean" row — the format of paper
  * Figures 7 and 8.

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 #
 # Full correctness gate: clang-format (check only), clang-tidy, a
-# -Werror + ANCHORTLB_CHECKED build with the whole test suite, and the
-# same suite again under AddressSanitizer and UndefinedBehaviorSanitizer.
+# -Werror + ANCHORTLB_CHECKED build with the whole test suite (including
+# the parallel-engine determinism tests), the same suite again under
+# AddressSanitizer and UndefinedBehaviorSanitizer, and the concurrency
+# suites (thread pool + parallel sweep engine) under ThreadSanitizer.
 #
 # This is the tier-1 entry point (see ROADMAP.md). The fast inner loop
 # remains:  cmake -B build -S . && cmake --build build -j && ctest
@@ -85,11 +87,25 @@ build_and_test() {
 
 build_and_test build-checked || failures+=("checked build")
 
+# TSan over the concurrency suites only: the full grid under TSan is
+# slow, and everything else is single-threaded by construction.
+tsan_leg() {
+    note "build build-tsan (ThreadSanitizer, concurrency suites)"
+    cmake -S "$repo" -B "$repo/build-tsan" -DANCHORTLB_WERROR=ON \
+        -DANCHORTLB_SANITIZE=thread > /dev/null
+    cmake --build "$repo/build-tsan" -j "$jobs" \
+        --target test_common test_sim
+    (cd "$repo/build-tsan" &&
+        ctest --output-on-failure -j "$jobs" \
+            -R 'ThreadPool|ParallelRunner')
+}
+
 if [[ $fast == 0 ]]; then
     build_and_test build-asan -DANCHORTLB_SANITIZE=address ||
         failures+=("asan build")
     build_and_test build-ubsan -DANCHORTLB_SANITIZE=undefined ||
         failures+=("ubsan build")
+    tsan_leg || failures+=("tsan build")
 else
     note "--fast: skipping sanitizer builds"
 fi

@@ -1,0 +1,92 @@
+#include "thread_pool.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace atlb
+{
+
+unsigned
+configuredThreadCount()
+{
+    if (const char *v = std::getenv("ANCHORTLB_THREADS")) {
+        const unsigned long n = std::strtoul(v, nullptr, 10);
+        if (n == 0)
+            ATLB_FATAL("ANCHORTLB_THREADS must be >= 1 (got '{}')", v);
+        return static_cast<unsigned>(n);
+    }
+    return hardwareThreadCount();
+}
+
+unsigned
+hardwareThreadCount()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = 1;
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> job)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ATLB_ASSERT(!stop_, "submit() on a stopping ThreadPool");
+        queue_.push_back(std::move(job));
+        ++unfinished_;
+    }
+    work_cv_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_cv_.wait(lock, [this] { return unfinished_ == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            work_cv_.wait(lock,
+                          [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stop_ set and nothing left to drain
+            job = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        job();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --unfinished_;
+            if (unfinished_ == 0)
+                idle_cv_.notify_all();
+        }
+    }
+}
+
+} // namespace atlb

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Fixed-size thread pool for the parallel experiment engine.
+ *
+ * Deliberately minimal: a bounded set of worker threads draining a FIFO
+ * job queue, plus a wait() barrier. Determinism is the callers'
+ * responsibility — every job submitted by the sweep engine derives all
+ * of its randomness from per-cell seeds, so execution order never
+ * affects results (see sim/parallel_runner.hh).
+ */
+
+#ifndef ANCHORTLB_COMMON_THREAD_POOL_HH
+#define ANCHORTLB_COMMON_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace atlb
+{
+
+/**
+ * Number of worker threads tools should use: the ANCHORTLB_THREADS
+ * environment variable when set (must be >= 1), else the hardware
+ * concurrency (minimum 1). 1 means "stay on the caller's thread".
+ */
+unsigned configuredThreadCount();
+
+/** Hardware concurrency as reported by the OS (minimum 1). */
+unsigned hardwareThreadCount();
+
+/** Fixed-size FIFO thread pool. */
+class ThreadPool
+{
+  public:
+    /** Spawn @p threads workers (at least 1). */
+    explicit ThreadPool(unsigned threads);
+
+    /** Drains the queue, then joins every worker. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /**
+     * Enqueue one job. Jobs must not throw: a fatal error inside a job
+     * terminates the process (matching ATLB_FATAL semantics elsewhere).
+     */
+    void submit(std::function<void()> job);
+
+    /** Block until every submitted job has finished executing. */
+    void wait();
+
+    unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable work_cv_; //!< signalled on submit/stop
+    std::condition_variable idle_cv_; //!< signalled when a job finishes
+    std::size_t unfinished_ = 0;      //!< queued + currently running
+    bool stop_ = false;
+};
+
+} // namespace atlb
+
+#endif // ANCHORTLB_COMMON_THREAD_POOL_HH

@@ -22,18 +22,6 @@ Mmu::Mmu(const MmuConfig &config, const PageTable &table, std::string name)
 Mmu::~Mmu() = default;
 
 TranslationResult
-Mmu::translate(VirtAddr va)
-{
-    ++stats_.accesses;
-    const Vpn vpn = vpnOf(va);
-    const TranslationResult res = translateImpl(vpn);
-#ifdef ANCHORTLB_CHECKED
-    verifyTranslation(vpn, res);
-#endif
-    return res;
-}
-
-TranslationResult
 Mmu::translateImpl(Vpn vpn)
 {
     // L1 lookups (parallel with cache access: zero added latency).
@@ -47,7 +35,12 @@ Mmu::translateImpl(Vpn vpn)
         return {e->ppn + (vpn & (hugePages - 1)), 0, HitLevel::L1,
                 PageSize::Huge2M};
     }
+    return translateMiss(vpn);
+}
 
+TranslationResult
+Mmu::translateMiss(Vpn vpn)
+{
     TranslationResult res = translateL2(vpn);
     switch (res.level) {
       case HitLevel::L2Regular:

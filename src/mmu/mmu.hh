@@ -110,8 +110,35 @@ class Mmu
     /**
      * Translate one virtual address. Fatal if the address is unmapped
      * (the simulated workloads never touch unmapped memory).
+     *
+     * Inline so the common case — an L1 hit — never leaves the call
+     * site: the inlined SetAssocTlb lookups and the stats update are
+     * the entire fast path, and only L1 misses fall into the virtual
+     * scheme pipeline (translateMiss -> translateL2). Checked builds
+     * instead route every access through the out-of-line oracle path.
      */
-    TranslationResult translate(VirtAddr va);
+    TranslationResult translate(VirtAddr va)
+    {
+        ++stats_.accesses;
+        const Vpn vpn = vpnOf(va);
+#ifdef ANCHORTLB_CHECKED
+        const TranslationResult res = translateImpl(vpn);
+        verifyTranslation(vpn, res);
+        return res;
+#else
+        if (const TlbEntry *e = l1_4k_.lookup(EntryKind::Page4K, vpn)) {
+            ++stats_.l1_hits;
+            return {e->ppn, 0, HitLevel::L1, PageSize::Base4K};
+        }
+        if (const TlbEntry *e =
+                l1_2m_.lookup(EntryKind::Page2M, vpn >> hugeShift)) {
+            ++stats_.l1_hits;
+            return {e->ppn + (vpn & (hugePages - 1)), 0, HitLevel::L1,
+                    PageSize::Huge2M};
+        }
+        return translateMiss(vpn);
+#endif
+    }
 
     /** Invalidate all TLB state (context switch / shootdown). */
     virtual void flushAll();
@@ -195,7 +222,10 @@ class Mmu
     std::unique_ptr<WalkCache> pwc_;
     MmuStats stats_;
 
+    /** Full pipeline including the L1 probes (checked-build path). */
     TranslationResult translateImpl(Vpn vpn);
+    /** Post-L1-miss pipeline: scheme L2, stats buckets, L1 fill. */
+    TranslationResult translateMiss(Vpn vpn);
     void fillL1(Vpn vpn, const TranslationResult &res);
 
     /**

@@ -1,10 +1,13 @@
 #include "experiment.hh"
 
+#include <algorithm>
 #include <cstdlib>
 #include <functional>
 #include <limits>
+#include <vector>
 
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 #include "mmu/anchor_mmu.hh"
 #include "mmu/baseline_mmu.hh"
 #include "mmu/cluster_mmu.hh"
@@ -25,11 +28,88 @@ SimOptions::fromEnv()
         opts.footprint_scale = std::strtod(v, nullptr);
     if (const char *v = std::getenv("ANCHORTLB_SEED"))
         opts.seed = std::strtoull(v, nullptr, 10);
+    opts.threads = configuredThreadCount();
+    if (const char *v = std::getenv("ANCHORTLB_CACHE_PAIRS"))
+        opts.cache_pairs = std::strtoull(v, nullptr, 10);
     if (opts.accesses == 0)
         ATLB_FATAL("ANCHORTLB_ACCESSES must be positive");
     if (opts.footprint_scale <= 0.0 || opts.footprint_scale > 1.0)
         ATLB_FATAL("ANCHORTLB_SCALE must be in (0, 1]");
+    if (opts.cache_pairs == 0)
+        ATLB_FATAL("ANCHORTLB_CACHE_PAIRS must be >= 1");
     return opts;
+}
+
+WorkloadSpec
+scaledWorkloadSpec(const SimOptions &options, const std::string &workload)
+{
+    WorkloadSpec spec = findWorkload(workload);
+    spec.footprint_bytes = static_cast<std::uint64_t>(
+        static_cast<double>(spec.footprint_bytes) *
+        options.footprint_scale);
+    if (spec.footprint_bytes < pageBytes)
+        spec.footprint_bytes = pageBytes;
+    return spec;
+}
+
+ScenarioParams
+scenarioParamsFor(const SimOptions &options, const WorkloadSpec &spec)
+{
+    ScenarioParams p;
+    p.footprint_pages = spec.footprintPages();
+    p.seed = options.seed * 0x9e3779b9ULL + std::hash<std::string>{}(
+                                                spec.name);
+    p.demand_run_pages = spec.demand_run_pages;
+    p.eager_run_pages = spec.eager_run_pages;
+    p.demand_churn = spec.demand_churn;
+    p.map_tail_run_pages = spec.map_tail_run_pages;
+    p.map_tail_fraction = spec.map_tail_fraction;
+    return p;
+}
+
+SimResult
+runSchemeCell(const SimOptions &options, const WorkloadSpec &spec,
+              ScenarioKind scenario, const MemoryMap &map,
+              const PageTable &table, Scheme scheme,
+              std::uint64_t anchor_distance)
+{
+    const std::uint64_t trace_seed =
+        options.seed ^ (std::hash<std::string>{}(spec.name) * 31 + 7);
+    PatternTrace trace(spec, vaOf(0x7f0000000ULL), options.accesses,
+                       trace_seed);
+
+    std::unique_ptr<Mmu> mmu;
+    switch (scheme) {
+      case Scheme::Base:
+        mmu = std::make_unique<BaselineMmu>(options.mmu, table, "base");
+        break;
+      case Scheme::Thp:
+        mmu = std::make_unique<BaselineMmu>(options.mmu, table, "thp");
+        break;
+      case Scheme::Cluster:
+        mmu = std::make_unique<ClusterMmu>(options.mmu, table, false);
+        break;
+      case Scheme::Cluster2MB:
+        mmu = std::make_unique<ClusterMmu>(options.mmu, table, true);
+        break;
+      case Scheme::Rmm:
+        mmu = std::make_unique<RmmMmu>(options.mmu, table, map);
+        break;
+      case Scheme::Anchor:
+      case Scheme::AnchorIdeal:
+        mmu = std::make_unique<AnchorMmu>(options.mmu, table,
+                                          anchor_distance);
+        break;
+    }
+    ATLB_ASSERT(mmu, "no MMU built for scheme");
+
+    SimResult res = runSimulation(*mmu, trace, spec.mem_per_instr);
+    res.workload = spec.name;
+    res.scenario = scenarioName(scenario);
+    res.scheme = schemeName(scheme);
+    if (scheme == Scheme::Anchor || scheme == Scheme::AnchorIdeal)
+        res.anchor_distance = anchor_distance;
+    return res;
 }
 
 /** Cached expensive state for one (workload, scenario) pair. */
@@ -51,6 +131,8 @@ struct ExperimentContext::PairState
 ExperimentContext::ExperimentContext(SimOptions options)
     : options_(options)
 {
+    if (options_.cache_pairs == 0)
+        options_.cache_pairs = 1;
 }
 
 ExperimentContext::~ExperimentContext() = default;
@@ -61,48 +143,36 @@ ExperimentContext::clearCache()
     cache_.clear();
 }
 
-ScenarioParams
-ExperimentContext::scenarioParams(const WorkloadSpec &spec) const
-{
-    ScenarioParams p;
-    p.footprint_pages = spec.footprintPages();
-    p.seed = options_.seed * 0x9e3779b9ULL + std::hash<std::string>{}(
-                                                 spec.name);
-    p.demand_run_pages = spec.demand_run_pages;
-    p.eager_run_pages = spec.eager_run_pages;
-    p.demand_churn = spec.demand_churn;
-    p.map_tail_run_pages = spec.map_tail_run_pages;
-    p.map_tail_fraction = spec.map_tail_fraction;
-    return p;
-}
-
 ExperimentContext::PairState &
 ExperimentContext::pairState(const std::string &workload,
                              ScenarioKind scenario)
 {
-    for (auto &entry : cache_) {
-        if (entry->workload == workload && entry->scenario == scenario)
-            return *entry;
+    for (auto it = cache_.begin(); it != cache_.end(); ++it) {
+        if ((*it)->workload == workload && (*it)->scenario == scenario) {
+            // LRU: move the hit to the back (most recently used) so
+            // revisited pairs survive sweeps over other pairs.
+            if (std::next(it) != cache_.end()) {
+                auto entry = std::move(*it);
+                cache_.erase(it);
+                cache_.push_back(std::move(entry));
+            }
+            return *cache_.back();
+        }
     }
 
     auto state = std::make_unique<PairState>();
     state->workload = workload;
     state->scenario = scenario;
-    state->spec = findWorkload(workload);
-    state->spec.footprint_bytes = static_cast<std::uint64_t>(
-        static_cast<double>(state->spec.footprint_bytes) *
-        options_.footprint_scale);
-    if (state->spec.footprint_bytes < pageBytes)
-        state->spec.footprint_bytes = pageBytes;
-
-    state->map = buildScenario(scenario, scenarioParams(state->spec));
+    state->spec = scaledWorkloadSpec(options_, workload);
+    state->map = buildScenario(scenario,
+                               scenarioParamsFor(options_, state->spec));
     state->dynamic_distance =
         selectAnchorDistance(state->map.contiguityHistogram()).distance;
 
     cache_.push_back(std::move(state));
-    // Page tables are tens of MB for big footprints: keep only a couple
-    // of pairs alive.
-    while (cache_.size() > 2)
+    // Page tables are tens of MB for big footprints: bound the number of
+    // pairs kept alive (ANCHORTLB_CACHE_PAIRS), evicting the LRU front.
+    while (cache_.size() > options_.cache_pairs)
         cache_.pop_front();
     return *cache_.back();
 }
@@ -125,45 +195,23 @@ SimResult
 ExperimentContext::runScheme(PairState &state, Scheme scheme,
                              std::uint64_t anchor_distance)
 {
-    const std::uint64_t trace_seed =
-        options_.seed ^ (std::hash<std::string>{}(state.workload) * 31 + 7);
-    PatternTrace trace(state.spec, vaOf(0x7f0000000ULL), options_.accesses,
-                       trace_seed);
-
-    std::unique_ptr<Mmu> mmu;
+    const PageTable *table = nullptr;
     switch (scheme) {
       case Scheme::Base:
-        if (!state.plain_table)
-            state.plain_table = buildPageTable(state.map, false);
-        mmu = std::make_unique<BaselineMmu>(options_.mmu,
-                                            *state.plain_table, "base");
-        break;
-      case Scheme::Thp:
-        if (!state.thp_table)
-            state.thp_table = buildPageTable(state.map, true);
-        mmu = std::make_unique<BaselineMmu>(options_.mmu, *state.thp_table,
-                                            "thp");
-        break;
       case Scheme::Cluster:
         if (!state.plain_table)
             state.plain_table = buildPageTable(state.map, false);
-        mmu = std::make_unique<ClusterMmu>(options_.mmu,
-                                           *state.plain_table, false);
+        table = &*state.plain_table;
         break;
+      case Scheme::Thp:
       case Scheme::Cluster2MB:
-        if (!state.thp_table)
-            state.thp_table = buildPageTable(state.map, true);
-        mmu = std::make_unique<ClusterMmu>(options_.mmu, *state.thp_table,
-                                           true);
-        break;
       case Scheme::Rmm:
         if (!state.thp_table)
             state.thp_table = buildPageTable(state.map, true);
-        mmu = std::make_unique<RmmMmu>(options_.mmu, *state.thp_table,
-                                       state.map);
+        table = &*state.thp_table;
         break;
       case Scheme::Anchor:
-      case Scheme::AnchorIdeal: {
+      case Scheme::AnchorIdeal:
         if (!state.anchor_table) {
             state.anchor_table = buildPageTable(state.map, true);
             state.anchor_table_distance = 0;
@@ -172,21 +220,55 @@ ExperimentContext::runScheme(PairState &state, Scheme scheme,
             state.anchor_table->sweepAnchors(state.map, anchor_distance);
             state.anchor_table_distance = anchor_distance;
         }
-        mmu = std::make_unique<AnchorMmu>(options_.mmu,
-                                          *state.anchor_table,
-                                          anchor_distance);
+        table = &*state.anchor_table;
         break;
-      }
     }
-    ATLB_ASSERT(mmu, "no MMU built for scheme");
+    ATLB_ASSERT(table, "no page table built for scheme");
+    return runSchemeCell(options_, state.spec, state.scenario, state.map,
+                         *table, scheme, anchor_distance);
+}
 
-    SimResult res = runSimulation(*mmu, trace, state.spec.mem_per_instr);
-    res.workload = state.workload;
-    res.scenario = scenarioName(state.scenario);
-    res.scheme = schemeName(scheme);
-    if (scheme == Scheme::Anchor || scheme == Scheme::AnchorIdeal)
-        res.anchor_distance = anchor_distance;
-    return res;
+SimResult
+ExperimentContext::runIdealSweep(PairState &state)
+{
+    // Oracle: exhaustively sweep every candidate distance, keep the run
+    // with the fewest misses (paper's "static ideal"). Candidates are
+    // independent cells, so with threads > 1 they run across a pool —
+    // each job builds its own anchor-swept table from the shared
+    // read-only mapping, and the reduction below walks candidates in
+    // their canonical order so ties resolve exactly as the serial loop.
+    const std::vector<std::uint64_t> distances = candidateDistances();
+    ATLB_ASSERT(!distances.empty(), "no candidate anchor distances");
+    std::vector<SimResult> runs(distances.size());
+
+    const unsigned threads = std::min<unsigned>(
+        options_.threads, static_cast<unsigned>(distances.size()));
+    if (threads > 1) {
+        ThreadPool pool(threads);
+        for (std::size_t i = 0; i < distances.size(); ++i) {
+            pool.submit([this, &state, &distances, &runs, i] {
+                const PageTable table =
+                    buildAnchorPageTable(state.map, distances[i]);
+                runs[i] = runSchemeCell(options_, state.spec,
+                                        state.scenario, state.map, table,
+                                        Scheme::AnchorIdeal, distances[i]);
+            });
+        }
+        pool.wait();
+    } else {
+        for (std::size_t i = 0; i < distances.size(); ++i)
+            runs[i] = runScheme(state, Scheme::AnchorIdeal, distances[i]);
+    }
+
+    std::size_t best = 0;
+    std::uint64_t best_misses = std::numeric_limits<std::uint64_t>::max();
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        if (runs[i].misses() < best_misses) {
+            best_misses = runs[i].misses();
+            best = i;
+        }
+    }
+    return runs[best];
 }
 
 SimResult
@@ -196,21 +278,8 @@ ExperimentContext::run(const std::string &workload, ScenarioKind scenario,
 {
     PairState &state = pairState(workload, scenario);
 
-    if (scheme == Scheme::AnchorIdeal) {
-        // Oracle: exhaustively sweep every candidate distance, keep the
-        // run with the fewest misses (paper's "static ideal").
-        SimResult best;
-        std::uint64_t best_misses =
-            std::numeric_limits<std::uint64_t>::max();
-        for (const std::uint64_t d : candidateDistances()) {
-            SimResult r = runScheme(state, scheme, d);
-            if (r.misses() < best_misses) {
-                best_misses = r.misses();
-                best = r;
-            }
-        }
-        return best;
-    }
+    if (scheme == Scheme::AnchorIdeal)
+        return runIdealSweep(state);
 
     std::uint64_t distance = 0;
     if (scheme == Scheme::Anchor) {

@@ -13,6 +13,7 @@
 #ifndef ANCHORTLB_SIM_EXPERIMENT_HH
 #define ANCHORTLB_SIM_EXPERIMENT_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -44,12 +45,48 @@ struct SimOptions
      * L2 TLB reach.
      */
     double footprint_scale = 1.0;
+    /**
+     * Worker threads for the sweep engine and the AnchorIdeal distance
+     * sweep. 1 (the default here) is the serial path; fromEnv() sets
+     * ANCHORTLB_THREADS, falling back to the hardware concurrency.
+     * Results are identical for every thread count — all randomness is
+     * derived from per-cell seeds.
+     */
+    unsigned threads = 1;
+    /**
+     * Capacity of ExperimentContext's per-(workload, scenario) state
+     * cache, in pairs (LRU eviction). Page tables dominate the cost:
+     * budget roughly tens of MB per cached pair at full footprints.
+     */
+    std::size_t cache_pairs = 2;
     /** Hardware parameters (paper Table 3 defaults). */
     MmuConfig mmu;
 
-    /** Read accesses/scale overrides from ANCHORTLB_* env vars. */
+    /** Read accesses/scale/threads overrides from ANCHORTLB_* env vars. */
     static SimOptions fromEnv();
 };
+
+/** Footprint-scaled catalog spec for @p workload (fatal if unknown). */
+WorkloadSpec scaledWorkloadSpec(const SimOptions &options,
+                                const std::string &workload);
+
+/** Scenario-construction parameters for @p spec under @p options. */
+ScenarioParams scenarioParamsFor(const SimOptions &options,
+                                 const WorkloadSpec &spec);
+
+/**
+ * Run one fully specified cell: build @p scheme's MMU over the prebuilt
+ * @p table and stream the workload's trace through it. @p table must
+ * match the scheme's table flavour (plain 4KB for Base/Cluster, THP for
+ * THP/Cluster-2MB/RMM, anchor-swept at @p anchor_distance for the
+ * anchor schemes). This is the shared cell body of both the serial
+ * ExperimentContext path and the parallel sweep engine, which is what
+ * makes the two bit-identical.
+ */
+SimResult runSchemeCell(const SimOptions &options, const WorkloadSpec &spec,
+                        ScenarioKind scenario, const MemoryMap &map,
+                        const PageTable &table, Scheme scheme,
+                        std::uint64_t anchor_distance);
 
 /** Runs experiment cells with caching of expensive per-pair state. */
 class ExperimentContext
@@ -88,13 +125,14 @@ class ExperimentContext
     struct PairState;
 
     SimOptions options_;
+    /** LRU order: front = coldest, back = most recently used. */
     std::deque<std::unique_ptr<PairState>> cache_;
 
     PairState &pairState(const std::string &workload,
                          ScenarioKind scenario);
-    ScenarioParams scenarioParams(const WorkloadSpec &spec) const;
     SimResult runScheme(PairState &state, Scheme scheme,
                         std::uint64_t anchor_distance);
+    SimResult runIdealSweep(PairState &state);
 };
 
 /**

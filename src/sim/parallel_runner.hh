@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Parallel sweep engine for experiment grids.
+ *
+ * The paper's evaluation is a design-space sweep: workloads x mapping
+ * scenarios x schemes, with AnchorIdeal cells additionally fanning out
+ * over every candidate anchor distance. Cells are embarrassingly
+ * parallel — every source of randomness derives from per-cell seeds
+ * (SimOptions::seed x workload name x scenario), never from execution
+ * order — so the engine runs them across a fixed-size thread pool and
+ * collects results in submission order, making the output byte-identical
+ * to a serial run for any thread count (enforced by
+ * tests/sim/test_parallel_runner.cc).
+ *
+ * Scheduling: expensive per-(workload, scenario) state — the mapping and
+ * the plain/THP page tables — is built once per pair (by whichever
+ * worker gets there first) and shared read-only by that pair's scheme
+ * jobs; anchor jobs build their own distance-swept table from the shared
+ * mapping since the sweep mutates the table. Leaves are enqueued in pair
+ * order and each pair's state is freed when its last leaf completes, so
+ * peak memory stays near (threads + 1) live pairs rather than the whole
+ * grid.
+ */
+
+#ifndef ANCHORTLB_SIM_PARALLEL_RUNNER_HH
+#define ANCHORTLB_SIM_PARALLEL_RUNNER_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+
+namespace atlb
+{
+
+/** One experiment cell: the unit of parallel scheduling. */
+struct CellJob
+{
+    std::string workload;
+    ScenarioKind scenario = ScenarioKind::Demand;
+    Scheme scheme = Scheme::Base;
+    /** Anchor scheme only: fixed distance instead of the dynamic one. */
+    std::optional<std::uint64_t> distance_override{};
+};
+
+/**
+ * Runs batches of cells, serially (threads == 1: the exact
+ * ExperimentContext path) or across a thread pool. Results come back in
+ * submission order and are identical either way.
+ */
+class ParallelRunner
+{
+  public:
+    /** @p options.threads picks the worker count (1 = serial). */
+    explicit ParallelRunner(SimOptions options);
+
+    std::vector<SimResult> run(const std::vector<CellJob> &jobs);
+
+    unsigned threads() const { return options_.threads; }
+    const SimOptions &options() const { return options_; }
+
+  private:
+    SimOptions options_;
+};
+
+/**
+ * Convenience for the bench helpers: run @p jobs through @p ctx when
+ * ctx.options().threads == 1 (reusing its warm pair cache), else through
+ * the parallel engine with the same options. Same results either way.
+ */
+std::vector<SimResult> runCells(ExperimentContext &ctx,
+                                const std::vector<CellJob> &jobs);
+
+} // namespace atlb
+
+#endif // ANCHORTLB_SIM_PARALLEL_RUNNER_HH

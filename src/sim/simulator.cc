@@ -36,9 +36,15 @@ SimResult
 runSimulation(Mmu &mmu, TraceSource &trace, double mem_per_instr)
 {
     ATLB_ASSERT(mem_per_instr > 0.0, "mem_per_instr must be positive");
-    MemAccess access;
-    while (trace.next(access))
-        mmu.translate(access.vaddr);
+    // Pull accesses in chunks: one virtual fill() per batch instead of
+    // one virtual next() per access keeps the generator's state hot and
+    // lets the translate loop run branch-predictably.
+    constexpr std::size_t batch = 1024;
+    MemAccess buffer[batch];
+    while (const std::size_t n = trace.fill(buffer, batch)) {
+        for (std::size_t i = 0; i < n; ++i)
+            mmu.translate(buffer[i].vaddr);
+    }
 
     SimResult res;
     res.scheme = mmu.name();

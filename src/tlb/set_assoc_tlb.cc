@@ -7,7 +7,8 @@ namespace atlb
 {
 
 SetAssocTlb::SetAssocTlb(unsigned entries, unsigned ways, std::string name)
-    : num_sets_(entries / ways), ways_(ways), name_(std::move(name))
+    : num_sets_(entries / ways), ways_(ways), set_mask_(num_sets_ - 1),
+      name_(std::move(name))
 {
     ATLB_ASSERT(ways > 0 && entries > 0 && entries % ways == 0,
                 "TLB '{}': {} entries not divisible by {} ways", name_,
@@ -15,34 +16,19 @@ SetAssocTlb::SetAssocTlb(unsigned entries, unsigned ways, std::string name)
     ATLB_ASSERT(isPow2(num_sets_),
                 "TLB '{}': {} sets is not a power of two", name_,
                 num_sets_);
-    ways_storage_.resize(static_cast<std::size_t>(num_sets_) * ways_);
-}
-
-const TlbEntry *
-SetAssocTlb::lookup(EntryKind kind, std::uint64_t key)
-{
-    ++stats_.lookups;
-    Way *set = setBase(setIndex(key));
-    for (unsigned w = 0; w < ways_; ++w) {
-        if (set[w].entry.valid && set[w].entry.kind == kind &&
-            set[w].entry.key == key) {
-            set[w].last_use = ++tick_;
-            ++stats_.hits;
-            return &set[w].entry;
-        }
-    }
-    return nullptr;
+    entries_.resize(static_cast<std::size_t>(num_sets_) * ways_);
+    last_use_.resize(entries_.size(), 0);
 }
 
 const TlbEntry *
 SetAssocTlb::probe(EntryKind kind, std::uint64_t key) const
 {
-    const Way *set = setBase(setIndex(key));
+    const std::size_t base =
+        static_cast<std::size_t>(setIndex(key)) * ways_;
     for (unsigned w = 0; w < ways_; ++w) {
-        if (set[w].entry.valid && set[w].entry.kind == kind &&
-            set[w].entry.key == key) {
-            return &set[w].entry;
-        }
+        const TlbEntry &e = entries_[base + w];
+        if (e.valid && e.kind == kind && e.key == key)
+            return &e;
     }
     return nullptr;
 }
@@ -51,48 +37,51 @@ void
 SetAssocTlb::insert(const TlbEntry &entry)
 {
     ATLB_ASSERT(entry.valid, "inserting invalid entry into '{}'", name_);
-    Way *set = setBase(setIndex(entry.key));
-    Way *victim = nullptr;
+    const std::size_t base =
+        static_cast<std::size_t>(setIndex(entry.key)) * ways_;
+    std::size_t victim = base;
     for (unsigned w = 0; w < ways_; ++w) {
-        if (set[w].entry.valid && set[w].entry.kind == entry.kind &&
-            set[w].entry.key == entry.key) {
-            victim = &set[w]; // overwrite in place
+        const std::size_t i = base + w;
+        const TlbEntry &e = entries_[i];
+        if (e.valid && e.kind == entry.kind && e.key == entry.key) {
+            victim = i; // overwrite in place
             break;
         }
-        if (!set[w].entry.valid) {
-            if (!victim || victim->entry.valid)
-                victim = &set[w];
-        } else if (!victim ||
-                   (victim->entry.valid &&
-                    set[w].last_use < victim->last_use)) {
-            victim = &set[w];
+        if (!e.valid) {
+            if (entries_[victim].valid)
+                victim = i; // first invalid way wins
+        } else if (entries_[victim].valid &&
+                   last_use_[i] < last_use_[victim]) {
+            victim = i; // least recently used valid way
         }
     }
-    if (victim->entry.valid &&
-        (victim->entry.kind != entry.kind || victim->entry.key != entry.key))
+    const TlbEntry &old = entries_[victim];
+    if (old.valid &&
+        (old.kind != entry.kind || old.key != entry.key))
         ++stats_.evictions;
-    victim->entry = entry;
-    victim->last_use = ++tick_;
+    entries_[victim] = entry;
+    last_use_[victim] = ++tick_;
     ++stats_.insertions;
 }
 
 void
 SetAssocTlb::flush()
 {
-    for (auto &w : ways_storage_) {
-        w.entry.valid = false;
-        w.last_use = 0;
-    }
+    for (TlbEntry &e : entries_)
+        e.valid = false;
+    for (std::uint64_t &t : last_use_)
+        t = 0;
 }
 
 void
 SetAssocTlb::invalidate(EntryKind kind, std::uint64_t key)
 {
-    Way *set = setBase(setIndex(key));
+    const std::size_t base =
+        static_cast<std::size_t>(setIndex(key)) * ways_;
     for (unsigned w = 0; w < ways_; ++w) {
-        if (set[w].entry.valid && set[w].entry.kind == kind &&
-            set[w].entry.key == key) {
-            set[w].entry.valid = false;
+        TlbEntry &e = entries_[base + w];
+        if (e.valid && e.kind == kind && e.key == key) {
+            e.valid = false;
             return;
         }
     }
@@ -103,7 +92,7 @@ SetAssocTlb::entryAt(unsigned set, unsigned way) const
 {
     ATLB_ASSERT(set < num_sets_ && way < ways_,
                 "entryAt({}, {}) out of range in '{}'", set, way, name_);
-    return setBase(set)[way].entry;
+    return entries_[slot(set, way)];
 }
 
 std::uint64_t
@@ -111,7 +100,7 @@ SetAssocTlb::lastUseAt(unsigned set, unsigned way) const
 {
     ATLB_ASSERT(set < num_sets_ && way < ways_,
                 "lastUseAt({}, {}) out of range in '{}'", set, way, name_);
-    return setBase(set)[way].last_use;
+    return last_use_[slot(set, way)];
 }
 
 TlbEntry &
@@ -120,7 +109,7 @@ SetAssocTlb::entryAtForTest(unsigned set, unsigned way)
     ATLB_ASSERT(set < num_sets_ && way < ways_,
                 "entryAtForTest({}, {}) out of range in '{}'", set, way,
                 name_);
-    return setBase(set)[way].entry;
+    return entries_[slot(set, way)];
 }
 
 void
@@ -129,15 +118,15 @@ SetAssocTlb::setLastUseForTest(unsigned set, unsigned way, std::uint64_t t)
     ATLB_ASSERT(set < num_sets_ && way < ways_,
                 "setLastUseForTest({}, {}) out of range in '{}'", set,
                 way, name_);
-    setBase(set)[way].last_use = t;
+    last_use_[slot(set, way)] = t;
 }
 
 unsigned
 SetAssocTlb::validCount() const
 {
     unsigned n = 0;
-    for (const auto &w : ways_storage_)
-        if (w.entry.valid)
+    for (const TlbEntry &e : entries_)
+        if (e.valid)
             ++n;
     return n;
 }

@@ -21,6 +21,7 @@
 #ifndef ANCHORTLB_TLB_SET_ASSOC_TLB_HH
 #define ANCHORTLB_TLB_SET_ASSOC_TLB_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -76,8 +77,27 @@ class SetAssocTlb
     /**
      * Look up (kind, key); updates LRU on hit.
      * @return the entry, or nullptr on miss.
+     *
+     * Defined inline: this is the hottest function in the simulator
+     * (several lookups per simulated access) and must disappear into
+     * its callers in optimised builds.
      */
-    const TlbEntry *lookup(EntryKind kind, std::uint64_t key);
+    const TlbEntry *lookup(EntryKind kind, std::uint64_t key)
+    {
+        ++stats_.lookups;
+        const std::size_t base =
+            static_cast<std::size_t>(key & set_mask_) * ways_;
+        const TlbEntry *set = entries_.data() + base;
+        for (unsigned w = 0; w < ways_; ++w) {
+            const TlbEntry &e = set[w];
+            if (e.key == key && e.valid && e.kind == kind) {
+                last_use_[base + w] = ++tick_;
+                ++stats_.hits;
+                return &e;
+            }
+        }
+        return nullptr;
+    }
 
     /**
      * Probe without updating LRU or statistics (for tests/inspection).
@@ -124,33 +144,29 @@ class SetAssocTlb
     void setLastUseForTest(unsigned set, unsigned way, std::uint64_t t);
 
   private:
-    struct Way
-    {
-        TlbEntry entry;
-        std::uint64_t last_use = 0;
-    };
-
     unsigned num_sets_;
     unsigned ways_;
+    std::uint64_t set_mask_; //!< num_sets_ - 1, hoisted off the hot path
     std::string name_;
-    std::vector<Way> ways_storage_; // num_sets_ * ways_, set-major
+    /**
+     * Flat set-major storage, split structure-of-arrays style: the
+     * lookup loop touches only entries_ (compare fields packed
+     * contiguously per set); LRU timestamps live in a parallel array so
+     * they stay off the compare path's cache lines.
+     */
+    std::vector<TlbEntry> entries_;       // num_sets_ * ways_
+    std::vector<std::uint64_t> last_use_; // parallel to entries_
     std::uint64_t tick_ = 0;
     TlbStats stats_;
 
     unsigned setIndex(std::uint64_t key) const
     {
-        return static_cast<unsigned>(key & (num_sets_ - 1));
+        return static_cast<unsigned>(key & set_mask_);
     }
 
-    Way *setBase(unsigned set)
+    std::size_t slot(unsigned set, unsigned way) const
     {
-        return ways_storage_.data() +
-               static_cast<std::size_t>(set) * ways_;
-    }
-    const Way *setBase(unsigned set) const
-    {
-        return ways_storage_.data() +
-               static_cast<std::size_t>(set) * ways_;
+        return static_cast<std::size_t>(set) * ways_ + way;
     }
 };
 

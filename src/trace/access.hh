@@ -12,6 +12,7 @@
 #ifndef ANCHORTLB_TRACE_ACCESS_HH
 #define ANCHORTLB_TRACE_ACCESS_HH
 
+#include <cstddef>
 #include <cstdint>
 
 #include "common/types.hh"
@@ -37,6 +38,21 @@ class TraceSource
      * @return false when the trace is exhausted (@p out untouched).
      */
     virtual bool next(MemAccess &out) = 0;
+
+    /**
+     * Produce up to @p max accesses into @p out and return how many
+     * were written (0 only when the trace is exhausted). The batched
+     * stream is identical to repeated next() calls; the base
+     * implementation simply loops, while hot generators override it to
+     * amortise the virtual dispatch across a whole chunk.
+     */
+    virtual std::size_t fill(MemAccess *out, std::size_t max)
+    {
+        std::size_t n = 0;
+        while (n < max && next(out[n]))
+            ++n;
+        return n;
+    }
 
     /** Rewind to the beginning of the stream. */
     virtual void reset() = 0;

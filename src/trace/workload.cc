@@ -138,12 +138,9 @@ PatternTrace::generate()
     return va_base_ + offset;
 }
 
-bool
-PatternTrace::next(MemAccess &out)
+void
+PatternTrace::produceOne(MemAccess &out)
 {
-    if (produced_ >= num_accesses_)
-        return false;
-    ++produced_;
     if (last_page_va_ != 0 && rng_.nextBool(spec_.page_reuse)) {
         out.vaddr = last_page_va_ + rng_.nextBounded(pageBytes / 8) * 8;
     } else {
@@ -151,7 +148,28 @@ PatternTrace::next(MemAccess &out)
         last_page_va_ = out.vaddr & ~(pageBytes - 1);
     }
     out.write = rng_.nextBool(spec_.write_fraction);
+}
+
+bool
+PatternTrace::next(MemAccess &out)
+{
+    if (produced_ >= num_accesses_)
+        return false;
+    ++produced_;
+    produceOne(out);
     return true;
+}
+
+std::size_t
+PatternTrace::fill(MemAccess *out, std::size_t max)
+{
+    const std::uint64_t left = num_accesses_ - produced_;
+    const std::size_t n = static_cast<std::size_t>(
+        std::min<std::uint64_t>(max, left));
+    produced_ += n;
+    for (std::size_t i = 0; i < n; ++i)
+        produceOne(out[i]);
+    return n;
 }
 
 namespace

@@ -133,6 +133,14 @@ class PatternTrace : public TraceSource
                  std::uint64_t num_accesses, std::uint64_t seed);
 
     bool next(MemAccess &out) override;
+
+    /**
+     * Batched generation: one virtual call per chunk instead of one per
+     * access. Produces exactly the stream next() would (the two paths
+     * share produceOne(); tests/trace/test_trace_fill.cc enforces it).
+     */
+    std::size_t fill(MemAccess *out, std::size_t max) override;
+
     void reset() override;
 
     const WorkloadSpec &spec() const { return spec_; }
@@ -165,6 +173,8 @@ class PatternTrace : public TraceSource
     void pickPhase();
     std::uint64_t hotPages(double fraction) const;
     VirtAddr generate();
+    /** Shared body of next()/fill(): one access, no exhaustion check. */
+    void produceOne(MemAccess &out);
 };
 
 } // namespace atlb

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests for the fixed-size thread pool behind the sweep engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "common/thread_pool.hh"
+
+namespace atlb
+{
+namespace
+{
+
+TEST(ThreadPool, RunsEverySubmittedJob)
+{
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, SingleWorkerStillDrainsQueue)
+{
+    ThreadPool pool(1);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 32; ++i)
+        pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ThreadPool, ZeroRequestedWorkersClampsToOne)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.size(), 1u);
+    std::atomic<int> count{0};
+    pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, WaitIsABarrierEvenForSlowJobs)
+{
+    ThreadPool pool(4);
+    std::atomic<int> done{0};
+    for (int i = 0; i < 8; ++i) {
+        pool.submit([&done] {
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+            ++done;
+        });
+    }
+    pool.wait();
+    EXPECT_EQ(done.load(), 8);
+}
+
+TEST(ThreadPool, ReusableAfterWait)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    pool.submit([&count] { ++count; });
+    pool.wait();
+    for (int i = 0; i < 10; ++i)
+        pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 11);
+}
+
+TEST(ThreadPool, DestructorDrainsPendingJobs)
+{
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 50; ++i)
+            pool.submit([&count] { ++count; });
+        // No wait(): the destructor must finish the queue before joining.
+    }
+    EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, SubmitFromWithinAJob)
+{
+    // A job enqueueing follow-up work must not deadlock, and wait()
+    // must cover the follow-up job too.
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    pool.submit([&pool, &count] {
+        ++count;
+        pool.submit([&count] { ++count; });
+    });
+    pool.wait();
+    EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPoolEnv, ConfiguredCountHonoursEnvVariable)
+{
+    ::setenv("ANCHORTLB_THREADS", "5", 1);
+    EXPECT_EQ(configuredThreadCount(), 5u);
+    ::unsetenv("ANCHORTLB_THREADS");
+}
+
+TEST(ThreadPoolEnv, ConfiguredCountDefaultsToHardware)
+{
+    ::unsetenv("ANCHORTLB_THREADS");
+    EXPECT_EQ(configuredThreadCount(), hardwareThreadCount());
+    EXPECT_GE(hardwareThreadCount(), 1u);
+}
+
+} // namespace
+} // namespace atlb

@@ -5,6 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "sim/experiment.hh"
 
 namespace atlb
@@ -121,6 +126,61 @@ TEST(Experiment, OptionsFromEnvDefaults)
     EXPECT_GT(opts.accesses, 0u);
     EXPECT_GT(opts.footprint_scale, 0.0);
     EXPECT_LE(opts.footprint_scale, 1.0);
+    EXPECT_GE(opts.threads, 1u);
+    EXPECT_GE(opts.cache_pairs, 1u);
+}
+
+TEST(Experiment, OptionsFromEnvReadsCachePairs)
+{
+    ::setenv("ANCHORTLB_CACHE_PAIRS", "7", 1);
+    EXPECT_EQ(SimOptions::fromEnv().cache_pairs, 7u);
+    ::unsetenv("ANCHORTLB_CACHE_PAIRS");
+}
+
+TEST(Experiment, CacheEvictionDoesNotChangeResults)
+{
+    // Thrash pattern: alternate pairs so a capacity-1 cache evicts and
+    // rebuilds every call. Rebuilt state must reproduce cached state.
+    SimOptions small = quickOptions();
+    small.cache_pairs = 1;
+    SimOptions big = quickOptions();
+    big.cache_pairs = 8;
+
+    ExperimentContext thrash(small);
+    ExperimentContext warm(big);
+
+    const std::vector<std::pair<std::string, ScenarioKind>> pairs = {
+        {"canneal", ScenarioKind::Demand},
+        {"canneal", ScenarioKind::MedContig},
+        {"sphinx3", ScenarioKind::Demand},
+        {"canneal", ScenarioKind::Demand}, // revisit after eviction
+    };
+    for (const auto &[workload, scenario] : pairs) {
+        for (const Scheme scheme : {Scheme::Base, Scheme::Anchor}) {
+            const SimResult a = thrash.run(workload, scenario, scheme);
+            const SimResult b = warm.run(workload, scenario, scheme);
+            EXPECT_EQ(a.stats.page_walks, b.stats.page_walks);
+            EXPECT_EQ(a.stats.l1_hits, b.stats.l1_hits);
+            EXPECT_EQ(a.anchor_distance, b.anchor_distance);
+        }
+    }
+}
+
+TEST(Experiment, RevisitedPairSurvivesLruSweep)
+{
+    // With capacity 2, touching A, B, A, C must keep A alive (LRU
+    // evicts B); the revisit must still return consistent state.
+    SimOptions opts = quickOptions();
+    opts.cache_pairs = 2;
+    ExperimentContext ctx(opts);
+
+    const std::uint64_t first =
+        ctx.dynamicDistance("canneal", ScenarioKind::MedContig);
+    ctx.dynamicDistance("sphinx3", ScenarioKind::MedContig);
+    ctx.dynamicDistance("canneal", ScenarioKind::MedContig);
+    ctx.dynamicDistance("omnetpp", ScenarioKind::MedContig);
+    EXPECT_EQ(ctx.dynamicDistance("canneal", ScenarioKind::MedContig),
+              first);
 }
 
 } // namespace

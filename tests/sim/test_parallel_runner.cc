@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Determinism regression tests for the parallel sweep engine: for any
+ * thread count, results must be identical — field for field — to the
+ * serial ExperimentContext path. This is the guarantee that lets every
+ * figure bench run parallel by default (ISSUE: THREADS=1 vs THREADS=8
+ * byte-identical output).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/parallel_runner.hh"
+
+namespace atlb
+{
+namespace
+{
+
+SimOptions
+quickOptions(unsigned threads)
+{
+    SimOptions opts;
+    opts.accesses = 15'000;
+    opts.seed = 42;
+    opts.footprint_scale = 0.02; // shrink footprints for test speed
+    opts.threads = threads;
+    return opts;
+}
+
+/** 3 workloads x 3 scenarios x all schemes: the regression grid. */
+std::vector<CellJob>
+regressionGrid()
+{
+    const std::vector<std::string> workloads = {"sphinx3", "omnetpp",
+                                                "canneal"};
+    const std::vector<ScenarioKind> scenarios = {
+        ScenarioKind::Demand, ScenarioKind::MedContig,
+        ScenarioKind::MaxContig};
+    std::vector<CellJob> jobs;
+    for (const auto &workload : workloads)
+        for (const ScenarioKind scenario : scenarios)
+            for (const Scheme scheme : allSchemes)
+                jobs.push_back({workload, scenario, scheme, {}});
+    return jobs;
+}
+
+void
+expectIdentical(const SimResult &a, const SimResult &b)
+{
+    EXPECT_EQ(a.workload, b.workload);
+    EXPECT_EQ(a.scenario, b.scenario);
+    EXPECT_EQ(a.scheme, b.scheme);
+    EXPECT_EQ(a.anchor_distance, b.anchor_distance);
+    EXPECT_EQ(a.stats.accesses, b.stats.accesses);
+    EXPECT_EQ(a.stats.l1_hits, b.stats.l1_hits);
+    EXPECT_EQ(a.stats.l2_regular_hits, b.stats.l2_regular_hits);
+    EXPECT_EQ(a.stats.coalesced_hits, b.stats.coalesced_hits);
+    EXPECT_EQ(a.stats.page_walks, b.stats.page_walks);
+    EXPECT_EQ(a.stats.translation_cycles, b.stats.translation_cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.l2_hit_cycles, b.l2_hit_cycles);
+    EXPECT_EQ(a.coalesced_cycles, b.coalesced_cycles);
+    EXPECT_EQ(a.walk_cycles, b.walk_cycles);
+}
+
+TEST(ParallelRunner, EightThreadsMatchSerialOnFullGrid)
+{
+    const std::vector<CellJob> jobs = regressionGrid();
+
+    ParallelRunner serial(quickOptions(1));
+    ParallelRunner parallel(quickOptions(8));
+    const std::vector<SimResult> a = serial.run(jobs);
+    const std::vector<SimResult> b = parallel.run(jobs);
+
+    ASSERT_EQ(a.size(), jobs.size());
+    ASSERT_EQ(b.size(), jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        SCOPED_TRACE(jobs[i].workload + "/" +
+                     scenarioName(jobs[i].scenario) + "/" +
+                     schemeName(jobs[i].scheme));
+        expectIdentical(a[i], b[i]);
+    }
+}
+
+TEST(ParallelRunner, ParallelMatchesExperimentContextCellByCell)
+{
+    // The engine must reproduce the original serial API exactly, not
+    // just itself at threads=1.
+    const std::vector<CellJob> jobs = regressionGrid();
+
+    ExperimentContext ctx(quickOptions(1));
+    ParallelRunner parallel(quickOptions(8));
+    const std::vector<SimResult> results = parallel.run(jobs);
+
+    ASSERT_EQ(results.size(), jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        SCOPED_TRACE(jobs[i].workload + "/" +
+                     scenarioName(jobs[i].scenario) + "/" +
+                     schemeName(jobs[i].scheme));
+        const SimResult expect = ctx.run(
+            jobs[i].workload, jobs[i].scenario, jobs[i].scheme,
+            jobs[i].distance_override);
+        expectIdentical(expect, results[i]);
+    }
+}
+
+TEST(ParallelRunner, DistanceOverrideHonoured)
+{
+    const CellJob job = {"canneal", ScenarioKind::MedContig,
+                         Scheme::Anchor, 64};
+
+    ParallelRunner parallel(quickOptions(4));
+    const std::vector<SimResult> results = parallel.run({job});
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].anchor_distance, 64u);
+
+    ExperimentContext ctx(quickOptions(1));
+    expectIdentical(ctx.run(job.workload, job.scenario, job.scheme, 64),
+                    results[0]);
+}
+
+TEST(ParallelRunner, RunCellsRoutesThroughContextWhenSerial)
+{
+    const std::vector<CellJob> jobs = {
+        {"canneal", ScenarioKind::Demand, Scheme::Base, {}},
+        {"canneal", ScenarioKind::Demand, Scheme::Anchor, {}},
+    };
+
+    ExperimentContext serial_ctx(quickOptions(1));
+    const std::vector<SimResult> serial = runCells(serial_ctx, jobs);
+
+    ExperimentContext parallel_ctx(quickOptions(8));
+    const std::vector<SimResult> parallel = runCells(parallel_ctx, jobs);
+
+    ASSERT_EQ(serial.size(), jobs.size());
+    ASSERT_EQ(parallel.size(), jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        expectIdentical(serial[i], parallel[i]);
+}
+
+TEST(ParallelRunner, EmptyJobListYieldsEmptyResults)
+{
+    ParallelRunner parallel(quickOptions(8));
+    EXPECT_TRUE(parallel.run({}).empty());
+}
+
+TEST(ParallelRunner, RepeatedParallelRunsAreStable)
+{
+    // Two runs of the same jobs through fresh pools must agree: no
+    // hidden shared state survives between runs.
+    const std::vector<CellJob> jobs = {
+        {"sphinx3", ScenarioKind::HighContig, Scheme::AnchorIdeal, {}},
+    };
+    ParallelRunner parallel(quickOptions(8));
+    const std::vector<SimResult> first = parallel.run(jobs);
+    const std::vector<SimResult> second = parallel.run(jobs);
+    ASSERT_EQ(first.size(), 1u);
+    ASSERT_EQ(second.size(), 1u);
+    expectIdentical(first[0], second[0]);
+}
+
+} // namespace
+} // namespace atlb
