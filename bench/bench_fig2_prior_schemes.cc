@@ -50,5 +50,6 @@ main()
                  "chunks but saturates;\nRMM is ineffective at "
                  "small/medium chunks and nearly eliminates misses at\n"
                  "large chunks.\n";
+    bench::printSweepSummary(ctx);
     return 0;
 }

@@ -39,5 +39,6 @@ main()
            "nearly matches it.\n"
            "  Dynamic is best-or-tied in every column; Static Ideal "
            "bounds it from below.\n";
+    bench::printSweepSummary(ctx);
     return 0;
 }

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Shard-scaling bench: serial vs K-sharded within-cell simulation.
+ *
+ * For every paper workload (MedContig, Base and Dynamic-anchor schemes)
+ * runs the cell serially and at K in {2, 4, 8} shards, and reports
+ * wall-clock speedup plus the accuracy cost: the absolute per-access
+ * miss-rate delta (the contract metric of sharded_runner.hh) and the
+ * relative page-walk error of the merged sharded result against the
+ * exact serial run. Results go to stdout as a table and to
+ * BENCH_shard_scaling.json (or argv[1]) for CI.
+ *
+ * Read the speedups with the host in mind: on a single-hardware-thread
+ * machine sharding only adds overhead (see EXPERIMENTS.md); the
+ * accuracy columns are the machine-independent payload.
+ *
+ * Budget knobs: ANCHORTLB_ACCESSES (default 200k here), ANCHORTLB_SCALE,
+ * ANCHORTLB_THREADS, ANCHORTLB_SHARD_WARMUP.
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "common/logging.hh"
+#include "common/thread_pool.hh"
+#include "os/distance_selector.hh"
+#include "os/table_builder.hh"
+#include "sim/sharded_runner.hh"
+#include "stats/json_writer.hh"
+#include "trace/workload.hh"
+
+namespace
+{
+
+using namespace atlb;
+using namespace atlb::bench;
+
+constexpr unsigned kShardCounts[] = {2, 4, 8};
+
+struct ShardPoint
+{
+    unsigned shards = 0;
+    double seconds = 0.0;
+    double speedup = 0.0;
+    std::uint64_t walks = 0;
+    double miss_rate_delta = 0.0;   //!< contract metric: walks/access
+    double l2_fraction_delta = 0.0; //!< informational
+    double relative_error = 0.0;
+};
+
+struct CellReport
+{
+    std::string workload;
+    std::string scheme;
+    std::uint64_t serial_walks = 0;
+    double serial_seconds = 0.0;
+    std::vector<ShardPoint> points;
+};
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+CellReport
+measureCell(const SimOptions &base_options, const std::string &workload,
+            ScenarioKind scenario, Scheme scheme)
+{
+    const WorkloadSpec spec = scaledWorkloadSpec(base_options, workload);
+    const MemoryMap map =
+        buildScenario(scenario, scenarioParamsFor(base_options, spec));
+    std::uint64_t distance = 0;
+    PageTable table;
+    if (scheme == Scheme::Anchor) {
+        distance = selectAnchorDistance(map.contiguityHistogram()).distance;
+        table = buildAnchorPageTable(map, distance);
+    } else {
+        table = buildPageTable(map, false);
+    }
+
+    CellReport report;
+    report.workload = workload;
+    report.scheme = schemeName(scheme);
+
+    SimOptions serial = base_options;
+    serial.shards = 1;
+    const auto serial_start = std::chrono::steady_clock::now();
+    const SimResult serial_res = runSchemeCell(serial, spec, scenario, map,
+                                               table, scheme, distance);
+    report.serial_seconds = secondsSince(serial_start);
+    report.serial_walks = serial_res.misses();
+
+    for (const unsigned k : kShardCounts) {
+        SimOptions opts = base_options;
+        opts.shards = k;
+        const auto start = std::chrono::steady_clock::now();
+        const ShardedResult sharded = runShardedCell(
+            opts, spec, scenario, map, table, scheme, distance);
+        ShardPoint point;
+        point.shards = k;
+        point.seconds = secondsSince(start);
+        point.speedup = point.seconds > 0.0
+                            ? report.serial_seconds / point.seconds
+                            : 0.0;
+        point.walks = sharded.merged.misses();
+
+        ShardAccuracy acc;
+        acc.serial = serial_res;
+        acc.sharded = sharded.merged;
+        acc.shard_count = k;
+        point.miss_rate_delta = acc.missRateDelta();
+        point.l2_fraction_delta = acc.l2FractionDelta();
+        point.relative_error = acc.relativeMissError();
+        report.points.push_back(point);
+    }
+    return report;
+}
+
+void
+emitJson(const std::string &path, const SimOptions &opts,
+         ScenarioKind scenario, const std::vector<CellReport> &cells,
+         double max_delta, double max_relative)
+{
+    std::ofstream out(path);
+    if (!out)
+        ATLB_FATAL("cannot write '{}'", path);
+    JsonWriter json(out);
+    json.beginObject();
+    json.field("bench", "bench_shard_scaling");
+    json.field("scenario", scenarioName(scenario));
+    json.field("accesses_per_cell", opts.accesses);
+    json.field("footprint_scale", opts.footprint_scale);
+    json.field("shard_warmup", opts.shard_warmup);
+    json.field("threads", opts.threads);
+    json.field("hardware_concurrency",
+               static_cast<std::uint64_t>(hardwareThreadCount()));
+    json.field("miss_rate_epsilon", shardMissRateEpsilon);
+    json.key("cells");
+    json.beginArray();
+    for (const CellReport &cell : cells) {
+        json.beginObject();
+        json.field("workload", cell.workload);
+        json.field("scheme", cell.scheme);
+        json.field("serial_walks", cell.serial_walks);
+        json.field("serial_seconds", cell.serial_seconds);
+        json.key("sharded");
+        json.beginArray();
+        for (const ShardPoint &p : cell.points) {
+            json.beginObject();
+            json.field("shards", p.shards);
+            json.field("walks", p.walks);
+            json.field("seconds", p.seconds);
+            json.field("speedup", p.speedup);
+            json.field("miss_rate_delta", p.miss_rate_delta);
+            json.field("l2_fraction_delta", p.l2_fraction_delta);
+            json.field("relative_miss_error", p.relative_error);
+            json.endObject();
+        }
+        json.endArray();
+        json.endObject();
+    }
+    json.endArray();
+    json.field("max_miss_rate_delta", max_delta);
+    json.field("max_relative_miss_error", max_relative);
+    json.field("all_within_epsilon", max_delta <= shardMissRateEpsilon);
+    json.endObject();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    SimOptions opts = SimOptions::fromEnv();
+    if (!std::getenv("ANCHORTLB_ACCESSES"))
+        opts.accesses = 200'000;
+    opts.shards = 1; // each measurement sets its own K
+
+    const ScenarioKind scenario = ScenarioKind::MedContig;
+    const std::string json_path =
+        argc > 1 ? argv[1] : "BENCH_shard_scaling.json";
+
+    printHeader("Within-cell shard scaling: serial vs K in {2, 4, 8}");
+    std::cout << "scenario " << scenarioName(scenario) << ", "
+              << opts.accesses << " accesses/cell, warmup "
+              << opts.shard_warmup << ", threads " << opts.threads
+              << " (hardware concurrency " << hardwareThreadCount()
+              << ")\n\n";
+
+    Table table("Shard scaling (speedup x / miss-rate delta)",
+                {"workload", "scheme", "serial walks", "K=2", "K=4",
+                 "K=8"});
+    std::vector<CellReport> cells;
+    double max_delta = 0.0, max_relative = 0.0;
+    for (const auto &workload : paperWorkloadNames()) {
+        for (const Scheme scheme : {Scheme::Base, Scheme::Anchor}) {
+            const CellReport cell =
+                measureCell(opts, workload, scenario, scheme);
+            table.beginRow();
+            table.cell(cell.workload);
+            table.cell(cell.scheme);
+            table.cell(cell.serial_walks);
+            for (const ShardPoint &p : cell.points) {
+                char buf[64];
+                std::snprintf(buf, sizeof(buf), "%.2fx / %.5f",
+                              p.speedup, p.miss_rate_delta);
+                table.cell(std::string(buf));
+                max_delta = std::max(max_delta, p.miss_rate_delta);
+                max_relative = std::max(max_relative, p.relative_error);
+            }
+            cells.push_back(cell);
+        }
+    }
+    table.printAscii(std::cout);
+    std::cout << "\nmax |miss-rate delta| (walks/access) " << max_delta
+              << " (declared epsilon " << shardMissRateEpsilon << "), "
+              << "max relative walk error " << max_relative << "\n";
+
+    emitJson(json_path, opts, scenario, cells, max_delta, max_relative);
+    std::cout << "wrote " << json_path << "\n";
+    return 0;
+}

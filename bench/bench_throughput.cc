@@ -27,6 +27,7 @@
 #include "common/thread_pool.hh"
 #include "os/distance_selector.hh"
 #include "sim/parallel_runner.hh"
+#include "stats/json_writer.hh"
 #include "trace/workload.hh"
 
 namespace
@@ -87,6 +88,18 @@ measure(SimOptions opts, unsigned threads,
 }
 
 void
+emitMeasurement(JsonWriter &json, const std::string &name,
+                const Measurement &m)
+{
+    json.key(name);
+    json.beginObject();
+    json.field("threads", m.threads);
+    json.field("seconds", m.seconds);
+    json.field("accesses_per_sec", m.accesses_per_sec);
+    json.endObject();
+}
+
+void
 emitJson(const std::string &path, const SimOptions &opts,
          ScenarioKind scenario, std::size_t cells, const Measurement &serial,
          const Measurement &parallel)
@@ -94,30 +107,23 @@ emitJson(const std::string &path, const SimOptions &opts,
     std::ofstream out(path);
     if (!out)
         ATLB_FATAL("cannot write '{}'", path);
-    out << "{\n"
-        << "  \"bench\": \"bench_throughput\",\n"
-        << "  \"scenario\": \"" << scenarioName(scenario) << "\",\n"
-        << "  \"cells\": " << cells << ",\n"
-        << "  \"accesses_per_cell\": " << opts.accesses << ",\n"
-        << "  \"footprint_scale\": " << opts.footprint_scale << ",\n"
-        << "  \"hardware_concurrency\": " << hardwareThreadCount() << ",\n"
-        << "  \"serial\": {\n"
-        << "    \"threads\": 1,\n"
-        << "    \"seconds\": " << serial.seconds << ",\n"
-        << "    \"accesses_per_sec\": " << serial.accesses_per_sec << "\n"
-        << "  },\n"
-        << "  \"parallel\": {\n"
-        << "    \"threads\": " << parallel.threads << ",\n"
-        << "    \"seconds\": " << parallel.seconds << ",\n"
-        << "    \"accesses_per_sec\": " << parallel.accesses_per_sec
-        << "\n"
-        << "  },\n"
-        << "  \"speedup\": " << serial.seconds / parallel.seconds << ",\n"
-        << "  \"results_identical\": "
-        << (serial.miss_checksum == parallel.miss_checksum ? "true"
-                                                           : "false")
-        << "\n"
-        << "}\n";
+    // CI greps this file for '"results_identical": true' — JsonWriter's
+    // `"key": value` layout is part of that contract.
+    JsonWriter json(out);
+    json.beginObject();
+    json.field("bench", "bench_throughput");
+    json.field("scenario", scenarioName(scenario));
+    json.field("cells", static_cast<std::uint64_t>(cells));
+    json.field("accesses_per_cell", opts.accesses);
+    json.field("footprint_scale", opts.footprint_scale);
+    json.field("hardware_concurrency",
+               static_cast<std::uint64_t>(hardwareThreadCount()));
+    emitMeasurement(json, "serial", serial);
+    emitMeasurement(json, "parallel", parallel);
+    json.field("speedup", serial.seconds / parallel.seconds);
+    json.field("results_identical",
+               serial.miss_checksum == parallel.miss_checksum);
+    json.endObject();
 }
 
 } // namespace

@@ -110,6 +110,19 @@ meanRelativeMisses(ExperimentContext &ctx, ScenarioKind scenario)
 }
 
 void
+printSweepSummary(const ExperimentContext &ctx)
+{
+    const auto &c = ctx.cacheCounters();
+    std::cerr << "### sweep summary: pair-cache capacity "
+              << ctx.cacheCapacity() << ", " << c.hits << "/" << c.lookups
+              << " hits (" << static_cast<int>(c.hitRate() * 100.0 + 0.5)
+              << "%)";
+    if (ctx.options().shards > 1)
+        std::cerr << ", " << ctx.options().shards << " shards/cell";
+    std::cerr << "\n";
+}
+
+void
 printHeader(const std::string &what)
 {
     std::cout << "\n### " << what << "\n"

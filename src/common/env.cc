@@ -1,0 +1,28 @@
+#include "env.hh"
+
+#include <cstdlib>
+
+namespace atlb
+{
+
+bool
+envPresent(const std::string &name)
+{
+    return std::getenv(name.c_str()) != nullptr;
+}
+
+std::uint64_t
+envU64(const std::string &name, std::uint64_t fallback)
+{
+    const char *v = std::getenv(name.c_str());
+    return v ? std::strtoull(v, nullptr, 10) : fallback;
+}
+
+double
+envDouble(const std::string &name, double fallback)
+{
+    const char *v = std::getenv(name.c_str());
+    return v ? std::strtod(v, nullptr) : fallback;
+}
+
+} // namespace atlb

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Typed readers for the ANCHORTLB_* environment knobs.
+ *
+ * Every tunable the binaries accept from the environment flows through
+ * these helpers so parsing and validation live in one place (SimOptions,
+ * the thread pool and the sharded runner all read their knobs here).
+ */
+
+#ifndef ANCHORTLB_COMMON_ENV_HH
+#define ANCHORTLB_COMMON_ENV_HH
+
+#include <cstdint>
+#include <string>
+
+namespace atlb
+{
+
+/** True when @p name is set (to anything, including empty). */
+bool envPresent(const std::string &name);
+
+/** Unsigned integer value of @p name, or @p fallback when unset. */
+std::uint64_t envU64(const std::string &name, std::uint64_t fallback);
+
+/** Double value of @p name, or @p fallback when unset. */
+double envDouble(const std::string &name, double fallback);
+
+} // namespace atlb
+
+#endif // ANCHORTLB_COMMON_ENV_HH

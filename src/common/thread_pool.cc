@@ -1,7 +1,6 @@
 #include "thread_pool.hh"
 
-#include <cstdlib>
-
+#include "common/env.hh"
 #include "common/logging.hh"
 
 namespace atlb
@@ -10,10 +9,10 @@ namespace atlb
 unsigned
 configuredThreadCount()
 {
-    if (const char *v = std::getenv("ANCHORTLB_THREADS")) {
-        const unsigned long n = std::strtoul(v, nullptr, 10);
+    if (envPresent("ANCHORTLB_THREADS")) {
+        const std::uint64_t n = envU64("ANCHORTLB_THREADS", 0);
         if (n == 0)
-            ATLB_FATAL("ANCHORTLB_THREADS must be >= 1 (got '{}')", v);
+            ATLB_FATAL("ANCHORTLB_THREADS must be >= 1");
         return static_cast<unsigned>(n);
     }
     return hardwareThreadCount();

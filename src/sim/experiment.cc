@@ -1,11 +1,11 @@
 #include "experiment.hh"
 
 #include <algorithm>
-#include <cstdlib>
 #include <functional>
 #include <limits>
 #include <vector>
 
+#include "common/env.hh"
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
 #include "mmu/anchor_mmu.hh"
@@ -14,6 +14,7 @@
 #include "mmu/rmm_mmu.hh"
 #include "os/distance_selector.hh"
 #include "os/table_builder.hh"
+#include "sim/sharded_runner.hh"
 
 namespace atlb
 {
@@ -22,21 +23,26 @@ SimOptions
 SimOptions::fromEnv()
 {
     SimOptions opts;
-    if (const char *v = std::getenv("ANCHORTLB_ACCESSES"))
-        opts.accesses = std::strtoull(v, nullptr, 10);
-    if (const char *v = std::getenv("ANCHORTLB_SCALE"))
-        opts.footprint_scale = std::strtod(v, nullptr);
-    if (const char *v = std::getenv("ANCHORTLB_SEED"))
-        opts.seed = std::strtoull(v, nullptr, 10);
+    opts.accesses = envU64("ANCHORTLB_ACCESSES", opts.accesses);
+    opts.footprint_scale =
+        envDouble("ANCHORTLB_SCALE", opts.footprint_scale);
+    opts.seed = envU64("ANCHORTLB_SEED", opts.seed);
     opts.threads = configuredThreadCount();
-    if (const char *v = std::getenv("ANCHORTLB_CACHE_PAIRS"))
-        opts.cache_pairs = std::strtoull(v, nullptr, 10);
+    opts.cache_pairs_from_env = envPresent("ANCHORTLB_CACHE_PAIRS");
+    opts.cache_pairs = static_cast<std::size_t>(
+        envU64("ANCHORTLB_CACHE_PAIRS", opts.cache_pairs));
+    opts.shards = static_cast<unsigned>(
+        envU64("ANCHORTLB_SHARDS", opts.shards));
+    opts.shard_warmup =
+        envU64("ANCHORTLB_SHARD_WARMUP", opts.shard_warmup);
     if (opts.accesses == 0)
         ATLB_FATAL("ANCHORTLB_ACCESSES must be positive");
     if (opts.footprint_scale <= 0.0 || opts.footprint_scale > 1.0)
         ATLB_FATAL("ANCHORTLB_SCALE must be in (0, 1]");
     if (opts.cache_pairs == 0)
         ATLB_FATAL("ANCHORTLB_CACHE_PAIRS must be >= 1");
+    if (opts.shards == 0)
+        ATLB_FATAL("ANCHORTLB_SHARDS must be >= 1");
     return opts;
 }
 
@@ -67,41 +73,55 @@ scenarioParamsFor(const SimOptions &options, const WorkloadSpec &spec)
     return p;
 }
 
+std::uint64_t
+traceSeedFor(const SimOptions &options, const WorkloadSpec &spec)
+{
+    return options.seed ^ (std::hash<std::string>{}(spec.name) * 31 + 7);
+}
+
+std::unique_ptr<Mmu>
+buildSchemeMmu(const MmuConfig &config, const PageTable &table,
+               const MemoryMap &map, Scheme scheme,
+               std::uint64_t anchor_distance)
+{
+    switch (scheme) {
+      case Scheme::Base:
+        return std::make_unique<BaselineMmu>(config, table, "base");
+      case Scheme::Thp:
+        return std::make_unique<BaselineMmu>(config, table, "thp");
+      case Scheme::Cluster:
+        return std::make_unique<ClusterMmu>(config, table, false);
+      case Scheme::Cluster2MB:
+        return std::make_unique<ClusterMmu>(config, table, true);
+      case Scheme::Rmm:
+        return std::make_unique<RmmMmu>(config, table, map);
+      case Scheme::Anchor:
+      case Scheme::AnchorIdeal:
+        return std::make_unique<AnchorMmu>(config, table,
+                                           anchor_distance);
+    }
+    ATLB_FATAL("no MMU built for scheme");
+}
+
 SimResult
 runSchemeCell(const SimOptions &options, const WorkloadSpec &spec,
               ScenarioKind scenario, const MemoryMap &map,
               const PageTable &table, Scheme scheme,
               std::uint64_t anchor_distance)
 {
-    const std::uint64_t trace_seed =
-        options.seed ^ (std::hash<std::string>{}(spec.name) * 31 + 7);
-    PatternTrace trace(spec, vaOf(0x7f0000000ULL), options.accesses,
-                       trace_seed);
-
-    std::unique_ptr<Mmu> mmu;
-    switch (scheme) {
-      case Scheme::Base:
-        mmu = std::make_unique<BaselineMmu>(options.mmu, table, "base");
-        break;
-      case Scheme::Thp:
-        mmu = std::make_unique<BaselineMmu>(options.mmu, table, "thp");
-        break;
-      case Scheme::Cluster:
-        mmu = std::make_unique<ClusterMmu>(options.mmu, table, false);
-        break;
-      case Scheme::Cluster2MB:
-        mmu = std::make_unique<ClusterMmu>(options.mmu, table, true);
-        break;
-      case Scheme::Rmm:
-        mmu = std::make_unique<RmmMmu>(options.mmu, table, map);
-        break;
-      case Scheme::Anchor:
-      case Scheme::AnchorIdeal:
-        mmu = std::make_unique<AnchorMmu>(options.mmu, table,
-                                          anchor_distance);
-        break;
+    // K > 1 routes the cell through the sharded runner; shards == 1 is
+    // the exact serial walk below (the byte-identity anchor every
+    // sharded-mode test compares against).
+    if (options.shards > 1) {
+        return runShardedCell(options, spec, scenario, map, table,
+                              scheme, anchor_distance)
+            .merged;
     }
-    ATLB_ASSERT(mmu, "no MMU built for scheme");
+
+    PatternTrace trace(spec, traceBaseVa(), options.accesses,
+                       traceSeedFor(options, spec));
+    const std::unique_ptr<Mmu> mmu =
+        buildSchemeMmu(options.mmu, table, map, scheme, anchor_distance);
 
     SimResult res = runSimulation(*mmu, trace, spec.mem_per_instr);
     res.workload = spec.name;
@@ -143,12 +163,30 @@ ExperimentContext::clearCache()
     cache_.clear();
 }
 
+void
+ExperimentContext::sizeCacheForPairs(std::size_t distinct_pairs)
+{
+    std::size_t desired = std::max<std::size_t>(
+        {std::size_t{1}, distinct_pairs, options_.cache_pairs});
+    if (options_.cache_pairs_from_env) {
+        // The user budgeted memory explicitly: never exceed it.
+        desired = std::max<std::size_t>(
+            1, std::min<std::size_t>(distinct_pairs,
+                                     options_.cache_pairs));
+    }
+    options_.cache_pairs = desired;
+    while (cache_.size() > options_.cache_pairs)
+        cache_.pop_front();
+}
+
 ExperimentContext::PairState &
 ExperimentContext::pairState(const std::string &workload,
                              ScenarioKind scenario)
 {
+    ++counters_.lookups;
     for (auto it = cache_.begin(); it != cache_.end(); ++it) {
         if ((*it)->workload == workload && (*it)->scenario == scenario) {
+            ++counters_.hits;
             // LRU: move the hit to the back (most recently used) so
             // revisited pairs survive sweeps over other pairs.
             if (std::next(it) != cache_.end()) {

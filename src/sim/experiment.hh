@@ -57,8 +57,29 @@ struct SimOptions
      * Capacity of ExperimentContext's per-(workload, scenario) state
      * cache, in pairs (LRU eviction). Page tables dominate the cost:
      * budget roughly tens of MB per cached pair at full footprints.
+     * Sweep drivers that know their run shape call
+     * ExperimentContext::sizeCacheForPairs() to fit this to the number
+     * of distinct pairs; an explicit ANCHORTLB_CACHE_PAIRS clamps it.
      */
     std::size_t cache_pairs = 2;
+    /** True when ANCHORTLB_CACHE_PAIRS was set explicitly (clamp). */
+    bool cache_pairs_from_env = false;
+    /**
+     * Within-cell shards (ANCHORTLB_SHARDS). 1 = the exact serial
+     * simulation path, byte-identical to pre-sharding builds. K > 1
+     * splits each cell's access stream into K deterministic slices
+     * simulated concurrently on independent TLB/MMU instances and
+     * merged via SimResult::merge — an *approximation* whose miss rates
+     * stay within shardMissRateEpsilon of serial (sharded_runner.hh).
+     */
+    unsigned shards = 1;
+    /**
+     * Warmup accesses each shard k > 0 replays from the tail of the
+     * preceding shard's slice before its measured run, rebuilding TLB
+     * warmth the serial walk would have at that point
+     * (ANCHORTLB_SHARD_WARMUP). Clamped to the shard's start offset.
+     */
+    std::uint64_t shard_warmup = 32'768;
     /** Hardware parameters (paper Table 3 defaults). */
     MmuConfig mmu;
 
@@ -73,6 +94,31 @@ WorkloadSpec scaledWorkloadSpec(const SimOptions &options,
 /** Scenario-construction parameters for @p spec under @p options. */
 ScenarioParams scenarioParamsFor(const SimOptions &options,
                                  const WorkloadSpec &spec);
+
+/** VA where every simulated workload's footprint is mapped. */
+constexpr VirtAddr traceBaseVa()
+{
+    return vaOf(0x7f0000000ULL);
+}
+
+/**
+ * Seed of @p spec's access stream under @p options: every run of a cell
+ * (serial, parallel sweep, or any shard of it) derives its trace from
+ * this one value, which is what makes the execution modes comparable.
+ */
+std::uint64_t traceSeedFor(const SimOptions &options,
+                           const WorkloadSpec &spec);
+
+/**
+ * Construct @p scheme's MMU over @p table. @p map is only read by RMM
+ * (its range table); @p anchor_distance only by the anchor schemes.
+ * Shared by the serial cell body and the sharded runner, which builds
+ * one MMU per shard.
+ */
+std::unique_ptr<Mmu> buildSchemeMmu(const MmuConfig &config,
+                                    const PageTable &table,
+                                    const MemoryMap &map, Scheme scheme,
+                                    std::uint64_t anchor_distance);
 
 /**
  * Run one fully specified cell: build @p scheme's MMU over the prebuilt
@@ -118,6 +164,35 @@ class ExperimentContext
 
     const SimOptions &options() const { return options_; }
 
+    /** Pair-cache effectiveness counters for the sweep summary. */
+    struct CacheCounters
+    {
+        std::uint64_t lookups = 0;
+        std::uint64_t hits = 0;
+
+        double hitRate() const
+        {
+            return lookups ? static_cast<double>(hits) /
+                                 static_cast<double>(lookups)
+                           : 0.0;
+        }
+    };
+
+    const CacheCounters &cacheCounters() const { return counters_; }
+
+    /** Current pair-cache capacity (after any run-shape sizing). */
+    std::size_t cacheCapacity() const { return options_.cache_pairs; }
+
+    /**
+     * Fit the pair cache to a sweep that touches @p distinct_pairs
+     * distinct (workload, scenario) pairs, so revisiting schemes of a
+     * pair always hits. An explicit ANCHORTLB_CACHE_PAIRS acts as an
+     * upper clamp (the user is budgeting memory); without it the
+     * capacity grows to the run shape and never shrinks below the
+     * built-in default.
+     */
+    void sizeCacheForPairs(std::size_t distinct_pairs);
+
     /** Drop all cached state (frees page-table memory). */
     void clearCache();
 
@@ -127,6 +202,7 @@ class ExperimentContext
     SimOptions options_;
     /** LRU order: front = coldest, back = most recently used. */
     std::deque<std::unique_ptr<PairState>> cache_;
+    CacheCounters counters_;
 
     PairState &pairState(const std::string &workload,
                          ScenarioKind scenario);

@@ -222,9 +222,26 @@ runParallel(const SimOptions &options, const std::vector<CellJob> &jobs,
     return out;
 }
 
+/** Distinct (workload, scenario) pairs a job list touches. */
+std::size_t
+distinctPairs(const std::vector<CellJob> &jobs)
+{
+    std::vector<std::pair<std::string, ScenarioKind>> seen;
+    for (const CellJob &job : jobs) {
+        const auto key = std::make_pair(job.workload, job.scenario);
+        if (std::find(seen.begin(), seen.end(), key) == seen.end())
+            seen.push_back(key);
+    }
+    return seen.size();
+}
+
 std::vector<SimResult>
 runSerial(ExperimentContext &ctx, const std::vector<CellJob> &jobs)
 {
+    // Fit the pair cache to this sweep's shape so workload-major and
+    // scenario-major iteration both keep every revisited pair warm
+    // (ANCHORTLB_CACHE_PAIRS still clamps when set).
+    ctx.sizeCacheForPairs(distinctPairs(jobs));
     std::vector<SimResult> out;
     out.reserve(jobs.size());
     for (const CellJob &job : jobs) {

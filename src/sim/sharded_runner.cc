@@ -1,0 +1,167 @@
+#include "sharded_runner.hh"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/check.hh"
+#include "common/logging.hh"
+#include "common/thread_pool.hh"
+#include "trace/workload.hh"
+
+namespace atlb
+{
+
+std::vector<ShardSlice>
+planShards(std::uint64_t accesses, unsigned shards, std::uint64_t warmup)
+{
+    ATLB_ASSERT(shards >= 1, "shard plan needs at least one shard");
+    // More shards than accesses would leave trailing empty slices;
+    // clamp so every shard has work (K is small, accesses is not).
+    const std::uint64_t k = std::max<std::uint64_t>(
+        1, std::min<std::uint64_t>(shards, std::max<std::uint64_t>(
+                                               1, accesses)));
+    const std::uint64_t base = accesses / k;
+    const std::uint64_t rem = accesses % k;
+
+    std::vector<ShardSlice> plan(static_cast<std::size_t>(k));
+    std::uint64_t cursor = 0;
+    for (std::uint64_t i = 0; i < k; ++i) {
+        ShardSlice &s = plan[static_cast<std::size_t>(i)];
+        s.begin = cursor;
+        s.end = cursor + base + (i < rem ? 1 : 0);
+        // Warmup replays the tail of the previous shard's slice; shard
+        // 0 starts exactly like the serial run and needs none.
+        s.warmup = std::min<std::uint64_t>(warmup, s.begin);
+        cursor = s.end;
+    }
+    ATLB_ASSERT(cursor == accesses, "shard plan must cover the stream");
+    return plan;
+}
+
+namespace
+{
+
+/**
+ * Simulate one slice: seek a fresh trace to (begin - warmup), replay
+ * the warmup through the MMU, zero the counters, then measure the
+ * slice. The trace is constructed with num_accesses = end so
+ * exhaustion lands exactly on the slice boundary and runSimulation's
+ * loop needs no extra bookkeeping.
+ */
+SimResult
+runShard(const SimOptions &options, const WorkloadSpec &spec,
+         ScenarioKind scenario, const MemoryMap &map,
+         const PageTable &table, Scheme scheme,
+         std::uint64_t anchor_distance, const ShardSlice &slice)
+{
+    PatternTrace trace(spec, traceBaseVa(), slice.end,
+                       traceSeedFor(options, spec));
+    trace.skip(slice.begin - slice.warmup);
+
+    const std::unique_ptr<Mmu> mmu =
+        buildSchemeMmu(options.mmu, table, map, scheme, anchor_distance);
+
+    if (slice.warmup > 0) {
+        constexpr std::size_t batch = 1024;
+        MemAccess buffer[batch];
+        std::uint64_t left = slice.warmup;
+        while (left > 0) {
+            const std::size_t n = trace.fill(
+                buffer, static_cast<std::size_t>(
+                            std::min<std::uint64_t>(batch, left)));
+            ATLB_ASSERT(n > 0, "trace ended inside shard warmup");
+            for (std::size_t i = 0; i < n; ++i)
+                mmu->translate(buffer[i].vaddr);
+            left -= n;
+        }
+        mmu->resetStats();
+    }
+
+    SimResult res = runSimulation(*mmu, trace, spec.mem_per_instr);
+    ANCHOR_DCHECK(res.stats.accesses == slice.length(),
+                  "shard measured a wrong-sized slice");
+    res.workload = spec.name;
+    res.scenario = scenarioName(scenario);
+    res.scheme = schemeName(scheme);
+    if (scheme == Scheme::Anchor || scheme == Scheme::AnchorIdeal)
+        res.anchor_distance = anchor_distance;
+    return res;
+}
+
+} // namespace
+
+ShardedResult
+runShardedCell(const SimOptions &options, const WorkloadSpec &spec,
+               ScenarioKind scenario, const MemoryMap &map,
+               const PageTable &table, Scheme scheme,
+               std::uint64_t anchor_distance)
+{
+    ShardedResult out;
+    out.plan = planShards(options.accesses, options.shards,
+                          options.shard_warmup);
+    out.shards.resize(out.plan.size());
+
+    // The serial path must stay byte-identical, so a one-shard plan
+    // runs the exact unsharded cell body (no seek, no warmup, no merge
+    // round-trip). runSchemeCell only routes here when shards > 1, but
+    // direct callers may pass shards == 1 too.
+    if (out.plan.size() == 1) {
+        SimOptions serial = options;
+        serial.shards = 1;
+        out.shards[0] = runSchemeCell(serial, spec, scenario, map, table,
+                                      scheme, anchor_distance);
+        out.merged = out.shards[0];
+        return out;
+    }
+
+    // Shards share only read-only state (map, table, options); each
+    // builds its own trace and MMU, so execution order is irrelevant.
+    // The worker count is bounded by the threads knob (an explicit
+    // ANCHORTLB_THREADS is a budget; the default is the hardware
+    // concurrency) — results are identical for any worker count.
+    const unsigned workers = static_cast<unsigned>(std::min<std::size_t>(
+        out.plan.size(),
+        std::max<unsigned>(options.threads, 1)));
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < out.plan.size(); ++i) {
+            out.shards[i] =
+                runShard(options, spec, scenario, map, table, scheme,
+                         anchor_distance, out.plan[i]);
+        }
+    } else {
+        ThreadPool pool(workers);
+        for (std::size_t i = 0; i < out.plan.size(); ++i) {
+            pool.submit([&, i] {
+                out.shards[i] =
+                    runShard(options, spec, scenario, map, table, scheme,
+                             anchor_distance, out.plan[i]);
+            });
+        }
+        pool.wait();
+    }
+
+    for (const SimResult &shard : out.shards)
+        out.merged.merge(shard);
+    return out;
+}
+
+ShardAccuracy
+compareShardedToSerial(const SimOptions &options, const WorkloadSpec &spec,
+                       ScenarioKind scenario, const MemoryMap &map,
+                       const PageTable &table, Scheme scheme,
+                       std::uint64_t anchor_distance)
+{
+    ShardAccuracy acc;
+    acc.shard_count = std::max(1u, options.shards);
+
+    SimOptions serial = options;
+    serial.shards = 1;
+    acc.serial = runSchemeCell(serial, spec, scenario, map, table, scheme,
+                               anchor_distance);
+    acc.sharded = runShardedCell(options, spec, scenario, map, table,
+                                 scheme, anchor_distance)
+                      .merged;
+    return acc;
+}
+
+} // namespace atlb

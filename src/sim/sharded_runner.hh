@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Within-cell sharded simulation with mergeable partial stats.
+ *
+ * The parallel sweep engine (parallel_runner.hh) parallelises *across*
+ * cells; a single cell — `quickstart`, the long CPI runs — was still one
+ * serial trace walk. This runner splits a cell's access stream into K
+ * deterministic shards, simulates each on an independent TLB/MMU
+ * instance over the same shared read-only mapping and page table, and
+ * combines the per-shard partials with SimResult::merge (counters sum,
+ * derived CPI recomputed from the merged counters).
+ *
+ * Determinism & accuracy contract:
+ *
+ *  - Shard k covers access slice [start_k, end_k) of the exact serial
+ *    stream: every shard seeks a fresh PatternTrace (same seed) to its
+ *    offset via TraceSource::skip, so the concatenated slices ARE the
+ *    serial stream, independent of thread scheduling.
+ *  - K = 1 is the serial path itself: output is byte-identical to
+ *    runSimulation (enforced by tests/sim/test_sharded_runner.cc and
+ *    the golden-file harness, which runs bench_fig9 under
+ *    ANCHORTLB_SHARDS=1).
+ *  - K > 1 is an approximation: each shard starts with cold TLBs, so it
+ *    replays a warmup prefix drawn from the preceding shard's tail
+ *    (SimOptions::shard_warmup accesses, stats discarded) before its
+ *    measured slice. Residual error shows up as extra misses near shard
+ *    boundaries; the declared contract is that every cell's miss rate
+ *    (walks per access) stays within shardMissRateEpsilon of the serial
+ *    run
+ *    (asserted over the paper workloads by the checked-build ctest and
+ *    recorded per cell by bench_shard_scaling).
+ *  - Results depend only on (options, cell, K) — never on the worker
+ *    count or interleaving: merge order is shard order.
+ */
+
+#ifndef ANCHORTLB_SIM_SHARDED_RUNNER_HH
+#define ANCHORTLB_SIM_SHARDED_RUNNER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/experiment.hh"
+
+namespace atlb
+{
+
+/**
+ * Declared accuracy contract of sharded mode: the absolute difference
+ * between the sharded and serial miss rates — page walks per access —
+ * of one cell must stay within this bound for the paper workloads at
+ * K <= 8 with the default warmup. Per access, not per L2 access: the
+ * L2-access denominator collapses on L1-friendly cells and turns a
+ * handful of boundary walks into a huge fraction, while the per-access
+ * rate degrades predictably (the residual cost is a bounded number of
+ * cold entries per shard boundary, so the delta shrinks as slices
+ * grow). Empirical worst case at a 200k-access budget is ~0.005
+ * (mummer/Dynamic at K = 8; BENCH_shard_scaling.json), so 0.01 gives
+ * 2x headroom and still means "at most 10 extra walks per 1000
+ * accesses".
+ */
+constexpr double shardMissRateEpsilon = 0.01;
+
+/** One shard's slice of the cell's access stream. */
+struct ShardSlice
+{
+    std::uint64_t begin = 0;  //!< first measured access (inclusive)
+    std::uint64_t end = 0;    //!< one past the last measured access
+    std::uint64_t warmup = 0; //!< replayed prefix accesses before begin
+
+    std::uint64_t length() const { return end - begin; }
+};
+
+/**
+ * Deterministic slicing of @p accesses into @p shards near-equal
+ * contiguous slices (earlier shards take the remainder), each with a
+ * warmup prefix of min(@p warmup, slice begin) accesses. Exposed for
+ * the property tests.
+ */
+std::vector<ShardSlice> planShards(std::uint64_t accesses,
+                                   unsigned shards,
+                                   std::uint64_t warmup);
+
+/** A sharded cell run: the merged result plus the per-shard partials. */
+struct ShardedResult
+{
+    SimResult merged;
+    /** Per-shard partials, in shard (i.e. stream) order. */
+    std::vector<SimResult> shards;
+    /** The slicing that produced them. */
+    std::vector<ShardSlice> plan;
+};
+
+/**
+ * Run one cell sharded SimOptions::shards ways. Mirrors runSchemeCell's
+ * contract (@p table must match the scheme's flavour); shards execute
+ * on a ThreadPool sized min(shards, threads-knob) but the result is
+ * identical for any worker count. With shards <= 1 the single "shard"
+ * is the exact serial simulation.
+ */
+ShardedResult runShardedCell(const SimOptions &options,
+                             const WorkloadSpec &spec,
+                             ScenarioKind scenario, const MemoryMap &map,
+                             const PageTable &table, Scheme scheme,
+                             std::uint64_t anchor_distance);
+
+/** Per-cell accuracy report: the sharded run against the serial run. */
+struct ShardAccuracy
+{
+    SimResult serial;
+    SimResult sharded;
+    unsigned shard_count = 1;
+
+    /** Absolute page-walk count difference. */
+    std::uint64_t missDelta() const
+    {
+        const std::uint64_t a = serial.misses();
+        const std::uint64_t b = sharded.misses();
+        return a > b ? a - b : b - a;
+    }
+
+    /** |sharded - serial| page walks per access (the contract metric). */
+    double missRateDelta() const
+    {
+        if (serial.stats.accesses == 0 || sharded.stats.accesses == 0)
+            return 0.0;
+        const double d =
+            static_cast<double>(sharded.misses()) /
+                static_cast<double>(sharded.stats.accesses) -
+            static_cast<double>(serial.misses()) /
+                static_cast<double>(serial.stats.accesses);
+        return d < 0.0 ? -d : d;
+    }
+
+    /** Informational: |sharded - serial| L2 miss fraction. */
+    double l2FractionDelta() const
+    {
+        const double d =
+            sharded.l2MissFraction() - serial.l2MissFraction();
+        return d < 0.0 ? -d : d;
+    }
+
+    /** Relative page-walk error (0 when serial has no walks). */
+    double relativeMissError() const
+    {
+        return serial.misses()
+                   ? static_cast<double>(missDelta()) /
+                         static_cast<double>(serial.misses())
+                   : 0.0;
+    }
+
+    bool withinEpsilon(double epsilon = shardMissRateEpsilon) const
+    {
+        return missRateDelta() <= epsilon;
+    }
+};
+
+/**
+ * Run the cell both ways — serial (shards forced to 1) and sharded at
+ * @p options.shards — and report the deltas. This is the bench and
+ * ctest entry point for the accuracy contract.
+ */
+ShardAccuracy compareShardedToSerial(const SimOptions &options,
+                                     const WorkloadSpec &spec,
+                                     ScenarioKind scenario,
+                                     const MemoryMap &map,
+                                     const PageTable &table, Scheme scheme,
+                                     std::uint64_t anchor_distance);
+
+} // namespace atlb
+
+#endif // ANCHORTLB_SIM_SHARDED_RUNNER_HH

@@ -1,0 +1,145 @@
+#include "json_writer.hh"
+
+#include <ostream>
+
+#include "common/logging.hh"
+
+namespace atlb
+{
+
+JsonWriter::JsonWriter(std::ostream &os)
+    : os_(os)
+{
+}
+
+void
+JsonWriter::separate()
+{
+    if (after_key_) {
+        after_key_ = false;
+        return; // value attaches directly after "key":
+    }
+    if (!first_in_scope_)
+        os_ << ",";
+    if (depth_ > 0) {
+        os_ << "\n";
+        indent();
+    }
+    first_in_scope_ = false;
+}
+
+void
+JsonWriter::indent()
+{
+    for (int i = 0; i < depth_; ++i)
+        os_ << "  ";
+}
+
+void
+JsonWriter::beginObject()
+{
+    separate();
+    os_ << "{";
+    ++depth_;
+    first_in_scope_ = true;
+}
+
+void
+JsonWriter::endObject()
+{
+    ATLB_ASSERT(depth_ > 0 && !after_key_, "unbalanced endObject()");
+    const bool empty = first_in_scope_;
+    --depth_;
+    if (!empty) {
+        os_ << "\n";
+        indent();
+    }
+    os_ << "}";
+    first_in_scope_ = false;
+    if (depth_ == 0)
+        os_ << "\n";
+}
+
+void
+JsonWriter::beginArray()
+{
+    separate();
+    os_ << "[";
+    ++depth_;
+    first_in_scope_ = true;
+}
+
+void
+JsonWriter::endArray()
+{
+    ATLB_ASSERT(depth_ > 0 && !after_key_, "unbalanced endArray()");
+    const bool empty = first_in_scope_;
+    --depth_;
+    if (!empty) {
+        os_ << "\n";
+        indent();
+    }
+    os_ << "]";
+    first_in_scope_ = false;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &name)
+{
+    ATLB_ASSERT(!after_key_, "key() twice without a value");
+    separate();
+    os_ << "\"" << name << "\": ";
+    after_key_ = true;
+    return *this;
+}
+
+void
+JsonWriter::value(const std::string &v)
+{
+    separate();
+    // Bench strings are identifiers (workload/scheme/scenario names);
+    // escape the two characters that could break the document anyway.
+    os_ << "\"";
+    for (const char c : v) {
+        if (c == '"' || c == '\\')
+            os_ << '\\';
+        os_ << c;
+    }
+    os_ << "\"";
+}
+
+void
+JsonWriter::value(const char *v)
+{
+    value(std::string(v));
+}
+
+void
+JsonWriter::value(double v)
+{
+    separate();
+    os_ << v;
+}
+
+void
+JsonWriter::value(std::uint64_t v)
+{
+    separate();
+    os_ << v;
+}
+
+void
+JsonWriter::value(int v)
+{
+    separate();
+    os_ << v;
+}
+
+void
+JsonWriter::value(bool v)
+{
+    separate();
+    os_ << (v ? "true" : "false");
+}
+
+} // namespace atlb

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Minimal streaming JSON emitter for the bench reports.
+ *
+ * The perf benches write machine-readable BENCH_*.json files consumed
+ * by CI greps and by humans diffing runs; this writer centralises the
+ * comma/indent bookkeeping those files were assembling by hand. It is
+ * an emitter only (no parsing, no DOM): keys and values stream straight
+ * to the ostream in call order, two-space indented, so the output is
+ * stable across runs for stable inputs.
+ */
+
+#ifndef ANCHORTLB_STATS_JSON_WRITER_HH
+#define ANCHORTLB_STATS_JSON_WRITER_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace atlb
+{
+
+/** Streaming writer for one JSON document. */
+class JsonWriter
+{
+  public:
+    /** Writes to @p os; emit exactly one top-level beginObject(). */
+    explicit JsonWriter(std::ostream &os);
+
+    JsonWriter(const JsonWriter &) = delete;
+    JsonWriter &operator=(const JsonWriter &) = delete;
+
+    void beginObject();
+    void endObject();
+    void beginArray();
+    void endArray();
+
+    /** Start a named member; follow with a value or begin*(). */
+    JsonWriter &key(const std::string &name);
+
+    void value(const std::string &v);
+    void value(const char *v);
+    void value(double v);
+    void value(std::uint64_t v);
+    void value(unsigned v) { value(static_cast<std::uint64_t>(v)); }
+    void value(int v);
+    void value(bool v);
+
+    /** key() + value() in one call. */
+    template <typename T>
+    void field(const std::string &name, const T &v)
+    {
+        key(name);
+        value(v);
+    }
+
+  private:
+    void separate();
+    void indent();
+
+    std::ostream &os_;
+    int depth_ = 0;
+    bool first_in_scope_ = true; //!< no comma before the next element
+    bool after_key_ = false;     //!< value attaches to a pending key
+};
+
+} // namespace atlb
+
+#endif // ANCHORTLB_STATS_JSON_WRITER_HH

@@ -35,6 +35,7 @@
 #include "os/memory_map.hh"
 #include "os/page_table.hh"
 #include "os/table_builder.hh"
+#include "sim/sharded_runner.hh"
 
 namespace atlb
 {
@@ -226,6 +227,98 @@ TEST_F(DifferentialStress, TenThousandStepsZeroMismatches)
         EXPECT_EQ(o.mmu().stats().accesses, oracle.steps());
         EXPECT_GT(o.mmu().stats().l1_hits, 0u);
         EXPECT_GT(o.mmu().stats().page_walks, 0u);
+    }
+}
+
+/**
+ * Seed-sweep stress for sharded mode: 16 RNG seeds x the five
+ * translation schemes, each cell run both serially and 4-way sharded.
+ * Under ANCHORTLB_CHECKED every translate() of every shard is
+ * oracle-verified against the authoritative page table and ANCHOR_DCHECK
+ * validates merge labels and slice sizes, so this sweep drags the
+ * sharded code path through 16 different mapping layouts and access
+ * streams with the full checker armour on. The release-build assertions
+ * here are the conservation laws that hold at ANY budget: merged
+ * counters account for exactly the serial stream, and every per-shard
+ * counter sums into the merged result. (The tight accuracy epsilon is
+ * enforced at a realistic budget by test_sharded_runner.cc; this sweep
+ * only guards against gross divergence.)
+ */
+TEST(ShardedSeedSweep, SixteenSeedsFiveSchemesConserveCounters)
+{
+    const Scheme schemes[] = {Scheme::Base, Scheme::Thp, Scheme::Cluster,
+                              Scheme::Rmm, Scheme::Anchor};
+    const std::string workloads[] = {"canneal", "sphinx3", "omnetpp",
+                                     "mcf"};
+    const ScenarioKind scenarios[] = {
+        ScenarioKind::Demand, ScenarioKind::LowContig,
+        ScenarioKind::MedContig, ScenarioKind::HighContig};
+
+    for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+        SimOptions options;
+        options.accesses = 12'000;
+        options.seed = seed * 7919; // spread seeds far apart
+        options.footprint_scale = 0.02;
+        options.threads = 1;
+        options.shards = 4;
+        options.shard_warmup = 2'048;
+        // Rotate the pair with the seed so the sweep covers different
+        // mapping layouts, not just different streams over one layout.
+        const std::string &workload = workloads[seed % 4];
+        const ScenarioKind scenario = scenarios[(seed / 4) % 4];
+        SCOPED_TRACE("seed " + std::to_string(options.seed) + " " +
+                     workload + "/" + scenarioName(scenario));
+
+        const WorkloadSpec spec = scaledWorkloadSpec(options, workload);
+        const MemoryMap map =
+            buildScenario(scenario, scenarioParamsFor(options, spec));
+        const PageTable plain = buildPageTable(map, false);
+        const PageTable thp = buildPageTable(map, true);
+        const std::uint64_t distance =
+            selectAnchorDistance(map.contiguityHistogram()).distance;
+        const PageTable anchored = buildAnchorPageTable(map, distance);
+
+        for (const Scheme scheme : schemes) {
+            SCOPED_TRACE(schemeName(scheme));
+            const PageTable &table =
+                scheme == Scheme::Base || scheme == Scheme::Cluster
+                    ? plain
+                    : (scheme == Scheme::Anchor ? anchored : thp);
+            const std::uint64_t dist =
+                scheme == Scheme::Anchor ? distance : 0;
+
+            const ShardAccuracy acc = compareShardedToSerial(
+                options, spec, scenario, map, table, scheme, dist);
+
+            // Conservation: both modes measured the exact stream.
+            ASSERT_EQ(acc.serial.stats.accesses, options.accesses);
+            ASSERT_EQ(acc.sharded.stats.accesses, options.accesses);
+            const auto accounted = [](const MmuStats &s) {
+                return s.l1_hits + s.l2_regular_hits + s.coalesced_hits +
+                       s.page_walks;
+            };
+            EXPECT_EQ(accounted(acc.sharded.stats),
+                      acc.sharded.stats.accesses);
+
+            // Gross-divergence guard (loose: quick-budget slices are
+            // shorter than a TLB refill, see the accuracy-test note).
+            EXPECT_LE(acc.missRateDelta(), 0.05)
+                << "sharded walks " << acc.sharded.misses()
+                << " vs serial " << acc.serial.misses();
+
+            // Per-shard partials must sum into the merged result.
+            const ShardedResult run = runShardedCell(
+                options, spec, scenario, map, table, scheme, dist);
+            MmuStats sum;
+            for (const SimResult &shard : run.shards)
+                sum += shard.stats;
+            EXPECT_EQ(sum.accesses, run.merged.stats.accesses);
+            EXPECT_EQ(sum.page_walks, run.merged.stats.page_walks);
+            EXPECT_EQ(sum.translation_cycles,
+                      run.merged.stats.translation_cycles);
+            // And the sharded run must be reproducible.
+            EXPECT_EQ(run.merged.misses(), acc.sharded.misses());
+        }
     }
 }
 

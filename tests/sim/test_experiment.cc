@@ -133,8 +133,77 @@ TEST(Experiment, OptionsFromEnvDefaults)
 TEST(Experiment, OptionsFromEnvReadsCachePairs)
 {
     ::setenv("ANCHORTLB_CACHE_PAIRS", "7", 1);
-    EXPECT_EQ(SimOptions::fromEnv().cache_pairs, 7u);
+    const SimOptions opts = SimOptions::fromEnv();
+    EXPECT_EQ(opts.cache_pairs, 7u);
+    EXPECT_TRUE(opts.cache_pairs_from_env);
     ::unsetenv("ANCHORTLB_CACHE_PAIRS");
+    EXPECT_FALSE(SimOptions::fromEnv().cache_pairs_from_env);
+}
+
+TEST(Experiment, OptionsFromEnvReadsShardKnobs)
+{
+    EXPECT_EQ(SimOptions::fromEnv().shards, 1u); // serial by default
+    ::setenv("ANCHORTLB_SHARDS", "4", 1);
+    ::setenv("ANCHORTLB_SHARD_WARMUP", "4096", 1);
+    const SimOptions opts = SimOptions::fromEnv();
+    EXPECT_EQ(opts.shards, 4u);
+    EXPECT_EQ(opts.shard_warmup, 4'096u);
+    ::unsetenv("ANCHORTLB_SHARDS");
+    ::unsetenv("ANCHORTLB_SHARD_WARMUP");
+}
+
+TEST(Experiment, SizeCacheForPairsGrowsToRunShape)
+{
+    SimOptions opts = quickOptions();
+    opts.cache_pairs = 2; // built-in default
+    ExperimentContext ctx(opts);
+    EXPECT_EQ(ctx.cacheCapacity(), 2u);
+
+    ctx.sizeCacheForPairs(6);
+    EXPECT_EQ(ctx.cacheCapacity(), 6u);
+
+    // Never shrinks below a larger current capacity or the default.
+    ctx.sizeCacheForPairs(3);
+    EXPECT_EQ(ctx.cacheCapacity(), 6u);
+    ctx.sizeCacheForPairs(0);
+    EXPECT_EQ(ctx.cacheCapacity(), 6u);
+}
+
+TEST(Experiment, SizeCacheForPairsRespectsEnvClamp)
+{
+    // An explicit ANCHORTLB_CACHE_PAIRS is a memory budget: run-shape
+    // sizing may shrink-to-fit below it but never exceed it.
+    SimOptions opts = quickOptions();
+    opts.cache_pairs = 3;
+    opts.cache_pairs_from_env = true;
+    ExperimentContext ctx(opts);
+
+    ctx.sizeCacheForPairs(10);
+    EXPECT_EQ(ctx.cacheCapacity(), 3u);
+    ctx.sizeCacheForPairs(2);
+    EXPECT_EQ(ctx.cacheCapacity(), 2u);
+    ctx.sizeCacheForPairs(0);
+    EXPECT_EQ(ctx.cacheCapacity(), 1u); // capacity floor is one pair
+}
+
+TEST(Experiment, CacheCountersTrackHitsAndMisses)
+{
+    ExperimentContext ctx(quickOptions());
+    EXPECT_EQ(ctx.cacheCounters().lookups, 0u);
+
+    ctx.run("canneal", ScenarioKind::MedContig, Scheme::Base);
+    EXPECT_EQ(ctx.cacheCounters().lookups, 1u);
+    EXPECT_EQ(ctx.cacheCounters().hits, 0u);
+
+    ctx.run("canneal", ScenarioKind::MedContig, Scheme::Thp);
+    EXPECT_EQ(ctx.cacheCounters().lookups, 2u);
+    EXPECT_EQ(ctx.cacheCounters().hits, 1u);
+    EXPECT_DOUBLE_EQ(ctx.cacheCounters().hitRate(), 0.5);
+
+    ctx.clearCache();
+    ctx.run("canneal", ScenarioKind::MedContig, Scheme::Base);
+    EXPECT_EQ(ctx.cacheCounters().lookups, 3u);
+    EXPECT_EQ(ctx.cacheCounters().hits, 1u); // cleared cache = miss
 }
 
 TEST(Experiment, CacheEvictionDoesNotChangeResults)

@@ -1,0 +1,409 @@
+/**
+ * @file
+ * Tests for the within-cell sharded runner and the SimResult merge
+ * algebra it depends on (ISSUE: sharded simulation with mergeable
+ * stats).
+ *
+ *  - planShards: the slicing is a deterministic, exact partition of the
+ *    stream with clamped warmups.
+ *  - SimResult::merge: identity element, associativity and order
+ *    independence (exact for the integer counters, FP-tolerant for
+ *    `instructions`), merged counters = sum of shard counters.
+ *  - K = 1 is byte-identical to the serial runSchemeCell path.
+ *  - K in {2, 4, 8}: the merged miss rate stays within the declared
+ *    shardMissRateEpsilon of serial across the paper workloads — the
+ *    checked-build accuracy contract.
+ *  - Worker count never changes results (threads knob is perf-only).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "os/distance_selector.hh"
+#include "os/table_builder.hh"
+#include "sim/sharded_runner.hh"
+#include "trace/workload.hh"
+
+namespace atlb
+{
+namespace
+{
+
+SimOptions
+quickOptions(unsigned shards, std::uint64_t warmup = 2'048)
+{
+    SimOptions opts;
+    opts.accesses = 15'000;
+    opts.seed = 42;
+    opts.footprint_scale = 0.02; // shrink footprints for test speed
+    opts.threads = 1;
+    opts.shards = shards;
+    // Small warmup so shards at this budget are a real approximation
+    // (the default 32k warmup would replay nearly the whole prefix).
+    opts.shard_warmup = warmup;
+    return opts;
+}
+
+/** Built-once inputs of one cell, matching runSchemeCell's contract. */
+struct CellFixture
+{
+    WorkloadSpec spec;
+    MemoryMap map;
+    PageTable table;
+    std::uint64_t distance = 0;
+
+    CellFixture(const SimOptions &options, const std::string &workload,
+                ScenarioKind scenario, Scheme scheme)
+        : spec(scaledWorkloadSpec(options, workload)),
+          map(buildScenario(scenario, scenarioParamsFor(options, spec)))
+    {
+        switch (scheme) {
+          case Scheme::Base:
+          case Scheme::Cluster:
+            table = buildPageTable(map, false);
+            break;
+          case Scheme::Thp:
+          case Scheme::Cluster2MB:
+          case Scheme::Rmm:
+            table = buildPageTable(map, true);
+            break;
+          case Scheme::Anchor:
+          case Scheme::AnchorIdeal:
+            distance =
+                selectAnchorDistance(map.contiguityHistogram()).distance;
+            table = buildAnchorPageTable(map, distance);
+            break;
+        }
+    }
+};
+
+void
+expectIdentical(const SimResult &a, const SimResult &b)
+{
+    EXPECT_EQ(a.workload, b.workload);
+    EXPECT_EQ(a.scenario, b.scenario);
+    EXPECT_EQ(a.scheme, b.scheme);
+    EXPECT_EQ(a.anchor_distance, b.anchor_distance);
+    EXPECT_EQ(a.stats.accesses, b.stats.accesses);
+    EXPECT_EQ(a.stats.l1_hits, b.stats.l1_hits);
+    EXPECT_EQ(a.stats.l2_regular_hits, b.stats.l2_regular_hits);
+    EXPECT_EQ(a.stats.coalesced_hits, b.stats.coalesced_hits);
+    EXPECT_EQ(a.stats.page_walks, b.stats.page_walks);
+    EXPECT_EQ(a.stats.translation_cycles, b.stats.translation_cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.l2_hit_cycles, b.l2_hit_cycles);
+    EXPECT_EQ(a.coalesced_cycles, b.coalesced_cycles);
+    EXPECT_EQ(a.walk_cycles, b.walk_cycles);
+}
+
+/** Integer counters exactly equal; `instructions` up to FP rounding. */
+void
+expectEquivalent(const SimResult &a, const SimResult &b)
+{
+    EXPECT_EQ(a.workload, b.workload);
+    EXPECT_EQ(a.scheme, b.scheme);
+    EXPECT_EQ(a.stats.accesses, b.stats.accesses);
+    EXPECT_EQ(a.stats.l1_hits, b.stats.l1_hits);
+    EXPECT_EQ(a.stats.l2_regular_hits, b.stats.l2_regular_hits);
+    EXPECT_EQ(a.stats.coalesced_hits, b.stats.coalesced_hits);
+    EXPECT_EQ(a.stats.page_walks, b.stats.page_walks);
+    EXPECT_EQ(a.stats.translation_cycles, b.stats.translation_cycles);
+    EXPECT_EQ(a.l2_hit_cycles, b.l2_hit_cycles);
+    EXPECT_EQ(a.coalesced_cycles, b.coalesced_cycles);
+    EXPECT_EQ(a.walk_cycles, b.walk_cycles);
+    EXPECT_NEAR(a.instructions, b.instructions,
+                1e-9 * (1.0 + a.instructions));
+}
+
+// --- planShards properties ----------------------------------------------
+
+TEST(PlanShards, PartitionsTheStreamExactly)
+{
+    for (const unsigned k : {1u, 2u, 3u, 4u, 7u, 8u, 16u}) {
+        const auto plan = planShards(1'000'003, k, 4'096);
+        ASSERT_EQ(plan.size(), k);
+        std::uint64_t cursor = 0;
+        for (const ShardSlice &s : plan) {
+            EXPECT_EQ(s.begin, cursor); // contiguous, in order
+            EXPECT_GT(s.end, s.begin);  // never empty
+            cursor = s.end;
+        }
+        EXPECT_EQ(cursor, 1'000'003u); // covers the whole stream
+    }
+}
+
+TEST(PlanShards, SlicesAreNearEqual)
+{
+    const auto plan = planShards(1'000'003, 8, 0);
+    std::uint64_t lo = ~0ULL, hi = 0;
+    for (const ShardSlice &s : plan) {
+        lo = std::min(lo, s.length());
+        hi = std::max(hi, s.length());
+    }
+    EXPECT_LE(hi - lo, 1u);
+}
+
+TEST(PlanShards, WarmupClampedToSliceBegin)
+{
+    const auto plan = planShards(10'000, 4, 1'000'000);
+    EXPECT_EQ(plan[0].warmup, 0u); // shard 0 starts like serial
+    for (std::size_t i = 1; i < plan.size(); ++i)
+        EXPECT_EQ(plan[i].warmup, plan[i].begin); // clamped
+    const auto small = planShards(1'000'000, 4, 777);
+    for (std::size_t i = 1; i < small.size(); ++i)
+        EXPECT_EQ(small[i].warmup, 777u); // requested warmup fits
+}
+
+TEST(PlanShards, MoreShardsThanAccessesClampsToAccesses)
+{
+    const auto plan = planShards(3, 8, 0);
+    ASSERT_EQ(plan.size(), 3u);
+    for (const ShardSlice &s : plan)
+        EXPECT_EQ(s.length(), 1u);
+}
+
+TEST(PlanShards, EmptyStreamYieldsOneEmptySlice)
+{
+    const auto plan = planShards(0, 4, 128);
+    ASSERT_EQ(plan.size(), 1u);
+    EXPECT_EQ(plan[0].length(), 0u);
+    EXPECT_EQ(plan[0].warmup, 0u);
+}
+
+// --- SimResult::merge algebra -------------------------------------------
+
+/** Real per-shard partials: the algebra's interesting inputs. */
+std::vector<SimResult>
+shardPartials(const std::string &workload, ScenarioKind scenario,
+              Scheme scheme, unsigned k)
+{
+    const SimOptions options = quickOptions(k);
+    const CellFixture cell(options, workload, scenario, scheme);
+    ShardedResult run = runShardedCell(options, cell.spec, scenario,
+                                       cell.map, cell.table, scheme,
+                                       cell.distance);
+    return run.shards;
+}
+
+TEST(SimResultMerge, DefaultConstructedIsIdentity)
+{
+    const auto shards =
+        shardPartials("canneal", ScenarioKind::MedContig, Scheme::Base, 4);
+    ASSERT_FALSE(shards.empty());
+
+    SimResult left;
+    left.merge(shards[0]);
+    expectIdentical(left, shards[0]); // left identity
+
+    SimResult right = shards[0];
+    right.merge(SimResult{});
+    expectIdentical(right, shards[0]); // right identity
+}
+
+TEST(SimResultMerge, AssociativeOnShardPartials)
+{
+    const auto shards = shardPartials("sphinx3", ScenarioKind::Demand,
+                                      Scheme::Anchor, 4);
+    ASSERT_EQ(shards.size(), 4u);
+
+    SimResult ab = shards[0];
+    ab.merge(shards[1]);
+    SimResult ab_c = ab;
+    ab_c.merge(shards[2]);
+
+    SimResult bc = shards[1];
+    bc.merge(shards[2]);
+    SimResult a_bc = shards[0];
+    a_bc.merge(bc);
+
+    expectEquivalent(ab_c, a_bc);
+}
+
+TEST(SimResultMerge, OrderIndependentOnShardPartials)
+{
+    const auto shards = shardPartials("omnetpp", ScenarioKind::HighContig,
+                                      Scheme::Rmm, 4);
+    ASSERT_EQ(shards.size(), 4u);
+
+    SimResult forward;
+    for (const SimResult &s : shards)
+        forward.merge(s);
+
+    SimResult backward;
+    for (auto it = shards.rbegin(); it != shards.rend(); ++it)
+        backward.merge(*it);
+
+    expectEquivalent(forward, backward);
+}
+
+TEST(SimResultMerge, MergedCountersAreTheSumOfShardCounters)
+{
+    const SimOptions options = quickOptions(4);
+    const CellFixture cell(options, "canneal", ScenarioKind::LowContig,
+                           Scheme::Cluster);
+    const ShardedResult run =
+        runShardedCell(options, cell.spec, ScenarioKind::LowContig,
+                       cell.map, cell.table, Scheme::Cluster, 0);
+
+    MmuStats sum;
+    double instructions = 0.0;
+    Cycles l2 = 0, coalesced = 0, walk = 0;
+    for (const SimResult &s : run.shards) {
+        sum += s.stats;
+        instructions += s.instructions;
+        l2 += s.l2_hit_cycles;
+        coalesced += s.coalesced_cycles;
+        walk += s.walk_cycles;
+    }
+    EXPECT_EQ(run.merged.stats.accesses, sum.accesses);
+    EXPECT_EQ(run.merged.stats.accesses, options.accesses);
+    EXPECT_EQ(run.merged.stats.l1_hits, sum.l1_hits);
+    EXPECT_EQ(run.merged.stats.l2_regular_hits, sum.l2_regular_hits);
+    EXPECT_EQ(run.merged.stats.coalesced_hits, sum.coalesced_hits);
+    EXPECT_EQ(run.merged.stats.page_walks, sum.page_walks);
+    EXPECT_EQ(run.merged.stats.translation_cycles,
+              sum.translation_cycles);
+    EXPECT_EQ(run.merged.l2_hit_cycles, l2);
+    EXPECT_EQ(run.merged.coalesced_cycles, coalesced);
+    EXPECT_EQ(run.merged.walk_cycles, walk);
+    EXPECT_DOUBLE_EQ(run.merged.instructions, instructions);
+}
+
+// --- K = 1: the exact serial path ---------------------------------------
+
+TEST(ShardedRunner, OneShardIsByteIdenticalToSerial)
+{
+    for (const Scheme scheme :
+         {Scheme::Base, Scheme::Thp, Scheme::Rmm, Scheme::Anchor}) {
+        SCOPED_TRACE(schemeName(scheme));
+        const SimOptions options = quickOptions(1);
+        const CellFixture cell(options, "sphinx3",
+                               ScenarioKind::MedContig, scheme);
+
+        const SimResult serial =
+            runSchemeCell(options, cell.spec, ScenarioKind::MedContig,
+                          cell.map, cell.table, scheme, cell.distance);
+        const ShardedResult sharded =
+            runShardedCell(options, cell.spec, ScenarioKind::MedContig,
+                           cell.map, cell.table, scheme, cell.distance);
+
+        ASSERT_EQ(sharded.shards.size(), 1u);
+        expectIdentical(serial, sharded.merged);
+        expectIdentical(serial, sharded.shards[0]);
+    }
+}
+
+TEST(ShardedRunner, RunSchemeCellRoutesShardsOption)
+{
+    // runSchemeCell with shards > 1 must return the merged sharded
+    // result, so every caller (context, sweep engine, benches) gets
+    // sharding from the one env knob.
+    SimOptions options = quickOptions(4);
+    const CellFixture cell(options, "canneal", ScenarioKind::Demand,
+                           Scheme::Base);
+
+    const SimResult via_cell =
+        runSchemeCell(options, cell.spec, ScenarioKind::Demand, cell.map,
+                      cell.table, Scheme::Base, 0);
+    const ShardedResult direct =
+        runShardedCell(options, cell.spec, ScenarioKind::Demand, cell.map,
+                       cell.table, Scheme::Base, 0);
+    expectIdentical(via_cell, direct.merged);
+}
+
+TEST(ShardedRunner, WorkerCountNeverChangesResults)
+{
+    SimOptions one = quickOptions(4);
+    SimOptions eight = quickOptions(4);
+    eight.threads = 8;
+    const CellFixture cell(one, "omnetpp", ScenarioKind::MaxContig,
+                           Scheme::Anchor);
+
+    const ShardedResult a =
+        runShardedCell(one, cell.spec, ScenarioKind::MaxContig, cell.map,
+                       cell.table, Scheme::Anchor, cell.distance);
+    const ShardedResult b =
+        runShardedCell(eight, cell.spec, ScenarioKind::MaxContig,
+                       cell.map, cell.table, Scheme::Anchor,
+                       cell.distance);
+    ASSERT_EQ(a.shards.size(), b.shards.size());
+    for (std::size_t i = 0; i < a.shards.size(); ++i)
+        expectIdentical(a.shards[i], b.shards[i]);
+    expectIdentical(a.merged, b.merged);
+}
+
+TEST(ShardedRunner, ShardsMeasureTheirExactSlices)
+{
+    const SimOptions options = quickOptions(8);
+    const CellFixture cell(options, "sphinx3", ScenarioKind::LowContig,
+                           Scheme::Base);
+    const ShardedResult run =
+        runShardedCell(options, cell.spec, ScenarioKind::LowContig,
+                       cell.map, cell.table, Scheme::Base, 0);
+    ASSERT_EQ(run.shards.size(), run.plan.size());
+    for (std::size_t i = 0; i < run.shards.size(); ++i)
+        EXPECT_EQ(run.shards[i].stats.accesses, run.plan[i].length());
+}
+
+// --- K > 1: the accuracy contract ---------------------------------------
+
+TEST(ShardedRunner, PaperWorkloadMissRatesWithinEpsilon)
+{
+    // The declared contract (sharded_runner.hh): for every paper
+    // workload, the K-shard L2 miss rate stays within
+    // shardMissRateEpsilon of serial. Checked builds additionally
+    // oracle-verify every translation along the way. The contract is
+    // stated for realistic stream lengths — slices must dwarf the TLB
+    // warmup transient — so this test runs a larger budget than the
+    // structural tests above (at 15k accesses a K=8 slice is shorter
+    // than the TLB refill itself and boundary noise dominates).
+    const ScenarioKind scenario = ScenarioKind::MedContig;
+    for (const unsigned k : {2u, 4u, 8u}) {
+        for (const auto &workload : paperWorkloadNames()) {
+            for (const Scheme scheme : {Scheme::Base, Scheme::Anchor}) {
+                SCOPED_TRACE(workload + "/K=" + std::to_string(k) + "/" +
+                             schemeName(scheme));
+                SimOptions options = quickOptions(k);
+                options.accesses = 120'000;
+                options.shard_warmup = 32'768; // production default
+                const CellFixture cell(options, workload, scenario,
+                                       scheme);
+                const ShardAccuracy acc = compareShardedToSerial(
+                    options, cell.spec, scenario, cell.map, cell.table,
+                    scheme, cell.distance);
+                EXPECT_TRUE(acc.withinEpsilon())
+                    << "miss-rate delta " << acc.missRateDelta()
+                    << " exceeds " << shardMissRateEpsilon << " (serial "
+                    << acc.serial.misses() << " walks, sharded "
+                    << acc.sharded.misses() << ")";
+                // Sanity: both runs measured the same stream length.
+                EXPECT_EQ(acc.serial.stats.accesses,
+                          acc.sharded.stats.accesses);
+            }
+        }
+    }
+}
+
+TEST(ShardedRunner, LongerWarmupNeverHurtsAccuracyMuch)
+{
+    // Warmup exists to rebuild TLB warmth: a generous warmup must land
+    // at least as close to serial as no warmup on a miss-heavy cell.
+    const ScenarioKind scenario = ScenarioKind::Demand;
+    const SimOptions cold = quickOptions(8, 0);
+    const SimOptions warm = quickOptions(8, 4'096);
+    const CellFixture cell(cold, "canneal", scenario, Scheme::Base);
+
+    const ShardAccuracy cold_acc = compareShardedToSerial(
+        cold, cell.spec, scenario, cell.map, cell.table, Scheme::Base, 0);
+    const ShardAccuracy warm_acc = compareShardedToSerial(
+        warm, cell.spec, scenario, cell.map, cell.table, Scheme::Base, 0);
+    EXPECT_LE(warm_acc.missRateDelta(),
+              cold_acc.missRateDelta() + 1e-12);
+}
+
+} // namespace
+} // namespace atlb

@@ -31,6 +31,7 @@
 #include "os/distance_selector.hh"
 #include "os/table_builder.hh"
 #include "sim/experiment.hh"
+#include "sim/sharded_runner.hh"
 #include "stats/table.hh"
 #include "trace/trace_io.hh"
 #include "trace/workload.hh"
@@ -132,6 +133,10 @@ optionsFrom(const Args &args)
     opts.accesses = args.getU64("accesses", opts.accesses);
     opts.seed = args.getU64("seed", opts.seed);
     opts.footprint_scale = args.getDouble("scale", opts.footprint_scale);
+    opts.shards = static_cast<unsigned>(args.getU64("shards", opts.shards));
+    if (opts.shards < 1)
+        ATLB_FATAL("--shards must be >= 1");
+    opts.shard_warmup = args.getU64("warmup", opts.shard_warmup);
     return opts;
 }
 
@@ -404,6 +409,81 @@ cmdProfile(const Args &args)
 }
 
 int
+cmdShardCheck(const Args &args)
+{
+    const std::string workload = args.get("workload", "canneal");
+    const ScenarioKind scenario =
+        scenarioFromName(args.get("scenario", "medium"));
+    const Scheme scheme = schemeFromName(args.get("scheme", "anchor"));
+    SimOptions opts = optionsFrom(args);
+
+    const WorkloadSpec spec = scaledWorkloadSpec(opts, workload);
+    const MemoryMap map =
+        buildScenario(scenario, scenarioParamsFor(opts, spec));
+    std::uint64_t distance = 0;
+    PageTable table;
+    switch (scheme) {
+      case Scheme::Base:
+      case Scheme::Cluster:
+        table = buildPageTable(map, false);
+        break;
+      case Scheme::Thp:
+      case Scheme::Cluster2MB:
+      case Scheme::Rmm:
+        table = buildPageTable(map, true);
+        break;
+      case Scheme::Anchor:
+      case Scheme::AnchorIdeal:
+        distance = args.has("distance")
+                       ? args.getU64("distance", 8)
+                       : selectAnchorDistance(map.contiguityHistogram())
+                             .distance;
+        table = buildAnchorPageTable(map, distance);
+        break;
+    }
+
+    Table out("shard accuracy: " + workload + " / " +
+                  scenarioName(scenario) + " / " + schemeName(scheme),
+              {"shards", "walks", "walk delta", "miss-rate delta",
+               "relative err", "within eps"});
+    const std::vector<unsigned> shard_counts =
+        args.has("shards")
+            ? std::vector<unsigned>{static_cast<unsigned>(
+                  args.getU64("shards", 2))}
+            : std::vector<unsigned>{2, 4, 8};
+    SimOptions serial_opts = opts;
+    serial_opts.shards = 1;
+    const SimResult serial = runSchemeCell(serial_opts, spec, scenario,
+                                           map, table, scheme, distance);
+    out.beginRow();
+    out.cell(std::string("1 (serial)"));
+    out.cell(serial.misses());
+    out.cell(std::uint64_t{0});
+    out.cell(0.0, 6);
+    out.cell(0.0, 6);
+    out.cell(std::string("yes"));
+    for (const unsigned k : shard_counts) {
+        SimOptions sharded_opts = opts;
+        sharded_opts.shards = k;
+        ShardAccuracy acc;
+        acc.serial = serial;
+        acc.sharded = runShardedCell(sharded_opts, spec, scenario, map,
+                                     table, scheme, distance)
+                          .merged;
+        acc.shard_count = k;
+        out.beginRow();
+        out.cell(std::to_string(k));
+        out.cell(acc.sharded.misses());
+        out.cell(acc.missDelta());
+        out.cell(acc.missRateDelta(), 6);
+        out.cell(acc.relativeMissError(), 6);
+        out.cell(std::string(acc.withinEpsilon() ? "yes" : "NO"));
+    }
+    emit(out, args.has("csv"));
+    return 0;
+}
+
+int
 cmdExportMap(const Args &args)
 {
     const std::string workload = args.get("workload", "canneal");
@@ -479,6 +559,8 @@ commands:
       --workload=NAME --scenario=NAME --scheme=NAME [--distance=N]
   profile [FILE]       page-level profile of a trace file or a
                        synthetic workload (--workload=NAME)
+  shard-check          sharded-vs-serial accuracy report for one cell
+      --workload=NAME --scenario=NAME --scheme=NAME [--shards=K]
   export-map           write a scenario's VA->PA mapping to a text file
       --workload=NAME --scenario=NAME [--out=FILE]
   inspect-map FILE     chunk statistics + Algorithm 1 pick for a mapping
@@ -488,6 +570,9 @@ common options:
   --accesses=N         trace length (default 2000000 or $ANCHORTLB_ACCESSES)
   --seed=N             RNG seed (default 42)
   --scale=F            footprint scale in (0,1]
+  --shards=K           within-cell shards (default 1 = exact serial,
+                       or $ANCHORTLB_SHARDS; K>1 is approximate)
+  --warmup=N           per-shard warmup accesses (default 32768)
   --csv                CSV output instead of ASCII tables
 
 scheme names: base thp cluster cluster-2mb rmm anchor ideal
@@ -517,6 +602,8 @@ main(int argc, char **argv)
         return cmdReplay(args);
     if (cmd == "profile")
         return cmdProfile(args);
+    if (cmd == "shard-check")
+        return cmdShardCheck(args);
     if (cmd == "export-map")
         return cmdExportMap(args);
     if (cmd == "inspect-map")
