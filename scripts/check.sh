@@ -94,7 +94,7 @@ tsan_leg() {
     cmake -S "$repo" -B "$repo/build-tsan" -DANCHORTLB_WERROR=ON \
         -DANCHORTLB_SANITIZE=thread > /dev/null
     cmake --build "$repo/build-tsan" -j "$jobs" \
-        --target test_common test_sim test_integration
+        --target test_common test_sim test_integration test_ingest
     (cd "$repo/build-tsan" &&
         ctest --output-on-failure -j "$jobs" \
             -R 'ThreadPool|ParallelRunner|Sharded')

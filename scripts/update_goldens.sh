@@ -18,18 +18,34 @@ golden_dir="$repo/tests/golden"
 # shellcheck source=../tests/golden/golden_env.sh
 . "$golden_dir/golden_env.sh"
 
+# The miniature binary trace is itself derived from the checked-in
+# text capture — re-import first so a codec change regenerates both
+# the .atlbtrc2 bytes and the pinned `trace info` output together.
+if [ ! -x "$build/tools/anchortlb" ]; then
+    echo "error: $build/tools/anchortlb not built" >&2
+    exit 1
+fi
+"$build/tools/anchortlb" trace import "$golden_dir/mini.trace" \
+    "$golden_dir/mini.atlbtrc2" --block-capacity=64 >/dev/null
+echo "regenerated tests/golden/mini.atlbtrc2"
+
+# Value = command line relative to the build tree; word-split on
+# purpose (no paths with spaces in this repo).
 declare -A benches=(
     [bench_fig2.txt]="$build/bench/bench_fig2_prior_schemes"
     [bench_fig9.txt]="$build/bench/bench_fig9_all_mappings"
+    [trace_info_mini.txt]="$build/tools/anchortlb trace info \
+$golden_dir/mini.atlbtrc2 --profile"
 )
 
 for golden in "${!benches[@]}"; do
-    bench="${benches[$golden]}"
-    if [ ! -x "$bench" ]; then
-        echo "error: $bench not built (build first: cmake --build $build)" >&2
+    # shellcheck disable=SC2206
+    cmd=(${benches[$golden]})
+    if [ ! -x "${cmd[0]}" ]; then
+        echo "error: ${cmd[0]} not built (build first: cmake --build $build)" >&2
         exit 1
     fi
-    "$bench" 2>/dev/null > "$golden_dir/$golden"
+    "${cmd[@]}" 2>/dev/null > "$golden_dir/$golden"
     echo "regenerated tests/golden/$golden"
 done
 

@@ -1,0 +1,323 @@
+#include "text_importer.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace atlb
+{
+
+namespace
+{
+
+/** Content lines sampled when auto-detecting the grammar. */
+constexpr std::size_t detectSampleLines = 64;
+
+struct ParsedLine
+{
+    bool emits = false;   //!< false: recognised but skipped (e.g. `I`)
+    MemAccess first;
+    bool modify = false;  //!< lackey `M`: emit first as read, then write
+};
+
+std::vector<std::string>
+tokenize(const std::string &line)
+{
+    std::vector<std::string> out;
+    std::istringstream is(line);
+    std::string tok;
+    while (is >> tok)
+        out.push_back(tok);
+    return out;
+}
+
+/** Lines that no grammar should ever see: blanks, `#`, `==` banners. */
+bool
+isNoise(const std::string &line)
+{
+    std::size_t i = 0;
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i])))
+        ++i;
+    if (i == line.size() || line[i] == '#')
+        return true;
+    return line.compare(i, 2, "==") == 0;
+}
+
+bool
+parseAddr(const std::string &tok, std::uint64_t &out)
+{
+    if (tok.empty())
+        return false;
+    int base = 10;
+    std::size_t start = 0;
+    bool saw_hex_digit = false;
+    if (tok.size() > 2 && tok[0] == '0' &&
+        (tok[1] == 'x' || tok[1] == 'X')) {
+        base = 16;
+        start = 2;
+    }
+    for (std::size_t i = start; i < tok.size(); ++i) {
+        const char c = tok[i];
+        if (c >= '0' && c <= '9')
+            continue;
+        if ((c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')) {
+            saw_hex_digit = true;
+            continue;
+        }
+        return false;
+    }
+    if (start == tok.size())
+        return false;
+    if (saw_hex_digit)
+        base = 16; // bare hex like `7fff5a8`
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v =
+        std::strtoull(tok.c_str() + start, &end, base);
+    if (errno != 0 || end != tok.c_str() + tok.size())
+        return false;
+    out = v;
+    return true;
+}
+
+bool
+parseReadWrite(const std::string &tok, bool &write)
+{
+    if (tok == "R" || tok == "r") {
+        write = false;
+        return true;
+    }
+    if (tok == "W" || tok == "w") {
+        write = true;
+        return true;
+    }
+    return false;
+}
+
+bool
+parsePlain(const std::vector<std::string> &toks, ParsedLine &out)
+{
+    if (toks.size() != 2)
+        return false;
+    if (!parseReadWrite(toks[0], out.first.write))
+        return false;
+    if (!parseAddr(toks[1], out.first.vaddr))
+        return false;
+    out.emits = true;
+    return true;
+}
+
+bool
+parseLackey(const std::vector<std::string> &toks, ParsedLine &out)
+{
+    if (toks.size() != 2 || toks[0].size() != 1)
+        return false;
+    const char kind = toks[0][0];
+    if (kind != 'I' && kind != 'L' && kind != 'S' && kind != 'M')
+        return false;
+    const std::string &operand = toks[1];
+    const std::size_t comma = operand.find(',');
+    if (comma == std::string::npos || comma == 0 ||
+        comma + 1 >= operand.size())
+        return false;
+    std::uint64_t size = 0;
+    if (!parseAddr(operand.substr(0, comma), out.first.vaddr) ||
+        !parseAddr(operand.substr(comma + 1), size) || size == 0)
+        return false;
+    if (kind == 'I') {
+        out.emits = false; // instruction fetch; we model data TLBs
+        return true;
+    }
+    out.emits = true;
+    out.first.write = kind == 'S';
+    out.modify = kind == 'M';
+    return true;
+}
+
+bool
+parseChampSim(const std::vector<std::string> &toks, ParsedLine &out)
+{
+    if (toks.size() != 3)
+        return false;
+    std::uint64_t ignored = 0;
+    if (!parseAddr(toks[0], ignored))
+        return false;
+    if (!parseReadWrite(toks[1], out.first.write))
+        return false;
+    if (!parseAddr(toks[2], out.first.vaddr))
+        return false;
+    out.emits = true;
+    return true;
+}
+
+bool
+parseLine(TextTraceFormat format, const std::vector<std::string> &toks,
+          ParsedLine &out)
+{
+    out = ParsedLine{};
+    switch (format) {
+      case TextTraceFormat::Plain: return parsePlain(toks, out);
+      case TextTraceFormat::Lackey: return parseLackey(toks, out);
+      case TextTraceFormat::ChampSim: return parseChampSim(toks, out);
+      case TextTraceFormat::Auto: break;
+    }
+    ATLB_PANIC("auto format must be resolved before parsing");
+}
+
+/**
+ * One parsing pass over @p path; @p emit sees each access with the
+ * rebase shift already applied.
+ */
+void
+scanFile(const std::string &path, TextTraceFormat format,
+         std::int64_t shift, ImportResult &result,
+         const std::function<void(const MemAccess &)> &emit)
+{
+    std::ifstream in(path);
+    if (!in)
+        ATLB_FATAL("cannot open text trace '{}'", path);
+    result.lines = 0;
+    result.accesses = 0;
+    result.skipped = 0;
+    result.min_vaddr = std::numeric_limits<std::uint64_t>::max();
+    result.max_vaddr = 0;
+    std::string line;
+    std::uint64_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (isNoise(line)) {
+            ++result.skipped;
+            continue;
+        }
+        ParsedLine parsed;
+        if (!parseLine(format, tokenize(line), parsed))
+            ATLB_FATAL("{}:{}: malformed {} trace line: '{}'", path,
+                       lineno, textTraceFormatName(format), line);
+        ++result.lines;
+        if (!parsed.emits) {
+            ++result.skipped;
+            continue;
+        }
+        MemAccess access = parsed.first;
+        access.vaddr = static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(access.vaddr) + shift);
+        result.min_vaddr = std::min(result.min_vaddr, access.vaddr);
+        result.max_vaddr = std::max(result.max_vaddr, access.vaddr);
+        if (parsed.modify) {
+            // lackey `M addr,size` is a read-modify-write pair.
+            MemAccess read = access;
+            read.write = false;
+            emit(read);
+            ++result.accesses;
+            access.write = true;
+        }
+        emit(access);
+        ++result.accesses;
+    }
+}
+
+} // namespace
+
+const char *
+textTraceFormatName(TextTraceFormat format)
+{
+    switch (format) {
+      case TextTraceFormat::Auto: return "auto";
+      case TextTraceFormat::Plain: return "plain";
+      case TextTraceFormat::Lackey: return "lackey";
+      case TextTraceFormat::ChampSim: return "champsim";
+    }
+    return "?";
+}
+
+TextTraceFormat
+parseTextTraceFormat(const std::string &name)
+{
+    for (const TextTraceFormat f :
+         {TextTraceFormat::Auto, TextTraceFormat::Plain,
+          TextTraceFormat::Lackey, TextTraceFormat::ChampSim}) {
+        if (name == textTraceFormatName(f))
+            return f;
+    }
+    ATLB_FATAL("unknown text trace format '{}' (expected auto, plain, "
+               "lackey or champsim)",
+               name);
+}
+
+TextTraceFormat
+detectTextTraceFormat(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        ATLB_FATAL("cannot open text trace '{}'", path);
+    std::vector<std::vector<std::string>> sample;
+    std::string line;
+    while (sample.size() < detectSampleLines && std::getline(in, line)) {
+        if (isNoise(line))
+            continue;
+        sample.push_back(tokenize(line));
+    }
+    if (sample.empty())
+        ATLB_FATAL("'{}' holds no trace lines to detect a format from",
+                   path);
+    // Lackey first: its L/S lines must not be mistaken for plain ones.
+    for (const TextTraceFormat f :
+         {TextTraceFormat::Lackey, TextTraceFormat::Plain,
+          TextTraceFormat::ChampSim}) {
+        bool all = true;
+        for (const std::vector<std::string> &toks : sample) {
+            ParsedLine parsed;
+            if (!parseLine(f, toks, parsed)) {
+                all = false;
+                break;
+            }
+        }
+        if (all)
+            return f;
+    }
+    ATLB_FATAL("cannot detect the trace format of '{}' (tried lackey, "
+               "plain, champsim over the first {} lines)",
+               path, sample.size());
+}
+
+ImportResult
+importTextTrace(const std::string &path, const ImportOptions &options,
+                const std::function<void(const MemAccess &)> &sink)
+{
+    ImportResult result;
+    result.format = options.format == TextTraceFormat::Auto
+                        ? detectTextTraceFormat(path)
+                        : options.format;
+
+    std::int64_t shift = 0;
+    if (options.rebase) {
+        // Pass 1: find the lowest vaddr so the stream can be shifted by
+        // a page-aligned delta (intra-stream distances are preserved).
+        ImportResult scan;
+        scanFile(path, result.format, 0, scan,
+                 [](const MemAccess &) {});
+        if (scan.accesses > 0) {
+            const std::uint64_t low_page =
+                scan.min_vaddr & ~(pageBytes - 1);
+            shift = static_cast<std::int64_t>(options.rebase_to) -
+                    static_cast<std::int64_t>(low_page);
+        }
+    }
+    result.rebase_shift = shift;
+
+    scanFile(path, result.format, shift, result, sink);
+    if (result.accesses == 0) {
+        result.min_vaddr = 0;
+        result.max_vaddr = 0;
+    }
+    return result;
+}
+
+} // namespace atlb

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Importers for text-format memory traces from external capture tools.
+ *
+ * Three line grammars are recognised (blank lines and `#` comments are
+ * always skipped):
+ *
+ *  - plain:    `R 0x7f00001000` / `W 4096` — two tokens, access kind
+ *              then address (hex with 0x, bare hex with letters, or
+ *              decimal).
+ *  - lackey:   Valgrind `--tool=lackey --trace-mem=yes` output:
+ *              ` L 0x04025310,8` loads, ` S …` stores, ` M …` modify
+ *              (expands to a load then a store), `I …` instruction
+ *              fetches (skipped — we model data TLBs). Lines starting
+ *              with `==` (valgrind banners) are skipped.
+ *  - champsim: three tokens `<seq-or-ip> <R|W> <vaddr>` as emitted by
+ *              common ChampSim trace dumpers; the first token is
+ *              ignored.
+ *
+ * Auto-detection samples the first content lines and picks the grammar
+ * that parses all of them, preferring lackey (its `L` lines also look
+ * plain-ish) then plain then champsim. Import is fatal on the first
+ * malformed line — a half-imported trace is worse than no trace.
+ *
+ * Rebasing: captured traces carry whatever virtual addresses the traced
+ * process used, but the simulator's OS model hands out mappings from a
+ * fixed region base (sim/experiment.hh traceBaseVa). With rebasing on,
+ * the importer shifts the whole stream by a page-aligned delta so its
+ * lowest page lands on `rebase_to`, preserving all intra-stream
+ * distances (which is all the TLB cares about).
+ */
+
+#ifndef ANCHORTLB_INGEST_TEXT_IMPORTER_HH
+#define ANCHORTLB_INGEST_TEXT_IMPORTER_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "trace/access.hh"
+
+namespace atlb
+{
+
+enum class TextTraceFormat
+{
+    Auto,     //!< detect from the first content lines
+    Plain,    //!< `R|W <addr>`
+    Lackey,   //!< valgrind lackey `I|L|S|M addr,size`
+    ChampSim, //!< `<seq> <R|W> <vaddr>`
+};
+
+/** Short name for messages and the CLI (`plain`, `lackey`, ...). */
+const char *textTraceFormatName(TextTraceFormat format);
+
+/** Parse a CLI format name; fatal on an unknown one. */
+TextTraceFormat parseTextTraceFormat(const std::string &name);
+
+/**
+ * Inspect the first content lines of @p path and return the grammar
+ * that parses all of them; fatal if none does.
+ */
+TextTraceFormat detectTextTraceFormat(const std::string &path);
+
+struct ImportOptions
+{
+    TextTraceFormat format = TextTraceFormat::Auto;
+    /** Shift the stream so its lowest page starts at rebase_to. */
+    bool rebase = false;
+    std::uint64_t rebase_to = 0;
+};
+
+struct ImportResult
+{
+    TextTraceFormat format = TextTraceFormat::Plain; //!< grammar used
+    std::uint64_t lines = 0;      //!< content lines parsed
+    std::uint64_t accesses = 0;   //!< accesses emitted (M counts as 2)
+    std::uint64_t skipped = 0;    //!< skipped lines (comments, I, ==)
+    std::uint64_t min_vaddr = 0;  //!< after rebasing
+    std::uint64_t max_vaddr = 0;  //!< after rebasing
+    std::int64_t rebase_shift = 0; //!< bytes added to every vaddr
+};
+
+/**
+ * Parse @p path and hand each access to @p sink in trace order.
+ * Rebasing makes this two-pass (scan for the minimum vaddr first).
+ * Fatal on unreadable files or malformed lines.
+ */
+ImportResult importTextTrace(const std::string &path,
+                             const ImportOptions &options,
+                             const std::function<void(const MemAccess &)>
+                                 &sink);
+
+} // namespace atlb
+
+#endif // ANCHORTLB_INGEST_TEXT_IMPORTER_HH

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * ATLBTRC2: block-based compressed, seekable on-disk trace format.
+ *
+ * The v1 format (trace_io.hh) spends a fixed 8 bytes per access, which
+ * makes real captured traces impractically large: a 2B-access stream is
+ * 16GB. Real access streams are highly local — most accesses land on or
+ * near the previous page — so v2 delta-encodes them:
+ *
+ *   [0..8)   magic "ATLBTRC2"
+ *   [8..16)  little-endian block capacity (accesses per full block)
+ *   blocks   back to back; block i holds exactly `capacity` accesses
+ *            (the last block holds the remainder)
+ *   index    one 32-byte entry per block:
+ *            {file offset, payload bytes, access count, FNV-1a checksum}
+ *   trailer  64 bytes: {index offset, block count, total accesses,
+ *            min vaddr, max vaddr, index FNV-1a, reserved,
+ *            magic "ATLBEND2"}
+ *
+ * A block encodes words word = (vaddr << 1) | write as zigzagged
+ * first-order deltas (the first access of a block deltas against 0, so
+ * every block decodes independently). Virtual addresses must fit 63
+ * bits (x86-64 uses 57); the writer rejects larger ones. The block body
+ * starts with one encoding-tag byte; the writer picks whichever
+ * encoding is smaller for that block:
+ *
+ *   tag 0  varint: each delta is one LEB128 varint. Wins on local
+ *          streams, where most deltas fit 1-2 bytes.
+ *   tag 1  bit-packed: a width byte w, the first word as one varint,
+ *          then the remaining count-1 zigzag deltas packed at w bits
+ *          each (little-endian bit order). Wins on uniformly scattered
+ *          streams (gups-like), where varint's per-byte continuation
+ *          bits waste ~12% and every delta is large anyway.
+ *
+ * Why this shape:
+ *  - Fixed access count per block means TraceSource::skip computes the
+ *    target block as consumed / capacity — O(1) across block
+ *    boundaries, which sim/sharded_runner's exact-slice seeking
+ *    requires. Only the landing block is decoded.
+ *  - Per-block checksums mean a flipped bit is detected at decode time
+ *    with a fatal diagnostic instead of silently simulating garbage;
+ *    the checksummed index means footer corruption is caught at open.
+ *  - Delta coding brings paper-style streams to ~2-3 bytes/access and
+ *    caps pathological random streams near 4.5 (bench_trace_codec
+ *    records the measured ratio against v1).
+ */
+
+#ifndef ANCHORTLB_INGEST_TRACE_V2_HH
+#define ANCHORTLB_INGEST_TRACE_V2_HH
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "trace/access.hh"
+
+namespace atlb
+{
+
+/** Accesses per full block; 64Ki keeps blocks ~100-200KB encoded. */
+constexpr std::uint64_t traceV2DefaultBlockCapacity = 64 * 1024;
+
+/** FNV-1a 64-bit over @p size bytes (the v2 payload/index checksum). */
+std::uint64_t fnv1a64(const void *data, std::size_t size);
+
+/** Streaming writer for the ATLBTRC2 format. */
+class TraceV2Writer
+{
+  public:
+    /**
+     * Open @p path for writing; fatal on failure.
+     * @param block_capacity accesses per block — the seek granularity;
+     *        tests shrink it to force multi-block files on tiny streams.
+     */
+    explicit TraceV2Writer(
+        const std::string &path,
+        std::uint64_t block_capacity = traceV2DefaultBlockCapacity);
+    ~TraceV2Writer();
+
+    TraceV2Writer(const TraceV2Writer &) = delete;
+    TraceV2Writer &operator=(const TraceV2Writer &) = delete;
+
+    /** Append one access; fatal if vaddr needs more than 63 bits. */
+    void append(const MemAccess &access);
+
+    /** Flush the tail block, index and trailer; idempotent. */
+    void close();
+
+    std::uint64_t written() const { return total_; }
+
+  private:
+    struct BlockEntry
+    {
+        std::uint64_t offset = 0;
+        std::uint64_t bytes = 0;
+        std::uint64_t count = 0;
+        std::uint64_t fnv = 0;
+    };
+
+    void flushBlock();
+
+    std::ofstream out_;
+    std::string path_;
+    std::uint64_t block_capacity_;
+    std::vector<std::uint64_t> deltas_;  //!< zigzag deltas, current block
+    std::vector<std::uint8_t> body_;     //!< encode scratch
+    std::uint64_t prev_word_ = 0;        //!< delta base within the block
+    std::uint64_t cursor_;               //!< next block's file offset
+    std::vector<BlockEntry> index_;
+    std::uint64_t total_ = 0;
+    std::uint64_t min_vaddr_ = ~0ULL;
+    std::uint64_t max_vaddr_ = 0;
+    bool closed_ = false;
+};
+
+/** TraceSource replaying an ATLBTRC2 file. */
+class TraceV2Source : public TraceSource
+{
+  public:
+    /** Open and validate @p path; fatal on any inconsistency. */
+    explicit TraceV2Source(const std::string &path);
+
+    bool next(MemAccess &out) override;
+
+    /** Batched decode: copies runs out of the decoded block buffer. */
+    std::size_t fill(MemAccess *out, std::size_t max) override;
+
+    /**
+     * O(1) reposition: the target block index is a division; no
+     * intervening block is read or decoded (the landing block decodes
+     * lazily on the next read).
+     */
+    void skip(std::uint64_t n) override;
+
+    void reset() override;
+
+    std::uint64_t length() const { return total_; }
+    std::uint64_t blockCapacity() const { return block_capacity_; }
+    std::uint64_t blockCount() const { return index_.size(); }
+    /** Smallest/largest vaddr in the stream (from the trailer). */
+    std::uint64_t minVaddr() const { return min_vaddr_; }
+    std::uint64_t maxVaddr() const { return max_vaddr_; }
+
+  private:
+    struct BlockEntry
+    {
+        std::uint64_t offset = 0;
+        std::uint64_t bytes = 0;
+        std::uint64_t count = 0;
+        std::uint64_t fnv = 0;
+    };
+
+    /** Read, checksum and decode block @p b into decoded_. */
+    void loadBlock(std::size_t b);
+
+    std::ifstream in_;
+    std::string path_;
+    std::uint64_t block_capacity_ = 0;
+    std::uint64_t total_ = 0;
+    std::uint64_t min_vaddr_ = ~0ULL;
+    std::uint64_t max_vaddr_ = 0;
+    std::vector<BlockEntry> index_;
+
+    std::vector<MemAccess> decoded_;
+    std::size_t loaded_block_ = ~std::size_t{0};
+    std::uint64_t consumed_ = 0;
+};
+
+} // namespace atlb
+
+#endif // ANCHORTLB_INGEST_TRACE_V2_HH

@@ -1,0 +1,124 @@
+#include "workload_profile.hh"
+
+#include <algorithm>
+#include <ostream>
+#include <vector>
+
+#include "stats/json_writer.hh"
+
+namespace atlb
+{
+
+void
+WorkloadProfiler::record(const MemAccess &access)
+{
+    pages_.record(access);
+    const Vpn vpn = vpnOf(access.vaddr);
+    touched_.insert(vpn);
+    if (last_vpn_ != invalidVpn) {
+        const std::uint64_t delta =
+            vpn > last_vpn_ ? vpn - last_vpn_ : last_vpn_ - vpn;
+        stride_.add(delta);
+    }
+    last_vpn_ = vpn;
+    min_vaddr_ = std::min(min_vaddr_, access.vaddr);
+    max_vaddr_ = std::max(max_vaddr_, access.vaddr);
+    ++accesses_;
+}
+
+void
+WorkloadProfiler::consume(TraceSource &source)
+{
+    MemAccess batch[1024];
+    std::size_t got;
+    while ((got = source.fill(batch, 1024)) > 0) {
+        for (std::size_t i = 0; i < got; ++i)
+            record(batch[i]);
+    }
+}
+
+WorkloadProfile
+WorkloadProfiler::profile() const
+{
+    WorkloadProfile out;
+    out.pages = pages_.profile();
+    out.footprint_pages = touched_.size();
+    out.footprint_bytes = out.footprint_pages * pageBytes;
+    out.min_vaddr = accesses_ > 0 ? min_vaddr_ : 0;
+    out.max_vaddr = accesses_ > 0 ? max_vaddr_ : 0;
+    out.stride = stride_;
+
+    // Maximal runs of consecutive VPNs over the sorted touched set —
+    // the chunk-size histogram shape Algorithm 1 consumes.
+    std::vector<Vpn> vpns(touched_.begin(), touched_.end());
+    std::sort(vpns.begin(), vpns.end());
+    std::size_t i = 0;
+    while (i < vpns.size()) {
+        std::size_t j = i + 1;
+        while (j < vpns.size() && vpns[j] == vpns[j - 1] + 1)
+            ++j;
+        out.contiguity.add(j - i);
+        i = j;
+    }
+    out.anchor_distance = selectAnchorDistance(out.contiguity);
+    return out;
+}
+
+void
+writeWorkloadProfileJson(std::ostream &os, const WorkloadProfile &p)
+{
+    JsonWriter json(os);
+    json.beginObject();
+    json.field("accesses", p.pages.accesses);
+    json.field("writes", p.pages.writes);
+    json.field("footprint_pages", p.footprint_pages);
+    json.field("footprint_bytes", p.footprint_bytes);
+    json.field("min_vaddr", p.min_vaddr);
+    json.field("max_vaddr", p.max_vaddr);
+    json.field("same_page_fraction", p.pages.same_page_fraction);
+    json.field("sequential_fraction", p.pages.sequential_fraction);
+    json.field("cold_accesses", p.pages.cold_accesses);
+    json.field("hot_set_pages_90", p.pages.hotSetPages(0.9));
+
+    json.key("reuse_distance_log2");
+    json.beginArray();
+    for (unsigned b = 0; b < p.pages.reuse_distance.numBuckets(); ++b)
+        json.value(p.pages.reuse_distance.bucket(b));
+    json.endArray();
+
+    json.key("stride_log2");
+    json.beginArray();
+    for (unsigned b = 0; b < p.stride.numBuckets(); ++b)
+        json.value(p.stride.bucket(b));
+    json.endArray();
+
+    json.key("contiguity");
+    json.beginArray();
+    for (const auto &[chunk, count] : p.contiguity.entries()) {
+        json.beginObject();
+        json.field("chunk_pages", chunk);
+        json.field("chunks", count);
+        json.endObject();
+    }
+    json.endArray();
+
+    json.key("anchor_distance");
+    json.beginObject();
+    json.field("selected", p.anchor_distance.distance);
+    json.field("cost", p.anchor_distance.cost);
+    json.key("candidates");
+    json.beginArray();
+    for (const auto &[distance, cost] : p.anchor_distance.candidates) {
+        json.beginObject();
+        json.field("distance", distance);
+        json.field("cost", cost);
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+
+    json.endObject();
+    os << "\n";
+}
+
+} // namespace atlb

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Whole-workload characterisation of an imported trace.
+ *
+ * The page-level TraceProfiler (trace/profiler.hh) answers the TLB-side
+ * questions (reuse, strides); a trace-driven *workload* additionally
+ * needs the OS-side view: how big is the footprint, and how contiguous
+ * are the touched virtual pages? The latter is exactly the quantity
+ * os/distance_selector consumes — the paper's OS summarises a mapping
+ * as a chunk-size histogram and picks the anchor distance from it — so
+ * the profiler emits its contiguity histogram in that shape
+ * (chunk size in pages -> number of chunks over the sorted touched-VPN
+ * set) and can run Algorithm 1 on it directly. Tests cross-check this
+ * histogram against MemoryMap::contiguityHistogram for a mapping built
+ * from the same pages.
+ */
+
+#ifndef ANCHORTLB_INGEST_WORKLOAD_PROFILE_HH
+#define ANCHORTLB_INGEST_WORKLOAD_PROFILE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <unordered_set>
+
+#include "common/types.hh"
+#include "os/distance_selector.hh"
+#include "stats/histogram.hh"
+#include "trace/access.hh"
+#include "trace/profiler.hh"
+
+namespace atlb
+{
+
+/** OS-facing summary of one trace-driven workload. */
+struct WorkloadProfile
+{
+    TraceProfile pages; //!< page-level reuse/stride profile
+
+    std::uint64_t footprint_pages = 0; //!< distinct 4KB pages touched
+    std::uint64_t footprint_bytes = 0;
+    std::uint64_t min_vaddr = 0; //!< 0 when the trace is empty
+    std::uint64_t max_vaddr = 0;
+
+    /**
+     * |Δvpn| between consecutive accesses, log2-bucketed (bucket 0 =
+     * same or adjacent page, bucket i = [2^i, 2^(i+1)) pages).
+     */
+    Log2Histogram stride{33};
+
+    /**
+     * Chunk-size histogram of the touched-VPN set: maximal runs of
+     * consecutive VPNs, size in pages -> run count. Same shape as
+     * MemoryMap::contiguityHistogram, so it feeds
+     * selectAnchorDistance unchanged.
+     */
+    Histogram contiguity;
+
+    /** Algorithm 1 run on `contiguity` (EntryCount cost model). */
+    DistanceSelection anchor_distance;
+};
+
+/** Streaming builder for WorkloadProfile; memory is O(unique pages). */
+class WorkloadProfiler
+{
+  public:
+    WorkloadProfiler() = default;
+    WorkloadProfiler(const WorkloadProfiler &) = delete;
+    WorkloadProfiler &operator=(const WorkloadProfiler &) = delete;
+
+    /** Feed one access. */
+    void record(const MemAccess &access);
+
+    /** Drain @p source to exhaustion through the profiler. */
+    void consume(TraceSource &source);
+
+    /**
+     * Snapshot the profile: sorts the touched-VPN set into contiguity
+     * runs and runs the distance selection (may be called repeatedly).
+     */
+    WorkloadProfile profile() const;
+
+  private:
+    TraceProfiler pages_;
+    std::unordered_set<Vpn> touched_;
+    Log2Histogram stride_{33};
+    Vpn last_vpn_ = invalidVpn;
+    std::uint64_t min_vaddr_ = ~0ULL;
+    std::uint64_t max_vaddr_ = 0;
+    std::uint64_t accesses_ = 0;
+};
+
+/**
+ * Emit @p profile as one JSON document to @p os (used by
+ * `anchortlb profile --json` and `anchortlb trace info --profile`).
+ */
+void writeWorkloadProfileJson(std::ostream &os,
+                              const WorkloadProfile &profile);
+
+} // namespace atlb
+
+#endif // ANCHORTLB_INGEST_WORKLOAD_PROFILE_HH

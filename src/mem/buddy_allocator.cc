@@ -153,6 +153,13 @@ BuddyAllocator::freeBlockList() const
     return blocks;
 }
 
+void
+BuddyAllocator::plantFreeBlockForTest(Ppn base, unsigned order)
+{
+    free_lists_[order].insert(base);
+    free_pages_ += 1ULL << order;
+}
+
 bool
 BuddyAllocator::isFree(Ppn base, unsigned order) const
 {

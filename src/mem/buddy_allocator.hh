@@ -96,6 +96,14 @@ class BuddyAllocator
     /** Snapshot of every free block, ascending by base frame. */
     std::vector<FreeBlock> freeBlockList() const;
 
+    /**
+     * Insert a block on a free list unchecked, bypassing free()'s
+     * assertions and coalescing (the counter is kept consistent).
+     * Corruption-injection tests use this to plant states the checked
+     * mutators refuse to create.
+     */
+    void plantFreeBlockForTest(Ppn base, unsigned order);
+
   private:
     std::uint64_t total_pages_;
     unsigned max_order_;

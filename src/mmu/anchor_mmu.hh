@@ -86,6 +86,8 @@ class AnchorMmu : public Mmu
 
     std::uint64_t distance() const { return distance_; }
     const SetAssocTlb &l2Tlb() const { return l2_; }
+    /** Mutable L2 for corruption-injection tests (invariant checkers). */
+    SetAssocTlb &l2TlbForTest() { return l2_; }
     const AnchorMmuStats &anchorStats() const { return anchor_stats_; }
 
   protected:

@@ -1,6 +1,7 @@
 #include "experiment.hh"
 
 #include <algorithm>
+#include <cstring>
 #include <functional>
 #include <limits>
 #include <vector>
@@ -8,6 +9,7 @@
 #include "common/env.hh"
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
+#include "ingest/trace_open.hh"
 #include "mmu/anchor_mmu.hh"
 #include "mmu/baseline_mmu.hh"
 #include "mmu/cluster_mmu.hh"
@@ -46,9 +48,52 @@ SimOptions::fromEnv()
     return opts;
 }
 
+namespace
+{
+
+/** Workload-name prefix selecting a trace-driven workload. */
+constexpr const char *traceWorkloadPrefix = "trace:";
+
+/**
+ * Sanity cap on a trace-driven footprint (pages): a capture whose vaddr
+ * span exceeds this was almost certainly imported without rebasing.
+ */
+constexpr std::uint64_t maxTraceFootprintPages = 1ULL << 25; // 128GB
+
+WorkloadSpec
+traceWorkloadSpec(const std::string &workload, const std::string &path)
+{
+    const TraceFileInfo info = inspectTraceFile(path);
+    if (info.accesses == 0)
+        ATLB_FATAL("trace '{}' is empty; nothing to simulate", path);
+    if (info.min_vaddr < traceBaseVa())
+        ATLB_FATAL("trace '{}' touches vaddr {} below the simulated "
+                   "region base {}; re-import it with --rebase",
+                   path, info.min_vaddr, traceBaseVa());
+    WorkloadSpec spec;
+    spec.name = workload;
+    spec.trace_path = path;
+    spec.trace_accesses = info.accesses;
+    spec.footprint_bytes = info.max_vaddr + 1 - traceBaseVa();
+    if (spec.footprintPages() > maxTraceFootprintPages)
+        ATLB_FATAL("trace '{}' spans {} pages from the region base "
+                   "(cap {}); re-import it with --rebase to compact "
+                   "the address range",
+                   path, spec.footprintPages(), maxTraceFootprintPages);
+    return spec;
+}
+
+} // namespace
+
 WorkloadSpec
 scaledWorkloadSpec(const SimOptions &options, const std::string &workload)
 {
+    if (workload.rfind(traceWorkloadPrefix, 0) == 0) {
+        // Trace-driven: footprint comes from the capture's own vaddr
+        // bounds, so footprint_scale does not apply.
+        return traceWorkloadSpec(
+            workload, workload.substr(std::strlen(traceWorkloadPrefix)));
+    }
     WorkloadSpec spec = findWorkload(workload);
     spec.footprint_bytes = static_cast<std::uint64_t>(
         static_cast<double>(spec.footprint_bytes) *
@@ -77,6 +122,27 @@ std::uint64_t
 traceSeedFor(const SimOptions &options, const WorkloadSpec &spec)
 {
     return options.seed ^ (std::hash<std::string>{}(spec.name) * 31 + 7);
+}
+
+std::uint64_t
+cellAccesses(const SimOptions &options, const WorkloadSpec &spec)
+{
+    if (!spec.traceDriven())
+        return options.accesses;
+    return std::min(options.accesses, spec.trace_accesses);
+}
+
+std::unique_ptr<TraceSource>
+makeCellTrace(const SimOptions &options, const WorkloadSpec &spec,
+              std::uint64_t num_accesses)
+{
+    if (spec.traceDriven()) {
+        return std::make_unique<ClampedTraceSource>(
+            openTraceFile(spec.trace_path), num_accesses);
+    }
+    return std::make_unique<PatternTrace>(spec, traceBaseVa(),
+                                          num_accesses,
+                                          traceSeedFor(options, spec));
 }
 
 std::unique_ptr<Mmu>
@@ -118,12 +184,12 @@ runSchemeCell(const SimOptions &options, const WorkloadSpec &spec,
             .merged;
     }
 
-    PatternTrace trace(spec, traceBaseVa(), options.accesses,
-                       traceSeedFor(options, spec));
+    const std::unique_ptr<TraceSource> trace =
+        makeCellTrace(options, spec, cellAccesses(options, spec));
     const std::unique_ptr<Mmu> mmu =
         buildSchemeMmu(options.mmu, table, map, scheme, anchor_distance);
 
-    SimResult res = runSimulation(*mmu, trace, spec.mem_per_instr);
+    SimResult res = runSimulation(*mmu, *trace, spec.mem_per_instr);
     res.workload = spec.name;
     res.scenario = scenarioName(scenario);
     res.scheme = schemeName(scheme);

@@ -87,9 +87,37 @@ struct SimOptions
     static SimOptions fromEnv();
 };
 
-/** Footprint-scaled catalog spec for @p workload (fatal if unknown). */
+/**
+ * Footprint-scaled catalog spec for @p workload (fatal if unknown).
+ *
+ * A name of the form "trace:<path>" instead names a trace-driven
+ * workload: @p path must be a binary trace file (ATLBTRC1/2) whose
+ * vaddrs all fall inside the simulated region starting at traceBaseVa()
+ * (import with --rebase to guarantee this). Its footprint is taken from
+ * the trace's vaddr bounds — footprint_scale deliberately does not
+ * apply, since the addresses are fixed by the capture.
+ */
 WorkloadSpec scaledWorkloadSpec(const SimOptions &options,
                                 const std::string &workload);
+
+/**
+ * Accesses one cell of @p spec actually simulates: options.accesses,
+ * clamped to the trace length for trace-driven workloads (a capture
+ * cannot be extended).
+ */
+std::uint64_t cellAccesses(const SimOptions &options,
+                           const WorkloadSpec &spec);
+
+/**
+ * The access stream of one cell: a PatternTrace for synthetic specs, a
+ * clamped file reader for trace-driven ones. Shared by the serial cell
+ * body and the sharded runner (which passes each shard's slice end as
+ * @p num_accesses), which is what keeps the two modes replaying the
+ * same stream.
+ */
+std::unique_ptr<TraceSource> makeCellTrace(const SimOptions &options,
+                                           const WorkloadSpec &spec,
+                                           std::uint64_t num_accesses);
 
 /** Scenario-construction parameters for @p spec under @p options. */
 ScenarioParams scenarioParamsFor(const SimOptions &options,

@@ -54,9 +54,9 @@ runShard(const SimOptions &options, const WorkloadSpec &spec,
          const PageTable &table, Scheme scheme,
          std::uint64_t anchor_distance, const ShardSlice &slice)
 {
-    PatternTrace trace(spec, traceBaseVa(), slice.end,
-                       traceSeedFor(options, spec));
-    trace.skip(slice.begin - slice.warmup);
+    const std::unique_ptr<TraceSource> trace =
+        makeCellTrace(options, spec, slice.end);
+    trace->skip(slice.begin - slice.warmup);
 
     const std::unique_ptr<Mmu> mmu =
         buildSchemeMmu(options.mmu, table, map, scheme, anchor_distance);
@@ -66,7 +66,7 @@ runShard(const SimOptions &options, const WorkloadSpec &spec,
         MemAccess buffer[batch];
         std::uint64_t left = slice.warmup;
         while (left > 0) {
-            const std::size_t n = trace.fill(
+            const std::size_t n = trace->fill(
                 buffer, static_cast<std::size_t>(
                             std::min<std::uint64_t>(batch, left)));
             ATLB_ASSERT(n > 0, "trace ended inside shard warmup");
@@ -77,7 +77,7 @@ runShard(const SimOptions &options, const WorkloadSpec &spec,
         mmu->resetStats();
     }
 
-    SimResult res = runSimulation(*mmu, trace, spec.mem_per_instr);
+    SimResult res = runSimulation(*mmu, *trace, spec.mem_per_instr);
     ANCHOR_DCHECK(res.stats.accesses == slice.length(),
                   "shard measured a wrong-sized slice");
     res.workload = spec.name;
@@ -97,7 +97,7 @@ runShardedCell(const SimOptions &options, const WorkloadSpec &spec,
                std::uint64_t anchor_distance)
 {
     ShardedResult out;
-    out.plan = planShards(options.accesses, options.shards,
+    out.plan = planShards(cellAccesses(options, spec), options.shards,
                           options.shard_warmup);
     out.shards.resize(out.plan.size());
 

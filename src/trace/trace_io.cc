@@ -80,11 +80,22 @@ TraceFileSource::TraceFileSource(const std::string &path)
 {
     if (!in_)
         ATLB_FATAL("cannot open trace file '{}'", path);
+    in_.seekg(0, std::ios::end);
+    const std::uint64_t file_bytes =
+        static_cast<std::uint64_t>(in_.tellg());
+    in_.seekg(0, std::ios::beg);
     char got[8];
     if (!in_.read(got, 8) || std::memcmp(got, magic, 8) != 0)
         ATLB_FATAL("'{}' is not an anchortlb trace file", path);
     if (!getU64(in_, count_))
         ATLB_FATAL("'{}': truncated trace header", path);
+    // Don't trust the header count blindly: a truncated copy would
+    // otherwise fail mid-replay (or an oversized one silently drop its
+    // tail), so reconcile it with the actual size up front.
+    if (16 + count_ * 8 != file_bytes)
+        ATLB_FATAL("'{}': header counts {} accesses ({} bytes) but the "
+                   "file holds {} bytes (truncated or oversized)",
+                   path, count_, 16 + count_ * 8, file_bytes);
 }
 
 bool

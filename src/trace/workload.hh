@@ -102,6 +102,17 @@ struct WorkloadSpec
     std::uint64_t map_tail_run_pages = 0;
     double map_tail_fraction = 0.0;
 
+    /**
+     * Non-empty: replay this binary trace file (ATLBTRC1/2) instead of
+     * generating the phase mixture. Built by scaledWorkloadSpec for
+     * "trace:<path>" workload names; the phases above are then unused.
+     */
+    std::string trace_path;
+    /** Access count of trace_path, recorded when the spec is built. */
+    std::uint64_t trace_accesses = 0;
+
+    bool traceDriven() const { return !trace_path.empty(); }
+
     std::uint64_t footprintPages() const
     {
         return (footprint_bytes + pageBytes - 1) / pageBytes;

@@ -177,6 +177,106 @@ TEST(AnchorInvariants, DetectsStaleContiguityAfterMigration)
               std::string::npos);
 }
 
+TEST(AnchorInvariants, DetectsContiguityOutOfRange)
+{
+    const MemoryMap map = shortRunMap();
+    PageTable table = buildAnchorPageTable(map, anchorDistance);
+    MmuConfig cfg;
+    AnchorMmu mmu(cfg, table, anchorDistance);
+
+    // Plant an anchor entry whose cached contiguity is zero — a value
+    // insert() can never produce — straight into the L2.
+    SetAssocTlb &l2 = mmu.l2TlbForTest();
+    TlbEntry e = makeEntry(EntryKind::Anchor,
+                           anchorBase >> 4 /* log2(distance) */, 0x5000);
+    e.aux = 0;
+    const unsigned set = static_cast<unsigned>(e.key % l2.numSets());
+    l2.entryAtForTest(set, 0) = e;
+    l2.setLastUseForTest(set, 0, 1);
+
+    const InvariantReport report = checkAnchorInvariants(mmu);
+    ASSERT_FALSE(report.ok());
+    EXPECT_NE(report.violations.front().find("outside"),
+              std::string::npos);
+
+    // Claiming more than the distance is equally unrepresentable.
+    e.aux = static_cast<std::uint32_t>(anchorDistance) + 1;
+    l2.entryAtForTest(set, 0) = e;
+    const InvariantReport over = checkAnchorInvariants(mmu);
+    ASSERT_FALSE(over.ok());
+    EXPECT_NE(over.violations.front().find("outside"),
+              std::string::npos);
+}
+
+/** Host environment mapping exactly the GPAs of shortRunMap(). */
+MemoryMap
+shortRunHostMap()
+{
+    MemoryMap m;
+    m.add(0x5000 /* GPA as the host's "vpn" dimension */, 0x9000, 24);
+    m.finalize();
+    return m;
+}
+
+TEST(AnchorInvariants, NestedCleanStatePasses)
+{
+    const MemoryMap map = shortRunMap();
+    PageTable table = buildAnchorPageTable(map, anchorDistance);
+    const MemoryMap host_map = shortRunHostMap();
+    PageTable host_table = buildPageTable(host_map, false);
+
+    MmuConfig cfg;
+    AnchorMmu mmu(cfg, table, anchorDistance);
+    mmu.setNested(&host_table, &host_map);
+    for (std::uint64_t i = 0; i < 24; ++i)
+        mmu.translate(vaOf(anchorBase + i));
+    EXPECT_TRUE(checkAnchorInvariants(mmu).ok());
+}
+
+TEST(AnchorInvariants, DetectsGuestFrameUnmappedInHost)
+{
+    const MemoryMap map = shortRunMap();
+    PageTable table = buildAnchorPageTable(map, anchorDistance);
+    const MemoryMap host_map = shortRunHostMap();
+    PageTable host_table = buildPageTable(host_map, false);
+
+    MmuConfig cfg;
+    AnchorMmu mmu(cfg, table, anchorDistance);
+    mmu.setNested(&host_table, &host_map);
+    mmu.translate(vaOf(anchorBase + 3)); // caches the anchor at +0
+
+    // Ballooning without a shootdown: a page inside the cached anchor's
+    // run now points at a GPA the host no longer maps.
+    table.remap4K(anchorBase + 5, 0x7f000);
+
+    const InvariantReport report = checkAnchorInvariants(mmu);
+    ASSERT_FALSE(report.ok());
+    EXPECT_NE(report.violations.front().find("unmapped in host"),
+              std::string::npos);
+}
+
+TEST(AnchorInvariants, DetectsStaleCombinedFrameAfterHostMigration)
+{
+    const MemoryMap map = shortRunMap();
+    PageTable table = buildAnchorPageTable(map, anchorDistance);
+    const MemoryMap host_map = shortRunHostMap();
+    PageTable host_table = buildPageTable(host_map, false);
+
+    MmuConfig cfg;
+    AnchorMmu mmu(cfg, table, anchorDistance);
+    mmu.setNested(&host_table, &host_map);
+    mmu.translate(vaOf(anchorBase + 3));
+
+    // The *host* migrates a frame inside the run: the anchor's combined
+    // GVA -> HPA arithmetic is now stale in the host dimension.
+    host_table.remap4K(0x5000 + 5, 0x4444);
+
+    const InvariantReport report = checkAnchorInvariants(mmu);
+    ASSERT_FALSE(report.ok());
+    EXPECT_NE(report.violations.front().find("disagrees"),
+              std::string::npos);
+}
+
 TEST(AnchorInvariantsDeathTest, VerifyDiesOnCorruptContiguity)
 {
     const MemoryMap map = shortRunMap();
@@ -223,6 +323,51 @@ TEST(BuddyInvariants, DetectsDoubleFree)
         }
     }
     EXPECT_TRUE(mentions_overlap_or_count);
+}
+
+TEST(BuddyInvariants, DetectsMisalignedFreeBlock)
+{
+    BuddyAllocator buddy(64, 6);
+    const Ppn all = buddy.allocate(6); // drain the pool: no real blocks
+    ASSERT_NE(all, invalidPpn);
+    buddy.plantFreeBlockForTest(1, 1); // order-1 block must be 2-aligned
+
+    const InvariantReport report = checkBuddyInvariants(buddy);
+    ASSERT_FALSE(report.ok());
+    EXPECT_NE(report.violations.front().find("misaligned"),
+              std::string::npos);
+}
+
+TEST(BuddyInvariants, DetectsBlockPastPoolEnd)
+{
+    BuddyAllocator buddy(64, 6);
+    const Ppn all = buddy.allocate(6);
+    ASSERT_NE(all, invalidPpn);
+    buddy.plantFreeBlockForTest(64, 0); // aligned, but outside the pool
+
+    const InvariantReport report = checkBuddyInvariants(buddy);
+    ASSERT_FALSE(report.ok());
+    EXPECT_NE(report.violations.front().find("past pool end"),
+              std::string::npos);
+}
+
+TEST(BuddyInvariants, DetectsUncoalescedBuddies)
+{
+    BuddyAllocator buddy(64, 6);
+    const Ppn all = buddy.allocate(6);
+    ASSERT_NE(all, invalidPpn);
+    // Two free buddies at the same order are unreachable state under
+    // eager coalescing — free() would have merged them to order 1.
+    buddy.plantFreeBlockForTest(4, 0);
+    buddy.plantFreeBlockForTest(5, 0);
+
+    const InvariantReport report = checkBuddyInvariants(buddy);
+    ASSERT_FALSE(report.ok());
+    bool mentions_coalesce = false;
+    for (const std::string &v : report.violations)
+        if (v.find("failed to coalesce") != std::string::npos)
+            mentions_coalesce = true;
+    EXPECT_TRUE(mentions_coalesce);
 }
 
 TEST(BuddyInvariantsDeathTest, VerifyDiesOnDoubleFree)

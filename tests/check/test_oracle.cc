@@ -112,6 +112,97 @@ TEST(DifferentialOracle, AllFiveSchemesAgree)
         EXPECT_EQ(oracle.verified(), 1500u);
 }
 
+TEST(TranslationOracle, SilentOnCorrectNestedTranslations)
+{
+    // Nested mode: the oracle re-derives every frame through both the
+    // guest and the host dimension.
+    MemoryMap guest;
+    guest.add(0x100000, 0x5000, 24);
+    guest.finalize();
+    MemoryMap host;
+    host.add(0x5000, 0x9000, 24); // GPA -> HPA
+    host.finalize();
+    PageTable guest_table = buildAnchorPageTable(guest, 16);
+    PageTable host_table = buildPageTable(host, false);
+
+    MmuConfig cfg;
+    AnchorMmu mmu(cfg, guest_table, 16);
+    mmu.setNested(&host_table, &host);
+    TranslationOracle oracle(mmu, &guest);
+
+    for (std::uint64_t i = 0; i < 24; ++i) {
+        const TranslationResult r = oracle.translate(vaOf(0x100000 + i));
+        EXPECT_EQ(r.ppn, 0x9000u + i);
+    }
+    EXPECT_EQ(oracle.verified(), 24u);
+}
+
+TEST(TranslationOracleDeathTest, CatchesGuestFrameUnmappedInHost)
+{
+    MemoryMap guest;
+    guest.add(0x100000, 0x5000, 24);
+    guest.finalize();
+    MemoryMap host;
+    host.add(0x5000, 0x9000, 24);
+    host.finalize();
+    PageTable guest_table = buildPageTable(guest, false);
+    PageTable host_table = buildPageTable(host, false);
+
+    MmuConfig cfg;
+    BaselineMmu mmu(cfg, guest_table);
+    mmu.setNested(&host_table, &host);
+    TranslationOracle oracle(mmu, &guest);
+
+    // Ballooning without a shootdown: the guest page now names a GPA
+    // the host never mapped. verify() must refuse whatever result the
+    // fast path fabricated for it.
+    guest_table.remap4K(0x100000 + 2, 0x7f000);
+    TranslationResult res;
+    res.ppn = 0x9000 + 2;
+    EXPECT_DEATH(oracle.verify(vaOf(0x100000 + 2), res),
+                 "unmapped in host");
+}
+
+TEST(TranslationOracleDeathTest, CatchesGuestFrameMismatchOnWalk)
+{
+    const MemoryMap map = test::makeVariedMap();
+    PageTable table = buildPageTable(map, false);
+    MmuConfig cfg;
+    BaselineMmu mmu(cfg, table);
+    TranslationOracle oracle(mmu, &map);
+
+    // A walk result whose guest frame disagrees with the table: the
+    // combined frame is right, so only the guest-dimension cross-check
+    // can catch it.
+    TranslationResult res;
+    res.ppn = map.translate(baseVpn + 1);
+    res.level = HitLevel::PageWalk;
+    res.guest_ppn = res.ppn + 0x123;
+    EXPECT_DEATH(oracle.verify(test::va(1), res),
+                 "guest frame mismatch");
+}
+
+TEST(TranslationOracleDeathTest, CatchesTableDisagreeingWithMapping)
+{
+    const MemoryMap map = test::makeVariedMap();
+    PageTable table = buildPageTable(map, false);
+    // A wrongly *built* table: walk and fast path agree with each
+    // other but not with the OS mapping — only ground truth #2 sees it.
+    table.remap4K(baseVpn + 1, 0x7777);
+
+    MmuConfig cfg;
+    BaselineMmu mmu(cfg, table);
+    TranslationOracle oracle(mmu, &map);
+    EXPECT_DEATH(oracle.translate(test::va(1)),
+                 "disagrees with the OS mapping");
+}
+
+TEST(DifferentialOracleDeathTest, NoAttachedMmusIsFatal)
+{
+    DifferentialOracle diff;
+    EXPECT_DEATH(diff.translateAll(vaOf(0x1000)), "no MMUs attached");
+}
+
 TEST(DifferentialOracleDeathTest, CatchesSchemeDivergence)
 {
     const MemoryMap map = test::makeVariedMap();

@@ -1,25 +1,28 @@
 #!/usr/bin/env bash
-# Golden-file regression check for one bench binary.
+# Golden-file regression check for one binary.
 #
-# usage: run_golden.sh <bench-binary> <golden-file>
+# usage: run_golden.sh <binary> <golden-file> [arg...]
 #
-# Runs the bench under the pinned environment (golden_env.sh) and diffs
-# its *stdout* against the checked-in golden. Stdout only: the sweep
-# summary (cache hit rate, timing-ish numbers) goes to stderr precisely
-# so the bytes compared here are deterministic. Any difference — down to
-# a single character — fails with the diff shown.
+# Runs the binary (any extra args are passed through — the trace-info
+# golden runs `anchortlb trace info ...`) under the pinned environment
+# (golden_env.sh) and diffs its *stdout* against the checked-in golden.
+# Stdout only: the sweep summary (cache hit rate, timing-ish numbers)
+# goes to stderr precisely so the bytes compared here are
+# deterministic. Any difference — down to a single character — fails
+# with the diff shown.
 #
 # To regenerate after an intentional output change:
 #   scripts/update_goldens.sh <build-dir>
 
 set -euo pipefail
 
-if [ $# -ne 2 ]; then
-    echo "usage: $0 <bench-binary> <golden-file>" >&2
+if [ $# -lt 2 ]; then
+    echo "usage: $0 <binary> <golden-file> [arg...]" >&2
     exit 2
 fi
 bench="$1"
 golden="$2"
+shift 2
 
 # shellcheck source=golden_env.sh
 . "$(dirname "$0")/golden_env.sh"
@@ -33,7 +36,7 @@ if [ ! -f "$golden" ]; then
     exit 2
 fi
 
-actual="$("$bench" 2>/dev/null)"
+actual="$("$bench" "$@" 2>/dev/null)"
 if ! diff -u "$golden" <(printf '%s\n' "$actual"); then
     echo "" >&2
     echo "GOLDEN MISMATCH: $(basename "$bench") no longer reproduces" >&2

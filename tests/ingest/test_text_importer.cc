@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Tests for the text trace importers: per-grammar parsing,
+ * auto-detection priority, rebasing, and malformed-input rejection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "ingest/text_importer.hh"
+
+namespace atlb
+{
+namespace
+{
+
+class TextImporterTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        const auto *info =
+            testing::UnitTest::GetInstance()->current_test_info();
+        path_ = testing::TempDir() + "atlb_txt_" + info->name() + "_" +
+                std::to_string(::getpid()) + ".txt";
+        detail::setThrowOnError(true);
+    }
+    void TearDown() override
+    {
+        detail::setThrowOnError(false);
+        std::remove(path_.c_str());
+    }
+
+    void writeFile(const std::string &content)
+    {
+        std::ofstream out(path_);
+        out << content;
+    }
+
+    std::vector<MemAccess> import(const ImportOptions &options,
+                                  ImportResult *result = nullptr)
+    {
+        std::vector<MemAccess> out;
+        const ImportResult r = importTextTrace(
+            path_, options, [&](const MemAccess &a) { out.push_back(a); });
+        if (result != nullptr)
+            *result = r;
+        return out;
+    }
+
+    std::string path_;
+};
+
+TEST_F(TextImporterTest, PlainFormat)
+{
+    writeFile("# comment line\n"
+              "R 0x1000\n"
+              "W 4096\n"     // decimal: same page as 0x1000
+              "r 0x2abc\n"   // lower case accepted
+              "W 7ffd8\n"    // bare hex (has hex letters)
+              "\n");
+    ImportResult res;
+    const std::vector<MemAccess> got =
+        import({TextTraceFormat::Plain, false, 0}, &res);
+    ASSERT_EQ(got.size(), 4u);
+    EXPECT_EQ(got[0].vaddr, 0x1000u);
+    EXPECT_FALSE(got[0].write);
+    EXPECT_EQ(got[1].vaddr, 4096u);
+    EXPECT_TRUE(got[1].write);
+    EXPECT_EQ(got[2].vaddr, 0x2abcu);
+    EXPECT_FALSE(got[2].write);
+    EXPECT_EQ(got[3].vaddr, 0x7ffd8u);
+    EXPECT_TRUE(got[3].write);
+    EXPECT_EQ(res.format, TextTraceFormat::Plain);
+    EXPECT_EQ(res.accesses, 4u);
+    EXPECT_EQ(res.skipped, 2u); // the comment and the blank line
+}
+
+TEST_F(TextImporterTest, LackeyFormat)
+{
+    writeFile("==1234== Memcheck-style banner, skipped\n"
+              "I  0x400500,4\n"
+              " L 0x04025310,8\n"
+              " S 0x04025318,8\n"
+              "M 0x0402531c,4\n");
+    ImportResult res;
+    const std::vector<MemAccess> got =
+        import({TextTraceFormat::Lackey, false, 0}, &res);
+    // I is skipped; M expands to a read then a write at the same vaddr.
+    ASSERT_EQ(got.size(), 4u);
+    EXPECT_EQ(got[0].vaddr, 0x04025310u);
+    EXPECT_FALSE(got[0].write);
+    EXPECT_EQ(got[1].vaddr, 0x04025318u);
+    EXPECT_TRUE(got[1].write);
+    EXPECT_EQ(got[2].vaddr, 0x0402531cu);
+    EXPECT_FALSE(got[2].write);
+    EXPECT_EQ(got[3].vaddr, 0x0402531cu);
+    EXPECT_TRUE(got[3].write);
+    EXPECT_EQ(res.accesses, 4u);
+}
+
+TEST_F(TextImporterTest, ChampSimFormat)
+{
+    writeFile("1 R 0x7f0000001000\n"
+              "2 W 0x7f0000002000\n"
+              "401020 R 0x7f0000001008\n"); // first token may be an ip
+    const std::vector<MemAccess> got =
+        import({TextTraceFormat::ChampSim, false, 0});
+    ASSERT_EQ(got.size(), 3u);
+    EXPECT_EQ(got[0].vaddr, 0x7f0000001000u);
+    EXPECT_TRUE(got[1].write);
+    EXPECT_EQ(got[2].vaddr, 0x7f0000001008u);
+}
+
+TEST_F(TextImporterTest, AutoDetection)
+{
+    writeFile(" L 0x1000,8\n S 0x2000,4\n");
+    EXPECT_EQ(detectTextTraceFormat(path_), TextTraceFormat::Lackey);
+
+    writeFile("R 0x1000\nW 0x2000\n");
+    EXPECT_EQ(detectTextTraceFormat(path_), TextTraceFormat::Plain);
+
+    writeFile("1 R 0x1000\n2 W 0x2000\n");
+    EXPECT_EQ(detectTextTraceFormat(path_), TextTraceFormat::ChampSim);
+
+    writeFile("neither fish nor fowl\n");
+    EXPECT_THROW(detectTextTraceFormat(path_), std::runtime_error);
+}
+
+TEST_F(TextImporterTest, AutoImportUsesDetectedFormat)
+{
+    writeFile("I  0x400500,4\n L 0x9000,8\n");
+    ImportResult res;
+    const std::vector<MemAccess> got =
+        import({TextTraceFormat::Auto, false, 0}, &res);
+    EXPECT_EQ(res.format, TextTraceFormat::Lackey);
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0].vaddr, 0x9000u);
+}
+
+TEST_F(TextImporterTest, RebaseShiftsToTargetPage)
+{
+    writeFile("R 0x555555550123\n"
+              "W 0x555555551000\n"
+              "R 0x555555554018\n");
+    ImportOptions opts;
+    opts.format = TextTraceFormat::Plain;
+    opts.rebase = true;
+    opts.rebase_to = 0x7f0000000000ULL;
+    ImportResult res;
+    const std::vector<MemAccess> got = import(opts, &res);
+    ASSERT_EQ(got.size(), 3u);
+    // The lowest touched page lands exactly on rebase_to; page offsets
+    // and inter-access distances are preserved.
+    EXPECT_EQ(got[0].vaddr, 0x7f0000000123u);
+    EXPECT_EQ(got[1].vaddr, 0x7f0000001000u);
+    EXPECT_EQ(got[2].vaddr, 0x7f0000004018u);
+    EXPECT_EQ(res.min_vaddr, 0x7f0000000123u);
+    EXPECT_EQ(res.max_vaddr, 0x7f0000004018u);
+    EXPECT_EQ(res.rebase_shift,
+              static_cast<std::int64_t>(0x7f0000000000ULL) -
+                  static_cast<std::int64_t>(0x555555550000ULL));
+}
+
+TEST_F(TextImporterTest, RebaseDownwardWorks)
+{
+    // Rebasing can also shift addresses down (target below the capture).
+    writeFile("R 0x7fffffff0000\n");
+    ImportOptions opts;
+    opts.format = TextTraceFormat::Plain;
+    opts.rebase = true;
+    opts.rebase_to = 0x1000;
+    const std::vector<MemAccess> got = import(opts);
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0].vaddr, 0x1000u);
+}
+
+TEST_F(TextImporterTest, MalformedLineIsFatal)
+{
+    writeFile("R 0x1000\nR zzzz\n");
+    EXPECT_THROW(import({TextTraceFormat::Plain, false, 0}),
+                 std::runtime_error);
+
+    writeFile("R 0x1000 extra\n");
+    EXPECT_THROW(import({TextTraceFormat::Plain, false, 0}),
+                 std::runtime_error);
+
+    writeFile(" L 0x1000\n"); // lackey needs the ,size suffix
+    EXPECT_THROW(import({TextTraceFormat::Lackey, false, 0}),
+                 std::runtime_error);
+}
+
+TEST_F(TextImporterTest, MissingFileIsFatal)
+{
+    EXPECT_THROW(importTextTrace("/nonexistent/trace.txt", {},
+                                 [](const MemAccess &) {}),
+                 std::runtime_error);
+}
+
+TEST_F(TextImporterTest, FormatNamesRoundTrip)
+{
+    for (const TextTraceFormat f :
+         {TextTraceFormat::Auto, TextTraceFormat::Plain,
+          TextTraceFormat::Lackey, TextTraceFormat::ChampSim})
+        EXPECT_EQ(parseTextTraceFormat(textTraceFormatName(f)), f);
+    EXPECT_THROW(parseTextTraceFormat("tabular"), std::runtime_error);
+}
+
+} // namespace
+} // namespace atlb

@@ -109,14 +109,15 @@ TEST_F(TraceIoTest, BadMagicIsFatal)
     EXPECT_THROW(TraceFileSource src(path_), std::runtime_error);
 }
 
-TEST_F(TraceIoTest, TruncatedBodyIsFatal)
+TEST_F(TraceIoTest, TruncatedBodyIsFatalAtOpen)
 {
     {
         TraceWriter w(path_);
         for (int i = 0; i < 10; ++i)
             w.append({static_cast<VirtAddr>(i) << 12, false});
     }
-    // Chop the last record.
+    // Chop half a record: the open-time size check must reject the file
+    // before any record is served (previously this failed mid-replay).
     {
         std::ifstream in(path_, std::ios::binary | std::ios::ate);
         const auto size = in.tellg();
@@ -126,14 +127,24 @@ TEST_F(TraceIoTest, TruncatedBodyIsFatal)
         std::ofstream out(path_, std::ios::binary | std::ios::trunc);
         out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
     }
-    TraceFileSource src(path_);
-    MemAccess a;
-    EXPECT_THROW(
-        {
-            while (src.next(a)) {
-            }
-        },
-        std::runtime_error);
+    EXPECT_THROW(TraceFileSource src(path_), std::runtime_error);
+}
+
+TEST_F(TraceIoTest, OversizedFileIsFatalAtOpen)
+{
+    {
+        TraceWriter w(path_);
+        for (int i = 0; i < 10; ++i)
+            w.append({static_cast<VirtAddr>(i) << 12, false});
+    }
+    // Append stray bytes: the header now undercounts the body, which
+    // would silently drop the tail without the size check.
+    {
+        std::ofstream out(path_,
+                          std::ios::binary | std::ios::app);
+        out << "junk";
+    }
+    EXPECT_THROW(TraceFileSource src(path_), std::runtime_error);
 }
 
 TEST_F(TraceIoTest, SkipSeeksToTheSamePositionAsDraining)
