@@ -66,10 +66,14 @@ MappedTraceSource::MappedTraceSource(const std::string &path)
     if (std::memcmp(head, magic, 8) != 0)
         ATLB_FATAL("'{}' is not an anchortlb trace file", path);
     count_ = readU64(head + 8);
-    if (headerBytes + count_ * 8 != file_bytes)
-        ATLB_FATAL("'{}': header counts {} accesses ({} bytes) but the "
-                   "file holds {} bytes (truncated or oversized)",
-                   path, count_, headerBytes + count_ * 8, file_bytes);
+    // Bound the count by division before multiplying: a crafted header
+    // whose count makes count_ * 8 wrap past 2^64 would otherwise pass
+    // the size check and send fill() reading far beyond the mapping.
+    if (count_ > (file_bytes - headerBytes) / 8 ||
+        headerBytes + count_ * 8 != file_bytes)
+        ATLB_FATAL("'{}': header counts {} accesses but the file holds "
+                   "{} bytes (truncated or oversized)",
+                   path, count_, file_bytes);
     records_ = head + headerBytes;
 }
 

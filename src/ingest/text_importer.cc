@@ -50,33 +50,26 @@ isNoise(const std::string &line)
     return line.compare(i, 2, "==") == 0;
 }
 
+/** Parse an unsigned integer in @p base (10 or 16); hex accepts an
+ *  optional 0x prefix. */
 bool
-parseAddr(const std::string &tok, std::uint64_t &out)
+parseUint(const std::string &tok, int base, std::uint64_t &out)
 {
-    if (tok.empty())
-        return false;
-    int base = 10;
     std::size_t start = 0;
-    bool saw_hex_digit = false;
-    if (tok.size() > 2 && tok[0] == '0' &&
-        (tok[1] == 'x' || tok[1] == 'X')) {
-        base = 16;
+    if (base == 16 && tok.size() > 2 && tok[0] == '0' &&
+        (tok[1] == 'x' || tok[1] == 'X'))
         start = 2;
-    }
+    if (start == tok.size())
+        return false;
     for (std::size_t i = start; i < tok.size(); ++i) {
         const char c = tok[i];
         if (c >= '0' && c <= '9')
             continue;
-        if ((c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')) {
-            saw_hex_digit = true;
+        if (base == 16 &&
+            ((c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')))
             continue;
-        }
         return false;
     }
-    if (start == tok.size())
-        return false;
-    if (saw_hex_digit)
-        base = 16; // bare hex like `7fff5a8`
     errno = 0;
     char *end = nullptr;
     const unsigned long long v =
@@ -85,6 +78,27 @@ parseAddr(const std::string &tok, std::uint64_t &out)
         return false;
     out = v;
     return true;
+}
+
+/**
+ * The radix of an address is a property of the grammar, never of the
+ * token: capture tools that emit hex without a 0x prefix (lackey,
+ * champsim dumpers) produce digit-only tokens like `04025310` that a
+ * per-token guess would silently read as decimal, corrupting every
+ * intra-stream distance. Fixed-radix grammars call parseUint(_, 16, _)
+ * directly; only the plain grammar keeps the documented heuristic.
+ */
+bool
+parseHeuristicAddr(const std::string &tok, std::uint64_t &out)
+{
+    if (tok.size() > 2 && tok[0] == '0' &&
+        (tok[1] == 'x' || tok[1] == 'X'))
+        return parseUint(tok, 16, out);
+    for (const char c : tok) {
+        if ((c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F'))
+            return parseUint(tok, 16, out); // bare hex like `7fff5a8`
+    }
+    return parseUint(tok, 10, out);
 }
 
 bool
@@ -108,7 +122,7 @@ parsePlain(const std::vector<std::string> &toks, ParsedLine &out)
         return false;
     if (!parseReadWrite(toks[0], out.first.write))
         return false;
-    if (!parseAddr(toks[1], out.first.vaddr))
+    if (!parseHeuristicAddr(toks[1], out.first.vaddr))
         return false;
     out.emits = true;
     return true;
@@ -127,9 +141,11 @@ parseLackey(const std::vector<std::string> &toks, ParsedLine &out)
     if (comma == std::string::npos || comma == 0 ||
         comma + 1 >= operand.size())
         return false;
+    // Lackey addresses are always hex (usually without 0x); sizes are
+    // always decimal — exactly what valgrind's `%08lx,%lu` emits.
     std::uint64_t size = 0;
-    if (!parseAddr(operand.substr(0, comma), out.first.vaddr) ||
-        !parseAddr(operand.substr(comma + 1), size) || size == 0)
+    if (!parseUint(operand.substr(0, comma), 16, out.first.vaddr) ||
+        !parseUint(operand.substr(comma + 1), 10, size) || size == 0)
         return false;
     if (kind == 'I') {
         out.emits = false; // instruction fetch; we model data TLBs
@@ -146,12 +162,14 @@ parseChampSim(const std::vector<std::string> &toks, ParsedLine &out)
 {
     if (toks.size() != 3)
         return false;
+    // ChampSim dumpers print the ip/seq and the vaddr in hex, with or
+    // without a 0x prefix.
     std::uint64_t ignored = 0;
-    if (!parseAddr(toks[0], ignored))
+    if (!parseUint(toks[0], 16, ignored))
         return false;
     if (!parseReadWrite(toks[1], out.first.write))
         return false;
-    if (!parseAddr(toks[2], out.first.vaddr))
+    if (!parseUint(toks[2], 16, out.first.vaddr))
         return false;
     out.emits = true;
     return true;

@@ -7,15 +7,18 @@
  *
  *  - plain:    `R 0x7f00001000` / `W 4096` — two tokens, access kind
  *              then address (hex with 0x, bare hex with letters, or
- *              decimal).
+ *              decimal; the radix heuristic applies to this grammar
+ *              only).
  *  - lackey:   Valgrind `--tool=lackey --trace-mem=yes` output:
- *              ` L 0x04025310,8` loads, ` S …` stores, ` M …` modify
+ *              ` L 04025310,8` loads, ` S …` stores, ` M …` modify
  *              (expands to a load then a store), `I …` instruction
- *              fetches (skipped — we model data TLBs). Lines starting
- *              with `==` (valgrind banners) are skipped.
+ *              fetches (skipped — we model data TLBs). Addresses are
+ *              always hex (valgrind omits the 0x), sizes always
+ *              decimal. Lines starting with `==` (valgrind banners)
+ *              are skipped.
  *  - champsim: three tokens `<seq-or-ip> <R|W> <vaddr>` as emitted by
- *              common ChampSim trace dumpers; the first token is
- *              ignored.
+ *              common ChampSim trace dumpers; both numbers are hex
+ *              (0x optional) and the first token is ignored.
  *
  * Auto-detection samples the first content lines and picks the grammar
  * that parses all of them, preferring lackey (its `L` lines also look

@@ -300,8 +300,13 @@ TraceV2Source::TraceV2Source(const std::string &path)
     max_vaddr_ = readU64(tail.data() + 32);
     const std::uint64_t index_fnv = readU64(tail.data() + 40);
 
-    if (index_offset + block_count * indexEntryBytes + trailerBytes !=
-        file_bytes)
+    // Bound block_count by division before any multiplication: a
+    // crafted trailer with a huge count could wrap the geometry sum
+    // past 2^64 into a pass, then blow up the index allocation below.
+    if (block_count >
+            (file_bytes - headerBytes - trailerBytes) / indexEntryBytes ||
+        index_offset !=
+            file_bytes - trailerBytes - block_count * indexEntryBytes)
         ATLB_FATAL("'{}': ATLBTRC2 index geometry disagrees with the "
                    "file size (truncated or oversized file)",
                    path);
@@ -342,6 +347,10 @@ TraceV2Source::TraceV2Source(const std::string &path)
                        path, b, index_[b].count, block_capacity_);
         counted += index_[b].count;
     }
+    if (expect_offset != index_offset)
+        ATLB_FATAL("'{}': ATLBTRC2 payload ends at byte {} but the "
+                   "block index starts at byte {} (gap or overlap)",
+                   path, expect_offset, index_offset);
     if (counted != total_)
         ATLB_FATAL("'{}': ATLBTRC2 blocks hold {} accesses but the "
                    "trailer says {}",

@@ -91,11 +91,13 @@ TraceFileSource::TraceFileSource(const std::string &path)
         ATLB_FATAL("'{}': truncated trace header", path);
     // Don't trust the header count blindly: a truncated copy would
     // otherwise fail mid-replay (or an oversized one silently drop its
-    // tail), so reconcile it with the actual size up front.
-    if (16 + count_ * 8 != file_bytes)
-        ATLB_FATAL("'{}': header counts {} accesses ({} bytes) but the "
-                   "file holds {} bytes (truncated or oversized)",
-                   path, count_, 16 + count_ * 8, file_bytes);
+    // tail), so reconcile it with the actual size up front. Bound the
+    // count by division before multiplying — a crafted count can make
+    // count_ * 8 wrap past 2^64 and sneak through the equality check.
+    if (count_ > (file_bytes - 16) / 8 || 16 + count_ * 8 != file_bytes)
+        ATLB_FATAL("'{}': header counts {} accesses but the file holds "
+                   "{} bytes (truncated or oversized)",
+                   path, count_, file_bytes);
 }
 
 bool

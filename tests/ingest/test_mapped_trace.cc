@@ -134,5 +134,28 @@ TEST_F(MappedTraceTest, SizeMismatchIsFatalAtOpen)
     EXPECT_THROW(MappedTraceSource src(path_), std::runtime_error);
 }
 
+TEST_F(MappedTraceTest, OverflowingHeaderCountIsFatalAtOpen)
+{
+    // A 16-byte file whose header claims 2^61 accesses makes
+    // count * 8 wrap to 0, so a naive `16 + count * 8 == size` check
+    // passes and fill() runs off the end of the mapping. The open
+    // must reject the count instead.
+    {
+        TraceWriter w(path_); // empty trace: header only
+    }
+    {
+        std::fstream f(path_, std::ios::binary | std::ios::in |
+                                  std::ios::out);
+        f.seekp(8);
+        const std::uint64_t bogus = 1ULL << 61;
+        for (int i = 0; i < 8; ++i) {
+            const char byte =
+                static_cast<char>((bogus >> (8 * i)) & 0xff);
+            f.write(&byte, 1);
+        }
+    }
+    EXPECT_THROW(MappedTraceSource src(path_), std::runtime_error);
+}
+
 } // namespace
 } // namespace atlb

@@ -108,17 +108,36 @@ TEST_F(TextImporterTest, LackeyFormat)
     EXPECT_EQ(res.accesses, 4u);
 }
 
+TEST_F(TextImporterTest, LackeyBareAddressesAreHex)
+{
+    // Real lackey output omits the 0x prefix: an address made only of
+    // decimal digits (04025310) is still hex — a per-token radix guess
+    // would read it as decimal and corrupt every intra-stream
+    // distance. Sizes after the comma are decimal, as valgrind emits.
+    writeFile(" L 04025310,8\n"
+              " S 10000,16\n");
+    const std::vector<MemAccess> got =
+        import({TextTraceFormat::Lackey, false, 0});
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_EQ(got[0].vaddr, 0x04025310u);
+    EXPECT_FALSE(got[0].write);
+    EXPECT_EQ(got[1].vaddr, 0x10000u);
+    EXPECT_TRUE(got[1].write);
+}
+
 TEST_F(TextImporterTest, ChampSimFormat)
 {
     writeFile("1 R 0x7f0000001000\n"
               "2 W 0x7f0000002000\n"
-              "401020 R 0x7f0000001008\n"); // first token may be an ip
+              "401020 R 0x7f0000001008\n"  // first token may be an ip
+              "4010a4 W 7f0000003000\n");  // bare hex, no 0x
     const std::vector<MemAccess> got =
         import({TextTraceFormat::ChampSim, false, 0});
-    ASSERT_EQ(got.size(), 3u);
+    ASSERT_EQ(got.size(), 4u);
     EXPECT_EQ(got[0].vaddr, 0x7f0000001000u);
     EXPECT_TRUE(got[1].write);
     EXPECT_EQ(got[2].vaddr, 0x7f0000001008u);
+    EXPECT_EQ(got[3].vaddr, 0x7f0000003000u);
 }
 
 TEST_F(TextImporterTest, AutoDetection)
@@ -195,6 +214,10 @@ TEST_F(TextImporterTest, MalformedLineIsFatal)
                  std::runtime_error);
 
     writeFile(" L 0x1000\n"); // lackey needs the ,size suffix
+    EXPECT_THROW(import({TextTraceFormat::Lackey, false, 0}),
+                 std::runtime_error);
+
+    writeFile(" L 0x1000,f\n"); // lackey sizes are decimal
     EXPECT_THROW(import({TextTraceFormat::Lackey, false, 0}),
                  std::runtime_error);
 }

@@ -83,6 +83,40 @@ class TraceV2Test : public ::testing::Test
         return out;
     }
 
+    static std::vector<char> slurp(const std::string &path)
+    {
+        std::ifstream in(path, std::ios::binary | std::ios::ate);
+        std::vector<char> buf(static_cast<std::size_t>(in.tellg()));
+        in.seekg(0);
+        in.read(buf.data(), static_cast<std::streamsize>(buf.size()));
+        return buf;
+    }
+
+    static void dump(const std::string &path,
+                     const std::vector<char> &buf)
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+    }
+
+    static std::uint64_t readU64At(const std::vector<char> &buf,
+                                   std::size_t at)
+    {
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(
+                     static_cast<unsigned char>(buf[at + i]))
+                 << (8 * i);
+        return v;
+    }
+
+    static void putU64At(std::vector<char> &buf, std::size_t at,
+                         std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            buf[at + i] = static_cast<char>((v >> (8 * i)) & 0xff);
+    }
+
     std::string path_;
 };
 
@@ -312,6 +346,38 @@ TEST_F(TraceV2Test, TruncatedFileIsFatalAtOpen)
         std::ofstream out(path_, std::ios::binary | std::ios::trunc);
         out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
     }
+    EXPECT_THROW(TraceV2Source src(path_), std::runtime_error);
+}
+
+TEST_F(TraceV2Test, OverflowingBlockCountIsFatalAtOpen)
+{
+    write(randomStream(1'000, 31), 64);
+    // Add 2^59 to the trailer's block_count: block_count * 32 wraps by
+    // exactly 2^64, so a naive geometry sum still matches the file
+    // size while the index allocation balloons to exabytes. The open
+    // must reject the count with a clean fatal instead.
+    std::vector<char> buf = slurp(path_);
+    const std::size_t count_at = buf.size() - 64 + 8;
+    std::uint64_t block_count = readU64At(buf, count_at);
+    putU64At(buf, count_at, block_count + (1ULL << 59));
+    dump(path_, buf);
+    EXPECT_THROW(TraceV2Source src(path_), std::runtime_error);
+}
+
+TEST_F(TraceV2Test, PayloadIndexGapIsFatalAtOpen)
+{
+    write(randomStream(1'000, 37), 64);
+    // Splice pad bytes between the last block and the index, bumping
+    // the trailer's index_offset to match: every per-block check and
+    // the index checksum still pass, but the payload no longer ends
+    // where the index starts — open-time validation must notice.
+    std::vector<char> buf = slurp(path_);
+    const std::size_t offset_at = buf.size() - 64;
+    const std::uint64_t index_offset = readU64At(buf, offset_at);
+    putU64At(buf, offset_at, index_offset + 8);
+    buf.insert(buf.begin() + static_cast<std::ptrdiff_t>(index_offset),
+               8, '\x5a');
+    dump(path_, buf);
     EXPECT_THROW(TraceV2Source src(path_), std::runtime_error);
 }
 

@@ -147,6 +147,28 @@ TEST_F(TraceIoTest, OversizedFileIsFatalAtOpen)
     EXPECT_THROW(TraceFileSource src(path_), std::runtime_error);
 }
 
+TEST_F(TraceIoTest, OverflowingHeaderCountIsFatalAtOpen)
+{
+    // A 16-byte file claiming 2^61 accesses makes count * 8 wrap to 0,
+    // so a naive `16 + count * 8 == size` check would pass; the count
+    // must be bounded by division before it is multiplied.
+    {
+        TraceWriter w(path_); // empty trace: header only
+    }
+    {
+        std::fstream f(path_, std::ios::binary | std::ios::in |
+                                  std::ios::out);
+        f.seekp(8);
+        const std::uint64_t bogus = 1ULL << 61;
+        for (int i = 0; i < 8; ++i) {
+            const char byte =
+                static_cast<char>((bogus >> (8 * i)) & 0xff);
+            f.write(&byte, 1);
+        }
+    }
+    EXPECT_THROW(TraceFileSource src(path_), std::runtime_error);
+}
+
 TEST_F(TraceIoTest, SkipSeeksToTheSamePositionAsDraining)
 {
     const std::uint64_t n = 1'000;
