@@ -16,7 +16,18 @@
  * portable claim — the mmap reader does not lose to the ifstream
  * reader — is recorded as `mmap_at_least_ifstream` per stream.
  *
- * Budget knobs: ANCHORTLB_ACCESSES (default 1M here), ANCHORTLB_SCALE.
+ * A streamed-import phase runs FIRST (getrusage peak RSS is a
+ * process-wide high-water mark, so it must precede any stream
+ * materialisation): the synthetic generator feeds TraceV2Writer
+ * directly and TraceV2Source::fill replays the file, with no
+ * std::vector<MemAccess> stage at either end. Two trace lengths (8x
+ * apart) are run back to back; the peak RSS delta between them must
+ * stay under a fixed slack, asserting O(block) decoder memory
+ * independent of trace length (`rss_independent_of_length` in the
+ * JSON).
+ *
+ * Budget knobs: ANCHORTLB_ACCESSES (default 1M here), ANCHORTLB_SCALE,
+ * ANCHORTLB_STREAM_ACCESSES (long streamed length, default 100M).
  */
 
 #include <algorithm>
@@ -30,7 +41,10 @@
 #include <string>
 #include <vector>
 
+#include <sys/resource.h>
+
 #include "bench_util.hh"
+#include "common/env.hh"
 #include "common/logging.hh"
 #include "ingest/mapped_trace.hh"
 #include "ingest/trace_v2.hh"
@@ -101,6 +115,69 @@ drainRate(TraceSource &source, std::uint64_t expected)
     return secs > 0.0 ? static_cast<double>(total) / secs : 0.0;
 }
 
+/** Process-wide peak RSS in bytes (Linux ru_maxrss is in KiB). */
+std::uint64_t
+peakRssBytes()
+{
+    struct rusage ru = {};
+    if (getrusage(RUSAGE_SELF, &ru) != 0)
+        ATLB_FATAL("getrusage failed");
+    return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;
+}
+
+struct StreamedReport
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t file_bytes = 0;
+    double import_maccess_s = 0.0; //!< generate+encode, no buffering
+    double replay_maccess_s = 0.0; //!< streamed TraceV2Source::fill
+    std::uint64_t peak_rss_bytes = 0; //!< high-water mark afterwards
+};
+
+/**
+ * Streamed import + replay of @p accesses synthetic accesses: the
+ * generator feeds TraceV2Writer access-by-access and the decoder
+ * streams back through fill(); neither end materialises the stream.
+ */
+StreamedReport
+runStreamed(const SimOptions &base, std::uint64_t accesses,
+            const std::string &path)
+{
+    SimOptions opts = base;
+    opts.accesses = accesses;
+    const WorkloadSpec spec = scaledWorkloadSpec(opts, "mcf");
+
+    StreamedReport r;
+    r.accesses = accesses;
+    {
+        const std::unique_ptr<TraceSource> src =
+            makeCellTrace(opts, spec, accesses);
+        TraceV2Writer w(path);
+        MemAccess buf[4096];
+        std::size_t n;
+        const auto start = std::chrono::steady_clock::now();
+        while ((n = src->fill(buf, 4096)) > 0)
+            for (std::size_t i = 0; i < n; ++i)
+                w.append(buf[i]);
+        w.close();
+        const double secs = secondsSince(start);
+        if (w.written() != accesses)
+            ATLB_FATAL("streamed import wrote {} of {} accesses",
+                       w.written(), accesses);
+        r.import_maccess_s =
+            secs > 0.0 ? static_cast<double>(accesses) / secs / 1e6
+                       : 0.0;
+    }
+    r.file_bytes = fileBytes(path);
+    {
+        TraceV2Source src(path);
+        r.replay_maccess_s = drainRate(src, accesses) / 1e6;
+    }
+    r.peak_rss_bytes = peakRssBytes();
+    std::remove(path.c_str());
+    return r;
+}
+
 StreamReport
 measureStream(const SimOptions &options, const std::string &workload,
               const std::string &stem)
@@ -165,10 +242,21 @@ measureStream(const SimOptions &options, const std::string &workload,
     return report;
 }
 
+/**
+ * Allowed peak-RSS growth between the short and 8x-longer streamed
+ * run. The decoder holds one compressed block plus O(1)-per-block
+ * index entries (~50KB at 100M accesses), so the honest delta is well
+ * under 1MB; the slack absorbs allocator and page-cache jitter while
+ * still catching any O(n) stage (even 1 byte/access at the default
+ * 100M-access length costs ~87MB, beyond the slack).
+ */
+constexpr std::uint64_t kStreamRssSlackBytes = 64ull << 20;
+
 void
 emitJson(const std::string &path, const SimOptions &opts,
          const std::vector<StreamReport> &streams, double worst_ratio,
-         bool mmap_ok)
+         bool mmap_ok, const StreamedReport &stream_short,
+         const StreamedReport &stream_long)
 {
     std::ofstream out(path);
     if (!out)
@@ -180,6 +268,23 @@ emitJson(const std::string &path, const SimOptions &opts,
     json.field("footprint_scale", opts.footprint_scale);
     json.field("block_capacity", traceV2DefaultBlockCapacity);
     json.field("ratio_target", 0.60);
+    json.key("streamed_import");
+    json.beginObject();
+    for (const StreamedReport *r : {&stream_short, &stream_long}) {
+        json.key(r == &stream_short ? "short" : "long");
+        json.beginObject();
+        json.field("accesses", r->accesses);
+        json.field("file_bytes", r->file_bytes);
+        json.field("import_maccess_per_s", r->import_maccess_s);
+        json.field("replay_maccess_per_s", r->replay_maccess_s);
+        json.field("peak_rss_bytes", r->peak_rss_bytes);
+        json.endObject();
+    }
+    json.field("rss_slack_bytes", kStreamRssSlackBytes);
+    json.field("rss_independent_of_length",
+               stream_long.peak_rss_bytes <=
+                   stream_short.peak_rss_bytes + kStreamRssSlackBytes);
+    json.endObject();
     json.key("streams");
     json.beginArray();
     for (const StreamReport &s : streams) {
@@ -220,6 +325,42 @@ main(int argc, char **argv)
     std::cout << opts.accesses << " accesses/stream, v2 block capacity "
               << traceV2DefaultBlockCapacity << "\n\n";
 
+    // Streamed phase first: ru_maxrss is a process-wide high-water
+    // mark, so the materialising phases below must not run yet.
+    const std::uint64_t stream_long_n =
+        envU64("ANCHORTLB_STREAM_ACCESSES", 100'000'000);
+    const std::uint64_t stream_short_n = std::max<std::uint64_t>(
+        1, stream_long_n / 8);
+    std::cout << "streamed import (no materialisation), mcf pattern:\n";
+    const StreamedReport stream_short =
+        runStreamed(opts, stream_short_n, "bench_codec_stream_tmp");
+    std::cout << "  short: " << stream_short.accesses << " accesses, "
+              << stream_short.file_bytes / 1e6 << " MB, import "
+              << stream_short.import_maccess_s << " Maccess/s, replay "
+              << stream_short.replay_maccess_s
+              << " Maccess/s, peak RSS "
+              << stream_short.peak_rss_bytes / 1e6 << " MB\n";
+    const StreamedReport stream_long =
+        runStreamed(opts, stream_long_n, "bench_codec_stream_tmp");
+    std::cout << "  long:  " << stream_long.accesses << " accesses, "
+              << stream_long.file_bytes / 1e6 << " MB, import "
+              << stream_long.import_maccess_s << " Maccess/s, replay "
+              << stream_long.replay_maccess_s
+              << " Maccess/s, peak RSS "
+              << stream_long.peak_rss_bytes / 1e6 << " MB\n";
+    if (stream_long.peak_rss_bytes >
+        stream_short.peak_rss_bytes + kStreamRssSlackBytes)
+        ATLB_FATAL("streamed replay peak RSS grew {} -> {} bytes over "
+                   "an 8x longer trace: decoder memory is not O(block)",
+                   stream_short.peak_rss_bytes,
+                   stream_long.peak_rss_bytes);
+    std::cout << "  peak RSS delta "
+              << (stream_long.peak_rss_bytes -
+                  stream_short.peak_rss_bytes) /
+                     1e6
+              << " MB over an 8x longer trace (slack "
+              << kStreamRssSlackBytes / 1e6 << " MB): O(block) holds\n\n";
+
     Table table("Codec comparison (sizes in MB, rates in Maccess/s)",
                 {"workload", "v1 MB", "v2 MB", "v2/v1", "encode",
                  "v1 read", "v1 mmap", "v2 read"});
@@ -251,7 +392,8 @@ main(int argc, char **argv)
                                       : " (MISSES 0.60 target)")
               << "\n";
 
-    emitJson(json_path, opts, streams, worst_ratio, mmap_ok);
+    emitJson(json_path, opts, streams, worst_ratio, mmap_ok,
+             stream_short, stream_long);
     std::cout << "wrote " << json_path << "\n";
     return 0;
 }

@@ -97,7 +97,7 @@ tsan_leg() {
         --target test_common test_sim test_integration test_ingest
     (cd "$repo/build-tsan" &&
         ctest --output-on-failure -j "$jobs" \
-            -R 'ThreadPool|ParallelRunner|Sharded')
+            -R 'ThreadPool|ParallelRunner|Sharded|Batch')
 }
 
 if [[ $fast == 0 ]]; then

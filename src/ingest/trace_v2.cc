@@ -117,8 +117,8 @@ getBits(const std::uint8_t *base, std::uint64_t bitpos, unsigned width)
 }
 
 /** Block-body encodings (the body's first byte). */
-constexpr std::uint8_t encodingVarint = 0;
-constexpr std::uint8_t encodingPacked = 1;
+constexpr std::uint8_t encodingVarint = traceV2EncodingVarint;
+constexpr std::uint8_t encodingPacked = traceV2EncodingPacked;
 
 } // namespace
 
@@ -358,89 +358,139 @@ TraceV2Source::TraceV2Source(const std::string &path)
 }
 
 void
-TraceV2Source::loadBlock(std::size_t b)
+TraceV2Source::loadBlockRaw(std::size_t b)
 {
     const BlockEntry &entry = index_[b];
-    std::vector<unsigned char> raw(static_cast<std::size_t>(entry.bytes));
+    raw_.resize(static_cast<std::size_t>(entry.bytes));
     in_.clear();
     in_.seekg(static_cast<std::streamoff>(entry.offset), std::ios::beg);
-    if (!raw.empty() &&
-        !in_.read(reinterpret_cast<char *>(raw.data()),
-                  static_cast<std::streamsize>(raw.size())))
+    if (!raw_.empty() &&
+        !in_.read(reinterpret_cast<char *>(raw_.data()),
+                  static_cast<std::streamsize>(raw_.size())))
         ATLB_FATAL("'{}': short read of ATLBTRC2 block {}", path_, b);
-    if (fnv1a64(raw.data(), raw.size()) != entry.fnv)
+    if (fnv1a64(raw_.data(), raw_.size()) != entry.fnv)
         ATLB_FATAL("'{}': ATLBTRC2 block {} fails its checksum "
                    "(corrupt block body)",
                    path_, b);
-
-    if (raw.empty())
+    if (raw_.empty())
         ATLB_FATAL("'{}': ATLBTRC2 block {} has an empty body", path_, b);
+    loaded_block_ = b;
+    restartBlockDecode();
+}
 
-    decoded_.clear();
-    decoded_.reserve(static_cast<std::size_t>(entry.count));
-    std::uint64_t word = 0;
-    std::size_t pos = 1;
-    const std::uint8_t encoding = raw[0];
-
-    const auto readVarint = [&](std::uint64_t i) {
-        std::uint64_t z = 0;
-        unsigned shift = 0;
-        while (true) {
-            if (pos >= raw.size())
-                ATLB_FATAL("'{}': ATLBTRC2 block {} truncated inside "
-                           "access {}",
-                           path_, b, i);
-            const std::uint8_t byte = raw[pos++];
-            z |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
-            if ((byte & 0x80) == 0)
-                break;
-            shift += 7;
-            if (shift >= 64)
-                ATLB_FATAL("'{}': ATLBTRC2 block {} holds an "
-                           "over-long varint at access {}",
-                           path_, b, i);
-        }
-        return z;
-    };
-    const auto emit = [&](std::uint64_t z) {
-        word += static_cast<std::uint64_t>(unzigzag(z));
-        MemAccess a;
-        a.vaddr = word >> 1;
-        a.write = word & 1;
-        decoded_.push_back(a);
-    };
-
-    if (encoding == encodingVarint) {
-        for (std::uint64_t i = 0; i < entry.count; ++i)
-            emit(readVarint(i));
-        if (pos != raw.size())
-            ATLB_FATAL("'{}': ATLBTRC2 block {} carries {} trailing "
-                       "bytes",
-                       path_, b, raw.size() - pos);
-    } else if (encoding == encodingPacked) {
-        if (raw.size() < 2)
+void
+TraceV2Source::restartBlockDecode()
+{
+    const std::size_t b = loaded_block_;
+    emitted_ = 0;
+    word_ = 0;
+    encoding_ = raw_[0];
+    if (encoding_ == encodingVarint) {
+        pos_ = 1;
+    } else if (encoding_ == encodingPacked) {
+        if (raw_.size() < 2)
             ATLB_FATAL("'{}': ATLBTRC2 block {} too short for a packed "
                        "header",
                        path_, b);
-        const unsigned width = raw[1];
-        if (width > 64)
+        width_ = raw_[1];
+        if (width_ > 64)
             ATLB_FATAL("'{}': ATLBTRC2 block {} declares packed width "
                        "{} > 64",
-                       path_, b, width);
-        pos = 2;
-        emit(readVarint(0));
-        const std::uint64_t rest = entry.count - 1;
-        if (pos + (rest * width + 7) / 8 != raw.size())
-            ATLB_FATAL("'{}': ATLBTRC2 block {} packed payload size "
-                       "disagrees with its access count",
-                       path_, b);
-        for (std::uint64_t i = 0; i < rest; ++i)
-            emit(getBits(raw.data() + pos, i * width, width));
+                       path_, b, width_);
+        pos_ = 2;
     } else {
         ATLB_FATAL("'{}': ATLBTRC2 block {} uses unknown encoding {}",
-                   path_, b, encoding);
+                   path_, b, encoding_);
     }
-    loaded_block_ = b;
+}
+
+std::uint64_t
+TraceV2Source::readVarintAt()
+{
+    std::uint64_t z = 0;
+    unsigned shift = 0;
+    while (true) {
+        if (pos_ >= raw_.size())
+            ATLB_FATAL("'{}': ATLBTRC2 block {} truncated inside "
+                       "access {}",
+                       path_, loaded_block_, emitted_);
+        const std::uint8_t byte = raw_[pos_++];
+        z |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+        if ((byte & 0x80) == 0)
+            break;
+        shift += 7;
+        if (shift >= 64)
+            ATLB_FATAL("'{}': ATLBTRC2 block {} holds an over-long "
+                       "varint at access {}",
+                       path_, loaded_block_, emitted_);
+    }
+    return z;
+}
+
+void
+TraceV2Source::decodeNext()
+{
+    const BlockEntry &entry = index_[loaded_block_];
+    std::uint64_t z;
+    if (encoding_ == encodingVarint) {
+        z = readVarintAt();
+        // Exactly at block end the byte cursor must land on the last
+        // byte — same trailing-bytes check the one-shot decoder made,
+        // deferred to the moment the block completes.
+        if (emitted_ + 1 == entry.count && pos_ != raw_.size())
+            ATLB_FATAL("'{}': ATLBTRC2 block {} carries {} trailing "
+                       "bytes",
+                       path_, loaded_block_, raw_.size() - pos_);
+    } else if (emitted_ == 0) {
+        // Packed block: the base word is one varint; the remaining
+        // count-1 deltas follow bit-packed, so the geometry can only
+        // be validated once the varint's width is known.
+        z = readVarintAt();
+        packed_base_ = pos_;
+        if (packed_base_ + ((entry.count - 1) * width_ + 7) / 8 !=
+            raw_.size())
+            ATLB_FATAL("'{}': ATLBTRC2 block {} packed payload size "
+                       "disagrees with its access count",
+                       path_, loaded_block_);
+    } else {
+        z = getBits(raw_.data() + packed_base_, (emitted_ - 1) * width_,
+                    width_);
+    }
+    word_ += static_cast<std::uint64_t>(unzigzag(z));
+    ++emitted_;
+}
+
+TraceV2BlockStats
+TraceV2Source::blockStats(std::size_t b)
+{
+    ATLB_ASSERT(b < index_.size(), "'{}': block {} out of range", path_,
+                b);
+    TraceV2BlockStats s;
+    s.count = index_[b].count;
+    s.bytes = index_[b].bytes;
+    // The loaded block's body is already in memory; otherwise peek the
+    // 1-2 header bytes without disturbing the replay cursor.
+    std::uint8_t head[2] = {0, 0};
+    if (b == loaded_block_) {
+        head[0] = raw_[0];
+        if (raw_.size() > 1)
+            head[1] = raw_[1];
+    } else {
+        in_.clear();
+        in_.seekg(static_cast<std::streamoff>(index_[b].offset),
+                  std::ios::beg);
+        const std::streamsize want =
+            static_cast<std::streamsize>(std::min<std::uint64_t>(
+                2, index_[b].bytes));
+        if (want == 0 ||
+            !in_.read(reinterpret_cast<char *>(head), want))
+            ATLB_FATAL("'{}': short read of ATLBTRC2 block {} header",
+                       path_, b);
+    }
+    s.encoding = head[0];
+    if (s.encoding == encodingPacked)
+        s.packed_width = head[1];
+    return s;
 }
 
 bool
@@ -457,14 +507,23 @@ TraceV2Source::fill(MemAccess *out, std::size_t max)
         const std::size_t block =
             static_cast<std::size_t>(consumed_ / block_capacity_);
         if (block != loaded_block_)
-            loadBlock(block);
-        const std::size_t pos =
-            static_cast<std::size_t>(consumed_ % block_capacity_);
-        const std::size_t run = std::min(max - produced,
-                                         decoded_.size() - pos);
-        std::memcpy(out + produced, decoded_.data() + pos,
-                    run * sizeof(MemAccess));
-        produced += run;
+            loadBlockRaw(block);
+        const std::uint64_t target = consumed_ % block_capacity_;
+        if (emitted_ > target) {
+            // reset()/re-read of an earlier position within the cached
+            // block: the delta chain only runs forward, restart it.
+            restartBlockDecode();
+        }
+        while (emitted_ < target)
+            decodeNext(); // skip() landed mid-block: decode and discard
+        const std::uint64_t run = std::min<std::uint64_t>(
+            max - produced, index_[block].count - target);
+        for (std::uint64_t i = 0; i < run; ++i) {
+            decodeNext();
+            out[produced].vaddr = word_ >> 1;
+            out[produced].write = (word_ & 1) != 0;
+            ++produced;
+        }
         consumed_ += run;
     }
     return produced;

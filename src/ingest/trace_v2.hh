@@ -61,6 +61,10 @@ namespace atlb
 /** Accesses per full block; 64Ki keeps blocks ~100-200KB encoded. */
 constexpr std::uint64_t traceV2DefaultBlockCapacity = 64 * 1024;
 
+/** Block-body encoding tags (the body's first byte). */
+constexpr std::uint8_t traceV2EncodingVarint = 0;
+constexpr std::uint8_t traceV2EncodingPacked = 1;
+
 /** FNV-1a 64-bit over @p size bytes (the v2 payload/index checksum). */
 std::uint64_t fnv1a64(const void *data, std::size_t size);
 
@@ -114,7 +118,29 @@ class TraceV2Writer
     bool closed_ = false;
 };
 
-/** TraceSource replaying an ATLBTRC2 file. */
+/**
+ * Per-block encoding facts for `anchortlb trace info`. count/bytes come
+ * from the (already checksummed) index; encoding and packed_width from
+ * the block body's 1-2 header bytes.
+ */
+struct TraceV2BlockStats
+{
+    std::uint64_t count = 0;      //!< accesses encoded in the block
+    std::uint64_t bytes = 0;      //!< payload bytes incl. the tag byte
+    std::uint8_t encoding = 0;    //!< traceV2EncodingVarint / ...Packed
+    std::uint8_t packed_width = 0; //!< delta bit width (packed only)
+};
+
+/**
+ * TraceSource replaying an ATLBTRC2 file.
+ *
+ * The decoder is *streamed*: fill() runs the delta decode directly into
+ * the caller's buffer, so the only per-source allocation is one block's
+ * compressed body (raw_). There is no decoded std::vector<MemAccess>
+ * stage anywhere — replaying a 2B-access capture holds O(block) bytes,
+ * independent of trace length (asserted by bench_trace_codec's
+ * peak-RSS phase).
+ */
 class TraceV2Source : public TraceSource
 {
   public:
@@ -123,13 +149,14 @@ class TraceV2Source : public TraceSource
 
     bool next(MemAccess &out) override;
 
-    /** Batched decode: copies runs out of the decoded block buffer. */
+    /** Streamed decode straight into @p out (no intermediate buffer). */
     std::size_t fill(MemAccess *out, std::size_t max) override;
 
     /**
      * O(1) reposition: the target block index is a division; no
-     * intervening block is read or decoded (the landing block decodes
-     * lazily on the next read).
+     * intervening block is read or decoded. Landing mid-block costs a
+     * decode-and-discard of the block prefix on the next read (delta
+     * coding is sequential within a block).
      */
     void skip(std::uint64_t n) override;
 
@@ -142,6 +169,13 @@ class TraceV2Source : public TraceSource
     std::uint64_t minVaddr() const { return min_vaddr_; }
     std::uint64_t maxVaddr() const { return max_vaddr_; }
 
+    /**
+     * Encoding facts of block @p b for `trace info` reports. Reads at
+     * most two bytes from the block head; does not disturb the replay
+     * cursor (the loaded block's body stays cached).
+     */
+    TraceV2BlockStats blockStats(std::size_t b);
+
   private:
     struct BlockEntry
     {
@@ -151,8 +185,14 @@ class TraceV2Source : public TraceSource
         std::uint64_t fnv = 0;
     };
 
-    /** Read, checksum and decode block @p b into decoded_. */
-    void loadBlock(std::size_t b);
+    /** Read + checksum block @p b's compressed body into raw_. */
+    void loadBlockRaw(std::size_t b);
+    /** Restart the incremental decoder at the loaded block's head. */
+    void restartBlockDecode();
+    /** Decode the loaded block's next word into word_. */
+    void decodeNext();
+    /** One bounds-checked LEB128 varint at pos_. */
+    std::uint64_t readVarintAt();
 
     std::ifstream in_;
     std::string path_;
@@ -162,8 +202,17 @@ class TraceV2Source : public TraceSource
     std::uint64_t max_vaddr_ = 0;
     std::vector<BlockEntry> index_;
 
-    std::vector<MemAccess> decoded_;
+    /** Compressed body of the loaded block (the only block storage). */
+    std::vector<std::uint8_t> raw_;
     std::size_t loaded_block_ = ~std::size_t{0};
+    /** Incremental decode cursor within the loaded block. */
+    std::uint64_t emitted_ = 0;     //!< words decoded so far
+    std::uint64_t word_ = 0;        //!< running delta accumulator
+    std::size_t pos_ = 0;           //!< byte cursor (varints)
+    std::size_t packed_base_ = 0;   //!< first byte of the packed bits
+    std::uint8_t encoding_ = 0;
+    unsigned width_ = 0;            //!< packed delta width
+
     std::uint64_t consumed_ = 0;
 };
 

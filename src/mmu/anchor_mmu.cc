@@ -119,6 +119,14 @@ AnchorMmu::translateL2(Vpn vpn)
 }
 
 void
+AnchorMmu::translateBatch(const MemAccess *accesses, std::size_t n,
+                          BatchStats &batch)
+{
+    runBatchKernel(accesses, n, batch,
+                   [this](Vpn vpn) { return AnchorMmu::translateL2(vpn); });
+}
+
+void
 AnchorMmu::flushAll()
 {
     Mmu::flushAll();

@@ -61,6 +61,10 @@ class AnchorMmu : public Mmu
 
     void flushAll() override;
 
+    /** Devirtualized batch kernel (see Mmu::runBatchKernel). */
+    void translateBatch(const MemAccess *accesses, std::size_t n,
+                        BatchStats &batch) override;
+
     /**
      * Invalidates the page's own entries *and* the anchor entry of its
      * block: the anchor's cached contiguity may claim the remapped

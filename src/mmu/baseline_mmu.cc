@@ -57,6 +57,16 @@ BaselineMmu::fillL2(Vpn vpn, const TranslationResult &res)
 }
 
 void
+BaselineMmu::translateBatch(const MemAccess *accesses, std::size_t n,
+                            BatchStats &batch)
+{
+    // The qualified call binds BaselineMmu's L2 pipeline statically —
+    // the whole batch runs without virtual dispatch.
+    runBatchKernel(accesses, n, batch,
+                   [this](Vpn vpn) { return BaselineMmu::translateL2(vpn); });
+}
+
+void
 BaselineMmu::flushAll()
 {
     Mmu::flushAll();

@@ -27,6 +27,10 @@ class BaselineMmu : public Mmu
     void flushAll() override;
     void invalidatePage(Vpn vpn) override;
 
+    /** Devirtualized batch kernel (see Mmu::runBatchKernel). */
+    void translateBatch(const MemAccess *accesses, std::size_t n,
+                        BatchStats &batch) override;
+
     /** Per-page fills are host-safe: nested mode is supported. */
     bool supportsNested() const override { return true; }
 

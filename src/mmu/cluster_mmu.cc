@@ -115,6 +115,14 @@ ClusterMmu::translateL2(Vpn vpn)
 }
 
 void
+ClusterMmu::translateBatch(const MemAccess *accesses, std::size_t n,
+                           BatchStats &batch)
+{
+    runBatchKernel(accesses, n, batch,
+                   [this](Vpn vpn) { return ClusterMmu::translateL2(vpn); });
+}
+
+void
 ClusterMmu::flushAll()
 {
     Mmu::flushAll();

@@ -37,6 +37,10 @@ class ClusterMmu : public Mmu
 
     void flushAll() override;
 
+    /** Devirtualized batch kernel (see Mmu::runBatchKernel). */
+    void translateBatch(const MemAccess *accesses, std::size_t n,
+                        BatchStats &batch) override;
+
     /** Also kills the cluster entry covering the page's group. */
     void invalidatePage(Vpn vpn) override;
 

@@ -126,6 +126,14 @@ ColtMmu::translateL2(Vpn vpn)
 }
 
 void
+ColtMmu::translateBatch(const MemAccess *accesses, std::size_t n,
+                        BatchStats &batch)
+{
+    runBatchKernel(accesses, n, batch,
+                   [this](Vpn vpn) { return ColtMmu::translateL2(vpn); });
+}
+
+void
 ColtMmu::flushAll()
 {
     Mmu::flushAll();

@@ -33,6 +33,10 @@ class ColtMmu : public Mmu
 
     void flushAll() override;
 
+    /** Devirtualized batch kernel (see Mmu::runBatchKernel). */
+    void translateBatch(const MemAccess *accesses, std::size_t n,
+                        BatchStats &batch) override;
+
     /** Kills the page's entries and any coalesced entry covering it. */
     void invalidatePage(Vpn vpn) override;
 

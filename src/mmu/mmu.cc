@@ -41,7 +41,14 @@ Mmu::translateImpl(Vpn vpn)
 TranslationResult
 Mmu::translateMiss(Vpn vpn)
 {
-    TranslationResult res = translateL2(vpn);
+    const TranslationResult res = translateL2(vpn);
+    noteMiss(vpn, res);
+    return res;
+}
+
+void
+Mmu::noteMiss(Vpn vpn, const TranslationResult &res)
+{
     switch (res.level) {
       case HitLevel::L2Regular:
         ++stats_.l2_regular_hits;
@@ -57,7 +64,21 @@ Mmu::translateMiss(Vpn vpn)
     }
     stats_.translation_cycles += res.cycles;
     fillL1(vpn, res);
-    return res;
+}
+
+void
+Mmu::translateBatch(const MemAccess *accesses, std::size_t n,
+                    BatchStats &batch)
+{
+    // Reference implementation (and the checked-build path, so the
+    // verifyTranslation oracle sees every access): per-access
+    // translate(), BatchStats recovered from the MmuStats delta.
+    const std::uint64_t accesses_before = stats_.accesses;
+    const std::uint64_t hits_before = stats_.l1_hits;
+    for (std::size_t i = 0; i < n; ++i)
+        translate(accesses[i].vaddr);
+    batch.accesses += stats_.accesses - accesses_before;
+    batch.l1_hits += stats_.l1_hits - hits_before;
 }
 
 void
@@ -150,6 +171,9 @@ Mmu::walkPageTable(Vpn vpn, Cycles lookup_cycles)
 void
 Mmu::flushAll()
 {
+    // The mutation counters would catch this too, but drop the filter
+    // eagerly so correctness never rests on the snapshot comparison.
+    l0FilterClear();
     l1_4k_.flush();
     l1_2m_.flush();
     if (pwc_)
@@ -167,6 +191,7 @@ Mmu::switchProcess(const ProcessContext &ctx)
 void
 Mmu::invalidatePage(Vpn vpn)
 {
+    l0FilterClear();
     l1_4k_.invalidate(EntryKind::Page4K, vpn);
     l1_2m_.invalidate(EntryKind::Page2M, vpn >> hugeShift);
 }

@@ -20,6 +20,7 @@
 #ifndef ANCHORTLB_MMU_MMU_HH
 #define ANCHORTLB_MMU_MMU_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -28,6 +29,7 @@
 #include "mmu/mmu_config.hh"
 #include "tlb/set_assoc_tlb.hh"
 #include "tlb/walk_cache.hh"
+#include "trace/access.hh"
 
 namespace atlb
 {
@@ -108,6 +110,33 @@ struct MmuStats
 };
 
 /**
+ * Per-batch counters of the batch translation kernel. Separate from
+ * MmuStats so a caller (the simulator, the benches) can observe one
+ * replay loop's behaviour — notably the L0 filter rate — without
+ * snapshot arithmetic on the cumulative stats. All fields accumulate
+ * across translateBatch calls on the same struct.
+ */
+struct BatchStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t l1_hits = 0;
+    /**
+     * Accesses short-circuited by the L0 same-page filter (a subset of
+     * l1_hits). Zero in checked builds, which route every access
+     * through the verifying per-access pipeline.
+     */
+    std::uint64_t l0_filtered = 0;
+
+    BatchStats &operator+=(const BatchStats &other)
+    {
+        accesses += other.accesses;
+        l1_hits += other.l1_hits;
+        l0_filtered += other.l0_filtered;
+        return *this;
+    }
+};
+
+/**
  * Base MMU: owns the L1s, drives the scheme pipeline, accumulates stats.
  *
  * The page table is owned by the caller (the simulated OS); the MMU only
@@ -154,6 +183,22 @@ class Mmu
         return translateMiss(vpn);
 #endif
     }
+
+    /**
+     * Translate @p n accesses in stream order, accumulating into the
+     * MMU's stats and into @p batch. Counter-identical to calling
+     * translate() on every element — the batch path exists purely to
+     * make the replay loop fast: concrete schemes override it with a
+     * devirtualized kernel (runBatchKernel) so the virtual dispatch
+     * cost is paid once per batch instead of once per miss, the
+     * accesses/l1_hits counters live in registers for the whole batch,
+     * and consecutive accesses to the same page short-circuit through
+     * the L0 filter. This default loops translate(); it is the
+     * reference the equivalence suite (tests/sim/test_batch_kernel.cc)
+     * and bench_hotpath compare the kernels against.
+     */
+    virtual void translateBatch(const MemAccess *accesses, std::size_t n,
+                                BatchStats &batch);
 
     /** Invalidate all TLB state (context switch / shootdown). */
     virtual void flushAll();
@@ -230,6 +275,85 @@ class Mmu
     /** Walk the page table; panics if @p vpn is unmapped. */
     TranslationResult walkPageTable(Vpn vpn, Cycles lookup_cycles);
 
+    /**
+     * Devirtualized batch loop shared by every scheme's translateBatch
+     * override. @p l2 is a callable that runs the *statically
+     * qualified* scheme pipeline (each override passes
+     * `[this](Vpn v) { return SchemeName::translateL2(v); }`, which
+     * the compiler resolves non-virtually), so the only virtual call
+     * per batch is translateBatch itself.
+     *
+     * Counter-identity with the per-access translate() loop
+     * (DESIGN.md "Batch kernel byte-identity"):
+     *
+     *  - The L0 same-page filter only short-circuits an access whose
+     *    VPN equals the immediately preceding one in the same kernel
+     *    run. That access is guaranteed an L1 hit under translate():
+     *    either the previous access hit L1 (entry present, and
+     *    lookup() just made it MRU) or it missed and fillL1 inserted
+     *    it (insert() made it MRU). Re-looking it up would only re-mark
+     *    the MRU entry MRU — an LRU no-op — so skipping the probe
+     *    leaves every replacement decision, every fill, and every
+     *    MmuStats counter identical. (TlbStats lookups/hits and the
+     *    LRU tick value do diverge; nothing in SimResult or the golden
+     *    output depends on them, and relative recency — the thing LRU
+     *    replacement reads — is unchanged.)
+     *  - Across kernel runs the filter is only trusted while the L1s
+     *    have been neither probed nor mutated since the snapshot
+     *    (SetAssocTlb::mutations() contract); flushAll and
+     *    invalidatePage additionally drop it eagerly.
+     *  - accesses/l1_hits accumulate in locals and flush to stats_
+     *    once per batch; sums are associative, so totals match.
+     *
+     * Checked builds bypass all of this: the loop calls translate()
+     * per access so verifyTranslation's oracle re-walk sees every
+     * element (ISSUE 5 satellite fix).
+     */
+    template <class L2Fn>
+    void
+    runBatchKernel(const MemAccess *accesses, std::size_t n,
+                   BatchStats &batch, L2Fn &&l2)
+    {
+#ifdef ANCHORTLB_CHECKED
+        (void)l2; // oracle path verifies every access individually
+        Mmu::translateBatch(accesses, n, batch);
+#else
+        std::uint64_t n_hits = 0;
+        std::uint64_t n_filtered = 0;
+        Vpn last_vpn = invalidVpn;
+        bool have_last = l0FilterLoad(last_vpn);
+        for (std::size_t i = 0; i < n; ++i) {
+            const Vpn vpn = vpnOf(accesses[i].vaddr);
+            if (have_last && vpn == last_vpn) {
+                // Same page as the previous translation: guaranteed L1
+                // hit, and re-probing the MRU entry is an LRU no-op.
+                ++n_hits;
+                ++n_filtered;
+                continue;
+            }
+            last_vpn = vpn;
+            have_last = true;
+            if (l1_4k_.lookup(EntryKind::Page4K, vpn) != nullptr) {
+                ++n_hits;
+                continue;
+            }
+            if (l1_2m_.lookup(EntryKind::Page2M, vpn >> hugeShift) !=
+                nullptr) {
+                ++n_hits;
+                continue;
+            }
+            noteMiss(vpn, l2(vpn));
+        }
+        stats_.accesses += n;
+        stats_.l1_hits += n_hits;
+        batch.accesses += n;
+        batch.l1_hits += n_hits;
+        batch.l0_filtered += n_filtered;
+        if (n > 0 && have_last)
+            l0FilterStore(last_vpn);
+#endif
+    }
+
     const MmuConfig config_;
     /** Current process's page table (swapped by switchProcess). */
     const PageTable *table_;
@@ -249,7 +373,54 @@ class Mmu
     TranslationResult translateImpl(Vpn vpn);
     /** Post-L1-miss pipeline: scheme L2, stats buckets, L1 fill. */
     TranslationResult translateMiss(Vpn vpn);
+    /**
+     * Account one L1 miss: bump the per-level bucket, charge the
+     * cycles, fill L1. Shared by translateMiss and runBatchKernel so
+     * the two paths cannot drift.
+     */
+    void noteMiss(Vpn vpn, const TranslationResult &res);
     void fillL1(Vpn vpn, const TranslationResult &res);
+
+    /**
+     * L0 same-page filter carry-over between batch-kernel runs. The
+     * cached VPN is only trusted while *both* L1s report the same
+     * lookup and mutation counts as when it was stored — i.e. nobody
+     * probed or changed the TLBs in between (an interleaved per-access
+     * translate() advances lookups; flush/invalidate/insert advance
+     * mutations). flushAll/invalidatePage also clear it eagerly, so
+     * correctness never rests on the counters alone.
+     */
+    Vpn l0_vpn_ = invalidVpn;
+    bool l0_valid_ = false;
+    std::uint64_t l0_lookups_4k_ = 0;
+    std::uint64_t l0_lookups_2m_ = 0;
+    std::uint64_t l0_mutations_4k_ = 0;
+    std::uint64_t l0_mutations_2m_ = 0;
+
+    /** @return true and set @p vpn if the carried filter is valid. */
+    bool l0FilterLoad(Vpn &vpn) const
+    {
+        if (!l0_valid_ || l1_4k_.stats().lookups != l0_lookups_4k_ ||
+            l1_2m_.stats().lookups != l0_lookups_2m_ ||
+            l1_4k_.mutations() != l0_mutations_4k_ ||
+            l1_2m_.mutations() != l0_mutations_2m_)
+            return false;
+        vpn = l0_vpn_;
+        return true;
+    }
+
+    /** Snapshot @p vpn as the hot page at the end of a kernel run. */
+    void l0FilterStore(Vpn vpn)
+    {
+        l0_vpn_ = vpn;
+        l0_valid_ = true;
+        l0_lookups_4k_ = l1_4k_.stats().lookups;
+        l0_lookups_2m_ = l1_2m_.stats().lookups;
+        l0_mutations_4k_ = l1_4k_.mutations();
+        l0_mutations_2m_ = l1_2m_.mutations();
+    }
+
+    void l0FilterClear() { l0_valid_ = false; }
 
     /**
      * Checked builds: re-walk the authoritative table(s) and panic if

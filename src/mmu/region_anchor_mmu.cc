@@ -115,6 +115,15 @@ RegionAnchorMmu::switchProcess(const ProcessContext &ctx)
 }
 
 void
+RegionAnchorMmu::translateBatch(const MemAccess *accesses, std::size_t n,
+                                BatchStats &batch)
+{
+    runBatchKernel(accesses, n, batch, [this](Vpn vpn) {
+        return RegionAnchorMmu::translateL2(vpn);
+    });
+}
+
+void
 RegionAnchorMmu::flushAll()
 {
     Mmu::flushAll();

@@ -58,6 +58,10 @@ class RegionAnchorMmu : public Mmu
 
     void flushAll() override;
 
+    /** Devirtualized batch kernel (see Mmu::runBatchKernel). */
+    void translateBatch(const MemAccess *accesses, std::size_t n,
+                        BatchStats &batch) override;
+
     /** Kills the page's entries and its region's covering anchor. */
     void invalidatePage(Vpn vpn) override;
 

@@ -49,6 +49,14 @@ RmmMmu::translateL2(Vpn vpn)
 }
 
 void
+RmmMmu::translateBatch(const MemAccess *accesses, std::size_t n,
+                       BatchStats &batch)
+{
+    runBatchKernel(accesses, n, batch,
+                   [this](Vpn vpn) { return RmmMmu::translateL2(vpn); });
+}
+
+void
 RmmMmu::flushAll()
 {
     BaselineMmu::flushAll();

@@ -35,6 +35,13 @@ class RmmMmu : public BaselineMmu
 
     void flushAll() override;
 
+    /**
+     * Re-devirtualized for RMM: BaselineMmu's kernel would statically
+     * bind the baseline L2 pipeline, not the range-TLB one.
+     */
+    void translateBatch(const MemAccess *accesses, std::size_t n,
+                        BatchStats &batch) override;
+
     /** Also kills any cached range covering the page. */
     void invalidatePage(Vpn vpn) override;
 

@@ -37,6 +37,8 @@ SimOptions::fromEnv()
         envU64("ANCHORTLB_SHARDS", opts.shards));
     opts.shard_warmup =
         envU64("ANCHORTLB_SHARD_WARMUP", opts.shard_warmup);
+    if (envPresent("ANCHORTLB_PER_ACCESS"))
+        opts.translate_mode = TranslateMode::PerAccess;
     if (opts.accesses == 0)
         ATLB_FATAL("ANCHORTLB_ACCESSES must be positive");
     if (opts.footprint_scale <= 0.0 || opts.footprint_scale > 1.0)
@@ -189,7 +191,8 @@ runSchemeCell(const SimOptions &options, const WorkloadSpec &spec,
     const std::unique_ptr<Mmu> mmu =
         buildSchemeMmu(options.mmu, table, map, scheme, anchor_distance);
 
-    SimResult res = runSimulation(*mmu, *trace, spec.mem_per_instr);
+    SimResult res = runSimulation(*mmu, *trace, spec.mem_per_instr,
+                                  options.translate_mode);
     res.workload = spec.name;
     res.scenario = scenarioName(scenario);
     res.scheme = schemeName(scheme);

@@ -80,6 +80,14 @@ struct SimOptions
      * (ANCHORTLB_SHARD_WARMUP). Clamped to the shard's start offset.
      */
     std::uint64_t shard_warmup = 32'768;
+    /**
+     * Replay-loop flavour. Batch (the default) drives each scheme's
+     * devirtualized translateBatch kernel; PerAccess is the
+     * counter-identical reference loop, selectable with
+     * ANCHORTLB_PER_ACCESS for differential runs (the golden harness
+     * pins both spellings to the same bytes).
+     */
+    TranslateMode translate_mode = TranslateMode::Batch;
     /** Hardware parameters (paper Table 3 defaults). */
     MmuConfig mmu;
 

@@ -65,19 +65,25 @@ runShard(const SimOptions &options, const WorkloadSpec &spec,
         constexpr std::size_t batch = 1024;
         MemAccess buffer[batch];
         std::uint64_t left = slice.warmup;
+        BatchStats warm; // discarded with the warmup stats
         while (left > 0) {
             const std::size_t n = trace->fill(
                 buffer, static_cast<std::size_t>(
                             std::min<std::uint64_t>(batch, left)));
             ATLB_ASSERT(n > 0, "trace ended inside shard warmup");
-            for (std::size_t i = 0; i < n; ++i)
-                mmu->translate(buffer[i].vaddr);
+            if (options.translate_mode == TranslateMode::Batch) {
+                mmu->translateBatch(buffer, n, warm);
+            } else {
+                for (std::size_t i = 0; i < n; ++i)
+                    mmu->translate(buffer[i].vaddr);
+            }
             left -= n;
         }
         mmu->resetStats();
     }
 
-    SimResult res = runSimulation(*mmu, *trace, spec.mem_per_instr);
+    SimResult res = runSimulation(*mmu, *trace, spec.mem_per_instr,
+                                  options.translate_mode);
     ANCHOR_DCHECK(res.stats.accesses == slice.length(),
                   "shard measured a wrong-sized slice");
     res.workload = spec.name;

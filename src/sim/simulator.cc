@@ -58,17 +58,28 @@ SimResult::l2MissFraction() const
 }
 
 SimResult
-runSimulation(Mmu &mmu, TraceSource &trace, double mem_per_instr)
+runSimulation(Mmu &mmu, TraceSource &trace, double mem_per_instr,
+              TranslateMode mode, BatchStats *batch_stats)
 {
     ATLB_ASSERT(mem_per_instr > 0.0, "mem_per_instr must be positive");
     // Pull accesses in chunks: one virtual fill() per batch instead of
     // one virtual next() per access keeps the generator's state hot and
-    // lets the translate loop run branch-predictably.
+    // lets the translate loop run branch-predictably. Batch mode then
+    // hands the whole buffer to the scheme's devirtualized kernel —
+    // one virtual translateBatch call per 1024 accesses.
     constexpr std::size_t batch = 1024;
     MemAccess buffer[batch];
-    while (const std::size_t n = trace.fill(buffer, batch)) {
-        for (std::size_t i = 0; i < n; ++i)
-            mmu.translate(buffer[i].vaddr);
+    if (mode == TranslateMode::Batch) {
+        BatchStats bs;
+        while (const std::size_t n = trace.fill(buffer, batch))
+            mmu.translateBatch(buffer, n, bs);
+        if (batch_stats)
+            *batch_stats += bs;
+    } else {
+        while (const std::size_t n = trace.fill(buffer, batch)) {
+            for (std::size_t i = 0; i < n; ++i)
+                mmu.translate(buffer[i].vaddr);
+        }
     }
 
     SimResult res;

@@ -88,11 +88,29 @@ struct SimResult
 };
 
 /**
+ * How the replay loop feeds the MMU. The two modes are
+ * counter-identical (tests/sim/test_batch_kernel.cc pins it); Batch is
+ * the production path, PerAccess the reference it is verified against
+ * and the slow side of bench_hotpath's ratio.
+ */
+enum class TranslateMode : std::uint8_t
+{
+    Batch,     //!< one translateBatch call per 1024-access buffer
+    PerAccess, //!< one translate() call per access
+};
+
+/**
  * Run @p trace through @p mmu to completion.
  *
  * @param mem_per_instr data accesses per instruction (CPI conversion)
+ * @param mode          batch kernel (default) or per-access reference
+ * @param batch_stats   if non-null, accumulates the replay's
+ *                      BatchStats (batch mode only; untouched in
+ *                      per-access mode)
  */
-SimResult runSimulation(Mmu &mmu, TraceSource &trace, double mem_per_instr);
+SimResult runSimulation(Mmu &mmu, TraceSource &trace, double mem_per_instr,
+                        TranslateMode mode = TranslateMode::Batch,
+                        BatchStats *batch_stats = nullptr);
 
 } // namespace atlb
 

@@ -62,6 +62,7 @@ SetAssocTlb::insert(const TlbEntry &entry)
     entries_[victim] = entry;
     last_use_[victim] = ++tick_;
     ++stats_.insertions;
+    ++mutations_;
 }
 
 void
@@ -71,11 +72,13 @@ SetAssocTlb::flush()
         e.valid = false;
     for (std::uint64_t &t : last_use_)
         t = 0;
+    ++mutations_;
 }
 
 void
 SetAssocTlb::invalidate(EntryKind kind, std::uint64_t key)
 {
+    ++mutations_;
     const std::size_t base =
         static_cast<std::size_t>(setIndex(key)) * ways_;
     for (unsigned w = 0; w < ways_; ++w) {
@@ -109,6 +112,10 @@ SetAssocTlb::entryAtForTest(unsigned set, unsigned way)
     ATLB_ASSERT(set < num_sets_ && way < ways_,
                 "entryAtForTest({}, {}) out of range in '{}'", set, way,
                 name_);
+    // The caller may scribble on the entry through the reference, so
+    // conservatively count the access as a mutation (invalidates any
+    // outstanding L0-filter snapshot).
+    ++mutations_;
     return entries_[slot(set, way)];
 }
 
@@ -118,6 +125,7 @@ SetAssocTlb::setLastUseForTest(unsigned set, unsigned way, std::uint64_t t)
     ATLB_ASSERT(set < num_sets_ && way < ways_,
                 "setLastUseForTest({}, {}) out of range in '{}'", set,
                 way, name_);
+    ++mutations_;
     last_use_[slot(set, way)] = t;
 }
 

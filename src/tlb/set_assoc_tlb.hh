@@ -117,6 +117,22 @@ class SetAssocTlb
     void invalidate(EntryKind kind, std::uint64_t key);
 
     const TlbStats &stats() const { return stats_; }
+
+    /**
+     * Monotone count of state mutations: insert(), invalidate() and
+     * flush() each bump it (invalidate even when the entry is absent —
+     * callers snapshot-compare, so over-counting is merely
+     * conservative). Together with stats().lookups this defines the
+     * L0-filter invalidation contract (mmu/mmu.hh): a cached "the last
+     * translation is still the hot entry" shortcut is valid only while
+     * *both* counters are unchanged, i.e. while the TLB has been
+     * neither probed nor mutated since the snapshot. Lookups matter
+     * too, not just mutations: an intervening probe of another key
+     * advances the LRU clock, so replaying the filter without
+     * re-touching the entry would change relative recency.
+     */
+    std::uint64_t mutations() const { return mutations_; }
+
     unsigned numSets() const { return num_sets_; }
     unsigned numWays() const { return ways_; }
     const std::string &name() const { return name_; }
@@ -157,6 +173,7 @@ class SetAssocTlb
     std::vector<TlbEntry> entries_;       // num_sets_ * ways_
     std::vector<std::uint64_t> last_use_; // parallel to entries_
     std::uint64_t tick_ = 0;
+    std::uint64_t mutations_ = 0;
     TlbStats stats_;
 
     unsigned setIndex(std::uint64_t key) const

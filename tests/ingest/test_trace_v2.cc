@@ -251,6 +251,86 @@ TEST_F(TraceV2Test, FillMatchesNext)
         ASSERT_EQ(got[i].vaddr, in[i].vaddr) << "access " << i;
 }
 
+TEST_F(TraceV2Test, BackwardRepositionWithinTheLoadedBlock)
+{
+    // The streamed decoder caches only the compressed body of the
+    // loaded block; rewinding inside it (reset, or a skip landing
+    // earlier in the same block) must restart the incremental decode
+    // rather than re-read the file or serve stale words.
+    const std::vector<MemAccess> in = randomStream(500, 41);
+    write(in, 256);
+    TraceV2Source src(path_);
+    MemAccess a;
+    for (int i = 0; i < 100; ++i) // land mid-block 0
+        ASSERT_TRUE(src.next(a));
+    src.reset();
+    for (int i = 0; i < 30; ++i) {
+        ASSERT_TRUE(src.next(a)) << "access " << i;
+        EXPECT_EQ(a.vaddr, in[static_cast<std::size_t>(i)].vaddr)
+            << "access " << i;
+    }
+    // Forward again past the original cursor, still block 0.
+    src.skip(150); // now at access 180
+    ASSERT_TRUE(src.next(a));
+    EXPECT_EQ(a.vaddr, in[180].vaddr);
+}
+
+TEST_F(TraceV2Test, BlockStatsMatchIndexAndObserveBothEncodings)
+{
+    // Half page-local (varint wins), half uniformly scattered
+    // (bit-packed wins): blockStats must agree with the index on
+    // count/bytes and surface both encoding tags.
+    std::mt19937_64 rng(43);
+    std::vector<MemAccess> in;
+    for (std::size_t i = 0; i < 2'000; ++i)
+        in.push_back({0x7f0000000000ULL + i * 64, false});
+    for (std::size_t i = 0; i < 2'000; ++i)
+        in.push_back(
+            {0x100000000ULL + (rng() % (1ULL << 33)) * 8, false});
+    write(in, 256);
+
+    TraceV2Source src(path_);
+    std::uint64_t total = 0, varint = 0, packed = 0;
+    for (std::size_t b = 0; b < src.blockCount(); ++b) {
+        const TraceV2BlockStats s = src.blockStats(b);
+        EXPECT_GE(s.bytes, 2u) << "block " << b; // tag + payload
+        EXPECT_GT(s.count, 0u) << "block " << b;
+        if (s.encoding == traceV2EncodingVarint) {
+            ++varint;
+            EXPECT_EQ(s.packed_width, 0u) << "block " << b;
+        } else {
+            ASSERT_EQ(s.encoding, traceV2EncodingPacked);
+            ++packed;
+            EXPECT_GE(s.packed_width, 1u) << "block " << b;
+            EXPECT_LE(s.packed_width, 64u) << "block " << b;
+        }
+        total += s.count;
+    }
+    EXPECT_EQ(total, src.length());
+    EXPECT_GT(varint, 0u);
+    EXPECT_GT(packed, 0u);
+}
+
+TEST_F(TraceV2Test, BlockStatsDoesNotDisturbReplay)
+{
+    const std::vector<MemAccess> in = randomStream(1'000, 47);
+    write(in, 128);
+    TraceV2Source src(path_);
+    MemAccess a;
+    for (int i = 0; i < 200; ++i) // cursor mid-block 1
+        ASSERT_TRUE(src.next(a));
+    // Interrogate every block — including the loaded one and blocks
+    // behind/ahead of the cursor — then keep replaying.
+    for (std::size_t b = 0; b < src.blockCount(); ++b)
+        (void)src.blockStats(b);
+    for (std::size_t i = 200; i < in.size(); ++i) {
+        ASSERT_TRUE(src.next(a)) << "access " << i;
+        ASSERT_EQ(a.vaddr, in[i].vaddr) << "access " << i;
+        ASSERT_EQ(a.write, in[i].write) << "access " << i;
+    }
+    EXPECT_FALSE(src.next(a));
+}
+
 TEST_F(TraceV2Test, ConvertFromV1IsStreamEqual)
 {
     // v1 drops vaddr's low bit at write time; converting the decoded v1

@@ -41,6 +41,7 @@
 #include "os/table_builder.hh"
 #include "sim/experiment.hh"
 #include "sim/sharded_runner.hh"
+#include "stats/histogram.hh"
 #include "stats/table.hh"
 #include "trace/trace_io.hh"
 #include "trace/workload.hh"
@@ -722,6 +723,45 @@ cmdTraceInfo(const Args &args)
     if (info.kind == TraceKind::V2) {
         row("blocks", std::to_string(info.blocks));
         row("block capacity", std::to_string(info.block_capacity));
+        // Per-block encoding report: which encoding the writer picked
+        // per block, and how many bits each block spends per access
+        // (payload bytes including the tag byte over its access
+        // count). The histogram is power-of-two bucketed; only
+        // occupied buckets print.
+        TraceV2Source v2(path);
+        std::uint64_t varint_blocks = 0;
+        std::uint64_t packed_blocks = 0;
+        std::uint64_t payload_bytes = 0;
+        Log2Histogram bits_per_access(8);
+        for (std::size_t b = 0; b < v2.blockCount(); ++b) {
+            const TraceV2BlockStats s = v2.blockStats(b);
+            if (s.encoding == traceV2EncodingPacked)
+                ++packed_blocks;
+            else
+                ++varint_blocks;
+            payload_bytes += s.bytes;
+            bits_per_access.add(8 * s.bytes / s.count);
+        }
+        row("varint blocks", std::to_string(varint_blocks));
+        row("bit-packed blocks", std::to_string(packed_blocks));
+        if (info.accesses > 0) {
+            row("payload bits/access",
+                std::to_string(static_cast<double>(8 * payload_bytes) /
+                               static_cast<double>(info.accesses)));
+        }
+        for (unsigned i = 0; i < bits_per_access.numBuckets(); ++i) {
+            if (bits_per_access.bucket(i) == 0)
+                continue;
+            const std::uint64_t lo = i == 0 ? 0 : (1ULL << i);
+            // The top bucket also absorbs clamped outliers.
+            const std::string hi =
+                i + 1 == bits_per_access.numBuckets()
+                    ? "inf"
+                    : std::to_string(1ULL << (i + 1));
+            row("blocks at [" + std::to_string(lo) + ", " + hi +
+                    ") bits/access",
+                std::to_string(bits_per_access.bucket(i)));
+        }
     }
     if (args.has("profile")) {
         WorkloadProfiler profiler;
