@@ -25,7 +25,7 @@ namespace
 
 using namespace atlb;
 
-constexpr Vpn base = 0x7f0000000ULL;
+constexpr Vpn base{0x7f0000000ULL};
 
 /** 4GB footprint in chunks of @p chunk_pages, PA congruent mod @p mod. */
 MemoryMap
@@ -33,11 +33,11 @@ mapWith(std::uint64_t chunk_pages, std::uint64_t congruence)
 {
     MemoryMap m;
     Vpn vpn = base;
-    Ppn ppn = giantPages;
+    Ppn ppn{giantPages};
     const std::uint64_t total = 4 * giantPages;
     for (std::uint64_t done = 0; done < total; done += chunk_pages) {
-        ppn = alignUp(ppn + 1, congruence) + (vpn & (congruence - 1));
-        m.add(vpn, ppn, chunk_pages);
+        ppn = (ppn + 1).alignUp(congruence) + (vpn.raw() & (congruence - 1));
+        m.add(vpn, ppn, PageCount{chunk_pages});
         vpn += chunk_pages;
         ppn += chunk_pages;
     }
@@ -99,8 +99,8 @@ main()
 
         const std::uint64_t d =
             selectAnchorDistance(m.contiguityHistogram()).distance;
-        PageTable anchor_table = buildAnchorPageTable(m, d);
-        AnchorMmu anchor(cfg, anchor_table, d);
+        PageTable anchor_table = buildAnchorPageTable(m, AnchorDist::fromPages(d));
+        AnchorMmu anchor(cfg, anchor_table, AnchorDist::fromPages(d));
         const double anchor_misses =
             static_cast<double>(missesOf(anchor, accesses)) * per_k;
 

@@ -34,7 +34,7 @@ runScheme(const WorkloadSpec &spec,
           const PageTable &table)
 {
     std::unique_ptr<Mmu> mmu = make(table);
-    PatternTrace trace(spec, vaOf(0x7f0000000ULL), accesses, 7);
+    PatternTrace trace(spec, vaOf(Vpn{0x7f0000000ULL}), accesses, 7);
     MemAccess a;
     while (trace.next(a))
         mmu->translate(a.vaddr);
@@ -88,11 +88,11 @@ main()
             plain);
         const std::uint64_t d =
             selectAnchorDistance(map.contiguityHistogram()).distance;
-        const PageTable anchor_table = buildAnchorPageTable(map, d);
+        const PageTable anchor_table = buildAnchorPageTable(map, AnchorDist::fromPages(d));
         const std::uint64_t anchor = runScheme(
             spec, opts.accesses,
             [&](const PageTable &t) {
-                return std::make_unique<AnchorMmu>(cfg, t, d);
+                return std::make_unique<AnchorMmu>(cfg, t, AnchorDist::fromPages(d));
             },
             anchor_table);
 

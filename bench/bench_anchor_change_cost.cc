@@ -45,7 +45,8 @@ main()
         // Each sweep also clears the previous distance's anchors, which
         // is exactly what a real distance change pays.
         const auto start = std::chrono::steady_clock::now();
-        const std::uint64_t touched = table.sweepAnchors(map, d);
+        const std::uint64_t touched =
+            table.sweepAnchors(map, AnchorDist::fromPages(d));
         const auto end = std::chrono::steady_clock::now();
         const double us =
             std::chrono::duration<double, std::micro>(end - start)

@@ -77,7 +77,7 @@ runMix(std::uint64_t frag_pages, std::uint64_t run_pages,
     MmuConfig cfg;
     MixResult out;
     out.regions = partition.regions.size();
-    out.single_distance = partition.default_distance;
+    out.single_distance = partition.default_distance.pages();
 
     PageTable base_table = buildPageTable(map, false);
     BaselineMmu base(cfg, base_table);
@@ -95,8 +95,8 @@ runMix(std::uint64_t frag_pages, std::uint64_t run_pages,
     // Oracle single distance: sweep all candidates.
     out.single_ideal = std::numeric_limits<std::uint64_t>::max();
     for (const std::uint64_t d : candidateDistances()) {
-        single_table.sweepAnchors(map, d);
-        AnchorMmu oracle(cfg, single_table, d);
+        single_table.sweepAnchors(map, AnchorDist::fromPages(d));
+        AnchorMmu oracle(cfg, single_table, AnchorDist::fromPages(d));
         driveBoth(map, partition.regions, accesses,
                   [&](VirtAddr va) { oracle.translate(va); });
         out.single_ideal =

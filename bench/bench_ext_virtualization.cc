@@ -38,7 +38,7 @@ runOne(Mmu &mmu, const WorkloadSpec &spec, std::uint64_t accesses,
 {
     Row row;
     {
-        PatternTrace trace(spec, vaOf(0x7f0000000ULL), accesses, 3);
+        PatternTrace trace(spec, vaOf(Vpn{0x7f0000000ULL}), accesses, 3);
         const SimResult r =
             runSimulation(mmu, trace, spec.mem_per_instr);
         row.native_cpi = r.translationCpi();
@@ -46,7 +46,7 @@ runOne(Mmu &mmu, const WorkloadSpec &spec, std::uint64_t accesses,
     }
     mmu.setNested(host_table, host_map);
     {
-        PatternTrace trace(spec, vaOf(0x7f0000000ULL), accesses, 3);
+        PatternTrace trace(spec, vaOf(Vpn{0x7f0000000ULL}), accesses, 3);
         // Stats accumulate; measure the nested pass alone.
         const MmuStats before = mmu.stats();
         MemAccess a;
@@ -92,12 +92,12 @@ main()
             buildScenario(ScenarioKind::MedContig, gp);
 
         // Host: demand-style mapping over the guest-physical space.
-        Ppn max_gpa = 0;
+        Ppn max_gpa{0};
         for (const Chunk &c : guest.chunks())
             max_gpa = std::max(max_gpa, c.ppn + c.pages);
         ScenarioParams hp;
-        hp.footprint_pages = max_gpa + 8;
-        hp.va_base = 0;
+        hp.footprint_pages = max_gpa.raw() + 8;
+        hp.va_base = Vpn{0};
         hp.seed = opts.seed + 99;
         hp.demand_run_pages = 4096;
         const MemoryMap host_map =
@@ -139,8 +139,8 @@ main()
             const std::uint64_t d =
                 selectAnchorDistance(guest.contiguityHistogram())
                     .distance;
-            PageTable t = buildAnchorPageTable(guest, d);
-            AnchorMmu mmu(cfg, t, d);
+            PageTable t = buildAnchorPageTable(guest, AnchorDist::fromPages(d));
+            AnchorMmu mmu(cfg, t, AnchorDist::fromPages(d));
             const Row r =
                 runOne(mmu, spec, accesses, &host_table, &host_map);
             table.beginRow();

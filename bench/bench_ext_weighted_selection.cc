@@ -52,7 +52,7 @@ main()
             static_cast<double>(spec.footprint_bytes) *
             opts.footprint_scale);
         PatternTrace profile_trace(
-            spec, vaOf(0x7f0000000ULL),
+            spec, vaOf(Vpn{0x7f0000000ULL}),
             std::min<std::uint64_t>(opts.accesses / 4, 250'000),
             opts.seed ^ 0x5eed);
         MemAccess a;

@@ -120,7 +120,8 @@ struct CellState
         const WorkloadSpec spec = scaledWorkloadSpec(opts, workload);
         anchor_distance =
             selectAnchorDistance(map.contiguityHistogram()).distance;
-        anchor_table.sweepAnchors(map, anchor_distance);
+        anchor_table.sweepAnchors(map,
+                                  AnchorDist::fromPages(anchor_distance));
         region_table = buildRegionAnchorPageTable(map, partition);
 
         stream.resize(static_cast<std::size_t>(opts.accesses));
@@ -151,8 +152,8 @@ struct CellState
         if (scheme == "rmm")
             return std::make_unique<RmmMmu>(cfg, thp_table, map);
         if (scheme == "anchor")
-            return std::make_unique<AnchorMmu>(cfg, anchor_table,
-                                               anchor_distance);
+            return std::make_unique<AnchorMmu>(
+                cfg, anchor_table, AnchorDist::fromPages(anchor_distance));
         if (scheme == "region-anchor")
             return std::make_unique<RegionAnchorMmu>(cfg, region_table,
                                                      partition);

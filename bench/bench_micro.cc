@@ -22,7 +22,7 @@ namespace
 
 using namespace atlb;
 
-constexpr Vpn bench_base = 0x7f0000000ULL;
+constexpr Vpn bench_base{0x7f0000000ULL};
 
 MemoryMap
 benchMap(std::uint64_t pages, ScenarioKind kind = ScenarioKind::MedContig)
@@ -42,14 +42,14 @@ BM_TlbLookupHit(benchmark::State &state)
     for (std::uint64_t k = 0; k < 1024; ++k) {
         TlbEntry e;
         e.kind = EntryKind::Page4K;
-        e.key = k;
-        e.ppn = k;
+        e.key = TlbKey{k};
+        e.ppn = Ppn{k};
         e.valid = true;
         tlb.insert(e);
     }
     std::uint64_t k = 0;
     for (auto _ : state) {
-        benchmark::DoNotOptimize(tlb.lookup(EntryKind::Page4K, k));
+        benchmark::DoNotOptimize(tlb.lookup(EntryKind::Page4K, TlbKey{k}));
         k = (k + 1) & 1023;
     }
 }
@@ -61,7 +61,7 @@ BM_TlbLookupMiss(benchmark::State &state)
     SetAssocTlb tlb(1024, 8, "bench");
     std::uint64_t k = 1 << 20;
     for (auto _ : state) {
-        benchmark::DoNotOptimize(tlb.lookup(EntryKind::Page4K, k));
+        benchmark::DoNotOptimize(tlb.lookup(EntryKind::Page4K, TlbKey{k}));
         ++k;
     }
 }
@@ -75,8 +75,8 @@ BM_TlbInsertEvict(benchmark::State &state)
     for (auto _ : state) {
         TlbEntry e;
         e.kind = EntryKind::Page4K;
-        e.key = ++k;
-        e.ppn = k;
+        e.key = TlbKey{++k};
+        e.ppn = Ppn{k};
         e.valid = true;
         tlb.insert(e);
     }
@@ -128,9 +128,9 @@ void
 BM_AnchorTranslate(benchmark::State &state)
 {
     const MemoryMap map = benchMap(1 << 16);
-    PageTable table = buildAnchorPageTable(map, 64);
+    PageTable table = buildAnchorPageTable(map, AnchorDist::fromPages(64));
     MmuConfig cfg;
-    AnchorMmu mmu(cfg, table, 64);
+    AnchorMmu mmu(cfg, table, AnchorDist::fromPages(64));
     Rng rng(3);
     for (auto _ : state) {
         const VirtAddr va = vaOf(bench_base + rng.nextBounded(1 << 16));
@@ -146,7 +146,7 @@ BM_SweepAnchors(benchmark::State &state)
     const MemoryMap map = benchMap(1 << 18);
     PageTable table = buildPageTable(map, true);
     for (auto _ : state) {
-        benchmark::DoNotOptimize(table.sweepAnchors(map, distance));
+        benchmark::DoNotOptimize(table.sweepAnchors(map, AnchorDist::fromPages(distance)));
     }
     state.SetItemsProcessed(static_cast<std::int64_t>(
         state.iterations() * map.mappedPages()));

@@ -82,7 +82,7 @@ measureCell(const SimOptions &base_options, const std::string &workload,
     PageTable table;
     if (scheme == Scheme::Anchor) {
         distance = selectAnchorDistance(map.contiguityHistogram()).distance;
-        table = buildAnchorPageTable(map, distance);
+        table = buildAnchorPageTable(map, AnchorDist::fromPages(distance));
     } else {
         table = buildPageTable(map, false);
     }

@@ -105,7 +105,7 @@ drainRate(TraceSource &source, std::uint64_t expected)
     std::size_t n;
     while ((n = source.fill(buf, 1024)) > 0) {
         total += n;
-        checksum ^= buf[0].vaddr; // keep the loop un-eliminable
+        checksum ^= buf[0].vaddr.raw(); // keep the loop un-eliminable
     }
     const double secs = secondsSince(start);
     if (total != expected)

@@ -76,8 +76,9 @@ main()
     const SimResult thp_result =
         runSimulation(thp, trace_a, kv.mem_per_instr);
 
-    PageTable anchor_table = buildAnchorPageTable(map, sel.distance);
-    AnchorMmu anchor(hw, anchor_table, sel.distance);
+    const AnchorDist distance = AnchorDist::fromPages(sel.distance);
+    PageTable anchor_table = buildAnchorPageTable(map, distance);
+    AnchorMmu anchor(hw, anchor_table, distance);
     PatternTrace trace_b(kv, vaOf(machine.va_base), accesses, 1);
     const SimResult anchor_result =
         runSimulation(anchor, trace_b, kv.mem_per_instr);

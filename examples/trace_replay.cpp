@@ -50,8 +50,8 @@ main(int argc, char **argv)
     // Build the memory system once.
     const MemoryMap map =
         buildScenario(ScenarioKind::MedContig, params);
-    const std::uint64_t distance =
-        selectAnchorDistance(map.contiguityHistogram()).distance;
+    const AnchorDist distance = AnchorDist::fromPages(
+        selectAnchorDistance(map.contiguityHistogram()).distance);
     MmuConfig hw;
 
     // Run live generator and file replay; results must be identical.

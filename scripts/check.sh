@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 #
-# Full correctness gate: clang-format (check only), clang-tidy, a
-# -Werror + ANCHORTLB_CHECKED build with the whole test suite (including
-# the parallel-engine determinism tests), the same suite again under
+# Full correctness gate: clang-format (check only), shellcheck,
+# clang-tidy, the anchortlb_lint domain-rule pass, a -Werror +
+# ANCHORTLB_CHECKED build with the whole test suite (including the
+# parallel-engine determinism tests), the same suite again under
 # AddressSanitizer and UndefinedBehaviorSanitizer, and the concurrency
 # suites (thread pool + parallel sweep engine) under ThreadSanitizer.
 #
@@ -13,9 +14,10 @@
 #   scripts/check.sh            # everything
 #   scripts/check.sh --fast     # skip the sanitizer builds
 #
-# Tools that are not installed (clang-format, clang-tidy) are reported
-# and skipped, so the script is still a meaningful gate on a
-# gcc-only box; CI runs the full set.
+# Tools that are not installed (clang-format, clang-tidy, shellcheck)
+# are reported and skipped, so the script is still a meaningful gate on
+# a gcc-only box; CI runs the full set. anchortlb_lint is built by the
+# project itself and always runs.
 
 set -euo pipefail
 
@@ -50,6 +52,19 @@ else
     note "clang-format not installed; skipping format check"
 fi
 
+# ------------------------------------------------------- shellcheck --
+if command -v shellcheck > /dev/null 2>&1; then
+    note "shellcheck"
+    # -x -P SCRIPTDIR: follow the `# shellcheck source=` directives
+    # (run_golden.sh and update_goldens.sh source golden_env.sh).
+    if ! git -C "$repo" ls-files 'scripts/*.sh' 'tests/golden/*.sh' |
+        xargs -I{} shellcheck -x -P SCRIPTDIR "$repo/{}"; then
+        failures+=("shellcheck")
+    fi
+else
+    note "shellcheck not installed; skipping shell script lint"
+fi
+
 # ------------------------------------------------------------- tidy --
 if command -v clang-tidy > /dev/null 2>&1; then
     note "clang-tidy"
@@ -57,7 +72,7 @@ if command -v clang-tidy > /dev/null 2>&1; then
         -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
     mapfile -t tidy_sources < <(git -C "$repo" ls-files \
-        'src/*.cc' 'bench/*.cc')
+        'src/*.cc' 'bench/*.cc' 'tests/*.cc' 'tools/*.cc')
     run_tidy=clang-tidy
     command -v run-clang-tidy > /dev/null 2>&1 && run_tidy=
     if [[ -n "$run_tidy" ]]; then
@@ -86,6 +101,14 @@ build_and_test() {
 }
 
 build_and_test build-checked || failures+=("checked build")
+
+# ------------------------------------------------- anchortlb_lint ----
+# Domain-rule pass over the tree the checked build just compiled. A
+# hard gate: the linter is built by the project itself, so there is no
+# not-installed escape.
+note "anchortlb_lint (domain rules)"
+"$repo/build-checked/tools/anchortlb_lint" -p "$repo/build-checked" ||
+    failures+=("anchortlb_lint")
 
 # TSan over the concurrency suites only: the full grid under TSan is
 # slow, and everything else is single-threaded by construction.

@@ -36,7 +36,7 @@ TranslationOracle::verify(VirtAddr va, const TranslationResult &res) const
     // Host dimension when nested, else the guest walk is final.
     Ppn expected = walk.ppn;
     if (const PageTable *host = mmu_->hostPageTable()) {
-        const WalkResult hw = host->walk(walk.ppn);
+        const WalkResult hw = host->walk(hostVpnOf(walk.ppn));
         ANCHOR_CHECK(hw.present,
                      "oracle[{}]: guest frame {} unmapped in host",
                      mmu_->name(), walk.ppn);

@@ -1,31 +1,52 @@
 /**
  * @file
- * Fundamental address and page types shared by every module.
+ * Strong address and page types shared by every module.
  *
  * The simulator models an x86-64-like virtual memory system with 4KB base
- * pages and 2MB huge pages. Addresses are byte addresses; page numbers are
- * addresses shifted by the page-offset width. We use distinct (but plain)
- * integer aliases rather than strong types to keep the hot translation path
- * free of wrapper overhead; functions that convert between the domains live
- * in this header so the conversions are named and auditable.
+ * pages and 2MB huge pages. Four *distinct wrapper types* — VirtAddr,
+ * PhysAddr (byte addresses) and Vpn, Ppn (page numbers) — make the
+ * classic mix-ups unrepresentable at compile time: a VPN can no longer be
+ * passed where a PPN is expected, nor a byte address where a page number
+ * is expected. The wrappers are zero-cost: a single std::uint64_t,
+ * trivially copyable, with every operation constexpr and inline, so
+ * optimised code is bit-identical to the old plain-integer aliases (the
+ * static_asserts at the bottom of this header pin the layout).
+ *
+ * Conversions between the domains are *named and explicit* and live in
+ * this header so every crossing is auditable: vpnOf/vaOf, ppnOf/paOf,
+ * pageOffset, and the TlbKey constructors (pageKey/hugeKey/giantKey/
+ * groupKey). Raw access is the .raw() escape hatch; code outside this
+ * header and bitops.hh should not shift or mask page numbers directly
+ * (tools/anchortlb_lint enforces this).
+ *
+ * Each type supports only the arithmetic that is meaningful for it:
+ *
+ *  - Vpn/Ppn:      ordered; +/- a page count; Vpn - Vpn = PageCount
+ *                  (never Vpn + Vpn, never Vpn - Ppn);
+ *                  alignDown/offsetIn for power-of-two spans.
+ *  - VirtAddr/PhysAddr: ordered; +/- a byte count; diff in bytes.
+ *  - PageCount:    a count of 4KB pages. Explicit to construct from a
+ *                  raw integer, but decays implicitly *to* one: a count
+ *                  is just a number, the danger is only in minting one
+ *                  from the wrong domain (addresses never convert).
+ *  - TlbKey:       a granularity-shifted TLB tag; only comparable.
+ *  - AnchorDist:   an anchor distance, carrying its page count and its
+ *                  log2 together so the pages-vs-log2 slip cannot
+ *                  happen; construction checks the power-of-two range.
  */
 
 #ifndef ANCHORTLB_COMMON_TYPES_HH
 #define ANCHORTLB_COMMON_TYPES_HH
 
+#include <compare>
 #include <cstdint>
+#include <functional>
+#include <ostream>
+#include <type_traits>
 
 namespace atlb
 {
 
-/** Byte-granularity virtual address. */
-using VirtAddr = std::uint64_t;
-/** Byte-granularity physical address. */
-using PhysAddr = std::uint64_t;
-/** Virtual page number (VirtAddr >> pageShift). */
-using Vpn = std::uint64_t;
-/** Physical page number (PhysAddr >> pageShift). */
-using Ppn = std::uint64_t;
 /** Simulation cycle count. */
 using Cycles = std::uint64_t;
 
@@ -47,45 +68,442 @@ constexpr unsigned giantShift = 18;
 /** Giant (1GB) page size in bytes. */
 constexpr std::uint64_t giantBytes = pageBytes * giantPages;
 
+/**
+ * A count of 4KB pages (a *length*, never a position).
+ *
+ * Construction from a raw integer is explicit — the mistakes worth
+ * preventing mint a count out of the wrong domain (a byte size, an
+ * address) — but a PageCount decays implicitly to std::uint64_t so
+ * counts participate in ordinary arithmetic, indexing and comparisons
+ * without ceremony. Positions (Vpn/Ppn/addresses) never decay.
+ */
+class PageCount
+{
+  public:
+    constexpr PageCount() = default;
+    constexpr explicit PageCount(std::uint64_t pages) : n_(pages) {}
+
+    /** The raw count (same value the implicit conversion yields). */
+    constexpr std::uint64_t raw() const { return n_; }
+    constexpr operator std::uint64_t() const { return n_; } // NOLINT
+
+    friend constexpr bool operator==(PageCount a, PageCount b)
+    {
+        return a.n_ == b.n_;
+    }
+    friend constexpr auto operator<=>(PageCount a, PageCount b)
+    {
+        return a.n_ <=> b.n_;
+    }
+
+    constexpr PageCount operator+(PageCount o) const
+    {
+        return PageCount{n_ + o.n_};
+    }
+    constexpr PageCount operator-(PageCount o) const
+    {
+        return PageCount{n_ - o.n_};
+    }
+    constexpr PageCount &operator+=(PageCount o)
+    {
+        n_ += o.n_;
+        return *this;
+    }
+
+  private:
+    std::uint64_t n_ = 0;
+};
+
+/** A page count's size in bytes. */
+constexpr std::uint64_t
+bytesOf(PageCount pages)
+{
+    return pages.raw() * pageBytes;
+}
+
+/** Pages needed to hold @p bytes (rounding up). */
+constexpr PageCount
+pagesForBytes(std::uint64_t bytes)
+{
+    return PageCount{(bytes + pageBytes - 1) / pageBytes};
+}
+
+namespace detail
+{
+
+/**
+ * Shared scaffolding for the ordinal strong types: storage, explicit
+ * raw-integer construction, the .raw() escape hatch, and ordering.
+ * Derived types add the arithmetic that is meaningful for their domain.
+ */
+template <class Derived>
+class Ordinal
+{
+  public:
+    constexpr Ordinal() = default;
+    constexpr explicit Ordinal(std::uint64_t raw) : v_(raw) {}
+
+    /** Escape hatch to the raw integer; never converts implicitly. */
+    constexpr std::uint64_t raw() const { return v_; }
+
+    friend constexpr bool operator==(Derived a, Derived b)
+    {
+        return a.raw() == b.raw();
+    }
+    friend constexpr auto operator<=>(Derived a, Derived b)
+    {
+        return a.raw() <=> b.raw();
+    }
+
+    /** Streams as the raw value, so messages match the old aliases. */
+    friend std::ostream &operator<<(std::ostream &os, Derived d)
+    {
+        return os << d.raw();
+    }
+
+  protected:
+    std::uint64_t v_ = 0;
+};
+
+/**
+ * A position on a page-number axis: ordered, movable by a page count,
+ * and alignable to power-of-two spans. Positions of the same axis
+ * subtract to a PageCount; positions never add to each other.
+ */
+template <class Derived>
+class PageNum : public Ordinal<Derived>
+{
+  protected:
+    using Ordinal<Derived>::v_;
+
+  public:
+    using Ordinal<Derived>::Ordinal;
+
+    constexpr Derived operator+(std::uint64_t pages) const
+    {
+        return Derived{v_ + pages};
+    }
+    constexpr Derived operator-(std::uint64_t pages) const
+    {
+        return Derived{v_ - pages};
+    }
+    constexpr PageCount operator-(Derived o) const
+    {
+        return PageCount{v_ - o.raw()};
+    }
+    constexpr Derived &operator+=(std::uint64_t pages)
+    {
+        v_ += pages;
+        return static_cast<Derived &>(*this);
+    }
+    constexpr Derived &operator-=(std::uint64_t pages)
+    {
+        v_ -= pages;
+        return static_cast<Derived &>(*this);
+    }
+    constexpr Derived &operator++()
+    {
+        ++v_;
+        return static_cast<Derived &>(*this);
+    }
+    constexpr Derived &operator--()
+    {
+        --v_;
+        return static_cast<Derived &>(*this);
+    }
+
+    /** Round down to a multiple of @p span pages (power of two). */
+    constexpr Derived alignDown(std::uint64_t span) const
+    {
+        return Derived{v_ & ~(span - 1)};
+    }
+
+    /** Round up to a multiple of @p span pages (power of two). */
+    constexpr Derived alignUp(std::uint64_t span) const
+    {
+        return Derived{(v_ + span - 1) & ~(span - 1)};
+    }
+
+    /** True iff this page number is a multiple of @p span (pow2). */
+    constexpr bool isAligned(std::uint64_t span) const
+    {
+        return (v_ & (span - 1)) == 0;
+    }
+
+    /** Offset in pages from the enclosing @p span boundary (pow2). */
+    constexpr std::uint64_t offsetIn(std::uint64_t span) const
+    {
+        return v_ & (span - 1);
+    }
+};
+
+} // namespace detail
+
+/** Virtual page number (a position in virtual page space). */
+class Vpn : public detail::PageNum<Vpn>
+{
+  public:
+    using detail::PageNum<Vpn>::PageNum;
+};
+
+/** Physical page number (a position in physical frame space). */
+class Ppn : public detail::PageNum<Ppn>
+{
+  public:
+    using detail::PageNum<Ppn>::PageNum;
+};
+
+namespace detail
+{
+
+/** A byte-granularity address: ordered, movable by a byte count. */
+template <class Derived>
+class ByteAddr : public Ordinal<Derived>
+{
+  protected:
+    using Ordinal<Derived>::v_;
+
+  public:
+    using Ordinal<Derived>::Ordinal;
+
+    constexpr Derived operator+(std::uint64_t bytes) const
+    {
+        return Derived{v_ + bytes};
+    }
+    constexpr Derived operator-(std::uint64_t bytes) const
+    {
+        return Derived{v_ - bytes};
+    }
+    /** Distance in bytes between two addresses of the same space. */
+    constexpr std::uint64_t operator-(Derived o) const
+    {
+        return v_ - o.raw();
+    }
+    constexpr Derived &operator+=(std::uint64_t bytes)
+    {
+        v_ += bytes;
+        return static_cast<Derived &>(*this);
+    }
+};
+
+} // namespace detail
+
+/** Byte-granularity virtual address. */
+class VirtAddr : public detail::ByteAddr<VirtAddr>
+{
+  public:
+    using detail::ByteAddr<VirtAddr>::ByteAddr;
+};
+
+/** Byte-granularity physical address. */
+class PhysAddr : public detail::ByteAddr<PhysAddr>
+{
+  public:
+    using detail::ByteAddr<PhysAddr>::ByteAddr;
+};
+
 /** Sentinel for "no physical page". */
-constexpr Ppn invalidPpn = ~0ULL;
+constexpr Ppn invalidPpn{~0ULL};
 /** Sentinel for "no virtual page". */
-constexpr Vpn invalidVpn = ~0ULL;
+constexpr Vpn invalidVpn{~0ULL};
+
+// ---- Named domain crossings (the only sanctioned conversions) -------
 
 /** Extract the virtual page number from a virtual address. */
 constexpr Vpn
 vpnOf(VirtAddr va)
 {
-    return va >> pageShift;
+    return Vpn{va.raw() >> pageShift};
 }
 
 /** Extract the physical page number from a physical address. */
 constexpr Ppn
 ppnOf(PhysAddr pa)
 {
-    return pa >> pageShift;
+    return Ppn{pa.raw() >> pageShift};
 }
 
 /** Byte offset within a base page. */
 constexpr std::uint64_t
 pageOffset(VirtAddr va)
 {
-    return va & (pageBytes - 1);
+    return va.raw() & (pageBytes - 1);
 }
 
 /** First byte address of a virtual page. */
 constexpr VirtAddr
 vaOf(Vpn vpn)
 {
-    return vpn << pageShift;
+    return VirtAddr{vpn.raw() << pageShift};
 }
 
 /** First byte address of a physical page. */
 constexpr PhysAddr
 paOf(Ppn ppn)
 {
-    return ppn << pageShift;
+    return PhysAddr{ppn.raw() << pageShift};
 }
+
+/**
+ * Reinterpret a guest-physical frame as the virtual axis of the *host*
+ * dimension (nested translation): the host page table and host memory
+ * map key their "VPN" side by guest-physical frame numbers. This is the
+ * one sanctioned Ppn -> Vpn crossing.
+ */
+constexpr Vpn
+hostVpnOf(Ppn guest_frame)
+{
+    return Vpn{guest_frame.raw()};
+}
+
+// ---- Granularity helpers for the translation pipelines --------------
+
+/** Offset of @p vpn within its 2MB huge page, in 4KB pages. */
+constexpr std::uint64_t
+hugeOffset(Vpn vpn)
+{
+    return vpn.offsetIn(hugePages);
+}
+
+/** Offset of @p vpn within its 1GB giant page, in 4KB pages. */
+constexpr std::uint64_t
+giantOffset(Vpn vpn)
+{
+    return vpn.offsetIn(giantPages);
+}
+
+/**
+ * Tag stored in a set-associative TLB. The key has already been shifted
+ * to the entry's natural granularity (see set_assoc_tlb.hh), which is
+ * why it is its own type: a TlbKey is *not* a page number and supports
+ * no address arithmetic — only construction via the named makers below
+ * (or explicitly from a raw scheme-specific encoding) and comparison.
+ */
+class TlbKey : public detail::Ordinal<TlbKey>
+{
+  public:
+    using detail::Ordinal<TlbKey>::Ordinal;
+};
+
+/** Key of a 4KB-page entry: the VPN itself. */
+constexpr TlbKey
+pageKey(Vpn vpn)
+{
+    return TlbKey{vpn.raw()};
+}
+
+/** Key of a 2MB-page entry: the VPN's huge-page index. */
+constexpr TlbKey
+hugeKey(Vpn vpn)
+{
+    return TlbKey{vpn.raw() >> hugeShift};
+}
+
+/** Key of a 1GB-page entry: the VPN's giant-page index. */
+constexpr TlbKey
+giantKey(Vpn vpn)
+{
+    return TlbKey{vpn.raw() >> giantShift};
+}
+
+/**
+ * Key of a coalesced entry covering an aligned 2^log2-page group
+ * (anchor entries keyed by AVPN >> log2(distance), paper Fig. 6;
+ * cluster entries keyed by VPN / span).
+ */
+constexpr TlbKey
+groupKey(Vpn vpn, unsigned span_log2)
+{
+    return TlbKey{vpn.raw() >> span_log2};
+}
+
+/**
+ * An anchor distance: a power of two in [2, 2^16] pages (paper
+ * Section 3.1), or the default-constructed "none". The page count and
+ * its log2 travel together, so code can no longer pass a log2 where
+ * pages are expected (or vice versa) — the slip the old pair of plain
+ * integers invited.
+ */
+class AnchorDist
+{
+  public:
+    /** "No distance" (a process not using the anchor scheme). */
+    constexpr AnchorDist() = default;
+
+    /** Wrap a distance given in pages; must be a power of two >= 2. */
+    static constexpr AnchorDist fromPages(std::uint64_t pages)
+    {
+        // Callers validate range against their config; the type only
+        // guarantees the pages/log2 pair is coherent.
+        unsigned log2 = 0;
+        while ((1ULL << log2) < pages)
+            ++log2;
+        return AnchorDist{pages, log2};
+    }
+
+    /** Wrap a distance given as log2(pages). */
+    static constexpr AnchorDist fromLog2(unsigned log2)
+    {
+        return AnchorDist{1ULL << log2, log2};
+    }
+
+    constexpr bool none() const { return pages_ == 0; }
+
+    /** Distance in 4KB pages (0 when none()). */
+    constexpr std::uint64_t pages() const { return pages_; }
+
+    /** log2 of the distance; meaningless when none(). */
+    constexpr unsigned log2() const { return log2_; }
+
+    /** True iff the wrapped value is a power of two >= 2. */
+    constexpr bool valid() const
+    {
+        return pages_ >= 2 && (pages_ & (pages_ - 1)) == 0 &&
+               pages_ == (1ULL << log2_);
+    }
+
+    /** Anchor VPN of @p vpn: the enclosing distance-aligned boundary. */
+    constexpr Vpn anchorOf(Vpn vpn) const
+    {
+        return vpn.alignDown(pages_);
+    }
+
+    /** Pages between @p vpn and its anchor. */
+    constexpr std::uint64_t offsetOf(Vpn vpn) const
+    {
+        return vpn.offsetIn(pages_);
+    }
+
+    /** TLB key of the anchor entry at @p avpn (paper Fig. 6). */
+    constexpr TlbKey keyOf(Vpn avpn) const
+    {
+        return groupKey(avpn, log2_);
+    }
+
+    friend constexpr bool operator==(AnchorDist a, AnchorDist b)
+    {
+        return a.pages_ == b.pages_;
+    }
+    friend constexpr auto operator<=>(AnchorDist a, AnchorDist b)
+    {
+        return a.pages_ <=> b.pages_;
+    }
+
+    /** Streams as the page count, matching the old plain integer. */
+    friend std::ostream &operator<<(std::ostream &os, AnchorDist d)
+    {
+        return os << d.pages_;
+    }
+
+  private:
+    constexpr AnchorDist(std::uint64_t pages, unsigned log2)
+        : pages_(pages), log2_(log2)
+    {
+    }
+
+    std::uint64_t pages_ = 0;
+    unsigned log2_ = 0;
+};
 
 /** Page sizes supported by the translation hardware. */
 enum class PageSize : std::uint8_t
@@ -96,17 +514,70 @@ enum class PageSize : std::uint8_t
 };
 
 /** Number of base pages covered by a translation of the given size. */
-constexpr std::uint64_t
+constexpr PageCount
 pagesCovered(PageSize size)
 {
     switch (size) {
-      case PageSize::Base4K: return 1;
-      case PageSize::Huge2M: return hugePages;
-      case PageSize::Giant1G: return giantPages;
+      case PageSize::Base4K: return PageCount{1};
+      case PageSize::Huge2M: return PageCount{hugePages};
+      case PageSize::Giant1G: return PageCount{giantPages};
     }
-    return 1;
+    return PageCount{1};
 }
 
+// ---- Layout pins ----------------------------------------------------
+// The wrappers must stay bit-identical to the plain integers they
+// replaced: single 8-byte payload, trivially copyable, standard layout.
+// Binary trace formats and the batch-kernel hot path both rely on it.
+
+namespace detail
+{
+
+template <class T>
+constexpr bool isZeroCostWrapper =
+    sizeof(T) == sizeof(std::uint64_t) &&
+    alignof(T) == alignof(std::uint64_t) &&
+    std::is_trivially_copyable_v<T> && std::is_standard_layout_v<T>;
+
+} // namespace detail
+
+static_assert(detail::isZeroCostWrapper<Vpn>);
+static_assert(detail::isZeroCostWrapper<Ppn>);
+static_assert(detail::isZeroCostWrapper<VirtAddr>);
+static_assert(detail::isZeroCostWrapper<PhysAddr>);
+static_assert(detail::isZeroCostWrapper<PageCount>);
+static_assert(detail::isZeroCostWrapper<TlbKey>);
+static_assert(std::is_trivially_copyable_v<AnchorDist> &&
+              sizeof(AnchorDist) == 16);
+
 } // namespace atlb
+
+// Hashing, for the profilers' page-indexed maps and sets.
+template <>
+struct std::hash<atlb::Vpn>
+{
+    std::size_t operator()(atlb::Vpn v) const noexcept
+    {
+        return std::hash<std::uint64_t>{}(v.raw());
+    }
+};
+
+template <>
+struct std::hash<atlb::Ppn>
+{
+    std::size_t operator()(atlb::Ppn p) const noexcept
+    {
+        return std::hash<std::uint64_t>{}(p.raw());
+    }
+};
+
+template <>
+struct std::hash<atlb::VirtAddr>
+{
+    std::size_t operator()(atlb::VirtAddr a) const noexcept
+    {
+        return std::hash<std::uint64_t>{}(a.raw());
+    }
+};
 
 #endif // ANCHORTLB_COMMON_TYPES_HH

@@ -99,7 +99,7 @@ MappedTraceSource::fill(MemAccess *out, std::size_t max)
     for (std::size_t i = 0; i < n; ++i, p += 8) {
         std::uint64_t word;
         std::memcpy(&word, p, 8); // files are written little-endian
-        out[i].vaddr = word & ~1ULL;
+        out[i].vaddr = VirtAddr{word & ~1ULL};
         out[i].write = word & 1;
     }
     consumed_ += n;

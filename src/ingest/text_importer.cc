@@ -122,8 +122,10 @@ parsePlain(const std::vector<std::string> &toks, ParsedLine &out)
         return false;
     if (!parseReadWrite(toks[0], out.first.write))
         return false;
-    if (!parseHeuristicAddr(toks[1], out.first.vaddr))
+    std::uint64_t va = 0;
+    if (!parseHeuristicAddr(toks[1], va))
         return false;
+    out.first.vaddr = VirtAddr{va};
     out.emits = true;
     return true;
 }
@@ -144,9 +146,11 @@ parseLackey(const std::vector<std::string> &toks, ParsedLine &out)
     // Lackey addresses are always hex (usually without 0x); sizes are
     // always decimal — exactly what valgrind's `%08lx,%lu` emits.
     std::uint64_t size = 0;
-    if (!parseUint(operand.substr(0, comma), 16, out.first.vaddr) ||
+    std::uint64_t va = 0;
+    if (!parseUint(operand.substr(0, comma), 16, va) ||
         !parseUint(operand.substr(comma + 1), 10, size) || size == 0)
         return false;
+    out.first.vaddr = VirtAddr{va};
     if (kind == 'I') {
         out.emits = false; // instruction fetch; we model data TLBs
         return true;
@@ -169,8 +173,10 @@ parseChampSim(const std::vector<std::string> &toks, ParsedLine &out)
         return false;
     if (!parseReadWrite(toks[1], out.first.write))
         return false;
-    if (!parseUint(toks[2], 16, out.first.vaddr))
+    std::uint64_t va = 0;
+    if (!parseUint(toks[2], 16, va))
         return false;
+    out.first.vaddr = VirtAddr{va};
     out.emits = true;
     return true;
 }
@@ -224,10 +230,10 @@ scanFile(const std::string &path, TextTraceFormat format,
             continue;
         }
         MemAccess access = parsed.first;
-        access.vaddr = static_cast<std::uint64_t>(
-            static_cast<std::int64_t>(access.vaddr) + shift);
-        result.min_vaddr = std::min(result.min_vaddr, access.vaddr);
-        result.max_vaddr = std::max(result.max_vaddr, access.vaddr);
+        access.vaddr = VirtAddr{static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(access.vaddr.raw()) + shift)};
+        result.min_vaddr = std::min(result.min_vaddr, access.vaddr.raw());
+        result.max_vaddr = std::max(result.max_vaddr, access.vaddr.raw());
         if (parsed.modify) {
             // lackey `M addr,size` is a read-modify-write pair.
             MemAccess read = access;

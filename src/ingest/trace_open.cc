@@ -80,8 +80,8 @@ inspectTraceFile(const std::string &path)
     std::size_t got;
     while ((got = src.fill(batch, 1024)) > 0) {
         for (std::size_t i = 0; i < got; ++i) {
-            lo = std::min(lo, batch[i].vaddr);
-            hi = std::max(hi, batch[i].vaddr);
+            lo = std::min(lo, batch[i].vaddr.raw());
+            hi = std::max(hi, batch[i].vaddr.raw());
         }
     }
     info.min_vaddr = info.accesses > 0 ? lo : 0;

@@ -156,19 +156,20 @@ void
 TraceV2Writer::append(const MemAccess &access)
 {
     ATLB_ASSERT(!closed_, "append to a closed trace writer");
-    if (access.vaddr >> 63)
+    // Codec bit packing, not page math. lint-allow: page-shift
+    if (access.vaddr.raw() >> 63)
         ATLB_FATAL("ATLBTRC2 cannot encode vaddr {} (needs 64 bits; "
                    "63 supported)",
                    access.vaddr);
-    const std::uint64_t word =
-        (access.vaddr << 1) | (access.write ? 1 : 0);
+    const std::uint64_t word = // lint-allow: page-shift
+        (access.vaddr.raw() << 1) | (access.write ? 1 : 0);
     const std::int64_t delta =
         static_cast<std::int64_t>(word - prev_word_);
     deltas_.push_back(zigzag(delta));
     prev_word_ = word;
     ++total_;
-    min_vaddr_ = std::min(min_vaddr_, access.vaddr);
-    max_vaddr_ = std::max(max_vaddr_, access.vaddr);
+    min_vaddr_ = std::min(min_vaddr_, access.vaddr.raw());
+    max_vaddr_ = std::max(max_vaddr_, access.vaddr.raw());
     if (deltas_.size() == block_capacity_)
         flushBlock();
 }
@@ -520,7 +521,7 @@ TraceV2Source::fill(MemAccess *out, std::size_t max)
             max - produced, index_[block].count - target);
         for (std::uint64_t i = 0; i < run; ++i) {
             decodeNext();
-            out[produced].vaddr = word_ >> 1;
+            out[produced].vaddr = VirtAddr{word_ >> 1};
             out[produced].write = (word_ & 1) != 0;
             ++produced;
         }

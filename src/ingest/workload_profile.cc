@@ -21,8 +21,8 @@ WorkloadProfiler::record(const MemAccess &access)
         stride_.add(delta);
     }
     last_vpn_ = vpn;
-    min_vaddr_ = std::min(min_vaddr_, access.vaddr);
-    max_vaddr_ = std::max(max_vaddr_, access.vaddr);
+    min_vaddr_ = std::min(min_vaddr_, access.vaddr.raw());
+    max_vaddr_ = std::max(max_vaddr_, access.vaddr.raw());
     ++accesses_;
 }
 

@@ -15,12 +15,12 @@ BuddyAllocator::BuddyAllocator(std::uint64_t total_pages, unsigned max_order)
 {
     ATLB_ASSERT(max_order < 40, "absurd max order {}", max_order);
     // Seed the pool greedily with the largest aligned blocks that fit.
-    Ppn base = 0;
+    Ppn base{0};
     std::uint64_t remaining = total_pages;
     while (remaining > 0) {
         unsigned order = max_order_;
         while (order > 0 &&
-               ((1ULL << order) > remaining || !isAligned(base, 1ULL << order)))
+               ((1ULL << order) > remaining || !base.isAligned(1ULL << order)))
             --order;
         free_lists_[order].insert(base);
         free_pages_ += 1ULL << order;
@@ -92,14 +92,14 @@ BuddyAllocator::free(Ppn base, unsigned order)
 {
     ATLB_ASSERT(order <= max_order_, "free of order {} > max {}", order,
                 max_order_);
-    ATLB_ASSERT(isAligned(base, 1ULL << order),
+    ATLB_ASSERT(base.isAligned(1ULL << order),
                 "free of misaligned block {} order {}", base, order);
-    ATLB_ASSERT(base + (1ULL << order) <= total_pages_,
+    ATLB_ASSERT(base.raw() + (1ULL << order) <= total_pages_,
                 "free past end of pool");
     free_pages_ += 1ULL << order;
     // Coalesce with the buddy while it is free, up to max order.
     while (order < max_order_) {
-        const Ppn buddy = base ^ (1ULL << order);
+        const Ppn buddy{base.raw() ^ (1ULL << order)};
         auto &list = free_lists_[order];
         const auto it = list.find(buddy);
         if (it == list.end())
@@ -170,13 +170,13 @@ bool
 BuddyAllocator::checkInvariants() const
 {
     std::uint64_t counted = 0;
-    Ppn prev_end = 0;
+    Ppn prev_end{0};
     bool first = true;
     // Collect all (base, order) and verify alignment and disjointness.
     std::vector<std::pair<Ppn, unsigned>> blocks;
     for (unsigned order = 0; order <= max_order_; ++order) {
         for (const Ppn base : free_lists_[order]) {
-            if (!isAligned(base, 1ULL << order))
+            if (!base.isAligned(1ULL << order))
                 return false;
             blocks.emplace_back(base, order);
             counted += 1ULL << order;
@@ -190,11 +190,11 @@ BuddyAllocator::checkInvariants() const
             return false; // overlap
         prev_end = base + (1ULL << order);
         first = false;
-        if (prev_end > total_pages_)
+        if (prev_end.raw() > total_pages_)
             return false;
         // A free block must not have a free buddy (should have coalesced),
         // unless it is already at max order.
-        if (order < max_order_ && isFree(base ^ (1ULL << order), order))
+        if (order < max_order_ && isFree(Ppn{base.raw() ^ (1ULL << order)}, order))
             return false;
     }
     return true;

@@ -26,7 +26,7 @@ Fragmenter::pinRun(Ppn base, std::uint64_t pages)
     // hand them back with valid (base, order) pairs.
     while (pages > 0) {
         unsigned order = static_cast<unsigned>(
-            std::min<std::uint64_t>(std::countr_zero(base | (1ULL << 63)),
+            std::min<std::uint64_t>(std::countr_zero(base.raw() | (1ULL << 63)),
                                     floorLog2(pages)));
         order = std::min(order, buddy_.maxOrder());
         pinned_.emplace_back(base, order);
@@ -45,7 +45,7 @@ freeRun(BuddyAllocator &buddy, Ppn base, std::uint64_t pages)
 {
     while (pages > 0) {
         unsigned order = static_cast<unsigned>(
-            std::min<std::uint64_t>(std::countr_zero(base | (1ULL << 63)),
+            std::min<std::uint64_t>(std::countr_zero(base.raw() | (1ULL << 63)),
                                     floorLog2(pages)));
         order = std::min(order, buddy.maxOrder());
         buddy.free(base, order);

@@ -11,33 +11,32 @@ namespace atlb
 {
 
 AnchorMmu::AnchorMmu(const MmuConfig &config, const PageTable &table,
-                     std::uint64_t distance, std::string name)
+                     AnchorDist distance, std::string name)
     : Mmu(config, table, std::move(name)),
       l2_(config.l2_entries, config.l2_ways, this->name() + ".l2"),
-      distance_(distance), distance_log2_(floorLog2(distance))
+      distance_(distance)
 {
-    ATLB_ASSERT(isPow2(distance) && distance >= 2 &&
-                    distance <= config.max_contiguity,
+    ATLB_ASSERT(distance.valid() &&
+                    distance.pages() <= config.max_contiguity,
                 "bad anchor distance {}", distance);
 }
 
 void
 AnchorMmu::switchProcess(const ProcessContext &ctx)
 {
-    ATLB_ASSERT(ctx.anchor_distance != 0,
+    ATLB_ASSERT(!ctx.anchor_distance.none(),
                 "anchor scheme needs a per-process distance");
     setDistance(ctx.anchor_distance);
     Mmu::switchProcess(ctx);
 }
 
 void
-AnchorMmu::setDistance(std::uint64_t distance)
+AnchorMmu::setDistance(AnchorDist distance)
 {
-    ATLB_ASSERT(isPow2(distance) && distance >= 2 &&
-                    distance <= config_.max_contiguity,
+    ATLB_ASSERT(distance.valid() &&
+                    distance.pages() <= config_.max_contiguity,
                 "bad anchor distance {}", distance);
     distance_ = distance;
-    distance_log2_ = floorLog2(distance);
     flushAll();
 }
 
@@ -45,17 +44,17 @@ TranslationResult
 AnchorMmu::translateL2(Vpn vpn)
 {
     // Regular entries first (4KB, then 2MB), sharing the unified L2.
-    if (const TlbEntry *e = l2_.lookup(EntryKind::Page4K, vpn)) {
+    if (const TlbEntry *e = l2_.lookup(EntryKind::Page4K, pageKey(vpn))) {
         return {e->ppn, config_.l2_hit_cycles, HitLevel::L2Regular,
                 PageSize::Base4K};
     }
-    if (const TlbEntry *e = l2_.lookup(EntryKind::Page2M, vpn >> hugeShift)) {
-        return {e->ppn + (vpn & (hugePages - 1)), config_.l2_hit_cycles,
+    if (const TlbEntry *e = l2_.lookup(EntryKind::Page2M, hugeKey(vpn))) {
+        return {e->ppn + hugeOffset(vpn), config_.l2_hit_cycles,
                 HitLevel::L2Regular, PageSize::Huge2M};
     }
 
     const Vpn avpn = anchorOf(vpn);
-    const std::uint64_t offset = vpn - avpn;
+    const std::uint64_t offset = distance_.offsetOf(vpn);
     bool anchor_entry_present = false;
     if (const TlbEntry *e = l2_.lookup(EntryKind::Anchor, anchorKey(avpn))) {
         anchor_entry_present = true;
@@ -83,7 +82,8 @@ AnchorMmu::translateL2(Vpn vpn)
         // GPA (the hypervisor exposes this like the guest OS exposes
         // its own contiguity).
         const Ppn anchor_gpa = res.guest_ppn - offset;
-        contig = std::min(contig, host_map_->contiguityFrom(anchor_gpa));
+        contig = std::min<std::uint64_t>(
+            contig, host_map_->contiguityFrom(hostVpnOf(anchor_gpa)));
     }
     const bool covered = offset < contig;
 
@@ -103,11 +103,11 @@ AnchorMmu::translateL2(Vpn vpn)
         e.valid = true;
         if (res.size == PageSize::Huge2M) {
             e.kind = EntryKind::Page2M;
-            e.key = vpn >> hugeShift;
-            e.ppn = res.ppn - (vpn & (hugePages - 1));
+            e.key = hugeKey(vpn);
+            e.ppn = res.ppn - hugeOffset(vpn);
         } else {
             e.kind = EntryKind::Page4K;
-            e.key = vpn;
+            e.key = pageKey(vpn);
             e.ppn = res.ppn;
         }
         l2_.insert(e);
@@ -137,8 +137,8 @@ void
 AnchorMmu::invalidatePage(Vpn vpn)
 {
     Mmu::invalidatePage(vpn);
-    l2_.invalidate(EntryKind::Page4K, vpn);
-    l2_.invalidate(EntryKind::Page2M, vpn >> hugeShift);
+    l2_.invalidate(EntryKind::Page4K, pageKey(vpn));
+    l2_.invalidate(EntryKind::Page2M, hugeKey(vpn));
     l2_.invalidate(EntryKind::Anchor, anchorKey(anchorOf(vpn)));
 }
 

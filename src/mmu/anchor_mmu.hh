@@ -52,12 +52,12 @@ class AnchorMmu : public Mmu
 {
   public:
     /**
-     * @param distance anchor distance in pages; power of two in
-     *                 [2, 2^16]. The page table must have been swept
-     *                 with the same distance.
+     * @param distance anchor distance; its page count must be a power
+     *                 of two in [2, max_contiguity]. The page table
+     *                 must have been swept with the same distance.
      */
     AnchorMmu(const MmuConfig &config, const PageTable &table,
-              std::uint64_t distance, std::string name = "anchor");
+              AnchorDist distance, std::string name = "anchor");
 
     void flushAll() override;
 
@@ -86,9 +86,9 @@ class AnchorMmu : public Mmu
      * Change the anchor distance register (after the OS has re-swept
      * the page table); flushes all TLBs like the paper's shootdown.
      */
-    void setDistance(std::uint64_t distance);
+    void setDistance(AnchorDist distance);
 
-    std::uint64_t distance() const { return distance_; }
+    AnchorDist distance() const { return distance_; }
     const SetAssocTlb &l2Tlb() const { return l2_; }
     /** Mutable L2 for corruption-injection tests (invariant checkers). */
     SetAssocTlb &l2TlbForTest() { return l2_; }
@@ -99,18 +99,14 @@ class AnchorMmu : public Mmu
 
   private:
     SetAssocTlb l2_;
-    std::uint64_t distance_;
-    unsigned distance_log2_;
+    AnchorDist distance_;
     AnchorMmuStats anchor_stats_;
 
     /** Anchor VPN of @p vpn under the current distance. */
-    Vpn anchorOf(Vpn vpn) const { return vpn & ~(distance_ - 1); }
+    Vpn anchorOf(Vpn vpn) const { return distance_.anchorOf(vpn); }
 
     /** L2 key for the anchor entry at @p avpn (Fig. 6 indexing). */
-    std::uint64_t anchorKey(Vpn avpn) const
-    {
-        return avpn >> distance_log2_;
-    }
+    TlbKey anchorKey(Vpn avpn) const { return distance_.keyOf(avpn); }
 };
 
 } // namespace atlb

@@ -14,17 +14,17 @@ BaselineMmu::BaselineMmu(const MmuConfig &config, const PageTable &table,
 TranslationResult
 BaselineMmu::translateL2(Vpn vpn)
 {
-    if (const TlbEntry *e = l2_.lookup(EntryKind::Page4K, vpn)) {
+    if (const TlbEntry *e = l2_.lookup(EntryKind::Page4K, pageKey(vpn))) {
         return {e->ppn, config_.l2_hit_cycles, HitLevel::L2Regular,
                 PageSize::Base4K};
     }
-    if (const TlbEntry *e = l2_.lookup(EntryKind::Page2M, vpn >> hugeShift)) {
-        return {e->ppn + (vpn & (hugePages - 1)), config_.l2_hit_cycles,
+    if (const TlbEntry *e = l2_.lookup(EntryKind::Page2M, hugeKey(vpn))) {
+        return {e->ppn + hugeOffset(vpn), config_.l2_hit_cycles,
                 HitLevel::L2Regular, PageSize::Huge2M};
     }
     if (const TlbEntry *e =
-            l2_1g_.lookup(EntryKind::Page1G, vpn >> giantShift)) {
-        return {e->ppn + (vpn & (giantPages - 1)), config_.l2_hit_cycles,
+            l2_1g_.lookup(EntryKind::Page1G, giantKey(vpn))) {
+        return {e->ppn + giantOffset(vpn), config_.l2_hit_cycles,
                 HitLevel::L2Regular, PageSize::Giant1G};
     }
     TranslationResult res = walkPageTable(vpn, config_.l2_hit_cycles);
@@ -39,18 +39,18 @@ BaselineMmu::fillL2(Vpn vpn, const TranslationResult &res)
     e.valid = true;
     if (res.size == PageSize::Giant1G) {
         e.kind = EntryKind::Page1G;
-        e.key = vpn >> giantShift;
-        e.ppn = res.ppn - (vpn & (giantPages - 1));
+        e.key = giantKey(vpn);
+        e.ppn = res.ppn - giantOffset(vpn);
         l2_1g_.insert(e);
         return;
     }
     if (res.size == PageSize::Huge2M) {
         e.kind = EntryKind::Page2M;
-        e.key = vpn >> hugeShift;
-        e.ppn = res.ppn - (vpn & (hugePages - 1));
+        e.key = hugeKey(vpn);
+        e.ppn = res.ppn - hugeOffset(vpn);
     } else {
         e.kind = EntryKind::Page4K;
-        e.key = vpn;
+        e.key = pageKey(vpn);
         e.ppn = res.ppn;
     }
     l2_.insert(e);
@@ -78,9 +78,9 @@ void
 BaselineMmu::invalidatePage(Vpn vpn)
 {
     Mmu::invalidatePage(vpn);
-    l2_.invalidate(EntryKind::Page4K, vpn);
-    l2_.invalidate(EntryKind::Page2M, vpn >> hugeShift);
-    l2_1g_.invalidate(EntryKind::Page1G, vpn >> giantShift);
+    l2_.invalidate(EntryKind::Page4K, pageKey(vpn));
+    l2_.invalidate(EntryKind::Page2M, hugeKey(vpn));
+    l2_1g_.invalidate(EntryKind::Page1G, giantKey(vpn));
 }
 
 } // namespace atlb

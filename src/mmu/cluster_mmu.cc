@@ -17,7 +17,7 @@ ClusterMmu::ClusterMmu(const MmuConfig &config, const PageTable &table,
                this->name() + ".regular"),
       cluster_(config.cluster_entries, config.cluster_ways,
                this->name() + ".cluster"),
-      use_2mb_(use_2mb)
+      use_2mb_(use_2mb), span_log2_(floorLog2(config.cluster_span))
 {
     ATLB_ASSERT(isPow2(config.cluster_span) && config.cluster_span <= 32,
                 "bad cluster span {}", config.cluster_span);
@@ -27,7 +27,7 @@ std::uint32_t
 ClusterMmu::coalesceGroup(Vpn vpn, Ppn vpn_frame) const
 {
     const unsigned span = config_.cluster_span;
-    const Vpn group = alignDown(vpn, span);
+    const Vpn group = vpn.alignDown(span);
     const unsigned offset = static_cast<unsigned>(vpn - group);
     // Physical frame the cluster's slot 0 would need for perfect
     // coalescing; slots coalesce iff their frame extends this base.
@@ -48,21 +48,21 @@ ClusterMmu::translateL2(Vpn vpn)
 {
     const unsigned span = config_.cluster_span;
 
-    if (const TlbEntry *e = regular_.lookup(EntryKind::Page4K, vpn)) {
+    if (const TlbEntry *e = regular_.lookup(EntryKind::Page4K, pageKey(vpn))) {
         return {e->ppn, config_.l2_hit_cycles, HitLevel::L2Regular,
                 PageSize::Base4K};
     }
     if (use_2mb_) {
         if (const TlbEntry *e =
-                regular_.lookup(EntryKind::Page2M, vpn >> hugeShift)) {
-            return {e->ppn + (vpn & (hugePages - 1)),
+                regular_.lookup(EntryKind::Page2M, hugeKey(vpn))) {
+            return {e->ppn + hugeOffset(vpn),
                     config_.l2_hit_cycles, HitLevel::L2Regular,
                     PageSize::Huge2M};
         }
     }
     // Cluster partition: searched in parallel with the regular one.
-    const std::uint64_t cluster_key = vpn / span;
-    const unsigned offset = static_cast<unsigned>(vpn & (span - 1));
+    const TlbKey cluster_key = groupKey(vpn, span_log2_);
+    const unsigned offset = static_cast<unsigned>(vpn.offsetIn(span));
     if (const TlbEntry *e = cluster_.lookup(EntryKind::Cluster, cluster_key)) {
         if (e->aux & (1u << offset)) {
             return {e->ppn + offset, config_.coalesced_hit_cycles,
@@ -77,8 +77,8 @@ ClusterMmu::translateL2(Vpn vpn)
             TlbEntry e;
             e.valid = true;
             e.kind = EntryKind::Page2M;
-            e.key = vpn >> hugeShift;
-            e.ppn = res.ppn - (vpn & (hugePages - 1));
+            e.key = hugeKey(vpn);
+            e.ppn = res.ppn - hugeOffset(vpn);
             regular_.insert(e);
         } else {
             // The original cluster design has no 2MB support: cache the
@@ -86,7 +86,7 @@ ClusterMmu::translateL2(Vpn vpn)
             TlbEntry e;
             e.valid = true;
             e.kind = EntryKind::Page4K;
-            e.key = vpn;
+            e.key = pageKey(vpn);
             e.ppn = res.ppn;
             regular_.insert(e);
             res.size = PageSize::Base4K;
@@ -107,7 +107,7 @@ ClusterMmu::translateL2(Vpn vpn)
         TlbEntry e;
         e.valid = true;
         e.kind = EntryKind::Page4K;
-        e.key = vpn;
+        e.key = pageKey(vpn);
         e.ppn = res.ppn;
         regular_.insert(e);
     }
@@ -134,9 +134,9 @@ void
 ClusterMmu::invalidatePage(Vpn vpn)
 {
     Mmu::invalidatePage(vpn);
-    regular_.invalidate(EntryKind::Page4K, vpn);
-    regular_.invalidate(EntryKind::Page2M, vpn >> hugeShift);
-    cluster_.invalidate(EntryKind::Cluster, vpn / config_.cluster_span);
+    regular_.invalidate(EntryKind::Page4K, pageKey(vpn));
+    regular_.invalidate(EntryKind::Page2M, hugeKey(vpn));
+    cluster_.invalidate(EntryKind::Cluster, groupKey(vpn, span_log2_));
 }
 
 } // namespace atlb

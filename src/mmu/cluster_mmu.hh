@@ -54,6 +54,7 @@ class ClusterMmu : public Mmu
     SetAssocTlb regular_;
     SetAssocTlb cluster_;
     bool use_2mb_;
+    unsigned span_log2_; //!< log2(cluster_span), for cluster TlbKeys
 
     /**
      * Coalesce the aligned PTE group containing @p vpn into a validity

@@ -26,7 +26,7 @@ RangeEntry
 ColtMmu::scanRun(Vpn vpn, Ppn vpn_frame) const
 {
     const std::uint64_t window = config_.colt_fa_max_pages;
-    const Vpn lo = alignDown(vpn, window);
+    const Vpn lo = vpn.alignDown(window);
     const Vpn hi = lo + window;
     RangeEntry run;
     run.vpn_start = vpn;
@@ -56,12 +56,15 @@ ColtMmu::translateL2(Vpn vpn)
 {
     const unsigned span = config_.cluster_span;
 
-    if (const TlbEntry *e = regular_.lookup(EntryKind::Page4K, vpn)) {
+    if (const TlbEntry *e = regular_.lookup(EntryKind::Page4K, pageKey(vpn))) {
         return {e->ppn, config_.l2_hit_cycles, HitLevel::L2Regular,
                 PageSize::Base4K};
     }
-    const std::uint64_t cluster_key = vpn / span;
-    const unsigned offset = static_cast<unsigned>(vpn & (span - 1));
+    // CoLT does not require a power-of-two span, so the cluster key is
+    // an explicit scheme-specific encoding (plain division), not a
+    // groupKey().
+    const TlbKey cluster_key{vpn.raw() / span};
+    const unsigned offset = static_cast<unsigned>(vpn.raw() & (span - 1));
     if (const TlbEntry *e =
             coalesced_.lookup(EntryKind::Cluster, cluster_key)) {
         if (e->aux & (1u << offset)) {
@@ -81,7 +84,7 @@ ColtMmu::translateL2(Vpn vpn)
         TlbEntry e;
         e.valid = true;
         e.kind = EntryKind::Page4K;
-        e.key = vpn;
+        e.key = pageKey(vpn);
         e.ppn = res.ppn;
         regular_.insert(e);
         res.size = PageSize::Base4K;
@@ -98,7 +101,7 @@ ColtMmu::translateL2(Vpn vpn)
 
     if (run_pages >= 2) {
         // Clip the run to the vpn's aligned group for the SA bitmap.
-        const Vpn group = alignDown(vpn, span);
+        const Vpn group = vpn.alignDown(span);
         std::uint32_t bitmap = 0;
         for (unsigned i = 0; i < span; ++i) {
             const Vpn v = group + i;
@@ -119,7 +122,7 @@ ColtMmu::translateL2(Vpn vpn)
     TlbEntry e;
     e.valid = true;
     e.kind = EntryKind::Page4K;
-    e.key = vpn;
+    e.key = pageKey(vpn);
     e.ppn = res.ppn;
     regular_.insert(e);
     return res;
@@ -146,8 +149,9 @@ void
 ColtMmu::invalidatePage(Vpn vpn)
 {
     Mmu::invalidatePage(vpn);
-    regular_.invalidate(EntryKind::Page4K, vpn);
-    coalesced_.invalidate(EntryKind::Cluster, vpn / config_.cluster_span);
+    regular_.invalidate(EntryKind::Page4K, pageKey(vpn));
+    coalesced_.invalidate(EntryKind::Cluster,
+                          TlbKey{vpn.raw() / config_.cluster_span});
     fa_.invalidateContaining(vpn);
 }
 

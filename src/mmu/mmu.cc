@@ -25,14 +25,15 @@ TranslationResult
 Mmu::translateImpl(Vpn vpn)
 {
     // L1 lookups (parallel with cache access: zero added latency).
-    if (const TlbEntry *e = l1_4k_.lookup(EntryKind::Page4K, vpn)) {
+    if (const TlbEntry *e = l1_4k_.lookup(EntryKind::Page4K,
+                                          pageKey(vpn))) {
         ++stats_.l1_hits;
         return {e->ppn, 0, HitLevel::L1, PageSize::Base4K};
     }
     if (const TlbEntry *e =
-            l1_2m_.lookup(EntryKind::Page2M, vpn >> hugeShift)) {
+            l1_2m_.lookup(EntryKind::Page2M, hugeKey(vpn))) {
         ++stats_.l1_hits;
-        return {e->ppn + (vpn & (hugePages - 1)), 0, HitLevel::L1,
+        return {e->ppn + hugeOffset(vpn), 0, HitLevel::L1,
                 PageSize::Huge2M};
     }
     return translateMiss(vpn);
@@ -90,7 +91,7 @@ Mmu::verifyTranslation(Vpn vpn, const TranslationResult &res) const
                  "{}: fast path translated unmapped vpn {}", name_, vpn);
     Ppn expected = walk.ppn;
     if (host_table_ != nullptr) {
-        const WalkResult host = host_table_->walk(walk.ppn);
+        const WalkResult host = host_table_->walk(hostVpnOf(walk.ppn));
         ANCHOR_CHECK(host.present, "{}: guest frame {} unmapped in host",
                      name_, walk.ppn);
         expected = host.ppn;
@@ -112,14 +113,14 @@ Mmu::fillL1(Vpn vpn, const TranslationResult &res)
     if (res.size == PageSize::Huge2M) {
         TlbEntry e;
         e.kind = EntryKind::Page2M;
-        e.key = vpn >> hugeShift;
-        e.ppn = res.ppn - (vpn & (hugePages - 1));
+        e.key = hugeKey(vpn);
+        e.ppn = res.ppn - hugeOffset(vpn);
         e.valid = true;
         l1_2m_.insert(e);
     } else {
         TlbEntry e;
         e.kind = EntryKind::Page4K;
-        e.key = vpn;
+        e.key = pageKey(vpn);
         e.ppn = res.ppn;
         e.valid = true;
         l1_4k_.insert(e);
@@ -141,7 +142,7 @@ Mmu::walkPageTable(Vpn vpn, Cycles lookup_cycles)
     if (host_table_) {
         // Nested dimension: the guest frame is a guest-physical address
         // that the host table maps onto machine memory.
-        const WalkResult host = host_table_->walk(walk.ppn);
+        const WalkResult host = host_table_->walk(hostVpnOf(walk.ppn));
         if (!host.present) {
             ATLB_FATAL("{}: guest frame {} not mapped by the host",
                        name_, walk.ppn);
@@ -192,8 +193,8 @@ void
 Mmu::invalidatePage(Vpn vpn)
 {
     l0FilterClear();
-    l1_4k_.invalidate(EntryKind::Page4K, vpn);
-    l1_2m_.invalidate(EntryKind::Page2M, vpn >> hugeShift);
+    l1_4k_.invalidate(EntryKind::Page4K, pageKey(vpn));
+    l1_2m_.invalidate(EntryKind::Page2M, hugeKey(vpn));
 }
 
 void

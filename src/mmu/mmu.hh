@@ -48,7 +48,7 @@ struct ProcessContext
 {
     const PageTable *table = nullptr;
     const MemoryMap *map = nullptr;             //!< RMM range table
-    std::uint64_t anchor_distance = 0;          //!< anchor scheme
+    AnchorDist anchor_distance{};               //!< anchor scheme
     const RegionPartition *partition = nullptr; //!< multi-region scheme
 };
 
@@ -170,14 +170,15 @@ class Mmu
         verifyTranslation(vpn, res);
         return res;
 #else
-        if (const TlbEntry *e = l1_4k_.lookup(EntryKind::Page4K, vpn)) {
+        if (const TlbEntry *e = l1_4k_.lookup(EntryKind::Page4K,
+                                              pageKey(vpn))) {
             ++stats_.l1_hits;
             return {e->ppn, 0, HitLevel::L1, PageSize::Base4K};
         }
         if (const TlbEntry *e =
-                l1_2m_.lookup(EntryKind::Page2M, vpn >> hugeShift)) {
+                l1_2m_.lookup(EntryKind::Page2M, hugeKey(vpn))) {
             ++stats_.l1_hits;
-            return {e->ppn + (vpn & (hugePages - 1)), 0, HitLevel::L1,
+            return {e->ppn + hugeOffset(vpn), 0, HitLevel::L1,
                     PageSize::Huge2M};
         }
         return translateMiss(vpn);
@@ -333,11 +334,12 @@ class Mmu
             }
             last_vpn = vpn;
             have_last = true;
-            if (l1_4k_.lookup(EntryKind::Page4K, vpn) != nullptr) {
+            if (l1_4k_.lookup(EntryKind::Page4K, pageKey(vpn)) !=
+                nullptr) {
                 ++n_hits;
                 continue;
             }
-            if (l1_2m_.lookup(EntryKind::Page2M, vpn >> hugeShift) !=
+            if (l1_2m_.lookup(EntryKind::Page2M, hugeKey(vpn)) !=
                 nullptr) {
                 ++n_hits;
                 continue;

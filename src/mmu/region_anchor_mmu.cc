@@ -19,8 +19,8 @@ RegionAnchorMmu::RegionAnchorMmu(const MmuConfig &config,
                 "region table overflow: {} > {}",
                 partition_.regions.size(), maxRegions);
     for (const AnchorRegion &r : partition_.regions) {
-        ATLB_ASSERT(isPow2(r.distance) && r.distance >= 2 &&
-                        r.distance <= config.max_contiguity,
+        ATLB_ASSERT(r.distance.valid() &&
+                        r.distance.pages() <= config.max_contiguity,
                     "bad region distance {}", r.distance);
         ATLB_ASSERT(r.begin < r.end, "empty region");
     }
@@ -39,31 +39,30 @@ RegionAnchorMmu::regionFor(Vpn vpn) const
 TranslationResult
 RegionAnchorMmu::translateL2(Vpn vpn)
 {
-    if (const TlbEntry *e = l2_.lookup(EntryKind::Page4K, vpn)) {
+    if (const TlbEntry *e = l2_.lookup(EntryKind::Page4K, pageKey(vpn))) {
         return {e->ppn, config_.l2_hit_cycles, HitLevel::L2Regular,
                 PageSize::Base4K};
     }
-    if (const TlbEntry *e = l2_.lookup(EntryKind::Page2M, vpn >> hugeShift)) {
-        return {e->ppn + (vpn & (hugePages - 1)), config_.l2_hit_cycles,
+    if (const TlbEntry *e = l2_.lookup(EntryKind::Page2M, hugeKey(vpn))) {
+        return {e->ppn + hugeOffset(vpn), config_.l2_hit_cycles,
                 HitLevel::L2Regular, PageSize::Huge2M};
     }
 
     const AnchorRegion *region = regionFor(vpn);
-    std::uint64_t distance = partition_.default_distance;
+    AnchorDist distance = partition_.default_distance;
     if (region)
         distance = region->distance;
     else
         ++stats_.region_misses;
-    const unsigned dlog = floorLog2(distance);
-    const Vpn avpn = vpn & ~(distance - 1);
-    const std::uint64_t offset = vpn - avpn;
+    const Vpn avpn = distance.anchorOf(vpn);
+    const std::uint64_t offset = distance.offsetOf(vpn);
 
     // Anchors before the region's start were swept with the previous
     // region's distance: not usable here.
     const bool anchor_in_region = !region || avpn >= region->begin;
     if (anchor_in_region) {
         if (const TlbEntry *e =
-                l2_.lookup(EntryKind::Anchor, anchorKey(avpn, dlog))) {
+                l2_.lookup(EntryKind::Anchor, anchorKey(avpn, distance))) {
             if (offset < e->aux) {
                 ++stats_.anchor_hits;
                 return {e->ppn + offset, config_.coalesced_hit_cycles,
@@ -81,7 +80,7 @@ RegionAnchorMmu::translateL2(Vpn vpn)
         TlbEntry e;
         e.valid = true;
         e.kind = EntryKind::Anchor;
-        e.key = anchorKey(avpn, dlog);
+        e.key = anchorKey(avpn, distance);
         e.ppn = res.ppn - offset;
         e.aux = static_cast<std::uint32_t>(contig);
         l2_.insert(e);
@@ -91,11 +90,11 @@ RegionAnchorMmu::translateL2(Vpn vpn)
         e.valid = true;
         if (res.size == PageSize::Huge2M) {
             e.kind = EntryKind::Page2M;
-            e.key = vpn >> hugeShift;
-            e.ppn = res.ppn - (vpn & (hugePages - 1));
+            e.key = hugeKey(vpn);
+            e.ppn = res.ppn - hugeOffset(vpn);
         } else {
             e.kind = EntryKind::Page4K;
-            e.key = vpn;
+            e.key = pageKey(vpn);
             e.ppn = res.ppn;
         }
         l2_.insert(e);
@@ -134,14 +133,13 @@ void
 RegionAnchorMmu::invalidatePage(Vpn vpn)
 {
     Mmu::invalidatePage(vpn);
-    l2_.invalidate(EntryKind::Page4K, vpn);
-    l2_.invalidate(EntryKind::Page2M, vpn >> hugeShift);
-    std::uint64_t distance = partition_.default_distance;
+    l2_.invalidate(EntryKind::Page4K, pageKey(vpn));
+    l2_.invalidate(EntryKind::Page2M, hugeKey(vpn));
+    AnchorDist distance = partition_.default_distance;
     if (const AnchorRegion *region = regionFor(vpn))
         distance = region->distance;
-    const Vpn avpn = vpn & ~(distance - 1);
-    l2_.invalidate(EntryKind::Anchor,
-                   anchorKey(avpn, floorLog2(distance)));
+    const Vpn avpn = distance.anchorOf(vpn);
+    l2_.invalidate(EntryKind::Anchor, anchorKey(avpn, distance));
 }
 
 } // namespace atlb

@@ -84,11 +84,11 @@ class RegionAnchorMmu : public Mmu
     const AnchorRegion *regionFor(Vpn vpn) const;
 
     /** L2 key for an anchor: distance-tagged so regions never alias. */
-    static std::uint64_t
-    anchorKey(Vpn avpn, unsigned distance_log2)
+    static TlbKey
+    anchorKey(Vpn avpn, AnchorDist distance)
     {
-        return (avpn >> distance_log2) |
-               (static_cast<std::uint64_t>(distance_log2) << 52);
+        return TlbKey{distance.keyOf(avpn).raw() |
+                      (static_cast<std::uint64_t>(distance.log2()) << 52)};
     }
 };
 

@@ -24,12 +24,12 @@ RmmMmu::switchProcess(const ProcessContext &ctx)
 TranslationResult
 RmmMmu::translateL2(Vpn vpn)
 {
-    if (const TlbEntry *e = l2_.lookup(EntryKind::Page4K, vpn)) {
+    if (const TlbEntry *e = l2_.lookup(EntryKind::Page4K, pageKey(vpn))) {
         return {e->ppn, config_.l2_hit_cycles, HitLevel::L2Regular,
                 PageSize::Base4K};
     }
-    if (const TlbEntry *e = l2_.lookup(EntryKind::Page2M, vpn >> hugeShift)) {
-        return {e->ppn + (vpn & (hugePages - 1)), config_.l2_hit_cycles,
+    if (const TlbEntry *e = l2_.lookup(EntryKind::Page2M, hugeKey(vpn))) {
+        return {e->ppn + hugeOffset(vpn), config_.l2_hit_cycles,
                 HitLevel::L2Regular, PageSize::Huge2M};
     }
     if (const RangeEntry *r = range_tlb_.lookup(vpn)) {

@@ -48,7 +48,7 @@ readMappingText(std::istream &in, const std::string &origin)
         const std::uint64_t pages = parse(pages_s);
         if (pages == 0)
             ATLB_FATAL("{}:{}: zero-length chunk", origin, lineno);
-        map.add(vpn, ppn, pages);
+        map.add(Vpn{vpn}, Ppn{ppn}, PageCount{pages});
     }
     map.finalize();
     return map;

@@ -9,7 +9,7 @@ namespace atlb
 {
 
 void
-MemoryMap::add(Vpn vpn, Ppn ppn, std::uint64_t pages)
+MemoryMap::add(Vpn vpn, Ppn ppn, PageCount pages)
 {
     ATLB_ASSERT(!finalized_, "add() after finalize()");
     ATLB_ASSERT(pages > 0, "empty mapping");
@@ -64,11 +64,11 @@ MemoryMap::translate(Vpn vpn) const
     return c ? c->translate(vpn) : invalidPpn;
 }
 
-std::uint64_t
+PageCount
 MemoryMap::contiguityFrom(Vpn vpn) const
 {
     const Chunk *c = chunkContaining(vpn);
-    return c ? c->vpnEnd() - vpn : 0;
+    return c ? c->vpnEnd() - vpn : PageCount{};
 }
 
 namespace
@@ -77,14 +77,14 @@ namespace
 bool
 blockEligible(const MemoryMap &map, Vpn vpn, std::uint64_t block_pages)
 {
-    const Vpn block = alignDown(vpn, block_pages);
+    const Vpn block = vpn.alignDown(block_pages);
     const Chunk *c = map.chunkContaining(block);
     if (!c)
         return false;
     if (c->vpnEnd() < block + block_pages)
         return false;
     // Physical base of the block must be naturally aligned.
-    return isAligned(c->translate(block), block_pages);
+    return c->translate(block).isAligned(block_pages);
 }
 
 } // namespace

@@ -29,9 +29,9 @@ namespace atlb
 /** A maximal VA/PA-contiguous run of 4KB pages. */
 struct Chunk
 {
-    Vpn vpn;              //!< first virtual page of the run
-    Ppn ppn;              //!< first physical page of the run
-    std::uint64_t pages;  //!< run length in 4KB pages
+    Vpn vpn;         //!< first virtual page of the run
+    Ppn ppn;         //!< first physical page of the run
+    PageCount pages; //!< run length in 4KB pages
 
     /** One past the last virtual page. */
     Vpn vpnEnd() const { return vpn + pages; }
@@ -52,7 +52,7 @@ class MemoryMap
      * Ranges must not overlap previously added ones; they may be added
      * in any order. Must be called before finalize().
      */
-    void add(Vpn vpn, Ppn ppn, std::uint64_t pages);
+    void add(Vpn vpn, Ppn ppn, PageCount pages);
 
     /**
      * Sort and merge adjacent compatible chunks into maximal runs.
@@ -77,7 +77,7 @@ class MemoryMap
      * exactly the value the OS writes into an anchor entry (before
      * clamping to the contiguity-field width).
      */
-    std::uint64_t contiguityFrom(Vpn vpn) const;
+    PageCount contiguityFrom(Vpn vpn) const;
 
     /**
      * True iff the 2MB-aligned virtual block containing @p vpn can be a
@@ -93,7 +93,7 @@ class MemoryMap
     const std::vector<Chunk> &chunks() const { return chunks_; }
 
     /** Total mapped pages. */
-    std::uint64_t mappedPages() const { return mapped_pages_; }
+    PageCount mappedPages() const { return mapped_pages_; }
 
     /**
      * Histogram of chunk sizes: key = run length in pages, count = number
@@ -104,7 +104,7 @@ class MemoryMap
 
   private:
     std::vector<Chunk> chunks_;
-    std::uint64_t mapped_pages_ = 0;
+    PageCount mapped_pages_{};
     bool finalized_ = false;
 };
 

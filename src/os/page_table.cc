@@ -26,7 +26,7 @@ namespace
 unsigned
 levelIndex(Vpn vpn, unsigned level)
 {
-    return static_cast<unsigned>((vpn >> (9 * (3 - level))) &
+    return static_cast<unsigned>((vpn.raw() >> (9 * (3 - level))) &
                                  (PageTable::fanout - 1));
 }
 
@@ -109,7 +109,7 @@ PageTable::unmap4K(Vpn vpn)
 void
 PageTable::map2M(Vpn vpn, Ppn ppn)
 {
-    ATLB_ASSERT(isAligned(vpn, hugePages) && isAligned(ppn, hugePages),
+    ATLB_ASSERT(vpn.isAligned(hugePages) && ppn.isAligned(hugePages),
                 "2MB mapping must be 512-page aligned (vpn {}, ppn {})",
                 vpn, ppn);
     Node *pd = ensurePath(vpn, 2);
@@ -124,7 +124,7 @@ PageTable::map2M(Vpn vpn, Ppn ppn)
 void
 PageTable::map1G(Vpn vpn, Ppn ppn)
 {
-    ATLB_ASSERT(isAligned(vpn, giantPages) && isAligned(ppn, giantPages),
+    ATLB_ASSERT(vpn.isAligned(giantPages) && ppn.isAligned(giantPages),
                 "1GB mapping must be 2^18-page aligned (vpn {}, ppn {})",
                 vpn, ppn);
     Node *pdpt = ensurePath(vpn, 1);
@@ -150,16 +150,14 @@ PageTable::walk(Vpn vpn) const
         if (level == 1 && pte::present(node->ents[idx]) &&
             pte::huge(node->ents[idx])) {
             res.present = true;
-            res.ppn =
-                pte::pfn(node->ents[idx]) + (vpn & (giantPages - 1));
+            res.ppn = pte::pfn(node->ents[idx]) + giantOffset(vpn);
             res.size = PageSize::Giant1G;
             return res;
         }
         if (level == 2 && pte::present(node->ents[idx]) &&
             pte::huge(node->ents[idx])) {
             res.present = true;
-            res.ppn =
-                pte::hugePfn(node->ents[idx]) + (vpn & (hugePages - 1));
+            res.ppn = pte::hugePfn(node->ents[idx]) + hugeOffset(vpn);
             res.size = PageSize::Huge2M;
             return res;
         }
@@ -185,7 +183,7 @@ PageTable::findAnchorSlot(Vpn avpn, bool &is_huge)
         const unsigned idx = levelIndex(avpn, level);
         if (level == 2 && pte::present(node->ents[idx]) &&
             pte::huge(node->ents[idx])) {
-            if (!isAligned(avpn, hugePages))
+            if (!avpn.isAligned(hugePages))
                 return nullptr; // inside a huge page, no slot exists
             is_huge = true;
             return &node->ents[idx];
@@ -206,13 +204,13 @@ PageTable::findAnchorSlot(Vpn avpn, bool &is_huge) const
 
 void
 PageTable::setAnchorContiguity(Vpn avpn, std::uint64_t contig,
-                               std::uint64_t distance)
+                               AnchorDist distance)
 {
-    ATLB_ASSERT(isPow2(distance) && distance >= 2 &&
-                    distance <= maxContiguity,
+    ATLB_ASSERT(distance.valid() && distance.pages() <= maxContiguity,
                 "bad anchor distance {}", distance);
-    ATLB_ASSERT(isAligned(avpn, distance), "unaligned anchor vpn {}", avpn);
-    ATLB_ASSERT(contig <= std::min(distance, maxContiguity),
+    ATLB_ASSERT(avpn.isAligned(distance.pages()),
+                "unaligned anchor vpn {}", avpn);
+    ATLB_ASSERT(contig <= std::min(distance.pages(), maxContiguity),
                 "contiguity {} exceeds distance {}", contig, distance);
 
     bool is_huge = false;
@@ -225,7 +223,7 @@ PageTable::setAnchorContiguity(Vpn avpn, std::uint64_t contig,
             *e = pte::withContigByte(*e, 0);
         } else {
             *e = pte::withContigByte(*e, 0);
-            if (distance > 256)
+            if (distance.pages() > 256)
                 e[1] = pte::withContigByte(e[1], 0);
         }
         return;
@@ -245,7 +243,7 @@ PageTable::setAnchorContiguity(Vpn avpn, std::uint64_t contig,
         return;
     }
     *e = pte::withContigByte(*e, static_cast<std::uint8_t>(encoded & 0xff));
-    if (distance > 256) {
+    if (distance.pages() > 256) {
         // distance > 256 implies distance >= 512, so the anchor is the
         // first entry of its cache line; entry index avpn%512 == 0 and the
         // neighbour below is in the same node and the same cache line.
@@ -255,7 +253,7 @@ PageTable::setAnchorContiguity(Vpn avpn, std::uint64_t contig,
 }
 
 std::uint64_t
-PageTable::anchorContiguity(Vpn avpn, std::uint64_t distance) const
+PageTable::anchorContiguity(Vpn avpn, AnchorDist distance) const
 {
     bool is_huge = false;
     const std::uint64_t *e = findAnchorSlot(avpn, is_huge);
@@ -269,7 +267,7 @@ PageTable::anchorContiguity(Vpn avpn, std::uint64_t distance) const
             return 0; // huge leaf never swept as an anchor
     } else {
         encoded = pte::contigByte(*e);
-        if (distance > 256)
+        if (distance.pages() > 256)
             encoded |=
                 static_cast<std::uint64_t>(pte::contigByte(e[1])) << 8;
     }
@@ -277,36 +275,34 @@ PageTable::anchorContiguity(Vpn avpn, std::uint64_t distance) const
 }
 
 std::uint64_t
-PageTable::sweepAnchors(const MemoryMap &map, std::uint64_t distance)
+PageTable::sweepAnchors(const MemoryMap &map, AnchorDist distance)
 {
-    ATLB_ASSERT(isPow2(distance) && distance >= 2 &&
-                    distance <= maxContiguity,
+    ATLB_ASSERT(distance.valid() && distance.pages() <= maxContiguity,
                 "bad anchor distance {}", distance);
     std::uint64_t touched = 0;
 
     // Clear the previous distance's anchors so stale contiguity bytes
     // cannot alias into the new encoding.
-    if (swept_distance_ != 0 && swept_distance_ != distance) {
+    if (!swept_distance_.none() && swept_distance_ != distance) {
         for (const Chunk &c : map.chunks()) {
-            for (Vpn avpn = alignUp(c.vpn, swept_distance_);
-                 avpn < c.vpnEnd(); avpn += swept_distance_) {
+            for (Vpn avpn = c.vpn.alignUp(swept_distance_.pages());
+                 avpn < c.vpnEnd(); avpn += swept_distance_.pages()) {
                 setAnchorContiguity(avpn, 0, swept_distance_);
                 ++touched;
             }
         }
     }
 
-    touched += sweepAnchorsRange(map, distance, 0, invalidVpn);
+    touched += sweepAnchorsRange(map, distance, Vpn{0}, invalidVpn);
     swept_distance_ = distance;
     return touched;
 }
 
 std::uint64_t
-PageTable::sweepAnchorsRange(const MemoryMap &map, std::uint64_t distance,
+PageTable::sweepAnchorsRange(const MemoryMap &map, AnchorDist distance,
                              Vpn begin, Vpn end)
 {
-    ATLB_ASSERT(isPow2(distance) && distance >= 2 &&
-                    distance <= maxContiguity,
+    ATLB_ASSERT(distance.valid() && distance.pages() <= maxContiguity,
                 "bad anchor distance {}", distance);
     std::uint64_t touched = 0;
     for (const Chunk &c : map.chunks()) {
@@ -314,13 +310,13 @@ PageTable::sweepAnchorsRange(const MemoryMap &map, std::uint64_t distance,
         const Vpn hi = std::min(c.vpnEnd(), end);
         if (lo >= hi)
             continue;
-        for (Vpn avpn = alignUp(lo, distance); avpn < hi;
-             avpn += distance) {
+        for (Vpn avpn = lo.alignUp(distance.pages()); avpn < hi;
+             avpn += distance.pages()) {
             bool is_huge = false;
             const std::uint64_t *e = findAnchorSlot(avpn, is_huge);
             if (!e || !pte::present(*e))
                 continue; // inside a huge page (distance < 512): no slot
-            if (is_huge && distance < hugePages) {
+            if (is_huge && distance.pages() < hugePages) {
                 // An anchor covering less than a huge page would only
                 // displace the strictly better 2MB translation.
                 continue;
@@ -329,7 +325,7 @@ PageTable::sweepAnchorsRange(const MemoryMap &map, std::uint64_t distance,
             // region boundary is physically valid, merely unused.
             const std::uint64_t run = c.vpnEnd() - avpn;
             const std::uint64_t contig =
-                std::min({run, distance, maxContiguity});
+                std::min({run, distance.pages(), maxContiguity});
             setAnchorContiguity(avpn, contig, distance);
             ++touched;
         }

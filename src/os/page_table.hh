@@ -62,12 +62,17 @@ constexpr bool present(std::uint64_t e) { return e & presentBit; }
 constexpr bool huge(std::uint64_t e) { return e & psBit; }
 
 /** PFN of a 4KB leaf. */
-constexpr Ppn pfn(std::uint64_t e) { return (e & pfnMask) >> pageShift; }
+constexpr Ppn pfn(std::uint64_t e)
+{
+    // Raw PTE-word bit layout. lint-allow: page-shift
+    return Ppn{(e & pfnMask) >> pageShift};
+}
 
 constexpr std::uint64_t
 make(Ppn ppn, bool is_huge = false)
 {
-    return (ppn << pageShift) | presentBit | writeBit |
+    // Raw PTE-word bit layout. lint-allow: page-shift
+    return (ppn.raw() << pageShift) | presentBit | writeBit |
            (is_huge ? psBit : 0);
 }
 
@@ -107,7 +112,8 @@ withHugeContigByte(std::uint64_t e, std::uint8_t b)
 constexpr Ppn
 hugePfn(std::uint64_t e)
 {
-    return (e & pfnMask & ~hugeContigMask) >> pageShift;
+    // Raw PTE-word bit layout. lint-allow: page-shift
+    return Ppn{(e & pfnMask & ~hugeContigMask) >> pageShift};
 }
 
 } // namespace pte
@@ -186,13 +192,13 @@ class PageTable
      * are rejected for non-zero @p contig.
      */
     void setAnchorContiguity(Vpn avpn, std::uint64_t contig,
-                             std::uint64_t distance);
+                             AnchorDist distance);
 
     /**
      * Read back the anchor contiguity at @p avpn (0 if the entry is not
      * present, is huge-mapped, or carries no anchor).
      */
-    std::uint64_t anchorContiguity(Vpn avpn, std::uint64_t distance) const;
+    std::uint64_t anchorContiguity(Vpn avpn, AnchorDist distance) const;
 
     /**
      * Recompute every anchor entry for @p distance from the mapping.
@@ -203,7 +209,7 @@ class PageTable
      * @return number of page-table entries visited (the paper's
      *         distance-change cost is proportional to this).
      */
-    std::uint64_t sweepAnchors(const MemoryMap &map, std::uint64_t distance);
+    std::uint64_t sweepAnchors(const MemoryMap &map, AnchorDist distance);
 
     /**
      * Sweep anchors for @p distance only within [begin, end) — used by
@@ -214,7 +220,7 @@ class PageTable
      * @return number of page-table entries visited.
      */
     std::uint64_t sweepAnchorsRange(const MemoryMap &map,
-                                    std::uint64_t distance, Vpn begin,
+                                    AnchorDist distance, Vpn begin,
                                     Vpn end);
 
     /** Count of present 4KB leaf entries. */
@@ -236,8 +242,8 @@ class PageTable
     std::uint64_t mapped_2m_ = 0;
     std::uint64_t mapped_1g_ = 0;
     std::uint64_t node_count_ = 0;
-    /** Anchor distance of the most recent sweep (0 = none). */
-    std::uint64_t swept_distance_ = 0;
+    /** Anchor distance of the most recent sweep (none() = never). */
+    AnchorDist swept_distance_{};
 
     Node *ensurePath(Vpn vpn, unsigned leaf_level);
     const std::uint64_t *findLeaf(Vpn vpn, unsigned leaf_level) const;

@@ -56,8 +56,8 @@ partitionAnchorRegions(const MemoryMap &map,
     ATLB_ASSERT(config.max_regions >= 1, "need at least one region");
 
     RegionPartition out;
-    out.default_distance =
-        selectAnchorDistance(map.contiguityHistogram()).distance;
+    out.default_distance = AnchorDist::fromPages(
+        selectAnchorDistance(map.contiguityHistogram()).distance);
     const auto &chunks = map.chunks();
     if (chunks.empty())
         return out;
@@ -110,8 +110,8 @@ partitionAnchorRegions(const MemoryMap &map,
         AnchorRegion region;
         region.begin = chunks[seg.first_chunk].vpn;
         region.end = chunks[seg.last_chunk].vpnEnd();
-        region.distance =
-            selectAnchorDistance(hist, config.cost_model).distance;
+        region.distance = AnchorDist::fromPages(
+            selectAnchorDistance(hist, config.cost_model).distance);
         out.regions.push_back(region);
     }
     return out;

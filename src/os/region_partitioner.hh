@@ -32,12 +32,13 @@ class MemoryMap;
 /** One VA region with its own anchor distance. */
 struct AnchorRegion
 {
-    Vpn begin = 0;             //!< first VPN of the region
-    Vpn end = 0;               //!< one past the last VPN
-    std::uint64_t distance = 2; //!< anchor distance within the region
+    Vpn begin{};   //!< first VPN of the region
+    Vpn end{};     //!< one past the last VPN
+    /** Anchor distance within the region. */
+    AnchorDist distance = AnchorDist::fromPages(2);
 
     bool contains(Vpn vpn) const { return vpn >= begin && vpn < end; }
-    std::uint64_t pages() const { return end - begin; }
+    PageCount pages() const { return end - begin; }
 };
 
 /** Result of partitioning one process's mapping. */
@@ -46,7 +47,7 @@ struct RegionPartition
     /** Regions sorted by VPN, disjoint, covering all mapped chunks. */
     std::vector<AnchorRegion> regions;
     /** Process-wide fallback distance (Algorithm 1 on the full map). */
-    std::uint64_t default_distance = 2;
+    AnchorDist default_distance = AnchorDist::fromPages(2);
 };
 
 /** Tuning knobs for the partitioner. */

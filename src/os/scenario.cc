@@ -60,10 +60,10 @@ appendUniformChunks(MemoryMap &map, Rng &rng, Vpn &vpn, Ppn &ppn,
         if (size >= hugePages) {
             // Place so that ppn == vpn (mod 512): any 2MB-aligned VA block
             // inside the chunk then has a 2MB-aligned physical base.
-            const std::uint64_t want = vpn & (hugePages - 1);
-            ppn = alignUp(ppn, hugePages) + want;
+            const std::uint64_t want = hugeOffset(vpn);
+            ppn = ppn.alignUp(hugePages) + want;
         }
-        map.add(vpn, ppn, size);
+        map.add(vpn, ppn, PageCount{size});
         vpn += size;
         ppn += size;
         remaining -= size;
@@ -77,7 +77,7 @@ buildSynthetic(const ScenarioParams &p, std::uint64_t lo, std::uint64_t hi)
     Rng rng(p.seed);
     MemoryMap map;
     Vpn vpn = p.va_base;
-    Ppn ppn = hugePages; // arbitrary non-zero start
+    Ppn ppn{hugePages}; // arbitrary non-zero start
     appendUniformChunks(map, rng, vpn, ppn, p.footprint_pages, lo, hi);
     map.finalize();
     return map;
@@ -89,8 +89,8 @@ buildMax(const ScenarioParams &p)
 {
     MemoryMap map;
     // Identical 2MB alignment in VA and PA.
-    const Ppn ppn = alignUp(hugePages, hugePages) + (p.va_base & (hugePages - 1));
-    map.add(p.va_base, ppn, p.footprint_pages);
+    const Ppn ppn = Ppn{hugePages} + hugeOffset(p.va_base);
+    map.add(p.va_base, ppn, PageCount{p.footprint_pages});
     map.finalize();
     return map;
 }
@@ -135,10 +135,10 @@ buildDemand(const ScenarioParams &p, std::uint64_t mean_free_run)
 
     while (remaining > 0) {
         std::uint64_t got = 0;
-        if (isAligned(vpn, hugePages) && remaining >= hugePages) {
+        if (vpn.isAligned(hugePages) && remaining >= hugePages) {
             const Ppn base = buddy.allocate(hugeShift);
             if (base != invalidPpn) {
-                map.add(vpn, base, hugePages);
+                map.add(vpn, base, PageCount{hugePages});
                 got = hugePages;
             }
         }
@@ -146,7 +146,7 @@ buildDemand(const ScenarioParams &p, std::uint64_t mean_free_run)
             const Ppn base = buddy.allocate(0);
             ATLB_ASSERT(base != invalidPpn,
                         "physical pool exhausted during demand paging");
-            map.add(vpn, base, 1);
+            map.add(vpn, base, PageCount{1});
             got = 1;
         }
         vpn += got;
@@ -189,7 +189,7 @@ buildEager(const ScenarioParams &p, std::uint64_t mean_free_run)
     std::uint64_t remaining = p.footprint_pages;
     while (remaining > 0) {
         const unsigned va_align = static_cast<unsigned>(
-            std::min<std::uint64_t>(std::countr_zero(vpn | (1ULL << 40)),
+            std::min<std::uint64_t>(std::countr_zero(vpn.raw() | (1ULL << 40)),
                                     buddy.maxOrder()));
         const unsigned fit = static_cast<unsigned>(
             std::min<std::uint64_t>(floorLog2(remaining), va_align));
@@ -197,7 +197,7 @@ buildEager(const ScenarioParams &p, std::uint64_t mean_free_run)
         const Ppn base = buddy.allocateLargest(fit, got_order);
         ATLB_ASSERT(base != invalidPpn,
                     "physical pool exhausted during eager paging");
-        map.add(vpn, base, 1ULL << got_order);
+        map.add(vpn, base, PageCount{1ULL << got_order});
         vpn += 1ULL << got_order;
         remaining -= 1ULL << got_order;
     }
@@ -211,7 +211,7 @@ MemoryMap
 buildScenario(ScenarioKind kind, const ScenarioParams &params)
 {
     ATLB_ASSERT(params.footprint_pages > 0, "empty footprint");
-    ATLB_ASSERT(isAligned(params.va_base, hugePages),
+    ATLB_ASSERT(params.va_base.isAligned(hugePages),
                 "va_base must be 2MB aligned");
     switch (kind) {
       case ScenarioKind::Demand:
@@ -242,19 +242,19 @@ buildSegmentedScenario(const ScenarioParams &params,
                        const std::vector<ScenarioSegment> &segs)
 {
     ATLB_ASSERT(!segs.empty(), "segmented scenario needs segments");
-    ATLB_ASSERT(isAligned(params.va_base, hugePages),
+    ATLB_ASSERT(params.va_base.isAligned(hugePages),
                 "va_base must be 2MB aligned");
     Rng rng(params.seed);
     MemoryMap map;
     Vpn vpn = params.va_base;
-    Ppn ppn = hugePages;
+    Ppn ppn{hugePages};
     for (const ScenarioSegment &seg : segs) {
         ATLB_ASSERT(seg.pages > 0, "empty scenario segment");
         appendUniformChunks(map, rng, vpn, ppn, seg.pages, seg.chunk_lo,
                             seg.chunk_hi);
         // Align the next segment to a huge-page boundary so segments
         // remain independent for THP purposes (real VMAs start aligned).
-        const std::uint64_t slack = alignUp(vpn, hugePages) - vpn;
+        const std::uint64_t slack = vpn.alignUp(hugePages) - vpn;
         if (slack > 0) {
             appendUniformChunks(map, rng, vpn, ppn, slack, 1,
                                 std::min<std::uint64_t>(slack, 8));

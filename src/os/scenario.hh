@@ -65,7 +65,7 @@ struct ScenarioParams
     /** Footprint to map, in 4KB pages. */
     std::uint64_t footprint_pages = 0;
     /** First VPN of the mapped region (2MB-aligned by default). */
-    Vpn va_base = 0x7f0000000ULL; // VA 0x7f0000000000
+    Vpn va_base{0x7f0000000ULL}; // VA 0x7f0000000000
     /** RNG seed; equal seeds reproduce the mapping exactly. */
     std::uint64_t seed = 1;
     /**

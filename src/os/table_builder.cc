@@ -19,9 +19,9 @@ mapUpTo(PageTable &table, const Chunk &c, Vpn &vpn, Vpn limit,
         bool thp_ok)
 {
     if (thp_ok) {
-        const Vpn huge_lo = std::min(alignUp(vpn, hugePages), limit);
+        const Vpn huge_lo = std::min(vpn.alignUp(hugePages), limit);
         const Vpn huge_hi =
-            std::max(alignDown(limit, hugePages), huge_lo);
+            std::max(limit.alignDown(hugePages), huge_lo);
         for (; vpn < huge_lo; ++vpn)
             table.map4K(vpn, c.translate(vpn));
         for (; vpn < huge_hi; vpn += hugePages)
@@ -44,14 +44,18 @@ buildPageTable(const MemoryMap &map, bool use_thp, bool use_1g)
         // A chunk is promotable iff VA and PA agree modulo the block
         // size: then every aligned virtual block inside it has a
         // naturally aligned physical base.
+        // VA and PA must agree modulo the block size (offsetIn equality
+        // is the typed spelling of (ppn - vpn) % block == 0).
         const bool thp_ok =
-            use_thp && ((c.ppn - c.vpn) & (hugePages - 1)) == 0;
+            use_thp &&
+            c.ppn.offsetIn(hugePages) == c.vpn.offsetIn(hugePages);
         const bool giant_ok =
-            use_1g && ((c.ppn - c.vpn) & (giantPages - 1)) == 0;
+            use_1g &&
+            c.ppn.offsetIn(giantPages) == c.vpn.offsetIn(giantPages);
         if (giant_ok) {
-            const Vpn giant_lo = std::min(alignUp(vpn, giantPages), end);
+            const Vpn giant_lo = std::min(vpn.alignUp(giantPages), end);
             const Vpn giant_hi =
-                std::max(alignDown(end, giantPages), giant_lo);
+                std::max(end.alignDown(giantPages), giant_lo);
             mapUpTo(table, c, vpn, giant_lo, thp_ok);
             for (; vpn < giant_hi; vpn += giantPages)
                 table.map1G(vpn, c.translate(vpn));
@@ -62,7 +66,7 @@ buildPageTable(const MemoryMap &map, bool use_thp, bool use_1g)
 }
 
 PageTable
-buildAnchorPageTable(const MemoryMap &map, std::uint64_t distance)
+buildAnchorPageTable(const MemoryMap &map, AnchorDist distance)
 {
     PageTable table = buildPageTable(map, true);
     table.sweepAnchors(map, distance);

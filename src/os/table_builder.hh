@@ -38,7 +38,7 @@ PageTable buildPageTable(const MemoryMap &map, bool use_thp,
  * Build the anchor scheme's page table: THP layout plus anchors swept
  * at @p distance (power of two in [2, 2^16]).
  */
-PageTable buildAnchorPageTable(const MemoryMap &map, std::uint64_t distance);
+PageTable buildAnchorPageTable(const MemoryMap &map, AnchorDist distance);
 
 struct RegionPartition;
 

@@ -68,8 +68,8 @@ runMappingChurn(Scheme scheme, const std::vector<ChurnEpoch> &epochs,
                 controller.epoch(next.contiguityHistogram());
             map = std::move(next);
             table = buildPageTable(map, true);
-            es.sweep_touched =
-                table.sweepAnchors(map, controller.distance());
+            es.sweep_touched = table.sweepAnchors(
+                map, AnchorDist::fromPages(controller.distance()));
             es.anchor_distance = controller.distance();
             if (es.distance_changed)
                 ++result.distance_changes;
@@ -99,7 +99,8 @@ runMappingChurn(Scheme scheme, const std::vector<ChurnEpoch> &epochs,
               case Scheme::Anchor:
               case Scheme::AnchorIdeal:
                 mmu = std::make_unique<AnchorMmu>(
-                    cfg, table, controller.distance());
+                    cfg, table,
+                    AnchorDist::fromPages(controller.distance()));
                 break;
             }
         } else {
@@ -107,7 +108,8 @@ runMappingChurn(Scheme scheme, const std::vector<ChurnEpoch> &epochs,
             ctx.table = &table;
             ctx.map = &map;
             ctx.anchor_distance =
-                is_anchor ? controller.distance() : 0;
+                is_anchor ? AnchorDist::fromPages(controller.distance())
+                          : AnchorDist{};
             mmu->switchProcess(ctx);
         }
 

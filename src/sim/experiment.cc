@@ -68,7 +68,7 @@ traceWorkloadSpec(const std::string &workload, const std::string &path)
     const TraceFileInfo info = inspectTraceFile(path);
     if (info.accesses == 0)
         ATLB_FATAL("trace '{}' is empty; nothing to simulate", path);
-    if (info.min_vaddr < traceBaseVa())
+    if (info.min_vaddr < traceBaseVa().raw())
         ATLB_FATAL("trace '{}' touches vaddr {} below the simulated "
                    "region base {}; re-import it with --rebase",
                    path, info.min_vaddr, traceBaseVa());
@@ -76,7 +76,7 @@ traceWorkloadSpec(const std::string &workload, const std::string &path)
     spec.name = workload;
     spec.trace_path = path;
     spec.trace_accesses = info.accesses;
-    spec.footprint_bytes = info.max_vaddr + 1 - traceBaseVa();
+    spec.footprint_bytes = info.max_vaddr + 1 - traceBaseVa().raw();
     if (spec.footprintPages() > maxTraceFootprintPages)
         ATLB_FATAL("trace '{}' spans {} pages from the region base "
                    "(cap {}); re-import it with --rebase to compact "
@@ -165,8 +165,8 @@ buildSchemeMmu(const MmuConfig &config, const PageTable &table,
         return std::make_unique<RmmMmu>(config, table, map);
       case Scheme::Anchor:
       case Scheme::AnchorIdeal:
-        return std::make_unique<AnchorMmu>(config, table,
-                                           anchor_distance);
+        return std::make_unique<AnchorMmu>(
+            config, table, AnchorDist::fromPages(anchor_distance));
     }
     ATLB_FATAL("no MMU built for scheme");
 }
@@ -324,7 +324,8 @@ ExperimentContext::runScheme(PairState &state, Scheme scheme,
             state.anchor_table_distance = 0;
         }
         if (state.anchor_table_distance != anchor_distance) {
-            state.anchor_table->sweepAnchors(state.map, anchor_distance);
+            state.anchor_table->sweepAnchors(
+                state.map, AnchorDist::fromPages(anchor_distance));
             state.anchor_table_distance = anchor_distance;
         }
         table = &*state.anchor_table;
@@ -354,8 +355,8 @@ ExperimentContext::runIdealSweep(PairState &state)
         ThreadPool pool(threads);
         for (std::size_t i = 0; i < distances.size(); ++i) {
             pool.submit([this, &state, &distances, &runs, i] {
-                const PageTable table =
-                    buildAnchorPageTable(state.map, distances[i]);
+                const PageTable table = buildAnchorPageTable(
+                    state.map, AnchorDist::fromPages(distances[i]));
                 runs[i] = runSchemeCell(options_, state.spec,
                                         state.scenario, state.map, table,
                                         Scheme::AnchorIdeal, distances[i]);

@@ -134,7 +134,7 @@ ScenarioParams scenarioParamsFor(const SimOptions &options,
 /** VA where every simulated workload's footprint is mapped. */
 constexpr VirtAddr traceBaseVa()
 {
-    return vaOf(0x7f0000000ULL);
+    return vaOf(Vpn{0x7f0000000ULL});
 }
 
 /**

@@ -26,7 +26,7 @@ struct ProcessState
     WorkloadSpec spec;
     MemoryMap map;
     PageTable table;
-    std::uint64_t anchor_distance = 0;
+    AnchorDist anchor_distance{};
     RegionPartition partition;
     std::unique_ptr<PatternTrace> trace;
 
@@ -76,9 +76,9 @@ buildProcess(Scheme scheme, const ProcessSpec &p,
         break;
       case Scheme::Anchor:
       case Scheme::AnchorIdeal:
-        state.anchor_distance =
+        state.anchor_distance = AnchorDist::fromPages(
             selectAnchorDistance(state.map.contiguityHistogram())
-                .distance;
+                .distance);
         state.table =
             buildAnchorPageTable(state.map, state.anchor_distance);
         break;
@@ -139,7 +139,8 @@ runMultiProcess(Scheme scheme, const std::vector<ProcessSpec> &processes,
     result.processes.resize(states.size());
     for (std::size_t i = 0; i < states.size(); ++i) {
         result.processes[i].workload = states[i].spec.name;
-        result.processes[i].anchor_distance = states[i].anchor_distance;
+        result.processes[i].anchor_distance =
+            states[i].anchor_distance.pages();
     }
 
     std::uint64_t executed = 0;

@@ -89,13 +89,14 @@ runLeaf(const Leaf &leaf, PairSlot &slot, const SimOptions &options)
         const std::uint64_t distance = leaf.distance_override
                                            ? *leaf.distance_override
                                            : shared.dynamic_distance;
-        const PageTable table = buildAnchorPageTable(shared.map, distance);
+        const PageTable table = buildAnchorPageTable(
+            shared.map, AnchorDist::fromPages(distance));
         return runSchemeCell(options, shared.spec, slot.scenario,
                              shared.map, table, leaf.scheme, distance);
       }
       case Scheme::AnchorIdeal: {
-        const PageTable table =
-            buildAnchorPageTable(shared.map, leaf.ideal_distance);
+        const PageTable table = buildAnchorPageTable(
+            shared.map, AnchorDist::fromPages(leaf.ideal_distance));
         return runSchemeCell(options, shared.spec, slot.scenario,
                              shared.map, table, leaf.scheme,
                              leaf.ideal_distance);

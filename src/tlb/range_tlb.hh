@@ -24,8 +24,8 @@ namespace atlb
 /** One variable-length range translation. */
 struct RangeEntry
 {
-    Vpn vpn_start = 0;
-    Vpn vpn_end = 0; //!< exclusive
+    Vpn vpn_start{};
+    Vpn vpn_end{}; //!< exclusive
     Ppn ppn_start = invalidPpn;
 
     bool contains(Vpn vpn) const

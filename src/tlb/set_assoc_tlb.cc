@@ -21,7 +21,7 @@ SetAssocTlb::SetAssocTlb(unsigned entries, unsigned ways, std::string name)
 }
 
 const TlbEntry *
-SetAssocTlb::probe(EntryKind kind, std::uint64_t key) const
+SetAssocTlb::probe(EntryKind kind, TlbKey key) const
 {
     const std::size_t base =
         static_cast<std::size_t>(setIndex(key)) * ways_;
@@ -76,7 +76,7 @@ SetAssocTlb::flush()
 }
 
 void
-SetAssocTlb::invalidate(EntryKind kind, std::uint64_t key)
+SetAssocTlb::invalidate(EntryKind kind, TlbKey key)
 {
     ++mutations_;
     const std::size_t base =

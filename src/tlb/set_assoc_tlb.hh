@@ -7,14 +7,15 @@
  * 4KB, 2MB and anchor entries side by side, paper Table 3), and the
  * cluster TLB (whose entries carry a sub-block bitmap).
  *
- * An entry is identified by (kind, key). The key has already been
- * shifted to the entry's natural granularity by the caller:
- *   - Page4K:  key = VPN
- *   - Page2M:  key = VPN >> 9
- *   - Anchor:  key = AVPN >> log2(anchor distance)   (paper Fig. 6's
- *              indexing: consecutive anchors map to consecutive sets)
- *   - Cluster: key = VPN >> 3
- * The set index is key & (numSets - 1); the full key is stored, so
+ * An entry is identified by (kind, key). The TlbKey has already been
+ * shifted to the entry's natural granularity by the caller (via the
+ * named makers in common/types.hh):
+ *   - Page4K:  pageKey(vpn)            (the VPN itself)
+ *   - Page2M:  hugeKey(vpn)            (VPN >> 9)
+ *   - Anchor:  groupKey(avpn, log2(d)) (paper Fig. 6's indexing:
+ *              consecutive anchors map to consecutive sets)
+ *   - Cluster: the VPN's span group
+ * The set index is the key's low bits; the full key is stored, so
  * distinct kinds never produce false matches.
  */
 
@@ -44,12 +45,17 @@ enum class EntryKind : std::uint8_t
 /** One TLB entry; `aux` is contiguity (Anchor) or bitmap (Cluster). */
 struct TlbEntry
 {
-    std::uint64_t key = 0;
+    TlbKey key{};
     Ppn ppn = invalidPpn;
     std::uint32_t aux = 0;
     EntryKind kind = EntryKind::Page4K;
     bool valid = false;
 };
+
+// The strong-typed fields must not change the entry layout the SoA
+// lookup loop was tuned for (one 24-byte record, 8-byte aligned).
+static_assert(sizeof(TlbEntry) == 24 && alignof(TlbEntry) == 8 &&
+              std::is_trivially_copyable_v<TlbEntry>);
 
 /** Hit/miss and occupancy statistics for one TLB. */
 struct TlbStats
@@ -82,11 +88,11 @@ class SetAssocTlb
      * (several lookups per simulated access) and must disappear into
      * its callers in optimised builds.
      */
-    const TlbEntry *lookup(EntryKind kind, std::uint64_t key)
+    const TlbEntry *lookup(EntryKind kind, TlbKey key)
     {
         ++stats_.lookups;
         const std::size_t base =
-            static_cast<std::size_t>(key & set_mask_) * ways_;
+            static_cast<std::size_t>(key.raw() & set_mask_) * ways_;
         const TlbEntry *set = entries_.data() + base;
         for (unsigned w = 0; w < ways_; ++w) {
             const TlbEntry &e = set[w];
@@ -102,7 +108,7 @@ class SetAssocTlb
     /**
      * Probe without updating LRU or statistics (for tests/inspection).
      */
-    const TlbEntry *probe(EntryKind kind, std::uint64_t key) const;
+    const TlbEntry *probe(EntryKind kind, TlbKey key) const;
 
     /**
      * Insert an entry, evicting the set's LRU victim if needed. If an
@@ -114,7 +120,7 @@ class SetAssocTlb
     void flush();
 
     /** Invalidate one entry if present. */
-    void invalidate(EntryKind kind, std::uint64_t key);
+    void invalidate(EntryKind kind, TlbKey key);
 
     const TlbStats &stats() const { return stats_; }
 
@@ -176,9 +182,9 @@ class SetAssocTlb
     std::uint64_t mutations_ = 0;
     TlbStats stats_;
 
-    unsigned setIndex(std::uint64_t key) const
+    unsigned setIndex(TlbKey key) const
     {
-        return static_cast<unsigned>(key & set_mask_);
+        return static_cast<unsigned>(key.raw() & set_mask_);
     }
 
     std::size_t slot(unsigned set, unsigned way) const

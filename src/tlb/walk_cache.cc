@@ -7,12 +7,12 @@ namespace
 {
 
 TlbEntry
-prefixEntry(EntryKind kind, std::uint64_t key)
+prefixEntry(EntryKind kind, TlbKey key)
 {
     TlbEntry e;
     e.kind = kind;
     e.key = key;
-    e.ppn = 0; // modelled caches track presence, not payloads
+    e.ppn = Ppn{0}; // modelled caches track presence, not payloads
     e.valid = true;
     return e;
 }
@@ -34,21 +34,21 @@ WalkCache::walkRefs(Vpn vpn, unsigned leaf_level)
     // granularities: PDE covers 2MB (vpn>>9), PDPTE 1GB (vpn>>18),
     // PML4E 512GB (vpn>>27). The leaf entry itself is never PWC-cached.
     unsigned start_level = 0; // next level whose entry must be fetched
-    if (leaf_level >= 4 && pde_.lookup(EntryKind::Page4K, vpn >> 9)) {
+    if (leaf_level >= 4 && pde_.lookup(EntryKind::Page4K, groupKey(vpn, 9))) {
         start_level = 3;
-    } else if (pdpte_.lookup(EntryKind::Page2M, vpn >> 18)) {
+    } else if (pdpte_.lookup(EntryKind::Page2M, groupKey(vpn, 18))) {
         start_level = 2;
-    } else if (pml4e_.lookup(EntryKind::Anchor, vpn >> 27)) {
+    } else if (pml4e_.lookup(EntryKind::Anchor, groupKey(vpn, 27))) {
         start_level = 1;
     }
 
     const unsigned refs = leaf_level - start_level;
 
     // Refill the caches with the prefixes this walk resolved.
-    pml4e_.insert(prefixEntry(EntryKind::Anchor, vpn >> 27));
-    pdpte_.insert(prefixEntry(EntryKind::Page2M, vpn >> 18));
+    pml4e_.insert(prefixEntry(EntryKind::Anchor, groupKey(vpn, 27)));
+    pdpte_.insert(prefixEntry(EntryKind::Page2M, groupKey(vpn, 18)));
     if (leaf_level >= 4)
-        pde_.insert(prefixEntry(EntryKind::Page4K, vpn >> 9));
+        pde_.insert(prefixEntry(EntryKind::Page4K, groupKey(vpn, 9)));
     return refs;
 }
 

@@ -23,9 +23,14 @@ namespace atlb
 /** One data memory access. */
 struct MemAccess
 {
-    VirtAddr vaddr = 0;
+    VirtAddr vaddr{};
     bool write = false;
 };
+
+// The strong-typed address must not change the record layout the
+// batched fill()/replay paths (and the mmap'd codecs) rely on.
+static_assert(sizeof(MemAccess) == 16 &&
+              std::is_trivially_copyable_v<MemAccess>);
 
 /** Pull-based stream of memory accesses. */
 class TraceSource

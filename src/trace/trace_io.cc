@@ -55,8 +55,8 @@ void
 TraceWriter::append(const MemAccess &access)
 {
     ATLB_ASSERT(!closed_, "append to a closed trace writer");
-    const std::uint64_t word =
-        (access.vaddr >> 1 << 1) | (access.write ? 1 : 0);
+    const std::uint64_t word = // lint-allow: page-shift
+        (access.vaddr.raw() >> 1 << 1) | (access.write ? 1 : 0);
     putU64(out_, word);
     ++count_;
 }
@@ -109,7 +109,7 @@ TraceFileSource::next(MemAccess &out)
     if (!getU64(in_, word))
         ATLB_FATAL("'{}': truncated trace body at record {}", path_,
                    consumed_);
-    out.vaddr = word & ~1ULL;
+    out.vaddr = VirtAddr{word & ~1ULL};
     out.write = word & 1;
     ++consumed_;
     return true;

@@ -27,7 +27,7 @@ PatternTrace::reset()
     produced_ = 0;
     phase_ = 0;
     burst_left_ = 0;
-    last_page_va_ = 0;
+    last_page_va_ = VirtAddr{};
     seq_pos_ = 0;
     chase_pos_ = 0;
     stencil_pos_ = 0;
@@ -141,11 +141,11 @@ PatternTrace::generate()
 void
 PatternTrace::produceOne(MemAccess &out)
 {
-    if (last_page_va_ != 0 && rng_.nextBool(spec_.page_reuse)) {
+    if (last_page_va_ != VirtAddr{} && rng_.nextBool(spec_.page_reuse)) {
         out.vaddr = last_page_va_ + rng_.nextBounded(pageBytes / 8) * 8;
     } else {
         out.vaddr = generate();
-        last_page_va_ = out.vaddr & ~(pageBytes - 1);
+        last_page_va_ = VirtAddr{out.vaddr.raw() & ~(pageBytes - 1)};
     }
     out.write = rng_.nextBool(spec_.write_fraction);
 }

@@ -178,7 +178,7 @@ class PatternTrace : public TraceSource
     std::uint64_t burst_left_ = 0;
 
     // Per-pattern cursors.
-    VirtAddr last_page_va_ = 0;     // previous page, for intra-page reuse
+    VirtAddr last_page_va_{};       // previous page, for intra-page reuse
     std::uint64_t seq_pos_ = 0;     // byte offset (Sequential)
     std::uint64_t chase_pos_ = 0;   // position within chase region
     std::uint64_t stencil_pos_ = 0; // element index (Stencil)

@@ -24,12 +24,12 @@ namespace
 {
 
 TlbEntry
-makeEntry(EntryKind kind, std::uint64_t key, Ppn ppn)
+makeEntry(EntryKind kind, std::uint64_t key, std::uint64_t ppn)
 {
     TlbEntry e;
     e.kind = kind;
-    e.key = key;
-    e.ppn = ppn;
+    e.key = TlbKey{key};
+    e.ppn = Ppn{ppn};
     e.valid = true;
     return e;
 }
@@ -113,14 +113,16 @@ TEST(TlbInvariantsDeathTest, VerifyDiesOnDuplicateTag)
 // ------------------------------------------------------------- anchor --
 
 /** 24 mapped pages, then a hole; anchor distance 16. */
-constexpr Vpn anchorBase = 0x100000;
+constexpr Vpn anchorBase{0x100000};
 constexpr std::uint64_t anchorDistance = 16;
+constexpr AnchorDist anchorDist = AnchorDist::fromPages(anchorDistance);
 
 MemoryMap
 shortRunMap()
 {
     MemoryMap m;
-    m.add(anchorBase, 0x5000, 24); // second anchor's run is 8 pages
+    m.add(anchorBase, Ppn{0x5000},
+          PageCount{24}); // second anchor's run is 8 pages
     m.finalize();
     return m;
 }
@@ -128,9 +130,9 @@ shortRunMap()
 TEST(AnchorInvariants, CleanAnchorStatePasses)
 {
     const MemoryMap map = shortRunMap();
-    PageTable table = buildAnchorPageTable(map, anchorDistance);
+    PageTable table = buildAnchorPageTable(map, anchorDist);
     MmuConfig cfg;
-    AnchorMmu mmu(cfg, table, anchorDistance);
+    AnchorMmu mmu(cfg, table, anchorDist);
     for (std::uint64_t i = 0; i < 24; ++i)
         mmu.translate(vaOf(anchorBase + i));
     EXPECT_TRUE(checkAnchorInvariants(mmu).ok());
@@ -140,14 +142,14 @@ TEST(AnchorInvariants, CleanAnchorStatePasses)
 TEST(AnchorInvariants, DetectsContiguityCrossingUnmappedPage)
 {
     const MemoryMap map = shortRunMap();
-    PageTable table = buildAnchorPageTable(map, anchorDistance);
+    PageTable table = buildAnchorPageTable(map, anchorDist);
     // Corrupt the OS state: the second anchor (avpn +16) really covers
     // 8 pages; claim the full distance, crossing into the hole at +24.
     table.setAnchorContiguity(anchorBase + 16, anchorDistance,
-                              anchorDistance);
+                              anchorDist);
 
     MmuConfig cfg;
-    AnchorMmu mmu(cfg, table, anchorDistance);
+    AnchorMmu mmu(cfg, table, anchorDist);
     // Accessing a *mapped* page caches the over-long anchor entry; the
     // translation itself is still correct, so only the invariant
     // checker can expose the latent corruption.
@@ -162,14 +164,14 @@ TEST(AnchorInvariants, DetectsContiguityCrossingUnmappedPage)
 TEST(AnchorInvariants, DetectsStaleContiguityAfterMigration)
 {
     const MemoryMap map = shortRunMap();
-    PageTable table = buildAnchorPageTable(map, anchorDistance);
+    PageTable table = buildAnchorPageTable(map, anchorDist);
     MmuConfig cfg;
-    AnchorMmu mmu(cfg, table, anchorDistance);
+    AnchorMmu mmu(cfg, table, anchorDist);
     mmu.translate(vaOf(anchorBase + 3)); // caches anchor at +0
 
     // The OS migrates a page inside the anchor's run but forgets the
     // shootdown: the cached contiguity is now stale.
-    table.remap4K(anchorBase + 5, 0x9999);
+    table.remap4K(anchorBase + 5, Ppn{0x9999});
 
     const InvariantReport report = checkAnchorInvariants(mmu);
     ASSERT_FALSE(report.ok());
@@ -180,17 +182,18 @@ TEST(AnchorInvariants, DetectsStaleContiguityAfterMigration)
 TEST(AnchorInvariants, DetectsContiguityOutOfRange)
 {
     const MemoryMap map = shortRunMap();
-    PageTable table = buildAnchorPageTable(map, anchorDistance);
+    PageTable table = buildAnchorPageTable(map, anchorDist);
     MmuConfig cfg;
-    AnchorMmu mmu(cfg, table, anchorDistance);
+    AnchorMmu mmu(cfg, table, anchorDist);
 
     // Plant an anchor entry whose cached contiguity is zero — a value
     // insert() can never produce — straight into the L2.
     SetAssocTlb &l2 = mmu.l2TlbForTest();
     TlbEntry e = makeEntry(EntryKind::Anchor,
-                           anchorBase >> 4 /* log2(distance) */, 0x5000);
+                           anchorBase.raw() >> 4 /* log2(distance) */,
+                           0x5000);
     e.aux = 0;
-    const unsigned set = static_cast<unsigned>(e.key % l2.numSets());
+    const unsigned set = static_cast<unsigned>(e.key.raw() % l2.numSets());
     l2.entryAtForTest(set, 0) = e;
     l2.setLastUseForTest(set, 0, 1);
 
@@ -213,7 +216,8 @@ MemoryMap
 shortRunHostMap()
 {
     MemoryMap m;
-    m.add(0x5000 /* GPA as the host's "vpn" dimension */, 0x9000, 24);
+    m.add(Vpn{0x5000} /* GPA as the host's "vpn" dimension */,
+          Ppn{0x9000}, PageCount{24});
     m.finalize();
     return m;
 }
@@ -221,12 +225,12 @@ shortRunHostMap()
 TEST(AnchorInvariants, NestedCleanStatePasses)
 {
     const MemoryMap map = shortRunMap();
-    PageTable table = buildAnchorPageTable(map, anchorDistance);
+    PageTable table = buildAnchorPageTable(map, anchorDist);
     const MemoryMap host_map = shortRunHostMap();
     PageTable host_table = buildPageTable(host_map, false);
 
     MmuConfig cfg;
-    AnchorMmu mmu(cfg, table, anchorDistance);
+    AnchorMmu mmu(cfg, table, anchorDist);
     mmu.setNested(&host_table, &host_map);
     for (std::uint64_t i = 0; i < 24; ++i)
         mmu.translate(vaOf(anchorBase + i));
@@ -236,18 +240,18 @@ TEST(AnchorInvariants, NestedCleanStatePasses)
 TEST(AnchorInvariants, DetectsGuestFrameUnmappedInHost)
 {
     const MemoryMap map = shortRunMap();
-    PageTable table = buildAnchorPageTable(map, anchorDistance);
+    PageTable table = buildAnchorPageTable(map, anchorDist);
     const MemoryMap host_map = shortRunHostMap();
     PageTable host_table = buildPageTable(host_map, false);
 
     MmuConfig cfg;
-    AnchorMmu mmu(cfg, table, anchorDistance);
+    AnchorMmu mmu(cfg, table, anchorDist);
     mmu.setNested(&host_table, &host_map);
     mmu.translate(vaOf(anchorBase + 3)); // caches the anchor at +0
 
     // Ballooning without a shootdown: a page inside the cached anchor's
     // run now points at a GPA the host no longer maps.
-    table.remap4K(anchorBase + 5, 0x7f000);
+    table.remap4K(anchorBase + 5, Ppn{0x7f000});
 
     const InvariantReport report = checkAnchorInvariants(mmu);
     ASSERT_FALSE(report.ok());
@@ -258,18 +262,18 @@ TEST(AnchorInvariants, DetectsGuestFrameUnmappedInHost)
 TEST(AnchorInvariants, DetectsStaleCombinedFrameAfterHostMigration)
 {
     const MemoryMap map = shortRunMap();
-    PageTable table = buildAnchorPageTable(map, anchorDistance);
+    PageTable table = buildAnchorPageTable(map, anchorDist);
     const MemoryMap host_map = shortRunHostMap();
     PageTable host_table = buildPageTable(host_map, false);
 
     MmuConfig cfg;
-    AnchorMmu mmu(cfg, table, anchorDistance);
+    AnchorMmu mmu(cfg, table, anchorDist);
     mmu.setNested(&host_table, &host_map);
     mmu.translate(vaOf(anchorBase + 3));
 
     // The *host* migrates a frame inside the run: the anchor's combined
     // GVA -> HPA arithmetic is now stale in the host dimension.
-    host_table.remap4K(0x5000 + 5, 0x4444);
+    host_table.remap4K(Vpn{0x5000 + 5}, Ppn{0x4444});
 
     const InvariantReport report = checkAnchorInvariants(mmu);
     ASSERT_FALSE(report.ok());
@@ -280,11 +284,11 @@ TEST(AnchorInvariants, DetectsStaleCombinedFrameAfterHostMigration)
 TEST(AnchorInvariantsDeathTest, VerifyDiesOnCorruptContiguity)
 {
     const MemoryMap map = shortRunMap();
-    PageTable table = buildAnchorPageTable(map, anchorDistance);
+    PageTable table = buildAnchorPageTable(map, anchorDist);
     table.setAnchorContiguity(anchorBase + 16, anchorDistance,
-                              anchorDistance);
+                              anchorDist);
     MmuConfig cfg;
-    AnchorMmu mmu(cfg, table, anchorDistance);
+    AnchorMmu mmu(cfg, table, anchorDist);
     mmu.translate(vaOf(anchorBase + 17));
     EXPECT_DEATH(verifyAnchorInvariants(mmu), "crosses unmapped");
 }
@@ -330,7 +334,7 @@ TEST(BuddyInvariants, DetectsMisalignedFreeBlock)
     BuddyAllocator buddy(64, 6);
     const Ppn all = buddy.allocate(6); // drain the pool: no real blocks
     ASSERT_NE(all, invalidPpn);
-    buddy.plantFreeBlockForTest(1, 1); // order-1 block must be 2-aligned
+    buddy.plantFreeBlockForTest(Ppn{1}, 1); // order-1 block must be 2-aligned
 
     const InvariantReport report = checkBuddyInvariants(buddy);
     ASSERT_FALSE(report.ok());
@@ -343,7 +347,7 @@ TEST(BuddyInvariants, DetectsBlockPastPoolEnd)
     BuddyAllocator buddy(64, 6);
     const Ppn all = buddy.allocate(6);
     ASSERT_NE(all, invalidPpn);
-    buddy.plantFreeBlockForTest(64, 0); // aligned, but outside the pool
+    buddy.plantFreeBlockForTest(Ppn{64}, 0); // aligned, but outside the pool
 
     const InvariantReport report = checkBuddyInvariants(buddy);
     ASSERT_FALSE(report.ok());
@@ -358,8 +362,8 @@ TEST(BuddyInvariants, DetectsUncoalescedBuddies)
     ASSERT_NE(all, invalidPpn);
     // Two free buddies at the same order are unreachable state under
     // eager coalescing — free() would have merged them to order 1.
-    buddy.plantFreeBlockForTest(4, 0);
-    buddy.plantFreeBlockForTest(5, 0);
+    buddy.plantFreeBlockForTest(Ppn{4}, 0);
+    buddy.plantFreeBlockForTest(Ppn{5}, 0);
 
     const InvariantReport report = checkBuddyInvariants(buddy);
     ASSERT_FALSE(report.ok());

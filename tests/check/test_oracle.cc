@@ -30,9 +30,9 @@ using test::baseVpn;
 TEST(TranslationOracle, SilentOnCorrectTranslations)
 {
     const MemoryMap map = test::makeVariedMap();
-    PageTable table = buildAnchorPageTable(map, 16);
+    PageTable table = buildAnchorPageTable(map, AnchorDist::fromPages(16));
     MmuConfig cfg;
-    AnchorMmu mmu(cfg, table, 16);
+    AnchorMmu mmu(cfg, table, AnchorDist::fromPages(16));
     TranslationOracle oracle(mmu, &map);
 
     Rng rng(5);
@@ -49,19 +49,20 @@ TEST(TranslationOracleDeathTest, CatchesFabricatedTranslation)
     // Plant a corrupt anchor whose contiguity reaches past the end of
     // its 8-page run into unmapped VA space.
     MemoryMap map;
-    map.add(0x100000, 0x5000, 24);
+    map.add(Vpn{0x100000}, Ppn{0x5000}, PageCount{24});
     map.finalize();
-    PageTable table = buildAnchorPageTable(map, 16);
-    table.setAnchorContiguity(0x100000 + 16, 16, 16);
+    PageTable table = buildAnchorPageTable(map, AnchorDist::fromPages(16));
+    table.setAnchorContiguity(Vpn{0x100000 + 16}, 16,
+                              AnchorDist::fromPages(16));
 
     MmuConfig cfg;
-    AnchorMmu mmu(cfg, table, 16);
+    AnchorMmu mmu(cfg, table, AnchorDist::fromPages(16));
     TranslationOracle oracle(mmu, &map);
     // Caches the over-long anchor entry (translation still correct).
-    oracle.translate(vaOf(0x100000 + 17));
+    oracle.translate(vaOf(Vpn{0x100000} + 17));
     // The anchor fast path now fabricates a frame for an unmapped page
     // without ever walking; only the oracle can notice.
-    EXPECT_DEATH(oracle.translate(vaOf(0x100000 + 25)), "unmapped vpn");
+    EXPECT_DEATH(oracle.translate(vaOf(Vpn{0x100000} + 25)), "unmapped vpn");
 }
 
 TEST(TranslationOracleDeathTest, CatchesStaleTlbAfterMigration)
@@ -74,7 +75,7 @@ TEST(TranslationOracleDeathTest, CatchesStaleTlbAfterMigration)
 
     oracle.translate(test::va(2)); // now cached in the L1
     // Migration without shootdown: the cached frame goes stale.
-    table.remap4K(baseVpn + 2, 0x4444);
+    table.remap4K(baseVpn + 2, Ppn{0x4444});
     EXPECT_DEATH(oracle.translate(test::va(2)), "frame");
 }
 
@@ -83,14 +84,14 @@ TEST(DifferentialOracle, AllFiveSchemesAgree)
     const MemoryMap map = test::makeVariedMap();
     PageTable plain = buildPageTable(map, false);
     PageTable thp = buildPageTable(map, true);
-    PageTable anchored = buildAnchorPageTable(map, 32);
+    PageTable anchored = buildAnchorPageTable(map, AnchorDist::fromPages(32));
 
     MmuConfig cfg;
     BaselineMmu base(cfg, plain);
     ColtMmu colt(cfg, plain);
     ClusterMmu cluster(cfg, plain, false);
     RmmMmu rmm(cfg, thp, map);
-    AnchorMmu anchor(cfg, anchored, 32);
+    AnchorMmu anchor(cfg, anchored, AnchorDist::fromPages(32));
 
     DifferentialOracle diff(&map);
     diff.attach(base);
@@ -100,7 +101,7 @@ TEST(DifferentialOracle, AllFiveSchemesAgree)
     diff.attach(anchor);
 
     Rng rng(17);
-    const Vpn offsets[] = {0, 512, 4096, 8192};
+    const std::uint64_t offsets[] = {0, 512, 4096, 8192};
     const std::uint64_t lens[] = {8, 1024, 100, 3};
     for (int i = 0; i < 1500; ++i) {
         const unsigned c = static_cast<unsigned>(rng.nextBounded(4));
@@ -117,22 +118,22 @@ TEST(TranslationOracle, SilentOnCorrectNestedTranslations)
     // Nested mode: the oracle re-derives every frame through both the
     // guest and the host dimension.
     MemoryMap guest;
-    guest.add(0x100000, 0x5000, 24);
+    guest.add(Vpn{0x100000}, Ppn{0x5000}, PageCount{24});
     guest.finalize();
     MemoryMap host;
-    host.add(0x5000, 0x9000, 24); // GPA -> HPA
+    host.add(Vpn{0x5000}, Ppn{0x9000}, PageCount{24}); // GPA -> HPA
     host.finalize();
-    PageTable guest_table = buildAnchorPageTable(guest, 16);
+    PageTable guest_table = buildAnchorPageTable(guest, AnchorDist::fromPages(16));
     PageTable host_table = buildPageTable(host, false);
 
     MmuConfig cfg;
-    AnchorMmu mmu(cfg, guest_table, 16);
+    AnchorMmu mmu(cfg, guest_table, AnchorDist::fromPages(16));
     mmu.setNested(&host_table, &host);
     TranslationOracle oracle(mmu, &guest);
 
     for (std::uint64_t i = 0; i < 24; ++i) {
-        const TranslationResult r = oracle.translate(vaOf(0x100000 + i));
-        EXPECT_EQ(r.ppn, 0x9000u + i);
+        const TranslationResult r = oracle.translate(vaOf(Vpn{0x100000} + i));
+        EXPECT_EQ(r.ppn, Ppn{0x9000} + i);
     }
     EXPECT_EQ(oracle.verified(), 24u);
 }
@@ -140,10 +141,10 @@ TEST(TranslationOracle, SilentOnCorrectNestedTranslations)
 TEST(TranslationOracleDeathTest, CatchesGuestFrameUnmappedInHost)
 {
     MemoryMap guest;
-    guest.add(0x100000, 0x5000, 24);
+    guest.add(Vpn{0x100000}, Ppn{0x5000}, PageCount{24});
     guest.finalize();
     MemoryMap host;
-    host.add(0x5000, 0x9000, 24);
+    host.add(Vpn{0x5000}, Ppn{0x9000}, PageCount{24});
     host.finalize();
     PageTable guest_table = buildPageTable(guest, false);
     PageTable host_table = buildPageTable(host, false);
@@ -156,10 +157,10 @@ TEST(TranslationOracleDeathTest, CatchesGuestFrameUnmappedInHost)
     // Ballooning without a shootdown: the guest page now names a GPA
     // the host never mapped. verify() must refuse whatever result the
     // fast path fabricated for it.
-    guest_table.remap4K(0x100000 + 2, 0x7f000);
+    guest_table.remap4K(Vpn{0x100000 + 2}, Ppn{0x7f000});
     TranslationResult res;
-    res.ppn = 0x9000 + 2;
-    EXPECT_DEATH(oracle.verify(vaOf(0x100000 + 2), res),
+    res.ppn = Ppn{0x9000 + 2};
+    EXPECT_DEATH(oracle.verify(vaOf(Vpn{0x100000} + 2), res),
                  "unmapped in host");
 }
 
@@ -188,7 +189,7 @@ TEST(TranslationOracleDeathTest, CatchesTableDisagreeingWithMapping)
     PageTable table = buildPageTable(map, false);
     // A wrongly *built* table: walk and fast path agree with each
     // other but not with the OS mapping — only ground truth #2 sees it.
-    table.remap4K(baseVpn + 1, 0x7777);
+    table.remap4K(baseVpn + 1, Ppn{0x7777});
 
     MmuConfig cfg;
     BaselineMmu mmu(cfg, table);
@@ -200,7 +201,7 @@ TEST(TranslationOracleDeathTest, CatchesTableDisagreeingWithMapping)
 TEST(DifferentialOracleDeathTest, NoAttachedMmusIsFatal)
 {
     DifferentialOracle diff;
-    EXPECT_DEATH(diff.translateAll(vaOf(0x1000)), "no MMUs attached");
+    EXPECT_DEATH(diff.translateAll(vaOf(Vpn{0x1000})), "no MMUs attached");
 }
 
 TEST(DifferentialOracleDeathTest, CatchesSchemeDivergence)
@@ -218,7 +219,7 @@ TEST(DifferentialOracleDeathTest, CatchesSchemeDivergence)
 
     diff.translateAll(test::va(1)); // both agree while tables match
     // One scheme's table silently drifts from the shared mapping.
-    plain2.remap4K(baseVpn + 1, 0x7777);
+    plain2.remap4K(baseVpn + 1, Ppn{0x7777});
     EXPECT_DEATH(diff.translateAll(test::va(1)), "frame|disagree");
 }
 

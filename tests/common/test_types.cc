@@ -1,0 +1,188 @@
+// Unit tests for the strong address/page types: named conversions,
+// per-domain arithmetic, alignment helpers, AnchorDist coherence and
+// the zero-cost layout pins. The compile-FAIL side (vpn<->ppn and
+// page<->byte mix-ups must not build) lives in tests/compile_fail/.
+#include "common/types.hh"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <unordered_set>
+
+namespace atlb
+{
+namespace
+{
+
+TEST(Types, NamedAddressConversionsRoundTrip)
+{
+    const VirtAddr va{0x7f00'1234'5678ULL};
+    EXPECT_EQ(vpnOf(va).raw(), 0x7f00'1234'5678ULL >> pageShift);
+    EXPECT_EQ(pageOffset(va), 0x678U);
+    EXPECT_EQ(vaOf(vpnOf(va)) + pageOffset(va), va);
+
+    const PhysAddr pa{0x1'0000'2000ULL};
+    EXPECT_EQ(ppnOf(pa).raw(), 0x1'0000'2000ULL >> pageShift);
+    EXPECT_EQ(paOf(ppnOf(pa)), pa);
+}
+
+TEST(Types, HostVpnOfIsTheSanctionedPpnCrossing)
+{
+    // Nested translation keys the host dimension by guest frame
+    // number; the named crossing must preserve the raw value exactly.
+    const Ppn guest_frame{0xabcdeULL};
+    EXPECT_EQ(hostVpnOf(guest_frame).raw(), guest_frame.raw());
+}
+
+TEST(Types, PageNumArithmeticStaysInDomain)
+{
+    Vpn v{100};
+    v += 28;
+    EXPECT_EQ(v, Vpn{128});
+    EXPECT_EQ(v - 28, Vpn{100});
+    EXPECT_EQ(++v, Vpn{129});
+    EXPECT_EQ(--v, Vpn{128});
+
+    // Same-axis difference is a PageCount (a length, not a position).
+    const PageCount d = Vpn{128} - Vpn{100};
+    EXPECT_EQ(d, PageCount{28});
+
+    // Wrap-around on the raw payload is well-defined (unsigned).
+    const Vpn top{std::numeric_limits<std::uint64_t>::max()};
+    EXPECT_EQ(top + 1, Vpn{0});
+    EXPECT_EQ(Vpn{0} - 1, top);
+}
+
+TEST(Types, AlignmentHelpers)
+{
+    const Vpn v{0x1234d};
+    EXPECT_EQ(v.alignDown(hugePages), Vpn{0x12200});
+    EXPECT_EQ(v.alignUp(hugePages), Vpn{0x12400});
+    EXPECT_EQ(v.offsetIn(hugePages), 0x14dULL);
+    EXPECT_FALSE(v.isAligned(hugePages));
+    EXPECT_TRUE(v.alignDown(hugePages).isAligned(hugePages));
+    // Aligning an already-aligned value is the identity.
+    EXPECT_EQ(v.alignDown(hugePages).alignUp(hugePages),
+              v.alignDown(hugePages));
+}
+
+TEST(Types, ByteAddrArithmetic)
+{
+    VirtAddr a{0x1000};
+    a += 0x234;
+    EXPECT_EQ(a, VirtAddr{0x1234});
+    EXPECT_EQ(a - 0x234, VirtAddr{0x1000});
+    // Same-space difference is a plain byte distance.
+    EXPECT_EQ(VirtAddr{0x2000} - VirtAddr{0x1800}, 0x800ULL);
+    EXPECT_LT(VirtAddr{0x1000}, VirtAddr{0x1001});
+}
+
+TEST(Types, PageCountIsExplicitInImplicitOut)
+{
+    const PageCount c{512};
+    // Decays to uint64_t for ordinary arithmetic and indexing.
+    const std::uint64_t doubled = c * 2;
+    EXPECT_EQ(doubled, 1024U);
+    EXPECT_EQ(c + PageCount{12}, PageCount{524});
+    EXPECT_EQ(c - PageCount{12}, PageCount{500});
+    PageCount acc{1};
+    acc += PageCount{2};
+    EXPECT_EQ(acc.raw(), 3U);
+
+    EXPECT_EQ(bytesOf(PageCount{3}), 3 * pageBytes);
+    EXPECT_EQ(pagesForBytes(1), PageCount{1});
+    EXPECT_EQ(pagesForBytes(pageBytes), PageCount{1});
+    EXPECT_EQ(pagesForBytes(pageBytes + 1), PageCount{2});
+    EXPECT_EQ(pagesForBytes(0), PageCount{0});
+}
+
+TEST(Types, TlbKeyMakersMatchGranularityShifts)
+{
+    const Vpn v{0x7f12'3456ULL};
+    EXPECT_EQ(pageKey(v), TlbKey{v.raw()});
+    EXPECT_EQ(hugeKey(v), TlbKey{v.raw() >> hugeShift});
+    EXPECT_EQ(giantKey(v), TlbKey{v.raw() >> giantShift});
+    EXPECT_EQ(groupKey(v, 4), TlbKey{v.raw() >> 4});
+    // groupKey at log2 0 is the identity (pageKey).
+    EXPECT_EQ(groupKey(v, 0), pageKey(v));
+}
+
+TEST(Types, AnchorDistCarriesCoherentPagesAndLog2)
+{
+    const AnchorDist d = AnchorDist::fromPages(64);
+    EXPECT_FALSE(d.none());
+    EXPECT_TRUE(d.valid());
+    EXPECT_EQ(d.pages(), 64U);
+    EXPECT_EQ(d.log2(), 6U);
+    EXPECT_EQ(d, AnchorDist::fromLog2(6));
+
+    const Vpn v{0x1234d};
+    EXPECT_EQ(d.anchorOf(v), v.alignDown(64));
+    EXPECT_EQ(d.offsetOf(v), v.offsetIn(64));
+    EXPECT_EQ(d.keyOf(d.anchorOf(v)), groupKey(d.anchorOf(v), 6));
+}
+
+TEST(Types, AnchorDistRejectsIncoherentValues)
+{
+    // Default-constructed means "no distance".
+    EXPECT_TRUE(AnchorDist{}.none());
+    EXPECT_FALSE(AnchorDist{}.valid());
+    // Non-power-of-two and too-small inputs survive construction (the
+    // pair stays coherent with log2 = ceil) but report invalid, so the
+    // config-layer range checks still fire.
+    EXPECT_FALSE(AnchorDist::fromPages(3).valid());
+    EXPECT_FALSE(AnchorDist::fromPages(1).valid());
+    EXPECT_TRUE(AnchorDist::fromPages(2).valid());
+    EXPECT_TRUE(AnchorDist::fromPages(1ULL << 16).valid());
+    // Ordering follows the page count (distance sweeps sort on it).
+    EXPECT_LT(AnchorDist::fromPages(8), AnchorDist::fromPages(16));
+}
+
+TEST(Types, SentinelsAndOrdering)
+{
+    EXPECT_EQ(invalidPpn.raw(), ~0ULL);
+    EXPECT_EQ(invalidVpn.raw(), ~0ULL);
+    EXPECT_NE(Ppn{0}, invalidPpn);
+    EXPECT_LT(Ppn{5}, invalidPpn);
+}
+
+TEST(Types, StreamsAsRawValue)
+{
+    std::ostringstream os;
+    os << Vpn{42} << ' ' << Ppn{7} << ' ' << AnchorDist::fromPages(32);
+    EXPECT_EQ(os.str(), "42 7 32");
+}
+
+TEST(Types, HashableForPageIndexedContainers)
+{
+    std::unordered_set<Vpn> set;
+    set.insert(Vpn{1});
+    set.insert(Vpn{1});
+    set.insert(Vpn{2});
+    EXPECT_EQ(set.size(), 2U);
+    EXPECT_TRUE(set.count(Vpn{1}));
+    EXPECT_FALSE(set.count(Vpn{3}));
+}
+
+TEST(Types, PagesCoveredMatchesPageSizes)
+{
+    EXPECT_EQ(pagesCovered(PageSize::Base4K), PageCount{1});
+    EXPECT_EQ(pagesCovered(PageSize::Huge2M), PageCount{hugePages});
+    EXPECT_EQ(pagesCovered(PageSize::Giant1G), PageCount{giantPages});
+}
+
+// The zero-cost claim, restated where a failure reports a test name
+// instead of a build break alone.
+TEST(Types, WrappersAreZeroCost)
+{
+    EXPECT_EQ(sizeof(Vpn), sizeof(std::uint64_t));
+    EXPECT_EQ(sizeof(VirtAddr), sizeof(std::uint64_t));
+    EXPECT_EQ(sizeof(TlbKey), sizeof(std::uint64_t));
+    EXPECT_TRUE(std::is_trivially_copyable_v<Ppn>);
+    EXPECT_TRUE(std::is_standard_layout_v<PhysAddr>);
+}
+
+} // namespace
+} // namespace atlb

@@ -1,0 +1,10 @@
+// MUST NOT COMPILE: a byte address is not a page number; the only
+// crossing is the named vpnOf()/vaOf() pair.
+#include "common/types.hh"
+
+int
+main()
+{
+    atlb::Vpn vpn = atlb::VirtAddr{0x7f00'0000'0000ULL};
+    return static_cast<int>(vpn.raw());
+}

@@ -1,0 +1,19 @@
+// Positive control for the compile-fail harness: the sanctioned
+// spellings of the same operations MUST compile. If this file breaks,
+// the harness is testing the toolchain, not the types.
+#include "common/types.hh"
+
+int
+main()
+{
+    using namespace atlb;
+    const VirtAddr va{0x7f00'0000'1234ULL};
+    const Vpn vpn = vpnOf(va);
+    const Ppn frame{0x5000};
+    const Vpn host = hostVpnOf(frame);
+    const PageCount span = (vpn + 8) - vpn;
+    const PageCount from_bytes = pagesForBytes(1ULL << 30);
+    const AnchorDist dist = AnchorDist::fromPages(64);
+    return static_cast<int>(vaOf(host).raw() + span + from_bytes +
+                            dist.keyOf(dist.anchorOf(vpn)).raw());
+}

@@ -1,0 +1,17 @@
+// MUST NOT COMPILE: PageCount construction from a raw integer is
+// explicit, so a byte size cannot silently become a page count —
+// convert through pagesForBytes() instead.
+#include "common/types.hh"
+
+static std::uint64_t
+footprint(atlb::PageCount pages)
+{
+    return atlb::bytesOf(pages);
+}
+
+int
+main()
+{
+    std::uint64_t bytes = 1ULL << 30;
+    return static_cast<int>(footprint(bytes));
+}

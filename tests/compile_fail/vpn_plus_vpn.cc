@@ -1,0 +1,10 @@
+// MUST NOT COMPILE: positions never add to each other; only
+// position +/- count and position - position (= PageCount) exist.
+#include "common/types.hh"
+
+int
+main()
+{
+    auto sum = atlb::Vpn{1} + atlb::Vpn{2};
+    return static_cast<int>(sum.raw());
+}

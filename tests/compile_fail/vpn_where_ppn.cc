@@ -1,0 +1,9 @@
+// MUST NOT COMPILE: a virtual page number is not a physical frame.
+#include "common/types.hh"
+
+int
+main()
+{
+    atlb::Ppn frame = atlb::Vpn{0x1000};
+    return static_cast<int>(frame.raw());
+}

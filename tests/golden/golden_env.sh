@@ -1,3 +1,4 @@
+# shellcheck shell=bash
 # Pinned environment for the golden-file regression harness.
 #
 # Sourced by run_golden.sh (the ctest checker) and by

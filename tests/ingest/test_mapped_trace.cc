@@ -48,7 +48,7 @@ TEST_F(MappedTraceTest, MatchesIfstreamReaderExactly)
     {
         TraceWriter w(path_);
         for (std::uint64_t i = 0; i < n; ++i)
-            w.append({(i * 0x9e3779b9ULL) << 3, (i & 3) == 0});
+            w.append({VirtAddr{(i * 0x9e3779b9ULL) << 3}, (i & 3) == 0});
     }
     TraceFileSource ifs(path_);
     MappedTraceSource mapped(path_);
@@ -69,7 +69,7 @@ TEST_F(MappedTraceTest, BatchedFillMatchesNext)
     {
         TraceWriter w(path_);
         for (std::uint64_t i = 0; i < n; ++i)
-            w.append({i << 12, (i & 1) == 0});
+            w.append({VirtAddr{i << 12}, (i & 1) == 0});
     }
     MappedTraceSource mapped(path_);
     std::vector<MemAccess> got;
@@ -79,7 +79,7 @@ TEST_F(MappedTraceTest, BatchedFillMatchesNext)
         got.insert(got.end(), buf, buf + k);
     ASSERT_EQ(got.size(), n);
     for (std::uint64_t i = 0; i < n; ++i) {
-        ASSERT_EQ(got[i].vaddr, i << 12);
+        ASSERT_EQ(got[i].vaddr, VirtAddr{i << 12});
         ASSERT_EQ(got[i].write, (i & 1) == 0);
     }
 }
@@ -90,19 +90,19 @@ TEST_F(MappedTraceTest, SkipAndResetAreExact)
     {
         TraceWriter w(path_);
         for (std::uint64_t i = 0; i < n; ++i)
-            w.append({i << 12, false});
+            w.append({VirtAddr{i << 12}, false});
     }
     MappedTraceSource mapped(path_);
     mapped.skip(123);
     mapped.skip(277);
     MemAccess a;
     ASSERT_TRUE(mapped.next(a));
-    EXPECT_EQ(a.vaddr, 400ull << 12);
+    EXPECT_EQ(a.vaddr, VirtAddr{400ull << 12});
     mapped.skip(10'000); // clamps at the end
     EXPECT_FALSE(mapped.next(a));
     mapped.reset();
     ASSERT_TRUE(mapped.next(a));
-    EXPECT_EQ(a.vaddr, 0u);
+    EXPECT_EQ(a.vaddr, VirtAddr{0});
 }
 
 TEST_F(MappedTraceTest, MissingFileIsFatal)
@@ -125,7 +125,7 @@ TEST_F(MappedTraceTest, SizeMismatchIsFatalAtOpen)
     {
         TraceWriter w(path_);
         for (int i = 0; i < 8; ++i)
-            w.append({static_cast<VirtAddr>(i) << 12, false});
+            w.append({VirtAddr{static_cast<std::uint64_t>(i) << 12}, false});
     }
     {
         std::ofstream out(path_, std::ios::binary | std::ios::app);

@@ -72,13 +72,13 @@ TEST_F(TextImporterTest, PlainFormat)
     const std::vector<MemAccess> got =
         import({TextTraceFormat::Plain, false, 0}, &res);
     ASSERT_EQ(got.size(), 4u);
-    EXPECT_EQ(got[0].vaddr, 0x1000u);
+    EXPECT_EQ(got[0].vaddr, VirtAddr{0x1000});
     EXPECT_FALSE(got[0].write);
-    EXPECT_EQ(got[1].vaddr, 4096u);
+    EXPECT_EQ(got[1].vaddr, VirtAddr{4096});
     EXPECT_TRUE(got[1].write);
-    EXPECT_EQ(got[2].vaddr, 0x2abcu);
+    EXPECT_EQ(got[2].vaddr, VirtAddr{0x2abc});
     EXPECT_FALSE(got[2].write);
-    EXPECT_EQ(got[3].vaddr, 0x7ffd8u);
+    EXPECT_EQ(got[3].vaddr, VirtAddr{0x7ffd8});
     EXPECT_TRUE(got[3].write);
     EXPECT_EQ(res.format, TextTraceFormat::Plain);
     EXPECT_EQ(res.accesses, 4u);
@@ -97,13 +97,13 @@ TEST_F(TextImporterTest, LackeyFormat)
         import({TextTraceFormat::Lackey, false, 0}, &res);
     // I is skipped; M expands to a read then a write at the same vaddr.
     ASSERT_EQ(got.size(), 4u);
-    EXPECT_EQ(got[0].vaddr, 0x04025310u);
+    EXPECT_EQ(got[0].vaddr, VirtAddr{0x04025310});
     EXPECT_FALSE(got[0].write);
-    EXPECT_EQ(got[1].vaddr, 0x04025318u);
+    EXPECT_EQ(got[1].vaddr, VirtAddr{0x04025318});
     EXPECT_TRUE(got[1].write);
-    EXPECT_EQ(got[2].vaddr, 0x0402531cu);
+    EXPECT_EQ(got[2].vaddr, VirtAddr{0x0402531c});
     EXPECT_FALSE(got[2].write);
-    EXPECT_EQ(got[3].vaddr, 0x0402531cu);
+    EXPECT_EQ(got[3].vaddr, VirtAddr{0x0402531c});
     EXPECT_TRUE(got[3].write);
     EXPECT_EQ(res.accesses, 4u);
 }
@@ -119,9 +119,9 @@ TEST_F(TextImporterTest, LackeyBareAddressesAreHex)
     const std::vector<MemAccess> got =
         import({TextTraceFormat::Lackey, false, 0});
     ASSERT_EQ(got.size(), 2u);
-    EXPECT_EQ(got[0].vaddr, 0x04025310u);
+    EXPECT_EQ(got[0].vaddr, VirtAddr{0x04025310});
     EXPECT_FALSE(got[0].write);
-    EXPECT_EQ(got[1].vaddr, 0x10000u);
+    EXPECT_EQ(got[1].vaddr, VirtAddr{0x10000});
     EXPECT_TRUE(got[1].write);
 }
 
@@ -134,10 +134,10 @@ TEST_F(TextImporterTest, ChampSimFormat)
     const std::vector<MemAccess> got =
         import({TextTraceFormat::ChampSim, false, 0});
     ASSERT_EQ(got.size(), 4u);
-    EXPECT_EQ(got[0].vaddr, 0x7f0000001000u);
+    EXPECT_EQ(got[0].vaddr, VirtAddr{0x7f0000001000});
     EXPECT_TRUE(got[1].write);
-    EXPECT_EQ(got[2].vaddr, 0x7f0000001008u);
-    EXPECT_EQ(got[3].vaddr, 0x7f0000003000u);
+    EXPECT_EQ(got[2].vaddr, VirtAddr{0x7f0000001008});
+    EXPECT_EQ(got[3].vaddr, VirtAddr{0x7f0000003000});
 }
 
 TEST_F(TextImporterTest, AutoDetection)
@@ -163,7 +163,7 @@ TEST_F(TextImporterTest, AutoImportUsesDetectedFormat)
         import({TextTraceFormat::Auto, false, 0}, &res);
     EXPECT_EQ(res.format, TextTraceFormat::Lackey);
     ASSERT_EQ(got.size(), 1u);
-    EXPECT_EQ(got[0].vaddr, 0x9000u);
+    EXPECT_EQ(got[0].vaddr, VirtAddr{0x9000});
 }
 
 TEST_F(TextImporterTest, RebaseShiftsToTargetPage)
@@ -180,9 +180,9 @@ TEST_F(TextImporterTest, RebaseShiftsToTargetPage)
     ASSERT_EQ(got.size(), 3u);
     // The lowest touched page lands exactly on rebase_to; page offsets
     // and inter-access distances are preserved.
-    EXPECT_EQ(got[0].vaddr, 0x7f0000000123u);
-    EXPECT_EQ(got[1].vaddr, 0x7f0000001000u);
-    EXPECT_EQ(got[2].vaddr, 0x7f0000004018u);
+    EXPECT_EQ(got[0].vaddr, VirtAddr{0x7f0000000123});
+    EXPECT_EQ(got[1].vaddr, VirtAddr{0x7f0000001000});
+    EXPECT_EQ(got[2].vaddr, VirtAddr{0x7f0000004018});
     EXPECT_EQ(res.min_vaddr, 0x7f0000000123u);
     EXPECT_EQ(res.max_vaddr, 0x7f0000004018u);
     EXPECT_EQ(res.rebase_shift,
@@ -200,7 +200,7 @@ TEST_F(TextImporterTest, RebaseDownwardWorks)
     opts.rebase_to = 0x1000;
     const std::vector<MemAccess> got = import(opts);
     ASSERT_EQ(got.size(), 1u);
-    EXPECT_EQ(got[0].vaddr, 0x1000u);
+    EXPECT_EQ(got[0].vaddr, VirtAddr{0x1000});
 }
 
 TEST_F(TextImporterTest, MalformedLineIsFatal)

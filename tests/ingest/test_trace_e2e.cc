@@ -145,7 +145,8 @@ TEST_F(TraceE2eTest, AllSchemesCounterIdenticalAcrossContainers)
     const PageTable thp = buildPageTable(map, true);
     const std::uint64_t distance =
         selectAnchorDistance(map.contiguityHistogram()).distance;
-    const PageTable anchored = buildAnchorPageTable(map, distance);
+    const PageTable anchored =
+        buildAnchorPageTable(map, AnchorDist::fromPages(distance));
 
     const struct
     {
@@ -235,7 +236,7 @@ TEST_F(TraceE2eTest, UnrebasedTraceIsRejected)
     const std::string low = stem_ + "_low.atlbtrc1";
     {
         TraceWriter w(low);
-        w.append({0x1000, false});
+        w.append({VirtAddr{0x1000}, false});
     }
     const SimOptions opts = testOptions();
     EXPECT_THROW(scaledWorkloadSpec(opts, "trace:" + low),

@@ -78,7 +78,7 @@ class TraceV2Test : public ::testing::Test
               default: va = 0x7f0000000000ULL + (rng() % (1ULL << 34));
                       break;                                // far jump
             }
-            out.push_back({va, (rng() & 1) != 0});
+            out.push_back({VirtAddr{va}, (rng() & 1) != 0});
         }
         return out;
     }
@@ -149,7 +149,7 @@ TEST_F(TraceV2Test, BitPackedBlocksRoundTripAndCompress)
     for (std::size_t i = 0; i < 20'000; ++i) {
         const std::uint64_t va =
             0x100000000ULL + (rng() % (1ULL << 33)) * 8;
-        in.push_back({va, (rng() & 1) != 0});
+        in.push_back({VirtAddr{va}, (rng() & 1) != 0});
     }
     write(in, 1024);
     const std::vector<MemAccess> out = readAll();
@@ -192,8 +192,8 @@ TEST_F(TraceV2Test, TrailerCarriesVaddrBounds)
     std::vector<MemAccess> in = randomStream(500, 11);
     std::uint64_t lo = ~0ULL, hi = 0;
     for (const MemAccess &a : in) {
-        lo = std::min(lo, a.vaddr);
-        hi = std::max(hi, a.vaddr);
+        lo = std::min(lo, a.vaddr.raw());
+        hi = std::max(hi, a.vaddr.raw());
     }
     write(in, 128);
     TraceV2Source src(path_);
@@ -283,10 +283,11 @@ TEST_F(TraceV2Test, BlockStatsMatchIndexAndObserveBothEncodings)
     std::mt19937_64 rng(43);
     std::vector<MemAccess> in;
     for (std::size_t i = 0; i < 2'000; ++i)
-        in.push_back({0x7f0000000000ULL + i * 64, false});
+        in.push_back({VirtAddr{0x7f0000000000ULL + i * 64}, false});
     for (std::size_t i = 0; i < 2'000; ++i)
         in.push_back(
-            {0x100000000ULL + (rng() % (1ULL << 33)) * 8, false});
+            {VirtAddr{0x100000000ULL + (rng() % (1ULL << 33)) * 8},
+             false});
     write(in, 256);
 
     TraceV2Source src(path_);
@@ -367,7 +368,7 @@ TEST_F(TraceV2Test, ConvertFromV1IsStreamEqual)
 TEST_F(TraceV2Test, HugeVaddrIsFatalAtWrite)
 {
     TraceV2Writer w(path_);
-    EXPECT_THROW(w.append({1ULL << 63, false}), std::runtime_error);
+    EXPECT_THROW(w.append({VirtAddr{1ULL << 63}, false}), std::runtime_error);
 }
 
 TEST_F(TraceV2Test, FlippedBlockByteIsFatalAtDecode)

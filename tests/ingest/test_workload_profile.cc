@@ -33,9 +33,9 @@ profileRuns(const std::vector<std::pair<Vpn, std::uint64_t>> &runs)
 TEST(WorkloadProfile, FootprintAndBounds)
 {
     WorkloadProfiler profiler;
-    profiler.record({0x1000, false});
-    profiler.record({0x1008, true});  // same page
-    profiler.record({0x5000, false});
+    profiler.record({VirtAddr{0x1000}, false});
+    profiler.record({VirtAddr{0x1008}, true});  // same page
+    profiler.record({VirtAddr{0x5000}, false});
     const WorkloadProfile p = profiler.profile();
     EXPECT_EQ(p.footprint_pages, 2u);
     EXPECT_EQ(p.footprint_bytes, 2 * pageBytes);
@@ -62,7 +62,7 @@ TEST(WorkloadProfile, ContiguityFindsMaximalVpnRuns)
     // Touched VPNs form runs of 3, 1 and 5 pages (with gaps); access
     // order must not matter, so interleave the runs.
     WorkloadProfiler profiler;
-    const Vpn base = 0x7f0000000ULL;
+    const Vpn base{0x7f0000000ULL};
     for (const Vpn v : {base + 0, base + 10, base + 20, base + 1,
                         base + 21, base + 2, base + 22, base + 23,
                         base + 24, base + 0, base + 21})
@@ -81,18 +81,18 @@ TEST(WorkloadProfile, ContiguityMatchesMemoryMapHistogram)
     // OS derives from its own mapping: map each touched run as one
     // chunk (physically separated so nothing merges) and compare.
     const std::vector<std::pair<Vpn, std::uint64_t>> runs = {
-        {0x7f0000000ULL, 4},
-        {0x7f0000100ULL, 17},
-        {0x7f0000200ULL, 1},
-        {0x7f0000300ULL, 17},
-        {0x7f0000400ULL, 600},
+        {Vpn{0x7f0000000ULL}, 4},
+        {Vpn{0x7f0000100ULL}, 17},
+        {Vpn{0x7f0000200ULL}, 1},
+        {Vpn{0x7f0000300ULL}, 17},
+        {Vpn{0x7f0000400ULL}, 600},
     };
     const WorkloadProfile p = profileRuns(runs);
 
     MemoryMap map;
-    Ppn ppn = 0x1000;
+    Ppn ppn{0x1000};
     for (const auto &[start, len] : runs) {
-        map.add(start, ppn, len);
+        map.add(start, ppn, PageCount{len});
         ppn += len + 7; // gap: chunks must not merge physically
     }
     map.finalize();
@@ -111,7 +111,7 @@ TEST(WorkloadProfile, ContiguityMatchesMemoryMapHistogram)
 TEST(WorkloadProfile, StrideHistogram)
 {
     WorkloadProfiler profiler;
-    const Vpn base = 0x7f0000000ULL;
+    const Vpn base{0x7f0000000ULL};
     profiler.record({vaOf(base), false});
     profiler.record({vaOf(base) + 8, false});   // same page: delta 0
     profiler.record({vaOf(base + 1), false});   // delta 1
@@ -133,7 +133,7 @@ TEST(WorkloadProfile, ConsumeDrainsASource)
         {
             if (i_ >= n_)
                 return false;
-            out = {vaOf(0x7f0000000ULL + i_), false};
+            out = {vaOf(Vpn{0x7f0000000ULL} + i_), false};
             ++i_;
             return true;
         }
@@ -155,7 +155,7 @@ TEST(WorkloadProfile, ConsumeDrainsASource)
 TEST(WorkloadProfile, JsonEmitsAllSections)
 {
     const WorkloadProfile p =
-        profileRuns({{0x7f0000000ULL, 8}, {0x7f0000100ULL, 3}});
+        profileRuns({{Vpn{0x7f0000000ULL}, 8}, {Vpn{0x7f0000100ULL}, 3}});
     std::ostringstream os;
     writeWorkloadProfileJson(os, p);
     const std::string json = os.str();

@@ -55,7 +55,7 @@ struct Segment
 class DifferentialStress : public ::testing::Test
 {
   protected:
-    static constexpr Vpn vaBase = 0x7f0000000ULL;
+    static constexpr Vpn vaBase{0x7f0000000ULL};
     static constexpr std::uint64_t poolPages = 1ULL << 15; // 128MB
 
     Rng rng_{20260807};
@@ -96,7 +96,7 @@ class DifferentialStress : public ::testing::Test
     {
         MemoryMap map;
         for (const Segment &s : segments_)
-            map.add(s.vpn, s.ppn, s.pages());
+            map.add(s.vpn, s.ppn, PageCount{s.pages()});
         map.finalize();
         return map;
     }
@@ -132,13 +132,13 @@ TEST_F(DifferentialStress, TenThousandStepsZeroMismatches)
     std::uint64_t distance =
         selectAnchorDistance(map->contiguityHistogram()).distance;
     auto anchored = std::make_unique<PageTable>(
-        buildAnchorPageTable(*map, distance));
+        buildAnchorPageTable(*map, AnchorDist::fromPages(distance)));
 
     BaselineMmu base(cfg, *plain);
     ColtMmu colt(cfg, *plain);
     ClusterMmu cluster(cfg, *plain, false);
     RmmMmu rmm(cfg, *thp, *map);
-    AnchorMmu anchor(cfg, *anchored, distance);
+    AnchorMmu anchor(cfg, *anchored, AnchorDist::fromPages(distance));
 
     DifferentialOracle oracle(map.get());
     oracle.attach(base);
@@ -169,7 +169,7 @@ TEST_F(DifferentialStress, TenThousandStepsZeroMismatches)
             ++distance_changes;
         distance = next_distance;
         auto next_anchored = std::make_unique<PageTable>(
-            buildAnchorPageTable(*next_map, distance));
+            buildAnchorPageTable(*next_map, AnchorDist::fromPages(distance)));
 
         ProcessContext ctx;
         ctx.table = next_plain.get();
@@ -180,7 +180,7 @@ TEST_F(DifferentialStress, TenThousandStepsZeroMismatches)
         ctx.map = next_map.get();
         rmm.switchProcess(ctx);
         ctx.table = next_anchored.get();
-        ctx.anchor_distance = distance;
+        ctx.anchor_distance = AnchorDist::fromPages(distance);
         anchor.switchProcess(ctx);
 
         // Only now may the previous epoch's structures die.
@@ -276,7 +276,8 @@ TEST(ShardedSeedSweep, SixteenSeedsFiveSchemesConserveCounters)
         const PageTable thp = buildPageTable(map, true);
         const std::uint64_t distance =
             selectAnchorDistance(map.contiguityHistogram()).distance;
-        const PageTable anchored = buildAnchorPageTable(map, distance);
+        const PageTable anchored =
+            buildAnchorPageTable(map, AnchorDist::fromPages(distance));
 
         for (const Scheme scheme : schemes) {
             SCOPED_TRACE(schemeName(scheme));

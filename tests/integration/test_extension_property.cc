@@ -81,14 +81,15 @@ TEST_P(ExtensionProperty, NestedAnchorAlwaysCorrect)
     const MemoryMap guest = makeMap();
     const std::uint64_t d =
         selectAnchorDistance(guest.contiguityHistogram()).distance;
-    PageTable guest_table = buildAnchorPageTable(guest, d);
+    PageTable guest_table =
+        buildAnchorPageTable(guest, AnchorDist::fromPages(d));
 
-    Ppn max_gpa = 0;
+    Ppn max_gpa{0};
     for (const Chunk &c : guest.chunks())
         max_gpa = std::max(max_gpa, c.ppn + c.pages);
     ScenarioParams hp;
-    hp.footprint_pages = max_gpa + 8;
-    hp.va_base = 0;
+    hp.footprint_pages = max_gpa.raw() + 8;
+    hp.va_base = Vpn{0};
     hp.seed = 17;
     hp.demand_run_pages = 64;
     hp.eager_run_pages = 64;
@@ -96,7 +97,7 @@ TEST_P(ExtensionProperty, NestedAnchorAlwaysCorrect)
     const PageTable host_table = buildPageTable(host_map, true);
 
     MmuConfig cfg;
-    AnchorMmu mmu(cfg, guest_table, d);
+    AnchorMmu mmu(cfg, guest_table, AnchorDist::fromPages(d));
     mmu.setNested(&host_table, &host_map);
 
     Rng rng(321);
@@ -106,7 +107,8 @@ TEST_P(ExtensionProperty, NestedAnchorAlwaysCorrect)
         const Vpn vpn = lo + rng.nextBounded(hi - lo);
         if (!guest.mapped(vpn))
             continue;
-        const Ppn expect = host_map.translate(guest.translate(vpn));
+        const Ppn expect =
+            host_map.translate(hostVpnOf(guest.translate(vpn)));
         ASSERT_EQ(mmu.translate(vaOf(vpn)).ppn, expect)
             << "vpn offset " << vpn - lo;
     }

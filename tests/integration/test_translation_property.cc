@@ -80,8 +80,9 @@ TEST_P(TranslationProperty, AllTranslationsMatchTheMapping)
         const std::uint64_t d =
             selectAnchorDistance(map.contiguityHistogram()).distance;
         table = std::make_unique<PageTable>(
-            buildAnchorPageTable(map, d));
-        mmu = std::make_unique<AnchorMmu>(cfg, *table, d);
+            buildAnchorPageTable(map, AnchorDist::fromPages(d)));
+        mmu = std::make_unique<AnchorMmu>(cfg, *table,
+                                          AnchorDist::fromPages(d));
         break;
       }
     }
@@ -140,9 +141,10 @@ TEST_P(AnchorDistanceProperty, CorrectAtEveryDistance)
     sp.footprint_pages = 5000;
     sp.seed = 11;
     const MemoryMap map = buildScenario(ScenarioKind::MedContig, sp);
-    PageTable table = buildAnchorPageTable(map, d);
+    PageTable table =
+        buildAnchorPageTable(map, AnchorDist::fromPages(d));
     MmuConfig cfg;
-    AnchorMmu mmu(cfg, table, d);
+    AnchorMmu mmu(cfg, table, AnchorDist::fromPages(d));
 
     Rng rng(99);
     for (int i = 0; i < 20000; ++i) {

@@ -37,7 +37,7 @@ TEST(Buddy, AllocateReturnsAlignedBlocks)
     for (unsigned order = 0; order <= 10; ++order) {
         const Ppn base = b.allocate(order);
         ASSERT_NE(base, invalidPpn);
-        EXPECT_EQ(base & ((1ULL << order) - 1), 0u)
+        EXPECT_EQ(base.raw() & ((1ULL << order) - 1), 0u)
             << "order " << order << " base " << base;
     }
     EXPECT_TRUE(b.checkInvariants());
@@ -46,9 +46,9 @@ TEST(Buddy, AllocateReturnsAlignedBlocks)
 TEST(Buddy, AllocateLowestAddressFirst)
 {
     BuddyAllocator b(1 << 12);
-    EXPECT_EQ(b.allocate(0), 0u);
-    EXPECT_EQ(b.allocate(0), 1u);
-    EXPECT_EQ(b.allocate(0), 2u);
+    EXPECT_EQ(b.allocate(0), Ppn{0});
+    EXPECT_EQ(b.allocate(0), Ppn{1});
+    EXPECT_EQ(b.allocate(0), Ppn{2});
 }
 
 TEST(Buddy, SequentialPagesAreAdjacent)
@@ -82,7 +82,7 @@ TEST(Buddy, FreeCoalescesBuddies)
     BuddyAllocator b(1 << 10, 10);
     const Ppn a0 = b.allocate(0);
     const Ppn a1 = b.allocate(0);
-    ASSERT_EQ(a1, a0 ^ 1); // buddies
+    ASSERT_EQ(a1, Ppn{a0.raw() ^ 1}); // buddies
     b.free(a0, 0);
     b.free(a1, 0);
     EXPECT_EQ(b.freePages(), 1u << 10);

@@ -13,7 +13,7 @@ namespace atlb::test
 {
 
 /** 2MB-aligned VPN base used across MMU tests. */
-constexpr Vpn baseVpn = 0x7f0000000ULL;
+constexpr Vpn baseVpn{0x7f0000000ULL};
 
 /** Byte address of a VPN offset from baseVpn. */
 inline VirtAddr
@@ -33,10 +33,11 @@ inline MemoryMap
 makeVariedMap()
 {
     MemoryMap m;
-    m.add(baseVpn + 0, 0x1000, 8);
-    m.add(baseVpn + 512, 0x20000 + 512, 1024); // congruent mod 512
-    m.add(baseVpn + 4096, 0x80007, 100);
-    m.add(baseVpn + 8192, 0x90001, 3);
+    m.add(baseVpn + 0, Ppn{0x1000}, PageCount{8});
+    m.add(baseVpn + 512, Ppn{0x20000 + 512},
+          PageCount{1024}); // congruent mod 512
+    m.add(baseVpn + 4096, Ppn{0x80007}, PageCount{100});
+    m.add(baseVpn + 8192, Ppn{0x90001}, PageCount{3});
     m.finalize();
     return m;
 }

@@ -53,7 +53,7 @@ TEST_F(ClusterMmuTest, SingletonRunFillsRegularEntry)
     // only those 3; a group with a 1-page neighbourhood still clusters
     // if >= 2 coalesce. Build a truly-isolated page instead.
     MemoryMap m;
-    m.add(baseVpn, 0x5000, 1);
+    m.add(baseVpn, Ppn{0x5000}, PageCount{1});
     m.finalize();
     PageTable t = buildPageTable(m, false);
     ClusterMmu mmu(cfg_, t, false);
@@ -72,7 +72,8 @@ TEST_F(ClusterMmuTest, PartialGroupCoalesces)
     // Page +8195 is unmapped; nothing to test there. The cluster entry
     // must not claim it: verified via the bitmap (aux).
     const TlbEntry *e =
-        mmu.clusterTlb().probe(EntryKind::Cluster, (baseVpn + 8192) / 8);
+        mmu.clusterTlb().probe(EntryKind::Cluster,
+                               TlbKey{(baseVpn + 8192).raw() / 8});
     ASSERT_NE(e, nullptr);
     EXPECT_EQ(e->aux, 0b111u);
 }
@@ -116,8 +117,8 @@ TEST_F(ClusterMmuTest, Cluster2MBCaches2MEntries)
     // A far-away page of the same huge page: L1 2M already covers it;
     // evict L1 by touching other 2M regions is overkill — instead check
     // the regular TLB got a 2M entry.
-    const TlbEntry *e = mmu.regularTlb().probe(EntryKind::Page2M,
-                                               (baseVpn + 512) >> 9);
+    const TlbEntry *e = mmu.regularTlb().probe(
+        EntryKind::Page2M, TlbKey{(baseVpn + 512).raw() >> 9});
     ASSERT_NE(e, nullptr);
     EXPECT_EQ(e->ppn, map_.translate(baseVpn + 512));
 }

@@ -65,7 +65,7 @@ TEST_F(ColtMmuTest, ShortRunGoesToSaPart)
 TEST_F(ColtMmuTest, SingletonGoesToRegular)
 {
     MemoryMap m;
-    m.add(baseVpn, 0x5000, 1);
+    m.add(baseVpn, Ppn{0x5000}, PageCount{1});
     m.finalize();
     PageTable t = buildPageTable(m, false);
     ColtMmu mmu(cfg_, t);
@@ -91,7 +91,8 @@ TEST_F(ColtMmuTest, FaCapacityThrashes)
     // points out.
     MemoryMap m;
     for (std::uint64_t i = 0; i < 64; ++i)
-        m.add(baseVpn + i * 128, 0x100000 + i * 256, 64);
+        m.add(baseVpn + i * 128, Ppn{0x100000 + i * 256},
+              PageCount{64});
     m.finalize();
     PageTable t = buildPageTable(m, false);
     ColtMmu mmu(cfg_, t);

@@ -24,7 +24,8 @@ MemoryMap
 giantMap()
 {
     MemoryMap m;
-    m.add(baseVpn, baseVpn + (1ULL << 30), 4 * giantPages);
+    m.add(baseVpn, Ppn{baseVpn.raw() + (1ULL << 30)},
+          PageCount{4 * giantPages});
     m.finalize();
     return m;
 }
@@ -37,7 +38,7 @@ TEST(GiantPages, EligibilityRequiresAlignmentAndSpan)
     EXPECT_FALSE(m.giantEligible(baseVpn + 4 * giantPages));
 
     MemoryMap small;
-    small.add(baseVpn, 0x40000, giantPages / 2);
+    small.add(baseVpn, Ppn{0x40000}, PageCount{giantPages / 2});
     small.finalize();
     EXPECT_FALSE(small.giantEligible(baseVpn));
 }
@@ -69,7 +70,8 @@ TEST(GiantPages, MisalignedChunkFallsBackTo2M)
 {
     MemoryMap m;
     // Congruent mod 512 but not mod 2^18.
-    m.add(baseVpn, baseVpn + 512, 2 * giantPages);
+    m.add(baseVpn, Ppn{baseVpn.raw() + 512},
+          PageCount{2 * giantPages});
     m.finalize();
     const PageTable t = buildPageTable(m, true, true);
     EXPECT_EQ(t.mapped1G(), 0u);

@@ -31,7 +31,8 @@ Ppn
 combined(const MemoryMap &guest, const MemoryMap &host, Vpn vpn)
 {
     const Ppn gpa = guest.translate(vpn);
-    return gpa == invalidPpn ? invalidPpn : host.translate(gpa);
+    return gpa == invalidPpn ? invalidPpn
+                             : host.translate(hostVpnOf(gpa));
 }
 
 /** Host environment covering all GPAs of @p guest. */
@@ -44,12 +45,12 @@ struct HostEnv
 HostEnv
 makeHost(const MemoryMap &guest, ScenarioKind kind, std::uint64_t seed)
 {
-    Ppn max_gpa = 0;
+    Ppn max_gpa{0};
     for (const Chunk &c : guest.chunks())
         max_gpa = std::max(max_gpa, c.ppn + c.pages);
     ScenarioParams p;
-    p.footprint_pages = max_gpa + 8;
-    p.va_base = 0; // GPA space starts at zero
+    p.footprint_pages = max_gpa.raw() + 8;
+    p.va_base = Vpn{0}; // GPA space starts at zero
     p.seed = seed;
     HostEnv env;
     env.map = buildScenario(kind, p);
@@ -119,28 +120,28 @@ TEST(Nested, AnchorCoverageClippedByHostRun)
     // Guest: one 16-page run. Host: breaks the corresponding GPA run
     // after 6 pages.
     MemoryMap guest;
-    guest.add(baseVpn, 1000, 16);
+    guest.add(baseVpn, Ppn{1000}, PageCount{16});
     guest.finalize();
-    PageTable guest_table = buildAnchorPageTable(guest, 16);
+    PageTable guest_table = buildAnchorPageTable(guest, AnchorDist::fromPages(16));
 
     MemoryMap host_map;
-    host_map.add(994, 0x5000, 12);  // GPAs 1000..1005 in run one
-    host_map.add(1006, 0x8000, 20); // GPAs 1006.. in another
+    host_map.add(Vpn{994}, Ppn{0x5000}, PageCount{12});  // GPAs 1000..1005 in run one
+    host_map.add(Vpn{1006}, Ppn{0x8000}, PageCount{20}); // GPAs 1006.. in another
     host_map.finalize();
     PageTable host_table = buildPageTable(host_map, false);
 
     MmuConfig cfg;
-    AnchorMmu mmu(cfg, guest_table, 16);
+    AnchorMmu mmu(cfg, guest_table, AnchorDist::fromPages(16));
     mmu.setNested(&host_table, &host_map);
 
     // Walk page 0: the guest anchor claims 16 pages but the host run
     // from GPA 1000 covers only 6; the cached anchor must be clipped.
     mmu.translate(va(0));
     EXPECT_EQ(mmu.translate(va(5)).level, HitLevel::Coalesced);
-    EXPECT_EQ(mmu.translate(va(5)).ppn, 0x5000u + 11);
+    EXPECT_EQ(mmu.translate(va(5)).ppn, Ppn{0x5000 + 11});
     const TranslationResult beyond = mmu.translate(va(6));
     EXPECT_EQ(beyond.level, HitLevel::PageWalk) << "host break crossed";
-    EXPECT_EQ(beyond.ppn, 0x8000u);
+    EXPECT_EQ(beyond.ppn, Ppn{0x8000});
 }
 
 TEST(Nested, AnchorRandomAccessAlwaysCorrect)
@@ -151,11 +152,11 @@ TEST(Nested, AnchorRandomAccessAlwaysCorrect)
     const MemoryMap guest = buildScenario(ScenarioKind::MedContig, gp);
     const std::uint64_t d =
         selectAnchorDistance(guest.contiguityHistogram()).distance;
-    PageTable guest_table = buildAnchorPageTable(guest, d);
+    PageTable guest_table = buildAnchorPageTable(guest, AnchorDist::fromPages(d));
     const HostEnv host = makeHost(guest, ScenarioKind::MedContig, 13);
 
     MmuConfig cfg;
-    AnchorMmu mmu(cfg, guest_table, d);
+    AnchorMmu mmu(cfg, guest_table, AnchorDist::fromPages(d));
     mmu.setNested(&host.table, &host.map);
 
     Rng rng(17);

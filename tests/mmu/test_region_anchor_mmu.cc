@@ -129,8 +129,10 @@ TEST_F(RegionAnchorMmuTest, CrossRegionAnchorsNeverUsed)
     // First page of the big-run region whose aligned anchor VPN is
     // below the region start.
     Vpn probe = invalidVpn;
-    for (Vpn v = runs.begin; v < runs.begin + runs.distance; ++v) {
-        if (map_.mapped(v) && (v & ~(runs.distance - 1)) < runs.begin) {
+    for (Vpn v = runs.begin; v < runs.begin + runs.distance.pages();
+         ++v) {
+        if (map_.mapped(v) &&
+            v.alignDown(runs.distance.pages()) < runs.begin) {
             probe = v;
             break;
         }

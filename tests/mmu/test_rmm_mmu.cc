@@ -112,7 +112,8 @@ TEST_F(RmmMmuTest, ThirtyTwoEntryCapacityThrashes)
     // the 32-entry FA range TLB cannot hold them all.
     MemoryMap m;
     for (std::uint64_t i = 0; i < 64; ++i)
-        m.add(baseVpn + i * 128, 0x100000 + i * 256, 64);
+        m.add(baseVpn + i * 128, Ppn{0x100000 + i * 256},
+              PageCount{64});
     m.finalize();
     PageTable t = buildPageTable(m, false);
     MmuConfig cfg;

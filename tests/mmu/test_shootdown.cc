@@ -33,12 +33,12 @@ MemoryMap
 runMap()
 {
     MemoryMap m;
-    m.add(baseVpn, 0x9000, 16);
+    m.add(baseVpn, Ppn{0x9000}, PageCount{16});
     m.finalize();
     return m;
 }
 
-constexpr Ppn migrated = 0x4444;
+constexpr Ppn migrated{0x4444};
 
 TEST(Shootdown, BaselineL1AndL2)
 {
@@ -61,9 +61,9 @@ TEST(Shootdown, BaselineL1AndL2)
 TEST(Shootdown, AnchorEntryCoveringThePageDies)
 {
     const MemoryMap m = runMap();
-    PageTable t = buildAnchorPageTable(m, 8);
+    PageTable t = buildAnchorPageTable(m, AnchorDist::fromPages(8));
     MmuConfig cfg;
-    AnchorMmu mmu(cfg, t, 8);
+    AnchorMmu mmu(cfg, t, AnchorDist::fromPages(8));
     // Cache the anchor for block [0,8) and hit through it.
     mmu.translate(va(0));
     EXPECT_EQ(mmu.translate(va(5)).level, HitLevel::Coalesced);
@@ -71,7 +71,7 @@ TEST(Shootdown, AnchorEntryCoveringThePageDies)
     // OS migrates page 5: run is broken at 5. Update the PTE and the
     // anchor's contiguity, then shoot the page down.
     t.remap4K(baseVpn + 5, migrated);
-    t.setAnchorContiguity(baseVpn, 5, 8);
+    t.setAnchorContiguity(baseVpn, 5, AnchorDist::fromPages(8));
     mmu.invalidatePage(baseVpn + 5);
 
     // Without the anchor invalidation, the stale cached anchor (contig
@@ -136,15 +136,15 @@ TEST(Shootdown, ColtFaRunCoveringThePageDies)
 TEST(Shootdown, UnrelatedPagesKeepTheirEntries)
 {
     const MemoryMap m = runMap();
-    PageTable t = buildAnchorPageTable(m, 8);
+    PageTable t = buildAnchorPageTable(m, AnchorDist::fromPages(8));
     MmuConfig cfg;
-    AnchorMmu mmu(cfg, t, 8);
+    AnchorMmu mmu(cfg, t, AnchorDist::fromPages(8));
     mmu.translate(va(0));  // anchor for block [0,8)
     mmu.translate(va(8));  // anchor for block [8,16)
     const std::uint64_t walks = mmu.stats().page_walks;
 
     t.remap4K(baseVpn + 2, migrated);
-    t.setAnchorContiguity(baseVpn, 2, 8);
+    t.setAnchorContiguity(baseVpn, 2, AnchorDist::fromPages(8));
     mmu.invalidatePage(baseVpn + 2);
 
     // Block [8,16)'s anchor must have survived: no new walk.

@@ -14,14 +14,14 @@ namespace atlb
 namespace
 {
 
-constexpr Vpn base = 0x7f0000000ULL;
+constexpr Vpn base{0x7f0000000ULL};
 
 MemoryMap
 twoChunkMap()
 {
     MemoryMap m;
-    m.add(base, 0x1000, 64);
-    m.add(base + 1000, 0x9000, 4096);
+    m.add(base, Ppn{0x1000}, PageCount{64});
+    m.add(base + 1000, Ppn{0x9000}, PageCount{4096});
     m.finalize();
     return m;
 }

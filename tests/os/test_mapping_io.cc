@@ -28,8 +28,8 @@ TEST_F(MappingIoTest, ParsesDecimalAndHex)
 {
     std::istringstream in("100 1000 10\n0x200 0x4000 0x20\n");
     const MemoryMap m = readMappingText(in, "test");
-    EXPECT_EQ(m.translate(105), 1005u);
-    EXPECT_EQ(m.translate(0x210), 0x4010u);
+    EXPECT_EQ(m.translate(Vpn{105}), Ppn{1005u});
+    EXPECT_EQ(m.translate(Vpn{0x210}), Ppn{0x4010u});
     EXPECT_EQ(m.mappedPages(), 10u + 0x20);
 }
 
@@ -39,7 +39,7 @@ TEST_F(MappingIoTest, IgnoresCommentsAndBlankLines)
         "# header comment\n\n100 1000 4   # trailing comment\n\n");
     const MemoryMap m = readMappingText(in, "test");
     EXPECT_EQ(m.chunks().size(), 1u);
-    EXPECT_EQ(m.translate(102), 1002u);
+    EXPECT_EQ(m.translate(Vpn{102}), Ppn{1002u});
 }
 
 TEST_F(MappingIoTest, RoundTripPreservesChunks)

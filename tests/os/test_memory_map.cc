@@ -15,56 +15,64 @@ namespace atlb
 namespace
 {
 
+/** Raw-argument shorthand: the tests enumerate many small mappings. */
+void
+add(MemoryMap &m, std::uint64_t vpn, std::uint64_t ppn,
+    std::uint64_t pages)
+{
+    m.add(Vpn{vpn}, Ppn{ppn}, PageCount{pages});
+}
+
 TEST(MemoryMap, LookupInsideChunk)
 {
     MemoryMap m;
-    m.add(100, 1000, 10);
+    add(m, 100, 1000, 10);
     m.finalize();
-    EXPECT_EQ(m.translate(100), 1000u);
-    EXPECT_EQ(m.translate(105), 1005u);
-    EXPECT_EQ(m.translate(109), 1009u);
+    EXPECT_EQ(m.translate(Vpn{100}), Ppn{1000});
+    EXPECT_EQ(m.translate(Vpn{105}), Ppn{1005});
+    EXPECT_EQ(m.translate(Vpn{109}), Ppn{1009});
 }
 
 TEST(MemoryMap, UnmappedReturnsInvalid)
 {
     MemoryMap m;
-    m.add(100, 1000, 10);
+    add(m, 100, 1000, 10);
     m.finalize();
-    EXPECT_EQ(m.translate(99), invalidPpn);
-    EXPECT_EQ(m.translate(110), invalidPpn);
-    EXPECT_FALSE(m.mapped(0));
-    EXPECT_TRUE(m.mapped(104));
+    EXPECT_EQ(m.translate(Vpn{99}), invalidPpn);
+    EXPECT_EQ(m.translate(Vpn{110}), invalidPpn);
+    EXPECT_FALSE(m.mapped(Vpn{0}));
+    EXPECT_TRUE(m.mapped(Vpn{104}));
 }
 
 TEST(MemoryMap, OutOfOrderAddsSorted)
 {
     MemoryMap m;
-    m.add(500, 90, 5);
-    m.add(100, 10, 5);
-    m.add(300, 50, 5);
+    add(m, 500, 90, 5);
+    add(m, 100, 10, 5);
+    add(m, 300, 50, 5);
     m.finalize();
     ASSERT_EQ(m.chunks().size(), 3u);
-    EXPECT_EQ(m.chunks()[0].vpn, 100u);
-    EXPECT_EQ(m.chunks()[1].vpn, 300u);
-    EXPECT_EQ(m.chunks()[2].vpn, 500u);
+    EXPECT_EQ(m.chunks()[0].vpn, Vpn{100});
+    EXPECT_EQ(m.chunks()[1].vpn, Vpn{300});
+    EXPECT_EQ(m.chunks()[2].vpn, Vpn{500});
 }
 
 TEST(MemoryMap, MergesVaPaAdjacentChunks)
 {
     MemoryMap m;
-    m.add(100, 1000, 10);
-    m.add(110, 1010, 5); // VA and PA adjacent -> merge
+    add(m, 100, 1000, 10);
+    add(m, 110, 1010, 5); // VA and PA adjacent -> merge
     m.finalize();
     ASSERT_EQ(m.chunks().size(), 1u);
     EXPECT_EQ(m.chunks()[0].pages, 15u);
-    EXPECT_EQ(m.translate(114), 1014u);
+    EXPECT_EQ(m.translate(Vpn{114}), Ppn{1014});
 }
 
 TEST(MemoryMap, DoesNotMergePaDiscontiguous)
 {
     MemoryMap m;
-    m.add(100, 1000, 10);
-    m.add(110, 2000, 5); // VA adjacent, PA not
+    add(m, 100, 1000, 10);
+    add(m, 110, 2000, 5); // VA adjacent, PA not
     m.finalize();
     EXPECT_EQ(m.chunks().size(), 2u);
 }
@@ -72,30 +80,30 @@ TEST(MemoryMap, DoesNotMergePaDiscontiguous)
 TEST(MemoryMap, DoesNotMergeVaGapped)
 {
     MemoryMap m;
-    m.add(100, 1000, 10);
-    m.add(111, 1011, 5); // VA gap of one page
+    add(m, 100, 1000, 10);
+    add(m, 111, 1011, 5); // VA gap of one page
     m.finalize();
     EXPECT_EQ(m.chunks().size(), 2u);
-    EXPECT_FALSE(m.mapped(110));
+    EXPECT_FALSE(m.mapped(Vpn{110}));
 }
 
 TEST(MemoryMap, ContiguityFromIsChunkSuffix)
 {
     MemoryMap m;
-    m.add(100, 1000, 10);
+    add(m, 100, 1000, 10);
     m.finalize();
-    EXPECT_EQ(m.contiguityFrom(100), 10u);
-    EXPECT_EQ(m.contiguityFrom(105), 5u);
-    EXPECT_EQ(m.contiguityFrom(109), 1u);
-    EXPECT_EQ(m.contiguityFrom(110), 0u);
-    EXPECT_EQ(m.contiguityFrom(50), 0u);
+    EXPECT_EQ(m.contiguityFrom(Vpn{100}), 10u);
+    EXPECT_EQ(m.contiguityFrom(Vpn{105}), 5u);
+    EXPECT_EQ(m.contiguityFrom(Vpn{109}), 1u);
+    EXPECT_EQ(m.contiguityFrom(Vpn{110}), 0u);
+    EXPECT_EQ(m.contiguityFrom(Vpn{50}), 0u);
 }
 
 TEST(MemoryMap, MappedPagesAccumulates)
 {
     MemoryMap m;
-    m.add(0, 0, 4);
-    m.add(100, 100, 6);
+    add(m, 0, 0, 4);
+    add(m, 100, 100, 6);
     m.finalize();
     EXPECT_EQ(m.mappedPages(), 10u);
 }
@@ -104,47 +112,47 @@ TEST(MemoryMap, HugeEligibleRequiresAlignmentAndSpan)
 {
     MemoryMap m;
     // Chunk covers VA [512, 1536), PA congruent mod 512.
-    m.add(512, 512 + 512 * 7, 1024);
+    add(m, 512, 512 + 512 * 7, 1024);
     m.finalize();
-    EXPECT_TRUE(m.hugeEligible(512));
-    EXPECT_TRUE(m.hugeEligible(700));  // inside first aligned block
-    EXPECT_TRUE(m.hugeEligible(1024)); // second block
-    EXPECT_FALSE(m.hugeEligible(1536));
+    EXPECT_TRUE(m.hugeEligible(Vpn{512}));
+    EXPECT_TRUE(m.hugeEligible(Vpn{700}));  // inside first aligned block
+    EXPECT_TRUE(m.hugeEligible(Vpn{1024})); // second block
+    EXPECT_FALSE(m.hugeEligible(Vpn{1536}));
 }
 
 TEST(MemoryMap, HugeIneligibleWhenPaMisaligned)
 {
     MemoryMap m;
-    m.add(512, 513, 1024); // PA not congruent mod 512
+    add(m, 512, 513, 1024); // PA not congruent mod 512
     m.finalize();
-    EXPECT_FALSE(m.hugeEligible(512));
-    EXPECT_FALSE(m.hugeEligible(1024));
+    EXPECT_FALSE(m.hugeEligible(Vpn{512}));
+    EXPECT_FALSE(m.hugeEligible(Vpn{1024}));
 }
 
 TEST(MemoryMap, HugeIneligibleWhenBlockCrossesChunkEnd)
 {
     MemoryMap m;
-    m.add(512, 512, 700); // ends mid-second-block at VA 1212
+    add(m, 512, 512, 700); // ends mid-second-block at VA 1212
     m.finalize();
-    EXPECT_TRUE(m.hugeEligible(512));
-    EXPECT_FALSE(m.hugeEligible(1024));
+    EXPECT_TRUE(m.hugeEligible(Vpn{512}));
+    EXPECT_FALSE(m.hugeEligible(Vpn{1024}));
 }
 
 TEST(MemoryMap, HugeIneligibleWhenBlockStartUnmapped)
 {
     MemoryMap m;
-    m.add(600, 600, 1000); // block [512, 1024) not fully mapped
+    add(m, 600, 600, 1000); // block [512, 1024) not fully mapped
     m.finalize();
-    EXPECT_FALSE(m.hugeEligible(600));
-    EXPECT_TRUE(m.hugeEligible(1024));
+    EXPECT_FALSE(m.hugeEligible(Vpn{600}));
+    EXPECT_TRUE(m.hugeEligible(Vpn{1024}));
 }
 
 TEST(MemoryMap, ContiguityHistogramCountsRuns)
 {
     MemoryMap m;
-    m.add(0, 0, 4);
-    m.add(100, 200, 4);
-    m.add(200, 400, 16);
+    add(m, 0, 0, 4);
+    add(m, 100, 200, 4);
+    add(m, 200, 400, 16);
     m.finalize();
     const Histogram h = m.contiguityHistogram();
     EXPECT_EQ(h.count(4), 2u);
@@ -163,22 +171,22 @@ class MemoryMapErrors : public ::testing::Test
 TEST_F(MemoryMapErrors, OverlapPanicsAtFinalize)
 {
     MemoryMap m;
-    m.add(100, 0, 10);
-    m.add(105, 50, 10);
+    add(m, 100, 0, 10);
+    add(m, 105, 50, 10);
     EXPECT_THROW(m.finalize(), std::logic_error);
 }
 
 TEST_F(MemoryMapErrors, LookupBeforeFinalizePanics)
 {
     MemoryMap m;
-    m.add(0, 0, 1);
-    EXPECT_THROW(m.translate(0), std::logic_error);
+    add(m, 0, 0, 1);
+    EXPECT_THROW(m.translate(Vpn{0}), std::logic_error);
 }
 
 TEST_F(MemoryMapErrors, DoubleFinalizePanics)
 {
     MemoryMap m;
-    m.add(0, 0, 1);
+    add(m, 0, 0, 1);
     m.finalize();
     EXPECT_THROW(m.finalize(), std::logic_error);
 }
@@ -186,9 +194,9 @@ TEST_F(MemoryMapErrors, DoubleFinalizePanics)
 TEST_F(MemoryMapErrors, AddAfterFinalizePanics)
 {
     MemoryMap m;
-    m.add(0, 0, 1);
+    add(m, 0, 0, 1);
     m.finalize();
-    EXPECT_THROW(m.add(10, 10, 1), std::logic_error);
+    EXPECT_THROW(add(m, 10, 10, 1), std::logic_error);
 }
 
 } // namespace

@@ -17,41 +17,48 @@ namespace atlb
 namespace
 {
 
-constexpr Vpn base = 0x7f0000000ULL; // 2MB-aligned test VPN base
+constexpr Vpn base{0x7f0000000ULL}; // 2MB-aligned test VPN base
+
+/** Shorthand for the test's anchor distances. */
+AnchorDist
+dist(std::uint64_t pages)
+{
+    return AnchorDist::fromPages(pages);
+}
 
 TEST(Pte, FieldRoundTrip)
 {
-    const std::uint64_t e = pte::make(0x12345, false);
+    const std::uint64_t e = pte::make(Ppn{0x12345}, false);
     EXPECT_TRUE(pte::present(e));
     EXPECT_FALSE(pte::huge(e));
-    EXPECT_EQ(pte::pfn(e), 0x12345u);
+    EXPECT_EQ(pte::pfn(e), Ppn{0x12345});
 }
 
 TEST(Pte, HugeFieldRoundTrip)
 {
-    const std::uint64_t e = pte::make(0x2000, true);
+    const std::uint64_t e = pte::make(Ppn{0x2000}, true);
     EXPECT_TRUE(pte::present(e));
     EXPECT_TRUE(pte::huge(e));
-    EXPECT_EQ(pte::hugePfn(e), 0x2000u);
+    EXPECT_EQ(pte::hugePfn(e), Ppn{0x2000});
 }
 
 TEST(Pte, ContigByteDoesNotDisturbPfn)
 {
-    std::uint64_t e = pte::make(0xabcdef, false);
+    std::uint64_t e = pte::make(Ppn{0xabcdef}, false);
     e = pte::withContigByte(e, 0x5a);
-    EXPECT_EQ(pte::pfn(e), 0xabcdefu);
+    EXPECT_EQ(pte::pfn(e), Ppn{0xabcdef});
     EXPECT_EQ(pte::contigByte(e), 0x5a);
     e = pte::withContigByte(e, 0);
     EXPECT_EQ(pte::contigByte(e), 0);
-    EXPECT_EQ(pte::pfn(e), 0xabcdefu);
+    EXPECT_EQ(pte::pfn(e), Ppn{0xabcdef});
 }
 
 TEST(Pte, HugeContigByteCoexistsWithHugePfn)
 {
-    std::uint64_t e = pte::make(0x2000, true); // 2MB-aligned frame
+    std::uint64_t e = pte::make(Ppn{0x2000}, true); // 2MB-aligned frame
     e = pte::withHugeContigByte(e, 0xff);
     e = pte::withContigByte(e, 0xee);
-    EXPECT_EQ(pte::hugePfn(e), 0x2000u);
+    EXPECT_EQ(pte::hugePfn(e), Ppn{0x2000});
     EXPECT_EQ(pte::hugeContigByte(e), 0xff);
     EXPECT_EQ(pte::contigByte(e), 0xee);
     EXPECT_TRUE(pte::huge(e));
@@ -61,16 +68,16 @@ TEST(PageTable, WalkUnmappedMisses)
 {
     PageTable t;
     EXPECT_FALSE(t.walk(base).present);
-    EXPECT_FALSE(t.walk(0).present);
+    EXPECT_FALSE(t.walk(Vpn{0}).present);
 }
 
 TEST(PageTable, Map4KWalk)
 {
     PageTable t;
-    t.map4K(base + 5, 777);
+    t.map4K(base + 5, Ppn{777});
     const WalkResult w = t.walk(base + 5);
     EXPECT_TRUE(w.present);
-    EXPECT_EQ(w.ppn, 777u);
+    EXPECT_EQ(w.ppn, Ppn{777});
     EXPECT_EQ(w.size, PageSize::Base4K);
     EXPECT_FALSE(t.walk(base + 4).present);
     EXPECT_FALSE(t.walk(base + 6).present);
@@ -80,11 +87,11 @@ TEST(PageTable, Map4KWalk)
 TEST(PageTable, Map2MWalkCoversBlock)
 {
     PageTable t;
-    t.map2M(base, 512 * 9);
+    t.map2M(base, Ppn{512 * 9});
     for (const std::uint64_t off : {0ULL, 1ULL, 255ULL, 511ULL}) {
         const WalkResult w = t.walk(base + off);
         ASSERT_TRUE(w.present);
-        EXPECT_EQ(w.ppn, 512 * 9 + off);
+        EXPECT_EQ(w.ppn, Ppn{512 * 9} + off);
         EXPECT_EQ(w.size, PageSize::Huge2M);
     }
     EXPECT_FALSE(t.walk(base + 512).present);
@@ -94,17 +101,17 @@ TEST(PageTable, Map2MWalkCoversBlock)
 TEST(PageTable, MixedSizesCoexist)
 {
     PageTable t;
-    t.map2M(base, 512 * 4);
-    t.map4K(base + 512, 99);
+    t.map2M(base, Ppn{512 * 4});
+    t.map4K(base + 512, Ppn{99});
     EXPECT_EQ(t.walk(base + 100).size, PageSize::Huge2M);
     EXPECT_EQ(t.walk(base + 512).size, PageSize::Base4K);
-    EXPECT_EQ(t.walk(base + 512).ppn, 99u);
+    EXPECT_EQ(t.walk(base + 512).ppn, Ppn{99});
 }
 
 TEST(PageTable, MoveSemantics)
 {
     PageTable t;
-    t.map4K(base, 1);
+    t.map4K(base, Ppn{1});
     PageTable u = std::move(t);
     EXPECT_TRUE(u.walk(base).present);
 }
@@ -120,12 +127,12 @@ TEST_P(AnchorEncoding, RoundTripAt4KEntries)
     PageTable t;
     // Map a run long enough to hold the anchor and its neighbour.
     for (Vpn v = base; v < base + 4; ++v)
-        t.map4K(v, 5000 + (v - base));
-    t.setAnchorContiguity(base, contig, distance);
-    EXPECT_EQ(t.anchorContiguity(base, distance), contig);
+        t.map4K(v, Ppn{5000 + (v - base)});
+    t.setAnchorContiguity(base, contig, dist(distance));
+    EXPECT_EQ(t.anchorContiguity(base, dist(distance)), contig);
     // PFNs must be undisturbed by the encoding.
-    EXPECT_EQ(t.walk(base).ppn, 5000u);
-    EXPECT_EQ(t.walk(base + 1).ppn, 5001u);
+    EXPECT_EQ(t.walk(base).ppn, Ppn{5000});
+    EXPECT_EQ(t.walk(base + 1).ppn, Ppn{5001});
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -145,99 +152,99 @@ TEST(PageTableAnchor, HighByteLivesInNeighbourEntry)
 {
     PageTable t;
     for (Vpn v = base; v < base + 2; ++v)
-        t.map4K(v, 100 + (v - base));
+        t.map4K(v, Ppn{100 + (v - base)});
     // Contiguity 300 with distance 512 needs the neighbour's byte.
-    t.setAnchorContiguity(base, 300, 512);
-    EXPECT_EQ(t.anchorContiguity(base, 512), 300u);
+    t.setAnchorContiguity(base, 300, dist(512));
+    EXPECT_EQ(t.anchorContiguity(base, dist(512)), 300u);
     // The neighbour entry still translates normally.
-    EXPECT_EQ(t.walk(base + 1).ppn, 101u);
+    EXPECT_EQ(t.walk(base + 1).ppn, Ppn{101});
 }
 
 TEST(PageTableAnchor, ClearRemovesAnchor)
 {
     PageTable t;
-    t.map4K(base, 1);
-    t.map4K(base + 1, 2);
-    t.setAnchorContiguity(base, 400, 512);
-    t.setAnchorContiguity(base, 0, 512);
+    t.map4K(base, Ppn{1});
+    t.map4K(base + 1, Ppn{2});
+    t.setAnchorContiguity(base, 400, dist(512));
+    t.setAnchorContiguity(base, 0, dist(512));
     // Cleared anchor reads back as the self-covering minimum.
-    EXPECT_EQ(t.anchorContiguity(base, 512), 1u);
+    EXPECT_EQ(t.anchorContiguity(base, dist(512)), 1u);
 }
 
 TEST(PageTableAnchor, HugeAnchorStoresFullContiguity)
 {
     PageTable t;
-    t.map2M(base, 512 * 20);
-    t.setAnchorContiguity(base, 40000, 65536);
-    EXPECT_EQ(t.anchorContiguity(base, 65536), 40000u);
+    t.map2M(base, Ppn{512 * 20});
+    t.setAnchorContiguity(base, 40000, dist(65536));
+    EXPECT_EQ(t.anchorContiguity(base, dist(65536)), 40000u);
     // Frame must be intact after packing 16 bits into the entry.
-    EXPECT_EQ(t.walk(base).ppn, 512u * 20);
-    EXPECT_EQ(t.walk(base + 511).ppn, 512u * 20 + 511);
+    EXPECT_EQ(t.walk(base).ppn, Ppn{512 * 20});
+    EXPECT_EQ(t.walk(base + 511).ppn, Ppn{512 * 20 + 511});
 }
 
 TEST(PageTableAnchor, InsideHugePageHasNoAnchorSlot)
 {
     PageTable t;
-    t.map2M(base, 512 * 20);
+    t.map2M(base, Ppn{512 * 20});
     // distance 8 anchor at base+8 falls inside the huge page.
-    EXPECT_EQ(t.anchorContiguity(base + 8, 8), 0u);
+    EXPECT_EQ(t.anchorContiguity(base + 8, dist(8)), 0u);
 }
 
 TEST(PageTableAnchor, UnmappedAnchorReadsZero)
 {
     PageTable t;
-    EXPECT_EQ(t.anchorContiguity(base, 64), 0u);
+    EXPECT_EQ(t.anchorContiguity(base, dist(64)), 0u);
 }
 
 TEST(PageTableAnchor, SweepSetsAllAnchorsOfChunk)
 {
     MemoryMap m;
-    m.add(base, 9000, 100); // unaligned-by-8 length
+    m.add(base, Ppn{9000}, PageCount{100}); // unaligned-by-8 length
     m.finalize();
     PageTable t = buildPageTable(m, false);
     // Anchors at base+0, +8, ..., +96: thirteen aligned positions.
-    const std::uint64_t touched = t.sweepAnchors(m, 8);
+    const std::uint64_t touched = t.sweepAnchors(m, dist(8));
     EXPECT_EQ(touched, 13u);
     // Interior anchors carry min(run, distance).
-    EXPECT_EQ(t.anchorContiguity(base, 8), 8u);
-    EXPECT_EQ(t.anchorContiguity(base + 48, 8), 8u);
+    EXPECT_EQ(t.anchorContiguity(base, dist(8)), 8u);
+    EXPECT_EQ(t.anchorContiguity(base + 48, dist(8)), 8u);
     // Final anchor covers only the tail.
-    EXPECT_EQ(t.anchorContiguity(base + 96, 8), 4u);
+    EXPECT_EQ(t.anchorContiguity(base + 96, dist(8)), 4u);
 }
 
 TEST(PageTableAnchor, SweepCapsAtDistance)
 {
     MemoryMap m;
-    m.add(base, 9000, 1000);
+    m.add(base, Ppn{9000}, PageCount{1000});
     m.finalize();
     PageTable t = buildPageTable(m, false);
-    t.sweepAnchors(m, 64);
-    EXPECT_EQ(t.anchorContiguity(base, 64), 64u);
+    t.sweepAnchors(m, dist(64));
+    EXPECT_EQ(t.anchorContiguity(base, dist(64)), 64u);
 }
 
 TEST(PageTableAnchor, ResweepClearsStaleAnchors)
 {
     MemoryMap m;
-    m.add(base, 9000, 64);
+    m.add(base, Ppn{9000}, PageCount{64});
     m.finalize();
     PageTable t = buildPageTable(m, false);
-    t.sweepAnchors(m, 8);
-    EXPECT_EQ(t.anchorContiguity(base + 8, 8), 8u);
-    t.sweepAnchors(m, 32);
-    EXPECT_EQ(t.anchorContiguity(base, 32), 32u);
+    t.sweepAnchors(m, dist(8));
+    EXPECT_EQ(t.anchorContiguity(base + 8, dist(8)), 8u);
+    t.sweepAnchors(m, dist(32));
+    EXPECT_EQ(t.anchorContiguity(base, dist(32)), 32u);
     // Old distance-8 anchor at +8 must be gone (reads as self-cover).
-    EXPECT_EQ(t.anchorContiguity(base + 8, 8), 1u);
+    EXPECT_EQ(t.anchorContiguity(base + 8, dist(8)), 1u);
 }
 
 TEST(PageTableAnchor, SweepCountGrowsWithSmallerDistance)
 {
     MemoryMap m;
-    m.add(base, 9000, 1 << 15);
+    m.add(base, Ppn{9000}, PageCount{1 << 15});
     m.finalize();
     PageTable t = buildPageTable(m, false);
-    const std::uint64_t big = t.sweepAnchors(m, 512);
+    const std::uint64_t big = t.sweepAnchors(m, dist(512));
     PageTable t2 = buildPageTable(m, false);
-    const std::uint64_t small = t2.sweepAnchors(m, 8);
+    const std::uint64_t small = t2.sweepAnchors(m, dist(8));
     EXPECT_GT(small, big * 32);
 }
 
@@ -251,43 +258,47 @@ class PageTableErrors : public ::testing::Test
 TEST_F(PageTableErrors, DoubleMapPanics)
 {
     PageTable t;
-    t.map4K(base, 1);
-    EXPECT_THROW(t.map4K(base, 2), std::logic_error);
+    t.map4K(base, Ppn{1});
+    EXPECT_THROW(t.map4K(base, Ppn{2}), std::logic_error);
 }
 
 TEST_F(PageTableErrors, MisalignedHugeMapPanics)
 {
     PageTable t;
-    EXPECT_THROW(t.map2M(base + 1, 512), std::logic_error);
+    EXPECT_THROW(t.map2M(base + 1, Ppn{512}), std::logic_error);
 }
 
 TEST_F(PageTableErrors, HugeOverExisting4KPanics)
 {
     PageTable t;
-    t.map4K(base + 3, 1);
-    EXPECT_THROW(t.map2M(base, 512), std::logic_error);
+    t.map4K(base + 3, Ppn{1});
+    EXPECT_THROW(t.map2M(base, Ppn{512}), std::logic_error);
 }
 
 TEST_F(PageTableErrors, AnchorOnUnalignedVpnPanics)
 {
     PageTable t;
-    t.map4K(base + 1, 1);
-    EXPECT_THROW(t.setAnchorContiguity(base + 1, 1, 8), std::logic_error);
+    t.map4K(base + 1, Ppn{1});
+    EXPECT_THROW(t.setAnchorContiguity(base + 1, 1, dist(8)),
+                 std::logic_error);
 }
 
 TEST_F(PageTableErrors, ContiguityBeyondDistancePanics)
 {
     PageTable t;
-    t.map4K(base, 1);
-    EXPECT_THROW(t.setAnchorContiguity(base, 9, 8), std::logic_error);
+    t.map4K(base, Ppn{1});
+    EXPECT_THROW(t.setAnchorContiguity(base, 9, dist(8)),
+                 std::logic_error);
 }
 
 TEST_F(PageTableErrors, BadDistancePanics)
 {
     PageTable t;
-    t.map4K(base, 1);
-    EXPECT_THROW(t.setAnchorContiguity(base, 1, 3), std::logic_error);
-    EXPECT_THROW(t.setAnchorContiguity(base, 1, 1), std::logic_error);
+    t.map4K(base, Ppn{1});
+    EXPECT_THROW(t.setAnchorContiguity(base, 1, dist(3)),
+                 std::logic_error);
+    EXPECT_THROW(t.setAnchorContiguity(base, 1, dist(1)),
+                 std::logic_error);
 }
 
 } // namespace

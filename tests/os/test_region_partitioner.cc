@@ -16,7 +16,7 @@ namespace atlb
 namespace
 {
 
-constexpr Vpn base = 0x7f0000000ULL;
+constexpr Vpn base{0x7f0000000ULL};
 
 /** Map with two clearly different contiguity regimes. */
 MemoryMap
@@ -24,17 +24,17 @@ twoRegimeMap()
 {
     MemoryMap m;
     Vpn vpn = base;
-    Ppn ppn = 0x100000;
+    Ppn ppn{0x100000};
     // 8K pages of 4-page fragments.
     for (int i = 0; i < 2048; ++i) {
-        m.add(vpn, ppn, 4);
+        m.add(vpn, ppn, PageCount{4});
         vpn += 4;
         ppn += 5;
     }
     // 64K pages of 8K-page runs.
     for (int i = 0; i < 8; ++i) {
-        ppn = alignUp(ppn + 1, hugePages);
-        m.add(vpn, ppn, 8192);
+        ppn = (ppn + 1).alignUp(hugePages);
+        m.add(vpn, ppn, PageCount{8192});
         vpn += 8192;
         ppn += 8192;
     }
@@ -50,15 +50,15 @@ TEST(RegionPartitioner, SplitsAtScaleShift)
     ASSERT_LE(p.regions.size(), 8u);
     // First region covers the fragment area with a small distance;
     // last region covers the runs with a large one.
-    EXPECT_LE(p.regions.front().distance, 8u);
-    EXPECT_GE(p.regions.back().distance, 1024u);
+    EXPECT_LE(p.regions.front().distance.pages(), 8u);
+    EXPECT_GE(p.regions.back().distance.pages(), 1024u);
 }
 
 TEST(RegionPartitioner, RegionsAreSortedDisjointAndCover)
 {
     const MemoryMap m = twoRegimeMap();
     const RegionPartition p = partitionAnchorRegions(m);
-    Vpn prev_end = 0;
+    Vpn prev_end{0};
     for (const AnchorRegion &r : p.regions) {
         EXPECT_LT(r.begin, r.end);
         EXPECT_GE(r.begin, prev_end);
@@ -88,9 +88,9 @@ TEST(RegionPartitioner, SingleRegimeYieldsFewRegions)
 {
     MemoryMap m;
     Vpn vpn = base;
-    Ppn ppn = 1000;
+    Ppn ppn{1000};
     for (int i = 0; i < 1000; ++i) {
-        m.add(vpn, ppn, 16);
+        m.add(vpn, ppn, PageCount{16});
         vpn += 16;
         ppn += 17;
     }
@@ -99,7 +99,7 @@ TEST(RegionPartitioner, SingleRegimeYieldsFewRegions)
     EXPECT_EQ(p.regions.size(), 1u);
     // The single region's distance comes from the coverage-aware model
     // over the same histogram.
-    EXPECT_EQ(p.regions[0].distance,
+    EXPECT_EQ(p.regions[0].distance.pages(),
               selectAnchorDistance(m.contiguityHistogram(),
                                    DistanceCostModel::CoverageAware)
                   .distance);
@@ -117,7 +117,7 @@ TEST(RegionPartitioner, DefaultDistanceMatchesGlobalSelection)
 {
     const MemoryMap m = twoRegimeMap();
     const RegionPartition p = partitionAnchorRegions(m);
-    EXPECT_EQ(p.default_distance,
+    EXPECT_EQ(p.default_distance.pages(),
               selectAnchorDistance(m.contiguityHistogram()).distance);
 }
 
@@ -127,17 +127,17 @@ TEST(RegionPartitioner, MinRegionPagesPreventsTinyRegions)
     // into many regions.
     MemoryMap m;
     Vpn vpn = base;
-    Ppn ppn = 0x100000;
+    Ppn ppn{0x100000};
     for (int block = 0; block < 20; ++block) {
         if (block % 2 == 0) {
             for (int i = 0; i < 64; ++i) { // 256 pages of fragments
-                m.add(vpn, ppn, 4);
+                m.add(vpn, ppn, PageCount{4});
                 vpn += 4;
                 ppn += 5;
             }
         } else {
             ppn += 1;
-            m.add(vpn, ppn, 256); // one 1MB run
+            m.add(vpn, ppn, PageCount{256}); // one 1MB run
             vpn += 256;
             ppn += 256;
         }
@@ -158,8 +158,8 @@ TEST(RegionPartitioner, SegmentedScenarioPartitionsAsDesigned)
         params, {{16384, 1, 16}, {131072, 4096, 16384}});
     const RegionPartition p = partitionAnchorRegions(m);
     ASSERT_GE(p.regions.size(), 2u);
-    EXPECT_LE(p.regions.front().distance, 8u);
-    EXPECT_GE(p.regions.back().distance, 64u);
+    EXPECT_LE(p.regions.front().distance.pages(), 8u);
+    EXPECT_GE(p.regions.back().distance.pages(), 64u);
     EXPECT_GT(p.regions.back().distance, p.regions.front().distance);
 }
 

@@ -127,7 +127,7 @@ struct CellFixture
           case Scheme::AnchorIdeal:
             distance =
                 selectAnchorDistance(map.contiguityHistogram()).distance;
-            table = buildAnchorPageTable(map, distance);
+            table = buildAnchorPageTable(map, AnchorDist::fromPages(distance));
             break;
         }
     }
@@ -377,7 +377,7 @@ struct DifferentialRig
     DifferentialRig()
         : plain(buildPageTable(map, false)),
           thp(buildPageTable(map, true)),
-          anchored(buildAnchorPageTable(map, 32)),
+          anchored(buildAnchorPageTable(map, AnchorDist::fromPages(32))),
           partition(partitionAnchorRegions(map))
     {
         region = buildRegionAnchorPageTable(map, partition);
@@ -386,7 +386,7 @@ struct DifferentialRig
         add<ColtMmu>("colt", cfg, plain);
         add<ClusterMmu>("cluster", cfg, plain, false);
         add<RmmMmu>("rmm", cfg, thp, map);
-        add<AnchorMmu>("anchor", cfg, anchored, 32);
+        add<AnchorMmu>("anchor", cfg, anchored, AnchorDist::fromPages(32));
         add<RegionAnchorMmu>("region-anchor", cfg, region, partition);
     }
 
@@ -404,7 +404,7 @@ std::vector<MemAccess>
 randomMappedStream(std::size_t n, std::uint64_t seed)
 {
     Rng rng(seed);
-    const Vpn offsets[] = {0, 512, 4096, 8192};
+    const std::uint64_t offsets[] = {0, 512, 4096, 8192};
     const std::uint64_t lens[] = {8, 1024, 100, 3};
     std::vector<MemAccess> out;
     out.reserve(n);
@@ -537,14 +537,14 @@ TEST(BatchL0Filter, InvalidatePageAfterRemapIsNotServedStale)
 
     // OS migrates the page and shoots down the TLBs. The next batch
     // must re-walk and pick up the new frame.
-    probe.table.remap4K(vpn, 0x4444);
+    probe.table.remap4K(vpn, Ppn{0x4444});
     probe.batch_mmu.invalidatePage(vpn);
     probe.ref_mmu.invalidatePage(vpn);
     probe.run(sameVpnBurst(vpn, 3));
     probe.expectInSync("after remap+invalidate");
     // The refilled L1 entry carries the migrated frame, not the stale
     // one — observable through the per-access path.
-    EXPECT_EQ(probe.batch_mmu.translate(vaOf(vpn)).ppn, 0x4444u);
+    EXPECT_EQ(probe.batch_mmu.translate(vaOf(vpn)).ppn, Ppn{0x4444});
 }
 
 TEST(BatchL0Filter, SwitchProcessDropsTheCarriedVpn)
@@ -557,7 +557,7 @@ TEST(BatchL0Filter, SwitchProcessDropsTheCarriedVpn)
     // Same VA, different address space: the other process maps it to a
     // different frame.
     PageTable other = buildPageTable(probe.map, false);
-    other.remap4K(vpn, 0x9999);
+    other.remap4K(vpn, Ppn{0x9999});
     ProcessContext ctx;
     ctx.table = &other;
     probe.batch_mmu.switchProcess(ctx);
@@ -565,7 +565,7 @@ TEST(BatchL0Filter, SwitchProcessDropsTheCarriedVpn)
 
     probe.run(sameVpnBurst(vpn, 3));
     probe.expectInSync("process B");
-    EXPECT_EQ(probe.batch_mmu.translate(vaOf(vpn)).ppn, 0x9999u);
+    EXPECT_EQ(probe.batch_mmu.translate(vaOf(vpn)).ppn, Ppn{0x9999});
 }
 
 TEST(BatchL0Filter, InterleavedPerAccessProbesInvalidateTheCarry)
@@ -608,7 +608,7 @@ TEST(BatchCheckedBuild, OracleSeesEveryBatchAccess)
     BatchStats bs;
     const std::vector<MemAccess> warm = sameVpnBurst(baseVpn + 2, 2);
     mmu.translateBatch(warm.data(), warm.size(), bs); // caches the page
-    table.remap4K(baseVpn + 2, 0x4444); // no shootdown: TLB now stale
+    table.remap4K(baseVpn + 2, Ppn{0x4444}); // no shootdown: stale TLB
 
     const std::vector<MemAccess> again = sameVpnBurst(baseVpn + 2, 1);
     EXPECT_THROW(mmu.translateBatch(again.data(), again.size(), bs),

@@ -18,7 +18,7 @@ namespace atlb
 namespace
 {
 
-constexpr Vpn base = 0x7f0000000ULL;
+constexpr Vpn base{0x7f0000000ULL};
 
 MemoryMap
 mapWithSeed(std::uint64_t seed, std::uint64_t pages = 4000)
@@ -73,17 +73,17 @@ TEST(SwitchProcess, AnchorSwitchesDistanceRegister)
     const MemoryMap map_b = mapWithSeed(6);
     const std::uint64_t d_a = 8;
     const std::uint64_t d_b = 64;
-    PageTable table_a = buildAnchorPageTable(map_a, d_a);
-    PageTable table_b = buildAnchorPageTable(map_b, d_b);
+    PageTable table_a = buildAnchorPageTable(map_a, AnchorDist::fromPages(d_a));
+    PageTable table_b = buildAnchorPageTable(map_b, AnchorDist::fromPages(d_b));
     MmuConfig cfg;
-    AnchorMmu mmu(cfg, table_a, d_a);
+    AnchorMmu mmu(cfg, table_a, AnchorDist::fromPages(d_a));
 
     mmu.translate(vaOf(base + 9));
     ProcessContext ctx;
     ctx.table = &table_b;
-    ctx.anchor_distance = d_b;
+    ctx.anchor_distance = AnchorDist::fromPages(d_b);
     mmu.switchProcess(ctx);
-    EXPECT_EQ(mmu.distance(), d_b);
+    EXPECT_EQ(mmu.distance().pages(), d_b);
     for (Vpn v = base; v < base + 300; ++v)
         ASSERT_EQ(mmu.translate(vaOf(v)).ppn, map_b.translate(v));
 }

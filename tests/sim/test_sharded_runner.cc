@@ -75,7 +75,7 @@ struct CellFixture
           case Scheme::AnchorIdeal:
             distance =
                 selectAnchorDistance(map.contiguityHistogram()).distance;
-            table = buildAnchorPageTable(map, distance);
+            table = buildAnchorPageTable(map, AnchorDist::fromPages(distance));
             break;
         }
     }

@@ -15,59 +15,59 @@ namespace
 TEST(RangeTlb, MissOnEmpty)
 {
     RangeTlb t(4);
-    EXPECT_EQ(t.lookup(100), nullptr);
+    EXPECT_EQ(t.lookup(Vpn{100}), nullptr);
     EXPECT_EQ(t.stats().misses(), 1u);
 }
 
 TEST(RangeTlb, HitInsideRange)
 {
     RangeTlb t(4);
-    t.insert({100, 200, 5000});
-    const RangeEntry *r = t.lookup(150);
+    t.insert({Vpn{100}, Vpn{200}, Ppn{5000}});
+    const RangeEntry *r = t.lookup(Vpn{150});
     ASSERT_NE(r, nullptr);
-    EXPECT_EQ(r->translate(150), 5050u);
-    EXPECT_EQ(r->translate(100), 5000u);
+    EXPECT_EQ(r->translate(Vpn{150}), Ppn{5050});
+    EXPECT_EQ(r->translate(Vpn{100}), Ppn{5000});
 }
 
 TEST(RangeTlb, BoundsAreHalfOpen)
 {
     RangeTlb t(4);
-    t.insert({100, 200, 5000});
-    EXPECT_NE(t.lookup(100), nullptr);
-    EXPECT_NE(t.lookup(199), nullptr);
-    EXPECT_EQ(t.lookup(200), nullptr);
-    EXPECT_EQ(t.lookup(99), nullptr);
+    t.insert({Vpn{100}, Vpn{200}, Ppn{5000}});
+    EXPECT_NE(t.lookup(Vpn{100}), nullptr);
+    EXPECT_NE(t.lookup(Vpn{199}), nullptr);
+    EXPECT_EQ(t.lookup(Vpn{200}), nullptr);
+    EXPECT_EQ(t.lookup(Vpn{99}), nullptr);
 }
 
 TEST(RangeTlb, MultipleRanges)
 {
     RangeTlb t(4);
-    t.insert({100, 200, 1000});
-    t.insert({300, 400, 2000});
-    EXPECT_EQ(t.lookup(150)->translate(150), 1050u);
-    EXPECT_EQ(t.lookup(350)->translate(350), 2050u);
-    EXPECT_EQ(t.lookup(250), nullptr);
+    t.insert({Vpn{100}, Vpn{200}, Ppn{1000}});
+    t.insert({Vpn{300}, Vpn{400}, Ppn{2000}});
+    EXPECT_EQ(t.lookup(Vpn{150})->translate(Vpn{150}), Ppn{1050});
+    EXPECT_EQ(t.lookup(Vpn{350})->translate(Vpn{350}), Ppn{2050});
+    EXPECT_EQ(t.lookup(Vpn{250}), nullptr);
     EXPECT_EQ(t.size(), 2u);
 }
 
 TEST(RangeTlb, LruEvictionWhenFull)
 {
     RangeTlb t(2);
-    t.insert({0, 10, 0});
-    t.insert({10, 20, 100});
-    t.lookup(5); // protect the first range
-    t.insert({20, 30, 200});
-    EXPECT_NE(t.lookup(5), nullptr);
-    EXPECT_EQ(t.lookup(15), nullptr) << "LRU range should be evicted";
-    EXPECT_NE(t.lookup(25), nullptr);
+    t.insert({Vpn{0}, Vpn{10}, Ppn{0}});
+    t.insert({Vpn{10}, Vpn{20}, Ppn{100}});
+    t.lookup(Vpn{5}); // protect the first range
+    t.insert({Vpn{20}, Vpn{30}, Ppn{200}});
+    EXPECT_NE(t.lookup(Vpn{5}), nullptr);
+    EXPECT_EQ(t.lookup(Vpn{15}), nullptr) << "LRU range should be evicted";
+    EXPECT_NE(t.lookup(Vpn{25}), nullptr);
     EXPECT_EQ(t.stats().evictions, 1u);
 }
 
 TEST(RangeTlb, DuplicateInsertRefreshes)
 {
     RangeTlb t(2);
-    t.insert({0, 10, 0});
-    t.insert({0, 10, 0});
+    t.insert({Vpn{0}, Vpn{10}, Ppn{0}});
+    t.insert({Vpn{0}, Vpn{10}, Ppn{0}});
     EXPECT_EQ(t.size(), 1u);
     EXPECT_EQ(t.stats().evictions, 0u);
 }
@@ -75,10 +75,10 @@ TEST(RangeTlb, DuplicateInsertRefreshes)
 TEST(RangeTlb, FlushEmpties)
 {
     RangeTlb t(4);
-    t.insert({0, 10, 0});
+    t.insert({Vpn{0}, Vpn{10}, Ppn{0}});
     t.flush();
     EXPECT_EQ(t.size(), 0u);
-    EXPECT_EQ(t.lookup(5), nullptr);
+    EXPECT_EQ(t.lookup(Vpn{5}), nullptr);
 }
 
 TEST(RangeTlb, CapacityReported)
@@ -86,7 +86,7 @@ TEST(RangeTlb, CapacityReported)
     RangeTlb t(32);
     EXPECT_EQ(t.capacity(), 32u);
     for (std::uint64_t i = 0; i < 64; ++i)
-        t.insert({i * 10, i * 10 + 10, i * 100});
+        t.insert({Vpn{i * 10}, Vpn{i * 10 + 10}, Ppn{i * 100}});
     EXPECT_EQ(t.size(), 32u);
 }
 

@@ -13,12 +13,13 @@ namespace
 {
 
 TlbEntry
-entry(EntryKind kind, std::uint64_t key, Ppn ppn, std::uint32_t aux = 0)
+entry(EntryKind kind, std::uint64_t key, std::uint64_t ppn,
+      std::uint32_t aux = 0)
 {
     TlbEntry e;
     e.kind = kind;
-    e.key = key;
-    e.ppn = ppn;
+    e.key = TlbKey{key};
+    e.ppn = Ppn{ppn};
     e.aux = aux;
     e.valid = true;
     return e;
@@ -35,7 +36,7 @@ TEST(SetAssocTlb, Geometry)
 TEST(SetAssocTlb, MissOnEmpty)
 {
     SetAssocTlb t(64, 4, "t");
-    EXPECT_EQ(t.lookup(EntryKind::Page4K, 42), nullptr);
+    EXPECT_EQ(t.lookup(EntryKind::Page4K, TlbKey{42}), nullptr);
     EXPECT_EQ(t.stats().lookups, 1u);
     EXPECT_EQ(t.stats().hits, 0u);
 }
@@ -44,9 +45,9 @@ TEST(SetAssocTlb, InsertThenHit)
 {
     SetAssocTlb t(64, 4, "t");
     t.insert(entry(EntryKind::Page4K, 42, 777));
-    const TlbEntry *e = t.lookup(EntryKind::Page4K, 42);
+    const TlbEntry *e = t.lookup(EntryKind::Page4K, TlbKey{42});
     ASSERT_NE(e, nullptr);
-    EXPECT_EQ(e->ppn, 777u);
+    EXPECT_EQ(e->ppn, Ppn{777});
     EXPECT_EQ(t.stats().hits, 1u);
     EXPECT_EQ(t.validCount(), 1u);
 }
@@ -57,11 +58,11 @@ TEST(SetAssocTlb, KindsDoNotCollide)
     t.insert(entry(EntryKind::Page4K, 42, 1));
     t.insert(entry(EntryKind::Page2M, 42, 2));
     t.insert(entry(EntryKind::Anchor, 42, 3, 16));
-    EXPECT_EQ(t.lookup(EntryKind::Page4K, 42)->ppn, 1u);
-    EXPECT_EQ(t.lookup(EntryKind::Page2M, 42)->ppn, 2u);
-    EXPECT_EQ(t.lookup(EntryKind::Anchor, 42)->ppn, 3u);
-    EXPECT_EQ(t.lookup(EntryKind::Anchor, 42)->aux, 16u);
-    EXPECT_EQ(t.lookup(EntryKind::Cluster, 42), nullptr);
+    EXPECT_EQ(t.lookup(EntryKind::Page4K, TlbKey{42})->ppn, Ppn{1});
+    EXPECT_EQ(t.lookup(EntryKind::Page2M, TlbKey{42})->ppn, Ppn{2});
+    EXPECT_EQ(t.lookup(EntryKind::Anchor, TlbKey{42})->ppn, Ppn{3});
+    EXPECT_EQ(t.lookup(EntryKind::Anchor, TlbKey{42})->aux, 16u);
+    EXPECT_EQ(t.lookup(EntryKind::Cluster, TlbKey{42}), nullptr);
 }
 
 TEST(SetAssocTlb, OverwriteInPlace)
@@ -70,7 +71,7 @@ TEST(SetAssocTlb, OverwriteInPlace)
     t.insert(entry(EntryKind::Page4K, 7, 100));
     t.insert(entry(EntryKind::Page4K, 7, 200));
     EXPECT_EQ(t.validCount(), 1u);
-    EXPECT_EQ(t.lookup(EntryKind::Page4K, 7)->ppn, 200u);
+    EXPECT_EQ(t.lookup(EntryKind::Page4K, TlbKey{7})->ppn, Ppn{200});
     EXPECT_EQ(t.stats().evictions, 0u);
 }
 
@@ -83,11 +84,12 @@ TEST(SetAssocTlb, LruEvictionWithinSet)
     t.insert(entry(EntryKind::Page4K, 4, 14));
     t.insert(entry(EntryKind::Page4K, 6, 16));
     // Touch 0 so key 2 becomes LRU.
-    t.lookup(EntryKind::Page4K, 0);
+    t.lookup(EntryKind::Page4K, TlbKey{0});
     t.insert(entry(EntryKind::Page4K, 8, 18));
-    EXPECT_EQ(t.lookup(EntryKind::Page4K, 2), nullptr) << "LRU not evicted";
-    EXPECT_NE(t.lookup(EntryKind::Page4K, 0), nullptr);
-    EXPECT_NE(t.lookup(EntryKind::Page4K, 8), nullptr);
+    EXPECT_EQ(t.lookup(EntryKind::Page4K, TlbKey{2}), nullptr)
+        << "LRU not evicted";
+    EXPECT_NE(t.lookup(EntryKind::Page4K, TlbKey{0}), nullptr);
+    EXPECT_NE(t.lookup(EntryKind::Page4K, TlbKey{8}), nullptr);
     EXPECT_EQ(t.stats().evictions, 1u);
 }
 
@@ -101,7 +103,7 @@ TEST(SetAssocTlb, EvictionDoesNotCrossSets)
         t.insert(entry(EntryKind::Page4K, k, k));
     EXPECT_EQ(t.validCount(), 8u);
     for (std::uint64_t k = 0; k < 8; ++k)
-        EXPECT_NE(t.probe(EntryKind::Page4K, k), nullptr) << k;
+        EXPECT_NE(t.probe(EntryKind::Page4K, TlbKey{k}), nullptr) << k;
 }
 
 TEST(SetAssocTlb, ProbeDoesNotTouchLruOrStats)
@@ -111,10 +113,10 @@ TEST(SetAssocTlb, ProbeDoesNotTouchLruOrStats)
     t.insert(entry(EntryKind::Page4K, 4, 2));
     const auto lookups_before = t.stats().lookups;
     // Probing key 0 must not protect it from LRU eviction.
-    t.probe(EntryKind::Page4K, 0);
+    t.probe(EntryKind::Page4K, TlbKey{0});
     EXPECT_EQ(t.stats().lookups, lookups_before);
     t.insert(entry(EntryKind::Page4K, 8, 3));
-    EXPECT_EQ(t.probe(EntryKind::Page4K, 0), nullptr);
+    EXPECT_EQ(t.probe(EntryKind::Page4K, TlbKey{0}), nullptr);
 }
 
 TEST(SetAssocTlb, FlushInvalidatesEverything)
@@ -124,7 +126,7 @@ TEST(SetAssocTlb, FlushInvalidatesEverything)
         t.insert(entry(EntryKind::Page4K, k, k));
     t.flush();
     EXPECT_EQ(t.validCount(), 0u);
-    EXPECT_EQ(t.lookup(EntryKind::Page4K, 0), nullptr);
+    EXPECT_EQ(t.lookup(EntryKind::Page4K, TlbKey{0}), nullptr);
 }
 
 TEST(SetAssocTlb, InvalidateSingleEntry)
@@ -132,11 +134,11 @@ TEST(SetAssocTlb, InvalidateSingleEntry)
     SetAssocTlb t(64, 4, "t");
     t.insert(entry(EntryKind::Page4K, 1, 1));
     t.insert(entry(EntryKind::Page4K, 2, 2));
-    t.invalidate(EntryKind::Page4K, 1);
-    EXPECT_EQ(t.lookup(EntryKind::Page4K, 1), nullptr);
-    EXPECT_NE(t.lookup(EntryKind::Page4K, 2), nullptr);
+    t.invalidate(EntryKind::Page4K, TlbKey{1});
+    EXPECT_EQ(t.lookup(EntryKind::Page4K, TlbKey{1}), nullptr);
+    EXPECT_NE(t.lookup(EntryKind::Page4K, TlbKey{2}), nullptr);
     // Invalidating a missing entry is a no-op.
-    t.invalidate(EntryKind::Page4K, 99);
+    t.invalidate(EntryKind::Page4K, TlbKey{99});
 }
 
 TEST(SetAssocTlb, StatsCountInsertions)
@@ -155,7 +157,7 @@ TEST(SetAssocTlb, FullyAssociativeSingleSet)
     EXPECT_EQ(t.validCount(), 4u);
     t.insert(entry(EntryKind::Page4K, 104, 104));
     EXPECT_EQ(t.validCount(), 4u);
-    EXPECT_EQ(t.probe(EntryKind::Page4K, 100), nullptr);
+    EXPECT_EQ(t.probe(EntryKind::Page4K, TlbKey{100}), nullptr);
 }
 
 /** Capacity sweep: working sets within capacity never miss after warmup. */
@@ -174,7 +176,9 @@ TEST_P(TlbCapacity, NoConflictMissesWithinCapacity)
             t.insert(entry(EntryKind::Page4K, w * sets + s, w));
     for (unsigned w = 0; w < ways; ++w)
         for (unsigned s = 0; s < sets; ++s)
-            ASSERT_NE(t.probe(EntryKind::Page4K, w * sets + s), nullptr);
+            ASSERT_NE(
+                t.probe(EntryKind::Page4K, TlbKey{w * sets + s}),
+                nullptr);
 }
 
 INSTANTIATE_TEST_SUITE_P(Ways, TlbCapacity, ::testing::Values(1, 2, 4, 8));

@@ -18,15 +18,15 @@ namespace
 MemAccess
 page(std::uint64_t vpn)
 {
-    return {vaOf(vpn), false};
+    return {vaOf(Vpn{vpn}), false};
 }
 
 TEST(Profiler, CountsBasics)
 {
     TraceProfiler prof;
-    prof.record({vaOf(1), true});
-    prof.record({vaOf(2), false});
-    prof.record({vaOf(1) + 64, false});
+    prof.record({vaOf(Vpn{1}), true});
+    prof.record({vaOf(Vpn{2}), false});
+    prof.record({vaOf(Vpn{1}) + 64, false});
     const TraceProfile p = prof.profile();
     EXPECT_EQ(p.accesses, 3u);
     EXPECT_EQ(p.writes, 1u);
@@ -129,7 +129,7 @@ TEST(Profiler, ConsumeDrainsSource)
     PatternPhase phase;
     phase.kind = PatternKind::Random;
     w.phases = {phase};
-    PatternTrace trace(w, vaOf(0x1000), 20000, 3);
+    PatternTrace trace(w, vaOf(Vpn{0x1000}), 20000, 3);
     TraceProfiler prof;
     prof.consume(trace);
     const TraceProfile p = prof.profile();
@@ -152,7 +152,7 @@ TEST(Profiler, HotSetReflectsWorkloadStructure)
     phase.hot_prob = 0.9;
     phase.hot_base_page = 0;
     w.phases = {phase};
-    PatternTrace trace(w, vaOf(0x10000), 100000, 9);
+    PatternTrace trace(w, vaOf(Vpn{0x10000}), 100000, 9);
     TraceProfiler prof;
     prof.consume(trace);
     const TraceProfile p = prof.profile();

@@ -21,7 +21,7 @@ namespace
 
 constexpr std::uint64_t kAccesses = 4'000;
 constexpr std::uint64_t kSeed = 1234;
-constexpr VirtAddr kBase = 0x10'0000'0000ULL;
+constexpr VirtAddr kBase{0x10'0000'0000ULL};
 
 std::vector<MemAccess>
 drainOneAtATime(TraceSource &trace)
@@ -140,7 +140,7 @@ class CountingTrace : public TraceSource
     {
         if (produced_ == length_)
             return false;
-        out.vaddr = produced_ * pageBytes;
+        out.vaddr = VirtAddr{produced_ * pageBytes};
         out.write = produced_ % 2 == 0;
         ++produced_;
         return true;

@@ -46,10 +46,10 @@ class TraceIoTest : public ::testing::Test
 TEST_F(TraceIoTest, RoundTrip)
 {
     std::vector<MemAccess> accesses = {
-        {0x7f0000000000, false},
-        {0x7f0000001008, true},
-        {0x12345678, false},
-        {~0ULL - 7, true},
+        {VirtAddr{0x7f0000000000}, false},
+        {VirtAddr{0x7f0000001008}, true},
+        {VirtAddr{0x12345678}, false},
+        {VirtAddr{~0ULL - 7}, true},
     };
     {
         TraceWriter w(path_);
@@ -62,7 +62,7 @@ TEST_F(TraceIoTest, RoundTrip)
     MemAccess got;
     for (const auto &expect : accesses) {
         ASSERT_TRUE(src.next(got));
-        EXPECT_EQ(got.vaddr, expect.vaddr & ~1ULL);
+        EXPECT_EQ(got.vaddr, VirtAddr{expect.vaddr.raw() & ~1ULL});
         EXPECT_EQ(got.write, expect.write);
     }
     EXPECT_FALSE(src.next(got));
@@ -81,8 +81,8 @@ TEST_F(TraceIoTest, ResetReplays)
 {
     {
         TraceWriter w(path_);
-        w.append({0x1000, false});
-        w.append({0x2000, true});
+        w.append({VirtAddr{0x1000}, false});
+        w.append({VirtAddr{0x2000}, true});
     }
     TraceFileSource src(path_);
     MemAccess a;
@@ -91,7 +91,7 @@ TEST_F(TraceIoTest, ResetReplays)
     ASSERT_FALSE(src.next(a));
     src.reset();
     ASSERT_TRUE(src.next(a));
-    EXPECT_EQ(a.vaddr, 0x1000u);
+    EXPECT_EQ(a.vaddr, VirtAddr{0x1000});
 }
 
 TEST_F(TraceIoTest, MissingFileIsFatal)
@@ -114,7 +114,7 @@ TEST_F(TraceIoTest, TruncatedBodyIsFatalAtOpen)
     {
         TraceWriter w(path_);
         for (int i = 0; i < 10; ++i)
-            w.append({static_cast<VirtAddr>(i) << 12, false});
+            w.append({VirtAddr{static_cast<std::uint64_t>(i) << 12}, false});
     }
     // Chop half a record: the open-time size check must reject the file
     // before any record is served (previously this failed mid-replay).
@@ -135,7 +135,7 @@ TEST_F(TraceIoTest, OversizedFileIsFatalAtOpen)
     {
         TraceWriter w(path_);
         for (int i = 0; i < 10; ++i)
-            w.append({static_cast<VirtAddr>(i) << 12, false});
+            w.append({VirtAddr{static_cast<std::uint64_t>(i) << 12}, false});
     }
     // Append stray bytes: the header now undercounts the body, which
     // would silently drop the tail without the size check.
@@ -175,7 +175,7 @@ TEST_F(TraceIoTest, SkipSeeksToTheSamePositionAsDraining)
     {
         TraceWriter w(path_);
         for (std::uint64_t i = 0; i < n; ++i)
-            w.append({i << 12, false});
+            w.append({VirtAddr{i << 12}, false});
     }
 
     // skip is an O(1) seek over the fixed-width records; it must land
@@ -202,7 +202,7 @@ TEST_F(TraceIoTest, SkipSeeksToTheSamePositionAsDraining)
     EXPECT_FALSE(past_end.next(a));
     past_end.reset();
     EXPECT_TRUE(past_end.next(a));
-    EXPECT_EQ(a.vaddr, 0u);
+    EXPECT_EQ(a.vaddr, VirtAddr{0});
 }
 
 TEST_F(TraceIoTest, LargeRoundTripPreservesOrder)
@@ -211,13 +211,13 @@ TEST_F(TraceIoTest, LargeRoundTripPreservesOrder)
     {
         TraceWriter w(path_);
         for (std::uint64_t i = 0; i < n; ++i)
-            w.append({(i * 0x9e3779b9ULL) << 3, (i & 3) == 0});
+            w.append({VirtAddr{(i * 0x9e3779b9ULL) << 3}, (i & 3) == 0});
     }
     TraceFileSource src(path_);
     MemAccess a;
     for (std::uint64_t i = 0; i < n; ++i) {
         ASSERT_TRUE(src.next(a));
-        ASSERT_EQ(a.vaddr, ((i * 0x9e3779b9ULL) << 3) & ~1ULL);
+        ASSERT_EQ(a.vaddr, VirtAddr{((i * 0x9e3779b9ULL) << 3) & ~1ULL});
         ASSERT_EQ(a.write, (i & 3) == 0);
     }
     EXPECT_FALSE(src.next(a));

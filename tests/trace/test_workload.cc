@@ -18,7 +18,7 @@ namespace atlb
 namespace
 {
 
-constexpr VirtAddr base = 0x7f0000000000ULL;
+constexpr VirtAddr base{0x7f0000000000ULL};
 
 WorkloadSpec
 tinySpec(PatternKind kind)

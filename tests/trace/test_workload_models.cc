@@ -65,7 +65,7 @@ TEST_P(WorkloadModelBand, ProfileStaysInBand)
     // Quarter-scale footprints keep the test fast; locality *fractions*
     // are scale-insensitive because hot regions scale with footprint.
     spec.footprint_bytes /= 4;
-    PatternTrace trace(spec, vaOf(0x7f0000000ULL), 300'000, 17);
+    PatternTrace trace(spec, vaOf(Vpn{0x7f0000000ULL}), 300'000, 17);
     TraceProfiler prof;
     prof.consume(trace);
     const TraceProfile p = prof.profile();
@@ -93,7 +93,7 @@ TEST(WorkloadModels, Graph500IsBetweenGupsAndSpec)
 {
     WorkloadSpec spec = findWorkload("graph500");
     spec.footprint_bytes /= 8;
-    PatternTrace trace(spec, vaOf(0x7f0000000ULL), 300'000, 17);
+    PatternTrace trace(spec, vaOf(Vpn{0x7f0000000ULL}), 300'000, 17);
     TraceProfiler prof;
     prof.consume(trace);
     const TraceProfile p = prof.profile();

@@ -279,7 +279,7 @@ cmdGenTrace(const Args &args)
     WorkloadSpec spec = findWorkload(workload);
     spec.footprint_bytes = static_cast<std::uint64_t>(
         static_cast<double>(spec.footprint_bytes) * opts.footprint_scale);
-    PatternTrace source(spec, vaOf(0x7f0000000ULL), opts.accesses,
+    PatternTrace source(spec, vaOf(Vpn{0x7f0000000ULL}), opts.accesses,
                         opts.seed);
     TraceWriter writer(path);
     MemAccess a;
@@ -347,8 +347,9 @@ cmdReplay(const Args &args)
                 ? args.getU64("distance", 8)
                 : selectAnchorDistance(map.contiguityHistogram())
                       .distance;
-        table = buildAnchorPageTable(map, d);
-        mmu = std::make_unique<AnchorMmu>(cfg, table, d);
+        const AnchorDist dist = AnchorDist::fromPages(d);
+        table = buildAnchorPageTable(map, dist);
+        mmu = std::make_unique<AnchorMmu>(cfg, table, dist);
         break;
       }
     }
@@ -386,7 +387,7 @@ cmdProfile(const Args &args)
             static_cast<double>(spec.footprint_bytes) *
             opts.footprint_scale);
         source = std::make_unique<PatternTrace>(
-            spec, vaOf(0x7f0000000ULL), opts.accesses, opts.seed);
+            spec, vaOf(Vpn{0x7f0000000ULL}), opts.accesses, opts.seed);
         what = workload + " (synthetic)";
     }
     if (args.has("json")) {
@@ -454,7 +455,7 @@ cmdShardCheck(const Args &args)
                        ? args.getU64("distance", 8)
                        : selectAnchorDistance(map.contiguityHistogram())
                              .distance;
-        table = buildAnchorPageTable(map, distance);
+        table = buildAnchorPageTable(map, AnchorDist::fromPages(distance));
         break;
     }
 
@@ -596,7 +597,7 @@ cmdTraceImport(const Args &args)
     // Rebase by default: the grid maps trace-driven footprints at
     // traceBaseVa(), and raw capture addresses rarely land there.
     opts.rebase = !args.has("no-rebase");
-    opts.rebase_to = addrArg(args, "rebase-to", traceBaseVa());
+    opts.rebase_to = addrArg(args, "rebase-to", traceBaseVa().raw());
 
     ImportResult result;
     std::uint64_t out_bytes = 0;
@@ -717,8 +718,8 @@ cmdTraceInfo(const Args &args)
     row("max vaddr", hexAddr(info.max_vaddr));
     row("footprint pages",
         std::to_string(info.accesses
-                           ? vpnOf(info.max_vaddr) - vpnOf(info.min_vaddr)
-                                 + 1
+                           ? vpnOf(VirtAddr{info.max_vaddr}).raw() -
+                                 vpnOf(VirtAddr{info.min_vaddr}).raw() + 1
                            : 0));
     if (info.kind == TraceKind::V2) {
         row("blocks", std::to_string(info.blocks));
