@@ -110,6 +110,15 @@ note "anchortlb_lint (domain rules)"
 "$repo/build-checked/tools/anchortlb_lint" -p "$repo/build-checked" ||
     failures+=("anchortlb_lint")
 
+# ------------------------------------------- scalar-forced dispatch --
+# The SIMD kernels must be pure speed, never behaviour: the same
+# checked build re-runs the whole suite (goldens included) with the
+# scalar dispatch level forced, pinning byte-identical results.
+note "ctest build-checked (ANCHORTLB_SIMD=scalar)"
+(cd "$repo/build-checked" &&
+    ANCHORTLB_SIMD=scalar ctest --output-on-failure -j "$jobs") ||
+    failures+=("scalar-forced ctest")
+
 # TSan over the concurrency suites only: the full grid under TSan is
 # slow, and everything else is single-threaded by construction.
 tsan_leg() {

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Little-endian bit-field packing primitives.
+ *
+ * Shared by the ATLBTRC2 packed-block codec (ingest/trace_v2.cc), the
+ * scalar reference unpack in common/simd.cc, and the width-exhaustive
+ * round-trip tests. Bit `k` of the stream lives in bit `k % 8` of byte
+ * `k / 8`; a field written at bit offset `p` with width `w` occupies
+ * stream bits [p, p + w). Width 0 fields read back as 0 and write
+ * nothing — the codec emits them for blocks whose deltas are all zero.
+ *
+ * These are the *reference* byte-at-a-time forms: every vectorized
+ * unpack kernel (common/simd_avx2.cc) must reproduce getBits exactly,
+ * which the tests pin width by width.
+ */
+
+#ifndef ANCHORTLB_COMMON_BITPACK_HH
+#define ANCHORTLB_COMMON_BITPACK_HH
+
+#include <algorithm>
+#include <cstdint>
+
+namespace atlb
+{
+
+/** Write the low @p width bits of @p v at bit offset @p bitpos. */
+inline void
+putBits(std::uint8_t *base, std::uint64_t bitpos, std::uint64_t v,
+        unsigned width)
+{
+    unsigned done = 0;
+    while (done < width) {
+        const std::uint64_t p = bitpos + done;
+        const unsigned bit = static_cast<unsigned>(p & 7);
+        const unsigned chunk = std::min(8 - bit, width - done);
+        const std::uint64_t mask = (1ULL << chunk) - 1;
+        base[p >> 3] |=
+            static_cast<std::uint8_t>(((v >> done) & mask) << bit);
+        done += chunk;
+    }
+}
+
+/** Read @p width bits starting at bit offset @p bitpos. */
+inline std::uint64_t
+getBits(const std::uint8_t *base, std::uint64_t bitpos, unsigned width)
+{
+    std::uint64_t v = 0;
+    unsigned done = 0;
+    while (done < width) {
+        const std::uint64_t p = bitpos + done;
+        const unsigned bit = static_cast<unsigned>(p & 7);
+        const unsigned chunk = std::min(8 - bit, width - done);
+        const std::uint64_t mask = (1ULL << chunk) - 1;
+        v |= ((static_cast<std::uint64_t>(base[p >> 3]) >> bit) & mask)
+             << done;
+        done += chunk;
+    }
+    return v;
+}
+
+} // namespace atlb
+
+#endif // ANCHORTLB_COMMON_BITPACK_HH

@@ -25,4 +25,11 @@ envDouble(const std::string &name, double fallback)
     return v ? std::strtod(v, nullptr) : fallback;
 }
 
+std::string
+envString(const std::string &name, const std::string &fallback)
+{
+    const char *v = std::getenv(name.c_str());
+    return v ? std::string(v) : fallback;
+}
+
 } // namespace atlb

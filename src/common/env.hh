@@ -25,6 +25,10 @@ std::uint64_t envU64(const std::string &name, std::uint64_t fallback);
 /** Double value of @p name, or @p fallback when unset. */
 double envDouble(const std::string &name, double fallback);
 
+/** String value of @p name, or @p fallback when unset. */
+std::string envString(const std::string &name,
+                      const std::string &fallback);
+
 } // namespace atlb
 
 #endif // ANCHORTLB_COMMON_ENV_HH

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * AVX2 kernels behind the runtime dispatch in common/simd.cc.
+ *
+ * This is the only TU compiled with -mavx2 (src/common/CMakeLists.txt
+ * pins the flag per-source), so AVX2 code generation never leaks into
+ * the core: a binary built here still runs on pre-AVX2 x86-64, because
+ * these functions are only ever *called* after the one-time CPUID
+ * check in available(). Each kernel is bit-for-bit equivalent to its
+ * scalar reference — the differential tests (tests/common/test_simd.cc)
+ * pin that across widths, counts and alignments.
+ */
+
+#if defined(__x86_64__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstring>
+#include <utility>
+
+#include "bitpack.hh"
+#include "simd_kernels.hh"
+
+namespace atlb::simd_avx2
+{
+
+bool
+available()
+{
+    static const bool ok = __builtin_cpu_supports("avx2") != 0;
+    return ok;
+}
+
+int
+findU64(const std::uint64_t *words, unsigned count, std::uint64_t want)
+{
+    return findU64Inline(words, count, want);
+}
+
+namespace
+{
+
+/**
+ * Width-specialised unpack: 4 fields per iteration via a byte-offset
+ * gather, a variable right shift and a mask. A field at bit offset b
+ * sits inside the 8 bytes loaded at byte b >> 3 whenever
+ * (b & 7) + W <= 64, i.e. for every offset when W <= 57; wider fields
+ * keep the byte-at-a-time reference form. The gather only runs while
+ * the 8-byte load stays inside bytes_avail — the buffer tail (and any
+ * too-short buffer) falls back to getBits, which never over-reads.
+ */
+template <unsigned W>
+void
+unpackW(const std::uint8_t *base, std::size_t bytes_avail,
+        std::uint64_t *out, std::size_t count)
+{
+    if constexpr (W == 0) {
+        (void)base;
+        (void)bytes_avail;
+        std::memset(out, 0, count * sizeof(std::uint64_t));
+    } else if constexpr (W > 57) {
+        (void)bytes_avail;
+        for (std::size_t i = 0; i < count; ++i)
+            out[i] = getBits(base, i * std::uint64_t{W}, W);
+    } else {
+        std::size_t safe = 0;
+        if (bytes_avail >= 8) {
+            // Largest i whose 8-byte load at byte (i*W)>>3 stays
+            // in-bounds: (i*W)>>3 + 8 <= bytes_avail.
+            const std::uint64_t max_bit = (bytes_avail - 8) * 8 + 7;
+            safe = static_cast<std::size_t>(std::min<std::uint64_t>(
+                count, max_bit / W + 1));
+        }
+        constexpr std::uint64_t mask = (std::uint64_t{1} << W) - 1;
+        const __m256i vmask =
+            _mm256_set1_epi64x(static_cast<long long>(mask));
+        const __m256i seven = _mm256_set1_epi64x(7);
+        const __m256i step = _mm256_set1_epi64x(4LL * W);
+        __m256i bitpos = _mm256_set_epi64x(3LL * W, 2LL * W, W, 0);
+        std::size_t i = 0;
+        for (; i + 4 <= safe; i += 4) {
+            const __m256i idx = _mm256_srli_epi64(bitpos, 3);
+            const __m256i sh = _mm256_and_si256(bitpos, seven);
+            __m256i v = _mm256_i64gather_epi64(
+                reinterpret_cast<const long long *>(base), idx, 1);
+            v = _mm256_srlv_epi64(v, sh);
+            v = _mm256_and_si256(v, vmask);
+            _mm256_storeu_si256(reinterpret_cast<__m256i *>(out + i), v);
+            bitpos = _mm256_add_epi64(bitpos, step);
+        }
+        for (; i < count; ++i)
+            out[i] = getBits(base, i * std::uint64_t{W}, W);
+    }
+}
+
+using WidthFn = void (*)(const std::uint8_t *, std::size_t,
+                         std::uint64_t *, std::size_t);
+
+template <std::size_t... Ws>
+constexpr std::array<WidthFn, sizeof...(Ws)>
+makeWidthTable(std::index_sequence<Ws...> /*unused*/)
+{
+    return {&unpackW<static_cast<unsigned>(Ws)>...};
+}
+
+constexpr std::array<WidthFn, 65> kWidthTable =
+    makeWidthTable(std::make_index_sequence<65>{});
+
+} // namespace
+
+void
+unpackBits(const std::uint8_t *base, std::size_t bytes_avail,
+           unsigned width, std::uint64_t *out, std::size_t count)
+{
+    kWidthTable[width](base, bytes_avail, out, count);
+}
+
+void
+vpnEq(const std::uint8_t *accesses, std::size_t count, unsigned shift,
+      std::uint64_t prev, std::uint64_t *vpns, std::uint64_t *eqbits)
+{
+    vpnEqInline(accesses, count, shift, prev, vpns, eqbits);
+}
+
+} // namespace atlb::simd_avx2
+
+#endif // defined(__x86_64__)

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Per-ISA kernel declarations, and the shared inline bodies.
+ *
+ * Two kinds of consumer include this header:
+ *
+ *  - common/simd.cc (the dispatcher) and the kernel TUs
+ *    (simd_avx2.cc, simd_neon.cc), which need the out-of-line symbol
+ *    declarations the function-pointer accessors hand out;
+ *  - the SIMD batch-kernel TUs (mmu/batch_kernel_avx2.cc,
+ *    mmu/batch_kernel_neon.cc), which call the *Inline forms directly
+ *    so the probe and the pre-pass disappear into the kernel loop —
+ *    per-call indirection through the dispatch pointers was measured
+ *    to cost more than the work it dispatched (DESIGN.md §7.3).
+ *
+ * The inline bodies are guarded by the ISA feature macros, so they
+ * only exist in TUs actually compiled for that ISA (simd_avx2.cc and
+ * batch_kernel_avx2.cc get -mavx2 per-source; aarch64 ships NEON in
+ * the baseline). The out-of-line symbols are thin wrappers around the
+ * same inline bodies — one implementation, tested once through the
+ * dispatch pointers (tests/common/test_simd.cc), inlined where it is
+ * hot.
+ */
+
+#ifndef ANCHORTLB_COMMON_SIMD_KERNELS_HH
+#define ANCHORTLB_COMMON_SIMD_KERNELS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+
+#include <bit>
+#endif
+#if defined(__ARM_NEON)
+#include <arm_neon.h>
+#endif
+
+namespace atlb
+{
+
+#if defined(__x86_64__)
+namespace simd_avx2
+{
+/** One-time CPUID probe: true when the CPU executes AVX2. */
+bool available();
+int findU64(const std::uint64_t *words, unsigned count,
+            std::uint64_t want);
+void unpackBits(const std::uint8_t *base, std::size_t bytes_avail,
+                unsigned width, std::uint64_t *out, std::size_t count);
+void vpnEq(const std::uint8_t *accesses, std::size_t count,
+           unsigned shift, std::uint64_t prev, std::uint64_t *vpns,
+           std::uint64_t *eqbits);
+
+#if defined(__AVX2__)
+
+/** Inline body of findU64 (see the SimdFindU64Fn contract). */
+inline int
+findU64Inline(const std::uint64_t *words, unsigned count,
+              std::uint64_t want)
+{
+    const __m256i w = _mm256_set1_epi64x(static_cast<long long>(want));
+    unsigned i = 0;
+    for (; i + 4 <= count; i += 4) {
+        const __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(words + i));
+        const int m = _mm256_movemask_pd(
+            _mm256_castsi256_pd(_mm256_cmpeq_epi64(v, w)));
+        if (m != 0)
+            return static_cast<int>(i) +
+                   std::countr_zero(static_cast<unsigned>(m));
+    }
+    for (; i < count; ++i)
+        if (words[i] == want)
+            return static_cast<int>(i);
+    return -1;
+}
+
+/**
+ * Inline body of vpnEq (see the SimdVpnEqFn contract). One fused pass:
+ * four 16-byte records become one vector of VPNs, compared against the
+ * same vector shifted down one lane (lane 0 takes the carry — the
+ * previous iteration's last VPN, seeded with @p prev), so the stream
+ * is loaded once and the eq bitset costs one compare + movemask per
+ * four records.
+ */
+inline void
+vpnEqInline(const std::uint8_t *accesses, std::size_t count,
+            unsigned shift, std::uint64_t prev, std::uint64_t *vpns,
+            std::uint64_t *eqbits)
+{
+    for (std::size_t w = 0; w * 64 < count; ++w)
+        eqbits[w] = 0;
+    const __m128i shcnt = _mm_cvtsi32_si128(static_cast<int>(shift));
+    __m256i carry = _mm256_set1_epi64x(static_cast<long long>(prev));
+    std::size_t i = 0;
+    for (; i + 4 <= count; i += 4) {
+        // Two 32-byte loads cover four records; unpacklo gathers their
+        // address words as {v0, v2, v1, v3} (the unpack interleaves
+        // 128-bit lanes) and the permute restores stream order.
+        const __m256i a = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(accesses + 16 * i));
+        const __m256i b = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(accesses + 16 * i + 32));
+        __m256i v = _mm256_unpacklo_epi64(a, b);
+        v = _mm256_permute4x64_epi64(v, _MM_SHUFFLE(3, 1, 2, 0));
+        v = _mm256_srl_epi64(v, shcnt);
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(vpns + i), v);
+        // prv = {carry, v0, v1, v2}: v shifted down a lane, lane 0
+        // blended from the carry (a 32-bit blend, so mask 0x03 covers
+        // one 64-bit lane).
+        const __m256i down =
+            _mm256_permute4x64_epi64(v, _MM_SHUFFLE(2, 1, 0, 0));
+        const __m256i prv = _mm256_blend_epi32(down, carry, 0x03);
+        const auto m =
+            static_cast<std::uint64_t>(static_cast<unsigned>(
+                _mm256_movemask_pd(_mm256_castsi256_pd(
+                    _mm256_cmpeq_epi64(v, prv)))));
+        const unsigned off = static_cast<unsigned>(i & 63);
+        eqbits[i >> 6] |= m << off;
+        if (off > 60)
+            eqbits[(i >> 6) + 1] |= m >> (64 - off);
+        carry = _mm256_permute4x64_epi64(v, _MM_SHUFFLE(3, 3, 3, 3));
+    }
+    std::uint64_t last = i != 0 ? vpns[i - 1] : prev;
+    for (; i < count; ++i) {
+        std::uint64_t raw = 0;
+        std::memcpy(&raw, accesses + 16 * i, sizeof(raw));
+        vpns[i] = raw >> shift;
+        if (vpns[i] == last)
+            eqbits[i >> 6] |= std::uint64_t{1} << (i & 63);
+        last = vpns[i];
+    }
+}
+
+#endif // defined(__AVX2__)
+} // namespace simd_avx2
+#endif // defined(__x86_64__)
+
+#if defined(__aarch64__)
+namespace simd_neon
+{
+int findU64(const std::uint64_t *words, unsigned count,
+            std::uint64_t want);
+void vpnEq(const std::uint8_t *accesses, std::size_t count,
+           unsigned shift, std::uint64_t prev, std::uint64_t *vpns,
+           std::uint64_t *eqbits);
+
+#if defined(__ARM_NEON)
+
+/** Inline body of findU64 (see the SimdFindU64Fn contract). */
+inline int
+findU64Inline(const std::uint64_t *words, unsigned count,
+              std::uint64_t want)
+{
+    const uint64x2_t w = vdupq_n_u64(want);
+    unsigned i = 0;
+    for (; i + 2 <= count; i += 2) {
+        const uint64x2_t eq = vceqq_u64(vld1q_u64(words + i), w);
+        if (vgetq_lane_u64(eq, 0) != 0)
+            return static_cast<int>(i);
+        if (vgetq_lane_u64(eq, 1) != 0)
+            return static_cast<int>(i + 1);
+    }
+    for (; i < count; ++i)
+        if (words[i] == want)
+            return static_cast<int>(i);
+    return -1;
+}
+
+/** Inline body of vpnEq (see the SimdVpnEqFn contract). */
+inline void
+vpnEqInline(const std::uint8_t *accesses, std::size_t count,
+            unsigned shift, std::uint64_t prev, std::uint64_t *vpns,
+            std::uint64_t *eqbits)
+{
+    // vld2 de-interleaves {address, flags} record pairs; a negative
+    // vector shift is NEON's right shift.
+    const int64x2_t sh = vdupq_n_s64(-static_cast<std::int64_t>(shift));
+    std::size_t i = 0;
+    for (; i + 2 <= count; i += 2) {
+        const uint64x2x2_t rec = vld2q_u64(
+            reinterpret_cast<const std::uint64_t *>(accesses + 16 * i));
+        vst1q_u64(vpns + i, vshlq_u64(rec.val[0], sh));
+    }
+    for (; i < count; ++i) {
+        std::uint64_t raw = 0;
+        std::memcpy(&raw, accesses + 16 * i, sizeof(raw));
+        vpns[i] = raw >> shift;
+    }
+
+    const std::size_t words = (count + 63) / 64;
+    for (std::size_t w = 0; w < words; ++w)
+        eqbits[w] = 0;
+    if (count == 0)
+        return;
+    if (vpns[0] == prev)
+        eqbits[0] |= 1;
+    for (i = 1; i < count; ++i)
+        if (vpns[i] == vpns[i - 1])
+            eqbits[i >> 6] |= std::uint64_t{1} << (i & 63);
+}
+
+#endif // defined(__ARM_NEON)
+} // namespace simd_neon
+#endif // defined(__aarch64__)
+
+} // namespace atlb
+
+#endif // ANCHORTLB_COMMON_SIMD_KERNELS_HH

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * NEON kernels behind the runtime dispatch in common/simd.cc.
+ *
+ * aarch64 ships NEON in the baseline ISA, so unlike the AVX2 TU this
+ * one needs no special compile flags and no CPUID gate — only the
+ * compile-time guard. NEON has no 64-bit gather, so there is no
+ * bit-unpack kernel here; the dispatcher wires the Neon level's block
+ * decode to the shared scalar unpack instead (the whole-block
+ * amortisation is kept, the per-element extraction is not vectorised).
+ */
+
+#if defined(__aarch64__)
+
+#include "simd_kernels.hh"
+
+namespace atlb::simd_neon
+{
+
+int
+findU64(const std::uint64_t *words, unsigned count, std::uint64_t want)
+{
+    return findU64Inline(words, count, want);
+}
+
+void
+vpnEq(const std::uint8_t *accesses, std::size_t count, unsigned shift,
+      std::uint64_t prev, std::uint64_t *vpns, std::uint64_t *eqbits)
+{
+    vpnEqInline(accesses, count, shift, prev, vpns, eqbits);
+}
+
+} // namespace atlb::simd_neon
+
+#endif // defined(__aarch64__)

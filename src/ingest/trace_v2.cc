@@ -4,7 +4,9 @@
 #include <array>
 #include <cstring>
 
+#include "common/bitpack.hh"
 #include "common/logging.hh"
+#include "common/simd.hh"
 
 namespace atlb
 {
@@ -81,40 +83,8 @@ bitWidth(std::uint64_t v)
     return w;
 }
 
-/** Write the low @p width bits of @p v at bit offset @p bitpos. */
-void
-putBits(std::uint8_t *base, std::uint64_t bitpos, std::uint64_t v,
-        unsigned width)
-{
-    unsigned done = 0;
-    while (done < width) {
-        const std::uint64_t p = bitpos + done;
-        const unsigned bit = static_cast<unsigned>(p & 7);
-        const unsigned chunk = std::min(8 - bit, width - done);
-        const std::uint64_t mask = (1ULL << chunk) - 1;
-        base[p >> 3] |=
-            static_cast<std::uint8_t>(((v >> done) & mask) << bit);
-        done += chunk;
-    }
-}
-
-/** Read @p width bits starting at bit offset @p bitpos. */
-std::uint64_t
-getBits(const std::uint8_t *base, std::uint64_t bitpos, unsigned width)
-{
-    std::uint64_t v = 0;
-    unsigned done = 0;
-    while (done < width) {
-        const std::uint64_t p = bitpos + done;
-        const unsigned bit = static_cast<unsigned>(p & 7);
-        const unsigned chunk = std::min(8 - bit, width - done);
-        const std::uint64_t mask = (1ULL << chunk) - 1;
-        v |= ((static_cast<std::uint64_t>(base[p >> 3]) >> bit) & mask)
-             << done;
-        done += chunk;
-    }
-    return v;
-}
+// putBits/getBits live in common/bitpack.hh now, shared with the SIMD
+// unpack kernels and the width-exhaustive round-trip tests.
 
 /** Block-body encodings (the body's first byte). */
 constexpr std::uint8_t encodingVarint = traceV2EncodingVarint;
@@ -265,7 +235,8 @@ TraceV2Writer::close()
 }
 
 TraceV2Source::TraceV2Source(const std::string &path)
-    : in_(path, std::ios::binary), path_(path)
+    : in_(path, std::ios::binary), path_(path),
+      unpack_fn_(simdBlockUnpackFn(simdLevel()))
 {
     if (!in_)
         ATLB_FATAL("cannot open trace file '{}'", path);
@@ -376,6 +347,7 @@ TraceV2Source::loadBlockRaw(std::size_t b)
     if (raw_.empty())
         ATLB_FATAL("'{}': ATLBTRC2 block {} has an empty body", path_, b);
     loaded_block_ = b;
+    block_unpacked_ = false;
     restartBlockDecode();
 }
 
@@ -453,6 +425,21 @@ TraceV2Source::decodeNext()
             ATLB_FATAL("'{}': ATLBTRC2 block {} packed payload size "
                        "disagrees with its access count",
                        path_, loaded_block_);
+        // Vectorised path: unpack the whole block's deltas once (and
+        // only once — a restartBlockDecode over the same cached block
+        // reuses the buffer). Byte-identical to per-delta getBits; the
+        // tests pin that per width.
+        if (unpack_fn_ != nullptr && !block_unpacked_ &&
+            entry.count > 1) {
+            unpacked_.resize(
+                static_cast<std::size_t>(entry.count - 1));
+            unpack_fn_(raw_.data() + packed_base_,
+                       raw_.size() - packed_base_, width_,
+                       unpacked_.data(), unpacked_.size());
+            block_unpacked_ = true;
+        }
+    } else if (block_unpacked_) {
+        z = unpacked_[static_cast<std::size_t>(emitted_ - 1)];
     } else {
         z = getBits(raw_.data() + packed_base_, (emitted_ - 1) * width_,
                     width_);

@@ -53,6 +53,7 @@
 #include <string>
 #include <vector>
 
+#include "common/simd.hh"
 #include "trace/access.hh"
 
 namespace atlb
@@ -204,6 +205,18 @@ class TraceV2Source : public TraceSource
 
     /** Compressed body of the loaded block (the only block storage). */
     std::vector<std::uint8_t> raw_;
+    /**
+     * Vectorised decode (construction-time SIMD level != scalar): a
+     * packed block's count-1 deltas are unpacked once, here, by
+     * unpack_fn_ — width-specialised AVX2 kernels, or the shared
+     * scalar unpack on NEON. Sized by one block, so the O(block)
+     * peak-RSS contract of the streamed decoder is unchanged. The
+     * scalar reference path (unpack_fn_ == nullptr) extracts each
+     * delta on demand with getBits and never touches this buffer.
+     */
+    std::vector<std::uint64_t> unpacked_;
+    bool block_unpacked_ = false; //!< unpacked_ matches loaded_block_
+    SimdUnpackFn unpack_fn_ = nullptr;
     std::size_t loaded_block_ = ~std::size_t{0};
     /** Incremental decode cursor within the loaded block. */
     std::uint64_t emitted_ = 0;     //!< words decoded so far

@@ -13,7 +13,8 @@ namespace atlb
 AnchorMmu::AnchorMmu(const MmuConfig &config, const PageTable &table,
                      AnchorDist distance, std::string name)
     : Mmu(config, table, std::move(name)),
-      l2_(config.l2_entries, config.l2_ways, this->name() + ".l2"),
+      l2_(config.l2_entries, config.l2_ways, this->name() + ".l2",
+          SetProbe::SimdDispatch),
       distance_(distance)
 {
     ATLB_ASSERT(distance.valid() &&
@@ -38,6 +39,15 @@ AnchorMmu::setDistance(AnchorDist distance)
                 "bad anchor distance {}", distance);
     distance_ = distance;
     flushAll();
+}
+
+void
+AnchorMmu::prefetchTranslate(Vpn vpn) const
+{
+    l2_.prefetchSet(pageKey(vpn));
+    l2_.prefetchSet(hugeKey(vpn));
+    l2_.prefetchSet(anchorKey(anchorOf(vpn)));
+    Mmu::prefetchTranslate(vpn);
 }
 
 TranslationResult

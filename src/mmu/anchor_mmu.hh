@@ -97,6 +97,9 @@ class AnchorMmu : public Mmu
   protected:
     TranslationResult translateL2(Vpn vpn) override;
 
+    /** Adds the unified-L2 sets (4K, 2M, anchor) probed on a miss. */
+    void prefetchTranslate(Vpn vpn) const override;
+
   private:
     SetAssocTlb l2_;
     AnchorDist distance_;

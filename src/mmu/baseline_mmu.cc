@@ -5,10 +5,21 @@ namespace atlb
 
 BaselineMmu::BaselineMmu(const MmuConfig &config, const PageTable &table,
                          std::string name)
-    : Mmu(config, table, name), l2_(config.l2_entries, config.l2_ways,
-                                    name + ".l2"),
-      l2_1g_(config.l2_1g_entries, config.l2_1g_ways, name + ".l2-1g")
+    : Mmu(config, table, name),
+      l2_(config.l2_entries, config.l2_ways, name + ".l2",
+          SetProbe::SimdDispatch),
+      l2_1g_(config.l2_1g_entries, config.l2_1g_ways, name + ".l2-1g",
+             SetProbe::SimdDispatch)
 {
+}
+
+void
+BaselineMmu::prefetchTranslate(Vpn vpn) const
+{
+    l2_.prefetchSet(pageKey(vpn));
+    l2_.prefetchSet(hugeKey(vpn));
+    // The 1GB side table is small and rarely hit; not worth a hint.
+    Mmu::prefetchTranslate(vpn);
 }
 
 TranslationResult

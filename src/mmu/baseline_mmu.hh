@@ -40,6 +40,9 @@ class BaselineMmu : public Mmu
   protected:
     TranslationResult translateL2(Vpn vpn) override;
 
+    /** Adds the unified-L2 sets this scheme probes on an L1 miss. */
+    void prefetchTranslate(Vpn vpn) const override;
+
     /** Fill the L2 with the result of a walk (4KB/2MB/1GB entry). */
     void fillL2(Vpn vpn, const TranslationResult &res);
 

@@ -14,9 +14,9 @@ ClusterMmu::ClusterMmu(const MmuConfig &config, const PageTable &table,
     : Mmu(config, table,
           name.empty() ? (use_2mb ? "cluster-2mb" : "cluster") : name),
       regular_(config.cluster_regular_entries, config.cluster_regular_ways,
-               this->name() + ".regular"),
+               this->name() + ".regular", SetProbe::SimdDispatch),
       cluster_(config.cluster_entries, config.cluster_ways,
-               this->name() + ".cluster"),
+               this->name() + ".cluster", SetProbe::SimdDispatch),
       use_2mb_(use_2mb), span_log2_(floorLog2(config.cluster_span))
 {
     ATLB_ASSERT(isPow2(config.cluster_span) && config.cluster_span <= 32,
@@ -41,6 +41,16 @@ ClusterMmu::coalesceGroup(Vpn vpn, Ppn vpn_frame) const
             bitmap |= 1u << i;
     }
     return bitmap;
+}
+
+void
+ClusterMmu::prefetchTranslate(Vpn vpn) const
+{
+    regular_.prefetchSet(pageKey(vpn));
+    if (use_2mb_)
+        regular_.prefetchSet(hugeKey(vpn));
+    cluster_.prefetchSet(groupKey(vpn, span_log2_));
+    Mmu::prefetchTranslate(vpn);
 }
 
 TranslationResult

@@ -50,6 +50,9 @@ class ClusterMmu : public Mmu
   protected:
     TranslationResult translateL2(Vpn vpn) override;
 
+    /** Adds the regular and cluster L2 sets probed on a miss. */
+    void prefetchTranslate(Vpn vpn) const override;
+
   private:
     SetAssocTlb regular_;
     SetAssocTlb cluster_;

@@ -13,9 +13,9 @@ ColtMmu::ColtMmu(const MmuConfig &config, const PageTable &table,
                  std::string name)
     : Mmu(config, table, std::move(name)),
       regular_(config.cluster_regular_entries, config.cluster_regular_ways,
-               this->name() + ".regular"),
+               this->name() + ".regular", SetProbe::SimdDispatch),
       coalesced_(config.cluster_entries, config.cluster_ways,
-                 this->name() + ".sa"),
+                 this->name() + ".sa", SetProbe::SimdDispatch),
       fa_(config.colt_fa_entries)
 {
     ATLB_ASSERT(isPow2(config.colt_fa_max_pages),
@@ -49,6 +49,14 @@ ColtMmu::scanRun(Vpn vpn, Ppn vpn_frame) const
         ++run.vpn_end;
     }
     return run;
+}
+
+void
+ColtMmu::prefetchTranslate(Vpn vpn) const
+{
+    regular_.prefetchSet(pageKey(vpn));
+    coalesced_.prefetchSet(TlbKey{vpn.raw() / config_.cluster_span});
+    Mmu::prefetchTranslate(vpn);
 }
 
 TranslationResult

@@ -47,6 +47,9 @@ class ColtMmu : public Mmu
   protected:
     TranslationResult translateL2(Vpn vpn) override;
 
+    /** Adds the regular and coalesced L2 sets probed on a miss. */
+    void prefetchTranslate(Vpn vpn) const override;
+
   private:
     SetAssocTlb regular_;
     SetAssocTlb coalesced_;

@@ -2,6 +2,7 @@
 
 #include "common/check.hh"
 #include "common/logging.hh"
+#include "common/simd.hh"
 #include "os/page_table.hh"
 
 namespace atlb
@@ -17,6 +18,37 @@ Mmu::Mmu(const MmuConfig &config, const PageTable &table, std::string name)
                                            config_.pwc_pdpte_entries,
                                            config_.pwc_pde_entries);
     }
+    // The SIMD level is captured here, once: benches/tests that flip
+    // levels in-process (forceSimdLevel) construct fresh MMUs.
+    switch (simdLevel()) {
+      case SimdLevel::Scalar:
+        break;
+#if defined(__x86_64__)
+      case SimdLevel::Avx2:
+        batch_vec_ = &Mmu::batchKernelAvx2;
+        break;
+#endif
+#if defined(__aarch64__)
+      case SimdLevel::Neon:
+        batch_vec_ = &Mmu::batchKernelNeon;
+        break;
+#endif
+      default:
+        // A level this build cannot run; simdLevel() already rejects
+        // the combination, so the scalar kernel is a safe backstop.
+        break;
+    }
+}
+
+void
+Mmu::prefetchTranslate(Vpn vpn) const
+{
+    // Deliberately NOT the L1 sets: the L1 arrays are a few hundred
+    // bytes and effectively cache-resident, so hinting them wastes the
+    // prefetch-line budget that bounds how far ahead the kernel can
+    // run without evicting its own hints. Only the walk's leaf line is
+    // reliably cold here.
+    table_->prefetchWalk(vpn);
 }
 
 Mmu::~Mmu() = default;

@@ -20,11 +20,15 @@
 #ifndef ANCHORTLB_MMU_MMU_HH
 #define ANCHORTLB_MMU_MMU_HH
 
+#include <algorithm>
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 
+#include "common/simd.hh"
 #include "common/types.hh"
 #include "mmu/mmu_config.hh"
 #include "tlb/set_assoc_tlb.hh"
@@ -37,6 +41,21 @@ namespace atlb
 class MemoryMap;
 class PageTable;
 struct RegionPartition;
+
+/**
+ * How many *probes* ahead the vector batch kernel prefetches the
+ * translate path (prefetchTranslate: both L1 sets, the scheme's L2
+ * sets, and the page-table leaf line). Counted in probes, not
+ * accesses: L0-filtered accesses touch no TLB state, so distance in
+ * access space would mostly aim at accesses that need no warming and
+ * the lead time would collapse on filter-heavy streams. A probe costs
+ * tens of nanoseconds (L2 lookup, often a walk), so 8 probes of lead
+ * comfortably covers a DRAM miss; sweeping the constant through
+ * bench_hotpath measured 4..16 equivalent within noise on the mcf
+ * cells and a slow fall-off past 32 (prefetches start evicting lines
+ * the current probe still wants).
+ */
+constexpr std::size_t kBatchPrefetchDistance = 8;
 
 /**
  * Everything the hardware needs when the OS schedules a process: the
@@ -319,6 +338,10 @@ class Mmu
         (void)l2; // oracle path verifies every access individually
         Mmu::translateBatch(accesses, n, batch);
 #else
+        if (batch_vec_ != nullptr) {
+            (this->*batch_vec_)(accesses, n, batch);
+            return;
+        }
         std::uint64_t n_hits = 0;
         std::uint64_t n_filtered = 0;
         Vpn last_vpn = invalidVpn;
@@ -356,6 +379,63 @@ class Mmu
 #endif
     }
 
+    /**
+     * Vectorised batch loop, taken when the construction-time SIMD
+     * level has a batch kernel (batch_vec_). The template is defined
+     * in mmu/batch_kernel.hh and *instantiated only in the per-ISA
+     * TUs* (mmu/batch_kernel_avx2.cc, compiled with -mavx2;
+     * mmu/batch_kernel_neon.cc on aarch64), where the Isa policy's
+     * probe and pre-pass bodies inline into the loop. Dispatch is paid
+     * once per batch — a per-lookup kernel pointer was measured to
+     * cost more than the 4-way scan it replaced (DESIGN.md §7.3).
+     *
+     * Counter-identical to the scalar kernel above — same MmuStats,
+     * BatchStats and TlbStats, same victim choices:
+     *
+     *  - The pre-pass computes, for a whole chunk, every access's VPN
+     *    and a same-page bitset eq (bit i set iff vpn[i] == vpn[i-1],
+     *    carrying across chunk and batch boundaries exactly like
+     *    last_vpn does in the scalar loop; when the carried filter is
+     *    invalid, bit 0 of the first chunk is cleared — the scalar
+     *    loop's `have_last` guard). These are precisely the accesses
+     *    the scalar loop short-circuits, so counting them in bulk and
+     *    probing only the zero bits — in ascending order, the stream
+     *    order — issues the identical lookup()/noteMiss() sequence. No
+     *    probe order changes, so no LRU or victim decision can.
+     *  - The scheme pipeline runs through the translateL2 virtual:
+     *    one virtual call per L1 miss, noise against the miss path it
+     *    starts, and the same function the scalar kernel's
+     *    devirtualized lambda resolves to.
+     *  - The software prefetch (prefetchTranslate, issued
+     *    kBatchPrefetchDistance *probes* ahead from the chunk's probe
+     *    list) is semantics-free: prefetching reads nothing
+     *    architecturally.
+     */
+    template <class Isa>
+    void runBatchKernelVecT(const MemAccess *accesses, std::size_t n,
+                            BatchStats &batch);
+
+#if defined(__x86_64__)
+    /** AVX2 instantiation; defined in mmu/batch_kernel_avx2.cc. */
+    void batchKernelAvx2(const MemAccess *accesses, std::size_t n,
+                         BatchStats &batch);
+#endif
+#if defined(__aarch64__)
+    /** NEON instantiation; defined in mmu/batch_kernel_neon.cc. */
+    void batchKernelNeon(const MemAccess *accesses, std::size_t n,
+                         BatchStats &batch);
+#endif
+
+    /**
+     * Warm the translate path for @p vpn, issued by the vector batch
+     * kernel kBatchPrefetchDistance probes before the lookup. The base
+     * prefetches both L1 sets and the page-table leaf line
+     * (PageTable::prefetchWalk); schemes extend it with the L2 sets
+     * their translateL2 probes first. Must stay semantics-free —
+     * prefetch hints only, no architectural reads, no stats.
+     */
+    virtual void prefetchTranslate(Vpn vpn) const;
+
     const MmuConfig config_;
     /** Current process's page table (swapped by switchProcess). */
     const PageTable *table_;
@@ -370,6 +450,15 @@ class Mmu
     /** Optional page-walk cache (config_.pwc_enabled). */
     std::unique_ptr<WalkCache> pwc_;
     MmuStats stats_;
+    /** Member-function pointer type of the per-ISA batch kernels. */
+    using BatchVecFn = void (Mmu::*)(const MemAccess *, std::size_t,
+                                     BatchStats &);
+    /**
+     * Batch kernel for the construction-time SIMD level; null selects
+     * the scalar batch loop (the reference path). The only dispatch
+     * indirection on the vector path, paid once per batch.
+     */
+    BatchVecFn batch_vec_ = nullptr;
 
     /** Full pipeline including the L1 probes (checked-build path). */
     TranslationResult translateImpl(Vpn vpn);

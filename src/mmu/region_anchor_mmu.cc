@@ -12,7 +12,8 @@ RegionAnchorMmu::RegionAnchorMmu(const MmuConfig &config,
                                  RegionPartition partition,
                                  std::string name)
     : Mmu(config, table, std::move(name)),
-      l2_(config.l2_entries, config.l2_ways, this->name() + ".l2"),
+      l2_(config.l2_entries, config.l2_ways, this->name() + ".l2",
+          SetProbe::SimdDispatch),
       partition_(std::move(partition))
 {
     ATLB_ASSERT(partition_.regions.size() <= maxRegions,
@@ -34,6 +35,14 @@ RegionAnchorMmu::regionFor(Vpn vpn) const
         if (r.contains(vpn))
             return &r;
     return nullptr;
+}
+
+void
+RegionAnchorMmu::prefetchTranslate(Vpn vpn) const
+{
+    l2_.prefetchSet(pageKey(vpn));
+    l2_.prefetchSet(hugeKey(vpn));
+    Mmu::prefetchTranslate(vpn);
 }
 
 TranslationResult

@@ -75,6 +75,12 @@ class RegionAnchorMmu : public Mmu
   protected:
     TranslationResult translateL2(Vpn vpn) override;
 
+    /**
+     * Adds the unified-L2 4K/2M sets. The anchor set's key needs the
+     * region lookup (a map walk) — too expensive for a prefetch hint.
+     */
+    void prefetchTranslate(Vpn vpn) const override;
+
   private:
     SetAssocTlb l2_;
     RegionPartition partition_;

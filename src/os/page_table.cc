@@ -175,6 +175,27 @@ PageTable::walk(Vpn vpn) const
     return res;
 }
 
+void
+PageTable::prefetchWalk(Vpn vpn) const
+{
+    const Node *node = root_.get();
+    for (unsigned level = 0; level < 3; ++level) {
+        const unsigned idx = levelIndex(vpn, level);
+        const std::uint64_t e = node->ents[idx];
+        // A huge leaf's PTE is in the line just loaded; done.
+        if (pte::present(e) && pte::huge(e))
+            return;
+        const Node *kid = node->kids[idx].get();
+        if (kid == nullptr)
+            return;
+        if (level == 2) {
+            __builtin_prefetch(&kid->ents[levelIndex(vpn, 3)], 0, 2);
+            return;
+        }
+        node = kid;
+    }
+}
+
 std::uint64_t *
 PageTable::findAnchorSlot(Vpn avpn, bool &is_huge)
 {

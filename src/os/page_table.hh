@@ -179,6 +179,20 @@ class PageTable
     WalkResult walk(Vpn vpn) const;
 
     /**
+     * Prefetch hint for a walk of @p vpn a batch kernel expects to
+     * issue shortly (mmu/mmu.hh, prefetchTranslate). Semantics-free.
+     *
+     * The interior levels are a handful of nodes that stay cache-hot
+     * under any footprint (one PML4, and one PDPT/PD node per 512GB /
+     * 1GB of address space), so chasing them here costs a few hot
+     * loads — but they yield the *address* of the leaf PTE, which
+     * lives in one line of a leaf-node population proportional to the
+     * mapped footprint. That line is the walk's cache miss, and the
+     * one this prefetches.
+     */
+    void prefetchWalk(Vpn vpn) const;
+
+    /**
      * Set the anchor contiguity stored at the leaf entry for @p avpn.
      * @param avpn      anchor VPN (aligned to the anchor distance)
      * @param contig    pages contiguous from the anchor, in [1, 2^16];

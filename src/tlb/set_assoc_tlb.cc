@@ -6,10 +6,16 @@
 namespace atlb
 {
 
-SetAssocTlb::SetAssocTlb(unsigned entries, unsigned ways, std::string name)
+SetAssocTlb::SetAssocTlb(unsigned entries, unsigned ways, std::string name,
+                         SetProbe probe)
     : num_sets_(entries / ways), ways_(ways), set_mask_(num_sets_ - 1),
       name_(std::move(name))
 {
+    // simdFindU64Fn returns null for SimdLevel::Scalar, which keeps
+    // lookup() on the inline scan — the policy degrades to
+    // ScalarInline wherever no vector probe exists.
+    if (probe == SetProbe::SimdDispatch)
+        find_ = simdFindU64Fn(simdLevel());
     ATLB_ASSERT(ways > 0 && entries > 0 && entries % ways == 0,
                 "TLB '{}': {} entries not divisible by {} ways", name_,
                 entries, ways);
@@ -17,6 +23,7 @@ SetAssocTlb::SetAssocTlb(unsigned entries, unsigned ways, std::string name)
                 "TLB '{}': {} sets is not a power of two", name_,
                 num_sets_);
     entries_.resize(static_cast<std::size_t>(num_sets_) * ways_);
+    cmp_.reset(entries_.size());
     last_use_.resize(entries_.size(), 0);
 }
 
@@ -25,10 +32,10 @@ SetAssocTlb::probe(EntryKind kind, TlbKey key) const
 {
     const std::size_t base =
         static_cast<std::size_t>(setIndex(key)) * ways_;
+    const std::uint64_t want = tlbCmpWord(kind, key);
     for (unsigned w = 0; w < ways_; ++w) {
-        const TlbEntry &e = entries_[base + w];
-        if (e.valid && e.kind == kind && e.key == key)
-            return &e;
+        if (cmp_[base + w] == want)
+            return &entries_[base + w];
     }
     return nullptr;
 }
@@ -37,29 +44,35 @@ void
 SetAssocTlb::insert(const TlbEntry &entry)
 {
     ATLB_ASSERT(entry.valid, "inserting invalid entry into '{}'", name_);
+    ATLB_ASSERT(entry.key.raw() < (std::uint64_t{1} << tlbCmpKeyBits),
+                "TLB '{}': key {} overflows the {}-bit compare-word "
+                "key field",
+                name_, entry.key, tlbCmpKeyBits);
+    const std::uint64_t want = tlbCmpWord(entry.kind, entry.key);
     const std::size_t base =
         static_cast<std::size_t>(setIndex(entry.key)) * ways_;
+    // Victim selection stays scalar (and identical under every SIMD
+    // level): same (kind, key) overwrites in place, else the first
+    // invalid way, else the least recently used way.
     std::size_t victim = base;
     for (unsigned w = 0; w < ways_; ++w) {
         const std::size_t i = base + w;
-        const TlbEntry &e = entries_[i];
-        if (e.valid && e.kind == entry.kind && e.key == entry.key) {
+        if (cmp_[i] == want) {
             victim = i; // overwrite in place
             break;
         }
-        if (!e.valid) {
-            if (entries_[victim].valid)
+        if (cmp_[i] == 0) {
+            if (cmp_[victim] != 0)
                 victim = i; // first invalid way wins
-        } else if (entries_[victim].valid &&
+        } else if (cmp_[victim] != 0 &&
                    last_use_[i] < last_use_[victim]) {
             victim = i; // least recently used valid way
         }
     }
-    const TlbEntry &old = entries_[victim];
-    if (old.valid &&
-        (old.kind != entry.kind || old.key != entry.key))
+    if (cmp_[victim] != 0 && cmp_[victim] != want)
         ++stats_.evictions;
     entries_[victim] = entry;
+    cmp_[victim] = want;
     last_use_[victim] = ++tick_;
     ++stats_.insertions;
     ++mutations_;
@@ -70,6 +83,8 @@ SetAssocTlb::flush()
 {
     for (TlbEntry &e : entries_)
         e.valid = false;
+    for (std::size_t i = 0; i < cmp_.size(); ++i)
+        cmp_[i] = 0;
     for (std::uint64_t &t : last_use_)
         t = 0;
     ++mutations_;
@@ -81,10 +96,11 @@ SetAssocTlb::invalidate(EntryKind kind, TlbKey key)
     ++mutations_;
     const std::size_t base =
         static_cast<std::size_t>(setIndex(key)) * ways_;
+    const std::uint64_t want = tlbCmpWord(kind, key);
     for (unsigned w = 0; w < ways_; ++w) {
-        TlbEntry &e = entries_[base + w];
-        if (e.valid && e.kind == kind && e.key == key) {
-            e.valid = false;
+        if (cmp_[base + w] == want) {
+            entries_[base + w].valid = false;
+            cmp_[base + w] = 0;
             return;
         }
     }

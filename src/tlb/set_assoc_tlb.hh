@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "common/simd.hh"
 #include "common/types.hh"
 
 namespace atlb
@@ -57,6 +58,53 @@ struct TlbEntry
 static_assert(sizeof(TlbEntry) == 24 && alignof(TlbEntry) == 8 &&
               std::is_trivially_copyable_v<TlbEntry>);
 
+/**
+ * Layout of a slot's compare word, the one u64 the probe path (scalar
+ * and SIMD alike) tests per way:
+ *
+ *   [63:4] key   [3:1] kind   [0] valid
+ *
+ * An invalid slot stores 0 — bit 0 clear can never equal a probe word,
+ * whose bit 0 is always set, so validity needs no separate test. Keys
+ * must fit 60 bits; every maker in common/types.hh stays below 2^58
+ * (the widest is the multi-region anchor key: a 52-bit AVPN-derived
+ * key with log2(distance) packed at bit 52), and insert() asserts the
+ * budget so a future key maker cannot silently alias.
+ */
+constexpr unsigned tlbCmpKindShift = 1;
+constexpr unsigned tlbCmpKeyShift = 4;
+constexpr unsigned tlbCmpKeyBits = 64 - tlbCmpKeyShift;
+constexpr std::uint64_t tlbCmpValidBit = 1;
+
+// Every EntryKind must fit the compare word's kind field.
+static_assert(static_cast<unsigned>(EntryKind::Cluster) <
+              (1U << (tlbCmpKeyShift - tlbCmpKindShift)));
+
+/** The compare word a valid (kind, key) slot stores and probes seek. */
+inline std::uint64_t
+tlbCmpWord(EntryKind kind, TlbKey key)
+{
+    // Tag-word packing, not page math. lint-allow: page-shift
+    return (key.raw() << tlbCmpKeyShift) |
+           (static_cast<std::uint64_t>(kind) << tlbCmpKindShift) |
+           tlbCmpValidBit;
+}
+
+/**
+ * Reference probe: index of the first way whose compare word equals
+ * @p want, or -1. The scalar flavour every lookup() uses, and the
+ * behavioural specification the SIMD probes are tested against.
+ */
+inline int
+scalarFindWay(const std::uint64_t *cmp, unsigned ways,
+              std::uint64_t want)
+{
+    for (unsigned w = 0; w < ways; ++w)
+        if (cmp[w] == want)
+            return static_cast<int>(w);
+    return -1;
+}
+
 /** Hit/miss and occupancy statistics for one TLB. */
 struct TlbStats
 {
@@ -68,6 +116,25 @@ struct TlbStats
     std::uint64_t misses() const { return lookups - hits; }
 };
 
+/**
+ * Probe policy for SetAssocTlb::lookup(), chosen at construction.
+ *
+ * ScalarInline (the default) keeps the inlined scalar scan: on the
+ * narrow 4-way L1s, probed on every access, an indirect call costs
+ * more than the scan it would replace (DESIGN.md §7.3). Wide
+ * structures — the 8-way scheme L2s, probed only after an L1 miss —
+ * opt into SimdDispatch: the construction-time SIMD probe covers the
+ * set in a vector compare or two instead of up to `ways` scalar
+ * iterations, and the one indirect call amortises against the miss
+ * path it sits on. Either way the same single way is found (the
+ * no-duplicate invariant), so results are byte-identical.
+ */
+enum class SetProbe
+{
+    ScalarInline,
+    SimdDispatch,
+};
+
 /** Set-associative TLB with true-LRU replacement within each set. */
 class SetAssocTlb
 {
@@ -77,32 +144,79 @@ class SetAssocTlb
      * @param ways    associativity; must divide entries into a
      *                power-of-two number of sets
      * @param name    display name for reports
+     * @param probe   lookup() probe policy (see SetProbe)
      */
-    SetAssocTlb(unsigned entries, unsigned ways, std::string name);
+    SetAssocTlb(unsigned entries, unsigned ways, std::string name,
+                SetProbe probe = SetProbe::ScalarInline);
 
     /**
-     * Look up (kind, key); updates LRU on hit.
+     * Look up (kind, key) with the probe flavour supplied by the
+     * caller; updates LRU on hit.
+     * @param find  callable (cmp_words, ways, want) -> matching way
+     *              index or -1; the batch kernels pass their inlined
+     *              vector probe, everything else uses lookup().
      * @return the entry, or nullptr on miss.
      *
      * Defined inline: this is the hottest function in the simulator
      * (several lookups per simulated access) and must disappear into
-     * its callers in optimised builds.
+     * its callers in optimised builds. On the per-access path the
+     * probe flavour is a compile-time parameter of the *calling TU*
+     * (the batch-kernel TUs pass their inlined vector probe):
+     * dispatching every lookup through a pointer was measured to cost
+     * more than the 4-way scan it replaced (DESIGN.md §7.3). The one
+     * sanctioned pointer dispatch is lookup() on SetProbe::SimdDispatch
+     * TLBs, where the call sits on the L1-miss path and amortises.
+     *
+     * Every probe flavour reads the same bytes: the set's compare
+     * words in cmp_. The scalar loop and the SIMD kernels are
+     * interchangeable because a set holds at most one slot matching a
+     * (kind, key) word (insert() overwrites in place; src/check pins
+     * the no-duplicate invariant), so whatever order ways are compared
+     * in, the same single way — or none — is found, and the LRU touch,
+     * stats increments and returned entry are identical.
      */
-    const TlbEntry *lookup(EntryKind kind, TlbKey key)
+    template <class FindFn>
+    const TlbEntry *lookupWith(EntryKind kind, TlbKey key, FindFn &&find)
     {
         ++stats_.lookups;
         const std::size_t base =
             static_cast<std::size_t>(key.raw() & set_mask_) * ways_;
-        const TlbEntry *set = entries_.data() + base;
-        for (unsigned w = 0; w < ways_; ++w) {
-            const TlbEntry &e = set[w];
-            if (e.key == key && e.valid && e.kind == kind) {
-                last_use_[base + w] = ++tick_;
-                ++stats_.hits;
-                return &e;
-            }
-        }
-        return nullptr;
+        const std::uint64_t want = tlbCmpWord(kind, key);
+        const int w = find(cmp_.data() + base, ways_, want);
+        if (w < 0)
+            return nullptr;
+        last_use_[base + static_cast<unsigned>(w)] = ++tick_;
+        ++stats_.hits;
+        return &entries_[base + static_cast<unsigned>(w)];
+    }
+
+    /**
+     * Look up (kind, key) with this TLB's construction-time probe:
+     * the inlined scalar scan, or — for SetProbe::SimdDispatch TLBs
+     * on SIMD-capable hardware — the dispatched vector probe. The
+     * null check is one well-predicted branch; ScalarInline TLBs
+     * never pay an indirect call.
+     */
+    const TlbEntry *lookup(EntryKind kind, TlbKey key)
+    {
+        if (find_ != nullptr)
+            return lookupWith(kind, key, find_);
+        return lookupWith(kind, key, scalarFindWay);
+    }
+
+    /**
+     * Hint the prefetcher at @p key's set — the compare words the
+     * probe will scan and the first payload line a hit will read — so
+     * a batch kernel can warm the translate path a few *probes* ahead
+     * of the lookup (mmu/mmu.hh, kBatchPrefetchDistance).
+     * Semantics-free.
+     */
+    void prefetchSet(TlbKey key) const
+    {
+        const std::size_t base =
+            static_cast<std::size_t>(key.raw() & set_mask_) * ways_;
+        __builtin_prefetch(cmp_.data() + base, 0, 3);
+        __builtin_prefetch(entries_.data() + base, 0, 2);
     }
 
     /**
@@ -158,7 +272,10 @@ class SetAssocTlb
     /**
      * Mutable access to a stored entry for corruption-injection tests
      * of the invariant checkers (src/check). Never called by the
-     * simulator itself.
+     * simulator itself. Scribbles land only on entries_ — the
+     * compare-word mirror is deliberately left stale, which is fine
+     * because the invariant checkers read entryAt() directly and the
+     * corruption tests never probe through lookup().
      */
     TlbEntry &entryAtForTest(unsigned set, unsigned way);
 
@@ -171,13 +288,26 @@ class SetAssocTlb
     std::uint64_t set_mask_; //!< num_sets_ - 1, hoisted off the hot path
     std::string name_;
     /**
-     * Flat set-major storage, split structure-of-arrays style: the
-     * lookup loop touches only entries_ (compare fields packed
-     * contiguously per set); LRU timestamps live in a parallel array so
-     * they stay off the compare path's cache lines.
+     * Flat set-major storage, split structure-of-arrays style. The
+     * probe path touches only cmp_ — one tlbCmpWord per slot, a set's
+     * ways contiguous, the array simdAlignBytes-aligned so a 4-way set
+     * is one aligned 256-bit load. entries_ carries the payload
+     * (returned pointers keep their type and meaning); LRU timestamps
+     * live in a third array so they stay off the compare path's cache
+     * lines. cmp_[slot] is non-zero iff entries_[slot].valid — insert,
+     * invalidate and flush maintain the mirror (entryAtForTest
+     * deliberately does not; see its contract).
      */
     std::vector<TlbEntry> entries_;       // num_sets_ * ways_
+    AlignedU64Buffer cmp_;                // parallel: compare words
     std::vector<std::uint64_t> last_use_; // parallel to entries_
+    /**
+     * lookup()'s dispatched probe, or null for the inline scalar scan.
+     * Non-null only for SetProbe::SimdDispatch TLBs when the
+     * construction-time SIMD level has a findU64 kernel (so a
+     * scalar-forced run never dispatches and stays the reference).
+     */
+    SimdFindU64Fn find_ = nullptr;
     std::uint64_t tick_ = 0;
     std::uint64_t mutations_ = 0;
     TlbStats stats_;

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Test helper for comparing SIMD dispatch levels in one process.
+ */
+
+#ifndef ANCHORTLB_TESTS_COMMON_SIMD_TEST_UTIL_HH
+#define ANCHORTLB_TESTS_COMMON_SIMD_TEST_UTIL_HH
+
+#include "common/simd.hh"
+
+namespace atlb::test
+{
+
+/**
+ * RAII forceSimdLevel: pins @p level for the scope and restores the
+ * previous process level on exit, so a test that builds scalar-forced
+ * objects can never leak the override into later tests.
+ */
+class ScopedSimdLevel
+{
+  public:
+    explicit ScopedSimdLevel(SimdLevel level) : prev_(simdLevel())
+    {
+        forceSimdLevel(level);
+    }
+    ~ScopedSimdLevel() { forceSimdLevel(prev_); }
+
+    ScopedSimdLevel(const ScopedSimdLevel &) = delete;
+    ScopedSimdLevel &operator=(const ScopedSimdLevel &) = delete;
+
+  private:
+    SimdLevel prev_;
+};
+
+} // namespace atlb::test
+
+#endif // ANCHORTLB_TESTS_COMMON_SIMD_TEST_UTIL_HH

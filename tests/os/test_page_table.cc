@@ -98,6 +98,27 @@ TEST(PageTable, Map2MWalkCoversBlock)
     EXPECT_EQ(t.mapped2M(), 1u);
 }
 
+TEST(PageTable, PrefetchWalkIsSemanticsFree)
+{
+    // prefetchWalk only issues cache hints; it must be callable on any
+    // VPN — 4K-mapped, 2M-mapped, unmapped, partially built subtrees —
+    // and leave every later walk() result unchanged.
+    PageTable t;
+    t.map4K(base + 5, Ppn{777});
+    t.map2M(base + 512, Ppn{512 * 9});
+    for (const Vpn v : {base + 5, base + 512, base + 600, base + 4,
+                        Vpn{0}, Vpn{1ULL << 40}}) {
+        t.prefetchWalk(v);
+        t.prefetchWalk(v); // idempotent
+    }
+    EXPECT_EQ(t.walk(base + 5).ppn, Ppn{777});
+    EXPECT_EQ(t.walk(base + 513).ppn, Ppn{512 * 9 + 1});
+    EXPECT_FALSE(t.walk(base + 4).present);
+    EXPECT_FALSE(t.walk(Vpn{0}).present);
+    EXPECT_EQ(t.mapped4K(), 1u);
+    EXPECT_EQ(t.mapped2M(), 1u);
+}
+
 TEST(PageTable, MixedSizesCoexist)
 {
     PageTable t;

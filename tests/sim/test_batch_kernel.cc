@@ -30,6 +30,7 @@
 
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "common/simd_test_util.hh"
 #include "ingest/trace_open.hh"
 #include "ingest/trace_v2.hh"
 #include "mmu/anchor_mmu.hh"
@@ -587,6 +588,91 @@ TEST(BatchL0Filter, InterleavedPerAccessProbesInvalidateTheCarry)
     }
     probe.run(sameVpnBurst(hot, 2));
     probe.expectInSync("after interleaved probes");
+}
+
+// --- scalar vs SIMD dispatch levels -------------------------------------
+
+TEST(BatchSimdLevels, GridCellsMatchAcrossLevels)
+{
+    // The vectorised batch kernel (VPN/eq pre-pass + set-probe kernel)
+    // must land on results byte-identical to the scalar-dispatch
+    // kernel AND the per-access reference, cell by cell. The MMU
+    // captures its kernels at construction, so forcing the level
+    // around the whole cell run pins the flavour.
+    if (detectedSimdLevel() == SimdLevel::Scalar)
+        GTEST_SKIP() << "no vector level on this host";
+    const SimOptions opts = quickOptions();
+    for (const Scheme scheme : gridSchemes()) {
+        const std::string what = schemeName(scheme);
+        SCOPED_TRACE(what);
+        const CellFixture cell(opts, "canneal", ScenarioKind::MedContig,
+                               scheme);
+        const SimResult vec = runCellIn(
+            TranslateMode::Batch, opts, cell, ScenarioKind::MedContig,
+            scheme);
+        SimResult scalar;
+        SimResult scalar_ref;
+        {
+            test::ScopedSimdLevel forced(SimdLevel::Scalar);
+            scalar = runCellIn(TranslateMode::Batch, opts, cell,
+                               ScenarioKind::MedContig, scheme);
+            scalar_ref = runCellIn(TranslateMode::PerAccess, opts, cell,
+                                   ScenarioKind::MedContig, scheme);
+        }
+        expectResultsEqual(vec, scalar, what + " vec-batch vs scalar-batch");
+        expectResultsEqual(vec, scalar_ref,
+                           what + " vec-batch vs per-access");
+    }
+}
+
+TEST(BatchSimdLevels, RandomizedDifferentialScalarVsSimd)
+{
+    // Same random chunked streams as the per-access differential, but
+    // the reference is now the scalar-dispatch *batch* kernel: both
+    // rigs take the batch path, only the kernel flavour differs. Any
+    // pre-pass mistake (eq bit off by one, prev-VPN carry, stats
+    // accounting) diverges the counters at some chunk boundary.
+    if (detectedSimdLevel() == SimdLevel::Scalar)
+        GTEST_SKIP() << "no vector level on this host";
+    for (const std::uint64_t seed : {7ull, 21ull}) {
+        DifferentialRig vec_rig;
+        std::unique_ptr<DifferentialRig> scalar_rig;
+        {
+            test::ScopedSimdLevel forced(SimdLevel::Scalar);
+            scalar_rig = std::make_unique<DifferentialRig>();
+        }
+        const std::vector<MemAccess> stream =
+            randomMappedStream(20'000, seed);
+        Rng chunks(seed * 77 + 5);
+        ASSERT_EQ(vec_rig.pairs.size(), scalar_rig->pairs.size());
+        for (std::size_t p = 0; p < vec_rig.pairs.size(); ++p) {
+            Mmu &vec = *vec_rig.pairs[p].batch;
+            Mmu &ref = *scalar_rig->pairs[p].batch;
+            const std::string &name = vec_rig.pairs[p].name;
+            SCOPED_TRACE(name + "/seed " + std::to_string(seed));
+            BatchStats vec_bs;
+            BatchStats ref_bs;
+            std::size_t i = 0;
+            while (i < stream.size()) {
+                const std::size_t take = std::min(
+                    static_cast<std::size_t>(chunks.nextBounded(65)),
+                    stream.size() - i);
+                vec.translateBatch(stream.data() + i, take, vec_bs);
+                ref.translateBatch(stream.data() + i, take, ref_bs);
+                i += take;
+                expectStatsEqual(vec.stats(), ref.stats(),
+                                 name + " at access " +
+                                     std::to_string(i));
+                if (HasFailure())
+                    return; // one divergence floods the log otherwise
+            }
+            // The L0 filter must fire identically, not just the MMU
+            // counters: the eq-bitset pre-pass IS the filter.
+            EXPECT_EQ(vec_bs.accesses, ref_bs.accesses) << name;
+            EXPECT_EQ(vec_bs.l1_hits, ref_bs.l1_hits) << name;
+            EXPECT_EQ(vec_bs.l0_filtered, ref_bs.l0_filtered) << name;
+        }
+    }
 }
 
 // --- checked-build routing (satellite fix) ------------------------------

@@ -5,6 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/simd_test_util.hh"
 #include "tlb/set_assoc_tlb.hh"
 
 namespace atlb
@@ -182,6 +188,147 @@ TEST_P(TlbCapacity, NoConflictMissesWithinCapacity)
 }
 
 INSTANTIATE_TEST_SUITE_P(Ways, TlbCapacity, ::testing::Values(1, 2, 4, 8));
+
+// --- scalar vs SIMD probe differential ----------------------------------
+
+/**
+ * SimdDispatch TLB whose probe kernel was captured under a forced
+ * dispatch level — under SimdLevel::Scalar the capture degrades to
+ * the inline scalar scan, making "forced scalar" the reference the
+ * vector-level instance is diffed against.
+ */
+std::unique_ptr<SetAssocTlb>
+makeTlbAt(SimdLevel level, unsigned entries, unsigned ways,
+          const std::string &name)
+{
+    test::ScopedSimdLevel forced(level);
+    return std::make_unique<SetAssocTlb>(entries, ways, name,
+                                         SetProbe::SimdDispatch);
+}
+
+void
+expectTlbStatsEqual(const SetAssocTlb &a, const SetAssocTlb &b,
+                    const std::string &what)
+{
+    EXPECT_EQ(a.stats().lookups, b.stats().lookups) << what;
+    EXPECT_EQ(a.stats().hits, b.stats().hits) << what;
+    EXPECT_EQ(a.stats().insertions, b.stats().insertions) << what;
+    EXPECT_EQ(a.stats().evictions, b.stats().evictions) << what;
+    EXPECT_EQ(a.validCount(), b.validCount()) << what;
+}
+
+TEST(SetAssocTlbSimd, RandomizedOpsMatchScalarReference)
+{
+    // The vector probe must be interchangeable with the scalar scan for
+    // every externally observable outcome: hit/miss, returned entry,
+    // LRU updates (observed through later victim choices), stats. The
+    // key space is kept small relative to capacity so sets overflow and
+    // evictions/LRU ties happen constantly; geometries include the
+    // non-power-of-two way counts the cluster TLB uses (vector groups
+    // plus a scalar tail).
+    if (detectedSimdLevel() == SimdLevel::Scalar)
+        GTEST_SKIP() << "no vector level on this host";
+    const EntryKind kinds[] = {EntryKind::Page4K, EntryKind::Page2M,
+                               EntryKind::Anchor, EntryKind::Cluster};
+    struct Geometry
+    {
+        unsigned entries, ways;
+    } const geometries[] = {{4, 4}, {8, 4}, {64, 4}, {320, 5},
+                            {768, 6}, {1024, 8}};
+    for (const Geometry g : geometries) {
+        for (const std::uint64_t seed : {3ull, 17ull, 91ull}) {
+            const std::string what = std::to_string(g.entries) + "/" +
+                                     std::to_string(g.ways) + " seed " +
+                                     std::to_string(seed);
+            SCOPED_TRACE(what);
+            const std::unique_ptr<SetAssocTlb> vec = makeTlbAt(
+                detectedSimdLevel(), g.entries, g.ways, "vec");
+            const std::unique_ptr<SetAssocTlb> ref =
+                makeTlbAt(SimdLevel::Scalar, g.entries, g.ways, "ref");
+            Rng rng(seed);
+            const std::uint64_t keyspace =
+                3 * (g.entries / g.ways) * g.ways / 2 + 1;
+            for (unsigned op = 0; op < 5'000; ++op) {
+                const EntryKind kind = kinds[rng.nextBounded(4)];
+                const TlbKey key{rng.nextBounded(keyspace)};
+                const unsigned what_op = static_cast<unsigned>(
+                    rng.nextBounded(100));
+                if (what_op < 55) {
+                    const TlbEntry *ve = vec->lookup(kind, key);
+                    const TlbEntry *re = ref->lookup(kind, key);
+                    ASSERT_EQ(ve != nullptr, re != nullptr) << op;
+                    if (ve != nullptr) {
+                        ASSERT_EQ(ve->ppn, re->ppn) << op;
+                        ASSERT_EQ(ve->aux, re->aux) << op;
+                    }
+                } else if (what_op < 85) {
+                    const TlbEntry e = entry(
+                        kind, key.raw(), op + 1,
+                        static_cast<std::uint32_t>(op));
+                    vec->insert(e);
+                    ref->insert(e);
+                } else if (what_op < 95) {
+                    vec->invalidate(kind, key);
+                    ref->invalidate(kind, key);
+                } else if (what_op < 99) {
+                    const TlbEntry *ve = vec->probe(kind, key);
+                    const TlbEntry *re = ref->probe(kind, key);
+                    ASSERT_EQ(ve != nullptr, re != nullptr) << op;
+                } else {
+                    vec->flush();
+                    ref->flush();
+                }
+                if (op % 256 == 0)
+                    expectTlbStatsEqual(*vec, *ref,
+                                        what + " op " +
+                                            std::to_string(op));
+                if (HasFailure())
+                    return; // one divergence floods the log otherwise
+            }
+            expectTlbStatsEqual(*vec, *ref, what + " final");
+        }
+    }
+}
+
+TEST(SetAssocTlbSimd, LruTieVictimsIdenticalAcrossLevels)
+{
+    // All-equal last_use ties (never-touched ways) and deliberate
+    // touch patterns must elect the same victim under both probe
+    // flavours — victim choice is scalar by design, but it consumes
+    // the LRU stamps the vector lookup wrote.
+    if (detectedSimdLevel() == SimdLevel::Scalar)
+        GTEST_SKIP() << "no vector level on this host";
+    const std::unique_ptr<SetAssocTlb> vec =
+        makeTlbAt(detectedSimdLevel(), 4, 4, "vec");
+    const std::unique_ptr<SetAssocTlb> ref =
+        makeTlbAt(SimdLevel::Scalar, 4, 4, "ref");
+    for (std::uint64_t k = 0; k < 4; ++k) {
+        vec->insert(entry(EntryKind::Page4K, k, k));
+        ref->insert(entry(EntryKind::Page4K, k, k));
+    }
+    // Untouched tie: both must evict the same way.
+    vec->insert(entry(EntryKind::Page4K, 100, 100));
+    ref->insert(entry(EntryKind::Page4K, 100, 100));
+    for (std::uint64_t k = 0; k < 4; ++k)
+        ASSERT_EQ(vec->probe(EntryKind::Page4K, TlbKey{k}) != nullptr,
+                  ref->probe(EntryKind::Page4K, TlbKey{k}) != nullptr)
+            << k;
+    // Touch two survivors in opposite-of-insertion order, then evict
+    // twice more; the vector lookup's LRU stamps drive the choices.
+    for (const std::uint64_t k : {3ull, 2ull}) {
+        vec->lookup(EntryKind::Page4K, TlbKey{k});
+        ref->lookup(EntryKind::Page4K, TlbKey{k});
+    }
+    for (const std::uint64_t k : {101ull, 102ull}) {
+        vec->insert(entry(EntryKind::Page4K, k, k));
+        ref->insert(entry(EntryKind::Page4K, k, k));
+    }
+    for (std::uint64_t k = 0; k < 103; ++k)
+        ASSERT_EQ(vec->probe(EntryKind::Page4K, TlbKey{k}) != nullptr,
+                  ref->probe(EntryKind::Page4K, TlbKey{k}) != nullptr)
+            << k;
+    expectTlbStatsEqual(*vec, *ref, "lru ties");
+}
 
 } // namespace
 } // namespace atlb
