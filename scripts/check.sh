@@ -129,7 +129,7 @@ tsan_leg() {
         --target test_common test_sim test_integration test_ingest
     (cd "$repo/build-tsan" &&
         ctest --output-on-failure -j "$jobs" \
-            -R 'ThreadPool|ParallelRunner|Sharded|Batch')
+            -R 'ThreadPool|ParallelRunner|Sharded|Batch|MultiProcess|SwitchPolicy|AsidRetention')
 }
 
 if [[ $fast == 0 ]]; then

@@ -8,10 +8,12 @@
 # with `gcov --json-format` and a small python step (the container has
 # no gcovr/lcov). Prints a per-module table for src/ and enforces a
 # minimum line coverage over the focus set src/sim + src/tlb — the
-# paper-critical translation and sharding logic.
+# paper-critical translation and sharding logic — and, per file, over
+# src/sim/multiprocess.cc (the switch-policy/shootdown scheduler).
 #
 # Knobs:
-#   ANCHORTLB_COVERAGE_MIN   minimum percent for src/sim+src/tlb
+#   ANCHORTLB_COVERAGE_MIN   minimum percent for src/sim+src/tlb and
+#                            for src/sim/multiprocess.cc individually
 #                            (default 90; measured 96.0% at merge time)
 #   ANCHORTLB_COVERAGE_JSON  optional path to write the aggregated
 #                            per-module summary as JSON (CI artifact)
@@ -96,6 +98,14 @@ focus_t = sum(modules[m][1] for m in ("src/sim", "src/tlb") if m in modules)
 focus = 100.0 * focus_c / focus_t if focus_t else 0.0
 print(f"{'src/sim+tlb':<16} {focus_c:>8} {focus_t:>8} {focus:>7.1f}%")
 
+# Per-file gate: the multi-process scheduler carries the switch-policy
+# and shootdown semantics — every branch of it must stay exercised.
+mp_file = "src/sim/multiprocess.cc"
+mp_c = sum(1 for (rel, _), hit in lines.items() if rel == mp_file and hit)
+mp_t = sum(1 for (rel, _), _ in lines.items() if rel == mp_file)
+mp = 100.0 * mp_c / mp_t if mp_t else 0.0
+print(f"{'multiprocess.cc':<16} {mp_c:>8} {mp_t:>8} {mp:>7.1f}%")
+
 if json_out:
     summary = {m: {"covered": c, "total": t, "percent": 100.0 * c / t}
                for m, (c, t) in sorted(modules.items())}
@@ -110,6 +120,12 @@ if json_out:
 if focus < minimum:
     sys.exit(f"\ncoverage gate FAILED: src/sim+src/tlb at {focus:.1f}% "
              f"< required {minimum:.1f}%")
-print(f"\ncoverage gate OK: src/sim+src/tlb at {focus:.1f}% "
-      f">= {minimum:.1f}%")
+if mp_t == 0:
+    sys.exit(f"\ncoverage gate FAILED: {mp_file} not instrumented "
+             f"(file moved or dropped from the build?)")
+if mp < minimum:
+    sys.exit(f"\ncoverage gate FAILED: {mp_file} at {mp:.1f}% "
+             f"< required {minimum:.1f}%")
+print(f"\ncoverage gate OK: src/sim+src/tlb at {focus:.1f}% and "
+      f"{mp_file} at {mp:.1f}% >= {minimum:.1f}%")
 PY

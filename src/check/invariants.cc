@@ -92,10 +92,17 @@ checkAnchorInvariants(const AnchorMmu &mmu)
             const TlbEntry &e = l2.entryAt(set, way);
             if (!e.valid || e.kind != EntryKind::Anchor)
                 continue;
+            // Retained entries of other address spaces can't be checked
+            // here: their page table isn't the one loaded in the MMU.
+            if (tlbKeyAsid(e.key) != l2.asid())
+                continue;
 
-            // Anchor keys are group-encoded; reconstructing the VPN is
-            // this checker's job. lint-allow: page-shift
-            const Vpn avpn{e.key.raw() << shift};
+            // Anchor keys are group-encoded under the ASID tag;
+            // reconstructing the VPN is this checker's job.
+            constexpr std::uint64_t scheme_mask =
+                (std::uint64_t{1} << tlbKeyAsidShift) - 1;
+            // lint-allow: page-shift
+            const Vpn avpn{(e.key.raw() & scheme_mask) << shift};
             if (!avpn.isAligned(distance)) {
                 violate(report,
                         "{}: anchor vpn {} not aligned to distance {}",

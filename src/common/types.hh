@@ -385,6 +385,21 @@ class TlbKey : public detail::Ordinal<TlbKey>
     using detail::Ordinal<TlbKey>::Ordinal;
 };
 
+/**
+ * Address-space identifier tagging translations with their owning
+ * process. ASID 0 is the untagged/single-process default: a TLB whose
+ * current ASID is 0 produces exactly the pre-ASID compare words, so
+ * single-tenant runs stay byte-identical. Non-zero ASIDs are mixed
+ * into the TlbKey tag bits (see set_assoc_tlb.hh) so translations of
+ * different address spaces coexist in one physical TLB. Only
+ * comparable — an ASID is a name, not a number to do arithmetic on.
+ */
+class Asid : public detail::Ordinal<Asid>
+{
+  public:
+    using detail::Ordinal<Asid>::Ordinal;
+};
+
 /** Key of a 4KB-page entry: the VPN itself. */
 constexpr TlbKey
 pageKey(Vpn vpn)
@@ -547,6 +562,7 @@ static_assert(detail::isZeroCostWrapper<VirtAddr>);
 static_assert(detail::isZeroCostWrapper<PhysAddr>);
 static_assert(detail::isZeroCostWrapper<PageCount>);
 static_assert(detail::isZeroCostWrapper<TlbKey>);
+static_assert(detail::isZeroCostWrapper<Asid>);
 static_assert(std::is_trivially_copyable_v<AnchorDist> &&
               sizeof(AnchorDist) == 16);
 

@@ -27,7 +27,17 @@ AnchorMmu::switchProcess(const ProcessContext &ctx)
 {
     ATLB_ASSERT(!ctx.anchor_distance.none(),
                 "anchor scheme needs a per-process distance");
-    setDistance(ctx.anchor_distance);
+    ATLB_ASSERT(ctx.anchor_distance.valid() &&
+                    ctx.anchor_distance.pages() <= config_.max_contiguity,
+                "bad anchor distance {}", ctx.anchor_distance);
+    // Load the register directly rather than through setDistance: a
+    // switch under ASID retention must NOT flush — each process's
+    // anchor entries carry its ASID tag, so distances coexist. Under
+    // the flush policy the base switch flushes right after, preserving
+    // the paper's behaviour. setDistance keeps its flush for
+    // *in-process* distance changes, where old-distance entries would
+    // otherwise go stale.
+    distance_ = ctx.anchor_distance;
     Mmu::switchProcess(ctx);
 }
 
@@ -150,6 +160,36 @@ AnchorMmu::invalidatePage(Vpn vpn)
     l2_.invalidate(EntryKind::Page4K, pageKey(vpn));
     l2_.invalidate(EntryKind::Page2M, hugeKey(vpn));
     l2_.invalidate(EntryKind::Anchor, anchorKey(anchorOf(vpn)));
+}
+
+void
+AnchorMmu::invalidatePage(Vpn vpn, Asid target)
+{
+    if (target != currentAsid()) {
+        // The anchor key needs the target's distance register, which
+        // is not loaded; over-invalidate the whole address space
+        // rather than risk a stale anchor surviving.
+        invalidateAsid(target);
+        return;
+    }
+    Mmu::invalidatePage(vpn, target);
+    l2_.invalidate(EntryKind::Page4K, pageKey(vpn), target);
+    l2_.invalidate(EntryKind::Page2M, hugeKey(vpn), target);
+    l2_.invalidate(EntryKind::Anchor, anchorKey(anchorOf(vpn)), target);
+}
+
+void
+AnchorMmu::invalidateAsid(Asid target)
+{
+    Mmu::invalidateAsid(target);
+    l2_.invalidateAsid(target);
+}
+
+void
+AnchorMmu::applyAsid(Asid asid)
+{
+    Mmu::applyAsid(asid);
+    l2_.setAsid(asid);
 }
 
 } // namespace atlb

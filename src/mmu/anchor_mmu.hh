@@ -72,6 +72,15 @@ class AnchorMmu : public Mmu
      */
     void invalidatePage(Vpn vpn) override;
 
+    /**
+     * Cross-ASID shootdown. Anchor keys are formed with the current
+     * distance register, so a target other than the running address
+     * space falls back to invalidateAsid (see Mmu::invalidatePage).
+     */
+    void invalidatePage(Vpn vpn, Asid target) override;
+
+    void invalidateAsid(Asid target) override;
+
     /** Loads the new process's table and anchor-distance register. */
     void switchProcess(const ProcessContext &ctx) override;
 
@@ -99,6 +108,9 @@ class AnchorMmu : public Mmu
 
     /** Adds the unified-L2 sets (4K, 2M, anchor) probed on a miss. */
     void prefetchTranslate(Vpn vpn) const override;
+
+    /** Retags the unified L2. */
+    void applyAsid(Asid asid) override;
 
   private:
     SetAssocTlb l2_;

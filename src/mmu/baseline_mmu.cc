@@ -94,4 +94,31 @@ BaselineMmu::invalidatePage(Vpn vpn)
     l2_1g_.invalidate(EntryKind::Page1G, giantKey(vpn));
 }
 
+void
+BaselineMmu::invalidatePage(Vpn vpn, Asid target)
+{
+    // Per-page keys carry no per-process register state, so the
+    // cross-ASID shootdown is exact.
+    Mmu::invalidatePage(vpn, target);
+    l2_.invalidate(EntryKind::Page4K, pageKey(vpn), target);
+    l2_.invalidate(EntryKind::Page2M, hugeKey(vpn), target);
+    l2_1g_.invalidate(EntryKind::Page1G, giantKey(vpn), target);
+}
+
+void
+BaselineMmu::invalidateAsid(Asid target)
+{
+    Mmu::invalidateAsid(target);
+    l2_.invalidateAsid(target);
+    l2_1g_.invalidateAsid(target);
+}
+
+void
+BaselineMmu::applyAsid(Asid asid)
+{
+    Mmu::applyAsid(asid);
+    l2_.setAsid(asid);
+    l2_1g_.setAsid(asid);
+}
+
 } // namespace atlb

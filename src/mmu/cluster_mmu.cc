@@ -149,4 +149,30 @@ ClusterMmu::invalidatePage(Vpn vpn)
     cluster_.invalidate(EntryKind::Cluster, groupKey(vpn, span_log2_));
 }
 
+void
+ClusterMmu::invalidatePage(Vpn vpn, Asid target)
+{
+    Mmu::invalidatePage(vpn, target);
+    regular_.invalidate(EntryKind::Page4K, pageKey(vpn), target);
+    regular_.invalidate(EntryKind::Page2M, hugeKey(vpn), target);
+    cluster_.invalidate(EntryKind::Cluster, groupKey(vpn, span_log2_),
+                        target);
+}
+
+void
+ClusterMmu::invalidateAsid(Asid target)
+{
+    Mmu::invalidateAsid(target);
+    regular_.invalidateAsid(target);
+    cluster_.invalidateAsid(target);
+}
+
+void
+ClusterMmu::applyAsid(Asid asid)
+{
+    Mmu::applyAsid(asid);
+    regular_.setAsid(asid);
+    cluster_.setAsid(asid);
+}
+
 } // namespace atlb

@@ -163,4 +163,32 @@ ColtMmu::invalidatePage(Vpn vpn)
     fa_.invalidateContaining(vpn);
 }
 
+void
+ColtMmu::invalidatePage(Vpn vpn, Asid target)
+{
+    Mmu::invalidatePage(vpn, target);
+    regular_.invalidate(EntryKind::Page4K, pageKey(vpn), target);
+    coalesced_.invalidate(EntryKind::Cluster,
+                          TlbKey{vpn.raw() / config_.cluster_span}, target);
+    fa_.invalidateContaining(vpn, target);
+}
+
+void
+ColtMmu::invalidateAsid(Asid target)
+{
+    Mmu::invalidateAsid(target);
+    regular_.invalidateAsid(target);
+    coalesced_.invalidateAsid(target);
+    fa_.invalidateAsid(target);
+}
+
+void
+ColtMmu::applyAsid(Asid asid)
+{
+    Mmu::applyAsid(asid);
+    regular_.setAsid(asid);
+    coalesced_.setAsid(asid);
+    fa_.setAsid(asid);
+}
+
 } // namespace atlb

@@ -218,7 +218,26 @@ Mmu::switchProcess(const ProcessContext &ctx)
 {
     ATLB_ASSERT(ctx.table, "switchProcess without a page table");
     table_ = ctx.table;
-    flushAll();
+    if (policy_ == SwitchPolicy::Flush) {
+        flushAll();
+        return;
+    }
+    ATLB_ASSERT(ctx.asid.raw() != 0,
+                "ASID-policy switch needs a non-zero ASID");
+    asid_ = ctx.asid;
+    // The hot entry the L0 filter cached belongs to the old address
+    // space (the TLB mutation bump would catch it too; eager is safer).
+    l0FilterClear();
+    applyAsid(ctx.asid);
+}
+
+void
+Mmu::applyAsid(Asid asid)
+{
+    l1_4k_.setAsid(asid);
+    l1_2m_.setAsid(asid);
+    if (pwc_)
+        pwc_->flush();
 }
 
 void
@@ -227,6 +246,24 @@ Mmu::invalidatePage(Vpn vpn)
     l0FilterClear();
     l1_4k_.invalidate(EntryKind::Page4K, pageKey(vpn));
     l1_2m_.invalidate(EntryKind::Page2M, hugeKey(vpn));
+}
+
+void
+Mmu::invalidatePage(Vpn vpn, Asid target)
+{
+    l0FilterClear();
+    l1_4k_.invalidate(EntryKind::Page4K, pageKey(vpn), target);
+    l1_2m_.invalidate(EntryKind::Page2M, hugeKey(vpn), target);
+}
+
+void
+Mmu::invalidateAsid(Asid target)
+{
+    l0FilterClear();
+    l1_4k_.invalidateAsid(target);
+    l1_2m_.invalidateAsid(target);
+    if (pwc_)
+        pwc_->flush();
 }
 
 void

@@ -69,6 +69,26 @@ struct ProcessContext
     const MemoryMap *map = nullptr;             //!< RMM range table
     AnchorDist anchor_distance{};               //!< anchor scheme
     const RegionPartition *partition = nullptr; //!< multi-region scheme
+    /** Address-space tag under SwitchPolicy::Asid (0 = untagged). */
+    Asid asid{};
+};
+
+/**
+ * What a context switch does to translation state (paper Section 3.3
+ * vs the ASID-tagged alternative).
+ *
+ * Flush is the x86 Linux convention the paper assumes: every switch
+ * flushes all TLBs, so per-process scheme registers (anchor distance,
+ * region table) can change for free — but each quantum restarts cold.
+ * Asid retains entries across switches by tagging them with the
+ * process's ASID: warm restarts, but a remap in *any* resident address
+ * space must now be shot down explicitly (see MmuConfig's shootdown
+ * cost model) instead of dying in the next flush.
+ */
+enum class SwitchPolicy : std::uint8_t
+{
+    Flush, //!< flush-on-switch (the paper's x86 assumption)
+    Asid,  //!< ASID-tagged retention across switches
 };
 
 /** Where a translation was satisfied. */
@@ -105,6 +125,15 @@ struct MmuStats
     std::uint64_t coalesced_hits = 0;
     std::uint64_t page_walks = 0;
     Cycles translation_cycles = 0;
+    /** Shootdown rounds charged (SwitchPolicy::Asid remaps). */
+    std::uint64_t shootdowns = 0;
+    /**
+     * IPI cycles those rounds cost (MmuConfig's shootdown model).
+     * Kept apart from translation_cycles: translation CPI stays
+     * comparable across policies, and the shootdown tax is reported
+     * (and charged into CPI) explicitly.
+     */
+    Cycles shootdown_cycles = 0;
 
     /** TLB misses as the paper counts them: full page walks. */
     std::uint64_t misses() const { return page_walks; }
@@ -124,6 +153,8 @@ struct MmuStats
         coalesced_hits += other.coalesced_hits;
         page_walks += other.page_walks;
         translation_cycles += other.translation_cycles;
+        shootdowns += other.shootdowns;
+        shootdown_cycles += other.shootdown_cycles;
         return *this;
     }
 };
@@ -224,11 +255,23 @@ class Mmu
     virtual void flushAll();
 
     /**
-     * Context switch: load @p ctx's page table (and scheme-specific
-     * state) and flush the TLBs, as the x86 Linux kernel does
-     * (paper Section 3.3). @p ctx.table must be non-null.
+     * Context switch: load @p ctx's page table and scheme-specific
+     * state, then either flush the TLBs (SwitchPolicy::Flush, as the
+     * x86 Linux kernel does, paper Section 3.3) or retag them with
+     * @p ctx.asid (SwitchPolicy::Asid), leaving other address spaces'
+     * entries resident. @p ctx.table must be non-null.
      */
     virtual void switchProcess(const ProcessContext &ctx);
+
+    /**
+     * Choose what switchProcess does to TLB state. Takes effect from
+     * the next switch; the default is Flush, the paper's assumption.
+     */
+    void setSwitchPolicy(SwitchPolicy policy) { policy_ = policy; }
+    SwitchPolicy switchPolicy() const { return policy_; }
+
+    /** The address space currently tagged onto TLB operations. */
+    Asid currentAsid() const { return asid_; }
 
     /**
      * Targeted shootdown for one page after the OS changed its
@@ -236,9 +279,42 @@ class Mmu
      * @p vpn — including coalesced entries that merely *cover* it
      * (the paper's Section 3.3 notes the shootdown must invalidate
      * anchor entries as well as page entries). Schemes extend this for
-     * their own structures.
+     * their own structures. Acts on the current ASID.
      */
     virtual void invalidatePage(Vpn vpn);
+
+    /**
+     * ASID-qualified page shootdown: invalidate @p target's entries
+     * covering @p vpn while some other process may be running.
+     * Schemes whose coalesced keys depend on per-process registers
+     * (the anchor distance, the region table) can only form exact
+     * keys for the address space whose registers are loaded; for any
+     * other target they conservatively fall back to invalidateAsid —
+     * over-invalidation, never a stale survivor. Schemes with
+     * register-free keys (baseline, cluster, CoLT, RMM) invalidate
+     * exactly.
+     */
+    virtual void invalidatePage(Vpn vpn, Asid target);
+
+    /**
+     * Drop every translation tagged with @p target (address-space
+     * teardown, or the conservative arm of a cross-ASID shootdown).
+     * Entries of other ASIDs stay resident.
+     */
+    virtual void invalidateAsid(Asid target);
+
+    /**
+     * Account one TLB shootdown round against this MMU: @p responders
+     * remote cores take the IPI for a @p pages -page invalidation
+     * batch (see shootdownCost). Pure accounting — the caller issues
+     * the invalidations themselves.
+     */
+    void chargeShootdown(unsigned responders, std::uint64_t pages)
+    {
+        ++stats_.shootdowns;
+        stats_.shootdown_cycles +=
+            shootdownCost(config_, responders, pages);
+    }
 
     /**
      * Enter nested (virtualized) mode: the MMU's page table becomes
@@ -436,6 +512,16 @@ class Mmu
      */
     virtual void prefetchTranslate(Vpn vpn) const;
 
+    /**
+     * Retag TLB structures with @p asid on an ASID-policy switch. The
+     * base retags both L1s and flushes the page-walk cache (PTE lines
+     * are per-address-space and the PWC carries no tag — a flush is
+     * the conservative model; it is also what invpcid-less hardware
+     * does). Schemes override to retag their L2/coalesced structures
+     * and must call the base.
+     */
+    virtual void applyAsid(Asid asid);
+
     const MmuConfig config_;
     /** Current process's page table (swapped by switchProcess). */
     const PageTable *table_;
@@ -447,6 +533,8 @@ class Mmu
     std::string name_;
     SetAssocTlb l1_4k_;
     SetAssocTlb l1_2m_;
+    SwitchPolicy policy_ = SwitchPolicy::Flush;
+    Asid asid_{};
     /** Optional page-walk cache (config_.pwc_enabled). */
     std::unique_ptr<WalkCache> pwc_;
     MmuStats stats_;

@@ -86,7 +86,59 @@ struct MmuConfig
      * runs in nested mode.
      */
     Cycles nested_ref_cycles = 12;
+
+    /**
+     * TLB shootdown cost model (multi-tenant ASID retention). Under
+     * flush-on-switch a descheduled process's remaps cost nothing —
+     * the next switch flushes anyway — but retained ASID-tagged
+     * entries make every remap an inter-processor-interrupt round:
+     * the initiating core spends shootdown_initiator_cycles setting up
+     * and waiting out the IPI, and every other core sharing the
+     * address space takes an interrupt, invalidates, and acknowledges
+     * (shootdown_responder_cycles each), plus a small per-page charge
+     * for each extra INVLPG in the same batch. The shape (flat
+     * initiator + per-responder cost dwarfing the per-page increment)
+     * follows the published IPI measurements the ROADMAP references
+     * (bitcharmer's tlb_shootdowns: single-page shootdown latency is
+     * microseconds-scale, dominated by the interrupt round-trip, and
+     * grows mildly with responder count and page count); defaults are
+     * cycles at the simulator's nominal clock, deliberately coarse —
+     * the experiments compare policies under one cost model rather
+     * than predict absolute wall time (DESIGN.md).
+     *
+     * Past shootdown_full_flush_pages the per-page INVLPG batch stops
+     * paying: responders flush their whole TLB in one go instead, so
+     * the per-page term caps there (Linux's
+     * tlb_single_page_flush_ceiling, default 33, models the same
+     * break-even). Without the cap a whole-address-space remap would
+     * charge per-page IPI work for millions of pages — a full
+     * migration's bill, not a shootdown round's.
+     */
+    Cycles shootdown_initiator_cycles = 4000;
+    Cycles shootdown_responder_cycles = 2500;
+    Cycles shootdown_page_cycles = 150;
+    std::uint64_t shootdown_full_flush_pages = 33;
 };
+
+/**
+ * Cycles one shootdown charges: @p responders remote cores each take
+ * the IPI, plus the initiator's setup/wait, plus the per-page INVLPG
+ * increment for a @p pages -page batch (at least one page, capped at
+ * the full-flush ceiling — past it responders flush everything).
+ */
+constexpr Cycles
+shootdownCost(const MmuConfig &config, unsigned responders,
+              std::uint64_t pages)
+{
+    const std::uint64_t batch =
+        pages > 0 ? (pages < config.shootdown_full_flush_pages
+                         ? pages
+                         : config.shootdown_full_flush_pages)
+                  : 1;
+    return config.shootdown_initiator_cycles +
+           responders * config.shootdown_responder_cycles +
+           batch * config.shootdown_page_cycles;
+}
 
 } // namespace atlb
 

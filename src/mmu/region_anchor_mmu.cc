@@ -151,4 +151,38 @@ RegionAnchorMmu::invalidatePage(Vpn vpn)
     l2_.invalidate(EntryKind::Anchor, anchorKey(avpn, distance));
 }
 
+void
+RegionAnchorMmu::invalidatePage(Vpn vpn, Asid target)
+{
+    if (target != currentAsid()) {
+        // The anchor key needs the target's region table, which is not
+        // loaded; over-invalidate the whole address space rather than
+        // risk a stale anchor surviving.
+        invalidateAsid(target);
+        return;
+    }
+    Mmu::invalidatePage(vpn, target);
+    l2_.invalidate(EntryKind::Page4K, pageKey(vpn), target);
+    l2_.invalidate(EntryKind::Page2M, hugeKey(vpn), target);
+    AnchorDist distance = partition_.default_distance;
+    if (const AnchorRegion *region = regionFor(vpn))
+        distance = region->distance;
+    const Vpn avpn = distance.anchorOf(vpn);
+    l2_.invalidate(EntryKind::Anchor, anchorKey(avpn, distance), target);
+}
+
+void
+RegionAnchorMmu::invalidateAsid(Asid target)
+{
+    Mmu::invalidateAsid(target);
+    l2_.invalidateAsid(target);
+}
+
+void
+RegionAnchorMmu::applyAsid(Asid asid)
+{
+    Mmu::applyAsid(asid);
+    l2_.setAsid(asid);
+}
+
 } // namespace atlb

@@ -65,6 +65,15 @@ class RegionAnchorMmu : public Mmu
     /** Kills the page's entries and its region's covering anchor. */
     void invalidatePage(Vpn vpn) override;
 
+    /**
+     * Cross-ASID shootdown. Anchor keys need the target's region table,
+     * which is only loaded for the running process, so a non-current
+     * target falls back to invalidateAsid (see Mmu::invalidatePage).
+     */
+    void invalidatePage(Vpn vpn, Asid target) override;
+
+    void invalidateAsid(Asid target) override;
+
     /** Loads the new process's table and region table. */
     void switchProcess(const ProcessContext &ctx) override;
 
@@ -81,6 +90,9 @@ class RegionAnchorMmu : public Mmu
      */
     void prefetchTranslate(Vpn vpn) const override;
 
+    /** Retags the unified L2. */
+    void applyAsid(Asid asid) override;
+
   private:
     SetAssocTlb l2_;
     RegionPartition partition_;
@@ -89,12 +101,22 @@ class RegionAnchorMmu : public Mmu
     /** Region containing @p vpn, or nullptr. */
     const AnchorRegion *regionFor(Vpn vpn) const;
 
-    /** L2 key for an anchor: distance-tagged so regions never alias. */
+    /**
+     * L2 key for an anchor: distance-tagged so regions never alias.
+     * log2(distance) <= 16 needs 5 bits; packing it at bit 43 fills
+     * the 48-bit scheme-key budget exactly — the bits above belong to
+     * the ASID tag (tlb/set_assoc_tlb.hh) and must stay clear.
+     */
+    static constexpr unsigned anchorKeyLog2Shift = 43;
+    static_assert(anchorKeyLog2Shift + 5 == tlbKeyAsidShift);
+
     static TlbKey
     anchorKey(Vpn avpn, AnchorDist distance)
     {
+        // Tag-word packing, not page math.
         return TlbKey{distance.keyOf(avpn).raw() |
-                      (static_cast<std::uint64_t>(distance.log2()) << 52)};
+                      (static_cast<std::uint64_t>(distance.log2())
+                       << anchorKeyLog2Shift)}; // lint-allow: page-shift
     }
 };
 

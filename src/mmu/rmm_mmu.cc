@@ -70,4 +70,25 @@ RmmMmu::invalidatePage(Vpn vpn)
     range_tlb_.invalidateContaining(vpn);
 }
 
+void
+RmmMmu::invalidatePage(Vpn vpn, Asid target)
+{
+    BaselineMmu::invalidatePage(vpn, target);
+    range_tlb_.invalidateContaining(vpn, target);
+}
+
+void
+RmmMmu::invalidateAsid(Asid target)
+{
+    BaselineMmu::invalidateAsid(target);
+    range_tlb_.invalidateAsid(target);
+}
+
+void
+RmmMmu::applyAsid(Asid asid)
+{
+    BaselineMmu::applyAsid(asid);
+    range_tlb_.setAsid(asid);
+}
+
 } // namespace atlb

@@ -45,6 +45,11 @@ class RmmMmu : public BaselineMmu
     /** Also kills any cached range covering the page. */
     void invalidatePage(Vpn vpn) override;
 
+    /** Range slots carry their own ASID: cross-ASID shootdown is exact. */
+    void invalidatePage(Vpn vpn, Asid target) override;
+
+    void invalidateAsid(Asid target) override;
+
     /** Loads the new process's table and range table. */
     void switchProcess(const ProcessContext &ctx) override;
 
@@ -52,6 +57,9 @@ class RmmMmu : public BaselineMmu
 
   protected:
     TranslationResult translateL2(Vpn vpn) override;
+
+    /** Retags the range TLB on top of the baseline structures. */
+    void applyAsid(Asid asid) override;
 
   private:
     const MemoryMap *range_table_;

@@ -15,7 +15,8 @@ RangeTlb::lookup(Vpn vpn)
 {
     ++stats_.lookups;
     for (auto &slot : slots_) {
-        if (slot.valid && slot.range.contains(vpn)) {
+        if (slot.valid && slot.asid == asid_ &&
+            slot.range.contains(vpn)) {
             slot.last_use = ++tick_;
             ++stats_.hits;
             return &slot.range;
@@ -30,7 +31,8 @@ RangeTlb::insert(const RangeEntry &range)
     ATLB_ASSERT(range.vpn_end > range.vpn_start, "empty range");
     Slot *victim = nullptr;
     for (auto &slot : slots_) {
-        if (slot.valid && slot.range.vpn_start == range.vpn_start &&
+        if (slot.valid && slot.asid == asid_ &&
+            slot.range.vpn_start == range.vpn_start &&
             slot.range.vpn_end == range.vpn_end) {
             victim = &slot; // refresh duplicate in place
             break;
@@ -43,10 +45,12 @@ RangeTlb::insert(const RangeEntry &range)
             victim = &slot;
         }
     }
-    if (victim->valid && victim->range.vpn_start != range.vpn_start)
+    if (victim->valid && (victim->asid != asid_ ||
+                          victim->range.vpn_start != range.vpn_start))
         ++stats_.evictions;
     victim->valid = true;
     victim->range = range;
+    victim->asid = asid_;
     victim->last_use = ++tick_;
     ++stats_.insertions;
 }
@@ -61,8 +65,23 @@ RangeTlb::flush()
 void
 RangeTlb::invalidateContaining(Vpn vpn)
 {
+    invalidateContaining(vpn, asid_);
+}
+
+void
+RangeTlb::invalidateContaining(Vpn vpn, Asid asid)
+{
     for (auto &slot : slots_)
-        if (slot.valid && slot.range.contains(vpn))
+        if (slot.valid && slot.asid == asid &&
+            slot.range.contains(vpn))
+            slot.valid = false;
+}
+
+void
+RangeTlb::invalidateAsid(Asid asid)
+{
+    for (auto &slot : slots_)
+        if (slot.valid && slot.asid == asid)
             slot.valid = false;
 }
 

@@ -36,13 +36,20 @@ struct RangeEntry
     Ppn translate(Vpn vpn) const { return ppn_start + (vpn - vpn_start); }
 };
 
-/** Fully-associative, LRU-replaced cache of range translations. */
+/**
+ * Fully-associative, LRU-replaced cache of range translations.
+ *
+ * Slots are ASID-tagged the same way SetAssocTlb tags its compare
+ * words: lookups/inserts/invalidations match only slots of the
+ * current ASID (setAsid), so ranges of different address spaces
+ * coexist; ASID 0 reproduces the untagged single-process behaviour.
+ */
 class RangeTlb
 {
   public:
     explicit RangeTlb(unsigned entries);
 
-    /** Find the range containing @p vpn; updates LRU. */
+    /** Find the current ASID's range containing @p vpn; updates LRU. */
     const RangeEntry *lookup(Vpn vpn);
 
     /** Insert a range, evicting LRU if full; deduplicates exact ranges. */
@@ -50,8 +57,23 @@ class RangeTlb
 
     void flush();
 
-    /** Invalidate every range containing @p vpn (targeted shootdown). */
+    /**
+     * Invalidate the current ASID's ranges containing @p vpn
+     * (targeted shootdown).
+     */
     void invalidateContaining(Vpn vpn);
+
+    /** Same, but against a specific address space. */
+    void invalidateContaining(Vpn vpn, Asid asid);
+
+    /** Invalidate every range tagged with @p asid. */
+    void invalidateAsid(Asid asid);
+
+    /** Set the ASID tagged onto subsequent operations. */
+    void setAsid(Asid asid) { asid_ = asid; }
+
+    /** The current ASID (0 = untagged single-process default). */
+    Asid asid() const { return asid_; }
 
     const TlbStats &stats() const { return stats_; }
     unsigned capacity() const { return capacity_; }
@@ -62,12 +84,14 @@ class RangeTlb
     {
         RangeEntry range;
         std::uint64_t last_use = 0;
+        Asid asid{};
         bool valid = false;
     };
 
     unsigned capacity_;
     std::vector<Slot> slots_;
     std::uint64_t tick_ = 0;
+    Asid asid_{};
     TlbStats stats_;
 };
 

@@ -30,6 +30,7 @@ SetAssocTlb::SetAssocTlb(unsigned entries, unsigned ways, std::string name,
 const TlbEntry *
 SetAssocTlb::probe(EntryKind kind, TlbKey key) const
 {
+    key = TlbKey{key.raw() | asid_key_};
     const std::size_t base =
         static_cast<std::size_t>(setIndex(key)) * ways_;
     const std::uint64_t want = tlbCmpWord(kind, key);
@@ -44,13 +45,17 @@ void
 SetAssocTlb::insert(const TlbEntry &entry)
 {
     ATLB_ASSERT(entry.valid, "inserting invalid entry into '{}'", name_);
-    ATLB_ASSERT(entry.key.raw() < (std::uint64_t{1} << tlbCmpKeyBits),
-                "TLB '{}': key {} overflows the {}-bit compare-word "
-                "key field",
-                name_, entry.key, tlbCmpKeyBits);
-    const std::uint64_t want = tlbCmpWord(entry.kind, entry.key);
+    ATLB_ASSERT(entry.key.raw() < (std::uint64_t{1} << tlbKeyAsidShift),
+                "TLB '{}': key {} overflows the {}-bit scheme-key "
+                "budget (would alias the ASID tag)",
+                name_, entry.key, tlbKeyAsidShift);
+    // The stored key carries the tag, so the entries_/cmp_ mirror
+    // relation, the home-set invariant and invalidateAsid's scan all
+    // see one consistent encoding.
+    const TlbKey tagged{entry.key.raw() | asid_key_};
+    const std::uint64_t want = tlbCmpWord(entry.kind, tagged);
     const std::size_t base =
-        static_cast<std::size_t>(setIndex(entry.key)) * ways_;
+        static_cast<std::size_t>(setIndex(tagged)) * ways_;
     // Victim selection stays scalar (and identical under every SIMD
     // level): same (kind, key) overwrites in place, else the first
     // invalid way, else the least recently used way.
@@ -72,6 +77,7 @@ SetAssocTlb::insert(const TlbEntry &entry)
     if (cmp_[victim] != 0 && cmp_[victim] != want)
         ++stats_.evictions;
     entries_[victim] = entry;
+    entries_[victim].key = tagged;
     cmp_[victim] = want;
     last_use_[victim] = ++tick_;
     ++stats_.insertions;
@@ -93,10 +99,17 @@ SetAssocTlb::flush()
 void
 SetAssocTlb::invalidate(EntryKind kind, TlbKey key)
 {
+    invalidate(kind, key, asid());
+}
+
+void
+SetAssocTlb::invalidate(EntryKind kind, TlbKey key, Asid target)
+{
     ++mutations_;
+    const TlbKey tagged = tlbTagKey(key, target);
     const std::size_t base =
-        static_cast<std::size_t>(setIndex(key)) * ways_;
-    const std::uint64_t want = tlbCmpWord(kind, key);
+        static_cast<std::size_t>(setIndex(tagged)) * ways_;
+    const std::uint64_t want = tlbCmpWord(kind, tagged);
     for (unsigned w = 0; w < ways_; ++w) {
         if (cmp_[base + w] == want) {
             entries_[base + w].valid = false;
@@ -104,6 +117,32 @@ SetAssocTlb::invalidate(EntryKind kind, TlbKey key)
             return;
         }
     }
+}
+
+void
+SetAssocTlb::invalidateAsid(Asid target)
+{
+    ++mutations_;
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        if (entries_[i].valid && tlbKeyAsid(entries_[i].key) == target) {
+            entries_[i].valid = false;
+            cmp_[i] = 0;
+            last_use_[i] = 0;
+        }
+    }
+}
+
+void
+SetAssocTlb::setAsid(Asid asid)
+{
+    ATLB_ASSERT(asid.raw() <= tlbMaxAsid,
+                "TLB '{}': ASID {} overflows the {}-bit tag field",
+                name_, asid, tlbAsidBits);
+    // Tag-word packing, not page math. lint-allow: page-shift
+    asid_key_ = asid.raw() << tlbKeyAsidShift;
+    // The hot entry the L0 filter cached belongs to the previous
+    // address space; a mutation bump forces the re-probe.
+    ++mutations_;
 }
 
 const TlbEntry &

@@ -65,16 +65,55 @@ static_assert(sizeof(TlbEntry) == 24 && alignof(TlbEntry) == 8 &&
  *   [63:4] key   [3:1] kind   [0] valid
  *
  * An invalid slot stores 0 — bit 0 clear can never equal a probe word,
- * whose bit 0 is always set, so validity needs no separate test. Keys
- * must fit 60 bits; every maker in common/types.hh stays below 2^58
- * (the widest is the multi-region anchor key: a 52-bit AVPN-derived
- * key with log2(distance) packed at bit 52), and insert() asserts the
- * budget so a future key maker cannot silently alias.
+ * whose bit 0 is always set, so validity needs no separate test.
+ *
+ * The 60-bit key field itself splits into an ASID tag and the
+ * scheme-computed key:
+ *
+ *   key = [59:48] asid   [47:0] scheme key
+ *
+ * Scheme keys must fit 48 bits; every maker in common/types.hh stays
+ * below 2^48 (the widest is the multi-region anchor key: a 43-bit
+ * AVPN-derived key with log2(distance) packed at bit 43), and insert()
+ * asserts the budget so a future key maker cannot silently alias an
+ * ASID tag. The TLB's current ASID (setAsid) is OR-ed into every key
+ * at the lookup/insert/invalidate boundary, so the word layout, the
+ * static_asserts and the SIMD probe kernels are all untouched —
+ * tagging is just a different 64-bit constant to compare against.
+ * ASID 0 (the single-process default) leaves every compare word
+ * byte-identical to the untagged encoding.
  */
 constexpr unsigned tlbCmpKindShift = 1;
 constexpr unsigned tlbCmpKeyShift = 4;
 constexpr unsigned tlbCmpKeyBits = 64 - tlbCmpKeyShift;
 constexpr std::uint64_t tlbCmpValidBit = 1;
+
+/** Bit position of the ASID tag within a TlbKey. */
+constexpr unsigned tlbKeyAsidShift = 48;
+/** Width of the ASID tag field. */
+constexpr unsigned tlbAsidBits = 12;
+/** Largest ASID the tag field can hold. */
+constexpr std::uint64_t tlbMaxAsid = (1ULL << tlbAsidBits) - 1;
+
+// The ASID tag and the scheme key must exactly fill the compare
+// word's key field — no aliasing, no dead bits.
+static_assert(tlbKeyAsidShift + tlbAsidBits == tlbCmpKeyBits);
+
+/** @p key with @p asid folded into the tag bits ([59:48]). */
+constexpr TlbKey
+tlbTagKey(TlbKey key, Asid asid)
+{
+    // Tag-word packing, not page math. lint-allow: page-shift
+    return TlbKey{key.raw() | (asid.raw() << tlbKeyAsidShift)};
+}
+
+/** The ASID tag of a stored (tagged) key. */
+inline Asid
+tlbKeyAsid(TlbKey key)
+{
+    // Tag-word unpacking, not page math. lint-allow: page-shift
+    return Asid{key.raw() >> tlbKeyAsidShift};
+}
 
 // Every EntryKind must fit the compare word's kind field.
 static_assert(static_cast<unsigned>(EntryKind::Cluster) <
@@ -179,6 +218,11 @@ class SetAssocTlb
     const TlbEntry *lookupWith(EntryKind kind, TlbKey key, FindFn &&find)
     {
         ++stats_.lookups;
+        // The ASID tag lives in the key's high bits, so the set index
+        // (low bits) is untouched and tagging is one OR on the probe
+        // word — zero-cost for ASID 0, and invisible to the SIMD
+        // kernels, which only ever see the final 64-bit compare word.
+        key = TlbKey{key.raw() | asid_key_};
         const std::size_t base =
             static_cast<std::size_t>(key.raw() & set_mask_) * ways_;
         const std::uint64_t want = tlbCmpWord(kind, key);
@@ -233,8 +277,33 @@ class SetAssocTlb
     /** Invalidate everything (TLB shootdown / distance change). */
     void flush();
 
-    /** Invalidate one entry if present. */
+    /** Invalidate one entry of the current ASID if present. */
     void invalidate(EntryKind kind, TlbKey key);
+
+    /** Invalidate one entry of a specific ASID if present. */
+    void invalidate(EntryKind kind, TlbKey key, Asid asid);
+
+    /**
+     * Invalidate every entry tagged with @p asid (address-space
+     * teardown, or a shootdown hitting a descheduled process). Entries
+     * of other ASIDs are untouched — the whole point of tagging.
+     */
+    void invalidateAsid(Asid asid);
+
+    /**
+     * Set the ASID tagged onto subsequent lookups/inserts/invalidates.
+     * Retained entries of other ASIDs stay resident and simply stop
+     * matching. Must fit the tag field (<= tlbMaxAsid); bumps
+     * mutations() so the L0 filter can never replay across a switch.
+     */
+    void setAsid(Asid asid);
+
+    /** The current ASID (0 = untagged single-process default). */
+    Asid asid() const
+    {
+        // Tag-word unpacking, not page math. lint-allow: page-shift
+        return Asid{asid_key_ >> tlbKeyAsidShift};
+    }
 
     const TlbStats &stats() const { return stats_; }
 
@@ -308,6 +377,12 @@ class SetAssocTlb
      * scalar-forced run never dispatches and stays the reference).
      */
     SimdFindU64Fn find_ = nullptr;
+    /**
+     * The current ASID pre-shifted into key space
+     * (asid << tlbKeyAsidShift), so tagging a key is a single OR on
+     * the probe path. 0 reproduces the untagged encoding exactly.
+     */
+    std::uint64_t asid_key_ = 0;
     std::uint64_t tick_ = 0;
     std::uint64_t mutations_ = 0;
     TlbStats stats_;

@@ -1,0 +1,10 @@
+// MUST NOT COMPILE: an address-space identifier is a name, not a raw
+// integer — it must be constructed explicitly and never converts back.
+#include "common/types.hh"
+
+int
+main()
+{
+    atlb::Asid asid = 7;
+    return static_cast<int>(asid.raw());
+}

@@ -14,6 +14,8 @@ main()
     const PageCount span = (vpn + 8) - vpn;
     const PageCount from_bytes = pagesForBytes(1ULL << 30);
     const AnchorDist dist = AnchorDist::fromPages(64);
+    const Asid asid{7}; // explicit construction is the sanctioned form
     return static_cast<int>(vaOf(host).raw() + span + from_bytes +
-                            dist.keyOf(dist.anchorOf(vpn)).raw());
+                            dist.keyOf(dist.anchorOf(vpn)).raw() +
+                            (asid == Asid{7} ? asid.raw() : 0));
 }

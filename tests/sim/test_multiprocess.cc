@@ -108,6 +108,109 @@ TEST(SwitchProcess, RmmSwitchesRangeTable)
         ASSERT_EQ(mmu.translate(vaOf(v)).ppn, map_b.translate(v));
 }
 
+// ---------------------------------------------------------------------
+// ASID retention (SwitchPolicy::Asid): entries survive the switch,
+// tagged so they can never serve another address space.
+// ---------------------------------------------------------------------
+
+TEST(AsidRetention, KeepsEntriesAcrossSwitch)
+{
+    const MemoryMap map_a = mapWithSeed(11);
+    const MemoryMap map_b = mapWithSeed(12);
+    const PageTable table_a = buildPageTable(map_a, false);
+    const PageTable table_b = buildPageTable(map_b, false);
+    MmuConfig cfg;
+    BaselineMmu mmu(cfg, table_a);
+    mmu.setSwitchPolicy(SwitchPolicy::Asid);
+
+    ProcessContext a;
+    a.table = &table_a;
+    a.asid = Asid{1};
+    ProcessContext b;
+    b.table = &table_b;
+    b.asid = Asid{2};
+
+    mmu.switchProcess(a);
+    for (Vpn v = base; v < base + 200; ++v)
+        mmu.translate(vaOf(v));
+    mmu.switchProcess(b);
+    for (Vpn v = base; v < base + 16; ++v)
+        mmu.translate(vaOf(v));
+
+    // Back in A: the working set is still warm — zero new walks.
+    mmu.switchProcess(a);
+    const std::uint64_t walks = mmu.stats().page_walks;
+    for (Vpn v = base; v < base + 200; ++v)
+        ASSERT_EQ(mmu.translate(vaOf(v)).ppn, map_a.translate(v));
+    EXPECT_EQ(mmu.stats().page_walks, walks);
+}
+
+TEST(AsidRetention, EntriesNeverCrossAddressSpaces)
+{
+    const MemoryMap map_a = mapWithSeed(13);
+    const MemoryMap map_b = mapWithSeed(14);
+    const PageTable table_a = buildPageTable(map_a, false);
+    const PageTable table_b = buildPageTable(map_b, false);
+    MmuConfig cfg;
+    BaselineMmu mmu(cfg, table_a);
+    mmu.setSwitchPolicy(SwitchPolicy::Asid);
+
+    ProcessContext a;
+    a.table = &table_a;
+    a.asid = Asid{1};
+    ProcessContext b;
+    b.table = &table_b;
+    b.asid = Asid{2};
+
+    mmu.switchProcess(a);
+    for (Vpn v = base; v < base + 200; ++v)
+        mmu.translate(vaOf(v));
+    // Same VPNs in B: A's retained entries must never answer, even
+    // though they are still resident in the shared L1/L2 arrays.
+    mmu.switchProcess(b);
+    for (Vpn v = base; v < base + 200; ++v)
+        ASSERT_EQ(mmu.translate(vaOf(v)).ppn, map_b.translate(v));
+}
+
+TEST(AsidRetention, AnchorDistancesCoexist)
+{
+    const MemoryMap map_a = mapWithSeed(15);
+    const MemoryMap map_b = mapWithSeed(16);
+    const AnchorDist d_a = AnchorDist::fromPages(8);
+    const AnchorDist d_b = AnchorDist::fromPages(64);
+    const PageTable table_a = buildAnchorPageTable(map_a, d_a);
+    const PageTable table_b = buildAnchorPageTable(map_b, d_b);
+    MmuConfig cfg;
+    AnchorMmu mmu(cfg, table_a, d_a);
+    mmu.setSwitchPolicy(SwitchPolicy::Asid);
+
+    ProcessContext a;
+    a.table = &table_a;
+    a.anchor_distance = d_a;
+    a.asid = Asid{1};
+    ProcessContext b;
+    b.table = &table_b;
+    b.anchor_distance = d_b;
+    b.asid = Asid{2};
+
+    mmu.switchProcess(a);
+    for (Vpn v = base; v < base + 300; ++v)
+        mmu.translate(vaOf(v));
+    // B's distance-64 anchors enter the same L2 that still holds A's
+    // distance-8 anchors; the ASID tag keeps the two key spaces apart.
+    mmu.switchProcess(b);
+    EXPECT_EQ(mmu.distance().pages(), 64u);
+    for (Vpn v = base; v < base + 300; ++v)
+        ASSERT_EQ(mmu.translate(vaOf(v)).ppn, map_b.translate(v));
+
+    mmu.switchProcess(a);
+    EXPECT_EQ(mmu.distance().pages(), 8u);
+    const std::uint64_t walks = mmu.stats().page_walks;
+    for (Vpn v = base; v < base + 300; ++v)
+        ASSERT_EQ(mmu.translate(vaOf(v)).ppn, map_a.translate(v));
+    EXPECT_EQ(mmu.stats().page_walks, walks);
+}
+
 MultiProcessOptions
 quickOptions()
 {
@@ -184,6 +287,79 @@ TEST(MultiProcess, SchemesRunForAllSchemes)
         const MultiProcessResult r = runMultiProcess(s, procs, opts);
         EXPECT_EQ(r.stats.accesses, 30'000u) << schemeName(s);
     }
+}
+
+TEST(MultiProcess, AsidPolicyNeverWalksMoreThanFlush)
+{
+    const std::vector<ProcessSpec> procs = {
+        {"canneal", ScenarioKind::MedContig},
+        {"milc", ScenarioKind::Demand},
+    };
+    MultiProcessOptions flush = quickOptions();
+    flush.quantum_accesses = 2'000;
+    MultiProcessOptions asid = flush;
+    asid.policy = SwitchPolicy::Asid;
+    const auto r_flush = runMultiProcess(Scheme::Base, procs, flush);
+    const auto r_asid = runMultiProcess(Scheme::Base, procs, asid);
+    EXPECT_LE(r_asid.stats.page_walks, r_flush.stats.page_walks);
+    EXPECT_GE(r_asid.hitRate(), r_flush.hitRate());
+}
+
+TEST(MultiProcess, RemapChurnChargesShootdownsOnlyUnderAsid)
+{
+    const std::vector<ProcessSpec> procs = {
+        {"canneal", ScenarioKind::MedContig},
+        {"milc", ScenarioKind::MedContig},
+    };
+    MultiProcessOptions opts = quickOptions();
+    opts.remap_every_quanta = 2;
+    opts.shared_cores = 3;
+    const auto r_flush = runMultiProcess(Scheme::Base, procs, opts);
+    EXPECT_GT(r_flush.remap_epochs, 0u);
+    EXPECT_EQ(r_flush.stats.shootdowns, 0u);
+    EXPECT_EQ(r_flush.stats.shootdown_cycles, 0u);
+
+    opts.policy = SwitchPolicy::Asid;
+    const auto r_asid = runMultiProcess(Scheme::Base, procs, opts);
+    EXPECT_EQ(r_asid.remap_epochs, r_flush.remap_epochs);
+    EXPECT_EQ(r_asid.stats.shootdowns, r_asid.remap_epochs);
+    EXPECT_GT(r_asid.stats.shootdown_cycles, 0u);
+    // The charged CPI folds the shootdown cycles in on top of the
+    // translation cycles.
+    EXPECT_GT(r_asid.chargedCpi(),
+              static_cast<double>(r_asid.stats.translation_cycles) /
+                  (static_cast<double>(r_asid.stats.accesses) / 0.33));
+}
+
+TEST(MultiProcess, WeightedQuantaSkewAccesses)
+{
+    const std::vector<ProcessSpec> procs = {
+        {"canneal", ScenarioKind::MedContig},
+        {"milc", ScenarioKind::MedContig},
+    };
+    MultiProcessOptions opts = quickOptions();
+    opts.weights = {1, 3};
+    const MultiProcessResult r =
+        runMultiProcess(Scheme::Base, procs, opts);
+    ASSERT_EQ(r.processes.size(), 2u);
+    EXPECT_EQ(r.stats.accesses, 100'000u);
+    EXPECT_GT(r.processes[1].accesses, 2 * r.processes[0].accesses);
+}
+
+TEST(MultiProcess, AssignsDistinctAsids)
+{
+    const std::vector<ProcessSpec> procs = {
+        {"canneal", ScenarioKind::MedContig},
+        {"milc", ScenarioKind::MedContig},
+    };
+    MultiProcessOptions opts = quickOptions();
+    opts.total_accesses = 20'000;
+    opts.policy = SwitchPolicy::Asid;
+    const MultiProcessResult r =
+        runMultiProcess(Scheme::Base, procs, opts);
+    ASSERT_EQ(r.processes.size(), 2u);
+    EXPECT_EQ(r.processes[0].asid, 1u);
+    EXPECT_EQ(r.processes[1].asid, 2u);
 }
 
 } // namespace

@@ -90,5 +90,58 @@ TEST(RangeTlb, CapacityReported)
     EXPECT_EQ(t.size(), 32u);
 }
 
+// ---------------------------------------------------------------------
+// ASID tagging: ranges of different address spaces coexist and only
+// match lookups of their own space.
+// ---------------------------------------------------------------------
+
+TEST(RangeTlbAsid, RangesOnlyMatchTheirOwnSpace)
+{
+    RangeTlb t(4);
+    t.setAsid(Asid{1});
+    t.insert({Vpn{100}, Vpn{200}, Ppn{1000}});
+
+    t.setAsid(Asid{2});
+    EXPECT_EQ(t.lookup(Vpn{150}), nullptr);
+    t.insert({Vpn{100}, Vpn{200}, Ppn{2000}});
+    EXPECT_EQ(t.size(), 2u);
+    EXPECT_EQ(t.lookup(Vpn{150})->translate(Vpn{150}), Ppn{2050});
+
+    t.setAsid(Asid{1});
+    EXPECT_EQ(t.lookup(Vpn{150})->translate(Vpn{150}), Ppn{1050});
+}
+
+TEST(RangeTlbAsid, InvalidateContainingIsAsidQualified)
+{
+    RangeTlb t(4);
+    t.setAsid(Asid{1});
+    t.insert({Vpn{100}, Vpn{200}, Ppn{1000}});
+    t.setAsid(Asid{2});
+    t.insert({Vpn{100}, Vpn{200}, Ppn{2000}});
+
+    // Shoot down space 1's range while space 2 is current.
+    t.invalidateContaining(Vpn{150}, Asid{1});
+    EXPECT_EQ(t.lookup(Vpn{150})->translate(Vpn{150}), Ppn{2050});
+    t.setAsid(Asid{1});
+    EXPECT_EQ(t.lookup(Vpn{150}), nullptr);
+}
+
+TEST(RangeTlbAsid, InvalidateAsidDropsAllRangesOfSpace)
+{
+    RangeTlb t(8);
+    t.setAsid(Asid{1});
+    t.insert({Vpn{0}, Vpn{10}, Ppn{0}});
+    t.insert({Vpn{20}, Vpn{30}, Ppn{100}});
+    t.setAsid(Asid{2});
+    t.insert({Vpn{0}, Vpn{10}, Ppn{200}});
+
+    t.invalidateAsid(Asid{1});
+    EXPECT_EQ(t.size(), 1u);
+    EXPECT_EQ(t.lookup(Vpn{5})->translate(Vpn{5}), Ppn{205});
+    t.setAsid(Asid{1});
+    EXPECT_EQ(t.lookup(Vpn{5}), nullptr);
+    EXPECT_EQ(t.lookup(Vpn{25}), nullptr);
+}
+
 } // namespace
 } // namespace atlb

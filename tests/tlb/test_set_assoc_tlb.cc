@@ -330,5 +330,73 @@ TEST(SetAssocTlbSimd, LruTieVictimsIdenticalAcrossLevels)
     expectTlbStatsEqual(*vec, *ref, "lru ties");
 }
 
+// ---------------------------------------------------------------------
+// ASID tagging: keys of different address spaces live side by side in
+// the same arrays and never match each other.
+// ---------------------------------------------------------------------
+
+TEST(SetAssocTlbAsid, AsidZeroIsByteIdenticalUntagged)
+{
+    // The single-process default: tagging with ASID 0 is the identity,
+    // so every pre-ASID golden stays byte-for-byte.
+    static_assert(tlbTagKey(TlbKey{42}, Asid{0}) == TlbKey{42});
+    SetAssocTlb t(64, 4, "t");
+    EXPECT_EQ(t.asid(), Asid{0});
+    t.insert(entry(EntryKind::Page4K, 42, 777));
+    EXPECT_EQ(t.lookup(EntryKind::Page4K, TlbKey{42})->ppn, Ppn{777});
+}
+
+TEST(SetAssocTlbAsid, TaggingSeparatesKeySpaces)
+{
+    SetAssocTlb t(64, 4, "t");
+    t.setAsid(Asid{1});
+    t.insert(entry(EntryKind::Page4K, 42, 100));
+    EXPECT_EQ(t.lookup(EntryKind::Page4K, TlbKey{42})->ppn, Ppn{100});
+
+    // Same untagged key, other address space: no match, and the two
+    // entries coexist after the second insert.
+    t.setAsid(Asid{2});
+    EXPECT_EQ(t.lookup(EntryKind::Page4K, TlbKey{42}), nullptr);
+    t.insert(entry(EntryKind::Page4K, 42, 200));
+    EXPECT_EQ(t.validCount(), 2u);
+    EXPECT_EQ(t.lookup(EntryKind::Page4K, TlbKey{42})->ppn, Ppn{200});
+
+    t.setAsid(Asid{1});
+    EXPECT_EQ(t.lookup(EntryKind::Page4K, TlbKey{42})->ppn, Ppn{100});
+}
+
+TEST(SetAssocTlbAsid, InvalidateAsidDropsOnlyThatSpace)
+{
+    SetAssocTlb t(64, 4, "t");
+    t.setAsid(Asid{1});
+    t.insert(entry(EntryKind::Page4K, 1, 11));
+    t.insert(entry(EntryKind::Anchor, 2, 12, 8));
+    t.setAsid(Asid{2});
+    t.insert(entry(EntryKind::Page4K, 1, 21));
+
+    t.invalidateAsid(Asid{1});
+    EXPECT_EQ(t.validCount(), 1u);
+    EXPECT_EQ(t.lookup(EntryKind::Page4K, TlbKey{1})->ppn, Ppn{21});
+    t.setAsid(Asid{1});
+    EXPECT_EQ(t.lookup(EntryKind::Page4K, TlbKey{1}), nullptr);
+    EXPECT_EQ(t.lookup(EntryKind::Anchor, TlbKey{2}), nullptr);
+}
+
+TEST(SetAssocTlbAsid, CrossAsidInvalidateTargetsOneKey)
+{
+    SetAssocTlb t(64, 4, "t");
+    t.setAsid(Asid{1});
+    t.insert(entry(EntryKind::Page4K, 7, 100));
+    t.setAsid(Asid{2});
+    t.insert(entry(EntryKind::Page4K, 7, 200));
+
+    // A shootdown aimed at a descheduled address space: current ASID
+    // stays 2, the victim is named explicitly.
+    t.invalidate(EntryKind::Page4K, TlbKey{7}, Asid{1});
+    EXPECT_EQ(t.lookup(EntryKind::Page4K, TlbKey{7})->ppn, Ppn{200});
+    t.setAsid(Asid{1});
+    EXPECT_EQ(t.lookup(EntryKind::Page4K, TlbKey{7}), nullptr);
+}
+
 } // namespace
 } // namespace atlb

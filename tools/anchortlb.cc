@@ -40,6 +40,7 @@
 #include "os/distance_selector.hh"
 #include "os/table_builder.hh"
 #include "sim/experiment.hh"
+#include "sim/multiprocess.hh"
 #include "sim/sharded_runner.hh"
 #include "stats/histogram.hh"
 #include "stats/table.hh"
@@ -828,6 +829,71 @@ cmdTraceReplay(const Args &args)
 }
 
 int
+cmdMultiProcess(const Args &args)
+{
+    const ScenarioKind scenario =
+        scenarioFromName(args.get("scenario", "medium"));
+    const bool csv = args.has("csv");
+
+    // Comma-separated workload list; each becomes one process.
+    std::vector<ProcessSpec> procs;
+    std::stringstream names(args.get("workloads", "canneal,milc"));
+    for (std::string name; std::getline(names, name, ',');)
+        if (!name.empty())
+            procs.push_back({name, scenario});
+    if (procs.empty())
+        ATLB_FATAL("--workloads produced no processes");
+
+    MultiProcessOptions opts;
+    opts.total_accesses = args.getU64("accesses", opts.total_accesses);
+    opts.quantum_accesses = args.getU64("quantum", opts.quantum_accesses);
+    opts.seed = args.getU64("seed", opts.seed);
+    opts.footprint_scale = args.getDouble("scale", opts.footprint_scale);
+    opts.remap_every_quanta =
+        args.getU64("remap-every", opts.remap_every_quanta);
+    opts.shared_cores = static_cast<unsigned>(
+        args.getU64("shared-cores", opts.shared_cores));
+    const std::string policy = args.get("policy", "flush");
+    if (policy == "asid")
+        opts.policy = SwitchPolicy::Asid;
+    else if (policy != "flush")
+        ATLB_FATAL("unknown switch policy '{}' (try: flush asid)", policy);
+    if (args.has("weights")) {
+        std::stringstream ws(args.get("weights", ""));
+        for (std::string w; std::getline(ws, w, ',');)
+            if (!w.empty())
+                opts.weights.push_back(
+                    static_cast<unsigned>(std::stoull(w)));
+    }
+
+    std::vector<Scheme> schemes;
+    if (args.has("scheme"))
+        schemes.push_back(schemeFromName(args.get("scheme", "")));
+    else
+        schemes.assign(std::begin(allSchemes), std::end(allSchemes));
+
+    Table table("multi-process / " + std::string(scenarioName(scenario)) +
+                    " / " + policy,
+                {"scheme", "walks", "hit%", "switches", "remaps",
+                 "shootdown kcyc", "charged CPI"});
+    for (const Scheme s : schemes) {
+        if (s == Scheme::AnchorIdeal)
+            continue; // the oracle sweep has no multi-process analogue
+        const MultiProcessResult r = runMultiProcess(s, procs, opts);
+        table.beginRow();
+        table.cell(std::string(schemeName(s)));
+        table.cell(r.stats.page_walks);
+        table.cellPercent(r.hitRate());
+        table.cell(r.context_switches);
+        table.cell(r.remap_epochs);
+        table.cell(r.stats.shootdown_cycles / 1000);
+        table.cell(r.chargedCpi(), 4);
+    }
+    emit(table, csv);
+    return 0;
+}
+
+int
 cmdTrace(const Args &args)
 {
     if (args.positional().empty())
@@ -882,6 +948,11 @@ commands:
       [--scenario=NAME] [--scheme=NAME] [--distance=N] [--shards=K]
   shard-check          sharded-vs-serial accuracy report for one cell
       --workload=NAME --scenario=NAME --scheme=NAME [--shards=K]
+  multiprocess         weighted round-robin multi-process run; compares
+                       schemes under a context-switch policy
+      --workloads=A,B[,C...] [--scenario=NAME] [--scheme=NAME]
+      [--policy=flush|asid] [--quantum=N] [--weights=1,2,...]
+      [--remap-every=Q] [--shared-cores=N]
   export-map           write a scenario's VA->PA mapping to a text file
       --workload=NAME --scenario=NAME [--out=FILE]
   inspect-map FILE     chunk statistics + Algorithm 1 pick for a mapping
@@ -927,6 +998,8 @@ main(int argc, char **argv)
         return cmdTrace(args);
     if (cmd == "shard-check")
         return cmdShardCheck(args);
+    if (cmd == "multiprocess")
+        return cmdMultiProcess(args);
     if (cmd == "export-map")
         return cmdExportMap(args);
     if (cmd == "inspect-map")

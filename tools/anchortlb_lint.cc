@@ -272,9 +272,10 @@ matchDelim(const std::vector<Token> &toks, std::size_t open)
 
 /**
  * Rule raw-u64-api: in headers, a function named translate/lookup/
- * insert whose parameter list mentions uint64_t must use the strong
- * types. Calls (preceded by `.`, `->`) are skipped; declarations and
- * inline definitions are checked.
+ * insert — or one of the shootdown crossings invalidatePage/
+ * invalidateAsid — whose parameter list mentions uint64_t must use
+ * the strong types. Calls (preceded by `.`, `->`) are skipped;
+ * declarations and inline definitions are checked.
  */
 void
 checkRawU64Api(const std::string &path, const FileText &f,
@@ -283,7 +284,8 @@ checkRawU64Api(const std::string &path, const FileText &f,
     const auto &t = f.tokens;
     for (std::size_t i = 0; i + 1 < t.size(); ++i) {
         const std::string &name = t[i].text;
-        if (name != "translate" && name != "lookup" && name != "insert")
+        if (name != "translate" && name != "lookup" && name != "insert" &&
+            name != "invalidatePage" && name != "invalidateAsid")
             continue;
         if (t[i + 1].text != "(")
             continue;
@@ -306,7 +308,8 @@ checkRawU64Api(const std::string &path, const FileText &f,
             {path, t[i].line, "raw-u64-api",
              "public '" + name +
                  "' signature takes raw std::uint64_t; use the strong "
-                 "address types (Vpn/Ppn/VirtAddr/TlbKey/PageCount)"});
+                 "address types (Vpn/Ppn/VirtAddr/TlbKey/PageCount/"
+                 "Asid)"});
     }
 }
 
