@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Sweep-service store bench: cold vs warm content-addressed sweeps.
+ *
+ * Runs one small grid (3 workloads x {Base, Dynamic} x medium) twice
+ * through an ExperimentContext with a persistent ResultStore attached:
+ * the cold pass simulates every cell and appends it to the store, the
+ * warm pass reopens the store in a fresh context and must answer every
+ * cell without simulating. Reports both wall-clock times, the store
+ * counters proving zero recomputation, and gates for CI: warm results
+ * byte-identical to cold, all warm cells answered from the store, and
+ * warm at least 5x faster than cold (the warm pass does no simulation
+ * at all, so this bound is extremely loose). Results go to stdout as a
+ * table and to BENCH_serve.json (or argv[1]).
+ *
+ * Budget knobs: ANCHORTLB_ACCESSES (default 200k here), ANCHORTLB_SCALE.
+ */
+
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "common/logging.hh"
+#include "serve/result_store.hh"
+#include "stats/json_writer.hh"
+
+namespace
+{
+
+using namespace atlb;
+using namespace atlb::bench;
+
+constexpr const char *kWorkloads[] = {"canneal", "sphinx3", "milc"};
+constexpr Scheme kSchemes[] = {Scheme::Base, Scheme::Anchor};
+constexpr ScenarioKind kScenario = ScenarioKind::MedContig;
+
+struct Pass
+{
+    double seconds = 0.0;
+    std::uint64_t result_lookups = 0;
+    std::uint64_t result_hits = 0;
+    std::vector<SimResult> results;
+};
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+Pass
+runGrid(const SimOptions &opts, ResultStore &store)
+{
+    ExperimentContext ctx(opts);
+    ctx.setResultCache(&store);
+    Pass pass;
+    const auto start = std::chrono::steady_clock::now();
+    for (const char *workload : kWorkloads) {
+        for (const Scheme scheme : kSchemes)
+            pass.results.push_back(ctx.run(workload, kScenario, scheme));
+    }
+    pass.seconds = secondsSince(start);
+    pass.result_lookups = ctx.cacheCounters().result_lookups;
+    pass.result_hits = ctx.cacheCounters().result_hits;
+    return pass;
+}
+
+bool
+sameResult(const SimResult &a, const SimResult &b)
+{
+    return a.workload == b.workload && a.scenario == b.scenario &&
+           a.scheme == b.scheme &&
+           a.anchor_distance == b.anchor_distance &&
+           a.stats.accesses == b.stats.accesses &&
+           a.stats.l1_hits == b.stats.l1_hits &&
+           a.stats.l2_regular_hits == b.stats.l2_regular_hits &&
+           a.stats.coalesced_hits == b.stats.coalesced_hits &&
+           a.stats.page_walks == b.stats.page_walks &&
+           a.stats.translation_cycles == b.stats.translation_cycles &&
+           a.stats.shootdowns == b.stats.shootdowns &&
+           a.stats.shootdown_cycles == b.stats.shootdown_cycles &&
+           std::bit_cast<std::uint64_t>(a.instructions) ==
+               std::bit_cast<std::uint64_t>(b.instructions) &&
+           a.l2_hit_cycles == b.l2_hit_cycles &&
+           a.coalesced_cycles == b.coalesced_cycles &&
+           a.walk_cycles == b.walk_cycles;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    SimOptions opts = SimOptions::fromEnv();
+    if (!std::getenv("ANCHORTLB_ACCESSES"))
+        opts.accesses = 200'000;
+
+    const std::string json_path =
+        argc > 1 ? argv[1] : "BENCH_serve.json";
+    const std::string store_path =
+        (std::filesystem::temp_directory_path() / "bench_serve.results")
+            .string();
+    std::filesystem::remove(store_path);
+
+    printHeader("Result store: cold sweep vs warm (content-addressed)");
+    std::cout << opts.accesses << " accesses/cell, scenario "
+              << scenarioName(kScenario) << ", store " << store_path
+              << "\n\n";
+
+    Pass cold, warm;
+    std::uint64_t live_cells = 0, file_bytes = 0, appends = 0;
+    {
+        ResultStore store(store_path);
+        cold = runGrid(opts, store);
+    }
+    {
+        // A fresh context over the reopened store: everything the cold
+        // pass computed must come back without simulation.
+        ResultStore store(store_path);
+        warm = runGrid(opts, store);
+        const ResultStore::Info info = store.info();
+        live_cells = info.live_cells;
+        file_bytes = info.file_bytes;
+        appends = store.counters().appends;
+    }
+    std::filesystem::remove(store_path);
+
+    bool identical = cold.results.size() == warm.results.size();
+    for (std::size_t i = 0; identical && i < cold.results.size(); ++i)
+        identical = sameResult(cold.results[i], warm.results[i]);
+
+    const std::uint64_t cells = cold.results.size();
+    const bool warm_all_hits = warm.result_hits == cells;
+    const bool cold_all_misses = cold.result_hits == 0;
+    const bool warm_faster = warm.seconds * 5.0 <= cold.seconds;
+
+    Table table("Cold vs warm sweep",
+                {"pass", "seconds", "result lookups", "store hits",
+                 "simulated"});
+    table.beginRow();
+    table.cell("cold");
+    table.cell(cold.seconds, 3);
+    table.cell(cold.result_lookups);
+    table.cell(cold.result_hits);
+    table.cell(cells - cold.result_hits);
+    table.beginRow();
+    table.cell("warm");
+    table.cell(warm.seconds, 3);
+    table.cell(warm.result_lookups);
+    table.cell(warm.result_hits);
+    table.cell(cells - warm.result_hits);
+    table.printAscii(std::cout);
+    std::cout << "\nwarm speedup "
+              << (warm.seconds > 0.0 ? cold.seconds / warm.seconds : 0.0)
+              << "x, warm hits " << warm.result_hits << "/" << cells
+              << ", results identical " << (identical ? "yes" : "no")
+              << "\n";
+
+    std::ofstream out(json_path);
+    if (!out)
+        ATLB_FATAL("cannot write '{}'", json_path);
+    JsonWriter json(out);
+    json.beginObject();
+    json.field("bench", "bench_serve");
+    json.field("scenario", scenarioName(kScenario));
+    json.field("accesses_per_cell", opts.accesses);
+    json.field("footprint_scale", opts.footprint_scale);
+    json.field("cells", cells);
+    json.field("cold_seconds", cold.seconds);
+    json.field("warm_seconds", warm.seconds);
+    json.field("cold_store_hits", cold.result_hits);
+    json.field("warm_store_hits", warm.result_hits);
+    json.field("store_live_cells", live_cells);
+    json.field("store_file_bytes", file_bytes);
+    json.field("store_appends_during_warm", appends);
+    json.field("cold_all_misses", cold_all_misses);
+    json.field("warm_all_hits", warm_all_hits);
+    json.field("results_identical", identical);
+    json.field("warm_store_faster_than_cold", warm_faster);
+    json.endObject();
+    std::cout << "wrote " << json_path << "\n";
+
+    if (!warm_all_hits || !cold_all_misses || !identical) {
+        std::cerr << "bench_serve: store round-trip property violated\n";
+        return 1;
+    }
+    return 0;
+}

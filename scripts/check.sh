@@ -119,6 +119,13 @@ note "ctest build-checked (ANCHORTLB_SIMD=scalar)"
     ANCHORTLB_SIMD=scalar ctest --output-on-failure -j "$jobs") ||
     failures+=("scalar-forced ctest")
 
+# ------------------------------------------------------ serve smoke --
+# The sweep service end to end: server up, a grid submitted twice, the
+# second pass answered entirely from the persistent store, clean stop.
+note "serve smoke (sweep service + result store)"
+"$repo/scripts/serve_smoke.sh" "$repo/build-checked/tools/anchortlb" ||
+    failures+=("serve smoke")
+
 # TSan over the concurrency suites only: the full grid under TSan is
 # slow, and everything else is single-threaded by construction.
 tsan_leg() {
@@ -126,10 +133,11 @@ tsan_leg() {
     cmake -S "$repo" -B "$repo/build-tsan" -DANCHORTLB_WERROR=ON \
         -DANCHORTLB_SANITIZE=thread > /dev/null
     cmake --build "$repo/build-tsan" -j "$jobs" \
-        --target test_common test_sim test_integration test_ingest
+        --target test_common test_sim test_integration test_ingest \
+        test_serve
     (cd "$repo/build-tsan" &&
         ctest --output-on-failure -j "$jobs" \
-            -R 'ThreadPool|ParallelRunner|Sharded|Batch|MultiProcess|SwitchPolicy|AsidRetention')
+            -R 'ThreadPool|ParallelRunner|Sharded|Batch|MultiProcess|SwitchPolicy|AsidRetention|Serve')
 }
 
 if [[ $fast == 0 ]]; then

@@ -1,0 +1,48 @@
+#include "hash.hh"
+
+#include <bit>
+#include <fstream>
+#include <vector>
+
+namespace atlb
+{
+
+std::uint64_t
+fnv1a64(const void *data, std::size_t size)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    std::uint64_t h = fnv1aOffsetBasis;
+    for (std::size_t i = 0; i < size; ++i) {
+        h ^= p[i];
+        h *= fnv1aPrime;
+    }
+    return h;
+}
+
+bool
+fnv1a64File(const std::string &path, std::uint64_t &digest)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    Fnv1a h;
+    std::vector<char> buf(1 << 16);
+    while (in) {
+        in.read(buf.data(), static_cast<std::streamsize>(buf.size()));
+        const std::streamsize got = in.gcount();
+        if (got > 0)
+            h.addBytes(buf.data(), static_cast<std::size_t>(got));
+    }
+    if (in.bad())
+        return false;
+    digest = h.digest();
+    return true;
+}
+
+Fnv1a &
+Fnv1a::addDouble(double v)
+{
+    return addU64(std::bit_cast<std::uint64_t>(v));
+}
+
+} // namespace atlb

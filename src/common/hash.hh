@@ -1,0 +1,90 @@
+/**
+ * @file
+ * FNV-1a hashing shared by the trace codec and the result store.
+ *
+ * Two consumers need the same primitive: the ATLBTRC2 codec checksums
+ * its block payloads, and the sweep service content-addresses result
+ * cells by a canonical hash of every input that shapes them. The
+ * incremental Fnv1a builder exists for the latter: each field is folded
+ * with an unambiguous encoding (fixed-width little-endian integers,
+ * length-prefixed strings, bit-pattern doubles) so two different field
+ * sequences can never produce the same byte stream, and the digest is
+ * stable across platforms and runs.
+ */
+
+#ifndef ANCHORTLB_COMMON_HASH_HH
+#define ANCHORTLB_COMMON_HASH_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace atlb
+{
+
+/** FNV-1a 64-bit offset basis (the hash of zero bytes). */
+constexpr std::uint64_t fnv1aOffsetBasis = 14695981039346656037ULL;
+/** FNV-1a 64-bit prime. */
+constexpr std::uint64_t fnv1aPrime = 1099511628211ULL;
+
+/** FNV-1a 64-bit over @p size bytes. */
+std::uint64_t fnv1a64(const void *data, std::size_t size);
+
+/**
+ * FNV-1a 64-bit over a file's content, streamed in chunks. Returns
+ * false (and leaves @p digest untouched) when the file cannot be read.
+ */
+bool fnv1a64File(const std::string &path, std::uint64_t &digest);
+
+/**
+ * Incremental FNV-1a builder with typed, self-delimiting field
+ * encodings. Field order matters (by design: the cell key canonical
+ * form is a fixed field sequence).
+ */
+class Fnv1a
+{
+  public:
+    Fnv1a &addBytes(const void *data, std::size_t size)
+    {
+        const auto *p = static_cast<const unsigned char *>(data);
+        for (std::size_t i = 0; i < size; ++i) {
+            hash_ ^= p[i];
+            hash_ *= fnv1aPrime;
+        }
+        return *this;
+    }
+
+    /** Fold a 64-bit value as 8 little-endian bytes. */
+    Fnv1a &addU64(std::uint64_t v)
+    {
+        unsigned char bytes[8];
+        for (unsigned i = 0; i < 8; ++i)
+            bytes[i] = static_cast<unsigned char>(v >> (8 * i));
+        return addBytes(bytes, sizeof(bytes));
+    }
+
+    /** Fold a boolean as one byte. */
+    Fnv1a &addBool(bool v) { return addU64(v ? 1 : 0); }
+
+    /**
+     * Fold a double by its IEEE-754 bit pattern (exact, no text
+     * rounding; -0.0 and 0.0 deliberately hash differently).
+     */
+    Fnv1a &addDouble(double v);
+
+    /** Fold a string, length-prefixed so concatenations cannot alias. */
+    Fnv1a &addString(const std::string &s)
+    {
+        addU64(s.size());
+        return addBytes(s.data(), s.size());
+    }
+
+    std::uint64_t digest() const { return hash_; }
+
+  private:
+    std::uint64_t hash_ = fnv1aOffsetBasis;
+};
+
+} // namespace atlb
+
+#endif // ANCHORTLB_COMMON_HASH_HH

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Little-endian byte codec for the persistent result store.
+ *
+ * A deliberately tiny pair of helpers: ByteWriter appends fixed-width
+ * little-endian integers, bit-pattern doubles and length-prefixed
+ * strings to a growable buffer; ByteReader decodes the same sequence
+ * with sticky failure (any short or malformed read poisons the reader
+ * instead of throwing, so callers check ok() once at the end). The
+ * explicit per-byte encoding keeps serialized records identical across
+ * platforms and compilers — a record written anywhere decodes anywhere.
+ */
+
+#ifndef ANCHORTLB_COMMON_SERIALIZE_HH
+#define ANCHORTLB_COMMON_SERIALIZE_HH
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace atlb
+{
+
+/** Appends typed fields to a byte buffer. */
+class ByteWriter
+{
+  public:
+    void putU8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+
+    void putU32(std::uint32_t v)
+    {
+        for (unsigned i = 0; i < 4; ++i)
+            putU8(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void putU64(std::uint64_t v)
+    {
+        for (unsigned i = 0; i < 8; ++i)
+            putU8(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    /** IEEE-754 bit pattern: round-trips exactly, no text rounding. */
+    void putDouble(double v) { putU64(std::bit_cast<std::uint64_t>(v)); }
+
+    /** Length-prefixed (u32) string. */
+    void putString(const std::string &s)
+    {
+        putU32(static_cast<std::uint32_t>(s.size()));
+        buf_.append(s);
+    }
+
+    const std::string &bytes() const { return buf_; }
+
+  private:
+    std::string buf_;
+};
+
+/** Decodes a ByteWriter sequence; any malformed read poisons ok(). */
+class ByteReader
+{
+  public:
+    ByteReader(const void *data, std::size_t size)
+        : data_(static_cast<const unsigned char *>(data)), size_(size)
+    {
+    }
+
+    explicit ByteReader(const std::string &bytes)
+        : ByteReader(bytes.data(), bytes.size())
+    {
+    }
+
+    std::uint8_t getU8()
+    {
+        if (pos_ >= size_) {
+            ok_ = false;
+            return 0;
+        }
+        return data_[pos_++];
+    }
+
+    std::uint32_t getU32()
+    {
+        std::uint32_t v = 0;
+        for (unsigned i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(getU8()) << (8 * i);
+        return v;
+    }
+
+    std::uint64_t getU64()
+    {
+        std::uint64_t v = 0;
+        for (unsigned i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(getU8()) << (8 * i);
+        return v;
+    }
+
+    double getDouble() { return std::bit_cast<double>(getU64()); }
+
+    std::string getString()
+    {
+        const std::uint32_t len = getU32();
+        if (!ok_ || size_ - pos_ < len) {
+            ok_ = false;
+            return {};
+        }
+        std::string s(reinterpret_cast<const char *>(data_) + pos_, len);
+        pos_ += len;
+        return s;
+    }
+
+    /** True while every read so far was in bounds. */
+    bool ok() const { return ok_; }
+
+    /** True when the whole buffer was consumed (and nothing failed). */
+    bool atEnd() const { return ok_ && pos_ == size_; }
+
+  private:
+    const unsigned char *data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+    bool ok_ = true;
+};
+
+} // namespace atlb
+
+#endif // ANCHORTLB_COMMON_SERIALIZE_HH

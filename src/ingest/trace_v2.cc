@@ -92,18 +92,6 @@ constexpr std::uint8_t encodingPacked = traceV2EncodingPacked;
 
 } // namespace
 
-std::uint64_t
-fnv1a64(const void *data, std::size_t size)
-{
-    const auto *p = static_cast<const unsigned char *>(data);
-    std::uint64_t h = 14695981039346656037ULL;
-    for (std::size_t i = 0; i < size; ++i) {
-        h ^= p[i];
-        h *= 1099511628211ULL;
-    }
-    return h;
-}
-
 TraceV2Writer::TraceV2Writer(const std::string &path,
                              std::uint64_t block_capacity)
     : out_(path, std::ios::binary), path_(path),

@@ -53,6 +53,7 @@
 #include <string>
 #include <vector>
 
+#include "common/hash.hh" // fnv1a64: the v2 payload/index checksum
 #include "common/simd.hh"
 #include "trace/access.hh"
 
@@ -65,9 +66,6 @@ constexpr std::uint64_t traceV2DefaultBlockCapacity = 64 * 1024;
 /** Block-body encoding tags (the body's first byte). */
 constexpr std::uint8_t traceV2EncodingVarint = 0;
 constexpr std::uint8_t traceV2EncodingPacked = 1;
-
-/** FNV-1a 64-bit over @p size bytes (the v2 payload/index checksum). */
-std::uint64_t fnv1a64(const void *data, std::size_t size);
 
 /** Streaming writer for the ATLBTRC2 format. */
 class TraceV2Writer

@@ -1,0 +1,318 @@
+#include "result_store.hh"
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "common/hash.hh"
+#include "common/logging.hh"
+#include "common/serialize.hh"
+
+namespace atlb
+{
+
+namespace
+{
+
+constexpr char storeMagic[8] = {'A', 'T', 'L', 'B', 'R', 'E', 'S', '1'};
+
+constexpr std::uint8_t recordResult = 1;
+constexpr std::uint8_t recordTombstone = 2;
+
+/** u32 len + u8 kind + 3 reserved + u64 key + u64 checksum. */
+constexpr std::size_t recordHeaderBytes = 24;
+
+/**
+ * Payload cap: an encoded SimResult is a few hundred bytes; a length
+ * beyond this is corruption, not a record, and must not drive a
+ * gigabyte allocation during replay.
+ */
+constexpr std::uint32_t maxPayloadBytes = 1 << 20;
+
+std::uint64_t
+readU64At(const unsigned char *p)
+{
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+std::uint32_t
+readU32At(const unsigned char *p)
+{
+    std::uint32_t v = 0;
+    for (unsigned i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    return v;
+}
+
+} // namespace
+
+std::string
+encodeSimResult(const SimResult &result)
+{
+    ByteWriter w;
+    w.putString(result.workload);
+    w.putString(result.scenario);
+    w.putString(result.scheme);
+    w.putU64(result.anchor_distance);
+    w.putU64(result.stats.accesses);
+    w.putU64(result.stats.l1_hits);
+    w.putU64(result.stats.l2_regular_hits);
+    w.putU64(result.stats.coalesced_hits);
+    w.putU64(result.stats.page_walks);
+    w.putU64(result.stats.translation_cycles);
+    w.putU64(result.stats.shootdowns);
+    w.putU64(result.stats.shootdown_cycles);
+    w.putDouble(result.instructions);
+    w.putU64(result.l2_hit_cycles);
+    w.putU64(result.coalesced_cycles);
+    w.putU64(result.walk_cycles);
+    return w.bytes();
+}
+
+bool
+decodeSimResult(const std::string &payload, SimResult &out)
+{
+    ByteReader r(payload);
+    out.workload = r.getString();
+    out.scenario = r.getString();
+    out.scheme = r.getString();
+    out.anchor_distance = r.getU64();
+    out.stats.accesses = r.getU64();
+    out.stats.l1_hits = r.getU64();
+    out.stats.l2_regular_hits = r.getU64();
+    out.stats.coalesced_hits = r.getU64();
+    out.stats.page_walks = r.getU64();
+    out.stats.translation_cycles = r.getU64();
+    out.stats.shootdowns = r.getU64();
+    out.stats.shootdown_cycles = r.getU64();
+    out.instructions = r.getDouble();
+    out.l2_hit_cycles = r.getU64();
+    out.coalesced_cycles = r.getU64();
+    out.walk_cycles = r.getU64();
+    return r.atEnd();
+}
+
+ResultStore::ResultStore(const std::string &path) : path_(path)
+{
+    openAndReplay();
+}
+
+ResultStore::~ResultStore() = default;
+
+void
+ResultStore::openAndReplay()
+{
+    namespace fs = std::filesystem;
+
+    if (!fs::exists(path_)) {
+        std::ofstream out(path_, std::ios::binary);
+        if (!out)
+            ATLB_FATAL("cannot create result store '{}'", path_);
+        out.write(storeMagic, sizeof(storeMagic));
+        if (!out.flush())
+            ATLB_FATAL("cannot write result store '{}'", path_);
+        return;
+    }
+
+    std::ifstream in(path_, std::ios::binary);
+    if (!in)
+        ATLB_FATAL("cannot open result store '{}'", path_);
+    std::vector<unsigned char> data(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    in.close();
+
+    if (data.size() < sizeof(storeMagic)) {
+        // The magic itself was torn: an empty store, tail dropped.
+        ++counters_.corrupt_dropped;
+        std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+        if (!out)
+            ATLB_FATAL("cannot rewrite result store '{}'", path_);
+        out.write(storeMagic, sizeof(storeMagic));
+        if (!out.flush())
+            ATLB_FATAL("cannot write result store '{}'", path_);
+        return;
+    }
+    if (std::memcmp(data.data(), storeMagic, sizeof(storeMagic)) != 0) {
+        // Not a torn write — a different file. Refuse to touch it.
+        ATLB_FATAL("'{}' is not a result store (bad magic)", path_);
+    }
+
+    std::size_t pos = sizeof(storeMagic);
+    std::size_t good_end = pos;
+    bool corrupt = false;
+    while (pos < data.size()) {
+        if (data.size() - pos < recordHeaderBytes) {
+            corrupt = true;
+            break;
+        }
+        const unsigned char *head = data.data() + pos;
+        const std::uint32_t len = readU32At(head);
+        const std::uint8_t kind = head[4];
+        const std::uint64_t key = readU64At(head + 8);
+        const std::uint64_t checksum = readU64At(head + 16);
+        if (len > maxPayloadBytes ||
+            data.size() - pos - recordHeaderBytes < len) {
+            corrupt = true;
+            break;
+        }
+        const char *payload_bytes = reinterpret_cast<const char *>(
+            head + recordHeaderBytes);
+        if (fnv1a64(payload_bytes, len) != checksum) {
+            corrupt = true;
+            break;
+        }
+        const std::string payload(payload_bytes, len);
+        if (kind == recordResult) {
+            SimResult result;
+            if (!decodeSimResult(payload, result)) {
+                corrupt = true;
+                break;
+            }
+            cells_[key] = std::move(result);
+        } else if (kind == recordTombstone) {
+            cells_.erase(key);
+        } else {
+            corrupt = true; // unknown kind: not ours
+            break;
+        }
+        pos += recordHeaderBytes + len;
+        good_end = pos;
+        ++records_;
+    }
+
+    if (corrupt) {
+        // Drop the torn tail so future appends extend an intact log.
+        ++counters_.corrupt_dropped;
+        std::error_code ec;
+        std::filesystem::resize_file(path_, good_end, ec);
+        if (ec)
+            ATLB_FATAL("cannot truncate corrupt tail of '{}': {}", path_,
+                       ec.message());
+    }
+}
+
+void
+ResultStore::appendRecord(std::uint8_t kind, CellKey key,
+                          const std::string &payload)
+{
+    ATLB_ASSERT(payload.size() <= maxPayloadBytes,
+                "result store payload too large");
+    std::string record;
+    record.reserve(recordHeaderBytes + payload.size());
+    const auto put_u32 = [&record](std::uint32_t v) {
+        for (unsigned i = 0; i < 4; ++i)
+            record.push_back(static_cast<char>(v >> (8 * i)));
+    };
+    const auto put_u64 = [&record](std::uint64_t v) {
+        for (unsigned i = 0; i < 8; ++i)
+            record.push_back(static_cast<char>(v >> (8 * i)));
+    };
+    put_u32(static_cast<std::uint32_t>(payload.size()));
+    record.push_back(static_cast<char>(kind));
+    record.append(3, '\0');
+    put_u64(key.raw());
+    put_u64(fnv1a64(payload.data(), payload.size()));
+    record.append(payload);
+
+    std::ofstream out(path_, std::ios::binary | std::ios::app);
+    if (!out)
+        ATLB_FATAL("cannot append to result store '{}'", path_);
+    out.write(record.data(),
+              static_cast<std::streamsize>(record.size()));
+    if (!out.flush())
+        ATLB_FATAL("cannot write result store '{}'", path_);
+    ++records_;
+}
+
+std::optional<SimResult>
+ResultStore::lookup(CellKey key)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.lookups;
+    const auto it = cells_.find(key.raw());
+    if (it == cells_.end())
+        return std::nullopt;
+    ++counters_.hits;
+    return it->second;
+}
+
+void
+ResultStore::store(CellKey key, const SimResult &result)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    appendRecord(recordResult, key, encodeSimResult(result));
+    cells_[key.raw()] = result;
+    ++counters_.appends;
+}
+
+void
+ResultStore::invalidate(CellKey key)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    appendRecord(recordTombstone, key, std::string());
+    cells_.erase(key.raw());
+    ++counters_.invalidations;
+}
+
+std::uint64_t
+ResultStore::gc()
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+
+    const std::string tmp = path_ + ".gc-tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            ATLB_FATAL("cannot write '{}' for store gc", tmp);
+        out.write(storeMagic, sizeof(storeMagic));
+        if (!out.flush())
+            ATLB_FATAL("cannot write '{}' for store gc", tmp);
+    }
+
+    // Re-append every live cell into the fresh file, then swap it in.
+    const std::string full = std::move(path_);
+    path_ = tmp;
+    const std::uint64_t before = records_;
+    records_ = 0;
+    for (const auto &[key, result] : cells_)
+        appendRecord(recordResult, CellKey{key}, encodeSimResult(result));
+    path_ = full;
+
+    std::error_code ec;
+    std::filesystem::rename(tmp, path_, ec);
+    if (ec)
+        ATLB_FATAL("cannot replace '{}' with gc'd store: {}", path_,
+                   ec.message());
+
+    const std::uint64_t evicted = before - records_;
+    counters_.gc_evicted += evicted;
+    return evicted;
+}
+
+ResultStore::Counters
+ResultStore::counters() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return counters_;
+}
+
+ResultStore::Info
+ResultStore::info() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    Info info;
+    info.path = path_;
+    std::error_code ec;
+    const auto bytes = std::filesystem::file_size(path_, ec);
+    info.file_bytes = ec ? 0 : static_cast<std::uint64_t>(bytes);
+    info.live_cells = cells_.size();
+    info.records = records_;
+    return info;
+}
+
+} // namespace atlb

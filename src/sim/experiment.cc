@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/env.hh"
+#include "common/hash.hh"
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
 #include "ingest/trace_open.hh"
@@ -86,6 +87,87 @@ traceWorkloadSpec(const std::string &workload, const std::string &path)
 }
 
 } // namespace
+
+std::uint64_t
+traceContentHash(const std::string &workload)
+{
+    if (workload.rfind(traceWorkloadPrefix, 0) != 0)
+        return 0;
+    const std::string path =
+        workload.substr(std::strlen(traceWorkloadPrefix));
+    std::uint64_t digest = 0;
+    if (!fnv1a64File(path, digest))
+        ATLB_FATAL("cannot read trace '{}' to content-hash it", path);
+    return digest;
+}
+
+CellKey
+cellKeyFor(const SimOptions &options, const CellSpec &spec,
+           std::uint64_t trace_content_hash)
+{
+    // run() consults the distance override only for Scheme::Anchor;
+    // canonicalize so a stray override on another scheme cannot split
+    // one cell into two keys.
+    const bool overridden = spec.scheme == Scheme::Anchor &&
+                            spec.distance_override.has_value();
+
+    Fnv1a h;
+    h.addU64(1) // key format version: bump on any field change below
+        .addString(spec.workload)
+        .addString(scenarioName(spec.scenario))
+        .addString(schemeName(spec.scheme))
+        .addBool(overridden)
+        .addU64(overridden ? *spec.distance_override : 0)
+        .addU64(trace_content_hash);
+
+    // The SimOptions knobs that shape result bytes. threads,
+    // cache_pairs and translate_mode are deliberately absent: the test
+    // suite pins them to byte-identical results.
+    h.addU64(options.accesses)
+        .addU64(options.seed)
+        .addDouble(options.footprint_scale)
+        .addU64(options.shards)
+        .addU64(options.shard_warmup);
+
+    // Every MmuConfig field, declaration order. Keep in sync with
+    // mmu_config.hh: a new field must be folded here (and the version
+    // above bumped if its default changes existing cells' meaning).
+    const MmuConfig &m = options.mmu;
+    h.addU64(m.l1_4k_entries)
+        .addU64(m.l1_4k_ways)
+        .addU64(m.l1_2m_entries)
+        .addU64(m.l1_2m_ways)
+        .addU64(m.l2_entries)
+        .addU64(m.l2_ways)
+        .addU64(m.l2_1g_entries)
+        .addU64(m.l2_1g_ways)
+        .addU64(m.cluster_regular_entries)
+        .addU64(m.cluster_regular_ways)
+        .addU64(m.cluster_entries)
+        .addU64(m.cluster_ways)
+        .addU64(m.cluster_span)
+        .addU64(m.colt_fa_entries)
+        .addU64(m.colt_fa_max_pages)
+        .addU64(m.colt_fa_min_pages)
+        .addU64(m.range_entries)
+        .addU64(m.rmm_min_range_pages)
+        .addU64(m.l2_hit_cycles)
+        .addU64(m.coalesced_hit_cycles)
+        .addU64(m.walk_cycles)
+        .addBool(m.pwc_enabled)
+        .addU64(m.pwc_pml4e_entries)
+        .addU64(m.pwc_pdpte_entries)
+        .addU64(m.pwc_pde_entries)
+        .addU64(m.pwc_mem_ref_cycles)
+        .addU64(m.max_contiguity)
+        .addU64(m.nested_ref_cycles)
+        .addU64(m.shootdown_initiator_cycles)
+        .addU64(m.shootdown_responder_cycles)
+        .addU64(m.shootdown_page_cycles)
+        .addU64(m.shootdown_full_flush_pages);
+
+    return CellKey{h.digest()};
+}
 
 WorkloadSpec
 scaledWorkloadSpec(const SimOptions &options, const std::string &workload)
@@ -379,22 +461,62 @@ ExperimentContext::runIdealSweep(PairState &state)
     return runs[best];
 }
 
+std::uint64_t
+ExperimentContext::traceHashFor(const std::string &workload)
+{
+    const auto it = trace_hashes_.find(workload);
+    if (it != trace_hashes_.end())
+        return it->second;
+    const std::uint64_t digest = traceContentHash(workload);
+    trace_hashes_.emplace(workload, digest);
+    return digest;
+}
+
+CellKey
+ExperimentContext::cellKey(const std::string &workload,
+                           ScenarioKind scenario, Scheme scheme,
+                           std::optional<std::uint64_t> distance_override)
+{
+    return cellKeyFor(options_,
+                      CellSpec{workload, scenario, scheme,
+                               distance_override},
+                      traceHashFor(workload));
+}
+
 SimResult
 ExperimentContext::run(const std::string &workload, ScenarioKind scenario,
                        Scheme scheme,
                        std::optional<std::uint64_t> distance_override)
 {
+    // An attached result cache is consulted before any expensive state
+    // is built: a hit skips mapping/page-table construction entirely.
+    CellKey key;
+    if (result_cache_) {
+        key = cellKey(workload, scenario, scheme, distance_override);
+        ++counters_.result_lookups;
+        if (std::optional<SimResult> cached = result_cache_->lookup(key)) {
+            ++counters_.result_hits;
+            return *std::move(cached);
+        }
+    }
+
     PairState &state = pairState(workload, scenario);
 
-    if (scheme == Scheme::AnchorIdeal)
-        return runIdealSweep(state);
-
-    std::uint64_t distance = 0;
-    if (scheme == Scheme::Anchor) {
-        distance = distance_override ? *distance_override
-                                     : state.dynamic_distance;
+    SimResult result;
+    if (scheme == Scheme::AnchorIdeal) {
+        result = runIdealSweep(state);
+    } else {
+        std::uint64_t distance = 0;
+        if (scheme == Scheme::Anchor) {
+            distance = distance_override ? *distance_override
+                                         : state.dynamic_distance;
+        }
+        result = runScheme(state, scheme, distance);
     }
-    return runScheme(state, scheme, distance);
+
+    if (result_cache_)
+        result_cache_->store(key, result);
+    return result;
 }
 
 double

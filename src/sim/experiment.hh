@@ -5,9 +5,10 @@
  *
  * This is the top-level API the bench binaries and examples use; one
  * cell corresponds to one bar of a paper figure. Page tables for big
- * footprints are large, so the context keeps a small FIFO cache of
- * per-(workload, scenario) state — iterate workloads in the outer loop
- * for locality.
+ * footprints are large, so the context keeps a small LRU cache of
+ * per-(workload, scenario) state (capacity cache_pairs, revisited
+ * pairs move to the back) — iterate workloads in the outer loop for
+ * locality.
  */
 
 #ifndef ANCHORTLB_SIM_EXPERIMENT_HH
@@ -19,6 +20,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 
 #include "mmu/mmu_config.hh"
 #include "os/memory_map.hh"
@@ -170,6 +172,78 @@ SimResult runSchemeCell(const SimOptions &options, const WorkloadSpec &spec,
                         const PageTable &table, Scheme scheme,
                         std::uint64_t anchor_distance);
 
+/**
+ * Content address of one experiment cell: the canonical FNV-1a digest
+ * of every input that shapes its SimResult (cellKeyFor). Equal keys
+ * mean byte-identical results; a strong type so a key can never be
+ * confused with a raw counter or address.
+ */
+class CellKey
+{
+  public:
+    constexpr CellKey() = default;
+    explicit constexpr CellKey(std::uint64_t digest) : digest_(digest) {}
+
+    constexpr std::uint64_t raw() const { return digest_; }
+
+    friend constexpr bool operator==(const CellKey &, const CellKey &) =
+        default;
+    friend constexpr auto operator<=>(const CellKey &, const CellKey &) =
+        default;
+
+  private:
+    std::uint64_t digest_ = 0;
+};
+
+/** The coordinates of one cell, as ExperimentContext::run takes them. */
+struct CellSpec
+{
+    std::string workload;
+    ScenarioKind scenario = ScenarioKind::Demand;
+    Scheme scheme = Scheme::Base;
+    /** Anchor distance override; only meaningful for Scheme::Anchor. */
+    std::optional<std::uint64_t> distance_override;
+};
+
+/**
+ * Content hash of a trace-driven workload's trace file; 0 for synthetic
+ * workloads (their streams are fully determined by name + options).
+ * Fatal when the named trace file cannot be read — a cell key computed
+ * from a missing input would silently alias.
+ */
+std::uint64_t traceContentHash(const std::string &workload);
+
+/**
+ * Canonical content address of the cell (@p options, @p spec): a fixed
+ * field sequence folded through FNV-1a (see DESIGN.md section 13).
+ * Hashes exactly the inputs that shape the result — workload, scenario,
+ * scheme, the effective distance override, the trace content hash for
+ * trace-driven workloads, the accesses/seed/footprint_scale/shards/
+ * shard_warmup knobs, and every MmuConfig field. Deliberately excluded:
+ * threads, cache_pairs and translate_mode, which the test suite pins to
+ * byte-identical results. A stray distance_override on a non-Anchor
+ * scheme is canonicalized away (run() ignores it there).
+ */
+CellKey cellKeyFor(const SimOptions &options, const CellSpec &spec,
+                   std::uint64_t trace_content_hash = 0);
+
+/**
+ * A persistent (or otherwise external) cache of finished cells, keyed
+ * by content address. ExperimentContext consults one when attached via
+ * setResultCache(); serve/result_store.hh implements it on disk.
+ */
+class ResultCache
+{
+  public:
+    virtual ~ResultCache() = default;
+
+    /** The stored result for @p key, if any. */
+    virtual std::optional<SimResult> lookup(CellKey key) = 0;
+
+    /** Record @p result as the cell @p key's value. */
+    virtual void store(CellKey key, const SimResult &result) = 0;
+};
+
 /** Runs experiment cells with caching of expensive per-pair state. */
 class ExperimentContext
 {
@@ -190,6 +264,23 @@ class ExperimentContext
                   Scheme scheme,
                   std::optional<std::uint64_t> distance_override = {});
 
+    /**
+     * Attach (or detach, with nullptr) an external result cache. Borrowed:
+     * @p cache must outlive the context or the next setResultCache().
+     * While attached, run() answers from the cache when it holds the
+     * cell's key and stores every freshly computed result back.
+     */
+    void setResultCache(ResultCache *cache) { result_cache_ = cache; }
+
+    /**
+     * The content address run() would use for this cell under the
+     * context's options. Trace content hashes are memoized per workload
+     * name, so sweeps over trace-driven workloads hash each file once.
+     */
+    CellKey cellKey(const std::string &workload, ScenarioKind scenario,
+                    Scheme scheme,
+                    std::optional<std::uint64_t> distance_override = {});
+
     /** Distance Algorithm 1 selects for this workload/scenario pair. */
     std::uint64_t dynamicDistance(const std::string &workload,
                                   ScenarioKind scenario);
@@ -205,6 +296,10 @@ class ExperimentContext
     {
         std::uint64_t lookups = 0;
         std::uint64_t hits = 0;
+        /** Attached-ResultCache consultations by run(). */
+        std::uint64_t result_lookups = 0;
+        /** ... of which answered without simulating. */
+        std::uint64_t result_hits = 0;
 
         double hitRate() const
         {
@@ -239,7 +334,11 @@ class ExperimentContext
     /** LRU order: front = coldest, back = most recently used. */
     std::deque<std::unique_ptr<PairState>> cache_;
     CacheCounters counters_;
+    ResultCache *result_cache_ = nullptr; //!< borrowed, may be null
+    /** Per-workload trace content hashes (files hashed once). */
+    std::unordered_map<std::string, std::uint64_t> trace_hashes_;
 
+    std::uint64_t traceHashFor(const std::string &workload);
     PairState &pairState(const std::string &workload,
                          ScenarioKind scenario);
     SimResult runScheme(PairState &state, Scheme scheme,

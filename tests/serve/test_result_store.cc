@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Tests for the content-addressed persistent result store.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "serve/result_store.hh"
+
+namespace atlb
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+/** Fresh store path for one test (any previous file removed). */
+std::string
+storePath(const std::string &name)
+{
+    const std::string path =
+        testing::TempDir() + "atlb_" + name + ".results";
+    fs::remove(path);
+    return path;
+}
+
+SimResult
+makeResult(std::uint64_t salt)
+{
+    SimResult r;
+    r.workload = "canneal";
+    r.scenario = "medium";
+    r.scheme = "Dynamic";
+    r.anchor_distance = 64 + salt;
+    r.stats.accesses = 30'000 + salt;
+    r.stats.l1_hits = 25'000;
+    r.stats.l2_regular_hits = 3'000;
+    r.stats.coalesced_hits = 1'000;
+    r.stats.page_walks = 1'000 + salt;
+    r.stats.translation_cycles = 123'456;
+    r.stats.shootdowns = 3;
+    r.stats.shootdown_cycles = 999;
+    r.instructions = 0.1 + 0.2 + static_cast<double>(salt);
+    r.l2_hit_cycles = 9;
+    r.coalesced_cycles = 11;
+    r.walk_cycles = 37;
+    return r;
+}
+
+void
+expectSameResult(const SimResult &a, const SimResult &b)
+{
+    EXPECT_EQ(a.workload, b.workload);
+    EXPECT_EQ(a.scenario, b.scenario);
+    EXPECT_EQ(a.scheme, b.scheme);
+    EXPECT_EQ(a.anchor_distance, b.anchor_distance);
+    EXPECT_EQ(a.stats.accesses, b.stats.accesses);
+    EXPECT_EQ(a.stats.l1_hits, b.stats.l1_hits);
+    EXPECT_EQ(a.stats.l2_regular_hits, b.stats.l2_regular_hits);
+    EXPECT_EQ(a.stats.coalesced_hits, b.stats.coalesced_hits);
+    EXPECT_EQ(a.stats.page_walks, b.stats.page_walks);
+    EXPECT_EQ(a.stats.translation_cycles, b.stats.translation_cycles);
+    EXPECT_EQ(a.stats.shootdowns, b.stats.shootdowns);
+    EXPECT_EQ(a.stats.shootdown_cycles, b.stats.shootdown_cycles);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a.instructions),
+              std::bit_cast<std::uint64_t>(b.instructions))
+        << "instructions must round-trip bit-exactly";
+    EXPECT_EQ(a.l2_hit_cycles, b.l2_hit_cycles);
+    EXPECT_EQ(a.coalesced_cycles, b.coalesced_cycles);
+    EXPECT_EQ(a.walk_cycles, b.walk_cycles);
+}
+
+TEST(ServeStore, PayloadCodecRoundTripsBitExactly)
+{
+    const SimResult r = makeResult(7);
+    SimResult out;
+    ASSERT_TRUE(decodeSimResult(encodeSimResult(r), out));
+    expectSameResult(out, r);
+}
+
+TEST(ServeStore, PayloadCodecRejectsMalformedPayloads)
+{
+    const std::string good = encodeSimResult(makeResult(1));
+    SimResult out;
+    EXPECT_FALSE(decodeSimResult("", out));
+    EXPECT_FALSE(decodeSimResult(good.substr(0, good.size() - 1), out));
+    EXPECT_FALSE(decodeSimResult(good + "x", out)); // trailing bytes
+}
+
+TEST(ServeStore, StoreAndLookup)
+{
+    ResultStore store(storePath("store_lookup"));
+    const CellKey key{0x1111};
+    EXPECT_FALSE(store.lookup(key).has_value());
+
+    store.store(key, makeResult(2));
+    const auto cached = store.lookup(key);
+    ASSERT_TRUE(cached.has_value());
+    expectSameResult(*cached, makeResult(2));
+    EXPECT_FALSE(store.lookup(CellKey{0x2222}).has_value());
+
+    const ResultStore::Counters c = store.counters();
+    EXPECT_EQ(c.lookups, 3u);
+    EXPECT_EQ(c.hits, 1u);
+    EXPECT_EQ(c.appends, 1u);
+    EXPECT_EQ(c.corrupt_dropped, 0u);
+}
+
+TEST(ServeStore, PersistsAcrossReopen)
+{
+    const std::string path = storePath("reopen");
+    {
+        ResultStore store(path);
+        store.store(CellKey{1}, makeResult(10));
+        store.store(CellKey{2}, makeResult(20));
+    }
+    ResultStore reopened(path);
+    const auto r1 = reopened.lookup(CellKey{1});
+    const auto r2 = reopened.lookup(CellKey{2});
+    ASSERT_TRUE(r1.has_value());
+    ASSERT_TRUE(r2.has_value());
+    expectSameResult(*r1, makeResult(10));
+    expectSameResult(*r2, makeResult(20));
+    EXPECT_EQ(reopened.info().live_cells, 2u);
+    EXPECT_EQ(reopened.info().records, 2u);
+}
+
+TEST(ServeStore, LatestRecordForAKeyWins)
+{
+    const std::string path = storePath("latest_wins");
+    {
+        ResultStore store(path);
+        store.store(CellKey{5}, makeResult(1));
+        store.store(CellKey{5}, makeResult(2));
+    }
+    ResultStore reopened(path);
+    const auto r = reopened.lookup(CellKey{5});
+    ASSERT_TRUE(r.has_value());
+    expectSameResult(*r, makeResult(2));
+    EXPECT_EQ(reopened.info().live_cells, 1u);
+    EXPECT_EQ(reopened.info().records, 2u); // superseded record remains
+}
+
+TEST(ServeStore, InvalidationTombstonesSurviveReopen)
+{
+    const std::string path = storePath("tombstone");
+    {
+        ResultStore store(path);
+        store.store(CellKey{9}, makeResult(3));
+        store.invalidate(CellKey{9});
+        EXPECT_FALSE(store.lookup(CellKey{9}).has_value());
+        EXPECT_EQ(store.counters().invalidations, 1u);
+    }
+    ResultStore reopened(path);
+    EXPECT_FALSE(reopened.lookup(CellKey{9}).has_value());
+    EXPECT_EQ(reopened.info().live_cells, 0u);
+}
+
+TEST(ServeStore, TruncatedTailIsDroppedNotFatal)
+{
+    const std::string path = storePath("truncated_tail");
+    {
+        ResultStore store(path);
+        store.store(CellKey{1}, makeResult(1));
+        store.store(CellKey{2}, makeResult(2));
+    }
+    // Tear the last record: a torn write leaves a short tail.
+    fs::resize_file(path, fs::file_size(path) - 5);
+
+    ResultStore reopened(path);
+    EXPECT_EQ(reopened.counters().corrupt_dropped, 1u);
+    ASSERT_TRUE(reopened.lookup(CellKey{1}).has_value());
+    EXPECT_FALSE(reopened.lookup(CellKey{2}).has_value());
+    EXPECT_EQ(reopened.info().records, 1u);
+
+    // The tail was truncated back to the last intact record, so the
+    // store must be appendable again.
+    reopened.store(CellKey{3}, makeResult(3));
+    ResultStore again(path);
+    EXPECT_EQ(again.counters().corrupt_dropped, 0u);
+    EXPECT_TRUE(again.lookup(CellKey{1}).has_value());
+    EXPECT_TRUE(again.lookup(CellKey{3}).has_value());
+}
+
+TEST(ServeStore, FlippedPayloadByteFailsTheChecksum)
+{
+    const std::string path = storePath("flipped_byte");
+    {
+        ResultStore store(path);
+        store.store(CellKey{1}, makeResult(1));
+        store.store(CellKey{2}, makeResult(2));
+    }
+    // Flip the final payload byte of the last record.
+    {
+        std::fstream f(path,
+                       std::ios::in | std::ios::out | std::ios::binary);
+        ASSERT_TRUE(f.is_open());
+        f.seekg(-1, std::ios::end);
+        char c = 0;
+        f.get(c);
+        f.seekp(-1, std::ios::end);
+        f.put(static_cast<char>(c ^ 0x40));
+    }
+
+    ResultStore reopened(path);
+    EXPECT_EQ(reopened.counters().corrupt_dropped, 1u);
+    EXPECT_TRUE(reopened.lookup(CellKey{1}).has_value());
+    EXPECT_FALSE(reopened.lookup(CellKey{2}).has_value())
+        << "a checksum-corrupt record must not be served";
+}
+
+TEST(ServeStore, GcCompactsSupersededRecordsAndTombstones)
+{
+    const std::string path = storePath("gc");
+    ResultStore store(path);
+    store.store(CellKey{1}, makeResult(1));
+    store.store(CellKey{1}, makeResult(2)); // supersedes
+    store.store(CellKey{2}, makeResult(3));
+    store.invalidate(CellKey{2}); // tombstone
+    store.store(CellKey{3}, makeResult(4));
+    ASSERT_EQ(store.info().records, 5u);
+    ASSERT_EQ(store.info().live_cells, 2u);
+
+    const std::uint64_t before_bytes = store.info().file_bytes;
+    EXPECT_EQ(store.gc(), 3u);
+    EXPECT_EQ(store.info().records, 2u);
+    EXPECT_EQ(store.info().live_cells, 2u);
+    EXPECT_LT(store.info().file_bytes, before_bytes);
+    EXPECT_EQ(store.counters().gc_evicted, 3u);
+
+    const auto r1 = store.lookup(CellKey{1});
+    ASSERT_TRUE(r1.has_value());
+    expectSameResult(*r1, makeResult(2));
+    EXPECT_FALSE(store.lookup(CellKey{2}).has_value());
+
+    // The compacted file must replay cleanly.
+    ResultStore reopened(path);
+    EXPECT_EQ(reopened.info().records, 2u);
+    EXPECT_TRUE(reopened.lookup(CellKey{3}).has_value());
+}
+
+TEST(ResultStoreDeath, ForeignMagicIsFatal)
+{
+    const std::string path = storePath("bad_magic");
+    {
+        std::ofstream f(path, std::ios::binary);
+        f << "NOTASTORE-this is some other file format\n";
+    }
+    EXPECT_DEATH({ ResultStore store(path); }, "bad magic");
+}
+
+} // namespace
+} // namespace atlb

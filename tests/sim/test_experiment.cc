@@ -5,8 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <cstdint>
 #include <cstdlib>
+#include <optional>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -233,6 +237,174 @@ TEST(Experiment, CacheEvictionDoesNotChangeResults)
             EXPECT_EQ(a.anchor_distance, b.anchor_distance);
         }
     }
+}
+
+TEST(Experiment, CellKeyIsStableAndCanonical)
+{
+    const SimOptions opts = quickOptions();
+    const CellSpec spec{"canneal", ScenarioKind::MedContig, Scheme::Base,
+                        {}};
+    EXPECT_EQ(cellKeyFor(opts, spec), cellKeyFor(opts, spec))
+        << "the content address must be deterministic";
+
+    // A stray distance override on a non-Anchor scheme is ignored by
+    // run(), so it must not split the cell into two addresses.
+    CellSpec stray = spec;
+    stray.distance_override = 64;
+    EXPECT_EQ(cellKeyFor(opts, stray), cellKeyFor(opts, spec));
+
+    // On Anchor the override shapes the result and must be folded in.
+    CellSpec anchor = spec;
+    anchor.scheme = Scheme::Anchor;
+    CellSpec anchor_d = anchor;
+    anchor_d.distance_override = 64;
+    EXPECT_NE(cellKeyFor(opts, anchor), cellKeyFor(opts, anchor_d));
+}
+
+TEST(Experiment, CellKeyCoversEveryResultShapingInput)
+{
+    const SimOptions base = quickOptions();
+    const CellSpec spec{"canneal", ScenarioKind::MedContig, Scheme::Base,
+                        {}};
+    const CellKey key = cellKeyFor(base, spec);
+
+    CellSpec other = spec;
+    other.workload = "sphinx3";
+    EXPECT_NE(cellKeyFor(base, other), key);
+    other = spec;
+    other.scenario = ScenarioKind::Demand;
+    EXPECT_NE(cellKeyFor(base, other), key);
+    other = spec;
+    other.scheme = Scheme::Thp;
+    EXPECT_NE(cellKeyFor(base, other), key);
+
+    // Every sweep knob that shapes the stream changes the address.
+    SimOptions opts = base;
+    opts.accesses += 1;
+    EXPECT_NE(cellKeyFor(opts, spec), key);
+    opts = base;
+    opts.seed += 1;
+    EXPECT_NE(cellKeyFor(opts, spec), key);
+    opts = base;
+    opts.footprint_scale = 0.03;
+    EXPECT_NE(cellKeyFor(opts, spec), key);
+    opts = base;
+    opts.shards = 2;
+    EXPECT_NE(cellKeyFor(opts, spec), key);
+    opts = base;
+    opts.shard_warmup += 1;
+    EXPECT_NE(cellKeyFor(opts, spec), key);
+
+    // Hardware parameters too (spot checks across MmuConfig).
+    opts = base;
+    opts.mmu.l2_entries *= 2;
+    EXPECT_NE(cellKeyFor(opts, spec), key);
+    opts = base;
+    opts.mmu.cluster_span += 1;
+    EXPECT_NE(cellKeyFor(opts, spec), key);
+    opts = base;
+    opts.mmu.walk_cycles += 1;
+    EXPECT_NE(cellKeyFor(opts, spec), key);
+    opts = base;
+    opts.mmu.pwc_enabled = !opts.mmu.pwc_enabled;
+    EXPECT_NE(cellKeyFor(opts, spec), key);
+
+    // A different trace content hash is a different cell.
+    EXPECT_NE(cellKeyFor(base, spec, 0x1234), key);
+}
+
+TEST(Experiment, CellKeyExcludesExecutionModeKnobs)
+{
+    // These knobs are pinned byte-identical by the test suite, so two
+    // runs differing only in them must share one content address.
+    const SimOptions base = quickOptions();
+    const CellSpec spec{"canneal", ScenarioKind::MedContig, Scheme::Base,
+                        {}};
+    const CellKey key = cellKeyFor(base, spec);
+
+    SimOptions opts = base;
+    opts.threads = 8;
+    EXPECT_EQ(cellKeyFor(opts, spec), key);
+    opts = base;
+    opts.cache_pairs = 16;
+    EXPECT_EQ(cellKeyFor(opts, spec), key);
+    opts = base;
+    opts.translate_mode = TranslateMode::PerAccess;
+    EXPECT_EQ(cellKeyFor(opts, spec), key);
+}
+
+TEST(Experiment, SyntheticWorkloadsHaveNoTraceContentHash)
+{
+    EXPECT_EQ(traceContentHash("canneal"), 0u);
+    EXPECT_EQ(traceContentHash("milc"), 0u);
+}
+
+/** In-memory ResultCache for the hook tests. */
+class MapResultCache final : public ResultCache
+{
+  public:
+    std::optional<SimResult> lookup(CellKey key) override
+    {
+        const auto it = cells_.find(key.raw());
+        if (it == cells_.end())
+            return std::nullopt;
+        return it->second;
+    }
+
+    void store(CellKey key, const SimResult &result) override
+    {
+        cells_[key.raw()] = result;
+    }
+
+    std::size_t size() const { return cells_.size(); }
+
+  private:
+    std::unordered_map<std::uint64_t, SimResult> cells_;
+};
+
+TEST(Experiment, ResultCacheAnswersRepeatRunsWithoutSimulating)
+{
+    MapResultCache cache;
+    ExperimentContext ctx(quickOptions());
+    ctx.setResultCache(&cache);
+
+    const SimResult first =
+        ctx.run("canneal", ScenarioKind::MedContig, Scheme::Base);
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(ctx.cacheCounters().result_lookups, 1u);
+    EXPECT_EQ(ctx.cacheCounters().result_hits, 0u);
+
+    // A fresh context with the same options must answer from the cache
+    // (no pair state is ever built for a cached cell).
+    ExperimentContext warm(quickOptions());
+    warm.setResultCache(&cache);
+    const SimResult cached =
+        warm.run("canneal", ScenarioKind::MedContig, Scheme::Base);
+    EXPECT_EQ(warm.cacheCounters().result_hits, 1u);
+    EXPECT_EQ(warm.cacheCounters().lookups, 0u)
+        << "a result-cache hit must not touch pair state";
+    EXPECT_EQ(cached.stats.page_walks, first.stats.page_walks);
+    EXPECT_EQ(cached.stats.translation_cycles,
+              first.stats.translation_cycles);
+
+    // Detaching goes back to plain simulation.
+    warm.setResultCache(nullptr);
+    const SimResult direct =
+        warm.run("canneal", ScenarioKind::MedContig, Scheme::Base);
+    EXPECT_EQ(warm.cacheCounters().result_lookups, 1u); // unchanged
+    EXPECT_EQ(direct.stats.page_walks, first.stats.page_walks);
+}
+
+TEST(Experiment, ContextCellKeyMatchesFreeFunction)
+{
+    ExperimentContext ctx(quickOptions());
+    const CellKey via_ctx =
+        ctx.cellKey("canneal", ScenarioKind::MedContig, Scheme::Anchor,
+                    64);
+    const CellKey via_free = cellKeyFor(
+        ctx.options(), CellSpec{"canneal", ScenarioKind::MedContig,
+                                Scheme::Anchor, 64});
+    EXPECT_EQ(via_ctx, via_free);
 }
 
 TEST(Experiment, RevisitedPairSurvivesLruSweep)

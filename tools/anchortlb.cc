@@ -11,11 +11,16 @@
  *   trace import|convert|info|replay
  *                               text-trace ingestion, codec conversion,
  *                               metadata and grid-path replay
+ *   serve / submit / query      sweep service over a unix socket with a
+ *                               content-addressed persistent result store
+ *   store info|gc               result-store inspection and compaction
  *
+
  * Run `anchortlb help` for the full usage text. Output is an ASCII
  * table by default; pass --csv for machine-readable output.
  */
 
+#include <csignal>
 #include <cstdlib>
 #include <iostream>
 #include <map>
@@ -39,6 +44,9 @@
 #include "mmu/rmm_mmu.hh"
 #include "os/distance_selector.hh"
 #include "os/table_builder.hh"
+#include "serve/client.hh"
+#include "serve/result_store.hh"
+#include "serve/server.hh"
 #include "sim/experiment.hh"
 #include "sim/multiprocess.hh"
 #include "sim/sharded_runner.hh"
@@ -912,6 +920,259 @@ cmdTrace(const Args &args)
                sub);
 }
 
+constexpr const char *defaultServeSocket = "/tmp/anchortlb.sock";
+constexpr const char *defaultStorePath = "anchortlb.results";
+
+/** Set by SIGINT/SIGTERM; polled by the serve loop. */
+volatile std::sig_atomic_t g_serve_stop = 0;
+
+void
+serveSignalHandler(int)
+{
+    g_serve_stop = 1;
+}
+
+void
+printCounters(const std::string &title,
+              const std::vector<std::pair<std::string, std::uint64_t>>
+                  &counters,
+              bool csv)
+{
+    Table table(title, {"counter", "value"});
+    for (const auto &[name, value] : counters) {
+        table.beginRow();
+        table.cell(name);
+        table.cell(value);
+    }
+    emit(table, csv);
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+serveSummaryCounters(const SweepServer &server)
+{
+    const ServerCounters c = server.counters();
+    const ResultStore::Counters sc = server.storeCounters();
+    const ResultStore::Info si = server.storeInfo();
+    return {
+        {"connections", c.connections},
+        {"requests", c.requests},
+        {"bad_requests", c.bad_requests},
+        {"cells", c.cells},
+        {"hits", c.hits},
+        {"dedups", c.dedups},
+        {"simulations", c.simulations},
+        {"cell_errors", c.cell_errors},
+        {"queue_peak", c.queue_peak},
+        {"store_lookups", sc.lookups},
+        {"store_hits", sc.hits},
+        {"store_appends", sc.appends},
+        {"store_corrupt_dropped", sc.corrupt_dropped},
+        {"store_live_cells", si.live_cells},
+        {"store_records", si.records},
+        {"store_file_bytes", si.file_bytes},
+    };
+}
+
+int
+cmdServeStop(const Args &args)
+{
+    const std::string socket = args.get("socket", defaultServeSocket);
+    ServeClient client;
+    std::string error;
+    if (!client.connect(socket, &error))
+        ATLB_FATAL("serve stop: {}", error);
+    SweepRequest request;
+    request.op = WireOp::Shutdown;
+    SweepResponse response;
+    if (!client.roundTrip(request, response, &error))
+        ATLB_FATAL("serve stop: {}", error);
+    printCounters("server shut down; final counters", response.counters,
+                  args.has("csv"));
+    return response.ok ? 0 : 1;
+}
+
+int
+cmdServe(const Args &args)
+{
+    if (!args.positional().empty()) {
+        if (args.positional()[0] == "stop")
+            return cmdServeStop(args);
+        ATLB_FATAL("unknown serve subcommand '{}' (try: serve, "
+                   "serve stop)",
+                   args.positional()[0]);
+    }
+
+    ServeOptions options;
+    options.socket_path = args.get("socket", defaultServeSocket);
+    options.store_path = args.get("store", defaultStorePath);
+    options.base = optionsFrom(args);
+    options.max_contexts = static_cast<std::size_t>(
+        args.getU64("contexts", options.max_contexts));
+
+    SweepServer server(options);
+    std::string error;
+    if (!server.start(&error))
+        ATLB_FATAL("serve: {}", error);
+
+    // ^C / SIGTERM stop the accept loop; the handler may only write a
+    // sig_atomic_t, so the server polls the flag.
+    server.watchStopFlag(&g_serve_stop);
+    std::signal(SIGINT, serveSignalHandler);
+    std::signal(SIGTERM, serveSignalHandler);
+
+    std::cout << "anchortlb serve: listening on " << options.socket_path
+              << ", store " << options.store_path << "\n"
+              << std::flush;
+    server.run();
+    printCounters("serve summary", serveSummaryCounters(server),
+                  args.has("csv"));
+    return 0;
+}
+
+/** Comma-separated list option -> vector (empty for absent). */
+std::vector<std::string>
+listArg(const Args &args, const std::string &key,
+        const std::string &fallback)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(args.get(key, fallback));
+    for (std::string item; std::getline(ss, item, ',');)
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+int
+cmdSubmit(const Args &args, WireOp op)
+{
+    const std::string socket = args.get("socket", defaultServeSocket);
+    const bool csv = args.has("csv");
+
+    SweepRequest request;
+    request.op = op;
+    // Knob overrides travel only when given explicitly, so by default
+    // a client addresses the server's own option set.
+    if (args.has("accesses"))
+        request.accesses = args.getU64("accesses", 0);
+    if (args.has("seed"))
+        request.seed = args.getU64("seed", 0);
+    if (args.has("scale"))
+        request.scale = args.getDouble("scale", 1.0);
+    if (args.has("shards"))
+        request.shards = args.getU64("shards", 1);
+    if (args.has("warmup"))
+        request.warmup = args.getU64("warmup", 0);
+
+    std::vector<Scheme> schemes;
+    if (args.has("schemes")) {
+        for (const std::string &name : listArg(args, "schemes", ""))
+            schemes.push_back(schemeFromName(name));
+    } else {
+        schemes.assign(std::begin(allSchemes), std::end(allSchemes));
+    }
+    for (const std::string &workload :
+         listArg(args, "workloads", "canneal")) {
+        for (const std::string &scenario :
+             listArg(args, "scenarios", "medium")) {
+            for (const Scheme scheme : schemes) {
+                CellRequest cell;
+                cell.workload = workload;
+                cell.scenario = scenarioFromName(scenario);
+                cell.scheme = scheme;
+                if (args.has("distance") && scheme == Scheme::Anchor)
+                    cell.distance = args.getU64("distance", 0);
+                request.cells.push_back(std::move(cell));
+            }
+        }
+    }
+
+    ServeClient client;
+    std::string error;
+    if (!client.connect(socket, &error))
+        ATLB_FATAL("{}: {}", wireOpName(op), error);
+    SweepResponse response;
+    if (!client.roundTrip(request, response, &error))
+        ATLB_FATAL("{}: {}", wireOpName(op), error);
+    if (!response.ok)
+        ATLB_FATAL("{}: server refused: {}", wireOpName(op),
+                   response.error);
+    if (response.cells.size() != request.cells.size())
+        ATLB_FATAL("{}: server answered {} cells for {} requested",
+                   wireOpName(op), response.cells.size(),
+                   request.cells.size());
+
+    Table table(std::string(wireOpName(op)) + " via " + socket,
+                {"workload", "scenario", "scheme", "status", "walks",
+                 "CPI", "anchor dist"});
+    for (std::size_t i = 0; i < response.cells.size(); ++i) {
+        const CellReply &reply = response.cells[i];
+        const CellRequest &cell = request.cells[i];
+        table.beginRow();
+        table.cell(cell.workload);
+        table.cell(std::string(scenarioName(cell.scenario)));
+        table.cell(std::string(schemeName(cell.scheme)));
+        table.cell(reply.error.empty()
+                       ? std::string(cellStatusName(reply.status))
+                       : cellStatusName(reply.status) +
+                             (": " + reply.error));
+        if (reply.status == CellStatus::Miss ||
+            reply.status == CellStatus::Error) {
+            table.cell(std::string("-"));
+            table.cell(std::string("-"));
+            table.cell(std::string("-"));
+            continue;
+        }
+        table.cell(reply.result.misses());
+        table.cell(reply.result.translationCpi(), 4);
+        table.cell(reply.result.anchor_distance
+                       ? std::to_string(reply.result.anchor_distance)
+                       : std::string("-"));
+    }
+    emit(table, csv);
+    printCounters("server counters", response.counters, csv);
+
+    int exit_code = 0;
+    for (const CellReply &reply : response.cells)
+        if (reply.status == CellStatus::Error)
+            exit_code = 1;
+    return exit_code;
+}
+
+int
+cmdStore(const Args &args)
+{
+    if (args.positional().empty())
+        ATLB_FATAL("usage: anchortlb store info|gc [FILE]");
+    const std::string &sub = args.positional()[0];
+    const std::string path = args.positional().size() > 1
+                                 ? args.positional()[1]
+                                 : std::string(defaultStorePath);
+    if (sub == "info") {
+        ResultStore store(path);
+        const ResultStore::Info info = store.info();
+        const ResultStore::Counters counters = store.counters();
+        printCounters("store " + path,
+                      {{"file_bytes", info.file_bytes},
+                       {"live_cells", info.live_cells},
+                       {"records", info.records},
+                       {"corrupt_dropped", counters.corrupt_dropped}},
+                      args.has("csv"));
+        return 0;
+    }
+    if (sub == "gc") {
+        ResultStore store(path);
+        const std::uint64_t evicted = store.gc();
+        const ResultStore::Info info = store.info();
+        printCounters("store gc " + path,
+                      {{"evicted_records", evicted},
+                       {"live_cells", info.live_cells},
+                       {"file_bytes", info.file_bytes}},
+                      args.has("csv"));
+        return 0;
+    }
+    ATLB_FATAL("unknown store subcommand '{}' (try: info gc)", sub);
+}
+
 int
 cmdHelp()
 {
@@ -956,6 +1217,21 @@ commands:
   export-map           write a scenario's VA->PA mapping to a text file
       --workload=NAME --scenario=NAME [--out=FILE]
   inspect-map FILE     chunk statistics + Algorithm 1 pick for a mapping
+  serve                sweep service: answer submit/query requests over
+                       a unix socket, backed by a content-addressed
+                       persistent result store (^C or `serve stop` for
+                       a clean shutdown with a counter summary)
+      [--socket=PATH] [--store=FILE] [--contexts=N]
+  serve stop           ask a running server to shut down
+      [--socket=PATH]
+  submit               resolve a cell grid via the service, simulating
+                       store misses on the server
+      --workloads=A[,B...] [--scenarios=X[,Y...]] [--schemes=S[,T...]]
+      [--socket=PATH] [--distance=N] (+ common sweep options below)
+  query                like submit, but never simulates: store misses
+                       report status "miss"
+  store info [FILE]    result-store shape (cells, records, bytes)
+  store gc [FILE]      compact the store, dropping superseded records
   help                 this text
 
 common options:
@@ -1004,6 +1280,14 @@ main(int argc, char **argv)
         return cmdExportMap(args);
     if (cmd == "inspect-map")
         return cmdInspectMap(args);
+    if (cmd == "serve")
+        return cmdServe(args);
+    if (cmd == "submit")
+        return cmdSubmit(args, WireOp::Submit);
+    if (cmd == "query")
+        return cmdSubmit(args, WireOp::Query);
+    if (cmd == "store")
+        return cmdStore(args);
     if (cmd == "help" || cmd == "--help" || cmd == "-h")
         return cmdHelp();
     std::cerr << "unknown command '" << cmd << "'\n";
