@@ -70,7 +70,9 @@ cold_computed="$(grep -c 'computed' <<< "$first" || true)"
 echo "== second submit (warm: every cell a store hit) =="
 second="$(submit submit)"
 echo "$second"
-if grep -Eq 'computed|deduped' <<< "$second"; then
+# Match the CSV status column only: counter names like
+# "admission_stalls" must not trip the miss check.
+if grep -Eq ',(computed|deduped),' <<< "$second"; then
     fail "second pass recomputed cells — the store did not serve them"
 fi
 warm_hits="$(grep -c ',hit' <<< "$second" || true)"
@@ -80,9 +82,16 @@ warm_hits="$(grep -c ',hit' <<< "$second" || true)"
 echo "== query (read-only: must hit, never simulate) =="
 query="$(submit query)"
 echo "$query"
-if grep -Eq 'computed|deduped|miss' <<< "$query"; then
+if grep -Eq ',(computed|deduped|miss),' <<< "$query"; then
     fail "query pass missed the store"
 fi
+
+echo "== store gc while the server is running must be refused =="
+if gc_out="$("$bin" store gc "$store" 2>&1)"; then
+    fail "store gc succeeded against a live server's store"
+fi
+grep -q 'in use' <<< "$gc_out" ||
+    fail "store gc refusal did not mention the lock: $gc_out"
 
 echo "== serve stop =="
 "$bin" serve stop --socket="$socket"

@@ -1,5 +1,9 @@
 #include "result_store.hh"
 
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -98,10 +102,36 @@ decodeSimResult(const std::string &payload, SimResult &out)
 
 ResultStore::ResultStore(const std::string &path) : path_(path)
 {
+    acquireLock();
     openAndReplay();
 }
 
-ResultStore::~ResultStore() = default;
+ResultStore::~ResultStore()
+{
+    if (lock_fd_ >= 0)
+        ::close(lock_fd_); // releases the flock
+}
+
+void
+ResultStore::acquireLock()
+{
+    // The lock must live in a sidecar: gc() renames a fresh file over
+    // path_, and a lock on the data file itself would silently travel
+    // to the orphaned pre-gc inode.
+    const std::string lock_path = path_ + ".lock";
+    lock_fd_ = ::open(lock_path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC,
+                      0644);
+    if (lock_fd_ < 0)
+        ATLB_FATAL("cannot open store lock '{}'", lock_path);
+    if (::flock(lock_fd_, LOCK_EX | LOCK_NB) != 0) {
+        ::close(lock_fd_);
+        lock_fd_ = -1;
+        ATLB_FATAL("result store '{}' is in use by another process "
+                   "(a running server?) -- stop it before touching "
+                   "the store",
+                   path_);
+    }
+}
 
 void
 ResultStore::openAndReplay()

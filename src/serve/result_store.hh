@@ -25,6 +25,14 @@
  * MmuConfig, sweep knobs) is folded into the key, so a changed input
  * addresses a different cell and simply misses. Tombstones and gc()
  * exist for explicit eviction and for compacting superseded records.
+ *
+ * Single-writer guard: opening a store takes an exclusive flock on the
+ * sidecar "<path>.lock" file, held until destruction. A second open of
+ * a live store — e.g. `store gc` against a running server's store,
+ * which would truncate in-flight appends as a "corrupt tail" and then
+ * rename the file out from under the server — is refused with a fatal
+ * diagnostic instead. The lock lives in a sidecar (not the data file)
+ * so gc()'s rename cannot detach it.
  */
 
 #ifndef ANCHORTLB_SERVE_RESULT_STORE_HH
@@ -57,10 +65,14 @@ class ResultStore final : public ResultCache
   public:
     /**
      * Open (or create) the store at @p path and replay its log; fatal
-     * on an unwritable path or foreign magic, tolerant of a corrupt
+     * on an unwritable path, foreign magic, or when another ResultStore
+     * (this process or any other) holds the store open — see the
+     * single-writer guard in the file comment. Tolerant of a corrupt
      * tail (dropped and counted in counters().corrupt_dropped).
      */
     explicit ResultStore(const std::string &path);
+
+    /** Releases the store lock. */
     ~ResultStore() override;
 
     ResultStore(const ResultStore &) = delete;
@@ -106,12 +118,15 @@ class ResultStore final : public ResultCache
     Info info() const;
 
   private:
+    void acquireLock();
     void openAndReplay();
     void appendRecord(std::uint8_t kind, CellKey key,
                       const std::string &payload);
 
     mutable std::mutex mutex_;
     std::string path_;
+    /** fd of "<path>.lock", exclusively flock'd for our lifetime. */
+    int lock_fd_ = -1;
     std::unordered_map<std::uint64_t, SimResult> cells_;
     std::uint64_t records_ = 0; //!< records currently in the log
     Counters counters_;

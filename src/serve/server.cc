@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <utility>
 
@@ -30,18 +31,14 @@ constexpr std::size_t maxLineBytes = 16 * 1024 * 1024;
 /** Workload-name prefix selecting a trace-driven workload. */
 constexpr const char *traceWorkloadPrefixServe = "trace:";
 
-/** Hash of the SimOptions knobs a request can override: the context
- *  cache identity. */
+/** Microseconds elapsed since @p start. */
 std::uint64_t
-optionsIdentity(const SimOptions &options)
+elapsedUsSince(std::chrono::steady_clock::time_point start)
 {
-    Fnv1a h;
-    h.addU64(options.accesses)
-        .addU64(options.seed)
-        .addDouble(options.footprint_scale)
-        .addU64(options.shards)
-        .addU64(options.shard_warmup);
-    return h.digest();
+    const auto delta = std::chrono::steady_clock::now() - start;
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(delta)
+            .count());
 }
 
 /**
@@ -93,10 +90,10 @@ sendAll(int fd, const std::string &data)
 } // namespace
 
 SweepServer::SweepServer(ServeOptions options)
-    : options_(std::move(options)), store_(options_.store_path)
+    : options_(std::move(options)), store_(options_.store_path),
+      scheduler_(options_.base.threads, options_.max_queue_cells,
+                 options_.max_pairs)
 {
-    if (options_.max_contexts == 0)
-        options_.max_contexts = 1;
 }
 
 SweepServer::~SweepServer()
@@ -243,6 +240,7 @@ SweepServer::handleLine(const std::string &line)
 SweepResponse
 SweepServer::handleRequest(const SweepRequest &request)
 {
+    const auto start = std::chrono::steady_clock::now();
     SweepResponse resp;
     switch (request.op) {
       case WireOp::Stats:
@@ -256,6 +254,12 @@ SweepServer::handleRequest(const SweepRequest &request)
       case WireOp::Query:
         resolveCells(request, resp);
         break;
+    }
+    {
+        // Recorded before the counters are attached, so every reply's
+        // wall-time summary includes the request it answers.
+        const std::lock_guard<std::mutex> lock(state_m_);
+        counters_.request_wall_us.add(elapsedUsSince(start));
     }
     appendCounters(resp);
     return resp;
@@ -355,8 +359,12 @@ SweepServer::resolveCells(const SweepRequest &request,
         }
     }
 
-    // Tier 3: one batch over the claimed misses, sorted by pair so the
-    // context's LRU pair cache sees each (workload, scenario) once.
+    // Tier 3: the claimed misses become individual jobs on the shared
+    // scheduler, sorted by (workload, scenario) so this request's
+    // consecutive cells reuse one scheduler pair-state build. Each cell
+    // publishes — store append, Inflight wake-up, reply slot — the
+    // moment its worker finishes, so waiters never wait on the whole
+    // grid.
     if (!owned.empty()) {
         std::vector<std::size_t> order(owned.size());
         for (std::size_t i = 0; i < order.size(); ++i)
@@ -372,51 +380,39 @@ SweepServer::resolveCells(const SweepRequest &request,
                       return ca.scenario < cb.scenario;
                   });
 
-        std::vector<CellJob> jobs;
-        jobs.reserve(owned.size());
-        std::size_t distinct_pairs = 0;
-        for (std::size_t i = 0; i < order.size(); ++i) {
-            const CellRequest &cell = request.cells[owned[order[i]].index];
-            jobs.push_back({cell.workload, cell.scenario, cell.scheme,
-                            cell.distance});
-            if (i == 0 || jobs[i].workload != jobs[i - 1].workload ||
-                jobs[i].scenario != jobs[i - 1].scenario)
-                ++distinct_pairs;
-        }
-
-        {
-            const std::lock_guard<std::mutex> lock(state_m_);
-            queue_depth_ += jobs.size();
-            counters_.queue_peak =
-                std::max(counters_.queue_peak, queue_depth_);
-        }
-
-        std::vector<SimResult> results;
-        {
-            const std::lock_guard<std::mutex> sim_lock(sim_m_);
-            ExperimentContext &ctx = contextFor(opts);
-            ctx.sizeCacheForPairs(distinct_pairs);
-            results = runCells(ctx, jobs);
-        }
-
-        for (std::size_t i = 0; i < order.size(); ++i) {
-            PendingCell &pending = owned[order[i]];
-            store_.store(pending.key, results[i]);
+        // Runs on scheduler workers. Writing resp is race-free: the
+        // ticket's wait() below returns only after every completion has
+        // run, and this thread touches no owned slot until then.
+        const auto publish = [this, &resp, &owned](
+                                 std::size_t slot,
+                                 const SimResult &result,
+                                 std::uint64_t queue_wait_us) {
+            PendingCell &pending = owned[slot];
+            store_.store(pending.key, result);
             {
                 const std::lock_guard<std::mutex> entry_lock(
                     pending.entry->m);
                 pending.entry->done = true;
-                pending.entry->result = results[i];
+                pending.entry->result = result;
             }
             pending.entry->cv.notify_all();
             CellReply &reply = resp.cells[pending.index];
             reply.status = CellStatus::Computed;
-            reply.result = std::move(results[i]);
+            reply.result = result;
             const std::lock_guard<std::mutex> lock(state_m_);
             inflight_.erase(pending.key.raw());
-            --queue_depth_;
             ++counters_.simulations;
+            counters_.queue_wait_us.add(queue_wait_us);
+        };
+
+        const std::unique_ptr<CellScheduler::Ticket> ticket =
+            scheduler_.open(opts, publish);
+        for (const std::size_t slot : order) {
+            const CellRequest &cell = request.cells[owned[slot].index];
+            ticket->submit(slot, CellJob{cell.workload, cell.scenario,
+                                         cell.scheme, cell.distance});
         }
+        ticket->wait();
     }
 
     // Tier 2 resolution: join the in-flight computations. This comes
@@ -434,27 +430,6 @@ SweepServer::resolveCells(const SweepRequest &request,
     resp.ok = true;
 }
 
-ExperimentContext &
-SweepServer::contextFor(const SimOptions &options)
-{
-    const std::uint64_t identity = optionsIdentity(options);
-    for (auto it = contexts_.begin(); it != contexts_.end(); ++it) {
-        if (it->first == identity) {
-            if (std::next(it) != contexts_.end()) {
-                auto entry = std::move(*it);
-                contexts_.erase(it);
-                contexts_.push_back(std::move(entry));
-            }
-            return *contexts_.back().second;
-        }
-    }
-    contexts_.emplace_back(
-        identity, std::make_unique<ExperimentContext>(options));
-    while (contexts_.size() > options_.max_contexts)
-        contexts_.pop_front();
-    return *contexts_.back().second;
-}
-
 void
 SweepServer::appendCounters(SweepResponse &resp) const
 {
@@ -463,6 +438,7 @@ SweepServer::appendCounters(SweepResponse &resp) const
         const std::lock_guard<std::mutex> lock(state_m_);
         c = counters_;
     }
+    const CellScheduler::Stats ss = scheduler_.stats();
     resp.counters.emplace_back("connections", c.connections);
     resp.counters.emplace_back("requests", c.requests);
     resp.counters.emplace_back("bad_requests", c.bad_requests);
@@ -471,7 +447,30 @@ SweepServer::appendCounters(SweepResponse &resp) const
     resp.counters.emplace_back("dedups", c.dedups);
     resp.counters.emplace_back("simulations", c.simulations);
     resp.counters.emplace_back("cell_errors", c.cell_errors);
-    resp.counters.emplace_back("queue_peak", c.queue_peak);
+    resp.counters.emplace_back("queue_peak", ss.depth_peak);
+    resp.counters.emplace_back("admission_stalls", ss.admission_stalls);
+    resp.counters.emplace_back("sched_depth", ss.depth);
+    resp.counters.emplace_back("sched_running", ss.running);
+    resp.counters.emplace_back("sched_tickets_open", ss.tickets_open);
+    resp.counters.emplace_back("sched_pair_builds", ss.pair_builds);
+    resp.counters.emplace_back("sched_pair_reuses", ss.pair_reuses);
+    resp.counters.emplace_back("sched_pairs_cached", ss.pairs_cached);
+    resp.counters.emplace_back("request_wall_us_count",
+                               c.request_wall_us.samples());
+    resp.counters.emplace_back("request_wall_us_p50",
+                               c.request_wall_us.quantile(0.5));
+    resp.counters.emplace_back("request_wall_us_p99",
+                               c.request_wall_us.quantile(0.99));
+    resp.counters.emplace_back("request_wall_us_max",
+                               c.request_wall_us.maxValue());
+    resp.counters.emplace_back("queue_wait_us_count",
+                               c.queue_wait_us.samples());
+    resp.counters.emplace_back("queue_wait_us_p50",
+                               c.queue_wait_us.quantile(0.5));
+    resp.counters.emplace_back("queue_wait_us_p99",
+                               c.queue_wait_us.quantile(0.99));
+    resp.counters.emplace_back("queue_wait_us_max",
+                               c.queue_wait_us.maxValue());
 
     const ResultStore::Counters sc = store_.counters();
     resp.counters.emplace_back("store_lookups", sc.lookups);
@@ -488,8 +487,21 @@ SweepServer::appendCounters(SweepResponse &resp) const
 ServerCounters
 SweepServer::counters() const
 {
-    const std::lock_guard<std::mutex> lock(state_m_);
-    return counters_;
+    ServerCounters c;
+    {
+        const std::lock_guard<std::mutex> lock(state_m_);
+        c = counters_;
+    }
+    const CellScheduler::Stats ss = scheduler_.stats();
+    c.queue_peak = ss.depth_peak;
+    c.admission_stalls = ss.admission_stalls;
+    return c;
+}
+
+CellScheduler::Stats
+SweepServer::schedulerStats() const
+{
+    return scheduler_.stats();
 }
 
 ResultStore::Counters

@@ -14,21 +14,19 @@
  *                    result instead of recomputing it.
  *   3. computed    — the remaining misses are claimed, sorted by
  *                    (workload, scenario) for pair-state locality,
- *                    and admitted as one batch onto the existing
- *                    sweep machinery (runCells: the ExperimentContext
- *                    serial path or the ParallelRunner pool, plus the
- *                    sharded runner when shards > 1), then appended
- *                    to the store.
+ *                    and submitted cell-by-cell to the shared
+ *                    CellScheduler (scheduler.hh); each cell is
+ *                    appended to the store and published to its
+ *                    Inflight waiters the moment it completes.
  *
- * Batches from different connections serialize on one simulation
- * mutex — the parallelism budget (SimOptions::threads) lives inside
- * the sweep machinery, and two concurrent grids would fight over it
- * and over pair-state memory. Everything before that mutex (store
- * hits, dedup waits) is concurrent.
- *
- * Contexts are cached per resolved SimOptions (a small LRU), so a
- * client sweeping with fixed knobs reuses warm pair state across
- * requests exactly like a local sweep loop would.
+ * There is no per-request simulation barrier: all connections share
+ * one fixed worker pool (sized by SimOptions::threads) that
+ * round-robins across requests, so a 1-cell request completes while a
+ * 500-cell grid is in flight. Admission is bounded
+ * (ServeOptions::max_queue_cells) — oversized grids block on submit
+ * and admit incrementally (counted as admission stalls). Expensive
+ * per-(workload, scenario) pair state is owned by the scheduler in a
+ * pinned LRU shared across requests (ServeOptions::max_pairs).
  */
 
 #ifndef ANCHORTLB_SERVE_SERVER_HH
@@ -38,7 +36,6 @@
 #include <condition_variable>
 #include <csignal>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -47,8 +44,10 @@
 #include <vector>
 
 #include "serve/result_store.hh"
+#include "serve/scheduler.hh"
 #include "serve/wire.hh"
 #include "sim/experiment.hh"
+#include "stats/histogram.hh"
 
 namespace atlb
 {
@@ -60,8 +59,10 @@ struct ServeOptions
     std::string store_path;
     /** Base SimOptions; requests may override the sweep knobs. */
     SimOptions base;
-    /** Cached ExperimentContexts (distinct resolved options), LRU. */
-    std::size_t max_contexts = 4;
+    /** Admission bound: max cells queued across all requests. */
+    std::size_t max_queue_cells = 4096;
+    /** Scheduler-owned (workload, scenario) pair-state cache size. */
+    std::size_t max_pairs = 8;
 };
 
 /** Request-handling counters, reported on every reply. */
@@ -75,7 +76,13 @@ struct ServerCounters
     std::uint64_t dedups = 0;      //!< cells that joined an in-flight run
     std::uint64_t simulations = 0; //!< cells actually simulated
     std::uint64_t cell_errors = 0; //!< invalid cells refused
-    std::uint64_t queue_peak = 0;  //!< max cells pending simulation
+    std::uint64_t queue_peak = 0;  //!< scheduler depth high-water mark
+    /** submit() calls that blocked on the bounded admission queue. */
+    std::uint64_t admission_stalls = 0;
+    /** Per-request wall time, microseconds (every decoded request). */
+    Log2Histogram request_wall_us{33};
+    /** Per-cell queue wait, microseconds (claimed cells only). */
+    Log2Histogram queue_wait_us{33};
 };
 
 /** The sweep service (one instance per `anchortlb serve`). */
@@ -114,6 +121,7 @@ class SweepServer
     ServerCounters counters() const;
     ResultStore::Counters storeCounters() const;
     ResultStore::Info storeInfo() const;
+    CellScheduler::Stats schedulerStats() const;
 
   private:
     /** A computation another request can wait on. */
@@ -129,7 +137,6 @@ class SweepServer
     std::string handleLine(const std::string &line);
     SweepResponse handleRequest(const SweepRequest &request);
     void resolveCells(const SweepRequest &request, SweepResponse &resp);
-    ExperimentContext &contextFor(const SimOptions &options);
     void appendCounters(SweepResponse &resp) const;
 
     bool stopping() const
@@ -140,6 +147,8 @@ class SweepServer
 
     ServeOptions options_;
     ResultStore store_;
+    /** Shared cross-request simulation pool (see scheduler.hh). */
+    CellScheduler scheduler_;
     std::atomic<bool> stop_{false};
     const volatile std::sig_atomic_t *stop_flag_ = nullptr;
     int listen_fd_ = -1;
@@ -148,14 +157,6 @@ class SweepServer
     std::unordered_map<std::uint64_t, std::shared_ptr<Inflight>>
         inflight_;
     ServerCounters counters_;
-    std::uint64_t queue_depth_ = 0;
-
-    /** Serializes simulation batches (see file comment). */
-    std::mutex sim_m_;
-    /** LRU of contexts keyed by resolved-options hash (under sim_m_). */
-    std::deque<std::pair<std::uint64_t,
-                         std::unique_ptr<ExperimentContext>>>
-        contexts_;
 
     std::mutex threads_m_;
     std::vector<std::thread> threads_;

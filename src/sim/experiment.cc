@@ -283,6 +283,34 @@ runSchemeCell(const SimOptions &options, const WorkloadSpec &spec,
     return res;
 }
 
+CellPairState::CellPairState(const SimOptions &options,
+                             std::string workload, ScenarioKind scenario)
+    : workload_(std::move(workload)), scenario_(scenario),
+      spec_(scaledWorkloadSpec(options, workload_)),
+      map_(buildScenario(scenario_, scenarioParamsFor(options, spec_)))
+{
+    dynamic_distance_ =
+        selectAnchorDistance(map_.contiguityHistogram()).distance;
+}
+
+const PageTable &
+CellPairState::plainTable() const
+{
+    std::call_once(plain_once_, [this] {
+        plain_table_ = buildPageTable(map_, false);
+    });
+    return *plain_table_;
+}
+
+const PageTable &
+CellPairState::thpTable() const
+{
+    std::call_once(thp_once_, [this] {
+        thp_table_ = buildPageTable(map_, true);
+    });
+    return *thp_table_;
+}
+
 /** Cached expensive state for one (workload, scenario) pair. */
 struct ExperimentContext::PairState
 {

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -171,6 +172,56 @@ SimResult runSchemeCell(const SimOptions &options, const WorkloadSpec &spec,
                         ScenarioKind scenario, const MemoryMap &map,
                         const PageTable &table, Scheme scheme,
                         std::uint64_t anchor_distance);
+
+/**
+ * Immutable expensive state for one (workload, scenario) pair, safe to
+ * share read-only across threads: the footprint-scaled spec, the
+ * scenario mapping and its dynamically selected anchor distance are
+ * built eagerly by the constructor; the plain/THP page-table flavours
+ * are built lazily on first use (std::call_once, so concurrent readers
+ * share one build). Anchor-swept tables are deliberately absent — the
+ * sweep mutates the table, so anchor jobs build a private one from
+ * map().
+ *
+ * Construction reads exactly options.seed and options.footprint_scale
+ * (via scaledWorkloadSpec / scenarioParamsFor); callers that cache pair
+ * state across option sets key on those two fields plus the pair.
+ *
+ * This is the pair-state flavour the parallel sweep engine and the
+ * serve-side cell scheduler share; ExperimentContext keeps its own
+ * single-threaded incremental variant (PairState) for the serial path.
+ */
+class CellPairState
+{
+  public:
+    CellPairState(const SimOptions &options, std::string workload,
+                  ScenarioKind scenario);
+
+    const std::string &workload() const { return workload_; }
+    ScenarioKind scenario() const { return scenario_; }
+    const WorkloadSpec &spec() const { return spec_; }
+    const MemoryMap &map() const { return map_; }
+
+    /** Distance Algorithm 1 selects for this pair's mapping. */
+    std::uint64_t dynamicDistance() const { return dynamic_distance_; }
+
+    /** All-4KB table (Base / Cluster); built on first call. */
+    const PageTable &plainTable() const;
+
+    /** THP table (THP / Cluster-2MB / RMM); built on first call. */
+    const PageTable &thpTable() const;
+
+  private:
+    std::string workload_;
+    ScenarioKind scenario_ = ScenarioKind::Demand;
+    WorkloadSpec spec_;
+    MemoryMap map_;
+    std::uint64_t dynamic_distance_ = 0;
+    mutable std::once_flag plain_once_;
+    mutable std::optional<PageTable> plain_table_;
+    mutable std::once_flag thp_once_;
+    mutable std::optional<PageTable> thp_table_;
+};
 
 /**
  * Content address of one experiment cell: the canonical FNV-1a digest

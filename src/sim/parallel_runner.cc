@@ -17,25 +17,13 @@ namespace atlb
 namespace
 {
 
-/** Read-only state shared by every leaf of one (workload, scenario). */
-struct PairShared
-{
-    WorkloadSpec spec;
-    MemoryMap map;
-    std::uint64_t dynamic_distance = 0;
-    std::optional<PageTable> plain_table; //!< Base / Cluster
-    std::optional<PageTable> thp_table;   //!< THP / Cluster-2MB / RMM
-};
-
 /** Build-once slot for one pair, freed when its last leaf finishes. */
 struct PairSlot
 {
     std::string workload;
     ScenarioKind scenario = ScenarioKind::Demand;
-    bool need_plain = false;
-    bool need_thp = false;
     std::once_flag once;
-    std::unique_ptr<PairShared> shared;
+    std::unique_ptr<CellPairState> shared;
     std::atomic<std::size_t> pending{0};
 };
 
@@ -53,56 +41,25 @@ struct Leaf
     std::uint64_t ideal_distance = 0;
 };
 
-void
-buildShared(PairSlot &slot, const SimOptions &options)
-{
-    auto shared = std::make_unique<PairShared>();
-    shared->spec = scaledWorkloadSpec(options, slot.workload);
-    shared->map = buildScenario(
-        slot.scenario, scenarioParamsFor(options, shared->spec));
-    shared->dynamic_distance =
-        selectAnchorDistance(shared->map.contiguityHistogram()).distance;
-    if (slot.need_plain)
-        shared->plain_table = buildPageTable(shared->map, false);
-    if (slot.need_thp)
-        shared->thp_table = buildPageTable(shared->map, true);
-    slot.shared = std::move(shared);
-}
-
 SimResult
-runLeaf(const Leaf &leaf, PairSlot &slot, const SimOptions &options)
+runLeaf(const Leaf &leaf, const CellPairState &pair,
+        const SimOptions &options)
 {
-    const PairShared &shared = *slot.shared;
-    switch (leaf.scheme) {
-      case Scheme::Base:
-      case Scheme::Cluster:
-        return runSchemeCell(options, shared.spec, slot.scenario,
-                             shared.map, *shared.plain_table, leaf.scheme,
-                             0);
-      case Scheme::Thp:
-      case Scheme::Cluster2MB:
-      case Scheme::Rmm:
-        return runSchemeCell(options, shared.spec, slot.scenario,
-                             shared.map, *shared.thp_table, leaf.scheme,
-                             0);
-      case Scheme::Anchor: {
-        const std::uint64_t distance = leaf.distance_override
-                                           ? *leaf.distance_override
-                                           : shared.dynamic_distance;
+    if (leaf.ideal_rank != noIdealRank) {
+        // One AnchorIdeal distance candidate; the reduction after the
+        // pool drains picks the canonical first minimum across ranks.
         const PageTable table = buildAnchorPageTable(
-            shared.map, AnchorDist::fromPages(distance));
-        return runSchemeCell(options, shared.spec, slot.scenario,
-                             shared.map, table, leaf.scheme, distance);
-      }
-      case Scheme::AnchorIdeal: {
-        const PageTable table = buildAnchorPageTable(
-            shared.map, AnchorDist::fromPages(leaf.ideal_distance));
-        return runSchemeCell(options, shared.spec, slot.scenario,
-                             shared.map, table, leaf.scheme,
+            pair.map(), AnchorDist::fromPages(leaf.ideal_distance));
+        return runSchemeCell(options, pair.spec(), pair.scenario(),
+                             pair.map(), table, Scheme::AnchorIdeal,
                              leaf.ideal_distance);
-      }
     }
-    ATLB_FATAL("unhandled scheme in parallel leaf");
+    CellJob job;
+    job.workload = pair.workload();
+    job.scenario = pair.scenario();
+    job.scheme = leaf.scheme;
+    job.distance_override = leaf.distance_override;
+    return runCellJob(options, pair, job);
 }
 
 std::vector<SimResult>
@@ -130,21 +87,6 @@ runParallel(const SimOptions &options, const std::vector<CellJob> &jobs,
     for (std::size_t cell = 0; cell < jobs.size(); ++cell) {
         const CellJob &job = jobs[cell];
         const std::size_t pair = slotFor(job);
-        PairSlot &slot = *slots[pair];
-        switch (job.scheme) {
-          case Scheme::Base:
-          case Scheme::Cluster:
-            slot.need_plain = true;
-            break;
-          case Scheme::Thp:
-          case Scheme::Cluster2MB:
-          case Scheme::Rmm:
-            slot.need_thp = true;
-            break;
-          case Scheme::Anchor:
-          case Scheme::AnchorIdeal:
-            break; // leaves build their own swept tables
-        }
         if (job.scheme == Scheme::AnchorIdeal) {
             for (std::size_t r = 0; r < distances.size(); ++r) {
                 Leaf leaf;
@@ -193,9 +135,11 @@ runParallel(const SimOptions &options, const std::vector<CellJob> &jobs,
     for (const Leaf &leaf : leaves) {
         pool.submit([&options, &slots, &out, &ideal_runs, leaf] {
             PairSlot &slot = *slots[leaf.pair];
-            std::call_once(slot.once,
-                           [&slot, &options] { buildShared(slot, options); });
-            SimResult res = runLeaf(leaf, slot, options);
+            std::call_once(slot.once, [&slot, &options] {
+                slot.shared = std::make_unique<CellPairState>(
+                    options, slot.workload, slot.scenario);
+            });
+            SimResult res = runLeaf(leaf, *slot.shared, options);
             if (leaf.ideal_rank == noIdealRank)
                 out[leaf.cell] = std::move(res);
             else
@@ -253,6 +197,55 @@ runSerial(ExperimentContext &ctx, const std::vector<CellJob> &jobs)
 }
 
 } // namespace
+
+SimResult
+runCellJob(const SimOptions &options, const CellPairState &pair,
+           const CellJob &job)
+{
+    switch (job.scheme) {
+      case Scheme::Base:
+      case Scheme::Cluster:
+        return runSchemeCell(options, pair.spec(), pair.scenario(),
+                             pair.map(), pair.plainTable(), job.scheme,
+                             0);
+      case Scheme::Thp:
+      case Scheme::Cluster2MB:
+      case Scheme::Rmm:
+        return runSchemeCell(options, pair.spec(), pair.scenario(),
+                             pair.map(), pair.thpTable(), job.scheme, 0);
+      case Scheme::Anchor: {
+        const std::uint64_t distance = job.distance_override
+                                           ? *job.distance_override
+                                           : pair.dynamicDistance();
+        const PageTable table = buildAnchorPageTable(
+            pair.map(), AnchorDist::fromPages(distance));
+        return runSchemeCell(options, pair.spec(), pair.scenario(),
+                             pair.map(), table, job.scheme, distance);
+      }
+      case Scheme::AnchorIdeal: {
+        // Exhaustive distance sweep inside one job; the first minimum
+        // in canonical candidate order wins, matching both the serial
+        // sweep and the parallel engine's reduction.
+        const std::vector<std::uint64_t> distances = candidateDistances();
+        ATLB_ASSERT(!distances.empty(), "no candidate anchor distances");
+        SimResult best;
+        bool have_best = false;
+        for (const std::uint64_t distance : distances) {
+            const PageTable table = buildAnchorPageTable(
+                pair.map(), AnchorDist::fromPages(distance));
+            SimResult res = runSchemeCell(options, pair.spec(),
+                                          pair.scenario(), pair.map(),
+                                          table, job.scheme, distance);
+            if (!have_best || res.misses() < best.misses()) {
+                best = std::move(res);
+                have_best = true;
+            }
+        }
+        return best;
+      }
+    }
+    ATLB_FATAL("unhandled scheme in cell job");
+}
 
 ParallelRunner::ParallelRunner(SimOptions options)
     : options_(options)

@@ -45,6 +45,22 @@ struct CellJob
 };
 
 /**
+ * Run one cell against shared @p pair state (which must be the pair
+ * @p job names). This is the complete single-cell job body:
+ * Base/Cluster use the pair's plain table, the THP-family schemes its
+ * THP table, Anchor builds a private distance-swept table from the
+ * shared mapping, and AnchorIdeal sweeps every candidate distance
+ * serially within the job, keeping the first minimum-miss run (the
+ * same tie-break as the serial sweep and the parallel reduction).
+ * options.threads is not consulted — callers wanting within-cell
+ * parallelism fan AnchorIdeal candidates out themselves. Safe for
+ * concurrent calls sharing one @p pair; results are byte-identical to
+ * ExperimentContext::run for the same options.
+ */
+SimResult runCellJob(const SimOptions &options, const CellPairState &pair,
+                     const CellJob &job);
+
+/**
  * Runs batches of cells, serially (threads == 1: the exact
  * ExperimentContext path) or across a thread pool. Results come back in
  * submission order and are identical either way.

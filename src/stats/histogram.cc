@@ -1,5 +1,7 @@
 #include "histogram.hh"
 
+#include <algorithm>
+
 #include "common/bitops.hh"
 #include "common/logging.hh"
 
@@ -109,6 +111,9 @@ Log2Histogram::add(std::uint64_t value)
         idx = static_cast<unsigned>(buckets_.size()) - 1;
     ++buckets_[idx];
     ++samples_;
+    sum_ += value;
+    if (value > max_)
+        max_ = value;
 }
 
 std::uint64_t
@@ -118,12 +123,48 @@ Log2Histogram::bucket(unsigned i) const
     return buckets_[i];
 }
 
+std::uint64_t
+Log2Histogram::bucketUpperBound(unsigned i) const
+{
+    ATLB_ASSERT(i < buckets_.size(), "bucket index out of range");
+    if (i >= 63)
+        return ~std::uint64_t{0};
+    return (std::uint64_t{1} << (i + 1)) - 1;
+}
+
+std::uint64_t
+Log2Histogram::quantile(double q) const
+{
+    if (samples_ == 0)
+        return 0;
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    // Rank of the q-quantile observation, 1-based, at least the first.
+    std::uint64_t target = static_cast<std::uint64_t>(
+        q * static_cast<double>(samples_) + 0.999999);
+    if (target == 0)
+        target = 1;
+    if (target > samples_)
+        target = samples_;
+    std::uint64_t acc = 0;
+    for (unsigned i = 0; i < buckets_.size(); ++i) {
+        acc += buckets_[i];
+        if (acc >= target)
+            return std::min(bucketUpperBound(i), max_);
+    }
+    return max_;
+}
+
 void
 Log2Histogram::clear()
 {
     for (auto &b : buckets_)
         b = 0;
     samples_ = 0;
+    sum_ = 0;
+    max_ = 0;
 }
 
 } // namespace atlb

@@ -74,7 +74,14 @@ class Histogram
     std::uint64_t weighted_sum_ = 0;
 };
 
-/** Fixed power-of-two bucketed histogram (bucket i holds [2^i, 2^(i+1))). */
+/**
+ * Fixed power-of-two bucketed histogram (bucket i holds [2^i, 2^(i+1))).
+ *
+ * Beyond raw bucket counts it tracks the exact sum and maximum, and can
+ * answer approximate quantiles (the containing bucket's upper bound,
+ * clamped to the observed maximum) — enough for the latency summaries
+ * the sweep service reports without storing every sample.
+ */
 class Log2Histogram
 {
   public:
@@ -85,8 +92,25 @@ class Log2Histogram
 
     std::uint64_t samples() const { return samples_; }
 
+    /** Exact sum of every recorded value. */
+    std::uint64_t sum() const { return sum_; }
+
+    /** Largest recorded value (0 when empty). */
+    std::uint64_t maxValue() const { return max_; }
+
     /** Count in bucket @p i. */
     std::uint64_t bucket(unsigned i) const;
+
+    /** Inclusive upper bound of bucket @p i (2^(i+1) - 1). */
+    std::uint64_t bucketUpperBound(unsigned i) const;
+
+    /**
+     * Approximate @p q quantile (q in [0, 1]): the upper bound of the
+     * bucket holding the ceil(q * samples)-th smallest observation,
+     * clamped to maxValue(). 0 when empty. Within 2x of the exact
+     * value by construction of the power-of-two buckets.
+     */
+    std::uint64_t quantile(double q) const;
 
     unsigned numBuckets() const
     {
@@ -98,6 +122,8 @@ class Log2Histogram
   private:
     std::vector<std::uint64_t> buckets_;
     std::uint64_t samples_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t max_ = 0;
 };
 
 } // namespace atlb

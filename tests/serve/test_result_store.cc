@@ -173,15 +173,17 @@ TEST(ServeStore, TruncatedTailIsDroppedNotFatal)
     // Tear the last record: a torn write leaves a short tail.
     fs::resize_file(path, fs::file_size(path) - 5);
 
-    ResultStore reopened(path);
-    EXPECT_EQ(reopened.counters().corrupt_dropped, 1u);
-    ASSERT_TRUE(reopened.lookup(CellKey{1}).has_value());
-    EXPECT_FALSE(reopened.lookup(CellKey{2}).has_value());
-    EXPECT_EQ(reopened.info().records, 1u);
+    {
+        ResultStore reopened(path);
+        EXPECT_EQ(reopened.counters().corrupt_dropped, 1u);
+        ASSERT_TRUE(reopened.lookup(CellKey{1}).has_value());
+        EXPECT_FALSE(reopened.lookup(CellKey{2}).has_value());
+        EXPECT_EQ(reopened.info().records, 1u);
 
-    // The tail was truncated back to the last intact record, so the
-    // store must be appendable again.
-    reopened.store(CellKey{3}, makeResult(3));
+        // The tail was truncated back to the last intact record, so
+        // the store must be appendable again.
+        reopened.store(CellKey{3}, makeResult(3));
+    }
     ResultStore again(path);
     EXPECT_EQ(again.counters().corrupt_dropped, 0u);
     EXPECT_TRUE(again.lookup(CellKey{1}).has_value());
@@ -218,26 +220,28 @@ TEST(ServeStore, FlippedPayloadByteFailsTheChecksum)
 TEST(ServeStore, GcCompactsSupersededRecordsAndTombstones)
 {
     const std::string path = storePath("gc");
-    ResultStore store(path);
-    store.store(CellKey{1}, makeResult(1));
-    store.store(CellKey{1}, makeResult(2)); // supersedes
-    store.store(CellKey{2}, makeResult(3));
-    store.invalidate(CellKey{2}); // tombstone
-    store.store(CellKey{3}, makeResult(4));
-    ASSERT_EQ(store.info().records, 5u);
-    ASSERT_EQ(store.info().live_cells, 2u);
+    {
+        ResultStore store(path);
+        store.store(CellKey{1}, makeResult(1));
+        store.store(CellKey{1}, makeResult(2)); // supersedes
+        store.store(CellKey{2}, makeResult(3));
+        store.invalidate(CellKey{2}); // tombstone
+        store.store(CellKey{3}, makeResult(4));
+        ASSERT_EQ(store.info().records, 5u);
+        ASSERT_EQ(store.info().live_cells, 2u);
 
-    const std::uint64_t before_bytes = store.info().file_bytes;
-    EXPECT_EQ(store.gc(), 3u);
-    EXPECT_EQ(store.info().records, 2u);
-    EXPECT_EQ(store.info().live_cells, 2u);
-    EXPECT_LT(store.info().file_bytes, before_bytes);
-    EXPECT_EQ(store.counters().gc_evicted, 3u);
+        const std::uint64_t before_bytes = store.info().file_bytes;
+        EXPECT_EQ(store.gc(), 3u);
+        EXPECT_EQ(store.info().records, 2u);
+        EXPECT_EQ(store.info().live_cells, 2u);
+        EXPECT_LT(store.info().file_bytes, before_bytes);
+        EXPECT_EQ(store.counters().gc_evicted, 3u);
 
-    const auto r1 = store.lookup(CellKey{1});
-    ASSERT_TRUE(r1.has_value());
-    expectSameResult(*r1, makeResult(2));
-    EXPECT_FALSE(store.lookup(CellKey{2}).has_value());
+        const auto r1 = store.lookup(CellKey{1});
+        ASSERT_TRUE(r1.has_value());
+        expectSameResult(*r1, makeResult(2));
+        EXPECT_FALSE(store.lookup(CellKey{2}).has_value());
+    }
 
     // The compacted file must replay cleanly.
     ResultStore reopened(path);
@@ -253,6 +257,34 @@ TEST(ResultStoreDeath, ForeignMagicIsFatal)
         f << "NOTASTORE-this is some other file format\n";
     }
     EXPECT_DEATH({ ResultStore store(path); }, "bad magic");
+}
+
+TEST(ResultStoreDeath, SecondOpenOfALiveStoreIsRefused)
+{
+    // Regression: `store gc` against a running server's store would
+    // truncate its in-flight appends as a "corrupt tail" and rename
+    // the file out from under it. Any second open while the first is
+    // live must refuse instead.
+    const std::string path = storePath("live_lock");
+    ResultStore live(path);
+    live.store(CellKey{1}, makeResult(1));
+    EXPECT_DEATH({ ResultStore second(path); }, "in use");
+}
+
+TEST(ServeStore, LockIsReleasedByDestructionAndSurvivesGc)
+{
+    const std::string path = storePath("lock_release");
+    {
+        ResultStore store(path);
+        store.store(CellKey{1}, makeResult(1));
+        store.store(CellKey{1}, makeResult(2));
+        // gc renames a fresh file over path; the sidecar lock must
+        // stay attached to this instance throughout.
+        EXPECT_EQ(store.gc(), 1u);
+    }
+    // First owner gone: reopening must succeed.
+    ResultStore reopened(path);
+    EXPECT_TRUE(reopened.lookup(CellKey{1}).has_value());
 }
 
 } // namespace

@@ -14,7 +14,9 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <bit>
+#include <chrono>
 #include <cstdint>
 #include <cstring>
 #include <filesystem>
@@ -324,6 +326,153 @@ TEST(ServeServer, ConcurrentIdenticalSubmitsSimulateOnce)
     EXPECT_EQ(counterValue(final_stats, "simulations"), 1u);
     EXPECT_EQ(counterValue(final_stats, "cells"),
               static_cast<std::uint64_t>(clients));
+}
+
+TEST(ServeServer, OverlappingGridsConserveCountersAndMatchDirectRun)
+{
+    TestServer ts("stress");
+
+    // Every client submits the shared 4-cell grid plus one unique
+    // Anchor cell, so requests overlap (dedup/hit paths) and diverge
+    // (claimed paths) at the same time.
+    constexpr int clients = 6;
+    std::vector<SweepRequest> requests;
+    for (int i = 0; i < clients; ++i) {
+        SweepRequest req = gridRequest(WireOp::Submit);
+        CellRequest unique;
+        unique.workload = i % 2 == 0 ? "canneal" : "sphinx3";
+        unique.scenario = ScenarioKind::MedContig;
+        unique.scheme = Scheme::Anchor;
+        unique.distance = std::uint64_t{2} << i; // valid: power of two
+        req.cells.push_back(unique);
+        requests.push_back(req);
+    }
+
+    std::vector<SweepResponse> responses(clients);
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (int i = 0; i < clients; ++i) {
+        threads.emplace_back([&ts, &requests, &responses, i] {
+            responses[static_cast<std::size_t>(i)] =
+                roundTrip(ts, requests[static_cast<std::size_t>(i)]);
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+
+    // Bit-identity: every reply cell, regardless of whether it was
+    // computed, deduped, or served from the store, matches a direct
+    // local run of the same cell.
+    ExperimentContext ctx(quickOptions());
+    for (int i = 0; i < clients; ++i) {
+        const SweepResponse &resp =
+            responses[static_cast<std::size_t>(i)];
+        const SweepRequest &req = requests[static_cast<std::size_t>(i)];
+        ASSERT_TRUE(resp.ok) << resp.error;
+        ASSERT_EQ(resp.cells.size(), req.cells.size());
+        for (std::size_t c = 0; c < req.cells.size(); ++c) {
+            const CellRequest &cell = req.cells[c];
+            EXPECT_NE(resp.cells[c].status, CellStatus::Error);
+            expectSameResult(resp.cells[c].result,
+                             ctx.run(cell.workload, cell.scenario,
+                                     cell.scheme, cell.distance));
+        }
+    }
+
+    // Counter conservation: a submitted cell ends as exactly one of
+    // hit / dedup / simulation / error, and each distinct cell
+    // simulates exactly once.
+    SweepRequest stats;
+    stats.op = WireOp::Stats;
+    const SweepResponse final_stats = roundTrip(ts, stats);
+    const std::uint64_t cells = counterValue(final_stats, "cells");
+    EXPECT_EQ(cells, static_cast<std::uint64_t>(clients) * 5u);
+    EXPECT_EQ(counterValue(final_stats, "hits") +
+                  counterValue(final_stats, "dedups") +
+                  counterValue(final_stats, "simulations") +
+                  counterValue(final_stats, "cell_errors"),
+              cells);
+    EXPECT_EQ(counterValue(final_stats, "simulations"),
+              4u + static_cast<std::uint64_t>(clients));
+    EXPECT_EQ(counterValue(final_stats, "cell_errors"), 0u);
+    EXPECT_EQ(counterValue(final_stats, "queue_wait_us_count"),
+              counterValue(final_stats, "simulations"))
+        << "every simulated cell must record its queue wait";
+    EXPECT_GE(counterValue(final_stats, "request_wall_us_count"),
+              static_cast<std::uint64_t>(clients));
+}
+
+TEST(ServeServer, SmallRequestIsNotStuckBehindALargeGrid)
+{
+    TestServer ts("fairness");
+
+    // A large grid: 24 distinct Anchor cells. With the server's single
+    // scheduler worker (base threads = 1) this runs long enough for a
+    // small request to arrive mid-flight.
+    SweepRequest large;
+    large.op = WireOp::Submit;
+    for (const char *workload : {"canneal", "sphinx3"}) {
+        for (std::uint64_t d = 2; d <= (1u << 12); d <<= 1) {
+            CellRequest cell;
+            cell.workload = workload;
+            cell.scenario = ScenarioKind::MedContig;
+            cell.scheme = Scheme::Anchor;
+            cell.distance = d;
+            large.cells.push_back(cell);
+        }
+    }
+
+    std::atomic<bool> large_done{false};
+    SweepResponse large_resp;
+    std::thread big([&] {
+        large_resp = roundTrip(ts, large);
+        large_done = true;
+    });
+
+    // Wait until the large grid is actually inside the scheduler.
+    SweepRequest stats;
+    stats.op = WireOp::Stats;
+    for (int i = 0; i < 1000 && !large_done; ++i) {
+        const SweepResponse s = roundTrip(ts, stats);
+        if (counterValue(s, "sched_depth") +
+                counterValue(s, "sched_running") >
+            0)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+
+    SweepRequest small;
+    small.op = WireOp::Submit;
+    CellRequest cell;
+    cell.workload = "canneal";
+    cell.scenario = ScenarioKind::HighContig;
+    cell.scheme = Scheme::Base;
+    small.cells = {cell};
+    const SweepResponse small_resp = roundTrip(ts, small);
+
+    // Round-robin admission: the 1-cell request finishes after at most
+    // a couple of the large grid's 24 cells, so the grid must still be
+    // in flight when the small reply lands.
+    EXPECT_FALSE(large_done.load())
+        << "the small request queued behind the whole large grid";
+    ASSERT_TRUE(small_resp.ok) << small_resp.error;
+    ASSERT_EQ(small_resp.cells.size(), 1u);
+    EXPECT_EQ(small_resp.cells[0].status, CellStatus::Computed);
+
+    big.join();
+    ASSERT_TRUE(large_resp.ok) << large_resp.error;
+    for (const CellReply &reply : large_resp.cells)
+        EXPECT_EQ(reply.status, CellStatus::Computed);
+
+    // Interleaving must not bend any result: spot-check both requests
+    // against direct runs.
+    ExperimentContext ctx(quickOptions());
+    expectSameResult(small_resp.cells[0].result,
+                     ctx.run("canneal", ScenarioKind::HighContig,
+                             Scheme::Base));
+    expectSameResult(large_resp.cells[0].result,
+                     ctx.run("canneal", ScenarioKind::MedContig,
+                             Scheme::Anchor, 2));
 }
 
 TEST(ServeServer, ShutdownOpStopsTheServer)

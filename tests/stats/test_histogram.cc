@@ -134,8 +134,64 @@ TEST(Log2Histogram, ClearResets)
     h.add(100);
     h.clear();
     EXPECT_EQ(h.samples(), 0u);
+    EXPECT_EQ(h.sum(), 0u);
+    EXPECT_EQ(h.maxValue(), 0u);
     for (unsigned i = 0; i < h.numBuckets(); ++i)
         EXPECT_EQ(h.bucket(i), 0u);
+}
+
+TEST(Log2Histogram, SumAndMaxTrackExactValues)
+{
+    Log2Histogram h(16);
+    h.add(3);
+    h.add(7);
+    h.add(100);
+    EXPECT_EQ(h.sum(), 110u);
+    EXPECT_EQ(h.maxValue(), 100u);
+}
+
+TEST(Log2Histogram, BucketUpperBounds)
+{
+    Log2Histogram h(64);
+    EXPECT_EQ(h.bucketUpperBound(0), 1u);
+    EXPECT_EQ(h.bucketUpperBound(1), 3u);
+    EXPECT_EQ(h.bucketUpperBound(10), 2047u);
+    EXPECT_EQ(h.bucketUpperBound(63), ~std::uint64_t{0});
+}
+
+TEST(Log2Histogram, QuantileEmptyIsZero)
+{
+    Log2Histogram h(8);
+    EXPECT_EQ(h.quantile(0.5), 0u);
+}
+
+TEST(Log2Histogram, QuantileSingleValueClampsToMax)
+{
+    Log2Histogram h(16);
+    h.add(100); // bucket 6, upper bound 127 -> clamped to 100
+    EXPECT_EQ(h.quantile(0.0), 100u);
+    EXPECT_EQ(h.quantile(0.5), 100u);
+    EXPECT_EQ(h.quantile(1.0), 100u);
+}
+
+TEST(Log2Histogram, QuantilePicksContainingBucket)
+{
+    Log2Histogram h(16);
+    for (int i = 0; i < 99; ++i)
+        h.add(1); // bucket 0, upper bound 1
+    h.add(1000); // bucket 9, upper bound 1023
+    EXPECT_EQ(h.quantile(0.50), 1u);
+    EXPECT_EQ(h.quantile(0.99), 1u);
+    EXPECT_EQ(h.quantile(1.0), 1000u); // clamped to the observed max
+}
+
+TEST(Log2Histogram, QuantileClampsArgument)
+{
+    Log2Histogram h(8);
+    h.add(2);
+    h.add(8);
+    EXPECT_EQ(h.quantile(-1.0), h.quantile(0.0));
+    EXPECT_EQ(h.quantile(2.0), h.quantile(1.0));
 }
 
 } // namespace

@@ -947,13 +947,34 @@ printCounters(const std::string &title,
     emit(table, csv);
 }
 
+/** Append @p hist's summary + nonzero buckets as "<name>_*" rows. */
+void
+appendHistogramCounters(
+    std::vector<std::pair<std::string, std::uint64_t>> &rows,
+    const std::string &name, const Log2Histogram &hist)
+{
+    rows.emplace_back(name + "_count", hist.samples());
+    rows.emplace_back(name + "_sum", hist.sum());
+    rows.emplace_back(name + "_p50", hist.quantile(0.5));
+    rows.emplace_back(name + "_p99", hist.quantile(0.99));
+    rows.emplace_back(name + "_max", hist.maxValue());
+    for (unsigned i = 0; i < hist.numBuckets(); ++i) {
+        if (hist.bucket(i) == 0)
+            continue;
+        rows.emplace_back(name + "_le_" +
+                              std::to_string(hist.bucketUpperBound(i)),
+                          hist.bucket(i));
+    }
+}
+
 std::vector<std::pair<std::string, std::uint64_t>>
 serveSummaryCounters(const SweepServer &server)
 {
     const ServerCounters c = server.counters();
+    const CellScheduler::Stats ss = server.schedulerStats();
     const ResultStore::Counters sc = server.storeCounters();
     const ResultStore::Info si = server.storeInfo();
-    return {
+    std::vector<std::pair<std::string, std::uint64_t>> rows = {
         {"connections", c.connections},
         {"requests", c.requests},
         {"bad_requests", c.bad_requests},
@@ -963,6 +984,11 @@ serveSummaryCounters(const SweepServer &server)
         {"simulations", c.simulations},
         {"cell_errors", c.cell_errors},
         {"queue_peak", c.queue_peak},
+        {"admission_stalls", c.admission_stalls},
+        {"sched_jobs", ss.enqueued},
+        {"sched_pair_builds", ss.pair_builds},
+        {"sched_pair_reuses", ss.pair_reuses},
+        {"sched_pairs_cached", ss.pairs_cached},
         {"store_lookups", sc.lookups},
         {"store_hits", sc.hits},
         {"store_appends", sc.appends},
@@ -971,6 +997,9 @@ serveSummaryCounters(const SweepServer &server)
         {"store_records", si.records},
         {"store_file_bytes", si.file_bytes},
     };
+    appendHistogramCounters(rows, "request_wall_us", c.request_wall_us);
+    appendHistogramCounters(rows, "queue_wait_us", c.queue_wait_us);
+    return rows;
 }
 
 int
@@ -1006,8 +1035,10 @@ cmdServe(const Args &args)
     options.socket_path = args.get("socket", defaultServeSocket);
     options.store_path = args.get("store", defaultStorePath);
     options.base = optionsFrom(args);
-    options.max_contexts = static_cast<std::size_t>(
-        args.getU64("contexts", options.max_contexts));
+    options.max_queue_cells = static_cast<std::size_t>(
+        args.getU64("queue", options.max_queue_cells));
+    options.max_pairs = static_cast<std::size_t>(
+        args.getU64("pairs", options.max_pairs));
 
     SweepServer server(options);
     std::string error;
@@ -1221,7 +1252,9 @@ commands:
                        a unix socket, backed by a content-addressed
                        persistent result store (^C or `serve stop` for
                        a clean shutdown with a counter summary)
-      [--socket=PATH] [--store=FILE] [--contexts=N]
+      [--socket=PATH] [--store=FILE] [--queue=N] [--pairs=N]
+                       (--queue bounds cells admitted across requests;
+                       --pairs sizes the shared pair-state cache)
   serve stop           ask a running server to shut down
       [--socket=PATH]
   submit               resolve a cell grid via the service, simulating
